@@ -1,0 +1,73 @@
+"""Ablation B: adder implementations across operand widths.
+
+Compares the CMOS CLA (Table 1 conventional unit), the CRS TC-adder
+(Table 1 CIM unit), and this library's generic IMPLY ripple adder.
+The print-out quantifies the design trade the paper describes: CMOS
+wins raw latency; the memristor adders win footprint by orders of
+magnitude and win *system* energy once the cache bill is charged.
+"""
+
+import pytest
+
+from repro.analysis import adder_width_sweep, format_table
+from repro.devices import FINFET_22NM, MEMRISTOR_5NM
+from repro.units import si_format
+
+WIDTHS = (8, 16, 32, 64)
+
+
+def test_bench_adder_width_sweep(benchmark):
+    rows = benchmark(adder_width_sweep, WIDTHS)
+    table = []
+    for r in rows:
+        table.append([
+            str(r["width"]),
+            si_format(r["cla_latency"], "s"),
+            si_format(r["tc_latency"], "s"),
+            si_format(r["imply_latency"], "s"),
+            si_format(r["cla_system_energy"], "J"),
+            si_format(r["tc_energy"], "J"),
+        ])
+    print()
+    print(format_table(
+        ["width", "CLA T", "TC-adder T", "IMPLY T", "CLA system E/op", "TC E/op"],
+        table, title="Ablation B: adder implementations",
+    ))
+    for r in rows:
+        # CMOS is faster per add; memristor adders are in-memory.
+        assert r["cla_latency"] < r["tc_latency"] < r["imply_latency"]
+        # System energy per op: TC-adder wins by >100x.
+        assert r["tc_energy"] < r["cla_system_energy"] / 100
+
+
+def test_bench_adder_area_ratio(benchmark):
+    def ratios():
+        out = {}
+        for r in adder_width_sweep(WIDTHS):
+            cla_area = r["cla_gates"] * FINFET_22NM.gate_area
+            tc_area = r["tc_memristors"] * MEMRISTOR_5NM.cell_area
+            out[r["width"]] = cla_area / tc_area
+        return out
+
+    result = benchmark(ratios)
+    print("\nCLA/TC-adder area ratio: "
+          + ", ".join(f"{w}b: {x:.0f}x" for w, x in result.items()))
+    # Table 1: 208 gates x 0.248 um^2 vs 34 cells x 1e-4 um^2 -> ~15000x.
+    assert result[32] == pytest.approx(15170, rel=0.05)
+
+
+def test_bench_functional_ripple_adder(benchmark):
+    """Throughput of the executable IMPLY ripple adder (electrical)."""
+    from repro.logic import ImplyMachine, ripple_adder_program
+
+    program = ripple_adder_program(8)
+    inputs = {f"a{i}": (173 >> i) & 1 for i in range(8)}
+    inputs.update({f"b{i}": (99 >> i) & 1 for i in range(8)})
+
+    def run_once():
+        return ImplyMachine().run(program, inputs)
+
+    report = benchmark(run_once)
+    total = sum(report.outputs[f"s{i}"] << i for i in range(8))
+    total += report.outputs["cout"] << 8
+    assert total == 173 + 99

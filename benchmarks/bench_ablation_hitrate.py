@@ -1,0 +1,43 @@
+"""Ablation A: sensitivity of Table 2 to the cache/data hit-ratio
+assumptions.
+
+Table 1 fixes 50% (DNA) and 98% (math) hit ratios.  This ablation
+sweeps them and shows the paper's conclusion is robust: CIM's
+efficiency win barely moves (it is an energy claim, and CIM's energy
+has no memory-stall component), while execution times shift for both
+machines symmetrically.
+"""
+
+import pytest
+
+from repro.analysis import format_table, hit_ratio_sweep
+
+
+HIT_RATIOS = (0.0, 0.25, 0.5, 0.75, 0.9, 0.98, 1.0)
+
+
+def test_bench_hitrate_dna(benchmark):
+    rows = benchmark(hit_ratio_sweep, "dna", HIT_RATIOS)
+    table = [
+        [f"{r['hit_ratio']:.2f}", f"{r['conv_time']:.3e}", f"{r['cim_time']:.3e}",
+         f"{r['edp_improvement']:.3g}", f"{r['efficiency_improvement']:.3g}"]
+        for r in rows
+    ]
+    print()
+    print(format_table(
+        ["hit ratio", "conv T (s)", "CIM T (s)", "EDP gain", "ops/J gain"],
+        table, title="Ablation A: DNA vs hit ratio",
+    ))
+    gains = [r["efficiency_improvement"] for r in rows]
+    assert min(gains) > 100
+    # Conventional time improves with hit ratio.
+    times = [r["conv_time"] for r in rows]
+    assert times == sorted(times, reverse=True)
+
+
+def test_bench_hitrate_math(benchmark):
+    rows = benchmark(hit_ratio_sweep, "math", HIT_RATIOS)
+    gains = [r["efficiency_improvement"] for r in rows]
+    print("\nmath ops/J gain over hit ratios "
+          + ", ".join(f"{h:.2f}:{g:.0f}x" for h, g in zip(HIT_RATIOS, gains)))
+    assert min(gains) > 100

@@ -1,0 +1,52 @@
+"""Ablation G: data-volume scaling — the Section II Big-Data motivation.
+
+At fixed silicon (the paper's DNA configuration), data volume grows
+linearly with sequencing coverage while the conventional machine's
+throughput is pinned by its area-capped 600 000 comparators; the CIM
+machine packs ~20x the comparators into the same cache-equivalent
+footprint, so the absolute time gap widens with the data — "the
+increase of the data size has already surpassed the capabilities of
+today's computation architectures", as a curve.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import addition_sweep, coverage_sweep
+from repro.units import si_format
+
+
+def test_bench_dna_coverage_scaling(benchmark):
+    rows = benchmark(coverage_sweep, (10, 25, 50, 100, 200))
+    print()
+    print(format_table(
+        ["coverage", "data (comparisons)", "conv T", "CIM T", "energy adv"],
+        [[str(r["coverage"]), f"{r['operations']:.2e}",
+          si_format(r["conv_time"], "s"), si_format(r["cim_time"], "s"),
+          f"{r['energy_advantage']:.3g}x"]
+         for r in rows],
+        title="Ablation G: DNA data volume at fixed silicon",
+    ))
+    # Linear growth for both; the absolute gap widens monotonically.
+    gaps = [r["conv_time"] - r["cim_time"] for r in rows]
+    assert gaps == sorted(gaps)
+    assert all(r["time_advantage"] > 10 for r in rows)
+
+
+def test_bench_addition_count_scaling(benchmark):
+    rows = benchmark(addition_sweep, (10**4, 10**5, 10**6, 10**7))
+    print()
+    print(format_table(
+        ["additions", "conv E/op", "CIM E/op", "energy adv", "area adv"],
+        [[f"{r['count']:.0e}",
+          si_format(r["conv_energy_per_op"], "J"),
+          si_format(r["cim_energy_per_op"], "J"),
+          f"{r['energy_advantage']:.0f}x",
+          f"{r['conv_area'] / r['cim_area']:.0f}x"]
+         for r in rows],
+        title="Ablation G: additions with both machines scaling",
+    ))
+    # Per-op energies are scale-invariant; the advantage is structural.
+    energies = [r["cim_energy_per_op"] for r in rows]
+    assert max(energies) == pytest.approx(min(energies))
+    assert all(r["energy_advantage"] > 100 for r in rows)

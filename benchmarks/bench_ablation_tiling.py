@@ -1,0 +1,63 @@
+"""Ablation H: which junction should a CIM chip use?
+
+Integrates the electrical layer into the architecture layer: the
+junction family's worst-case read margin sets the feasible tile edge;
+the tile edge sets the tile count; the tile count sets the CMOS
+periphery tax.  The probe is capped at 32-edge tiles (dense solver), so
+absolute ratios are upper bounds — the *relative* comparison between
+junction families is the result.
+
+Resolution of the paper's apparent contradiction ("huge crossbar
+architectures" §III.A vs "maximum array is limited to small arrays"
+§IV.B): huge machines are built from margin-limited tiles, and the CRS
+cell is what makes the tiles big enough to amortise the periphery.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import TilingStudy
+
+
+def test_bench_junction_system_comparison(benchmark):
+    study = TilingStudy(devices=10**6, min_margin=2.0)
+
+    comparison = benchmark(study.compare)
+    rows = []
+    for name, report in comparison.items():
+        rows.append([
+            name,
+            str(report.tile_edge) if report.feasible else "infeasible",
+            str(report.tiles),
+            f"x{report.periphery_area_ratio:.0f}" if report.feasible else "-",
+            f"{report.periphery_static_power:.3g} W" if report.feasible else "-",
+        ])
+    print()
+    print(format_table(
+        ["junction", "tile edge", "tiles", "periphery/junction area",
+         "periphery static"],
+        rows,
+        title="Ablation H: junction family -> system periphery bill "
+              "(1e6 devices, margin >= 2, tiles probed up to 32)",
+    ))
+    assert comparison["CRS"].periphery_area_ratio < (
+        comparison["1R"].periphery_area_ratio / 10
+    )
+    assert comparison["CRS"].periphery_static_power < (
+        comparison["1R"].periphery_static_power / 10
+    )
+
+
+def test_bench_multistage_rescue(benchmark):
+    study = TilingStudy(devices=10**5, min_margin=2.0)
+
+    def both():
+        return study.compare()["1R"], study.compare(multistage_for_1r=True)["1R"]
+
+    plain, rescued = benchmark(both)
+    print(f"\n1R tiles: single-phase read edge {plain.tile_edge} "
+          f"(periphery x{plain.periphery_area_ratio:.0f}); multistage read "
+          f"edge {rescued.tile_edge} (x{rescued.periphery_area_ratio:.0f}, "
+          f"at 2x read latency)")
+    assert rescued.tile_edge >= 16
+    assert plain.tile_edge <= 4

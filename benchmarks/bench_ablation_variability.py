@@ -1,0 +1,56 @@
+"""Ablation D: device variability Monte Carlo.
+
+The paper lists reliability among the open questions for CIM
+"industrialisation".  This ablation samples lognormal device
+populations and measures (a) the worst-case resistance window a sense
+amplifier faces and (b) the read-margin distribution of small CRS-free
+1R arrays built from varied devices.
+"""
+
+import pytest
+
+from repro.crossbar import CrossbarArray, GroundedBias, sense_current
+from repro.devices import VariabilityModel, VariationSpec, resistance_spread
+
+
+def monte_carlo_window(sigma, devices=300, seed=0):
+    spec = VariationSpec(sigma_r_on=sigma, sigma_r_off=sigma,
+                         sigma_v_set=0.05, sigma_v_reset=0.05)
+    population = VariabilityModel(spec=spec, seed=seed).sample_many(devices)
+    return resistance_spread(population)
+
+
+def test_bench_variability_window(benchmark):
+    results = benchmark(
+        lambda: {s: monte_carlo_window(s) for s in (0.05, 0.15, 0.3, 0.5)}
+    )
+    print("\nworst-case R_off/R_on window vs sigma: "
+          + ", ".join(f"{s}: {r['min_window']:.0f}x" for s, r in results.items()))
+    windows = [r["min_window"] for r in results.values()]
+    assert windows == sorted(windows, reverse=True)
+    # Even at sigma 0.5 the window must stay sense-able (>10x) for the
+    # default 1000x nominal ratio.
+    assert windows[-1] > 10
+
+
+def test_bench_variability_read_current_spread(benchmark):
+    """Read-current spread of varied 4x4 arrays: the sense margin the
+    paper's reliability concern is about."""
+    def spread(seed_count=20):
+        currents = []
+        model = VariabilityModel(seed=42)
+        for _ in range(seed_count):
+            array = CrossbarArray(4, 4, lambda r, c: model.sample())
+            for row in range(4):
+                for col in range(4):
+                    array.cell(row, col).write_bit(1)
+            array.cell(0, 0).write_bit(1)
+            currents.append(sense_current(array, GroundedBias(), 0, 0, 0.95))
+        return currents
+
+    currents = benchmark(spread)
+    mean = sum(currents) / len(currents)
+    worst = min(currents)
+    print(f"\nLRS read current: mean {mean:.3e} A, worst {worst:.3e} A "
+          f"({100 * worst / mean:.0f}% of mean)")
+    assert worst > 0.2 * mean

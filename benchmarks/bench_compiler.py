@@ -1,0 +1,60 @@
+"""CIM compiler benchmarks: netlist lowering + register reuse.
+
+Quantifies the toolchain piece of Section III.C: pulses per gate for
+the IMP lowering, and how much of the naive register footprint the
+liveness allocator reclaims on random logic.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.compiler import (
+    allocation_report,
+    compile_network,
+    compilation_report,
+    random_network,
+    reuse_registers,
+)
+
+
+def test_bench_compile_random_network(benchmark):
+    network = random_network(inputs=6, gates=40, outputs=4, seed=3)
+
+    program = benchmark(compile_network, network)
+    report = compilation_report(network)
+    print(f"\n{network.gate_count} gates -> {program.step_count} pulses "
+          f"({report.pulses_per_gate:.1f}/gate) on "
+          f"{program.device_count} memristors")
+    assert program.step_count > 0
+
+
+def test_bench_register_reuse(benchmark):
+    network = random_network(inputs=6, gates=40, outputs=4, seed=3)
+    program = compile_network(network)
+
+    compact = benchmark(reuse_registers, program)
+    report = allocation_report(program)
+    print(f"\nregisters: {report.registers_before} -> "
+          f"{report.registers_after} "
+          f"({100 * report.reduction:.0f}% reclaimed)")
+    assert report.reduction > 0.3
+
+
+def test_bench_reuse_savings_across_seeds(benchmark):
+    def measure():
+        rows = []
+        for seed in range(6):
+            network = random_network(inputs=5, gates=25, outputs=3, seed=seed)
+            report = allocation_report(compile_network(network))
+            rows.append((seed, report.registers_before,
+                         report.registers_after, report.reduction))
+        return rows
+
+    rows = benchmark(measure)
+    print()
+    print(format_table(
+        ["seed", "naive regs", "allocated regs", "reduction"],
+        [[str(s), str(b), str(a), f"{100 * r:.0f}%"] for s, b, a, r in rows],
+        title="Register reuse on random 25-gate netlists",
+    ))
+    assert all(r > 0.2 for *_, r in rows)

@@ -1,0 +1,50 @@
+"""Fig 1 regeneration: the five architecture classes ordered by
+working-set location.
+
+Prints per-class energy/latency per operation for several data
+intensities and asserts the figure's ordinal claim: every step from
+(a) main-memory to (e) CIM strictly improves both metrics.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import classify_all, ordering_is_monotonic
+from repro.units import si_format
+
+
+def sweep_intensities(intensities=(1, 3, 10, 100)):
+    return {k: classify_all(operands_per_op=k) for k in intensities}
+
+
+def test_bench_fig1_ordering(benchmark):
+    results = benchmark(sweep_intensities)
+    rows = []
+    costs = results[3]
+    for cost in costs:
+        rows.append([
+            cost.architecture.value,
+            si_format(cost.energy_per_op, "J"),
+            si_format(cost.latency_per_op, "s"),
+            f"{100 * cost.communication_fraction:.1f}%",
+        ])
+    print()
+    print(format_table(
+        ["Class (working set location)", "E/op", "T/op", "comm share"],
+        rows, title="Fig 1: architecture classes at 3 operands/op",
+    ))
+    for intensity, costs in results.items():
+        assert ordering_is_monotonic(costs), intensity
+
+
+def test_bench_fig1_data_intensity_widens_gap(benchmark):
+    """The more data-intensive the workload, the larger CIM's edge over
+    class (a) — the paper's Big-Data motivation."""
+    def gap(intensity):
+        costs = classify_all(operands_per_op=intensity)
+        return costs[0].energy_per_op / costs[-1].energy_per_op
+
+    gaps = benchmark(lambda: [gap(k) for k in (1, 10, 100)])
+    print(f"\nenergy gap (a)/(e) at 1/10/100 operands per op: "
+          f"{', '.join(f'{g:.0f}x' for g in gaps)}")
+    assert gaps == sorted(gaps)

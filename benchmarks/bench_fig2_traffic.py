@@ -1,0 +1,69 @@
+"""Fig 2 regeneration: traditional vs CIM architecture data movement.
+
+Fig 2 contrasts the traditional machine (cores <-> caches <-> memory)
+with the CIM crossbar where computation happens at the data.  As data,
+this is the per-workload split between *data-movement* time/energy and
+*compute* time/energy on both machines — printed for both paper
+workloads and benchmarked end to end.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import (
+    cim_dna_machine,
+    cim_math_machine,
+    conventional_dna_machine,
+    conventional_math_machine,
+    dna_paper_workload,
+    math_paper_workload,
+)
+
+
+def movement_split():
+    """Compute (movement_fraction_time, movement_fraction_energy) for
+    each (workload, machine) pair."""
+    pairs = [
+        ("dna", conventional_dna_machine(), cim_dna_machine("paper"), dna_paper_workload()),
+        ("math", conventional_math_machine(), cim_math_machine(), math_paper_workload()),
+    ]
+    rows = []
+    for name, conv, cim, workload in pairs:
+        for label, machine in (("conv", conv), ("cim", cim)):
+            round_time = machine.round_time(workload)
+            if label == "conv":
+                compute_time = machine.machine.unit.latency
+            else:
+                compute_time = machine.unit.latency
+            movement_time = round_time - compute_time
+            report = machine.evaluate(workload)
+            non_compute_energy = report.energy - report.energy_breakdown["dynamic"]
+            rows.append({
+                "workload": name,
+                "machine": label,
+                "movement_time_share": movement_time / round_time,
+                "non_compute_energy_share": non_compute_energy / report.energy,
+            })
+    return rows
+
+
+def test_bench_fig2_movement_split(benchmark):
+    rows = benchmark(movement_split)
+    table = [
+        [r["workload"], r["machine"],
+         f"{100 * r['movement_time_share']:.1f}%",
+         f"{100 * r['non_compute_energy_share']:.1f}%"]
+        for r in rows
+    ]
+    print()
+    print(format_table(
+        ["Workload", "Machine", "data-movement time", "non-compute energy"],
+        table, title="Fig 2: where time and energy go",
+    ))
+    by_key = {(r["workload"], r["machine"]): r for r in rows}
+    # Conventional: >70% of energy outside compute (paper's 70-90%).
+    assert by_key[("dna", "conv")]["non_compute_energy_share"] > 0.7
+    assert by_key[("math", "conv")]["non_compute_energy_share"] > 0.7
+    # CIM: zero static energy -> all energy is compute.
+    assert by_key[("dna", "cim")]["non_compute_energy_share"] == 0.0
+    assert by_key[("math", "cim")]["non_compute_energy_share"] == 0.0

@@ -1,0 +1,67 @@
+"""Fig 3 regeneration: passive crossbar sneak paths and the junction
+options that defeat them.
+
+Prints worst-case read margin vs array size for the three junction
+families (1R, 1S1R, CRS) and for the bias schemes, reproducing the
+Section IV.B claims: bare 1R arrays stop being readable at a handful of
+word lines; selectors and CRS cells restore scalability.
+"""
+
+import pytest
+
+from repro.analysis import crossbar_scaling_sweep, format_table
+from repro.crossbar import (
+    ALL_SCHEMES,
+    max_readable_size,
+    read_margin,
+)
+from repro.crossbar.selector import CRSJunction, OneSelectorOneR
+
+
+def test_bench_fig3_junction_scaling(benchmark):
+    rows = benchmark(crossbar_scaling_sweep, sizes=(2, 4, 8, 16, 32))
+    table = [
+        [str(r["size"]),
+         f"{r['margin_1R']:.2f}",
+         f"{r['margin_1S1R']:.1f}",
+         f"{r['margin_CRS']:.1f}"]
+        for r in rows
+    ]
+    print()
+    print(format_table(
+        ["n (n x n array)", "1R margin", "1S1R margin", "CRS margin"],
+        table, title="Fig 3: worst-case read margin vs array size",
+    ))
+    # 1R collapses; the countermeasures hold a sense-able margin.
+    assert rows[-1]["margin_1R"] < 2.0
+    assert rows[-1]["margin_1S1R"] > 10.0
+    assert rows[-1]["margin_CRS"] > 10.0
+
+
+def test_bench_fig3_bias_schemes(benchmark):
+    def margins():
+        return {
+            scheme.name: read_margin(8, 8, scheme=scheme).margin
+            for scheme in ALL_SCHEMES
+        }
+
+    result = benchmark(margins)
+    print("\n1R 8x8 margin by bias scheme: "
+          + ", ".join(f"{k}={v:.2f}" for k, v in result.items()))
+    assert result["v/3"] > result["floating"]
+
+
+def test_bench_fig3_max_readable_size(benchmark):
+    def limits():
+        sizes = (2, 4, 8, 16)
+        return {
+            "1R": max_readable_size(sizes),
+            "1S1R": max_readable_size(sizes, lambda r, c: OneSelectorOneR()),
+            "CRS": max_readable_size(sizes, lambda r, c: CRSJunction()),
+        }
+
+    result = benchmark(limits)
+    print(f"\nlargest readable n (margin >= 2): {result}")
+    assert result["1R"] <= 4
+    assert result["CRS"] == 16
+    assert result["1S1R"] == 16

@@ -1,0 +1,64 @@
+"""Fig 4 regeneration: the CRS I-V butterfly curve and threshold map.
+
+Sweeps a triangular voltage across a CRS cell, prints the four
+thresholds and the state sequence, and asserts the Fig 4 signatures:
+the ON-window current spike, the high-resistance storage states, and
+the write thresholds.
+"""
+
+import pytest
+
+from repro.devices import ComplementaryResistiveSwitch, CRSState, triangular_sweep
+
+
+def run_sweep():
+    cell = ComplementaryResistiveSwitch()
+    waveform = triangular_sweep(1.6, points_per_leg=64)
+    return cell, cell.sweep_iv(waveform)
+
+
+def test_bench_fig4_butterfly(benchmark):
+    cell, trace = benchmark(run_sweep)
+    vth1, vth2, vth3, vth4 = cell.thresholds()
+    print(f"\nVth1={vth1:.2f}V  Vth2={vth2:.2f}V  Vth3={vth3:.2f}V  Vth4={vth4:.2f}V")
+
+    # Current in the positive read window (ON state) vs outside it.
+    window = [abs(i) for v, i, s in trace
+              if vth1 * 1.05 < v < vth2 * 0.95 and s is CRSState.ON]
+    beyond = [abs(i) for v, i, s in trace if v > vth2 * 1.05]
+    low = [abs(i) for v, i, s in trace if 0 < v < vth1 * 0.9]
+    print(f"peak window current: {max(window):.3e} A; "
+          f"beyond Vth2: {max(beyond):.3e} A; below Vth1: {max(low):.3e} A")
+
+    assert max(window) > 10 * max(beyond)
+    assert max(window) > 100 * max(low)
+
+    # State sequence visits 0 -> ON -> 1 on the way up.
+    states = [s for _, _, s in trace]
+    i_on = states.index(CRSState.ON)
+    i_one = states.index(CRSState.ONE)
+    assert 0 < i_on < i_one
+
+
+def test_bench_fig4_state_transitions(benchmark):
+    """Quantified Fig 4 inset: write '1' needs V > Vth2, write '0'
+    needs V < Vth4, reads inside (Vth1, Vth2) are destructive for '0'."""
+    def protocol():
+        cell = ComplementaryResistiveSwitch()
+        results = {}
+        cell.write(1)
+        results["after_write1"] = cell.state
+        results["read1"] = cell.read()
+        cell.write(0)
+        results["after_write0"] = cell.state
+        results["read0"] = cell.read(write_back=False)
+        results["after_destructive_read"] = cell.state
+        return results
+
+    results = benchmark(protocol)
+    print(f"\n{results}")
+    assert results["after_write1"] is CRSState.ONE
+    assert results["read1"] == 1
+    assert results["after_write0"] is CRSState.ZERO
+    assert results["read0"] == 0
+    assert results["after_destructive_read"] is CRSState.ON

@@ -1,0 +1,91 @@
+"""Section III.C/IV.C toolchain benches: parallel scheduling and the
+CMOL-style programmable interconnect.
+
+* Scheduling: the "massive parallelism" claim quantified — speedup of
+  lock-step lane execution over serial IMPLY, saturating at the
+  netlist's critical path.
+* Interconnect: routing completion and switch utilisation of the
+  memristive switch fabric as net count grows.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.compiler import (
+    critical_path_pulses,
+    lane_sweep,
+    random_network,
+    schedule_network,
+)
+from repro.interconnect import Net, ProgrammableFabric
+
+
+def test_bench_parallel_scheduling(benchmark):
+    network = random_network(inputs=8, gates=60, outputs=4, seed=9)
+
+    rows = benchmark(lane_sweep, network, (1, 2, 4, 8, 16, 32))
+    print()
+    print(format_table(
+        ["lanes", "latency (pulses)", "speedup", "utilisation"],
+        [[str(r["lanes"]), str(r["latency_pulses"]),
+          f"{r['speedup']:.2f}x", f"{100 * r['utilisation']:.0f}%"]
+         for r in rows],
+        title="Parallel IMPLY scheduling (60-gate random netlist)",
+    ))
+    print(f"critical-path lower bound: {critical_path_pulses(network)} pulses")
+    speedups = [r["speedup"] for r in rows]
+    assert speedups[-1] > 2.0
+    assert speedups == sorted(speedups)
+
+
+def test_bench_schedule_respects_critical_path(benchmark):
+    def check_many():
+        bounds = []
+        for seed in range(5):
+            network = random_network(inputs=6, gates=30, outputs=3, seed=seed)
+            plan = schedule_network(network, lanes=64)
+            bounds.append(
+                (plan.latency_pulses, critical_path_pulses(network))
+            )
+        return bounds
+
+    bounds = benchmark(check_many)
+    for latency, lower in bounds:
+        assert latency >= lower
+
+
+def test_bench_interconnect_routing(benchmark):
+    import numpy as np
+
+    def route_load(nets_count, fabric_edge=12, seed=2):
+        rng = np.random.default_rng(seed)
+        fabric = ProgrammableFabric(fabric_edge, fabric_edge)
+        nets = []
+        while len(nets) < nets_count:
+            src = (int(rng.integers(0, fabric_edge)), int(rng.integers(0, fabric_edge)))
+            dst = (int(rng.integers(0, fabric_edge)), int(rng.integers(0, fabric_edge)))
+            if src != dst:
+                nets.append(Net(src, dst))
+        result = fabric.route_all(nets)
+        return fabric, result
+
+    def sweep():
+        rows = []
+        for count in (5, 15, 30, 60):
+            fabric, result = route_load(count)
+            rows.append((count, result.success_ratio,
+                         fabric.utilisation(), result.wirelength()))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(format_table(
+        ["nets", "completion", "switch utilisation", "wirelength"],
+        [[str(n), f"{100 * s:.0f}%", f"{100 * u:.0f}%", str(w)]
+         for n, s, u, w in rows],
+        title="CMOL fabric routing, 12x12 cells",
+    ))
+    # Light loads complete fully; congestion eventually bites.
+    assert rows[0][1] == 1.0
+    utilisations = [u for _, _, u, _ in rows]
+    assert utilisations == sorted(utilisations)

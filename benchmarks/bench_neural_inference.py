@@ -1,0 +1,82 @@
+"""Section III.C use case: neural inference on analog crossbars.
+
+The paper lists "complex self-learning neural networks" among CIM's
+applications.  This bench maps a trained 2-layer classifier onto
+differential analog crossbars and sweeps the device non-idealities
+(programming noise sigma, conductance levels), reporting the accuracy
+cliff — the quantitative version of the paper's reliability caveat.
+"""
+
+import pytest
+
+from repro.analog import (
+    AnalogSpec,
+    CrossbarMLP,
+    fit_two_layer_classifier,
+    make_blobs,
+)
+from repro.analysis import format_table
+
+
+@pytest.fixture(scope="module")
+def task():
+    xs, labels = make_blobs(samples=300, classes=3, features=4,
+                            spread=0.5, seed=1)
+    layers = fit_two_layer_classifier(xs, labels, hidden=24, classes=3, seed=2)
+    return xs, labels, layers
+
+
+def test_bench_ideal_inference(benchmark, task):
+    xs, labels, layers = task
+    mlp = CrossbarMLP(layers)
+
+    accuracy = benchmark(mlp.accuracy, xs[:60], labels[:60])
+    print(f"\nideal-crossbar accuracy: {accuracy:.3f}; "
+          f"latency/inference: {mlp.inference_latency() * 1e12:.0f} ps "
+          f"(one read pulse per layer)")
+    assert accuracy > 0.9
+
+
+def test_bench_noise_sweep(benchmark, task):
+    xs, labels, layers = task
+
+    def sweep():
+        rows = []
+        for sigma in (0.0, 0.05, 0.1, 0.2, 0.4):
+            scores = [
+                CrossbarMLP(layers, spec=AnalogSpec(sigma=sigma), seed=seed)
+                .accuracy(xs[:100], labels[:100])
+                for seed in range(3)
+            ]
+            rows.append((sigma, sum(scores) / len(scores)))
+        return rows
+
+    rows = benchmark(sweep)
+    print()
+    print(format_table(
+        ["programming sigma", "mean accuracy (3 seeds)"],
+        [[f"{s:.2f}", f"{a:.3f}"] for s, a in rows],
+        title="Analog MLP accuracy vs device variation",
+    ))
+    assert rows[0][1] > 0.9
+    assert rows[0][1] >= rows[-1][1]
+
+
+def test_bench_quantisation_sweep(benchmark, task):
+    xs, labels, layers = task
+
+    def sweep():
+        rows = []
+        for levels in (4, 8, 16, 64, 0):
+            accuracy = CrossbarMLP(
+                layers, spec=AnalogSpec(levels=levels), seed=0
+            ).accuracy(xs[:100], labels[:100])
+            rows.append((levels, accuracy))
+        return rows
+
+    rows = benchmark(sweep)
+    label = lambda lv: "continuous" if lv == 0 else str(lv)
+    print("\naccuracy vs conductance levels: "
+          + ", ".join(f"{label(lv)}: {a:.3f}" for lv, a in rows))
+    # Continuous programming is at least as good as 4-level.
+    assert rows[-1][1] >= rows[0][1] - 0.05

@@ -1,0 +1,67 @@
+"""Table 1 regeneration: derived per-unit quantities from the encoded
+assumption presets.
+
+Prints every derived figure Table 1 quotes (adder latency, comparator
+latency/energy, cluster counts, crossbar sizes) and benchmarks the
+preset construction + derivation path.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.cmosarch import CLA_ADDER_32
+from repro.core.presets import (
+    DNA_CROSSBAR_DEVICES,
+    DNA_PAPER_IMPLIED_UNITS,
+    MATH_CLUSTERS,
+    cim_dna_machine,
+    cim_math_machine,
+    conventional_dna_machine,
+    conventional_math_machine,
+)
+from repro.logic import ComparatorCost, TCAdderCost
+from repro.units import si_format
+
+
+def derive_table1_rows():
+    comparator = ComparatorCost()
+    adder = TCAdderCost(width=32)
+    return [
+        ("CLA adder gates", "208 [52]", str(CLA_ADDER_32.gates)),
+        ("CLA adder latency", "252 ps", si_format(CLA_ADDER_32.latency, "s")),
+        ("CIM comparator memristors", "13", str(comparator.memristors)),
+        ("CIM comparator steps", "16", str(comparator.steps)),
+        ("CIM comparator latency", "3.2 ns", si_format(comparator.latency, "s")),
+        ("CIM comparator energy", "45 fJ", si_format(comparator.dynamic_energy, "J")),
+        ("TC-adder memristors (N=32)", "34", str(adder.memristors)),
+        ("TC-adder steps (4N+5)", "133", str(adder.steps)),
+        ("TC-adder latency", "133 x 200 ps", si_format(adder.latency, "s")),
+        ("TC-adder energy (8*N*1fJ)", "256 fJ", si_format(adder.dynamic_energy, "J")),
+        ("DNA clusters", "18750", str(conventional_dna_machine().machine.clusters)),
+        ("DNA crossbar devices", "1.536e8", f"{DNA_CROSSBAR_DEVICES:.4g}"),
+        ("Math clusters", "31250", str(MATH_CLUSTERS)),
+        ("CIM DNA units (paper-implied)", "600000", str(DNA_PAPER_IMPLIED_UNITS)),
+    ]
+
+
+def test_bench_table1_derivations(benchmark):
+    rows = benchmark(derive_table1_rows)
+    print()
+    print(format_table(["Quantity", "Table 1", "Reproduced"], rows,
+                       title="Table 1 derived assumption check"))
+    # Sanity pins on the headline derivations.
+    assert rows[3][2] == "16"
+    assert rows[7][2] == "133"
+
+
+def test_bench_preset_construction(benchmark):
+    def build_all():
+        return (
+            conventional_dna_machine(),
+            conventional_math_machine(),
+            cim_dna_machine("paper"),
+            cim_math_machine(),
+        )
+
+    machines = benchmark(build_all)
+    assert machines[2].units == 600000

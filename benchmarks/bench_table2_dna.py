@@ -1,0 +1,70 @@
+"""Table 2, DNA-sequencing column: Conv vs CIM on the healthcare
+workload (6e9 comparisons, 50% hit ratio).
+
+Prints the three metrics for both architectures next to the paper's
+values and the improvement factors.  See EXPERIMENTS.md for why the
+paper's DNA *energy* absolutes are not reconstructible (unit
+double-count) while the execution time and the qualitative result are.
+"""
+
+import pytest
+
+from repro.analysis import format_sci, format_table
+from repro.core import (
+    PAPER_TABLE2,
+    cim_dna_machine,
+    conventional_dna_machine,
+    dna_paper_workload,
+    evaluate_pair,
+    metrics_from_report,
+)
+
+
+def evaluate_dna(packing="paper"):
+    return evaluate_pair(
+        conventional_dna_machine(), cim_dna_machine(packing), dna_paper_workload()
+    )
+
+
+def test_bench_table2_dna(benchmark):
+    conv, cim, factors = benchmark(evaluate_dna)
+    conv_metrics = metrics_from_report(conv)
+    cim_metrics = metrics_from_report(cim)
+
+    rows = []
+    for key, label in [
+        ("energy_delay_per_op", "Energy-delay/op"),
+        ("computing_efficiency", "Computing efficiency"),
+        ("performance_per_area", "Performance/area"),
+    ]:
+        rows.append([
+            label, "Conv",
+            format_sci(conv_metrics.as_dict()[key]),
+            format_sci(PAPER_TABLE2[("dna", "conventional")][key]),
+        ])
+        rows.append([
+            "", "CIM",
+            format_sci(cim_metrics.as_dict()[key]),
+            format_sci(PAPER_TABLE2[("dna", "cim")][key]),
+        ])
+    print()
+    print(format_table(["Metric", "Arch", "Ours", "Paper"], rows,
+                       title="Table 2 / DNA sequencing"))
+    print(f"improvements: EDP x{factors.energy_delay:.3g}, "
+          f"ops/J x{factors.computing_efficiency:.3g}, "
+          f"perf/area x{factors.performance_per_area:.3g}")
+
+    # Reproduction pins: execution time and the qualitative result.
+    assert conv.time == pytest.approx(0.0830, rel=0.01)
+    assert factors.all_improvements()
+    assert factors.computing_efficiency > 1e3
+
+
+def test_bench_table2_dna_max_packing(benchmark):
+    """The architecture's actual potential: pack the full crossbar with
+    comparators (11.8M units) instead of the paper-implied 600k."""
+    conv, cim, factors = benchmark(lambda: evaluate_dna("max"))
+    print(f"\nmax packing: {cim.parallel_units} comparators, "
+          f"T={cim.time:.3e}s vs conv {conv.time:.3e}s")
+    assert cim.parallel_units > 10**7
+    assert cim.time < conv.time / 10

@@ -1,0 +1,72 @@
+"""Table 2, mathematics column: Conv vs CIM on 10^6 parallel 32-bit
+additions (98% hit ratio).
+
+This is the quantitatively recoverable half of Table 2: our model
+reproduces the paper's conventional EDP/efficiency and the CIM
+EDP/efficiency to <0.5%, and the improvement ratios (162.5x EDP,
+599x ops/J) to <1%.
+"""
+
+import pytest
+
+from repro.analysis import format_sci, format_table
+from repro.core import (
+    PAPER_TABLE2,
+    cim_math_machine,
+    conventional_math_machine,
+    evaluate_pair,
+    math_paper_workload,
+    metrics_from_report,
+)
+
+
+def evaluate_math():
+    return evaluate_pair(
+        conventional_math_machine(), cim_math_machine(), math_paper_workload()
+    )
+
+
+def test_bench_table2_math(benchmark):
+    conv, cim, factors = benchmark(evaluate_math)
+    conv_metrics = metrics_from_report(conv).as_dict()
+    cim_metrics = metrics_from_report(cim).as_dict()
+
+    rows = []
+    for key, label in [
+        ("energy_delay_per_op", "Energy-delay/op"),
+        ("computing_efficiency", "Computing efficiency"),
+        ("performance_per_area", "Performance/area"),
+    ]:
+        rows.append([label, "Conv", format_sci(conv_metrics[key]),
+                     format_sci(PAPER_TABLE2[("math", "conventional")][key])])
+        rows.append(["", "CIM", format_sci(cim_metrics[key]),
+                     format_sci(PAPER_TABLE2[("math", "cim")][key])])
+    print()
+    print(format_table(["Metric", "Arch", "Ours", "Paper"], rows,
+                       title="Table 2 / 10^6 additions"))
+    print(f"improvements: EDP x{factors.energy_delay:.4g}, "
+          f"ops/J x{factors.computing_efficiency:.4g}, "
+          f"perf/area x{factors.performance_per_area:.4g}")
+
+    # Quantitative reproduction pins.
+    assert conv_metrics["energy_delay_per_op"] == pytest.approx(
+        PAPER_TABLE2[("math", "conventional")]["energy_delay_per_op"], rel=0.002
+    )
+    assert cim_metrics["computing_efficiency"] == pytest.approx(
+        PAPER_TABLE2[("math", "cim")]["computing_efficiency"], rel=0.0005
+    )
+    assert factors.energy_delay == pytest.approx(162.5, rel=0.01)
+    assert factors.computing_efficiency == pytest.approx(599.0, rel=0.01)
+
+
+def test_bench_energy_breakdown(benchmark):
+    """Where the conventional joules go: the cache-static domination
+    that motivates CIM (Section II.B's 70-90% claim)."""
+    conv, cim, _ = benchmark(evaluate_math)
+    breakdown = conv.energy_breakdown
+    total = conv.energy
+    print("\nconventional energy breakdown:")
+    for component, joules in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        print(f"  {component:15s} {joules:.3e} J  ({100 * joules / total:.1f}%)")
+    assert breakdown["cache_static"] / total > 0.9
+    assert cim.energy_breakdown["crossbar_static"] == 0.0

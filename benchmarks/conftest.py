@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (see the
+per-experiment index in DESIGN.md) and prints its data rows, so a
+``pytest benchmarks/ --benchmark-only -s`` run doubles as the
+reproduction report.
+"""

@@ -1,0 +1,74 @@
+"""In-memory database search — the §II.B "in memory computing/database"
+class, executed on CIM primitives.
+
+Run:
+    python examples/database_search.py
+
+Builds a CAM-indexed column-store table inside crossbar memories,
+answers equality selects with one associative search, compares against
+the conventional row-scan cost model, and finishes with the junction
+tiling study: which cross-point technology a database machine should be
+built from.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.apps.db import CIMTable, Column, select_speedup
+from repro.core import TilingStudy
+from repro.units import si_format
+
+ROWS = 56
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    table = CIMTable(
+        [Column("customer", 8), Column("amount", 8), Column("region", 4)],
+        capacity=64,
+    )
+    for _ in range(ROWS):
+        table.insert(
+            customer=int(rng.integers(0, 24)),
+            amount=int(rng.integers(0, 256)),
+            region=int(rng.integers(0, 8)),
+        )
+    print(f"table: {len(table)} rows x {len(table.columns)} columns "
+          f"(key: {table.key_column.name})")
+
+    print("\n1) equality selects (one CAM search each)")
+    for key in (3, 7, 19):
+        matches = table.select_equal(key)
+        amounts = [table.fetch(row, "amount") for row in matches]
+        print(f"   customer={key}: rows {matches}, amounts {amounts}")
+
+    print("\n2) associative search vs conventional scan")
+    cam, scan, speedup = select_speedup(table, 7)
+    print(f"   CAM: {si_format(cam.latency, 's')}, "
+          f"{si_format(cam.energy, 'J')}  |  "
+          f"scan: {si_format(scan.latency, 's')}, "
+          f"{si_format(scan.energy, 'J')}  ->  {speedup:.0f}x faster")
+
+    total = table.sum_column("amount")
+    print(f"\n3) aggregation: sum(amount) = {total} "
+          f"({si_format(table.query_log[-1].latency, 's')})")
+
+    print("\n4) which junction should the database machine use?")
+    study = TilingStudy(devices=10**6, min_margin=2.0)
+    rows = []
+    for name, report in study.compare().items():
+        rows.append([
+            name,
+            str(report.tile_edge) if report.feasible else "infeasible",
+            f"x{report.periphery_area_ratio:.0f}" if report.feasible else "-",
+        ])
+    print(format_table(
+        ["junction", "feasible tile edge", "periphery/junction area"], rows,
+    ))
+    print("   -> CRS tiles amortise the CMOS periphery ~65x better than "
+          "bare 1R:\n      the Section IV.B device work is what makes the "
+          "database machine buildable.")
+
+
+if __name__ == "__main__":
+    main()

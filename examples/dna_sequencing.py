@@ -1,0 +1,93 @@
+"""DNA read mapping end to end — the paper's healthcare use case.
+
+Run:
+    python examples/dna_sequencing.py
+
+Pipeline (Section III.B.1): build a synthetic reference genome, sample
+error-bearing short reads at a given coverage, build the *sorted index*
+the paper describes, map every read, and then do what the paper could
+only assume:
+
+1. measure the actual cache hit ratio of the index's probe stream by
+   replaying it through a functional 8 kB L1 (the paper assumes 50%);
+2. convert the measured operation counts into a workload and evaluate
+   it on both architecture models, showing the CIM advantage survives
+   measured (not just assumed) parameters.
+"""
+
+from repro.apps.dna import (
+    PileupCaller,
+    ReadMapper,
+    SortedKmerIndex,
+    generate_reads,
+    measure_cache_hit_ratio,
+    measured_workload,
+    plant_variants,
+    random_genome,
+    score_calls,
+)
+from repro.core import (
+    cim_dna_machine,
+    conventional_dna_machine,
+    improvement,
+    metrics_from_report,
+)
+from repro.units import si_format
+
+GENOME_BASES = 50_000
+COVERAGE = 3
+READ_LENGTH = 80
+ERROR_RATE = 0.01
+
+
+def main() -> None:
+    print(f"reference genome: {GENOME_BASES} bases (synthetic)")
+    genome = random_genome(GENOME_BASES, seed=7)
+
+    reads = generate_reads(genome, coverage=COVERAGE, read_length=READ_LENGTH,
+                           error_rate=ERROR_RATE, seed=8)
+    print(f"short reads: {len(reads)} x {READ_LENGTH} bases at "
+          f"{COVERAGE}x coverage, {100 * ERROR_RATE:.1f}% substitution errors")
+
+    index = SortedKmerIndex(genome, k=16)
+    print(f"sorted index: {len(index)} 16-mers")
+
+    mapper = ReadMapper(index, max_mismatches=3)
+    stats = mapper.map_all(reads)
+    print(f"mapping accuracy: {100 * stats.accuracy:.1f}% "
+          f"({stats.reads_correct}/{stats.reads_mapped})")
+    print(f"character comparisons: {stats.char_comparisons}, "
+          f"index comparisons: {stats.index_comparisons}")
+
+    hit_ratio = measure_cache_hit_ratio(index)
+    print(f"\nmeasured 8 kB L1 hit ratio of index probes: {hit_ratio:.2f}  "
+          f"(Table 1 assumes 0.50 — the sorted index destroys locality)")
+
+    workload = measured_workload(stats, hit_ratio)
+    conv = conventional_dna_machine().evaluate(workload)
+    cim = cim_dna_machine("paper").evaluate(workload)
+    factors = improvement(metrics_from_report(conv), metrics_from_report(cim))
+
+    print("\narchitecture projection of the measured workload:")
+    for report in (conv, cim):
+        print(f"  {report.machine:18s} T={si_format(report.time, 's'):>10s}  "
+              f"E={si_format(report.energy, 'J'):>10s}")
+    print(f"CIM improvement: EDP x{factors.energy_delay:.3g}, "
+          f"ops/J x{factors.computing_efficiency:.3g}, "
+          f"perf/area x{factors.performance_per_area:.3g}")
+
+    print("\nclinical endpoint: variant calling (paper ref [51])")
+    donor, truth = plant_variants(genome, count=15, seed=9)
+    donor_reads = generate_reads(donor, coverage=12, read_length=READ_LENGTH,
+                                 error_rate=ERROR_RATE, seed=10)
+    donor_mapper = ReadMapper(SortedKmerIndex(genome, k=16), max_mismatches=4)
+    donor_stats = donor_mapper.map_all(donor_reads)
+    caller = PileupCaller(genome)
+    caller.add_mapped(donor_stats, donor_reads)
+    score = score_calls(caller.call(), truth)
+    print(f"planted {len(truth)} SNVs at 12x coverage: "
+          f"recall {score.recall:.2f}, precision {score.precision:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — reproduction of Hamdioui et al., "Memristor Based
+Computation-in-Memory Architecture for Data-Intensive Applications"
+(DATE 2015).
+
+The package is organised bottom-up, mirroring the paper:
+
+* :mod:`repro.devices` — memristor models (Section IV.A) incl. the CRS
+  cell of Fig 4 and the Table 1 technology profiles.
+* :mod:`repro.crossbar` — passive crossbar electrical simulation,
+  sneak paths, bias schemes, junction options (Fig 3, Section IV.B).
+* :mod:`repro.logic` — IMPLY stateful logic, gates, adders,
+  comparators, LUTs, CAM (Fig 5, Section IV.C).
+* :mod:`repro.cmosarch` — the conventional CMOS substrate of Table 1.
+* :mod:`repro.core` — the CIM architecture model and the Table 2
+  evaluation (Sections II-III).
+* :mod:`repro.apps` — the DNA-sequencing and parallel-addition
+  workloads (Section III.B).
+* :mod:`repro.sim` — a bit-accurate functional CIM machine.
+* :mod:`repro.analysis` — reports and parameter sweeps.
+
+Quick start::
+
+    from repro.core import table2
+    from repro.analysis import render_table2
+    print(render_table2(table2()))
+"""
+
+from . import analog, analysis, apps, cmosarch, compiler, core, crossbar, devices, interconnect, logic, reliability, sim, units
+from .errors import (
+    ArchitectureError,
+    CrossbarError,
+    DeviceError,
+    LogicError,
+    ReproError,
+    SynthesisError,
+    WorkloadError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "devices",
+    "analog",
+    "compiler",
+    "reliability",
+    "interconnect",
+    "crossbar",
+    "logic",
+    "cmosarch",
+    "core",
+    "apps",
+    "sim",
+    "analysis",
+    "units",
+    "ReproError",
+    "DeviceError",
+    "CrossbarError",
+    "LogicError",
+    "ArchitectureError",
+    "WorkloadError",
+    "SynthesisError",
+    "__version__",
+]

@@ -1,0 +1,155 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Gives downstream users the headline reproductions without writing any
+code:
+
+* ``table2`` — the reproduced Table 2 next to the paper's values;
+* ``machines`` — per-machine time/energy/area evaluations;
+* ``fig1`` — the architecture-class ordering;
+* ``fig4`` — CRS thresholds and the I-V sweep summary;
+* ``fig5`` — both IMP implementations' truth tables;
+* ``scaling`` — the data-volume scaling study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table, render_machine_reports, render_table2
+from .units import si_format
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .core import table2
+
+    print(render_table2(table2(dna_packing=args.packing)))
+    return 0
+
+
+def _cmd_machines(args: argparse.Namespace) -> int:
+    print(render_machine_reports())
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from .core import classify_all
+
+    rows = [
+        [cost.architecture.value,
+         si_format(cost.energy_per_op, "J"),
+         si_format(cost.latency_per_op, "s"),
+         f"{100 * cost.communication_fraction:.1f}%"]
+        for cost in classify_all(operands_per_op=args.operands)
+    ]
+    print(format_table(
+        ["Class", "E/op", "T/op", "comm share"], rows,
+        title=f"Fig 1 at {args.operands} operands/op",
+    ))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from .devices import ComplementaryResistiveSwitch, triangular_sweep
+
+    cell = ComplementaryResistiveSwitch()
+    vth = cell.thresholds()
+    print(f"CRS thresholds: Vth1={vth[0]:.2f} V, Vth2={vth[1]:.2f} V, "
+          f"Vth3={vth[2]:.2f} V, Vth4={vth[3]:.2f} V")
+    trace = cell.sweep_iv(triangular_sweep(1.6, 48))
+    states = " -> ".join(
+        dict.fromkeys(state.value for _, _, state in trace)
+    )
+    peak = max(abs(current) for _, current, _ in trace)
+    print(f"I-V sweep: states {states}; peak |I| = {peak:.3e} A")
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    import itertools
+
+    from .devices import IdealBipolarMemristor
+    from .logic import CRSImplyCell, ImplyGate
+
+    gate = ImplyGate()
+    crs = CRSImplyCell()
+    rows = []
+    for p, q in itertools.product((0, 1), repeat=2):
+        device_p = IdealBipolarMemristor(x=float(p))
+        device_q = IdealBipolarMemristor(x=float(q))
+        rows.append([str(p), str(q),
+                     str(gate.apply(device_p, device_q)),
+                     str(crs.imply(p, q))])
+    print(format_table(["p", "q", "Fig 5(a)", "Fig 5(b) CRS"], rows,
+                       title="p IMP q, both implementations"))
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from .core.scaling import coverage_sweep
+
+    rows = [
+        [str(r["coverage"]),
+         si_format(r["conv_time"], "s"),
+         si_format(r["cim_time"], "s"),
+         f"{r['time_advantage']:.1f}x",
+         f"{r['energy_advantage']:.3g}x"]
+        for r in coverage_sweep()
+    ]
+    print(format_table(
+        ["coverage", "conv T", "CIM T", "time adv", "energy adv"],
+        rows, title="DNA data-volume scaling at fixed silicon",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the DATE 2015 memristor CIM paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table2 = sub.add_parser("table2", help="reproduce Table 2")
+    table2.add_argument("--packing", choices=("paper", "max"),
+                        default="paper",
+                        help="CIM DNA comparator packing (default: paper)")
+    table2.set_defaults(handler=_cmd_table2)
+
+    machines = sub.add_parser("machines", help="per-machine evaluations")
+    machines.set_defaults(handler=_cmd_machines)
+
+    fig1 = sub.add_parser("fig1", help="architecture classification")
+    fig1.add_argument("--operands", type=float, default=3.0,
+                      help="operand transfers per operation (default 3)")
+    fig1.set_defaults(handler=_cmd_fig1)
+
+    fig4 = sub.add_parser("fig4", help="CRS cell characterisation")
+    fig4.set_defaults(handler=_cmd_fig4)
+
+    fig5 = sub.add_parser("fig5", help="IMP truth tables")
+    fig5.set_defaults(handler=_cmd_fig5)
+
+    scaling = sub.add_parser("scaling", help="data-volume scaling study")
+    scaling.set_defaults(handler=_cmd_scaling)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): not an error.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

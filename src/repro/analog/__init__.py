@@ -1,0 +1,26 @@
+"""Analog crossbar computing — the neural/analogue use case of §III.C.
+
+Public API: :class:`AnalogCrossbar` (one-pulse VMM with quantisation,
+variation and IR-drop), :class:`DifferentialCrossbar` (signed weights),
+:class:`CrossbarMLP` + training/data helpers.
+"""
+
+from .crossbar import AnalogCrossbar, AnalogSpec, DifferentialCrossbar
+from .network import (
+    CrossbarMLP,
+    LayerWeights,
+    fit_two_layer_classifier,
+    make_blobs,
+    relu,
+)
+
+__all__ = [
+    "AnalogCrossbar",
+    "AnalogSpec",
+    "DifferentialCrossbar",
+    "CrossbarMLP",
+    "LayerWeights",
+    "fit_two_layer_classifier",
+    "make_blobs",
+    "relu",
+]

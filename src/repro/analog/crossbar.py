@@ -1,0 +1,246 @@
+"""Analog crossbar vector-matrix multiplication (VMM).
+
+Section III.C lists "complex self-learning neural networks" and
+"neural and analogue computing" among the CIM architecture's
+applications [45, 61].  The enabling primitive is the analog crossbar:
+programming a weight matrix as junction conductances turns one read
+pulse into a full vector-matrix product — Ohm's law multiplies, and
+Kirchhoff's current law sums down each bitline:
+
+    I_j = sum_i  V_i * G[i, j]
+
+:class:`AnalogCrossbar` models this including the non-idealities that
+dominate real arrays: finite conductance range (G_min..G_max),
+quantised programming levels, lognormal device variation, and optional
+wire IR drop (via the full nodal solver).  Differential weight encoding
+(two columns per signed weight) is provided on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..crossbar.solver import solve_with_wire_resistance
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import CrossbarError
+
+
+@dataclass(frozen=True)
+class AnalogSpec:
+    """Programming characteristics of an analog crossbar.
+
+    Attributes
+    ----------
+    g_min, g_max:
+        Programmable conductance range in siemens (defaults derive from
+        the 5 nm profile's R_off/R_on).
+    levels:
+        Distinct programmable conductance levels per device (``0`` means
+        continuous/ideal programming).
+    sigma:
+        Lognormal programming-error sigma (0 = exact programming).
+    v_read:
+        Read voltage amplitude used to encode the input vector.
+    """
+
+    g_min: float = 1e-6
+    g_max: float = 1e-3
+    levels: int = 0
+    sigma: float = 0.0
+    v_read: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.g_min <= 0 or self.g_max <= self.g_min:
+            raise CrossbarError(
+                f"need 0 < g_min < g_max (got {self.g_min}, {self.g_max})"
+            )
+        if self.levels < 0:
+            raise CrossbarError(f"levels must be >= 0, got {self.levels}")
+        if self.sigma < 0:
+            raise CrossbarError(f"sigma must be >= 0, got {self.sigma}")
+        if self.v_read <= 0:
+            raise CrossbarError(f"v_read must be positive, got {self.v_read}")
+
+
+class AnalogCrossbar:
+    """A rows x cols analog conductance array computing VMM in one step.
+
+    Rows are inputs (voltages), columns outputs (currents).  Weights in
+    an arbitrary real range are affinely mapped onto the conductance
+    window; :meth:`matvec` returns the *weight-domain* result, undoing
+    the mapping, so callers work entirely in their own units.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        spec: Optional[AnalogSpec] = None,
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+        seed: Optional[int] = None,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise CrossbarError(f"dimensions must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.spec = spec if spec is not None else AnalogSpec()
+        self.technology = technology
+        self._rng = np.random.default_rng(seed)
+        self._g = np.full((rows, cols), self.spec.g_min)
+        self._w_min = 0.0
+        self._w_max = 1.0
+
+    # -- programming -----------------------------------------------------
+
+    def _quantise(self, g: np.ndarray) -> np.ndarray:
+        if self.spec.levels == 0:
+            return g
+        grid = np.linspace(self.spec.g_min, self.spec.g_max, self.spec.levels)
+        indices = np.abs(g[..., None] - grid).argmin(axis=-1)
+        return grid[indices]
+
+    def program(self, weights: np.ndarray) -> None:
+        """Map *weights* onto conductances and program the array.
+
+        The weight range observed in the matrix defines the affine map;
+        a constant matrix maps to mid-range conductance.  Programming
+        applies quantisation then lognormal error, in that order (the
+        write-verify loop targets the quantised level; the residual
+        error is the device's).
+        """
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (self.rows, self.cols):
+            raise CrossbarError(
+                f"weights shape {w.shape} does not match array "
+                f"{self.rows}x{self.cols}"
+            )
+        if not np.isfinite(w).all():
+            raise CrossbarError("weights must be finite")
+        self._w_min = float(w.min())
+        self._w_max = float(w.max())
+        span = self._w_max - self._w_min
+        if span == 0:
+            normalised = np.full_like(w, 0.5)
+        else:
+            normalised = (w - self._w_min) / span
+        g = self.spec.g_min + normalised * (self.spec.g_max - self.spec.g_min)
+        g = self._quantise(g)
+        if self.spec.sigma > 0:
+            g = g * np.exp(self._rng.normal(0.0, self.spec.sigma, g.shape))
+            g = np.clip(g, self.spec.g_min, self.spec.g_max)
+        self._g = g
+
+    @property
+    def conductances(self) -> np.ndarray:
+        """Programmed conductance matrix (siemens), copy."""
+        return self._g.copy()
+
+    # -- compute ----------------------------------------------------------
+
+    def column_currents(
+        self, inputs: np.ndarray, wire_resistance: Optional[float] = None
+    ) -> np.ndarray:
+        """Raw bitline currents for the given input vector.
+
+        Inputs are normalised to [0, 1] of the read voltage by the
+        caller's convention; *wire_resistance* switches from the ideal
+        Kirchhoff sum to the full IR-drop nodal solve.
+        """
+        v = np.asarray(inputs, dtype=float)
+        if v.shape != (self.rows,):
+            raise CrossbarError(
+                f"input length {v.shape} does not match {self.rows} rows"
+            )
+        voltages = v * self.spec.v_read
+        if wire_resistance is None:
+            return voltages @ self._g
+        row_drive = {i: float(voltages[i]) for i in range(self.rows)}
+        col_drive = {j: 0.0 for j in range(self.cols)}
+        solution = solve_with_wire_resistance(
+            self._g, row_drive, col_drive, wire_resistance=wire_resistance
+        )
+        return solution.col_currents
+
+    def matvec(
+        self, inputs: np.ndarray, wire_resistance: Optional[float] = None
+    ) -> np.ndarray:
+        """Weight-domain vector-matrix product ``inputs @ W``.
+
+        Undoes the conductance mapping:
+        ``I_j = v_read * (x @ G_j)`` with ``G = g_min + n*(g_max-g_min)``
+        gives ``x @ W = (I/v_read - g_min*sum(x)) / slope * span + w_min*sum(x)``.
+        """
+        x = np.asarray(inputs, dtype=float)
+        currents = self.column_currents(x, wire_resistance)
+        span = self._w_max - self._w_min
+        slope = (self.spec.g_max - self.spec.g_min)
+        sum_x = x.sum()
+        normalised = (currents / self.spec.v_read - self.spec.g_min * sum_x) / slope
+        return normalised * span + self._w_min * sum_x
+
+    # -- cost -----------------------------------------------------------------
+
+    def read_energy(self, inputs: np.ndarray) -> float:
+        """Energy of one VMM evaluation: resistive dissipation over one
+        read pulse of one write-time duration (joules)."""
+        v = np.asarray(inputs, dtype=float) * self.spec.v_read
+        power = float((v ** 2) @ self._g.sum(axis=1))
+        return power * self.technology.write_time
+
+    def latency(self) -> float:
+        """One VMM = one read pulse, independent of matrix size — the
+        O(1) analog-compute property."""
+        return self.technology.write_time
+
+    def area(self) -> float:
+        """Junction area in m^2."""
+        return self.rows * self.cols * self.technology.cell_area
+
+
+class DifferentialCrossbar:
+    """Signed weights via weight splitting over two column sets.
+
+    ``W = W_plus - W_minus`` with both halves non-negative; the output
+    is the difference of the two crossbars' results.  This is the
+    standard technique for carrying signed neural-network weights on
+    unipolar conductances.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        spec: Optional[AnalogSpec] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.positive = AnalogCrossbar(rows, cols, spec, seed=seed)
+        self.negative = AnalogCrossbar(
+            rows, cols, spec, seed=None if seed is None else seed + 1
+        )
+        self.rows = rows
+        self.cols = cols
+
+    def program(self, weights: np.ndarray) -> None:
+        """Split signed *weights* and program both halves."""
+        w = np.asarray(weights, dtype=float)
+        if w.shape != (self.rows, self.cols):
+            raise CrossbarError(
+                f"weights shape {w.shape} does not match array "
+                f"{self.rows}x{self.cols}"
+            )
+        self.positive.program(np.maximum(w, 0.0))
+        self.negative.program(np.maximum(-w, 0.0))
+
+    def matvec(self, inputs: np.ndarray) -> np.ndarray:
+        """Signed VMM: positive-half result minus negative-half result."""
+        return self.positive.matvec(inputs) - self.negative.matvec(inputs)
+
+    def read_energy(self, inputs: np.ndarray) -> float:
+        """Both halves fire on every evaluation."""
+        return self.positive.read_energy(inputs) + self.negative.read_energy(inputs)
+
+    def area(self) -> float:
+        return self.positive.area() + self.negative.area()

@@ -1,0 +1,186 @@
+"""Crossbar-mapped neural network inference.
+
+The "advanced artificial neural brains" use case of Section III.C,
+concretely: a multi-layer perceptron whose every dense layer is a
+:class:`~repro.analog.crossbar.DifferentialCrossbar`, evaluated with
+one read pulse per layer.  Training happens in floating point (simple
+ridge-regression/perceptron fitting — this repo is about the hardware
+mapping, not SGD research); inference runs on the analog arrays,
+optionally with programming noise and quantisation, so accuracy-vs-
+non-ideality studies are one function call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import CrossbarError
+from .crossbar import AnalogSpec, DifferentialCrossbar
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+@dataclass
+class LayerWeights:
+    """Dense layer parameters: ``y = activation(x @ w + b)``."""
+
+    w: np.ndarray
+    b: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.w.ndim != 2 or self.b.ndim != 1:
+            raise CrossbarError("layer needs 2-D weights and 1-D bias")
+        if self.w.shape[1] != self.b.shape[0]:
+            raise CrossbarError(
+                f"bias length {self.b.shape[0]} does not match "
+                f"{self.w.shape[1]} outputs"
+            )
+
+
+class CrossbarMLP:
+    """An MLP whose dense layers live on differential analog crossbars.
+
+    The bias is folded into the crossbar as one extra always-on input
+    row (the standard trick), so a whole layer is exactly one VMM.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[LayerWeights],
+        spec: Optional[AnalogSpec] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not layers:
+            raise CrossbarError("need at least one layer")
+        for first, second in zip(layers, layers[1:]):
+            if first.w.shape[1] != second.w.shape[0]:
+                raise CrossbarError(
+                    f"layer shapes do not chain: {first.w.shape} -> "
+                    f"{second.w.shape}"
+                )
+        self.layers = list(layers)
+        self.arrays: List[DifferentialCrossbar] = []
+        for index, layer in enumerate(self.layers):
+            rows = layer.w.shape[0] + 1          # +1 bias row
+            array = DifferentialCrossbar(
+                rows, layer.w.shape[1], spec,
+                seed=None if seed is None else seed + 17 * index,
+            )
+            array.program(np.vstack([layer.w, layer.b[None, :]]))
+            self.arrays.append(array)
+
+    # -- inference --------------------------------------------------------
+
+    def forward_float(self, x: np.ndarray) -> np.ndarray:
+        """Reference floating-point forward pass (golden model)."""
+        h = np.asarray(x, dtype=float)
+        for index, layer in enumerate(self.layers):
+            h = h @ layer.w + layer.b
+            if index < len(self.layers) - 1:
+                h = relu(h)
+        return h
+
+    def forward_analog(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass on the crossbars (one VMM per layer)."""
+        h = np.asarray(x, dtype=float)
+        for index, array in enumerate(self.arrays):
+            h = array.matvec(np.append(h, 1.0))
+            if index < len(self.arrays) - 1:
+                h = relu(h)
+        return h
+
+    def predict(self, x: np.ndarray) -> int:
+        """Argmax class of one sample, evaluated on the crossbars."""
+        return int(np.argmax(self.forward_analog(x)))
+
+    def accuracy(self, xs: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy of the analog forward pass."""
+        xs = np.asarray(xs, dtype=float)
+        labels = np.asarray(labels)
+        if len(xs) != len(labels):
+            raise CrossbarError("sample/label count mismatch")
+        hits = sum(self.predict(x) == int(label) for x, label in zip(xs, labels))
+        return hits / len(labels)
+
+    # -- cost ---------------------------------------------------------------
+
+    def inference_latency(self) -> float:
+        """Read-pulse latency summed over layers (activation time is
+        charged to the CMOS periphery, outside this model)."""
+        return sum(a.positive.latency() for a in self.arrays)
+
+    def inference_energy(self, x: np.ndarray) -> float:
+        """Energy of one forward pass at input *x*."""
+        h = np.asarray(x, dtype=float)
+        total = 0.0
+        for index, array in enumerate(self.arrays):
+            h_in = np.append(h, 1.0)
+            total += array.read_energy(np.abs(h_in))
+            h = array.matvec(h_in)
+            if index < len(self.arrays) - 1:
+                h = relu(h)
+        return total
+
+    def area(self) -> float:
+        """Total crossbar junction area (m^2)."""
+        return sum(a.area() for a in self.arrays)
+
+
+def fit_two_layer_classifier(
+    xs: np.ndarray,
+    labels: np.ndarray,
+    hidden: int = 16,
+    classes: int = 2,
+    seed: int = 0,
+    ridge: float = 1e-3,
+) -> List[LayerWeights]:
+    """Train a small two-layer network by random features + ridge
+    regression (extreme-learning-machine style).
+
+    The first layer is a fixed random projection with ReLU; the second
+    is solved in closed form against one-hot targets.  Deterministic,
+    dependency-free, and strong enough for the synthetic benchmarks —
+    the point is the *crossbar mapping*, not the training algorithm.
+    """
+    xs = np.asarray(xs, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if xs.ndim != 2:
+        raise CrossbarError("xs must be 2-D (samples x features)")
+    if len(xs) != len(labels):
+        raise CrossbarError("sample/label count mismatch")
+    if hidden < 1 or classes < 2:
+        raise CrossbarError("need hidden >= 1 and classes >= 2")
+    rng = np.random.default_rng(seed)
+    w1 = rng.normal(0.0, 1.0 / np.sqrt(xs.shape[1]), (xs.shape[1], hidden))
+    b1 = rng.normal(0.0, 0.1, hidden)
+    h = relu(xs @ w1 + b1)
+    targets = np.eye(classes)[labels]
+    h_aug = np.hstack([h, np.ones((len(h), 1))])
+    gram = h_aug.T @ h_aug + ridge * np.eye(h_aug.shape[1])
+    solution = np.linalg.solve(gram, h_aug.T @ targets)
+    w2, b2 = solution[:-1], solution[-1]
+    return [LayerWeights(w1, b1), LayerWeights(w2, b2)]
+
+
+def make_blobs(
+    samples: int = 200,
+    classes: int = 2,
+    features: int = 2,
+    spread: float = 0.6,
+    seed: int = 0,
+):
+    """Gaussian-blob classification data (numpy-only stand-in for the
+    sklearn helper)."""
+    if samples < classes:
+        raise CrossbarError("need at least one sample per class")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-3.0, 3.0, (classes, features))
+    labels = rng.integers(0, classes, samples)
+    xs = centers[labels] + rng.normal(0.0, spread, (samples, features))
+    return xs, labels

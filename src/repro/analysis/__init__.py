@@ -1,0 +1,16 @@
+"""Reporting and sweep utilities shared by benchmarks and examples."""
+
+from .report import METRIC_LABELS, render_machine_reports, render_table2
+from .sweeps import adder_width_sweep, crossbar_scaling_sweep, hit_ratio_sweep
+from .tables import format_sci, format_table
+
+__all__ = [
+    "format_table",
+    "format_sci",
+    "render_table2",
+    "render_machine_reports",
+    "METRIC_LABELS",
+    "hit_ratio_sweep",
+    "adder_width_sweep",
+    "crossbar_scaling_sweep",
+]

@@ -1,0 +1,58 @@
+"""Paper-vs-measured reporting for the Table 2 reproduction."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.evaluate import Table2Result, table2
+from .tables import format_sci, format_table
+
+#: Table 2 row labels in the paper's order, mapped to metric keys.
+METRIC_LABELS = [
+    ("Energy-delay/operations", "energy_delay_per_op"),
+    ("Computing efficiency", "computing_efficiency"),
+    ("Performance/area", "performance_per_area"),
+]
+
+
+def render_table2(result: Table2Result = None) -> str:
+    """Render the reproduced Table 2 next to the paper's values.
+
+    One row per (metric, architecture), with columns for both
+    applications, both sources, and the reproduced CIM/Conv ratio —
+    the comparison DESIGN.md says is the meaningful one.
+    """
+    if result is None:
+        result = table2()
+    rows: List[List[str]] = []
+    for label, key in METRIC_LABELS:
+        for arch in ("conventional", "cim"):
+            rows.append([
+                label if arch == "conventional" else "",
+                arch,
+                format_sci(result.metric("dna", arch, key)),
+                format_sci(result.paper_metric("dna", arch, key)),
+                format_sci(result.metric("math", arch, key)),
+                format_sci(result.paper_metric("math", arch, key)),
+            ])
+    table = format_table(
+        ["Metric", "Arch", "DNA (ours)", "DNA (paper)", "Math (ours)", "Math (paper)"],
+        rows,
+        title="Table 2 reproduction (see EXPERIMENTS.md for the per-cell discussion)",
+    )
+    factors = [
+        "CIM improvement factors (ours): "
+        + ", ".join(
+            f"{app}: EDP x{f.energy_delay:.3g}, ops/J x{f.computing_efficiency:.3g}, "
+            f"perf/area x{f.performance_per_area:.3g}"
+            for app, f in result.improvements.items()
+        )
+    ]
+    return table + "\n" + "\n".join(factors)
+
+
+def render_machine_reports(result: Table2Result = None) -> str:
+    """One line per machine evaluation (time/energy/area breakdown)."""
+    if result is None:
+        result = table2()
+    return "\n".join(report.summary() for report in result.reports.values())

@@ -1,0 +1,126 @@
+"""Parameter sweeps for the ablation benchmarks.
+
+Each sweep returns plain lists of dict rows so benchmarks and tests can
+assert on trends without re-deriving the sweep loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.evaluate import evaluate_pair
+from ..core.presets import (
+    cim_dna_machine,
+    cim_math_machine,
+    conventional_dna_machine,
+    conventional_math_machine,
+)
+from ..core.workload import dna_workload, parallel_additions_workload
+from ..errors import ReproError
+
+
+def hit_ratio_sweep(
+    application: str = "dna",
+    hit_ratios: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 0.98, 1.0),
+) -> List[Dict[str, float]]:
+    """Sweep the cache/data hit ratio and report both machines' time,
+    energy and the CIM improvement factors.
+
+    Shows how much of Table 2's conclusion survives when the paper's
+    hit-ratio assumptions move (Ablation A in DESIGN.md).
+    """
+    if application == "dna":
+        conventional = conventional_dna_machine()
+        cim = cim_dna_machine("paper")
+        make = lambda h: dna_workload(hit_ratio=h)
+    elif application == "math":
+        conventional = conventional_math_machine()
+        cim = cim_math_machine()
+        make = lambda h: parallel_additions_workload(hit_ratio=h)
+    else:
+        raise ReproError(f"unknown application {application!r}")
+
+    rows = []
+    for hit_ratio in hit_ratios:
+        workload = make(hit_ratio)
+        conv_report, cim_report, factors = evaluate_pair(conventional, cim, workload)
+        rows.append({
+            "hit_ratio": hit_ratio,
+            "conv_time": conv_report.time,
+            "conv_energy": conv_report.energy,
+            "cim_time": cim_report.time,
+            "cim_energy": cim_report.energy,
+            "edp_improvement": factors.energy_delay,
+            "efficiency_improvement": factors.computing_efficiency,
+        })
+    return rows
+
+
+def adder_width_sweep(widths: Sequence[int] = (8, 16, 32, 64)) -> List[Dict[str, float]]:
+    """Compare CMOS CLA vs CRS TC-adder vs IMPLY ripple adder over
+    operand width (Ablation B): latency, energy and device/gate counts.
+
+    ``cla_system_energy`` is the per-addition energy including the
+    adder's share of cache static power over the round time — the
+    quantity the Table 2 comparison is actually about (raw CLA dynamic
+    energy is tiny; the memory system is what CIM eliminates).
+    """
+    from ..cmosarch.gates import GateBlock
+    from ..devices.technology import CACHE_8KB_MATH
+    from ..logic.adders import TCAdderCost, ripple_adder_program
+
+    rows = []
+    for width in widths:
+        if width < 4 or width % 4:
+            raise ReproError(f"widths must be multiples of 4, got {width}")
+        # CLA gate count scales ~6.5 gates/bit (208 @ 32b), depth grows
+        # by 2 gate delays per 4x width step beyond 32 bits.
+        gates = max(1, round(208 * width / 32))
+        depth = 18 if width <= 32 else 22
+        cla = GateBlock(name=f"cla-{width}", gates=gates, depth=depth)
+        tc = TCAdderCost(width=width)
+        imply_steps = ripple_adder_program(width).step_count
+        # Per-op memory round: 2 operand reads + 1 result write at the
+        # math workload's 98% hit ratio, on a 1 GHz reference clock.
+        cycle = cla.technology.cycle_time
+        round_time = (2 * CACHE_8KB_MATH.average_read_cycles() + 1) * cycle
+        system_energy = (
+            cla.dynamic_energy
+            + CACHE_8KB_MATH.static_power * (round_time + cla.latency)
+        )
+        rows.append({
+            "width": width,
+            "cla_latency": cla.latency,
+            "cla_energy": cla.dynamic_energy,
+            "cla_system_energy": system_energy,
+            "cla_gates": cla.gates,
+            "tc_latency": tc.latency,
+            "tc_energy": tc.dynamic_energy,
+            "tc_memristors": tc.memristors,
+            "imply_steps": imply_steps,
+            "imply_latency": imply_steps * tc.technology.write_time,
+        })
+    return rows
+
+
+def crossbar_scaling_sweep(
+    sizes: Sequence[int] = (2, 4, 8, 16, 32),
+    v_read: float = 0.95,
+) -> List[Dict[str, float]]:
+    """Worst-case read margin vs array size for 1R, 1S1R and CRS
+    junctions under floating bias (Ablation C / Fig 3 analysis)."""
+    from ..crossbar.selector import CRSJunction, OneR, OneSelectorOneR
+    from ..crossbar.sneak import read_margin
+
+    factories = {
+        "1R": lambda r, c: OneR(),
+        "1S1R": lambda r, c: OneSelectorOneR(),
+        "CRS": lambda r, c: CRSJunction(),
+    }
+    rows = []
+    for n in sizes:
+        row: Dict[str, float] = {"size": n}
+        for label, factory in factories.items():
+            row[f"margin_{label}"] = read_margin(n, n, factory, v_read=v_read).margin
+        rows.append(row)
+    return rows

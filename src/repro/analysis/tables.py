@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..errors import ReproError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted
+    by the caller so each table controls its own precision.
+    """
+    rows = [[str(cell) for cell in row] for row in rows]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_sci(value: float, digits: int = 4) -> str:
+    """Scientific-notation cell formatting matching the paper's style."""
+    return f"{value:.{digits}e}"

@@ -1,0 +1,5 @@
+"""Application workloads: the paper's two motivating examples."""
+
+from . import db, dna, math
+
+__all__ = ["db", "dna", "math"]

@@ -1,0 +1,17 @@
+"""In-memory database on CIM primitives (§II.B)."""
+
+from .engine import (
+    CIMTable,
+    Column,
+    QueryCost,
+    ScanCostModel,
+    select_speedup,
+)
+
+__all__ = [
+    "CIMTable",
+    "Column",
+    "QueryCost",
+    "ScanCostModel",
+    "select_speedup",
+]

@@ -1,0 +1,57 @@
+"""DNA sequencing application — the paper's healthcare use case.
+
+Public API: genome/read generation (:func:`random_genome`,
+:func:`generate_reads`), the sorted k-mer index
+(:class:`SortedKmerIndex`), the instrumented read mapper
+(:class:`ReadMapper`), and the bridges into the architecture model
+(:func:`measure_cache_hit_ratio`, :func:`measured_workload`).
+"""
+
+from .genome import (
+    ALPHABET,
+    ShortRead,
+    decode_nucleotide,
+    decode_sequence,
+    encode_nucleotide,
+    encode_sequence,
+    generate_reads,
+    random_genome,
+)
+from .index import IndexStats, SortedKmerIndex
+from .variants import (
+    CallingScore,
+    PileupCaller,
+    Variant,
+    plant_variants,
+    score_calls,
+)
+from .mapping import (
+    MappingResult,
+    MappingStats,
+    ReadMapper,
+    measure_cache_hit_ratio,
+    measured_workload,
+)
+
+__all__ = [
+    "ALPHABET",
+    "ShortRead",
+    "random_genome",
+    "generate_reads",
+    "encode_nucleotide",
+    "decode_nucleotide",
+    "encode_sequence",
+    "decode_sequence",
+    "SortedKmerIndex",
+    "IndexStats",
+    "ReadMapper",
+    "MappingResult",
+    "MappingStats",
+    "measure_cache_hit_ratio",
+    "measured_workload",
+    "PileupCaller",
+    "Variant",
+    "plant_variants",
+    "score_calls",
+    "CallingScore",
+]

@@ -1,0 +1,118 @@
+"""Sorted k-mer index of a reference genome.
+
+"A practical solution used today for comparing two DNA sequences is
+based on the creation of a sorted index of the reference DNA that can
+be used to identify the location of matches and mismatches in another
+sequence rapidly.  This approach, however, results in eliminating
+available data locality in the reference" — Section III.B.
+
+:class:`SortedKmerIndex` is exactly that structure: every k-mer of the
+reference, sorted, with binary-search lookup.  Every probe is
+instrumented (comparisons performed, byte addresses touched) so the
+cache-locality claim can be *measured* with
+:class:`repro.cmosarch.cache.FunctionalCache` instead of assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ...errors import WorkloadError
+from .genome import encode_sequence
+
+
+@dataclass
+class IndexStats:
+    """Instrumentation counters for index probes."""
+
+    probes: int = 0
+    comparisons: int = 0
+    #: Byte addresses touched, for cache simulation (bounded ring kept
+    #: whole — the pipelines using it are laptop-scale).
+    addresses: List[int] = field(default_factory=list)
+
+
+class SortedKmerIndex:
+    """Sorted array of (k-mer key, position) pairs with binary search.
+
+    K-mers are packed into 64-bit integers (2 bits per base, so k <= 31).
+    Lookup cost is O(log n) key comparisons, each touching an
+    essentially random index location — the access pattern that defeats
+    caches.
+    """
+
+    #: Bytes per index entry (packed key + position), for address maps.
+    ENTRY_BYTES = 16
+
+    def __init__(self, reference: str, k: int = 16) -> None:
+        if k < 1 or k > 31:
+            raise WorkloadError(f"k must be in 1..31, got {k}")
+        if len(reference) < k:
+            raise WorkloadError(
+                f"reference ({len(reference)} bases) shorter than k ({k})"
+            )
+        self.k = k
+        self.reference = reference
+        codes = encode_sequence(reference)
+        n = len(reference) - k + 1
+        # Rolling pack of k 2-bit codes into uint64 keys.
+        keys = np.zeros(n, dtype=np.uint64)
+        value = 0
+        mask = (1 << (2 * k)) - 1
+        for i, code in enumerate(codes):
+            value = ((value << 2) | int(code)) & mask
+            if i >= k - 1:
+                keys[i - k + 1] = value
+        order = np.argsort(keys, kind="stable")
+        self._keys = keys[order]
+        self._positions = np.arange(n, dtype=np.int64)[order]
+        self.stats = IndexStats()
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def pack(self, kmer: str) -> int:
+        """Pack a k-mer string into its 64-bit key."""
+        if len(kmer) != self.k:
+            raise WorkloadError(f"k-mer must have length {self.k}, got {len(kmer)}")
+        value = 0
+        for code in encode_sequence(kmer):
+            value = (value << 2) | int(code)
+        return value
+
+    def _record(self, slot: int) -> None:
+        self.stats.comparisons += 1
+        self.stats.addresses.append(slot * self.ENTRY_BYTES)
+
+    def lookup(self, kmer: str) -> List[int]:
+        """All reference positions whose k-mer equals *kmer*.
+
+        Instrumented binary search: every key comparison is counted and
+        its array address recorded.
+        """
+        key = np.uint64(self.pack(kmer))
+        self.stats.probes += 1
+        lo, hi = 0, len(self._keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self._record(mid)
+            if self._keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        first = lo
+        positions: List[int] = []
+        while first < len(self._keys):
+            self._record(first)
+            if self._keys[first] != key:
+                break
+            positions.append(int(self._positions[first]))
+            first += 1
+        return sorted(positions)
+
+    def reset_stats(self) -> None:
+        """Clear the instrumentation counters."""
+        self.stats = IndexStats()

@@ -1,0 +1,9 @@
+"""Mathematics application — parallel additions (Table 1/2 example 2)."""
+
+from .vectoradd import (
+    CIMVectorAdder,
+    VectorAddReport,
+    add_vectors_reference,
+)
+
+__all__ = ["CIMVectorAdder", "VectorAddReport", "add_vectors_reference"]

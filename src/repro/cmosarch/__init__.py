@@ -1,0 +1,28 @@
+"""Conventional CMOS substrate — the baseline the paper compares against.
+
+Public API:
+
+* :class:`GateBlock` + the Table 1 blocks (:data:`CLA_ADDER_32`,
+  :data:`CMOS_COMPARATOR`).
+* :class:`CLAAdder` — functional gate-level carry-look-ahead adder.
+* :class:`CacheModel` / :class:`FunctionalCache` — analytical and
+  trace-driven cache models.
+* :class:`ClusteredMulticore` — Fig 1(c)-style machine description.
+"""
+
+from .cache import CacheAccessCost, CacheModel, FunctionalCache
+from .cla import CLAAdder, GateCounter
+from .gates import CLA_ADDER_32, CMOS_COMPARATOR, GateBlock
+from .multicore import ClusteredMulticore
+
+__all__ = [
+    "GateBlock",
+    "CLA_ADDER_32",
+    "CMOS_COMPARATOR",
+    "CLAAdder",
+    "GateCounter",
+    "CacheModel",
+    "CacheAccessCost",
+    "FunctionalCache",
+    "ClusteredMulticore",
+]

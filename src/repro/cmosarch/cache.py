@@ -1,0 +1,136 @@
+"""Shared L1 cache timing/energy model (Table 1, conventional column).
+
+The paper's DNA motivation hinges on the cache: "This approach, however,
+results in eliminating available data locality in the reference and
+causing huge number of cache misses with high memory access penalty and
+high energy cost".  :class:`CacheModel` turns the Table 1 cache
+parameters into per-access latencies and into the static-power bill
+that dominates the conventional column of Table 2.
+
+The model is analytical *and* functional: it can answer "what does an
+access stream cost" both from a hit-ratio parameter (the paper's mode)
+and from an actual address trace through an LRU set-associative
+simulation (used by the DNA functional pipeline to show *why* the
+sorted-index algorithm has ~50% hit rates).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from ..devices.technology import CacheSpec, CMOSTechnology, FINFET_22NM
+from ..errors import ArchitectureError
+
+
+@dataclass
+class CacheAccessCost:
+    """Latency (seconds) and count breakdown for an access stream."""
+
+    reads: int
+    writes: int
+    hits: float
+    misses: float
+    latency: float
+
+
+class CacheModel:
+    """Analytical cache cost model driven by a :class:`CacheSpec`."""
+
+    def __init__(
+        self,
+        spec: CacheSpec,
+        technology: CMOSTechnology = FINFET_22NM,
+    ) -> None:
+        self.spec = spec
+        self.technology = technology
+
+    # -- analytical mode -----------------------------------------------------
+
+    def average_read_latency(self) -> float:
+        """Hit/miss-weighted read latency in seconds."""
+        return self.spec.average_read_cycles() * self.technology.cycle_time
+
+    def write_latency(self) -> float:
+        """Write latency in seconds (write-through, Table 1: 1 cycle)."""
+        return self.spec.write_cycles * self.technology.cycle_time
+
+    def access_cost(self, reads: int, writes: int) -> CacheAccessCost:
+        """Total latency of *reads* + *writes* serialized accesses."""
+        if reads < 0 or writes < 0:
+            raise ArchitectureError("access counts must be non-negative")
+        hits = reads * self.spec.hit_ratio
+        misses = reads - hits
+        latency = reads * self.average_read_latency() + writes * self.write_latency()
+        return CacheAccessCost(
+            reads=reads, writes=writes, hits=hits, misses=misses, latency=latency
+        )
+
+    def static_energy(self, duration: float) -> float:
+        """Static energy of one cache over *duration* seconds."""
+        if duration < 0:
+            raise ArchitectureError("duration must be non-negative")
+        return self.spec.static_power * duration
+
+
+class FunctionalCache:
+    """A small LRU set-associative cache simulator.
+
+    Used by the DNA pipeline to *measure* hit ratios instead of assuming
+    them.  Addresses are byte addresses; capacity/line/associativity
+    come from the constructor (defaults model the Table 1 8 kB L1 with
+    64-byte lines, 4-way).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 8192,
+        line_bytes: int = 64,
+        ways: int = 4,
+    ) -> None:
+        if line_bytes < 1 or size_bytes < line_bytes:
+            raise ArchitectureError("invalid cache geometry")
+        lines = size_bytes // line_bytes
+        if ways < 1 or lines % ways:
+            raise ArchitectureError(
+                f"lines ({lines}) must be a multiple of ways ({ways})"
+            )
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.sets = lines // ways
+        self._tags = [OrderedDict() for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Touch *address*; returns True on hit and updates LRU state."""
+        if address < 0:
+            raise ArchitectureError(f"address must be non-negative, got {address}")
+        line = address // self.line_bytes
+        index = line % self.sets
+        tag = line // self.sets
+        tags = self._tags[index]
+        if tag in tags:
+            tags.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        tags[tag] = None
+        if len(tags) > self.ways:
+            tags.popitem(last=False)
+        return False
+
+    def access_many(self, addresses: Iterable[int]) -> Tuple[int, int]:
+        """Touch a whole address stream; returns ``(hits, misses)`` for
+        just this stream."""
+        h0, m0 = self.hits, self.misses
+        for address in addresses:
+            self.access(address)
+        return self.hits - h0, self.misses - m0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Observed hit ratio so far (0 when no accesses yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

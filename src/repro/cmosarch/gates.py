@@ -1,0 +1,75 @@
+"""Gate-level cost model for CMOS logic blocks (Table 1, conventional).
+
+A *block* is any combinational unit described by its gate count and its
+critical-path depth in gate delays — exactly how Table 1 describes the
+CLA adder ("Number of gates per adder: 208; Number of gate delay: 18").
+Costs derive from a :class:`~repro.devices.technology.CMOSTechnology`
+profile:
+
+* latency  = depth x gate_delay
+* dynamic energy per evaluation = gates x gate_power x gate_delay
+  (every gate switches once per operation, the Table 1 convention)
+* leakage power = gates x gate_leakage; Table 1 defines the leakage
+  duration per cycle as "cycle time - delay per gate"
+* area = gates x gate_area
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.technology import CMOSTechnology, FINFET_22NM
+from ..errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class GateBlock:
+    """A combinational CMOS block: *gates* gates, *depth* gate delays."""
+
+    name: str
+    gates: int
+    depth: int
+    technology: CMOSTechnology = FINFET_22NM
+
+    def __post_init__(self) -> None:
+        if self.gates < 1:
+            raise ArchitectureError(f"{self.name}: gates must be >= 1, got {self.gates}")
+        if self.depth < 1:
+            raise ArchitectureError(f"{self.name}: depth must be >= 1, got {self.depth}")
+
+    @property
+    def latency(self) -> float:
+        """Critical-path delay in seconds."""
+        return self.depth * self.technology.gate_delay
+
+    @property
+    def dynamic_energy(self) -> float:
+        """Energy of one evaluation (joules)."""
+        return self.gates * self.technology.gate_dynamic_energy()
+
+    @property
+    def leakage_power(self) -> float:
+        """Static power of the block (watts)."""
+        return self.gates * self.technology.gate_leakage
+
+    def leakage_energy_per_cycle(self) -> float:
+        """Leakage energy over one clock cycle, using the Table 1
+        definition of leakage duration (cycle time - gate delay)."""
+        idle = self.technology.cycle_time - self.technology.gate_delay
+        return self.gates * self.technology.gate_leakage_energy(idle)
+
+    @property
+    def area(self) -> float:
+        """Block area in square metres."""
+        return self.gates * self.technology.gate_area
+
+
+#: Table 1: 32-bit carry-look-ahead adder — 208 gates, 18 gate delays
+#: (latency 252 ps = 18 x 14 ps) [52].
+CLA_ADDER_32 = GateBlock(name="cla-adder-32", gates=208, depth=18)
+
+#: CMOS nucleotide comparator: 2 XOR + 1 NAND as in the CIM comparator's
+#: structure.  Table 1 does not give conventional comparator gate
+#: counts; 3 two-input gates with depth 2 is the minimal faithful
+#: realisation and is documented as an assumption in DESIGN.md.
+CMOS_COMPARATOR = GateBlock(name="cmos-comparator", gates=3, depth=2)

@@ -1,0 +1,111 @@
+"""Clustered multi-core machine description (Fig 1(c) / Fig 2 left).
+
+Table 1's conventional architecture "consists of a certain number of
+clusters of processing units, each cluster shares an 8kB L1 cache".
+:class:`ClusteredMulticore` is that description as data: cluster count,
+units per cluster, the unit's gate block, the cache, and the CMOS
+technology.  The energy/latency evaluation lives in
+:mod:`repro.core.conventional`; this module only answers structural
+questions (parallel width, area, leakage power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.technology import CacheSpec, CMOSTechnology, FINFET_22NM
+from ..errors import ArchitectureError
+from .cache import CacheModel
+from .gates import GateBlock
+
+
+@dataclass(frozen=True)
+class ClusteredMulticore:
+    """A scalable cluster-of-units CMOS machine.
+
+    Attributes
+    ----------
+    name:
+        Configuration label (used in reports).
+    clusters:
+        Number of clusters.  The DNA preset fixes 18750 ("limited with
+        the state-of-the-art chip area"); the math preset derives it
+        from the operation count ("fully scalable reusing clusters").
+    units_per_cluster:
+        Processing units (comparators/adders) sharing each L1.
+    unit:
+        Gate-level description of one processing unit.
+    cache:
+        The shared per-cluster cache.
+    technology:
+        CMOS technology profile.
+    cache_static_per_unit:
+        When True (default), cache static power is charged per
+        processing unit at ``cache.static_power`` watts each — the
+        convention that reproduces Table 2's mathematics column exactly
+        (see DESIGN.md section 5).  When False, static power is charged
+        once per cluster.
+    """
+
+    name: str
+    clusters: int
+    units_per_cluster: int
+    unit: GateBlock
+    cache: CacheSpec
+    technology: CMOSTechnology = FINFET_22NM
+    cache_static_per_unit: bool = True
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise ArchitectureError(f"clusters must be >= 1, got {self.clusters}")
+        if self.units_per_cluster < 1:
+            raise ArchitectureError(
+                f"units_per_cluster must be >= 1, got {self.units_per_cluster}"
+            )
+
+    @property
+    def parallel_units(self) -> int:
+        """Total processing units across all clusters."""
+        return self.clusters * self.units_per_cluster
+
+    @property
+    def total_gates(self) -> int:
+        """All logic gates in all processing units."""
+        return self.parallel_units * self.unit.gates
+
+    def cache_model(self) -> CacheModel:
+        """Timing/energy model of one shared cache."""
+        return CacheModel(self.cache, self.technology)
+
+    def total_cache_static_power(self) -> float:
+        """Aggregate cache static power in watts (see
+        ``cache_static_per_unit`` for the charging convention)."""
+        if self.cache_static_per_unit:
+            return self.parallel_units * self.cache.static_power
+        return self.clusters * self.cache.static_power
+
+    def logic_leakage_power(self) -> float:
+        """Aggregate gate leakage power in watts."""
+        return self.total_gates * self.technology.gate_leakage
+
+    def area(self) -> float:
+        """Total area in square metres: unit logic + caches."""
+        logic = self.total_gates * self.technology.gate_area
+        caches = self.clusters * self.cache.area
+        return logic + caches
+
+    def scaled_to_units(self, units: int) -> "ClusteredMulticore":
+        """A copy with enough clusters for *units* processing units
+        (the paper's "fully scalable reusing clusters" mode)."""
+        if units < 1:
+            raise ArchitectureError(f"units must be >= 1, got {units}")
+        clusters = -(-units // self.units_per_cluster)
+        return ClusteredMulticore(
+            name=self.name,
+            clusters=clusters,
+            units_per_cluster=self.units_per_cluster,
+            unit=self.unit,
+            cache=self.cache,
+            technology=self.technology,
+            cache_static_per_unit=self.cache_static_per_unit,
+        )

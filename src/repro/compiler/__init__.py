@@ -1,0 +1,38 @@
+"""CIM logic compiler — netlist → IMPLY pulse program → register reuse.
+
+Public API: :class:`LogicNetwork` / :func:`random_network`,
+:func:`compile_network` / :func:`compilation_report`,
+:func:`reuse_registers` / :func:`allocation_report`.
+"""
+
+from .allocate import AllocationReport, allocation_report, reuse_registers
+from .mapper import OP_PULSES, CompilationReport, compilation_report, compile_network
+from .netlist import OP_ARITY, GateNode, LogicNetwork, random_network
+from .schedule import (
+    Schedule,
+    ScheduleSlot,
+    critical_path_pulses,
+    lane_sweep,
+    levelise,
+    schedule_network,
+)
+
+__all__ = [
+    "LogicNetwork",
+    "GateNode",
+    "random_network",
+    "OP_ARITY",
+    "compile_network",
+    "compilation_report",
+    "CompilationReport",
+    "OP_PULSES",
+    "reuse_registers",
+    "allocation_report",
+    "AllocationReport",
+    "schedule_network",
+    "Schedule",
+    "ScheduleSlot",
+    "levelise",
+    "lane_sweep",
+    "critical_path_pulses",
+]

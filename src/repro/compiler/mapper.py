@@ -1,0 +1,179 @@
+"""Lowering logic netlists to IMPLY pulse programs.
+
+Each netlist gate becomes a short non-destructive {FALSE, IMP} recipe
+writing a fresh result register: the operand registers are only ever
+used as the *p* side of IMP (which never disturbs p — see
+:class:`repro.logic.imply.ImplyGate`), so fan-out works without
+copying.  Only XOR/XNOR need one operand copy (their recipes consume
+the q side).
+
+Per-op pulse costs (compute pulses, scratch registers):
+
+=====  =======  ========
+op     pulses   scratch
+=====  =======  ========
+NOT    2        0
+NAND   3        0
+AND    5        1
+OR     7        2
+NOR    9        2
+XOR    15       4 (incl. one operand copy)
+XNOR   13       4
+=====  =======  ========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import SynthesisError
+from ..logic.program import ImplyProgram
+from .netlist import LogicNetwork
+
+#: Pulse cost per op of the non-destructive recipes below.
+OP_PULSES = {
+    "NOT": 2,
+    "NAND": 3,
+    "AND": 5,
+    "OR": 7,
+    "NOR": 9,
+    "XOR": 15,
+    "XNOR": 13,
+}
+
+
+def _emit_not(prog: ImplyProgram, a: str, dst: str) -> None:
+    prog.false(dst).imp(a, dst)
+
+
+def _emit_nand(prog: ImplyProgram, a: str, b: str, dst: str) -> None:
+    prog.false(dst).imp(a, dst).imp(b, dst)
+
+
+def _emit_and(prog: ImplyProgram, a: str, b: str, dst: str, t: str) -> None:
+    _emit_nand(prog, a, b, t)
+    _emit_not(prog, t, dst)
+
+
+def _emit_or(prog: ImplyProgram, a: str, b: str, dst: str, t1: str, t2: str) -> None:
+    # a OR b = NAND(!a, !b); operands untouched.
+    _emit_not(prog, a, t1)
+    _emit_not(prog, b, t2)
+    _emit_nand(prog, t1, t2, dst)
+
+
+def _emit_copy(prog: ImplyProgram, src: str, dst: str, t: str) -> None:
+    prog.false(t).imp(src, t)
+    prog.false(dst).imp(t, dst)
+
+
+def _emit_xor(
+    prog: ImplyProgram, a: str, b: str, dst: str,
+    cb: str, s2: str, s3: str, t: str,
+) -> None:
+    # Copy b (the recipe consumes its q operand), then the 11-step XOR.
+    _emit_copy(prog, b, cb, t)
+    prog.false(dst).imp(a, dst)          # dst = !a
+    prog.false(s2).imp(cb, s2)           # s2 = !b
+    prog.imp(dst, cb)                    # cb = a | b
+    prog.imp(a, s2)                      # s2 = !(a & b)
+    prog.false(s3).imp(s2, s3)           # s3 = a & b
+    prog.imp(cb, s3)                     # s3 = !(a ^ b)
+    prog.false(dst).imp(s3, dst)         # dst = a ^ b
+
+
+def _emit_xnor(
+    prog: ImplyProgram, a: str, b: str, dst: str,
+    cb: str, s2: str, t: str,
+) -> None:
+    _emit_copy(prog, b, cb, t)
+    prog.false(t).imp(a, t)              # t = !a
+    prog.false(s2).imp(cb, s2)           # s2 = !b
+    prog.imp(t, cb)                      # cb = a | b
+    prog.imp(a, s2)                      # s2 = !(a & b)
+    prog.false(dst).imp(s2, dst)         # dst = a & b
+    prog.imp(cb, dst)                    # dst = !(a|b) | (a&b) = XNOR
+    return None
+
+
+@dataclass
+class CompilationReport:
+    """Cost summary of one lowering."""
+
+    network: str
+    pulses: int
+    registers: int
+    gates: int
+    pulses_by_op: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def pulses_per_gate(self) -> float:
+        return self.pulses / self.gates if self.gates else 0.0
+
+
+def compile_network(network: LogicNetwork, name: str = None) -> ImplyProgram:
+    """Lower *network* to a single straight-line IMPLY program.
+
+    Input signals become LOADs; every gate output lives in its own
+    register (run :func:`repro.compiler.allocate.reuse_registers`
+    afterwards to shrink the footprint).  The program's outputs map the
+    netlist's output signals.
+    """
+    network.validate()
+    prog = ImplyProgram(
+        name if name is not None else f"compiled-{network.name}",
+        inputs=list(network.inputs),
+        outputs={},
+    )
+    register: Dict[str, str] = {}
+    for signal in network.inputs:
+        reg = f"in_{signal}"
+        prog.load(reg, signal)
+        register[signal] = reg
+
+    for index, node in enumerate(network.nodes):
+        dst = f"n{index}_{node.name}"
+        scratch = lambda tag: f"n{index}_{tag}"
+        args = [register[a] for a in node.args]
+        if node.op == "NOT":
+            _emit_not(prog, args[0], dst)
+        elif node.op == "NAND":
+            _emit_nand(prog, args[0], args[1], dst)
+        elif node.op == "AND":
+            _emit_and(prog, args[0], args[1], dst, scratch("t"))
+        elif node.op == "OR":
+            _emit_or(prog, args[0], args[1], dst, scratch("t1"), scratch("t2"))
+        elif node.op == "NOR":
+            _emit_or(prog, args[0], args[1], scratch("or"), scratch("t1"),
+                     scratch("t2"))
+            _emit_not(prog, scratch("or"), dst)
+        elif node.op == "XOR":
+            _emit_xor(prog, args[0], args[1], dst, scratch("cb"),
+                      scratch("s2"), scratch("s3"), scratch("t"))
+        elif node.op == "XNOR":
+            _emit_xnor(prog, args[0], args[1], dst, scratch("cb"),
+                       scratch("s2"), scratch("t"))
+        else:  # pragma: no cover - netlist already validates ops
+            raise SynthesisError(f"unsupported op {node.op!r}")
+        register[node.name] = dst
+
+    for signal in network.outputs:
+        prog.outputs[signal] = register[signal]
+    prog.validate()
+    return prog
+
+
+def compilation_report(network: LogicNetwork) -> CompilationReport:
+    """Lower and summarise costs without keeping the program."""
+    program = compile_network(network)
+    by_op: Dict[str, int] = {}
+    for node in network.nodes:
+        by_op[node.op] = by_op.get(node.op, 0) + OP_PULSES[node.op]
+    return CompilationReport(
+        network=network.name,
+        pulses=program.step_count,
+        registers=program.device_count,
+        gates=network.gate_count,
+        pulses_by_op=by_op,
+    )

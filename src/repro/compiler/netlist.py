@@ -1,0 +1,195 @@
+"""Gate-level netlists: the input language of the CIM logic compiler.
+
+Section III.C: the CIM paradigm "changes the traditional system design,
+compiler tools, manufacturing processes, etc." — so a reproduction
+needs at least the seed of that toolchain.  A :class:`LogicNetwork` is
+a combinational DAG over the gate basis of :mod:`repro.logic.gates`;
+the mapper in :mod:`repro.compiler.mapper` lowers it to a {FALSE, IMP}
+pulse program, and :mod:`repro.compiler.allocate` shrinks its
+memristor footprint by liveness-based register reuse.
+
+Nodes are created through the builder methods, which makes cycles
+unrepresentable (a node can only reference already-existing signals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import SynthesisError
+
+#: Gate arities of the supported basis.
+OP_ARITY = {
+    "NOT": 1,
+    "AND": 2,
+    "OR": 2,
+    "NAND": 2,
+    "NOR": 2,
+    "XOR": 2,
+    "XNOR": 2,
+}
+
+_OP_EVAL = {
+    "NOT": lambda a: 1 - a,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "NAND": lambda a, b: 1 - (a & b),
+    "NOR": lambda a, b: 1 - (a | b),
+    "XOR": lambda a, b: a ^ b,
+    "XNOR": lambda a, b: 1 - (a ^ b),
+}
+
+
+@dataclass(frozen=True)
+class GateNode:
+    """One gate instance: output signal name, op, operand signals."""
+
+    name: str
+    op: str
+    args: Tuple[str, ...]
+
+
+@dataclass
+class LogicNetwork:
+    """A combinational netlist over named signals.
+
+    Build with :meth:`input` and :meth:`gate`; mark outputs with
+    :meth:`output`.  Node creation order is a valid topological order
+    by construction.
+    """
+
+    name: str = "network"
+    inputs: List[str] = field(default_factory=list)
+    nodes: List[GateNode] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    _signals: Dict[str, None] = field(default_factory=dict, repr=False)
+
+    # -- construction ----------------------------------------------------
+
+    def _declare(self, signal: str) -> None:
+        if not signal:
+            raise SynthesisError("signal names must be non-empty")
+        if signal in self._signals:
+            raise SynthesisError(f"duplicate signal {signal!r}")
+        self._signals[signal] = None
+
+    def input(self, signal: str) -> str:
+        """Declare a primary input; returns the signal name."""
+        self._declare(signal)
+        self.inputs.append(signal)
+        return signal
+
+    def gate(self, op: str, *args: str, name: Optional[str] = None) -> str:
+        """Add a gate driven by existing signals; returns its output.
+
+        ``name`` defaults to ``{op.lower()}{index}``.
+        """
+        op = op.upper()
+        if op not in OP_ARITY:
+            raise SynthesisError(
+                f"unsupported op {op!r}; basis: {sorted(OP_ARITY)}"
+            )
+        if len(args) != OP_ARITY[op]:
+            raise SynthesisError(
+                f"{op} takes {OP_ARITY[op]} operand(s), got {len(args)}"
+            )
+        for arg in args:
+            if arg not in self._signals:
+                raise SynthesisError(f"unknown signal {arg!r}")
+        if name is None:
+            name = f"{op.lower()}{len(self.nodes)}"
+        self._declare(name)
+        self.nodes.append(GateNode(name=name, op=op, args=tuple(args)))
+        return name
+
+    def output(self, signal: str) -> None:
+        """Mark an existing signal as a primary output."""
+        if signal not in self._signals:
+            raise SynthesisError(f"unknown signal {signal!r}")
+        if signal in self.outputs:
+            raise SynthesisError(f"duplicate output {signal!r}")
+        self.outputs.append(signal)
+
+    # -- analysis -----------------------------------------------------------
+
+    @property
+    def gate_count(self) -> int:
+        return len(self.nodes)
+
+    def depth(self) -> int:
+        """Longest input-to-output path in gates."""
+        level: Dict[str, int] = {s: 0 for s in self.inputs}
+        deepest = 0
+        for node in self.nodes:
+            level[node.name] = 1 + max(level[a] for a in node.args)
+            deepest = max(deepest, level[node.name])
+        return deepest
+
+    def validate(self) -> None:
+        """Structural checks: at least one output, all reachable."""
+        if not self.outputs:
+            raise SynthesisError(f"{self.name}: no outputs declared")
+        if not self.inputs:
+            raise SynthesisError(f"{self.name}: no inputs declared")
+
+    # -- reference semantics -----------------------------------------------------
+
+    def evaluate(self, assignment: Dict[str, int]) -> Dict[str, int]:
+        """Golden evaluation; returns output signal values."""
+        values: Dict[str, int] = {}
+        for signal in self.inputs:
+            if signal not in assignment:
+                raise SynthesisError(f"missing input {signal!r}")
+            bit = assignment[signal]
+            if bit not in (0, 1):
+                raise SynthesisError(f"input {signal!r} must be a bit, got {bit}")
+            values[signal] = bit
+        for node in self.nodes:
+            values[node.name] = _OP_EVAL[node.op](*(values[a] for a in node.args))
+        return {signal: values[signal] for signal in self.outputs}
+
+    def truth_table(self) -> List[Tuple[int, Dict[str, int]]]:
+        """Exhaustive outputs over all input patterns (inputs <= 16)."""
+        if len(self.inputs) > 16:
+            raise SynthesisError("truth table limited to 16 inputs")
+        table = []
+        for pattern in range(1 << len(self.inputs)):
+            assignment = {
+                s: (pattern >> i) & 1 for i, s in enumerate(self.inputs)
+            }
+            table.append((pattern, self.evaluate(assignment)))
+        return table
+
+
+def random_network(
+    inputs: int = 4,
+    gates: int = 10,
+    outputs: int = 2,
+    seed: int = 0,
+) -> LogicNetwork:
+    """A random combinational DAG for compiler fuzzing.
+
+    Each gate draws a random op and random already-defined operands,
+    so the result is acyclic by construction; outputs are drawn from
+    the last gates (guaranteeing non-trivial logic reaches them).
+    """
+    if inputs < 1 or gates < 1 or outputs < 1:
+        raise SynthesisError("need at least one input, gate and output")
+    if outputs > gates:
+        raise SynthesisError("cannot have more outputs than gates")
+    rng = np.random.default_rng(seed)
+    ops = sorted(OP_ARITY)
+    network = LogicNetwork(name=f"random{seed}")
+    signals = [network.input(f"x{i}") for i in range(inputs)]
+    for _ in range(gates):
+        op = ops[int(rng.integers(0, len(ops)))]
+        arity = OP_ARITY[op]
+        args = [signals[int(rng.integers(0, len(signals)))] for _ in range(arity)]
+        signals.append(network.gate(op, *args))
+    gate_names = [node.name for node in network.nodes]
+    for name in gate_names[-outputs:]:
+        network.output(name)
+    return network

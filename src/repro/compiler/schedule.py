@@ -1,0 +1,142 @@
+"""Parallel scheduling of netlists onto CIM compute lanes.
+
+The straight-line lowering of :mod:`repro.compiler.mapper` serialises
+every gate; but the architecture's whole point is "supporting massive
+parallelism" (Section III.A) — independent gates can run in different
+crossbar rows simultaneously, sharing only the pulse controller.  This
+module levelises a netlist (ASAP schedule), packs each level's gates
+into a bounded number of lanes, and reports the latency in *controller
+pulse slots*:
+
+    latency = sum over levels of
+              ceil(gates_in_level / lanes) * max_gate_pulses_in_level
+
+Gates scheduled in the same slot must execute the same pulse count
+envelope (the controller broadcasts step sequences), which is why the
+slot cost is the level's maximum gate cost — exactly the behaviour of
+the paper's lock-step comparator arrays ("two XOR work in parallel").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..errors import SynthesisError
+from .mapper import OP_PULSES
+from .netlist import GateNode, LogicNetwork
+
+
+@dataclass
+class ScheduleSlot:
+    """One controller time slot: gates that fire simultaneously."""
+
+    level: int
+    gates: List[GateNode]
+    pulses: int
+
+
+@dataclass
+class Schedule:
+    """A parallel execution plan for one netlist."""
+
+    network: str
+    lanes: int
+    slots: List[ScheduleSlot] = field(default_factory=list)
+
+    @property
+    def latency_pulses(self) -> int:
+        """Total controller pulses (the wall-clock cost)."""
+        return sum(slot.pulses for slot in self.slots)
+
+    @property
+    def total_gate_pulses(self) -> int:
+        """Work: pulses summed over all gates (the energy cost)."""
+        return sum(
+            OP_PULSES[gate.op] for slot in self.slots for gate in slot.gates
+        )
+
+    @property
+    def serial_latency_pulses(self) -> int:
+        """Latency of the fully serial (1-lane) execution."""
+        return self.total_gate_pulses
+
+    @property
+    def speedup(self) -> float:
+        """Serial/parallel latency ratio (>= 1)."""
+        if self.latency_pulses == 0:
+            return 1.0
+        return self.serial_latency_pulses / self.latency_pulses
+
+    def utilisation(self) -> float:
+        """Fraction of lane-slot capacity actually doing work."""
+        capacity = sum(
+            self.lanes * slot.pulses for slot in self.slots
+        )
+        if capacity == 0:
+            return 0.0
+        return self.total_gate_pulses / capacity
+
+
+def levelise(network: LogicNetwork) -> List[List[GateNode]]:
+    """ASAP levels: a gate's level is 1 + max of its operand levels."""
+    level: Dict[str, int] = {signal: 0 for signal in network.inputs}
+    buckets: Dict[int, List[GateNode]] = {}
+    for node in network.nodes:
+        node_level = 1 + max(level[a] for a in node.args)
+        level[node.name] = node_level
+        buckets.setdefault(node_level, []).append(node)
+    return [buckets[k] for k in sorted(buckets)]
+
+
+def schedule_network(network: LogicNetwork, lanes: int = 4) -> Schedule:
+    """Pack *network* into a *lanes*-wide parallel schedule.
+
+    Within each ASAP level, gates are sorted by descending pulse cost
+    and packed greedily into groups of at most *lanes* (longest-
+    processing-time heuristic minimises the per-group envelope).
+    """
+    if lanes < 1:
+        raise SynthesisError(f"lanes must be >= 1, got {lanes}")
+    network.validate()
+    plan = Schedule(network=network.name, lanes=lanes)
+    for level_index, gates in enumerate(levelise(network)):
+        ordered = sorted(gates, key=lambda g: -OP_PULSES[g.op])
+        for start in range(0, len(ordered), lanes):
+            group = ordered[start: start + lanes]
+            plan.slots.append(ScheduleSlot(
+                level=level_index + 1,
+                gates=group,
+                pulses=max(OP_PULSES[g.op] for g in group),
+            ))
+    return plan
+
+
+def lane_sweep(network: LogicNetwork, lane_counts: Sequence[int]) -> List[dict]:
+    """Speedup/utilisation over lane counts (for the parallelism bench)."""
+    rows = []
+    for lanes in lane_counts:
+        plan = schedule_network(network, lanes)
+        rows.append({
+            "lanes": lanes,
+            "latency_pulses": plan.latency_pulses,
+            "speedup": plan.speedup,
+            "utilisation": plan.utilisation(),
+        })
+    return rows
+
+
+def critical_path_pulses(network: LogicNetwork) -> int:
+    """Latency lower bound: the pulse-weighted critical path.
+
+    With unbounded lanes the schedule cannot beat the longest
+    dependency chain; exposed so tests can assert the scheduler reaches
+    it (each level costs at least its most expensive gate)."""
+    finish: Dict[str, int] = {signal: 0 for signal in network.inputs}
+    longest = 0
+    for node in network.nodes:
+        finish[node.name] = OP_PULSES[node.op] + max(
+            finish[a] for a in node.args
+        )
+        longest = max(longest, finish[node.name])
+    return longest

@@ -1,0 +1,99 @@
+"""CIM architecture evaluation — the paper's primary contribution.
+
+Public API:
+
+* :class:`Workload` + builders (:func:`dna_workload`,
+  :func:`parallel_additions_workload`).
+* :class:`ConventionalMachine` / :class:`CIMMachine` — the two Fig 2
+  machine models.
+* :class:`MetricSet`, :func:`metrics_from_report`, :func:`improvement`
+  — the Table 2 metrics.
+* :func:`table2` — one-call Table 2 regeneration.
+* Table 1 presets (:mod:`repro.core.presets`).
+* Fig 1 classification model (:mod:`repro.core.classification`).
+"""
+
+from .cim import CIMMachine
+from .classification import (
+    ArchitectureClass,
+    ClassCost,
+    class_cost,
+    classify_all,
+    ordering_is_monotonic,
+)
+from .conventional import ConventionalMachine
+from .evaluate import Table2Result, evaluate_pair, table2
+from .metrics import (
+    ImprovementFactors,
+    MetricSet,
+    improvement,
+    metrics_from_report,
+)
+from .presets import (
+    PAPER_TABLE2,
+    cim_dna_machine,
+    cim_math_machine,
+    conventional_dna_machine,
+    conventional_math_machine,
+    dna_paper_workload,
+    math_paper_workload,
+)
+from .periphery import (
+    PeripheryModel,
+    PeripheryReport,
+    PeripherySpec,
+    corrected_performance_per_area,
+)
+from .report import MachineReport
+from .roofline import (
+    Roofline,
+    cim_roofline,
+    conventional_roofline,
+    intensity_sweep,
+    workload_intensity,
+)
+from .scaling import addition_sweep, coverage_sweep
+from .tiling import TilingReport, TilingStudy, feasible_tile_edge
+from .workload import Workload, dna_workload, parallel_additions_workload
+
+__all__ = [
+    "Workload",
+    "dna_workload",
+    "parallel_additions_workload",
+    "ConventionalMachine",
+    "CIMMachine",
+    "MachineReport",
+    "MetricSet",
+    "metrics_from_report",
+    "improvement",
+    "ImprovementFactors",
+    "table2",
+    "Table2Result",
+    "evaluate_pair",
+    "PAPER_TABLE2",
+    "conventional_dna_machine",
+    "conventional_math_machine",
+    "cim_dna_machine",
+    "cim_math_machine",
+    "dna_paper_workload",
+    "math_paper_workload",
+    "ArchitectureClass",
+    "ClassCost",
+    "class_cost",
+    "classify_all",
+    "ordering_is_monotonic",
+    "PeripheryModel",
+    "PeripherySpec",
+    "PeripheryReport",
+    "corrected_performance_per_area",
+    "coverage_sweep",
+    "addition_sweep",
+    "Roofline",
+    "conventional_roofline",
+    "cim_roofline",
+    "workload_intensity",
+    "intensity_sweep",
+    "TilingStudy",
+    "TilingReport",
+    "feasible_tile_edge",
+]

@@ -1,0 +1,162 @@
+"""Analytical model of the CIM (computation-in-memory) architecture.
+
+The right half of Fig 2: storage *and* compute units live in one
+memristor crossbar; CMOS appears only as periphery.  Evaluation follows
+the Table 1 CIM assumptions:
+
+* compute units are memristive blocks (IMPLY comparators, TC-adders)
+  whose latency is ``steps x write_time``;
+* dynamic energy is the unit's per-operation energy; static energy is
+  zero ("Static energy per comparator: 0 fJ [30]");
+* data residency is modelled with the same hit/miss parameters Table 1
+  keeps for CIM ("Date hit rate = 50%, Hit cycle time = 1 cycle, Miss
+  penalty = 165 cycle") — misses model streaming data into the crossbar
+  from bulk storage.
+
+The unit cost objects (:class:`~repro.logic.comparator.ComparatorCost`,
+:class:`~repro.logic.adders.TCAdderCost`) supply ``memristors``,
+``latency``, ``dynamic_energy`` and ``area``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from ..devices.technology import (
+    CMOSTechnology,
+    FINFET_22NM,
+    MEMRISTOR_5NM,
+    MemristorTechnology,
+)
+from ..errors import ArchitectureError
+from .report import MachineReport
+from .workload import Workload
+
+
+@dataclass(frozen=True)
+class CIMMachine:
+    """A crossbar CIM machine (Fig 2 right).
+
+    Attributes
+    ----------
+    name:
+        Configuration label.
+    units:
+        Parallel in-memory compute units.
+    unit:
+        Cost model of one unit — needs ``memristors`` (int),
+        ``latency`` (s), ``dynamic_energy`` (J) and ``area`` (m^2)
+        attributes.
+    storage_devices:
+        Memristors dedicated to data storage.  The DNA preset sets this
+        to the paper's "crossbar size equals to total cache size"
+        (1.536e8 devices) with the compute units carved *out of* that
+        pool; the math preset keeps compute adders separate.
+    compute_in_storage:
+        True when the units' memristors are part of ``storage_devices``
+        (DNA); False when they add area on top (math).
+    miss_penalty_cycles / hit_cycles / write_cycles:
+        Data-residency timing (Table 1 keeps the conventional values).
+    reference_clock:
+        CMOS clock used to convert residency cycles to seconds (the
+        paper's 1 GHz).
+    technology:
+        Memristor technology profile (area, write time/energy).
+    """
+
+    name: str
+    units: int
+    unit: object
+    storage_devices: int
+    compute_in_storage: bool = True
+    miss_penalty_cycles: int = 165
+    hit_cycles: int = 1
+    write_cycles: int = 1
+    reference_clock: CMOSTechnology = FINFET_22NM
+    technology: MemristorTechnology = MEMRISTOR_5NM
+
+    def __post_init__(self) -> None:
+        if self.units < 1:
+            raise ArchitectureError(f"units must be >= 1, got {self.units}")
+        if self.storage_devices < 0:
+            raise ArchitectureError("storage_devices cannot be negative")
+        for attribute in ("memristors", "latency", "dynamic_energy", "area"):
+            if not hasattr(self.unit, attribute):
+                raise ArchitectureError(
+                    f"unit cost model lacks attribute {attribute!r}"
+                )
+        if self.compute_in_storage:
+            needed = self.units * self.unit.memristors
+            if needed > self.storage_devices:
+                raise ArchitectureError(
+                    f"{self.units} units x {self.unit.memristors} memristors "
+                    f"exceed the {self.storage_devices}-device crossbar"
+                )
+
+    @classmethod
+    def packed_into_crossbar(
+        cls, name: str, unit: object, storage_devices: int, **kwargs
+    ) -> "CIMMachine":
+        """Build a machine with the maximum number of units that fit in
+        the crossbar (the DNA default when the paper leaves the unit
+        count unstated)."""
+        units = storage_devices // unit.memristors
+        if units < 1:
+            raise ArchitectureError(
+                f"crossbar of {storage_devices} devices cannot fit one "
+                f"{unit.memristors}-device unit"
+            )
+        return cls(
+            name=name,
+            units=units,
+            unit=unit,
+            storage_devices=storage_devices,
+            compute_in_storage=True,
+            **kwargs,
+        )
+
+    # -- evaluation -----------------------------------------------------------
+
+    def average_read_cycles(self, workload: Workload) -> float:
+        """Hit/miss-weighted residency latency per read, in cycles."""
+        return (
+            workload.hit_ratio * self.hit_cycles
+            + (1.0 - workload.hit_ratio) * self.miss_penalty_cycles
+        )
+
+    def round_time(self, workload: Workload) -> float:
+        """Seconds per round: serialized data accesses + unit latency."""
+        cycle = self.reference_clock.cycle_time
+        read_time = workload.reads_per_op * self.average_read_cycles(workload) * cycle
+        write_time = workload.writes_per_op * self.write_cycles * cycle
+        return read_time + write_time + self.unit.latency
+
+    def total_devices(self) -> int:
+        """All memristors in the machine."""
+        if self.compute_in_storage:
+            return self.storage_devices
+        return self.storage_devices + self.units * self.unit.memristors
+
+    def area(self) -> float:
+        """Crossbar area in m^2 (junctions only; the paper charges no
+        CMOS periphery to the CIM column)."""
+        return self.total_devices() * self.technology.cell_area
+
+    def evaluate(self, workload: Workload) -> MachineReport:
+        """Full time/energy/area evaluation of *workload*."""
+        rounds = math.ceil(workload.operations / self.units)
+        time = rounds * self.round_time(workload)
+        dynamic = workload.operations * self.unit.dynamic_energy
+        static = self.technology.static_power * self.total_devices() * time
+        return MachineReport(
+            machine=self.name,
+            workload=workload.name,
+            operations=workload.operations,
+            parallel_units=self.units,
+            rounds=rounds,
+            time=time,
+            energy=dynamic + static,
+            area=self.area(),
+            energy_breakdown={"dynamic": dynamic, "crossbar_static": static},
+        )

@@ -1,0 +1,86 @@
+"""Analytical model of the conventional (Von Neumann) machine.
+
+This is the left half of Fig 2 — clustered CMOS cores behind a shared
+L1 — evaluated with the Table 1 assumptions.  The timing/energy
+equations (DESIGN.md section 5):
+
+* ``rounds = ceil(N / parallel_units)`` — operations beyond the machine
+  width serialize.
+* Round time = serialized memory accesses (hit/miss-weighted reads plus
+  writes) + the unit's combinational latency.
+* Energy = per-op gate dynamic energy + gate leakage over the Table 1
+  leakage duration + cache static power over the whole execution.
+
+This model reproduces Table 2's conventional mathematics column to four
+significant figures (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from ..cmosarch.multicore import ClusteredMulticore
+from .report import MachineReport
+from .workload import Workload
+
+
+@dataclass(frozen=True)
+class ConventionalMachine:
+    """Wraps a :class:`ClusteredMulticore` with the Table 2 evaluation."""
+
+    machine: ClusteredMulticore
+
+    @property
+    def name(self) -> str:
+        return self.machine.name
+
+    def round_time(self, workload: Workload) -> float:
+        """Seconds per round: serialized cache accesses + unit latency.
+
+        The workload's hit ratio overrides the cache spec's (Table 1
+        assigns the ratio per application, not per cache).
+        """
+        spec = self.machine.cache.with_hit_ratio(workload.hit_ratio)
+        cycle = self.machine.technology.cycle_time
+        read_time = workload.reads_per_op * spec.average_read_cycles() * cycle
+        write_time = workload.writes_per_op * spec.write_cycles * cycle
+        return read_time + write_time + self.machine.unit.latency
+
+    def evaluate(self, workload: Workload) -> MachineReport:
+        """Full time/energy/area evaluation of *workload*."""
+        units = self.machine.parallel_units
+        rounds = math.ceil(workload.operations / units)
+        time = rounds * self.round_time(workload)
+
+        tech = self.machine.technology
+        dynamic = workload.operations * self.machine.unit.dynamic_energy
+        # Table 1: leakage duration = cycle time - delay per gate; the
+        # fleet of gates leaks for that fraction of the whole runtime.
+        leak_fraction = (tech.cycle_time - tech.gate_delay) / tech.cycle_time
+        logic_leakage = self.machine.logic_leakage_power() * time * leak_fraction
+        cache_static = self.machine.total_cache_static_power() * time
+        energy = dynamic + logic_leakage + cache_static
+
+        return MachineReport(
+            machine=self.name,
+            workload=workload.name,
+            operations=workload.operations,
+            parallel_units=units,
+            rounds=rounds,
+            time=time,
+            energy=energy,
+            area=self.machine.area(),
+            energy_breakdown={
+                "dynamic": dynamic,
+                "logic_leakage": logic_leakage,
+                "cache_static": cache_static,
+            },
+        )
+
+    def communication_energy_fraction(self, workload: Workload) -> float:
+        """Fraction of total energy spent outside computation (cache
+        static + leakage) — the paper's "70% to 90%" claim [2, 3, 4]."""
+        report = self.evaluate(workload)
+        non_compute = report.energy - report.energy_breakdown["dynamic"]
+        return non_compute / report.energy

@@ -1,0 +1,90 @@
+"""Table 2 regeneration: evaluate all four (machine, workload) cells.
+
+:func:`table2` is the single entry point the benchmarks, tests and
+examples share.  It returns a :class:`Table2Result` holding the machine
+reports, the three metrics per cell, the CIM/conventional improvement
+factors, and the paper's published values for side-by-side printing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .cim import CIMMachine
+from .conventional import ConventionalMachine
+from .metrics import ImprovementFactors, MetricSet, improvement, metrics_from_report
+from .presets import (
+    PAPER_TABLE2,
+    cim_dna_machine,
+    cim_math_machine,
+    conventional_dna_machine,
+    conventional_math_machine,
+    dna_paper_workload,
+    math_paper_workload,
+)
+from .report import MachineReport
+
+Cell = Tuple[str, str]  # (application, architecture)
+
+
+@dataclass
+class Table2Result:
+    """Everything needed to print the reproduced Table 2."""
+
+    reports: Dict[Cell, MachineReport] = field(default_factory=dict)
+    metrics: Dict[Cell, MetricSet] = field(default_factory=dict)
+    improvements: Dict[str, ImprovementFactors] = field(default_factory=dict)
+    paper: Dict[Cell, Dict[str, float]] = field(default_factory=dict)
+
+    def metric(self, application: str, architecture: str, name: str) -> float:
+        """Convenience accessor for one reproduced metric value."""
+        return self.metrics[(application, architecture)].as_dict()[name]
+
+    def paper_metric(self, application: str, architecture: str, name: str) -> float:
+        """The paper's published value for the same cell."""
+        return self.paper[(application, architecture)][name]
+
+
+def evaluate_pair(
+    conventional: ConventionalMachine,
+    cim: CIMMachine,
+    workload,
+) -> Tuple[MachineReport, MachineReport, ImprovementFactors]:
+    """Evaluate one workload on both architectures."""
+    conv_report = conventional.evaluate(workload)
+    cim_report = cim.evaluate(workload)
+    factors = improvement(
+        metrics_from_report(conv_report), metrics_from_report(cim_report)
+    )
+    return conv_report, cim_report, factors
+
+
+def table2(dna_packing: str = "paper") -> Table2Result:
+    """Reproduce Table 2 with the preset machines and workloads.
+
+    ``dna_packing`` selects the CIM DNA unit count: ``'paper'`` (600k
+    units, matching Table 2's implied configuration) or ``'max'``
+    (full crossbar packing — the architecture's actual potential).
+    """
+    result = Table2Result(paper=dict(PAPER_TABLE2))
+
+    dna = dna_paper_workload()
+    conv_dna, cim_dna, dna_factors = evaluate_pair(
+        conventional_dna_machine(), cim_dna_machine(dna_packing), dna
+    )
+    result.reports[("dna", "conventional")] = conv_dna
+    result.reports[("dna", "cim")] = cim_dna
+    result.improvements["dna"] = dna_factors
+
+    math_wl = math_paper_workload()
+    conv_math, cim_math, math_factors = evaluate_pair(
+        conventional_math_machine(), cim_math_machine(), math_wl
+    )
+    result.reports[("math", "conventional")] = conv_math
+    result.reports[("math", "cim")] = cim_math
+    result.improvements["math"] = math_factors
+
+    for cell, report in result.reports.items():
+        result.metrics[cell] = metrics_from_report(report)
+    return result

@@ -1,0 +1,92 @@
+"""The three Table 2 metrics and machine-vs-machine comparison.
+
+Metric definitions (explicit, since the paper omits units):
+
+* **Energy-delay per operation**: ``E x T / N`` in joule-seconds per
+  operation.  For a single-round workload this equals
+  (energy per op) x (execution time), which is how the paper's
+  mathematics column is computed.
+* **Computing efficiency**: ``N / E`` in operations per joule.
+* **Performance per area**: ``(N / T) / A`` in operations per second
+  per mm^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ArchitectureError
+from ..units import MM2
+from .report import MachineReport
+
+
+@dataclass(frozen=True)
+class MetricSet:
+    """The three Table 2 metrics for one (machine, workload) pair."""
+
+    machine: str
+    workload: str
+    energy_delay_per_op: float       # J*s per operation
+    computing_efficiency: float      # operations per joule
+    performance_per_area: float      # ops/s per mm^2
+
+    def as_dict(self) -> Dict[str, float]:
+        """Metric name -> value, keyed like the Table 2 row labels."""
+        return {
+            "energy_delay_per_op": self.energy_delay_per_op,
+            "computing_efficiency": self.computing_efficiency,
+            "performance_per_area": self.performance_per_area,
+        }
+
+
+def metrics_from_report(report: MachineReport) -> MetricSet:
+    """Compute the Table 2 metrics from a machine evaluation."""
+    n = report.operations
+    return MetricSet(
+        machine=report.machine,
+        workload=report.workload,
+        energy_delay_per_op=report.energy * report.time / n,
+        computing_efficiency=n / report.energy,
+        performance_per_area=(n / report.time) / (report.area / MM2),
+    )
+
+
+@dataclass(frozen=True)
+class ImprovementFactors:
+    """CIM-over-conventional improvement per metric (>1 means CIM wins).
+
+    ``energy_delay`` is conventional/CIM (smaller EDP is better), the
+    other two are CIM/conventional (larger is better).
+    """
+
+    workload: str
+    energy_delay: float
+    computing_efficiency: float
+    performance_per_area: float
+
+    def all_improvements(self) -> bool:
+        """True when CIM wins on every metric."""
+        return min(
+            self.energy_delay,
+            self.computing_efficiency,
+            self.performance_per_area,
+        ) > 1.0
+
+
+def improvement(conventional: MetricSet, cim: MetricSet) -> ImprovementFactors:
+    """Improvement factors of *cim* over *conventional* (same workload)."""
+    if conventional.workload != cim.workload:
+        raise ArchitectureError(
+            f"workload mismatch: {conventional.workload} vs {cim.workload}"
+        )
+    return ImprovementFactors(
+        workload=cim.workload,
+        energy_delay=conventional.energy_delay_per_op / cim.energy_delay_per_op,
+        computing_efficiency=(
+            cim.computing_efficiency / conventional.computing_efficiency
+        ),
+        performance_per_area=(
+            cim.performance_per_area / conventional.performance_per_area
+        ),
+    )

@@ -1,0 +1,115 @@
+"""CMOS periphery model for CIM crossbars.
+
+"The communication and control from/to the crossbar can be realized
+using CMOS technology" (Section III.A) — but Table 1 charges the CIM
+column no periphery area or energy, which flatters its
+performance-per-area.  This model quantifies the correction: row
+drivers, column sense amplifiers, and address decoders sized from the
+FinFET gate constants, for a crossbar organised as square tiles.
+
+Used by the `bench_ablation_periphery` study to show how much of the
+paper's perf/area claim survives a realistic CMOS overhead (answer:
+CIM still wins by orders of magnitude — junctions are just that small).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..devices.technology import CMOSTechnology, FINFET_22NM
+from ..errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class PeripherySpec:
+    """Gate budgets for the crossbar's CMOS service logic.
+
+    Defaults are conservative textbook sizes: a line driver is a
+    buffer chain (~8 gates), a current sense amplifier ~30 gates, a
+    decoder one AND-tree leaf per line plus shared predecode.
+    """
+
+    gates_per_driver: int = 8
+    gates_per_sense_amp: int = 30
+    decoder_gates_per_line: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.gates_per_driver, self.gates_per_sense_amp,
+               self.decoder_gates_per_line) < 1:
+            raise ArchitectureError("periphery gate budgets must be >= 1")
+
+
+@dataclass(frozen=True)
+class PeripheryReport:
+    """Area/power of the periphery for one crossbar organisation."""
+
+    tiles: int
+    tile_rows: int
+    tile_cols: int
+    gates: int
+    area: float              # m^2
+    static_power: float      # watts
+
+
+class PeripheryModel:
+    """Sizes periphery for a device count organised as square tiles."""
+
+    def __init__(
+        self,
+        spec: PeripherySpec = None,
+        technology: CMOSTechnology = FINFET_22NM,
+    ) -> None:
+        self.spec = spec if spec is not None else PeripherySpec()
+        self.technology = technology
+
+    def gates_per_tile(self, rows: int, cols: int) -> int:
+        """CMOS gates serving one rows x cols tile."""
+        if rows < 1 or cols < 1:
+            raise ArchitectureError("tile dimensions must be positive")
+        drivers = (rows + cols) * self.spec.gates_per_driver
+        sense = cols * self.spec.gates_per_sense_amp
+        address_bits = math.ceil(math.log2(max(rows, 2)))
+        decoder = (rows + cols) * self.spec.decoder_gates_per_line + 4 * address_bits
+        return drivers + sense + decoder
+
+    def evaluate(self, devices: int, tile_rows: int = 512, tile_cols: int = 512) -> PeripheryReport:
+        """Periphery bill for *devices* junctions in fixed-size tiles."""
+        if devices < 1:
+            raise ArchitectureError(f"devices must be >= 1, got {devices}")
+        per_tile = tile_rows * tile_cols
+        tiles = math.ceil(devices / per_tile)
+        gates = tiles * self.gates_per_tile(tile_rows, tile_cols)
+        return PeripheryReport(
+            tiles=tiles,
+            tile_rows=tile_rows,
+            tile_cols=tile_cols,
+            gates=gates,
+            area=gates * self.technology.gate_area,
+            static_power=gates * self.technology.gate_leakage,
+        )
+
+
+def corrected_performance_per_area(
+    machine, workload, tile_rows: int = 512, tile_cols: int = 512,
+    model: PeripheryModel = None,
+) -> dict:
+    """Performance/area of a CIM machine with and without periphery.
+
+    Returns ``{"raw": ..., "corrected": ..., "area_factor": ...}`` in
+    ops/s/mm^2; ``area_factor`` is (junctions + periphery) / junctions.
+    """
+    from ..units import MM2
+
+    model = model if model is not None else PeripheryModel()
+    report = machine.evaluate(workload)
+    periphery = model.evaluate(machine.total_devices(), tile_rows, tile_cols)
+    raw_area = report.area
+    corrected_area = raw_area + periphery.area
+    throughput = report.operations / report.time
+    return {
+        "raw": throughput / (raw_area / MM2),
+        "corrected": throughput / (corrected_area / MM2),
+        "area_factor": corrected_area / raw_area,
+        "periphery": periphery,
+    }

@@ -1,0 +1,75 @@
+"""Evaluation reports shared by the conventional and CIM machine models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..errors import ArchitectureError
+from ..units import MM2, si_format
+
+
+@dataclass
+class MachineReport:
+    """Result of evaluating one machine on one workload.
+
+    All quantities in base SI units.  ``energy_breakdown`` maps
+    component labels (``dynamic``, ``logic_leakage``, ``cache_static``)
+    to joules and always sums to ``energy``.
+    """
+
+    machine: str
+    workload: str
+    operations: int
+    parallel_units: int
+    rounds: int
+    time: float
+    energy: float
+    area: float
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if min(self.time, self.energy, self.area) <= 0:
+            raise ArchitectureError(
+                f"{self.machine}/{self.workload}: time, energy and area must "
+                "be positive"
+            )
+        if self.energy_breakdown:
+            total = sum(self.energy_breakdown.values())
+            if abs(total - self.energy) > 1e-9 * max(abs(self.energy), 1e-30):
+                raise ArchitectureError(
+                    f"{self.machine}: breakdown sums to {total}, "
+                    f"energy is {self.energy}"
+                )
+
+    # -- derived per-op quantities ------------------------------------------
+
+    @property
+    def energy_per_op(self) -> float:
+        """Joules per operation."""
+        return self.energy / self.operations
+
+    @property
+    def time_per_op(self) -> float:
+        """Amortised seconds per operation (wall time / N)."""
+        return self.time / self.operations
+
+    @property
+    def throughput(self) -> float:
+        """Operations per second."""
+        return self.operations / self.time
+
+    def dominant_energy_component(self) -> str:
+        """Label of the largest energy contributor (or 'total')."""
+        if not self.energy_breakdown:
+            return "total"
+        return max(self.energy_breakdown, key=self.energy_breakdown.get)
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.machine} on {self.workload}: "
+            f"T={si_format(self.time, 's')}, E={si_format(self.energy, 'J')}, "
+            f"A={self.area / MM2:.4g} mm^2, units={self.parallel_units}, "
+            f"rounds={self.rounds}"
+        )

@@ -1,0 +1,104 @@
+"""Data-size scaling study — the Big-Data motivation of Section II.
+
+"The speed at which data is growing has already surpassed the
+capabilities of today's computation architectures suffering from ...
+limited scalability."  Concretely: the conventional DNA machine is
+area-capped ("limited with the state-of-the-art chip area" fixes 18750
+clusters), so its execution time grows linearly with data volume, and
+its cache-static energy grows with it.  The CIM machine packs ~20x more
+comparators into the *same* storage footprint, so the gap widens with
+the data.  :func:`coverage_sweep` generates that curve for the DNA
+workload; :func:`addition_sweep` does the same for the mathematics
+example where the conventional machine is allowed to scale its clusters
+(the paper's "fully scalable" mode) and the win becomes energy-only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..errors import WorkloadError
+from .cim import CIMMachine
+from .conventional import ConventionalMachine
+from .presets import (
+    cim_dna_machine,
+    cim_math_machine,
+    conventional_dna_machine,
+    conventional_math_machine,
+)
+from .workload import dna_workload, parallel_additions_workload
+
+
+def coverage_sweep(
+    coverages: Sequence[int] = (10, 25, 50, 100, 200),
+    cim_packing: str = "max",
+) -> List[Dict[str, float]]:
+    """DNA data volume sweep at fixed silicon.
+
+    Both machines keep their Table 1 configuration while the sequencing
+    coverage (hence data volume and comparison count) grows; returns
+    per-coverage times, energies and the CIM advantage.
+    """
+    if not coverages:
+        raise WorkloadError("need at least one coverage point")
+    conventional = conventional_dna_machine()
+    cim = cim_dna_machine(cim_packing)
+    rows = []
+    for coverage in coverages:
+        workload = dna_workload(coverage=coverage)
+        conv_report = conventional.evaluate(workload)
+        cim_report = cim.evaluate(workload)
+        rows.append({
+            "coverage": coverage,
+            "operations": workload.operations,
+            "conv_time": conv_report.time,
+            "cim_time": cim_report.time,
+            "conv_energy": conv_report.energy,
+            "cim_energy": cim_report.energy,
+            "time_advantage": conv_report.time / cim_report.time,
+            "energy_advantage": conv_report.energy / cim_report.energy,
+        })
+    return rows
+
+
+def addition_sweep(
+    counts: Sequence[int] = (10**4, 10**5, 10**6, 10**7),
+) -> List[Dict[str, float]]:
+    """Mathematics scaling where *both* machines scale their compute.
+
+    The conventional machine re-clusters to one adder per addition (the
+    paper's "fully scalable reusing clusters"); the CIM machine scales
+    its adder count identically.  Times stay flat (1 round each); the
+    separation is pure energy/area — the paper's computation-efficiency
+    argument isolated from parallelism.
+    """
+    if not counts:
+        raise WorkloadError("need at least one count")
+    rows = []
+    base_conv = conventional_math_machine()
+    for count in counts:
+        workload = parallel_additions_workload(count)
+        conventional = ConventionalMachine(
+            base_conv.machine.scaled_to_units(count)
+        )
+        template = cim_math_machine()
+        cim = CIMMachine(
+            name=template.name,
+            units=count,
+            unit=template.unit,
+            storage_devices=max(1, template.storage_devices),
+            compute_in_storage=False,
+        )
+        conv_report = conventional.evaluate(workload)
+        cim_report = cim.evaluate(workload)
+        rows.append({
+            "count": count,
+            "conv_time": conv_report.time,
+            "cim_time": cim_report.time,
+            "conv_energy_per_op": conv_report.energy_per_op,
+            "cim_energy_per_op": cim_report.energy_per_op,
+            "energy_advantage": conv_report.energy / cim_report.energy,
+            "conv_area": conv_report.area,
+            "cim_area": cim_report.area,
+        })
+    return rows

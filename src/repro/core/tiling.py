@@ -1,0 +1,175 @@
+"""Junction choice → tile size → system cost: the integration study.
+
+Section III.A claims "huge crossbar architectures allowing massive
+parallelism are feasible"; Section IV.B admits bare crossbars are
+sneak-path-limited to small arrays.  Both are right — the resolution is
+*tiling*: a big CIM machine is many electrically-independent tiles, the
+tile edge set by the junction technology's worst-case read margin, and
+every tile pays its own CMOS periphery.  This module closes that loop:
+
+1. :func:`feasible_tile_edge` finds the largest square tile a junction
+   family sustains at a required margin (electrical layer);
+2. :class:`TilingStudy` turns a device budget into tiles + periphery
+   and reports the corrected area/static-power bill (architecture
+   layer).
+
+The headline output (see ``bench_ablation_tiling.py``): bare 1R
+junctions force tiny tiles whose periphery dwarfs the array, while CRS
+junctions sustain large tiles — the *system-level* reason the paper
+spends a full section on the CRS cell.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from ..crossbar.multistage import multistage_read_margin
+from ..crossbar.sneak import read_margin
+from ..errors import ArchitectureError
+from .periphery import PeripheryModel
+
+JunctionFactory = Callable[[int, int], object]
+
+#: Tile edges probed by default (kept small: the electrical solve is
+#: dense O(n^2) per probe).
+DEFAULT_EDGES = (2, 4, 8, 16, 32)
+
+
+def feasible_tile_edge(
+    junction_factory: Optional[JunctionFactory] = None,
+    min_margin: float = 2.0,
+    edges: Sequence[int] = DEFAULT_EDGES,
+    multistage: bool = False,
+) -> int:
+    """Largest probed square tile whose worst-case margin stays above
+    *min_margin*; 0 when even the smallest fails.
+
+    ``multistage=True`` evaluates under the two-phase sneak-cancelling
+    readout instead of the single-phase floating read.
+    """
+    best = 0
+    for edge in sorted(edges):
+        if multistage:
+            report = multistage_read_margin(edge, edge, junction_factory)
+        else:
+            report = read_margin(edge, edge, junction_factory)
+        if report.margin >= min_margin:
+            best = edge
+    return best
+
+
+@dataclass(frozen=True)
+class TilingReport:
+    """System bill for one junction choice.
+
+    Areas in m^2, powers in watts.  ``periphery_area_ratio`` is
+    periphery area over junction area — the tax the junction choice
+    imposes on the whole machine.
+    """
+
+    junction: str
+    tile_edge: int
+    tiles: int
+    junction_area: float
+    periphery_area: float
+    periphery_static_power: float
+
+    @property
+    def total_area(self) -> float:
+        return self.junction_area + self.periphery_area
+
+    @property
+    def periphery_area_ratio(self) -> float:
+        return self.periphery_area / self.junction_area
+
+    @property
+    def feasible(self) -> bool:
+        return self.tile_edge > 0
+
+
+class TilingStudy:
+    """Evaluates junction families for a device budget.
+
+    Parameters
+    ----------
+    devices:
+        Total memristors the machine needs (e.g. the Table 1 DNA
+        crossbar's 1.536e8).
+    min_margin:
+        Required worst-case read margin.
+    cell_area:
+        Junction area in m^2 (Table 1 default via the periphery model's
+        technology is *CMOS*; the junction area comes from the
+        memristor profile).
+    """
+
+    def __init__(
+        self,
+        devices: int,
+        min_margin: float = 2.0,
+        cell_area: float = 1e-4 * 1e-12,
+        periphery: Optional[PeripheryModel] = None,
+    ) -> None:
+        if devices < 1:
+            raise ArchitectureError(f"devices must be >= 1, got {devices}")
+        if min_margin < 1.0:
+            raise ArchitectureError(
+                f"min_margin must be >= 1, got {min_margin}"
+            )
+        if cell_area <= 0:
+            raise ArchitectureError(f"cell_area must be positive")
+        self.devices = devices
+        self.min_margin = min_margin
+        self.cell_area = cell_area
+        self.periphery = periphery if periphery is not None else PeripheryModel()
+
+    def evaluate_junction(
+        self,
+        name: str,
+        junction_factory: Optional[JunctionFactory] = None,
+        edges: Sequence[int] = DEFAULT_EDGES,
+        multistage: bool = False,
+        devices_per_junction: int = 1,
+    ) -> TilingReport:
+        """System bill when the machine is built from *junction_factory*
+        junctions (``devices_per_junction=2`` for CRS cells)."""
+        edge = feasible_tile_edge(
+            junction_factory, self.min_margin, edges, multistage
+        )
+        if edge == 0:
+            return TilingReport(
+                junction=name, tile_edge=0, tiles=0,
+                junction_area=self.devices * self.cell_area,
+                periphery_area=float("inf"),
+                periphery_static_power=float("inf"),
+            )
+        junctions = math.ceil(self.devices / devices_per_junction)
+        tiles = math.ceil(junctions / (edge * edge))
+        gates = tiles * self.periphery.gates_per_tile(edge, edge)
+        technology = self.periphery.technology
+        return TilingReport(
+            junction=name,
+            tile_edge=edge,
+            tiles=tiles,
+            junction_area=self.devices * self.cell_area * devices_per_junction,
+            periphery_area=gates * technology.gate_area,
+            periphery_static_power=gates * technology.gate_leakage,
+        )
+
+    def compare(self, multistage_for_1r: bool = False) -> Dict[str, TilingReport]:
+        """The three Fig 3 junction families, as system bills."""
+        from ..crossbar.selector import CRSJunction, OneSelectorOneR
+
+        return {
+            "1R": self.evaluate_junction(
+                "1R", None, multistage=multistage_for_1r
+            ),
+            "1S1R": self.evaluate_junction(
+                "1S1R", lambda r, c: OneSelectorOneR()
+            ),
+            "CRS": self.evaluate_junction(
+                "CRS", lambda r, c: CRSJunction(), devices_per_junction=2
+            ),
+        }

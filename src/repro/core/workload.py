@@ -1,0 +1,115 @@
+"""Workload descriptions for the architecture-level evaluation.
+
+A :class:`Workload` reduces an application to the quantities the Table 2
+evaluation needs: how many operations (the paper's operation counts),
+how many serialized memory accesses each operation performs, and which
+cache hit ratio applies.  The two paper workloads are built by
+:func:`dna_workload` (with Table 1's exact formulas) and
+:func:`parallel_additions_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import WorkloadError
+from ..units import GB
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An architecture-independent workload description.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    operations:
+        Total operation count N — the denominator of every Table 2
+        metric.
+    reads_per_op:
+        Serialized memory reads each operation waits on.  For the DNA
+        workload this is the short-read length (every character of a
+        short read is fetched and compared in sequence); for additions
+        it is the two operands.
+    writes_per_op:
+        Serialized memory writes per operation (results).
+    hit_ratio:
+        Cache / crossbar data hit ratio Table 1 assigns to the workload.
+    """
+
+    name: str
+    operations: int
+    reads_per_op: float
+    writes_per_op: float
+    hit_ratio: float
+
+    def __post_init__(self) -> None:
+        if self.operations < 1:
+            raise WorkloadError(f"operations must be >= 1, got {self.operations}")
+        if self.reads_per_op < 0 or self.writes_per_op < 0:
+            raise WorkloadError("per-op access counts must be non-negative")
+        if not 0.0 <= self.hit_ratio <= 1.0:
+            raise WorkloadError(f"hit_ratio must lie in [0, 1], got {self.hit_ratio}")
+
+    @property
+    def total_reads(self) -> float:
+        """All memory reads issued by the workload."""
+        return self.operations * self.reads_per_op
+
+    @property
+    def total_writes(self) -> float:
+        """All memory writes issued by the workload."""
+        return self.operations * self.writes_per_op
+
+
+def dna_workload(
+    coverage: int = 50,
+    reference_bases: int = 3 * GB,
+    short_read_len: int = 100,
+    hit_ratio: float = 0.5,
+) -> Workload:
+    """The Table 1 healthcare workload, formulas verbatim.
+
+    * ``no_short_reads = coverage * reference_bases / short_read_len``
+      (Table 1: 50 * 3 Giga / 100 = 1.5e9)
+    * ``no_comparisons = 4 * no_short_reads`` — "for each A, C, G, T
+      nucleotides" (= 6e9)
+
+    Each comparison walks the ``short_read_len`` characters of a short
+    read, so ``reads_per_op = short_read_len`` serialized fetches; this
+    is the access model that reproduces the Table 2 execution time
+    (0.083 s on the conventional machine — see DESIGN.md section 5).
+    """
+    if coverage < 1 or reference_bases < 1 or short_read_len < 1:
+        raise WorkloadError("DNA workload parameters must be positive")
+    no_short_reads = coverage * reference_bases // short_read_len
+    no_comparisons = 4 * no_short_reads
+    return Workload(
+        name=f"dna-seq(cov={coverage},len={short_read_len})",
+        operations=no_comparisons,
+        reads_per_op=float(short_read_len),
+        writes_per_op=0.0,
+        hit_ratio=hit_ratio,
+    )
+
+
+def parallel_additions_workload(
+    count: int = 10**6,
+    hit_ratio: float = 0.98,
+) -> Workload:
+    """The Table 1 mathematics workload: *count* 32-bit additions.
+
+    Each addition reads two operands and writes one result ("remaining
+    parameters are the same as for the healthcare example", with a 98%
+    hit rate).
+    """
+    if count < 1:
+        raise WorkloadError(f"count must be >= 1, got {count}")
+    return Workload(
+        name=f"parallel-add({count})",
+        operations=count,
+        reads_per_op=2.0,
+        writes_per_op=1.0,
+        hit_ratio=hit_ratio,
+    )

@@ -1,0 +1,134 @@
+"""Crossbar array container.
+
+The paper's CIM fabric is "a very dense crossbar array where memristors
+are injected at each junction of the crossbar (top electrode and bottom
+electrode)".  :class:`CrossbarArray` holds one junction object per
+(row, column) cross-point and exposes the conductance matrix that the
+electrical solver consumes.
+
+A junction is any object with ``resistance() -> float`` (ohms); the
+device models in :mod:`repro.devices` and the selector stacks in
+:mod:`repro.crossbar.selector` all qualify.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.base import IdealBipolarMemristor
+from ..errors import CrossbarError
+
+JunctionFactory = Callable[[int, int], object]
+
+
+class CrossbarArray:
+    """A rows x cols grid of resistive junctions.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions (positive).
+    junction_factory:
+        Called as ``factory(row, col)`` to build each junction.  Defaults
+        to a fresh :class:`IdealBipolarMemristor` in HRS per cross-point.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        junction_factory: JunctionFactory = None,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise CrossbarError(f"array dimensions must be positive, got {rows}x{cols}")
+        if junction_factory is None:
+            junction_factory = lambda r, c: IdealBipolarMemristor()
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self._cells: List[List[object]] = [
+            [junction_factory(r, c) for c in range(cols)] for r in range(rows)
+        ]
+
+    # -- addressing ------------------------------------------------------
+
+    def _check_address(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise CrossbarError(
+                f"cell ({row}, {col}) outside {self.rows}x{self.cols} array"
+            )
+
+    def cell(self, row: int, col: int) -> object:
+        """The junction object at (*row*, *col*)."""
+        self._check_address(row, col)
+        return self._cells[row][col]
+
+    def set_cell(self, row: int, col: int, junction: object) -> None:
+        """Replace the junction at (*row*, *col*)."""
+        self._check_address(row, col)
+        self._cells[row][col] = junction
+
+    def iter_cells(self) -> Iterator[Tuple[int, int, object]]:
+        """Iterate ``(row, col, junction)`` over the whole array."""
+        for r in range(self.rows):
+            for c in range(self.cols):
+                yield r, c, self._cells[r][c]
+
+    # -- electrical view ------------------------------------------------------
+
+    def conductance_matrix(self) -> np.ndarray:
+        """Junction conductances as a (rows, cols) float array (siemens)."""
+        g = np.empty((self.rows, self.cols))
+        for r in range(self.rows):
+            for c in range(self.cols):
+                g[r, c] = 1.0 / self._cells[r][c].resistance()
+        return g
+
+    # -- digital view ----------------------------------------------------------
+
+    def write_pattern(self, bits: Sequence[Sequence[int]]) -> None:
+        """Program the array from a 2D bit pattern.
+
+        Junctions must expose ``write_bit`` (memristors and selector
+        stacks do; bare resistors do not).
+        """
+        if len(bits) != self.rows or any(len(row) != self.cols for row in bits):
+            raise CrossbarError(
+                f"pattern shape does not match {self.rows}x{self.cols} array"
+            )
+        for r, row in enumerate(bits):
+            for c, bit in enumerate(row):
+                cell = self._cells[r][c]
+                if not hasattr(cell, "write_bit"):
+                    raise CrossbarError(
+                        f"junction at ({r}, {c}) is not writable: {type(cell).__name__}"
+                    )
+                cell.write_bit(bit)
+
+    def read_pattern(self) -> List[List[int]]:
+        """Digital state of every junction (via ``as_bit``)."""
+        pattern = []
+        for r in range(self.rows):
+            row_bits = []
+            for c in range(self.cols):
+                cell = self._cells[r][c]
+                if not hasattr(cell, "as_bit"):
+                    raise CrossbarError(
+                        f"junction at ({r}, {c}) has no digital state: {type(cell).__name__}"
+                    )
+                row_bits.append(cell.as_bit())
+            pattern.append(row_bits)
+        return pattern
+
+    def fill(self, bit: int) -> None:
+        """Program every junction to *bit*."""
+        self.write_pattern([[bit] * self.cols for _ in range(self.rows)])
+
+    @property
+    def size(self) -> int:
+        """Total junction count (rows x cols)."""
+        return self.rows * self.cols
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CrossbarArray({self.rows}x{self.cols})"

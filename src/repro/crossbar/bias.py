@@ -1,0 +1,137 @@
+"""Bias schemes for addressing a cell in a passive crossbar.
+
+Section IV.B lists bias schemes as one of the three ways to fight sneak
+paths: "the voltage bias applied to non-accessed wordlines and bitlines
+are set to values different from those applied to accessed wordline and
+bitlines in order to minimize the sneak path current".  The classic
+choices are implemented here:
+
+* :class:`FloatingBias` — only the selected lines are driven; everything
+  else floats.  Cheapest drivers, worst sneak currents.
+* :class:`GroundedBias` — all unselected lines grounded.  Sneak current
+  is diverted away from the sense line at the cost of high driver power.
+* :class:`VHalfBias` — unselected lines at V/2: unselected junctions see
+  at most V/2, half-selected ones V/2.
+* :class:`VThirdBias` — unselected rows at V/3 and unselected columns at
+  2V/3: every unselected junction sees at most V/3.
+
+Each scheme produces the ``row_drive`` / ``col_drive`` mappings consumed
+by :mod:`repro.crossbar.solver`, plus the worst-case voltage stress on
+unselected cells (the write-disturb figure of merit).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Tuple
+
+from ..errors import CrossbarError
+from .solver import LineDrive
+
+
+class BiasScheme(abc.ABC):
+    """Strategy producing line drives for a single-cell access."""
+
+    #: Scheme name used in reports and benchmark tables.
+    name: str = "abstract"
+
+    def drives(
+        self, rows: int, cols: int, sel_row: int, sel_col: int, v_access: float
+    ) -> Tuple[LineDrive, LineDrive]:
+        """Return ``(row_drive, col_drive)`` for accessing one cell.
+
+        The selected row is driven to *v_access* and the selected column
+        to ground in every scheme; subclasses decide the unselected
+        lines.
+        """
+        if not (0 <= sel_row < rows and 0 <= sel_col < cols):
+            raise CrossbarError(
+                f"selected cell ({sel_row}, {sel_col}) outside {rows}x{cols} array"
+            )
+        if v_access == 0:
+            raise CrossbarError("access voltage must be nonzero")
+        row_drive: LineDrive = {sel_row: v_access}
+        col_drive: LineDrive = {sel_col: 0.0}
+        self._add_unselected(row_drive, col_drive, rows, cols, v_access)
+        return row_drive, col_drive
+
+    @abc.abstractmethod
+    def _add_unselected(
+        self, row_drive: LineDrive, col_drive: LineDrive,
+        rows: int, cols: int, v_access: float,
+    ) -> None:
+        """Populate drives for the unselected lines (may be a no-op)."""
+
+    @abc.abstractmethod
+    def max_unselected_stress(self, v_access: float) -> float:
+        """Largest |voltage| an unselected junction can see (volts).
+
+        This is the disturb stress a threshold device must withstand;
+        write schemes require it to stay below the device threshold.
+        """
+
+
+class FloatingBias(BiasScheme):
+    """Unselected lines float (the naive passive crossbar)."""
+
+    name = "floating"
+
+    def _add_unselected(self, row_drive, col_drive, rows, cols, v_access):
+        return None
+
+    def max_unselected_stress(self, v_access: float) -> float:
+        # A floating sneak path of three junctions can place up to a
+        # third of the access voltage on each, but the worst single-cell
+        # case (one HRS cell among LRS neighbours) approaches V.
+        return abs(v_access)
+
+
+class GroundedBias(BiasScheme):
+    """All unselected rows and columns driven to ground."""
+
+    name = "grounded"
+
+    def _add_unselected(self, row_drive, col_drive, rows, cols, v_access):
+        for r in range(rows):
+            row_drive.setdefault(r, 0.0)
+        for c in range(cols):
+            col_drive.setdefault(c, 0.0)
+
+    def max_unselected_stress(self, v_access: float) -> float:
+        # Half-selected cells on the driven row see the full voltage.
+        return abs(v_access)
+
+
+class VHalfBias(BiasScheme):
+    """Unselected rows and columns at V/2."""
+
+    name = "v/2"
+
+    def _add_unselected(self, row_drive, col_drive, rows, cols, v_access):
+        half = v_access / 2.0
+        for r in range(rows):
+            row_drive.setdefault(r, half)
+        for c in range(cols):
+            col_drive.setdefault(c, half)
+
+    def max_unselected_stress(self, v_access: float) -> float:
+        return abs(v_access) / 2.0
+
+
+class VThirdBias(BiasScheme):
+    """Unselected rows at V/3, unselected columns at 2V/3."""
+
+    name = "v/3"
+
+    def _add_unselected(self, row_drive, col_drive, rows, cols, v_access):
+        for r in range(rows):
+            row_drive.setdefault(r, v_access / 3.0)
+        for c in range(cols):
+            col_drive.setdefault(c, 2.0 * v_access / 3.0)
+
+    def max_unselected_stress(self, v_access: float) -> float:
+        return abs(v_access) / 3.0
+
+
+#: All built-in schemes, in sneak-severity order, for sweeps and benches.
+ALL_SCHEMES = (FloatingBias(), GroundedBias(), VHalfBias(), VThirdBias())

@@ -1,0 +1,137 @@
+"""Write-disturb analysis: the voltage-time dilemma in crossbar writes.
+
+Writing one cell in a passive crossbar exposes every half-selected cell
+to a fraction of the write voltage (set by the bias scheme).  For ideal
+threshold devices the criterion is binary — stress below threshold
+means zero disturb.  Real devices (the ECM kinetics of
+:class:`repro.devices.ecm.ECMMemristor`) switch at *any* voltage with
+exponentially voltage-dependent speed, so each half-select event nudges
+the state; the figure of merit is how many disturb events a cell
+survives before its stored bit degrades.  This module computes both
+views for every bias scheme — the quantitative basis for choosing V/2
+vs V/3 biasing (Section IV.B).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..devices.base import IdealBipolarMemristor
+from ..devices.ecm import ECMMemristor
+from ..errors import CrossbarError
+from .bias import ALL_SCHEMES, BiasScheme
+
+
+@dataclass(frozen=True)
+class DisturbReport:
+    """Disturb resilience of one device/scheme/write-voltage combination.
+
+    ``events_to_failure`` is the number of half-select pulses before the
+    state moves by the failure margin (``inf`` when the stress is below
+    the device's nucleation/threshold voltage).
+    """
+
+    scheme: str
+    write_voltage: float
+    stress_voltage: float
+    drift_per_event: float
+    events_to_failure: float
+
+    @property
+    def disturb_free(self) -> bool:
+        return math.isinf(self.events_to_failure)
+
+
+def threshold_disturb_free(
+    scheme: BiasScheme,
+    v_write: float,
+    device: Optional[IdealBipolarMemristor] = None,
+) -> bool:
+    """Binary criterion for ideal threshold devices: the scheme's
+    worst-case unselected stress must stay inside both thresholds."""
+    device = device if device is not None else IdealBipolarMemristor()
+    stress = scheme.max_unselected_stress(v_write)
+    return (stress < device.thresholds.v_set
+            and -stress > device.thresholds.v_reset)
+
+
+def ecm_disturb_report(
+    scheme: BiasScheme,
+    v_write: float,
+    device: Optional[ECMMemristor] = None,
+    pulse_width: float = 1e-9,
+    failure_margin: float = 0.4,
+) -> DisturbReport:
+    """Disturb budget of an ECM cell under *scheme* at *v_write*.
+
+    The half-selected cell sees the scheme's worst-case stress for one
+    *pulse_width* per neighbouring write; state drift accumulates until
+    it crosses *failure_margin* (default 0.4: a stored '0' at x=0
+    corrupts when x reaches the 0.5 logic threshold minus guard band).
+    """
+    if v_write <= 0:
+        raise CrossbarError(f"v_write must be positive, got {v_write}")
+    if pulse_width <= 0:
+        raise CrossbarError(f"pulse_width must be positive, got {pulse_width}")
+    if not 0.0 < failure_margin <= 1.0:
+        raise CrossbarError(
+            f"failure_margin must lie in (0, 1], got {failure_margin}"
+        )
+    device = device if device is not None else ECMMemristor()
+    stress = scheme.max_unselected_stress(v_write)
+    if stress < device.v_nucleation:
+        return DisturbReport(
+            scheme=scheme.name,
+            write_voltage=v_write,
+            stress_voltage=stress,
+            drift_per_event=0.0,
+            events_to_failure=float("inf"),
+        )
+    # Worst case: the stress polarity drives the state toward failure;
+    # growth rate near x=0 is the full sinh rate.
+    rate = math.sinh(stress / device.v0) / device.tau0
+    drift = min(1.0, rate * pulse_width)
+    events = failure_margin / drift if drift > 0 else float("inf")
+    return DisturbReport(
+        scheme=scheme.name,
+        write_voltage=v_write,
+        stress_voltage=stress,
+        drift_per_event=drift,
+        events_to_failure=events,
+    )
+
+
+def compare_schemes(
+    v_write: float = 1.2,
+    device: Optional[ECMMemristor] = None,
+    schemes: Sequence[BiasScheme] = ALL_SCHEMES,
+) -> list:
+    """Disturb reports for every bias scheme at one write voltage —
+    the Section IV.B scheme-selection table as data."""
+    return [
+        ecm_disturb_report(scheme, v_write, device) for scheme in schemes
+    ]
+
+
+def max_writes_per_row(
+    scheme: BiasScheme,
+    v_write: float,
+    cells_per_row: int,
+    device: Optional[ECMMemristor] = None,
+) -> float:
+    """How many same-row writes a cell tolerates before refresh.
+
+    Each write to any *other* cell of the row half-selects this cell
+    once, so the budget is ``events_to_failure / (cells_per_row - 1)``
+    row-fill operations (``inf`` when disturb-free).
+    """
+    if cells_per_row < 2:
+        raise CrossbarError(
+            f"cells_per_row must be >= 2, got {cells_per_row}"
+        )
+    report = ecm_disturb_report(scheme, v_write, device)
+    if report.disturb_free:
+        return float("inf")
+    return report.events_to_failure / (cells_per_row - 1)

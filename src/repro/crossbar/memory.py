@@ -1,0 +1,165 @@
+"""Word-addressable crossbar memory with energy/latency accounting.
+
+This is the "Memristor for Crossbar Memories" layer (Section IV.B):
+words live in rows, cells are either plain memristors (1R) or CRS
+junctions, and every access is charged against a
+:class:`~repro.devices.technology.MemristorTechnology` profile.  CRS
+reads follow the paper's destructive-read protocol: "reading ON state is
+a destructive operation, therefore, it is necessary to write back the
+previous state of the cell after reading it".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from ..devices.crs import ComplementaryResistiveSwitch
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import CrossbarError
+from .array import CrossbarArray
+from .selector import CRSJunction, OneR
+
+
+@dataclass
+class AccessStats:
+    """Running totals for a :class:`CrossbarMemory` instance.
+
+    ``device_writes`` counts individual memristor write pulses
+    (including CRS write-backs), which is what the 1 fJ Table 1 figure
+    is charged per; ``energy`` and ``time`` are in joules/seconds.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    device_writes: int = 0
+    write_backs: int = 0
+    energy: float = 0.0
+    time: float = 0.0
+
+    def merge(self, other: "AccessStats") -> "AccessStats":
+        """Sum of two stat blocks (for aggregating banks)."""
+        return AccessStats(
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+            device_writes=self.device_writes + other.device_writes,
+            write_backs=self.write_backs + other.write_backs,
+            energy=self.energy + other.energy,
+            time=self.time + other.time,
+        )
+
+
+class CrossbarMemory:
+    """A words x width crossbar storing one word per row.
+
+    Parameters
+    ----------
+    words:
+        Number of rows (words).
+    width:
+        Bits per word (columns).
+    cell_kind:
+        ``"1R"`` for plain memristor junctions or ``"CRS"`` for
+        complementary resistive switches (destructive read +
+        write-back).
+    technology:
+        Energy/time constants; defaults to the paper's 5 nm profile.
+    """
+
+    def __init__(
+        self,
+        words: int,
+        width: int,
+        cell_kind: str = "1R",
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+    ) -> None:
+        if cell_kind not in ("1R", "CRS"):
+            raise CrossbarError(f"cell_kind must be '1R' or 'CRS', got {cell_kind!r}")
+        self.cell_kind = cell_kind
+        self.technology = technology
+        factory: Callable[[int, int], object]
+        if cell_kind == "1R":
+            factory = lambda r, c: OneR()
+        else:
+            factory = lambda r, c: CRSJunction()
+        self.array = CrossbarArray(words, width, factory)
+        self.stats = AccessStats()
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def words(self) -> int:
+        return self.array.rows
+
+    @property
+    def width(self) -> int:
+        return self.array.cols
+
+    def area(self) -> float:
+        """Cell area footprint in square metres (junctions only; CMOS
+        periphery is accounted at the architecture level)."""
+        cells_per_junction = 2 if self.cell_kind == "CRS" else 1
+        return self.array.size * self.technology.cell_area * cells_per_junction
+
+    # -- access -------------------------------------------------------------
+
+    def _check_word(self, address: int) -> None:
+        if not 0 <= address < self.words:
+            raise CrossbarError(f"word address {address} outside 0..{self.words - 1}")
+
+    def write_word(self, address: int, bits: Sequence[int]) -> None:
+        """Program one word; every cell is pulsed (one device write per
+        bit, two constituent-device transitions inside a CRS count as a
+        single write pulse, matching the Table 1 per-write energy)."""
+        self._check_word(address)
+        if len(bits) != self.width:
+            raise CrossbarError(f"word must have {self.width} bits, got {len(bits)}")
+        for c, bit in enumerate(bits):
+            self.array.cell(address, c).write_bit(bit)
+        self.stats.writes += 1
+        self.stats.device_writes += self.width
+        self.stats.energy += self.width * self.technology.write_energy
+        self.stats.time += self.technology.write_time
+
+    def read_word(self, address: int) -> List[int]:
+        """Read one word.
+
+        1R cells read non-destructively.  CRS cells follow the spike
+        protocol: a stored '0' switches to ON during the read and must be
+        written back, costing one extra device write per zero bit.
+        """
+        self._check_word(address)
+        bits: List[int] = []
+        write_backs = 0
+        for c in range(self.width):
+            junction = self.array.cell(address, c)
+            if self.cell_kind == "CRS":
+                cell: ComplementaryResistiveSwitch = junction.cell
+                bit = cell.read(write_back=True)
+                if bit == 0:
+                    write_backs += 1
+            else:
+                bit = junction.as_bit()
+            bits.append(bit)
+        self.stats.reads += 1
+        self.stats.write_backs += write_backs
+        self.stats.device_writes += write_backs
+        # Read sensing time is one write-time step; write-backs of the
+        # whole word proceed in parallel, adding one more step if needed.
+        self.stats.time += self.technology.write_time * (2 if write_backs else 1)
+        self.stats.energy += write_backs * self.technology.write_energy
+        return bits
+
+    def write_int(self, address: int, value: int) -> None:
+        """Store an unsigned integer little-endian (bit 0 in column 0)."""
+        if value < 0 or value >= (1 << self.width):
+            raise CrossbarError(
+                f"value {value} does not fit in {self.width} bits"
+            )
+        bits = [(value >> i) & 1 for i in range(self.width)]
+        self.write_word(address, bits)
+
+    def read_int(self, address: int) -> int:
+        """Read an unsigned little-endian integer."""
+        bits = self.read_word(address)
+        return sum(bit << i for i, bit in enumerate(bits))

@@ -1,0 +1,179 @@
+"""Cross-point junction options (Fig 3 right: "possible cross point
+junctions").
+
+The paper sketches three families of sneak-path countermeasures at the
+junction level:
+
+* a bare memristor (``1R``) — maximum density, worst sneak paths;
+* a selector device in series (``1S1R``) — a strongly nonlinear element
+  suppresses conduction at half-select voltages [77, 78];
+* a complementary resistive switch (``CRS``) — two anti-serial devices
+  that are high-resistive in *both* stored states [78].
+
+All junction types expose ``resistance()`` (small-signal, at ~0 bias)
+and ``resistance_at(voltage)`` (large-signal, at the given junction
+voltage) so the sneak-path analysis can use the same fixed-point solver
+for linear and nonlinear junctions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..devices.base import IdealBipolarMemristor
+from ..devices.crs import ComplementaryResistiveSwitch, CRSState
+from ..errors import CrossbarError, DeviceError
+
+
+class OneR:
+    """Bare memristor junction (1R): the densest, selector-less option."""
+
+    def __init__(self, device: Optional[IdealBipolarMemristor] = None) -> None:
+        self.device = device if device is not None else IdealBipolarMemristor()
+
+    def resistance(self) -> float:
+        """Small-signal resistance (state-dependent, bias-independent)."""
+        return self.device.resistance()
+
+    def resistance_at(self, voltage: float) -> float:
+        """1R junctions are ohmic: same resistance at any bias."""
+        return self.device.resistance()
+
+    def write_bit(self, bit: int) -> None:
+        self.device.write_bit(bit)
+
+    def as_bit(self) -> int:
+        return self.device.as_bit()
+
+
+class Selector:
+    """Two-terminal nonlinear selector with sinh I-V.
+
+    ``I(V) = i0 * sinh(V / v0)`` — the standard phenomenological form
+    for volatile threshold selectors.  The *nonlinearity* (current ratio
+    between full and half select) is ``sinh(V/v0)/sinh(V/2v0)``, which
+    grows exponentially with ``V/v0``.
+    """
+
+    def __init__(self, i0: float = 1e-9, v0: float = 0.08) -> None:
+        if i0 <= 0 or v0 <= 0:
+            raise DeviceError(f"selector parameters must be positive (i0={i0}, v0={v0})")
+        self.i0 = float(i0)
+        self.v0 = float(v0)
+
+    def current(self, voltage: float) -> float:
+        """Selector current at *voltage* (amperes, sign-preserving)."""
+        return self.i0 * math.sinh(voltage / self.v0)
+
+    def resistance_at(self, voltage: float) -> float:
+        """Effective (chord) resistance V/I at *voltage*; the zero-bias
+        limit uses the analytic derivative v0/i0."""
+        if voltage == 0:
+            return self.v0 / self.i0
+        return voltage / self.current(voltage)
+
+    def nonlinearity(self, v_full: float) -> float:
+        """Current ratio between full select and half select."""
+        if v_full <= 0:
+            raise DeviceError(f"v_full must be positive, got {v_full}")
+        return self.current(v_full) / self.current(v_full / 2.0)
+
+
+class OneSelectorOneR:
+    """Selector in series with a memristor (1S1R junction).
+
+    The series combination is solved by bisection on the junction
+    current: given the junction voltage ``V``, find ``I`` with
+    ``V = I * R_mem + V_sel(I)`` where ``V_sel = v0 * asinh(I / i0)``.
+    """
+
+    def __init__(
+        self,
+        device: Optional[IdealBipolarMemristor] = None,
+        selector: Optional[Selector] = None,
+    ) -> None:
+        self.device = device if device is not None else IdealBipolarMemristor()
+        self.selector = selector if selector is not None else Selector()
+
+    def current_at(self, voltage: float) -> float:
+        """Junction current at *voltage* via the series equation."""
+        if voltage == 0:
+            return 0.0
+        r_mem = self.device.resistance()
+        sign = 1.0 if voltage > 0 else -1.0
+        v = abs(voltage)
+        # I is bounded by the memristor-only current.
+        lo, hi = 0.0, v / r_mem
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            drop = mid * r_mem + self.selector.v0 * math.asinh(mid / self.selector.i0)
+            if drop < v:
+                lo = mid
+            else:
+                hi = mid
+        return sign * 0.5 * (lo + hi)
+
+    def resistance(self) -> float:
+        """Small-signal resistance near zero bias: memristor plus the
+        selector's zero-bias resistance (very large — the point of 1S1R)."""
+        return self.device.resistance() + self.selector.resistance_at(0.0)
+
+    def resistance_at(self, voltage: float) -> float:
+        """Chord resistance V/I at the given junction voltage."""
+        if voltage == 0:
+            return self.resistance()
+        return voltage / self.current_at(voltage)
+
+    def write_bit(self, bit: int) -> None:
+        self.device.write_bit(bit)
+
+    def as_bit(self) -> int:
+        return self.device.as_bit()
+
+
+class CRSJunction:
+    """Complementary-resistive-switch junction.
+
+    Both stored states contain one HRS element, so the small-signal
+    resistance is ~R_off irrespective of the bit — sneak paths see a
+    high-resistance network.  At read voltage (inside the window) a
+    stored '0' switches to ON and conducts; :meth:`resistance_at`
+    reflects that, letting the fixed-point solver model the read spike.
+    """
+
+    def __init__(self, cell: Optional[ComplementaryResistiveSwitch] = None) -> None:
+        self.cell = cell if cell is not None else ComplementaryResistiveSwitch()
+
+    def resistance(self) -> float:
+        """Low-bias resistance: the series pair without switching."""
+        return self.cell.resistance()
+
+    def resistance_at(self, voltage: float) -> float:
+        """Resistance the junction would settle to at *voltage*.
+
+        Does not mutate the cell: the transient ON state during a read of
+        '0' is modelled by returning the ON-state resistance when the
+        voltage enters the read window.
+        """
+        vth1, vth2, vth3, vth4 = self.cell.thresholds()
+        bit = self.cell.stored_bit()
+        r_on_pair = self.cell.element_a.r_on + self.cell.element_b.r_on
+        if bit == 0 and voltage >= vth1:
+            return r_on_pair
+        if bit == 1 and voltage <= vth3:
+            return r_on_pair
+        return self.cell.resistance()
+
+    def write_bit(self, bit: int) -> None:
+        if bit not in (0, 1):
+            raise CrossbarError(f"bit must be 0 or 1, got {bit}")
+        self.cell.set_state(CRSState.ZERO if bit == 0 else CRSState.ONE)
+
+    def as_bit(self) -> int:
+        bit = self.cell.stored_bit()
+        if bit is None:
+            raise CrossbarError(
+                f"CRS cell in non-storage state {self.cell.state.value}"
+            )
+        return bit

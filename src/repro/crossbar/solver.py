@@ -1,0 +1,280 @@
+"""Electrical solvers for passive crossbar arrays.
+
+Two solvers are provided:
+
+* :func:`solve_ideal_wires` — word/bit lines are ideal conductors, so
+  each line is a single circuit node.  Lines are either *driven* (fixed
+  voltage) or *floating* (zero net current); the floating-line voltages
+  are found from Kirchhoff's current law.  This is the standard model
+  for sneak-path analysis (Zidan et al. [80]) and is exact for the
+  netlist it describes.
+* :func:`solve_with_wire_resistance` — each cross-point gets its own
+  row-side and column-side node, chained by per-segment wire
+  resistance, with drivers attached at the line ends through a source
+  resistance.  This exposes the IR-drop effects that bound realistic
+  array sizes.
+
+Both return a :class:`CrossbarSolution` with node voltages, the junction
+current matrix, and per-line terminal currents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from ..errors import CrossbarError
+
+#: Voltage assignment for driven lines: index -> volts.  Lines absent
+#: from the mapping float.
+LineDrive = Dict[int, float]
+
+
+@dataclass
+class CrossbarSolution:
+    """Result of an electrical solve.
+
+    Attributes
+    ----------
+    row_voltages, col_voltages:
+        Per-line voltages (volts).  For the wire-resistance solver these
+        are the voltages at the *junction* nodes, shape (rows, cols).
+    junction_currents:
+        Current through each junction, positive from row to column
+        (amperes), shape (rows, cols).
+    row_currents, col_currents:
+        Net current injected by each row / absorbed by each column at
+        its terminal (amperes).
+    """
+
+    row_voltages: np.ndarray
+    col_voltages: np.ndarray
+    junction_currents: np.ndarray
+    row_currents: np.ndarray
+    col_currents: np.ndarray
+
+    def junction_voltage(self, row: int, col: int) -> float:
+        """Voltage across junction (*row*, *col*), row side minus column side."""
+        if self.row_voltages.ndim == 1:
+            return float(self.row_voltages[row] - self.col_voltages[col])
+        return float(self.row_voltages[row, col] - self.col_voltages[row, col])
+
+
+def solve_ideal_wires(
+    conductances: np.ndarray,
+    row_drive: LineDrive,
+    col_drive: LineDrive,
+) -> CrossbarSolution:
+    """Solve a crossbar with ideal (zero-resistance) lines.
+
+    Parameters
+    ----------
+    conductances:
+        Junction conductance matrix, shape (rows, cols), siemens.
+    row_drive / col_drive:
+        Mapping of driven line index to voltage; undriven lines float.
+
+    Raises
+    ------
+    CrossbarError
+        If no line is driven, an index is out of range, or a floating
+        line is completely disconnected (singular system).
+    """
+    g = np.asarray(conductances, dtype=float)
+    if g.ndim != 2:
+        raise CrossbarError(f"conductance matrix must be 2-D, got shape {g.shape}")
+    if (g < 0).any():
+        raise CrossbarError("conductances must be non-negative")
+    rows, cols = g.shape
+    _check_drive(row_drive, rows, "row")
+    _check_drive(col_drive, cols, "col")
+    if not row_drive and not col_drive:
+        raise CrossbarError("at least one line must be driven")
+
+    floating_rows = [r for r in range(rows) if r not in row_drive]
+    floating_cols = [c for c in range(cols) if c not in col_drive]
+    n_unknown = len(floating_rows) + len(floating_cols)
+
+    v_row = np.zeros(rows)
+    v_col = np.zeros(cols)
+    for r, v in row_drive.items():
+        v_row[r] = v
+    for c, v in col_drive.items():
+        v_col[c] = v
+
+    if n_unknown:
+        # Unknown vector: [floating row voltages..., floating col voltages...]
+        a = np.zeros((n_unknown, n_unknown))
+        b = np.zeros(n_unknown)
+        row_pos = {r: i for i, r in enumerate(floating_rows)}
+        col_pos = {c: len(floating_rows) + i for i, c in enumerate(floating_cols)}
+
+        for r in floating_rows:
+            i = row_pos[r]
+            a[i, i] = g[r, :].sum()
+            for c in range(cols):
+                if c in col_pos:
+                    a[i, col_pos[c]] -= g[r, c]
+                else:
+                    b[i] += g[r, c] * v_col[c]
+        for c in floating_cols:
+            i = col_pos[c]
+            a[i, i] = g[:, c].sum()
+            for r in range(rows):
+                if r in row_pos:
+                    a[i, row_pos[r]] -= g[r, c]
+                else:
+                    b[i] += g[r, c] * v_row[r]
+
+        try:
+            x = np.linalg.solve(a, b)
+        except np.linalg.LinAlgError as exc:
+            raise CrossbarError(
+                "singular crossbar system (a floating line has no conductive "
+                "path to any driven line)"
+            ) from exc
+        for r in floating_rows:
+            v_row[r] = x[row_pos[r]]
+        for c in floating_cols:
+            v_col[c] = x[col_pos[c]]
+
+    currents = g * (v_row[:, None] - v_col[None, :])
+    return CrossbarSolution(
+        row_voltages=v_row,
+        col_voltages=v_col,
+        junction_currents=currents,
+        row_currents=currents.sum(axis=1),
+        col_currents=currents.sum(axis=0),
+    )
+
+
+def solve_with_wire_resistance(
+    conductances: np.ndarray,
+    row_drive: LineDrive,
+    col_drive: LineDrive,
+    wire_resistance: float = 1.0,
+    driver_resistance: float = 0.0,
+) -> CrossbarSolution:
+    """Solve a crossbar including line (IR-drop) resistance.
+
+    Each row *r* is a chain of nodes ``(r, 0) .. (r, cols-1)`` joined by
+    *wire_resistance* ohms per segment, driven (if ``r in row_drive``)
+    at its left end through *driver_resistance*; columns mirror this,
+    driven at the top end.  Undriven lines float.
+
+    The system is solved densely with numpy; arrays up to ~128x128
+    (32k nodes is too large dense — practical limit here is ~64x64,
+    which covers the sneak-path studies in the benchmarks).
+    """
+    g = np.asarray(conductances, dtype=float)
+    if g.ndim != 2:
+        raise CrossbarError(f"conductance matrix must be 2-D, got shape {g.shape}")
+    rows, cols = g.shape
+    if rows * cols > 8192:
+        raise CrossbarError(
+            f"{rows}x{cols} is too large for the dense wire-resistance solver"
+        )
+    if wire_resistance <= 0:
+        raise CrossbarError(f"wire_resistance must be positive, got {wire_resistance}")
+    if driver_resistance < 0:
+        raise CrossbarError("driver_resistance cannot be negative")
+    _check_drive(row_drive, rows, "row")
+    _check_drive(col_drive, cols, "col")
+    if not row_drive and not col_drive:
+        raise CrossbarError("at least one line must be driven")
+
+    g_wire = 1.0 / wire_resistance
+    g_drv = 1.0 / driver_resistance if driver_resistance > 0 else None
+
+    n = 2 * rows * cols
+
+    def row_node(r: int, c: int) -> int:
+        return r * cols + c
+
+    def col_node(r: int, c: int) -> int:
+        return rows * cols + r * cols + c
+
+    a = np.zeros((n, n))
+    b = np.zeros(n)
+
+    def stamp_conductance(i: int, j: int, value: float) -> None:
+        a[i, i] += value
+        a[j, j] += value
+        a[i, j] -= value
+        a[j, i] -= value
+
+    def stamp_source(i: int, volts: float, g_source: float) -> None:
+        a[i, i] += g_source
+        b[i] += g_source * volts
+
+    for r in range(rows):
+        for c in range(cols):
+            stamp_conductance(row_node(r, c), col_node(r, c), g[r, c])
+            if c + 1 < cols:
+                stamp_conductance(row_node(r, c), row_node(r, c + 1), g_wire)
+            if r + 1 < rows:
+                stamp_conductance(col_node(r, c), col_node(r + 1, c), g_wire)
+
+    for r, v in row_drive.items():
+        node = row_node(r, 0)
+        if g_drv is None:
+            _pin_node(a, b, node, v)
+        else:
+            stamp_source(node, v, g_drv)
+    for c, v in col_drive.items():
+        node = col_node(0, c)
+        if g_drv is None:
+            _pin_node(a, b, node, v)
+        else:
+            stamp_source(node, v, g_drv)
+
+    try:
+        x = np.linalg.solve(a, b)
+    except np.linalg.LinAlgError as exc:
+        raise CrossbarError("singular crossbar system") from exc
+
+    v_row = x[: rows * cols].reshape(rows, cols)
+    v_col = x[rows * cols:].reshape(rows, cols)
+    currents = g * (v_row - v_col)
+    row_terminal = np.zeros(rows)
+    col_terminal = np.zeros(cols)
+    for r, v in row_drive.items():
+        if g_drv is None:
+            # Current delivered by the ideal source = net current leaving
+            # the pinned node through the wire + its junction.
+            i_out = g[r, 0] * (v_row[r, 0] - v_col[r, 0])
+            if cols > 1:
+                i_out += g_wire * (v_row[r, 0] - v_row[r, 1])
+            row_terminal[r] = i_out
+        else:
+            row_terminal[r] = g_drv * (v - v_row[r, 0])
+    for c, v in col_drive.items():
+        if g_drv is None:
+            i_in = g[0, c] * (v_row[0, c] - v_col[0, c])
+            if rows > 1:
+                i_in -= g_wire * (v_col[0, c] - v_col[1, c])
+            col_terminal[c] = i_in
+        else:
+            col_terminal[c] = g_drv * (v_col[0, c] - v)
+    return CrossbarSolution(
+        row_voltages=v_row,
+        col_voltages=v_col,
+        junction_currents=currents,
+        row_currents=row_terminal,
+        col_currents=col_terminal,
+    )
+
+
+def _pin_node(a: np.ndarray, b: np.ndarray, node: int, volts: float) -> None:
+    """Replace *node*'s KCL row with the constraint V_node = volts."""
+    a[node, :] = 0.0
+    a[node, node] = 1.0
+    b[node] = volts
+
+
+def _check_drive(drive: LineDrive, count: int, kind: str) -> None:
+    for index in drive:
+        if not 0 <= index < count:
+            raise CrossbarError(f"{kind} index {index} outside 0..{count - 1}")

@@ -1,0 +1,61 @@
+"""Memristive device models — the technology substrate of the paper.
+
+Public API:
+
+* :class:`Memristor` / :class:`IdealBipolarMemristor` — device contract
+  and the abrupt threshold device used by CRS and stateful logic.
+* :class:`LinearIonDriftMemristor` — Strukov model with window functions.
+* :class:`VTEAMMemristor` — voltage-threshold model (IMPLY substrate).
+* :class:`ECMMemristor` / :class:`VCMMemristor` — the two bipolar ReRAM
+  families discussed in Section IV.A.
+* :class:`ComplementaryResistiveSwitch` — the Fig 4 CRS cell.
+* Technology profiles (:data:`MEMRISTOR_5NM`, :data:`FINFET_22NM`,
+  cache specs) — Table 1 constants.
+* :class:`VariabilityModel` — lognormal process variation.
+"""
+
+from .base import IdealBipolarMemristor, Memristor, SwitchingThresholds
+from .crs import ComplementaryResistiveSwitch, CRSState, triangular_sweep
+from .ecm import ECMMemristor
+from .linear import LinearIonDriftMemristor
+from .retention import BOLTZMANN_EV, RetentionModel, extrapolate_from_bake
+from .technology import (
+    CACHE_8KB_DNA,
+    CACHE_8KB_MATH,
+    CacheSpec,
+    CMOSTechnology,
+    FINFET_22NM,
+    MEMRISTOR_5NM,
+    MemristorTechnology,
+)
+from .variability import VariabilityModel, VariationSpec, resistance_spread
+from .vcm import VCMMemristor
+from .vteam import VTEAMMemristor
+from . import windows
+
+__all__ = [
+    "Memristor",
+    "IdealBipolarMemristor",
+    "SwitchingThresholds",
+    "LinearIonDriftMemristor",
+    "VTEAMMemristor",
+    "ECMMemristor",
+    "VCMMemristor",
+    "ComplementaryResistiveSwitch",
+    "CRSState",
+    "triangular_sweep",
+    "MemristorTechnology",
+    "CMOSTechnology",
+    "CacheSpec",
+    "MEMRISTOR_5NM",
+    "FINFET_22NM",
+    "CACHE_8KB_DNA",
+    "CACHE_8KB_MATH",
+    "VariabilityModel",
+    "VariationSpec",
+    "resistance_spread",
+    "windows",
+    "RetentionModel",
+    "extrapolate_from_bake",
+    "BOLTZMANN_EV",
+]

@@ -1,0 +1,205 @@
+"""Abstract memristive-device interface and the ideal threshold device.
+
+All architecture-level results in the paper rest on a small set of device
+facts: memristors are two-terminal, nonvolatile, bipolar resistive
+switches with a threshold voltage below which state is retained
+indefinitely (zero standby power) and above which they switch within a
+known write time.  :class:`Memristor` captures this contract;
+:class:`IdealBipolarMemristor` is the abrupt-switching idealisation used
+by the stateful-logic and CRS layers, while the continuous physics-based
+models live in sibling modules.
+
+State convention
+----------------
+The internal state variable ``x`` is normalised to ``[0, 1]`` where
+``x = 1`` is the low-resistive state (LRS, logic '1' for storage) and
+``x = 0`` the high-resistive state (HRS, logic '0').  Resistance
+interpolates between ``r_on`` (at ``x = 1``) and ``r_off`` (at ``x = 0``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+
+#: State value treated as logic '1' (LRS) by :meth:`Memristor.as_bit`.
+LOGIC_THRESHOLD = 0.5
+
+
+@dataclass
+class SwitchingThresholds:
+    """Bipolar switching thresholds of a resistive device.
+
+    Attributes
+    ----------
+    v_set:
+        Positive voltage (volts) above which the device moves toward LRS.
+    v_reset:
+        Negative voltage (volts) below which the device moves toward HRS.
+    """
+
+    v_set: float = 1.0
+    v_reset: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.v_set <= 0:
+            raise DeviceError(f"v_set must be positive, got {self.v_set}")
+        if self.v_reset >= 0:
+            raise DeviceError(f"v_reset must be negative, got {self.v_reset}")
+
+
+class Memristor(abc.ABC):
+    """A two-terminal nonvolatile bipolar resistive switch.
+
+    Concrete subclasses define the switching dynamics through
+    :meth:`_state_derivative`; the base class provides resistance
+    interpolation, Euler integration, and digital read/write helpers
+    shared by every model.
+    """
+
+    def __init__(self, r_on: float, r_off: float, x: float = 0.0) -> None:
+        if r_on <= 0 or r_off <= 0:
+            raise DeviceError(f"resistances must be positive (r_on={r_on}, r_off={r_off})")
+        if r_on >= r_off:
+            raise DeviceError(f"r_on ({r_on}) must be smaller than r_off ({r_off})")
+        if not 0.0 <= x <= 1.0:
+            raise DeviceError(f"state must lie in [0, 1], got {x}")
+        self.r_on = float(r_on)
+        self.r_off = float(r_off)
+        self._x = float(x)
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def x(self) -> float:
+        """Normalised internal state in ``[0, 1]`` (1 = LRS)."""
+        return self._x
+
+    @x.setter
+    def x(self, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise DeviceError(f"state must lie in [0, 1], got {value}")
+        self._x = float(value)
+
+    def as_bit(self) -> int:
+        """Digital interpretation of the state (LRS → 1, HRS → 0)."""
+        return 1 if self._x >= LOGIC_THRESHOLD else 0
+
+    # -- electrical behaviour -------------------------------------------
+
+    def resistance(self) -> float:
+        """Instantaneous resistance in ohms (linear mix of R_on/R_off).
+
+        The conductance — not the resistance — is interpolated linearly,
+        matching the parallel-conduction picture of a growing filament:
+        ``G(x) = x·G_on + (1-x)·G_off``.
+        """
+        g = self._x / self.r_on + (1.0 - self._x) / self.r_off
+        return 1.0 / g
+
+    def conductance(self) -> float:
+        """Instantaneous conductance in siemens."""
+        return 1.0 / self.resistance()
+
+    def current(self, voltage: float) -> float:
+        """Ohmic current through the device at *voltage* volts."""
+        return voltage / self.resistance()
+
+    # -- dynamics --------------------------------------------------------
+
+    @abc.abstractmethod
+    def _state_derivative(self, voltage: float) -> float:
+        """Return dx/dt (1/s) at the present state under *voltage*."""
+
+    def apply_voltage(self, voltage: float, duration: float, steps: int = 1) -> None:
+        """Integrate the state equation for *duration* seconds.
+
+        Uses forward-Euler with *steps* sub-intervals; the abrupt ideal
+        device overrides this, while continuous models typically need
+        ``steps`` of a few hundred for a full hysteresis sweep.
+        """
+        if duration < 0:
+            raise DeviceError(f"duration must be non-negative, got {duration}")
+        if steps < 1:
+            raise DeviceError(f"steps must be >= 1, got {steps}")
+        dt = duration / steps
+        for _ in range(steps):
+            self._x = min(1.0, max(0.0, self._x + self._state_derivative(voltage) * dt))
+
+    # -- digital convenience ---------------------------------------------
+
+    def force_set(self) -> None:
+        """Unconditionally place the device in LRS (logic '1')."""
+        self._x = 1.0
+
+    def force_reset(self) -> None:
+        """Unconditionally place the device in HRS (logic '0')."""
+        self._x = 0.0
+
+    def write_bit(self, bit: int) -> None:
+        """Store a digital value by forcing the corresponding state."""
+        if bit not in (0, 1):
+            raise DeviceError(f"bit must be 0 or 1, got {bit}")
+        self._x = float(bit)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(x={self._x:.3f}, "
+            f"R={self.resistance():.3g} ohm)"
+        )
+
+
+class IdealBipolarMemristor(Memristor):
+    """Abrupt threshold-switching device.
+
+    Below the set/reset thresholds the state is perfectly retained (the
+    zero-leakage property the paper leans on); once a threshold is
+    exceeded the device switches completely within ``switch_time``.
+    This is the device abstraction used by the CRS model (Fig 4) and by
+    the IMPLY logic layer (Fig 5), both of which the paper describes in
+    terms of threshold crossings rather than continuous dynamics.
+    """
+
+    def __init__(
+        self,
+        r_on: float = 1e3,
+        r_off: float = 1e6,
+        thresholds: SwitchingThresholds = None,
+        switch_time: float = 200e-12,
+        x: float = 0.0,
+    ) -> None:
+        super().__init__(r_on, r_off, x)
+        self.thresholds = thresholds if thresholds is not None else SwitchingThresholds()
+        if switch_time <= 0:
+            raise DeviceError(f"switch_time must be positive, got {switch_time}")
+        self.switch_time = float(switch_time)
+
+    def _state_derivative(self, voltage: float) -> float:
+        if voltage >= self.thresholds.v_set:
+            return 1.0 / self.switch_time
+        if voltage <= self.thresholds.v_reset:
+            return -1.0 / self.switch_time
+        return 0.0
+
+    def apply_voltage(self, voltage: float, duration: float, steps: int = 1) -> None:
+        """Abrupt semantics: any above-threshold pulse of at least the
+        switch time completes the transition; sub-threshold pulses are
+        no-ops regardless of duration (ideal nonlinearity)."""
+        if duration < 0:
+            raise DeviceError(f"duration must be non-negative, got {duration}")
+        if voltage >= self.thresholds.v_set:
+            if duration >= self.switch_time:
+                self._x = 1.0
+            else:
+                self._x = min(1.0, self._x + duration / self.switch_time)
+        elif voltage <= self.thresholds.v_reset:
+            if duration >= self.switch_time:
+                self._x = 0.0
+            else:
+                self._x = max(0.0, self._x - duration / self.switch_time)
+
+    def would_switch(self, voltage: float) -> bool:
+        """True if *voltage* exceeds either switching threshold."""
+        return voltage >= self.thresholds.v_set or voltage <= self.thresholds.v_reset

@@ -1,0 +1,256 @@
+"""Complementary resistive switch (CRS) — the Fig 3/4 cell.
+
+A CRS cell stacks two bipolar memristive devices *anti-serially* (Linn
+et al., Nature Materials 2010, ref [78]).  Its logic states are:
+
+* ``'0'``  — device A in HRS, device B in LRS
+* ``'1'``  — device A in LRS, device B in HRS
+* ``'ON'`` — both devices in LRS (occurs only transiently, when reading)
+* ``'OFF'``— both devices in HRS (fresh/disturbed cell, not used)
+
+Because states '0' and '1' both contain one HRS device, the cell is
+high-resistive at low voltage *regardless of the stored bit* — this is
+the property that kills sneak paths in passive crossbars (Section IV.B).
+
+Threshold structure (Fig 4): sweeping a positive voltage from state '0'
+first SETs device A at ``Vth1`` (cell → ON, current jump), then RESETs
+device B at ``Vth2`` (cell → '1', current drop).  The negative sweep
+mirrors this through ``Vth3`` and ``Vth4``.  Reading with
+``Vth1 < V_read < Vth2`` is destructive for state '0' (the paper: "If
+the CRS cell is in state '0', then it switches to state 'ON'; if the
+cell is in state '1' then it remains in its state"), so a write-back is
+required after reading a '0'.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+from .base import IdealBipolarMemristor, SwitchingThresholds
+from ..errors import DeviceError
+
+
+class CRSState(enum.Enum):
+    """Logical state of a CRS cell (see module docstring)."""
+
+    ZERO = "0"
+    ONE = "1"
+    ON = "ON"
+    OFF = "OFF"
+
+
+def _default_element() -> IdealBipolarMemristor:
+    """ECM-like abrupt element: set threshold below twice the reset
+    magnitude so the read window ``(Vth1, Vth2)`` is non-empty."""
+    return IdealBipolarMemristor(
+        r_on=1e3,
+        r_off=1e6,
+        thresholds=SwitchingThresholds(v_set=0.7, v_reset=-0.6),
+        switch_time=200e-12,
+    )
+
+
+class ComplementaryResistiveSwitch:
+    """Two anti-serial abrupt bipolar devices forming one CRS cell.
+
+    Parameters
+    ----------
+    element_a, element_b:
+        The two constituent devices.  Device B is mounted anti-serially:
+        a positive voltage across B (in cell frame) appears as a
+        *negative* voltage in B's own frame.  Defaults are matched
+        ECM-like elements.
+    initial:
+        Initial logical state (default ``CRSState.ZERO``).
+    """
+
+    #: Maximum divider/switch relaxation iterations per applied voltage.
+    _MAX_SETTLE = 8
+
+    def __init__(
+        self,
+        element_a: Optional[IdealBipolarMemristor] = None,
+        element_b: Optional[IdealBipolarMemristor] = None,
+        initial: CRSState = CRSState.ZERO,
+    ) -> None:
+        self.element_a = element_a if element_a is not None else _default_element()
+        self.element_b = element_b if element_b is not None else _default_element()
+        window = self.read_window()
+        if window[0] >= window[1]:
+            raise DeviceError(
+                "CRS read window is empty: need v_set < 2*|v_reset| "
+                f"(Vth1={window[0]}, Vth2={window[1]})"
+            )
+        self.set_state(initial)
+
+    # -- state mapping ------------------------------------------------------
+
+    @property
+    def state(self) -> CRSState:
+        """Current logical state derived from the two element states."""
+        a, b = self.element_a.as_bit(), self.element_b.as_bit()
+        return {
+            (0, 1): CRSState.ZERO,
+            (1, 0): CRSState.ONE,
+            (1, 1): CRSState.ON,
+            (0, 0): CRSState.OFF,
+        }[(a, b)]
+
+    def set_state(self, state: CRSState) -> None:
+        """Force the cell into *state* without electrical simulation."""
+        bits = {
+            CRSState.ZERO: (0, 1),
+            CRSState.ONE: (1, 0),
+            CRSState.ON: (1, 1),
+            CRSState.OFF: (0, 0),
+        }[state]
+        self.element_a.write_bit(bits[0])
+        self.element_b.write_bit(bits[1])
+
+    def stored_bit(self) -> Optional[int]:
+        """The stored logic value, or ``None`` for the ON/OFF states."""
+        if self.state is CRSState.ZERO:
+            return 0
+        if self.state is CRSState.ONE:
+            return 1
+        return None
+
+    # -- threshold map (Fig 4) ------------------------------------------------
+
+    def thresholds(self) -> Tuple[float, float, float, float]:
+        """Return ``(Vth1, Vth2, Vth3, Vth4)`` of the composite cell.
+
+        Vth1: '0'→ON (set of A, nearly full voltage over A's HRS);
+        Vth2: ON→'1' (reset of B at the even divider, so 2·|v_reset|);
+        Vth3/Vth4: the mirrored negative transitions.
+        """
+        vth1 = self.element_a.thresholds.v_set
+        vth2 = 2.0 * abs(self.element_b.thresholds.v_reset)
+        vth3 = -self.element_b.thresholds.v_set
+        vth4 = -2.0 * abs(self.element_a.thresholds.v_reset)
+        return (vth1, vth2, vth3, vth4)
+
+    def read_window(self) -> Tuple[float, float]:
+        """Positive voltage interval ``(Vth1, Vth2)`` usable for reads."""
+        vth1, vth2, _, _ = self.thresholds()
+        return (vth1, vth2)
+
+    # -- electrical behaviour ---------------------------------------------------
+
+    def resistance(self) -> float:
+        """Series resistance of the two elements (ohms)."""
+        return self.element_a.resistance() + self.element_b.resistance()
+
+    def current(self, voltage: float) -> float:
+        """Static current at *voltage* without allowing switching."""
+        return voltage / self.resistance()
+
+    def _divide(self, voltage: float) -> Tuple[float, float]:
+        """Split *voltage* across the series pair; returns the drop over
+        each element *in that element's own frame* (B anti-serial)."""
+        r_a = self.element_a.resistance()
+        r_b = self.element_b.resistance()
+        v_a = voltage * r_a / (r_a + r_b)
+        v_b = voltage * r_b / (r_a + r_b)
+        return v_a, -v_b
+
+    def apply_voltage(self, voltage: float, duration: float) -> int:
+        """Apply *voltage* for *duration* seconds, relaxing internal
+        switching; returns the number of element transitions that
+        occurred (0 when the pulse is sub-threshold).
+        """
+        transitions = 0
+        for _ in range(self._MAX_SETTLE):
+            v_a, v_b = self._divide(voltage)
+            switched = False
+            for element, v in ((self.element_a, v_a), (self.element_b, v_b)):
+                before = element.as_bit()
+                if element.would_switch(v):
+                    element.apply_voltage(v, duration)
+                    if element.as_bit() != before:
+                        switched = True
+                        transitions += 1
+            if not switched:
+                break
+        return transitions
+
+    # -- digital operations ----------------------------------------------------
+
+    def write(self, bit: int, v_write: Optional[float] = None, duration: float = 1e-9) -> None:
+        """Store *bit* by applying a full write pulse.
+
+        Per the paper: "the writing of state '0' requires a negative
+        voltage (V < Vth4) and for writing '1' a positive voltage
+        V > Vth2".  The default amplitude is 20% beyond the relevant
+        threshold.
+        """
+        if bit not in (0, 1):
+            raise DeviceError(f"bit must be 0 or 1, got {bit}")
+        vth1, vth2, vth3, vth4 = self.thresholds()
+        if v_write is None:
+            v_write = 1.2 * vth2 if bit == 1 else 1.2 * vth4
+        if bit == 1 and v_write <= vth2:
+            raise DeviceError(f"writing '1' needs V > Vth2 ({vth2} V), got {v_write}")
+        if bit == 0 and v_write >= vth4:
+            raise DeviceError(f"writing '0' needs V < Vth4 ({vth4} V), got {v_write}")
+        self.apply_voltage(v_write, duration)
+
+    def read(
+        self, v_read: Optional[float] = None, duration: float = 1e-9, write_back: bool = True
+    ) -> int:
+        """Destructively read the stored bit with a spike-detection read.
+
+        A read voltage inside the window switches a stored '0' to ON —
+        observed as a current jump — while a stored '1' stays
+        high-resistive.  When *write_back* is true (the default, matching
+        the paper's "it is necessary to write back the previous state of
+        the cell after reading it"), a detected '0' is restored.
+        """
+        vth1, vth2 = self.read_window()
+        if v_read is None:
+            v_read = 0.5 * (vth1 + vth2)
+        if not vth1 < v_read < vth2:
+            raise DeviceError(
+                f"read voltage {v_read} V outside the window ({vth1}, {vth2}) V"
+            )
+        before = self.stored_bit()
+        if before is None:
+            raise DeviceError(f"cannot read a cell in state {self.state.value}")
+        transitions = self.apply_voltage(v_read, duration)
+        bit = 0 if transitions > 0 else 1
+        if bit == 0 and write_back:
+            self.write(0)
+        return bit
+
+    # -- characterisation --------------------------------------------------------
+
+    def sweep_iv(
+        self, voltages: Sequence[float], dwell: float = 1e-9
+    ) -> List[Tuple[float, float, CRSState]]:
+        """Quasi-static I-V sweep for reproducing the Fig 4 butterfly.
+
+        For each applied voltage the cell is allowed to switch, then the
+        static current and resulting state are recorded.  Returns a list
+        of ``(voltage, current, state)`` tuples.
+        """
+        trace: List[Tuple[float, float, CRSState]] = []
+        for v in voltages:
+            self.apply_voltage(v, dwell)
+            trace.append((v, self.current(v), self.state))
+        return trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComplementaryResistiveSwitch(state={self.state.value})"
+
+
+def triangular_sweep(v_max: float, points_per_leg: int = 50) -> List[float]:
+    """Voltage waveform 0 → +v_max → 0 → -v_max → 0 for I-V sweeps."""
+    if v_max <= 0:
+        raise DeviceError(f"v_max must be positive, got {v_max}")
+    if points_per_leg < 2:
+        raise DeviceError(f"points_per_leg must be >= 2, got {points_per_leg}")
+    step = v_max / points_per_leg
+    up = [i * step for i in range(points_per_leg + 1)]
+    down = up[-2::-1]
+    return up + down + [-v for v in up[1:]] + [-v for v in down[:-1]] + [0.0]

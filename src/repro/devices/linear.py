@@ -1,0 +1,92 @@
+"""Linear ion-drift memristor model (Strukov et al., Nature 2008).
+
+The paper cites this as the original "missing memristor found" model
+[39].  The device is a TiO2 film of thickness ``D`` split into a doped
+(conductive) region of width ``w`` and an undoped region; the normalised
+state ``x = w / D`` drifts with the ionic mobility ``mu_v`` under the
+ohmic current:
+
+    dx/dt = (mu_v * R_on / D^2) * i(t) * f(x)
+
+where ``f`` is a window function keeping the state in ``[0, 1]``.
+The paper itself notes ([39, 70]) that "simple memristor models fail to
+predict the correct device behaviour" — the model is included both for
+completeness and so the test suite can demonstrate exactly the
+shortcomings (no threshold, drift at any bias) that motivate the
+threshold models in :mod:`repro.devices.vteam` and the CRS cell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from . import windows
+from .base import Memristor
+from ..errors import DeviceError
+
+WindowFn = Callable[[float], float]
+
+
+class LinearIonDriftMemristor(Memristor):
+    """Strukov linear ion-drift device.
+
+    Parameters
+    ----------
+    r_on, r_off:
+        Bounding resistances in ohms.
+    d:
+        Film thickness in metres (default 10 nm).
+    mu_v:
+        Ion mobility in m^2 s^-1 V^-1 (default 1e-14, the Nature paper's
+        value for TiO2).
+    window:
+        State window ``f(x) -> float``; defaults to the Joglekar window
+        with p=1.  Pass :func:`repro.devices.windows.rectangular` to
+        disable windowing.
+    x:
+        Initial normalised state.
+    """
+
+    def __init__(
+        self,
+        r_on: float = 100.0,
+        r_off: float = 16e3,
+        d: float = 10e-9,
+        mu_v: float = 1e-14,
+        window: Optional[WindowFn] = None,
+        x: float = 0.1,
+    ) -> None:
+        super().__init__(r_on, r_off, x)
+        if d <= 0:
+            raise DeviceError(f"film thickness must be positive, got {d}")
+        if mu_v <= 0:
+            raise DeviceError(f"ion mobility must be positive, got {mu_v}")
+        self.d = float(d)
+        self.mu_v = float(mu_v)
+        self.window: WindowFn = window if window is not None else windows.joglekar
+
+    @property
+    def drift_coefficient(self) -> float:
+        """The lumped factor ``mu_v * R_on / D^2`` in (1/(A*s))·ohm terms."""
+        return self.mu_v * self.r_on / (self.d ** 2)
+
+    def resistance(self) -> float:
+        """Series mix ``R(x) = x*R_on + (1-x)*R_off``.
+
+        The Strukov model is defined with the doped/undoped regions in
+        *series*, unlike the filamentary parallel-conductance picture of
+        the base class, so we override accordingly.
+        """
+        return self._x * self.r_on + (1.0 - self._x) * self.r_off
+
+    def _state_derivative(self, voltage: float) -> float:
+        i = voltage / self.resistance()
+        return self.drift_coefficient * i * self.window(self._x)
+
+    def has_threshold(self) -> bool:
+        """Linear drift has no switching threshold — any bias moves state.
+
+        Exposed so architecture code can assert it is *not* using a
+        threshold-free device where sneak-path disturb would be fatal.
+        """
+        return False

@@ -1,0 +1,170 @@
+"""Technology profiles: the Table 1 "generic assumptions", verbatim.
+
+Every constant the paper's Table 1 quotes for the two technologies is
+encoded here once, in base SI units, with the paper's reference numbers
+in comments.  The architecture models in :mod:`repro.core` and the
+functional simulator in :mod:`repro.sim` consume these profiles; nothing
+else in the codebase hard-codes a technology number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceError
+from ..units import FJ, KiB, MM2, NW, PS, UM2
+
+
+@dataclass(frozen=True)
+class MemristorTechnology:
+    """Memristor crossbar technology constants (Table 1, CIM column).
+
+    Attributes
+    ----------
+    name:
+        Human-readable technology label.
+    feature_size:
+        Half-pitch F in metres.
+    write_time:
+        One memristor write (= one stateful-logic step) in seconds.
+    write_energy:
+        Dynamic energy of one write operation in joules.
+    cell_area:
+        Area of one memristor junction in square metres.
+    static_power:
+        Standby power per cell in watts (0 for memristors — the paper's
+        "practically zero leakage" claim).
+    r_on, r_off:
+        Bounding resistances in ohms (for electrical-level simulation;
+        not used by the analytical architecture model).
+    """
+
+    name: str
+    feature_size: float
+    write_time: float
+    write_energy: float
+    cell_area: float
+    static_power: float = 0.0
+    r_on: float = 1e3
+    r_off: float = 1e6
+
+    def __post_init__(self) -> None:
+        if min(self.feature_size, self.write_time, self.write_energy, self.cell_area) <= 0:
+            raise DeviceError("memristor technology constants must be positive")
+        if self.static_power < 0:
+            raise DeviceError("static power cannot be negative")
+        if self.r_on >= self.r_off:
+            raise DeviceError("r_on must be below r_off")
+
+    @property
+    def off_on_ratio(self) -> float:
+        """High OFF/ON resistance ratio the paper cites [46]."""
+        return self.r_off / self.r_on
+
+
+@dataclass(frozen=True)
+class CMOSTechnology:
+    """CMOS logic technology constants (Table 1, conventional column)."""
+
+    name: str
+    gate_delay: float          # seconds per gate [53, 54]
+    gate_area: float           # m^2 per gate [30]
+    gate_power: float          # dynamic power per switching gate, watts [54]
+    gate_leakage: float        # leakage power per gate, watts [30]
+    clock_frequency: float     # Hz
+
+    def __post_init__(self) -> None:
+        if min(self.gate_delay, self.gate_area, self.gate_power,
+               self.gate_leakage, self.clock_frequency) <= 0:
+            raise DeviceError("CMOS technology constants must be positive")
+
+    @property
+    def cycle_time(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.clock_frequency
+
+    def gate_dynamic_energy(self) -> float:
+        """Energy of one gate evaluation: power x gate delay (joules)."""
+        return self.gate_power * self.gate_delay
+
+    def gate_leakage_energy(self, idle_time: float) -> float:
+        """Leakage energy of one gate over *idle_time* seconds.
+
+        Table 1 defines the leakage duration per cycle as
+        "cycle time - delay per gate"; callers compute the idle time and
+        this helper converts it to joules.
+        """
+        if idle_time < 0:
+            raise DeviceError(f"idle_time must be non-negative, got {idle_time}")
+        return self.gate_leakage * idle_time
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Shared L1 cache model parameters (Table 1, conventional column)."""
+
+    size_bytes: int = 8 * KiB          # 8 kB shared L1 per cluster
+    area: float = 0.0092 * MM2         # [57]
+    hit_ratio: float = 0.5             # DNA example; math example uses 0.98
+    hit_cycles: int = 1
+    miss_penalty_cycles: int = 165     # [55]
+    write_cycles: int = 1
+    static_power: float = 1.0 / 64.0   # watts [56]
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.area <= 0:
+            raise DeviceError("cache size and area must be positive")
+        if not 0.0 <= self.hit_ratio <= 1.0:
+            raise DeviceError(f"hit ratio must lie in [0, 1], got {self.hit_ratio}")
+        if min(self.hit_cycles, self.miss_penalty_cycles, self.write_cycles) < 1:
+            raise DeviceError("cache timing parameters must be >= 1 cycle")
+        if self.static_power < 0:
+            raise DeviceError("cache static power cannot be negative")
+
+    def average_read_cycles(self) -> float:
+        """Hit/miss-weighted average read latency in cycles."""
+        return (self.hit_ratio * self.hit_cycles
+                + (1.0 - self.hit_ratio) * self.miss_penalty_cycles)
+
+    def with_hit_ratio(self, hit_ratio: float) -> "CacheSpec":
+        """Copy of this spec with a different hit ratio (for sweeps)."""
+        return CacheSpec(
+            size_bytes=self.size_bytes,
+            area=self.area,
+            hit_ratio=hit_ratio,
+            hit_cycles=self.hit_cycles,
+            miss_penalty_cycles=self.miss_penalty_cycles,
+            write_cycles=self.write_cycles,
+            static_power=self.static_power,
+        )
+
+
+#: Table 1: "Memristor 5nm crossbar implementation [30]" — write time
+#: 200 ps [60], area 1e-4 um^2 per memristor [30], 1 fJ per write [30].
+MEMRISTOR_5NM = MemristorTechnology(
+    name="memristor-5nm",
+    feature_size=5e-9,
+    write_time=200 * PS,
+    write_energy=1 * FJ,
+    cell_area=1e-4 * UM2,
+    static_power=0.0,
+)
+
+#: Table 1: "FinFET 22nm multi-core implementation" — gate delay 14 ps
+#: [53, 54], 0.248 um^2 per gate [30], 175 nW per gate [54], leakage
+#: 42.83 nW per gate [30], operating frequency 1 GHz.
+FINFET_22NM = CMOSTechnology(
+    name="finfet-22nm",
+    gate_delay=14 * PS,
+    gate_area=0.248 * UM2,
+    gate_power=175 * NW,
+    gate_leakage=42.83 * NW,
+    clock_frequency=1e9,
+)
+
+#: Table 1 cache for the healthcare (DNA) example: 50% hit ratio.
+CACHE_8KB_DNA = CacheSpec(hit_ratio=0.5)
+
+#: Table 1 cache for the mathematics example: 98% hit ratio, otherwise
+#: identical ("the same as for healthcare except with 98% hit rate").
+CACHE_8KB_MATH = CacheSpec(hit_ratio=0.98)

@@ -1,0 +1,120 @@
+"""Process-variation sampling for memristive devices.
+
+The paper lists "reduced reliability" among CMOS scaling problems and
+cites OxRRAM process-variability test structures [95]; any credible
+crossbar study must therefore expose device-to-device variation.
+Resistance and threshold spreads in ReRAM are well described by
+lognormal distributions (multiplicative filament-geometry variation),
+which is what :class:`VariabilityModel` samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from .base import IdealBipolarMemristor, SwitchingThresholds
+from ..errors import DeviceError
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Lognormal sigma (in log-space) for each varied parameter.
+
+    A sigma of 0 pins the parameter to its nominal value.  Typical
+    published spreads: ~0.1-0.3 for R_on/R_off, ~0.05 for thresholds.
+    """
+
+    sigma_r_on: float = 0.15
+    sigma_r_off: float = 0.25
+    sigma_v_set: float = 0.05
+    sigma_v_reset: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("sigma_r_on", "sigma_r_off", "sigma_v_set", "sigma_v_reset"):
+            if getattr(self, name) < 0:
+                raise DeviceError(f"{name} must be non-negative")
+
+
+class VariabilityModel:
+    """Samples per-device parameter sets around a nominal device.
+
+    Parameters
+    ----------
+    nominal:
+        The nominal abrupt device whose parameters are perturbed.
+    spec:
+        Lognormal sigmas; defaults to :class:`VariationSpec` defaults.
+    seed:
+        Seed for the internal :class:`numpy.random.Generator`; pass a
+        fixed value for reproducible Monte-Carlo runs.
+    """
+
+    def __init__(
+        self,
+        nominal: Optional[IdealBipolarMemristor] = None,
+        spec: Optional[VariationSpec] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.nominal = nominal if nominal is not None else IdealBipolarMemristor()
+        self.spec = spec if spec is not None else VariationSpec()
+        self._rng = np.random.default_rng(seed)
+
+    def _lognormal(self, nominal: float, sigma: float) -> float:
+        if sigma == 0:
+            return nominal
+        return float(nominal * np.exp(self._rng.normal(0.0, sigma)))
+
+    def sample(self) -> IdealBipolarMemristor:
+        """Draw one device.  Re-draws (up to a bound) in the rare case
+        the sampled R_on crosses above the sampled R_off."""
+        for _ in range(100):
+            r_on = self._lognormal(self.nominal.r_on, self.spec.sigma_r_on)
+            r_off = self._lognormal(self.nominal.r_off, self.spec.sigma_r_off)
+            if r_on < r_off:
+                break
+        else:  # pragma: no cover - requires pathological sigmas
+            raise DeviceError("could not sample a device with r_on < r_off")
+        v_set = self._lognormal(self.nominal.thresholds.v_set, self.spec.sigma_v_set)
+        v_reset = -self._lognormal(
+            abs(self.nominal.thresholds.v_reset), self.spec.sigma_v_reset
+        )
+        return IdealBipolarMemristor(
+            r_on=r_on,
+            r_off=r_off,
+            thresholds=SwitchingThresholds(v_set=v_set, v_reset=v_reset),
+            switch_time=self.nominal.switch_time,
+        )
+
+    def sample_many(self, count: int) -> List[IdealBipolarMemristor]:
+        """Draw *count* independent devices."""
+        if count < 0:
+            raise DeviceError(f"count must be non-negative, got {count}")
+        return [self.sample() for _ in range(count)]
+
+    def iter_samples(self) -> Iterator[IdealBipolarMemristor]:
+        """Infinite stream of sampled devices."""
+        while True:
+            yield self.sample()
+
+
+def resistance_spread(devices: List[IdealBipolarMemristor]) -> dict:
+    """Summary statistics of ON/OFF resistance over a device population.
+
+    Returns a dict with keys ``r_on_mean``, ``r_on_std``, ``r_off_mean``,
+    ``r_off_std`` and ``min_window`` (the worst-case r_off/r_on ratio —
+    the quantity a sense amplifier must survive).
+    """
+    if not devices:
+        raise DeviceError("need at least one device")
+    r_on = np.array([d.r_on for d in devices])
+    r_off = np.array([d.r_off for d in devices])
+    return {
+        "r_on_mean": float(r_on.mean()),
+        "r_on_std": float(r_on.std()),
+        "r_off_mean": float(r_off.mean()),
+        "r_off_std": float(r_off.std()),
+        "min_window": float(r_off.min() / r_on.max()),
+    }

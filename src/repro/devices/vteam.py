@@ -1,0 +1,98 @@
+"""VTEAM-style voltage-threshold memristor model.
+
+Kvatinsky's VTEAM model (the voltage-controlled successor of TEAM) is
+the de-facto standard for simulating IMPLY logic — the paper's Fig 5 and
+its comparator/adder step counts come from IMPLY papers [49, 58] that
+assume threshold devices.  State moves only when the applied voltage
+exceeds ``v_off > 0`` (drift toward HRS) or falls below ``v_on < 0``
+(drift toward LRS), with a polynomial dependence on the overdrive:
+
+    dx/dt = k_off * (v/v_off - 1)^a_off * f_off(x)   for v > v_off
+    dx/dt = k_on  * (v/v_on  - 1)^a_on  * f_on(x)    for v < v_on
+    dx/dt = 0                                        otherwise
+
+Note the VTEAM sign convention: *positive* voltage RESETs (x decreases).
+To keep this package's uniform convention (positive voltage → x rises
+toward LRS), this implementation flips the mapping; the ``polarity``
+flag restores the original orientation when needed.
+"""
+
+from __future__ import annotations
+
+from .base import Memristor
+from ..errors import DeviceError
+
+
+class VTEAMMemristor(Memristor):
+    """Voltage-threshold adaptive memristor model.
+
+    Parameters follow the published VTEAM defaults scaled to a generic
+    ReRAM cell; all units SI.  ``polarity=+1`` means positive voltage
+    drives the device toward LRS (this package's convention).
+    """
+
+    def __init__(
+        self,
+        r_on: float = 1e3,
+        r_off: float = 1e6,
+        v_on: float = 0.7,
+        v_off: float = 0.7,
+        k_on: float = 5e9,
+        k_off: float = 5e9,
+        a_on: int = 3,
+        a_off: int = 3,
+        polarity: int = 1,
+        x: float = 0.0,
+    ) -> None:
+        super().__init__(r_on, r_off, x)
+        if v_on <= 0 or v_off <= 0:
+            raise DeviceError(
+                f"threshold magnitudes must be positive (v_on={v_on}, v_off={v_off})"
+            )
+        if k_on <= 0 or k_off <= 0:
+            raise DeviceError(f"rate constants must be positive (k_on={k_on}, k_off={k_off})")
+        if a_on < 1 or a_off < 1:
+            raise DeviceError(f"exponents must be >= 1 (a_on={a_on}, a_off={a_off})")
+        if polarity not in (1, -1):
+            raise DeviceError(f"polarity must be +1 or -1, got {polarity}")
+        self.v_on = float(v_on)
+        self.v_off = float(v_off)
+        self.k_on = float(k_on)
+        self.k_off = float(k_off)
+        self.a_on = int(a_on)
+        self.a_off = int(a_off)
+        self.polarity = int(polarity)
+
+    def _state_derivative(self, voltage: float) -> float:
+        v = voltage * self.polarity
+        if v >= self.v_on:
+            overdrive = v / self.v_on - 1.0
+            # boundary window: drift slows as x -> 1
+            return self.k_on * overdrive ** self.a_on * (1.0 - self._x)
+        if v <= -self.v_off:
+            overdrive = -v / self.v_off - 1.0
+            return -self.k_off * overdrive ** self.a_off * self._x
+        return 0.0
+
+    def has_threshold(self) -> bool:
+        """VTEAM retains state below threshold (needed for half-select
+        immunity in crossbars and for IMPLY conditional switching)."""
+        return True
+
+    def switching_time(self, voltage: float, from_x: float = 0.0, to_x: float = 0.99) -> float:
+        """Estimate the time to move from *from_x* to *to_x* at constant
+        *voltage*, by analytic integration of the (separable) state ODE.
+
+        Only defined for a set transition (``to_x > from_x``) under an
+        above-threshold positive effective bias; raises otherwise.
+        """
+        v = voltage * self.polarity
+        if to_x <= from_x:
+            raise DeviceError("switching_time expects to_x > from_x (set transition)")
+        if v < self.v_on or v == self.v_on:
+            raise DeviceError(f"voltage {voltage} V is below the set threshold")
+        rate = self.k_on * (v / self.v_on - 1.0) ** self.a_on
+        # dx/dt = rate*(1-x)  =>  t = ln((1-from)/(1-to)) / rate
+        import math
+
+        return math.log((1.0 - from_x) / (1.0 - to_x)) / rate

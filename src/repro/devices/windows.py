@@ -1,0 +1,60 @@
+"""Window functions for ion-drift memristor models.
+
+Window functions multiply the state derivative to model the nonlinear
+dopant drift near the device boundaries: the state velocity must fall to
+zero as ``x`` approaches 0 or 1 so the state variable stays physical.
+The three classic choices (Joglekar, Biolek, Prodromakis) are provided,
+plus the trivial rectangular window.  They are referenced by the paper's
+device-modelling discussion (Section IV.A) via [70, 71].
+"""
+
+from __future__ import annotations
+
+from ..errors import DeviceError
+
+
+def rectangular(x: float) -> float:
+    """No windowing: f(x) = 1 everywhere (hard clipping handles bounds)."""
+    return 1.0
+
+
+def joglekar(x: float, p: int = 1) -> float:
+    """Joglekar window ``f(x) = 1 - (2x - 1)^(2p)``.
+
+    Symmetric; zero exactly at both boundaries.  Larger *p* flattens the
+    window in the interior, approaching the rectangular window.
+    """
+    _check(x, p)
+    return 1.0 - (2.0 * x - 1.0) ** (2 * p)
+
+
+def biolek(x: float, current: float, p: int = 1) -> float:
+    """Biolek window ``f(x, i) = 1 - (x - step(-i))^(2p)``.
+
+    Direction-dependent: the window only collapses at the boundary the
+    state is moving *toward*, which removes the Joglekar window's
+    terminal-state lock-up (a device stuck at x=0 can still switch on).
+    *current* uses the convention that positive current drives x upward.
+    """
+    _check(x, p)
+    step = 1.0 if current < 0 else 0.0
+    return 1.0 - (x - step) ** (2 * p)
+
+
+def prodromakis(x: float, p: int = 1, j: float = 1.0) -> float:
+    """Prodromakis window ``f(x) = j·(1 - ((x - 0.5)^2 + 0.75)^p)``.
+
+    Generalises Joglekar with a scale parameter *j* controlling the peak
+    value; still symmetric and boundary-vanishing for p >= 1.
+    """
+    _check(x, p)
+    if j <= 0:
+        raise DeviceError(f"window scale j must be positive, got {j}")
+    return j * (1.0 - ((x - 0.5) ** 2 + 0.75) ** p)
+
+
+def _check(x: float, p: int) -> None:
+    if not 0.0 <= x <= 1.0:
+        raise DeviceError(f"window argument x must lie in [0, 1], got {x}")
+    if not isinstance(p, int) or p < 1:
+        raise DeviceError(f"window exponent p must be a positive integer, got {p}")

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine programming errors (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DeviceError(ReproError):
+    """Invalid device state or parameters (e.g. R_on >= R_off)."""
+
+
+class CrossbarError(ReproError):
+    """Invalid crossbar construction, addressing, or bias configuration."""
+
+
+class LogicError(ReproError):
+    """Invalid stateful-logic program, operand, or sequencing."""
+
+
+class ArchitectureError(ReproError):
+    """Inconsistent architecture model configuration."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification (e.g. zero operations)."""
+
+
+class SynthesisError(LogicError):
+    """Boolean-function synthesis could not produce an IMP program."""

@@ -1,0 +1,5 @@
+"""Reconfigurable on-chip wiring (CMOL-style), Section IV.C(a)."""
+
+from .fabric import Net, ProgrammableFabric, Route, RoutingResult
+
+__all__ = ["ProgrammableFabric", "Net", "Route", "RoutingResult"]

@@ -1,0 +1,80 @@
+"""Stateful logic on memristors — Section IV.C / Fig 5 of the paper.
+
+Public API:
+
+* IMP primitives: :func:`imp_truth`, :class:`ImplyGate` (Fig 5a),
+  :class:`CRSImplyCell` (Fig 5b), :class:`ImplyVoltages`.
+* Programs: :class:`ImplyProgram`, :class:`Instruction`, :class:`OpKind`.
+* Gate library: :func:`build_gate` and the individual builders.
+* Execution: :class:`ImplyMachine`, :class:`ExecutionReport`.
+* Arithmetic: :func:`ripple_adder_program`, :func:`full_adder_program`,
+  :class:`TCAdderCost`.
+* Comparison: :func:`nucleotide_comparator_program`,
+  :func:`word_comparator_program`, :class:`ComparatorCost`.
+* Synthesis: :func:`synthesise`, :func:`verify_program`.
+* Structures: :class:`CrossbarLUT`, :class:`MemristiveCAM`.
+"""
+
+from .adders import (
+    TCAdderCost,
+    add_integers_functional,
+    full_adder_program,
+    ripple_adder_program,
+)
+from .cam import WILDCARD, MemristiveCAM, SearchStats
+from .comparator import (
+    ComparatorCost,
+    nucleotide_comparator_program,
+    word_comparator_program,
+)
+from .gates import (
+    GATES,
+    and_gate,
+    build_gate,
+    nand_gate,
+    nor_gate,
+    not_gate,
+    or_gate,
+    xnor_gate,
+    xor_gate,
+)
+from .imply import CRSImplyCell, ImplyGate, ImplyVoltages, imp_truth
+from .lut import CrossbarLUT
+from .program import ImplyProgram, Instruction, OpKind
+from .sequencer import ExecutionReport, ImplyMachine
+from .synthesis import synthesise, truth_table_of, verify_program
+
+__all__ = [
+    "imp_truth",
+    "ImplyGate",
+    "CRSImplyCell",
+    "ImplyVoltages",
+    "ImplyProgram",
+    "Instruction",
+    "OpKind",
+    "GATES",
+    "build_gate",
+    "not_gate",
+    "or_gate",
+    "nand_gate",
+    "and_gate",
+    "nor_gate",
+    "xor_gate",
+    "xnor_gate",
+    "ImplyMachine",
+    "ExecutionReport",
+    "full_adder_program",
+    "ripple_adder_program",
+    "add_integers_functional",
+    "TCAdderCost",
+    "ComparatorCost",
+    "nucleotide_comparator_program",
+    "word_comparator_program",
+    "synthesise",
+    "truth_table_of",
+    "verify_program",
+    "CrossbarLUT",
+    "MemristiveCAM",
+    "WILDCARD",
+    "SearchStats",
+]

@@ -1,0 +1,182 @@
+"""In-memory adders: executable IMPLY ripple adder + CRS TC-adder model.
+
+The paper's mathematics example (Table 1, CIM column) uses the CRS-based
+"TC-adder" of Siemon et al. [59]: ``N+2`` memristors and ``4N+5`` steps
+for an N-bit addition, 8 device operations per bit.
+:class:`TCAdderCost` encodes those constants for the Table 2 evaluation.
+
+For functional in-memory addition this module also builds a complete
+IMPLY ripple-carry adder as an executable
+:class:`~repro.logic.program.ImplyProgram` — slower in steps than the
+TC-adder (it uses only the generic {FALSE, IMP} basis without the CRS
+in-cell tricks) but runnable gate-by-gate on the electrical machine,
+which is what the tests and the functional CIM simulator need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import LogicError
+from .program import ImplyProgram
+
+#: Steps used by one :func:`_copy` helper call.
+_COPY_STEPS = 4
+
+
+def _copy(prog: ImplyProgram, src: str, dst: str, tmp: str) -> None:
+    """dst <- src (4 steps) via double inversion through *tmp*."""
+    prog.false(tmp).imp(src, tmp)        # tmp = !src
+    prog.false(dst).imp(tmp, dst)        # dst = src
+
+
+def _xor_consuming(prog: ImplyProgram, a: str, b: str, out: str, s2: str, s3: str) -> None:
+    """out <- a XOR b (11 steps); destroys b (leaves a|b) and s2/s3."""
+    prog.false(out).imp(a, out)          # out = !a
+    prog.false(s2).imp(b, s2)            # s2 = !b
+    prog.imp(out, b)                     # b = a | b
+    prog.imp(a, s2)                      # s2 = !(a & b)
+    prog.false(s3).imp(s2, s3)           # s3 = a & b
+    prog.imp(b, s3)                      # s3 = !(a ^ b)
+    prog.false(out).imp(s3, out)         # out = a ^ b
+
+
+def _and_into(prog: ImplyProgram, a: str, b: str, out: str, tmp: str) -> None:
+    """out <- a AND b (5 steps) via NAND + NOT; a, b preserved."""
+    prog.false(tmp).imp(a, tmp).imp(b, tmp)   # tmp = !(a & b)
+    prog.false(out).imp(tmp, out)             # out = a & b
+
+
+def _or_into(prog: ImplyProgram, a: str, b: str, tmp: str) -> None:
+    """b <- a OR b (3 steps) via !a IMP b; a preserved."""
+    prog.false(tmp).imp(a, tmp).imp(tmp, b)
+
+
+def full_adder_program() -> ImplyProgram:
+    """One-bit full adder: inputs a, b, cin; outputs sum, cout."""
+    prog = ImplyProgram(
+        "FULL-ADDER", inputs=["a", "b", "cin"], outputs={"sum": "s", "cout": "co"}
+    )
+    prog.load("a", "a").load("b", "b").load("cin", "cin")
+    _emit_full_adder(prog, "a", "b", "cin", "s", "co", prefix="w")
+    return prog
+
+
+def _emit_full_adder(
+    prog: ImplyProgram, a: str, b: str, cin: str, sum_out: str, cout: str, prefix: str
+) -> None:
+    """Append full-adder logic reading registers *a*, *b*, *cin*
+    (preserved) and writing *sum_out* and *cout*.  Scratch registers are
+    namespaced by *prefix*."""
+    ca, cb, cc = f"{prefix}_ca", f"{prefix}_cb", f"{prefix}_cc"
+    x, cx = f"{prefix}_x", f"{prefix}_cx"
+    s2, s3, t = f"{prefix}_s2", f"{prefix}_s3", f"{prefix}_t"
+    g = f"{prefix}_g"
+
+    _copy(prog, a, ca, t)
+    _copy(prog, b, cb, t)
+    _xor_consuming(prog, ca, cb, x, s2, s3)        # x = a ^ b
+    _copy(prog, x, cx, t)
+    _copy(prog, cin, cc, t)
+    _xor_consuming(prog, cx, cc, sum_out, s2, s3)  # sum = a ^ b ^ cin
+    _and_into(prog, a, b, g, t)                    # g = a & b
+    _and_into(prog, x, cin, cout, t)               # cout = (a^b) & cin
+    _or_into(prog, g, cout, t)                     # cout |= g
+
+
+def ripple_adder_program(width: int) -> ImplyProgram:
+    """N-bit ripple-carry adder as a single IMPLY program.
+
+    Inputs ``a0..a{N-1}``, ``b0..b{N-1}`` (little-endian); outputs
+    ``s0..s{N-1}`` and ``cout``.  The carry chain rides in register
+    ``carry`` which is cleared before bit 0 (cin = 0).
+    """
+    if width < 1:
+        raise LogicError(f"width must be >= 1, got {width}")
+    inputs = [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    outputs = {f"s{i}": f"sum{i}" for i in range(width)}
+    outputs["cout"] = f"carry{width}"
+    prog = ImplyProgram(f"RIPPLE-ADDER-{width}", inputs=inputs, outputs=outputs)
+    for name in inputs:
+        prog.load(name, name)
+    prog.false("carry0")
+    for i in range(width):
+        _emit_full_adder(
+            prog,
+            a=f"a{i}",
+            b=f"b{i}",
+            cin=f"carry{i}",
+            sum_out=f"sum{i}",
+            cout=f"carry{i + 1}",
+            prefix=f"fa{i}",
+        )
+    return prog
+
+
+def add_integers_functional(width: int, x: int, y: int) -> dict:
+    """Convenience: run the ripple adder functionally on two integers.
+
+    Returns ``{"sum": int, "cout": int, "steps": int}``.
+    """
+    if not 0 <= x < (1 << width) or not 0 <= y < (1 << width):
+        raise LogicError(f"operands must fit in {width} bits")
+    prog = ripple_adder_program(width)
+    inputs = {}
+    for i in range(width):
+        inputs[f"a{i}"] = (x >> i) & 1
+        inputs[f"b{i}"] = (y >> i) & 1
+    out = prog.run_functional(inputs)
+    total = sum(out[f"s{i}"] << i for i in range(width))
+    return {"sum": total, "cout": out["cout"], "steps": prog.step_count}
+
+
+@dataclass(frozen=True)
+class TCAdderCost:
+    """CRS TC-adder cost model (Table 1, CIM mathematics column) [59].
+
+    For N = 32 the defaults reproduce every quoted number:
+
+    * memristors per adder: ``N + 2`` = 34
+    * area per adder: 34 x 1e-4 um^2 = 3.4e-3 um^2
+    * steps: ``4N + 5`` = 133, each one memristor write time
+    * latency: 133 x 200 ps = 26.6 ns  (the paper prints "16600 ps
+      (133 * 200 ps)"; 133 x 200 ps is 26 600 ps — we reproduce the
+      formula, and note the paper's arithmetic slip)
+    * dynamic energy: 8 operations/bit x N x 1 fJ = 256 fJ for N = 32
+      (the paper prints 246 fJ next to the same formula; again we keep
+      the formula)
+    * static energy: 0
+    """
+
+    width: int = 32
+    operations_per_bit: int = 8
+    technology: MemristorTechnology = MEMRISTOR_5NM
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise LogicError(f"width must be >= 1, got {self.width}")
+
+    @property
+    def memristors(self) -> int:
+        return self.width + 2
+
+    @property
+    def steps(self) -> int:
+        return 4 * self.width + 5
+
+    @property
+    def latency(self) -> float:
+        return self.steps * self.technology.write_time
+
+    @property
+    def dynamic_energy(self) -> float:
+        return self.operations_per_bit * self.width * self.technology.write_energy
+
+    @property
+    def static_energy(self) -> float:
+        return 0.0
+
+    @property
+    def area(self) -> float:
+        return self.memristors * self.technology.cell_area

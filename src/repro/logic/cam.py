@@ -1,0 +1,114 @@
+"""Content-addressable memory on a memristive crossbar.
+
+Section IV.C: "CAMs based on memristors are feasible with different
+flavors [90, 91]; e.g., a CRS-based CAM is recently demonstrated [84]".
+A CAM row stores a key; a search broadcasts a query on the bitlines and
+every row reports match/mismatch *in parallel* — one array-latency
+operation regardless of the number of stored keys.  This is the
+associative-search building block behind the paper's DNA use case.
+
+The model is functional-plus-cost: match resolution is computed
+digitally from the stored patterns, while energy/latency are charged as
+one search pulse per row cell against the technology profile (each
+queried cell dissipates one write-class pulse worst case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import LogicError
+
+#: Ternary "don't care" marker for masked key bits.
+WILDCARD = -1
+
+
+@dataclass
+class SearchStats:
+    """Aggregate cost of the searches issued so far."""
+
+    searches: int = 0
+    cell_evaluations: int = 0
+    energy: float = 0.0
+    time: float = 0.0
+
+
+class MemristiveCAM:
+    """A rows x width ternary CAM.
+
+    Keys are sequences of 0, 1, or :data:`WILDCARD`.  Search latency is
+    one array access (all rows compare in parallel); search energy is
+    one pulse per *stored* cell, the worst-case match-line discharge.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        width: int,
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+    ) -> None:
+        if rows < 1 or width < 1:
+            raise LogicError(f"CAM dimensions must be positive, got {rows}x{width}")
+        self.rows = rows
+        self.width = width
+        self.technology = technology
+        self._keys: List[Optional[List[int]]] = [None] * rows
+        self.stats = SearchStats()
+
+    def _check_key(self, key: Sequence[int]) -> List[int]:
+        if len(key) != self.width:
+            raise LogicError(f"key must have {self.width} symbols, got {len(key)}")
+        for symbol in key:
+            if symbol not in (0, 1, WILDCARD):
+                raise LogicError(
+                    f"key symbols must be 0, 1 or WILDCARD, got {symbol}"
+                )
+        return list(key)
+
+    def store(self, row: int, key: Sequence[int]) -> None:
+        """Program *key* into *row* (wildcards allowed)."""
+        if not 0 <= row < self.rows:
+            raise LogicError(f"row {row} outside 0..{self.rows - 1}")
+        self._keys[row] = self._check_key(key)
+
+    def stored_rows(self) -> int:
+        """Number of programmed rows."""
+        return sum(1 for key in self._keys if key is not None)
+
+    def search(self, query: Sequence[int]) -> List[int]:
+        """Return the indices of all rows matching *query*.
+
+        The query itself may not contain wildcards (those live in the
+        stored keys, the usual TCAM convention).
+        """
+        if len(query) != self.width:
+            raise LogicError(
+                f"query must have {self.width} bits, got {len(query)}"
+            )
+        for bit in query:
+            if bit not in (0, 1):
+                raise LogicError(f"query bits must be 0/1, got {bit}")
+        matches = []
+        evaluated = 0
+        for row, key in enumerate(self._keys):
+            if key is None:
+                continue
+            evaluated += self.width
+            if all(k == WILDCARD or k == q for k, q in zip(key, query)):
+                matches.append(row)
+        self.stats.searches += 1
+        self.stats.cell_evaluations += evaluated
+        self.stats.energy += evaluated * self.technology.write_energy
+        self.stats.time += self.technology.write_time
+        return matches
+
+    def search_first(self, query: Sequence[int]) -> Optional[int]:
+        """Priority-encoded search: lowest matching row index or None."""
+        matches = self.search(query)
+        return matches[0] if matches else None
+
+    def area(self) -> float:
+        """Junction area (two devices per ternary cell), m^2."""
+        return self.rows * self.width * 2 * self.technology.cell_area

@@ -1,0 +1,162 @@
+"""Gate library: Boolean gates as IMPLY programs.
+
+Every recipe uses only the complete {FALSE, IMP} basis plus input LOADs,
+so each program runs unchanged on the electrical
+:class:`~repro.logic.sequencer.ImplyMachine`.  Step counts (excluding
+loads) are part of each gate's contract and asserted by the tests:
+
+=========  ==============  ==================
+gate       compute steps    devices (total)
+=========  ==============  ==================
+NOT        2               2
+OR         3               3
+NAND       3               3  (paper: "an NAND takes 3 steps")
+AND        5               4
+NOR        5               3
+XOR        11              5  (paper counts 13 by including the 2 loads)
+XNOR       9               5
+=========  ==============  ==================
+
+The paper's XOR figure of "13 steps ... 5 memristors" (Table 1) matches
+this library's XOR when the two operand-loading pulses are included:
+11 compute steps + 2 loads = 13 total pulses on 5 devices.
+"""
+
+from __future__ import annotations
+
+from .program import ImplyProgram
+from ..errors import LogicError
+
+
+def not_gate() -> ImplyProgram:
+    """NOT: ``out = NOT a``; 2 compute steps, 2 devices.
+
+    ``FALSE(s); a IMP s`` leaves ``NOT a`` in s.
+    """
+    prog = ImplyProgram("NOT", inputs=["a"], outputs={"out": "s"})
+    prog.load("a", "a").false("s").imp("a", "s")
+    return prog
+
+
+def or_gate() -> ImplyProgram:
+    """OR: 3 compute steps, 3 devices.
+
+    ``s = NOT a`` (2 steps) then ``s IMP b`` gives ``a OR b`` in b.
+    """
+    prog = ImplyProgram("OR", inputs=["a", "b"], outputs={"out": "b"})
+    prog.load("a", "a").load("b", "b")
+    prog.false("s").imp("a", "s").imp("s", "b")
+    return prog
+
+
+def nand_gate() -> ImplyProgram:
+    """NAND: 3 compute steps, 3 devices (the paper's 3-step NAND).
+
+    ``FALSE(s); a IMP s; b IMP s`` leaves ``NOT(a AND b)`` in s.
+    """
+    prog = ImplyProgram("NAND", inputs=["a", "b"], outputs={"out": "s"})
+    prog.load("a", "a").load("b", "b")
+    prog.false("s").imp("a", "s").imp("b", "s")
+    return prog
+
+
+def and_gate() -> ImplyProgram:
+    """AND: NAND then NOT; 5 compute steps, 4 devices."""
+    prog = ImplyProgram("AND", inputs=["a", "b"], outputs={"out": "t"})
+    prog.load("a", "a").load("b", "b")
+    prog.false("s").imp("a", "s").imp("b", "s")      # s = NAND(a, b)
+    prog.false("t").imp("s", "t")                    # t = NOT s = a AND b
+    return prog
+
+
+def nor_gate() -> ImplyProgram:
+    """NOR: 5 compute steps, 3 devices.
+
+    ``s = NOT a``; ``s IMP b`` puts ``a OR b`` in b; then invert into s
+    after clearing it.
+    """
+    prog = ImplyProgram("NOR", inputs=["a", "b"], outputs={"out": "s"})
+    prog.load("a", "a").load("b", "b")
+    prog.false("s").imp("a", "s")        # s = NOT a
+    prog.imp("s", "b")                   # b = a OR b
+    prog.false("s").imp("b", "s")        # s = NOT(a OR b)
+    # Note: FALSE+IMP on s after its first use re-purposes the register.
+    return prog
+
+
+def xor_gate() -> ImplyProgram:
+    """XOR: 11 compute steps, 5 devices (a, b, s1, s2, s3).
+
+    Derivation (register contents after each step)::
+
+        1.  FALSE s1
+        2.  a IMP s1      s1 = NOT a
+        3.  FALSE s2
+        4.  b IMP s2      s2 = NOT b
+        5.  s1 IMP b      b  = a OR b
+        6.  a IMP s2      s2 = (NOT a) OR (NOT b) = NAND(a, b)
+        7.  FALSE s3
+        8.  s2 IMP s3     s3 = a AND b
+        9.  s3 IMP b      b  = NOT(a AND b) OR (a OR b) ... kept for s-path
+        10. FALSE s1
+        11. ... see below
+
+    The implementation uses the equivalent factorisation
+    ``XOR = (a OR b) AND NAND(a, b)``:
+
+        s1 = NOT a;  b' = a OR b;  s2 = NAND(a, b);
+        s3 = NOT s2; s3' = b' IMP s3 = NOT b' OR (a AND b) = NOT XOR;
+        s1(cleared) <- s3' IMP s1 = XOR.
+    """
+    prog = ImplyProgram("XOR", inputs=["a", "b"], outputs={"out": "s1"})
+    prog.load("a", "a").load("b", "b")
+    prog.false("s1").imp("a", "s1")      # s1 = !a
+    prog.false("s2").imp("b", "s2")      # s2 = !b
+    prog.imp("s1", "b")                  # b  = a | b
+    prog.imp("a", "s2")                  # s2 = !a | !b = !(a & b)
+    prog.false("s3").imp("s2", "s3")     # s3 = a & b
+    prog.imp("b", "s3")                  # s3 = !(a|b) | (a&b) = !(a ^ b)
+    prog.false("s1").imp("s3", "s1")     # s1 = a ^ b
+    return prog
+
+
+def xnor_gate() -> ImplyProgram:
+    """XNOR: 9 compute steps, 5 devices.
+
+    Same chain as XOR but stopping one inversion earlier:
+    ``s3 = NOT(a XOR b)`` after step 9 is already XNOR.
+    """
+    prog = ImplyProgram("XNOR", inputs=["a", "b"], outputs={"out": "s3"})
+    prog.load("a", "a").load("b", "b")
+    prog.false("s1").imp("a", "s1")
+    prog.false("s2").imp("b", "s2")
+    prog.imp("s1", "b")
+    prog.imp("a", "s2")
+    prog.false("s3").imp("s2", "s3")
+    prog.imp("b", "s3")                  # s3 = !(a ^ b)
+    return prog
+
+
+#: Registry of all gate builders by canonical name.
+GATES = {
+    "NOT": not_gate,
+    "OR": or_gate,
+    "NAND": nand_gate,
+    "AND": and_gate,
+    "NOR": nor_gate,
+    "XOR": xor_gate,
+    "XNOR": xnor_gate,
+}
+
+
+def build_gate(name: str) -> ImplyProgram:
+    """Instantiate a gate program by name (case-insensitive)."""
+    try:
+        builder = GATES[name.upper()]
+    except KeyError:
+        raise LogicError(
+            f"unknown gate {name!r}; available: {sorted(GATES)}"
+        ) from None
+    program = builder()
+    program.validate()
+    return program

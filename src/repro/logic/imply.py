@@ -1,0 +1,193 @@
+"""Material implication (IMP) primitives — both Fig 5 implementations.
+
+Material implication ``p IMP q = (NOT p) OR q`` is the universal
+stateful-logic primitive the paper builds its in-memory arithmetic on
+(Section IV.C, refs [49, 58, 85]).  Two circuit realisations appear in
+Fig 5:
+
+* **Fig 5(a)** — two memristors P and Q share a common node tied to
+  ground through a load resistor ``R_G``.  Applying ``V_COND`` (below
+  threshold) to P and ``V_SET`` (above threshold) to Q performs
+  ``q' = p IMP q`` in one step: when P stores '1' (LRS) the common node
+  is pulled up to ~V_COND, leaving less than a threshold across Q, so Q
+  keeps its state; when P stores '0' the node stays near ground and Q
+  is SET.  :class:`ImplyGate` solves the actual resistor network, so the
+  logical behaviour *emerges* from the electrical model.
+* **Fig 5(b)** — the in-cell CRS variant [93]: the two operand voltages
+  ``±½V_WRITE`` are applied to the two terminals of a single CRS cell Z
+  (initialised to '1'); the differential voltage writes '0' exactly for
+  the ``p=1, q=0`` case.  Two steps per IMP instead of three, "with
+  superior performance" per the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..devices.base import IdealBipolarMemristor
+from ..devices.crs import ComplementaryResistiveSwitch
+from ..errors import LogicError
+
+
+def imp_truth(p: int, q: int) -> int:
+    """Reference truth table of material implication."""
+    if p not in (0, 1) or q not in (0, 1):
+        raise LogicError(f"IMP operands must be bits, got ({p}, {q})")
+    return (1 - p) | q
+
+
+@dataclass(frozen=True)
+class ImplyVoltages:
+    """Drive voltages for the Fig 5(a) gate.
+
+    The constraint chain is: ``v_cond`` must be below the device SET
+    threshold (so P is never disturbed), while ``v_set`` must exceed it,
+    and the divider ``v_set - v_node`` must stay below threshold when P
+    is in LRS.  Defaults are matched to the default
+    :class:`IdealBipolarMemristor` thresholds (v_set = 1.0 V device
+    threshold in :class:`SwitchingThresholds`).
+    """
+
+    v_cond: float = 0.6
+    v_set: float = 1.2
+    v_reset: float = -1.4
+    r_g: float = 10e3
+
+    def __post_init__(self) -> None:
+        if self.v_cond <= 0 or self.v_set <= 0:
+            raise LogicError("v_cond and v_set must be positive")
+        if self.v_cond >= self.v_set:
+            raise LogicError(
+                f"v_cond ({self.v_cond}) must be below v_set ({self.v_set})"
+            )
+        if self.v_reset >= 0:
+            raise LogicError(f"v_reset must be negative, got {self.v_reset}")
+        if self.r_g <= 0:
+            raise LogicError(f"load resistance must be positive, got {self.r_g}")
+
+
+class ImplyGate:
+    """Fig 5(a): two memristors + load resistor, solved electrically.
+
+    The gate owns no devices; it operates on the two devices passed per
+    call, which lets a sequencer share one gate across a register file.
+    """
+
+    def __init__(self, voltages: Optional[ImplyVoltages] = None) -> None:
+        self.voltages = voltages if voltages is not None else ImplyVoltages()
+
+    def common_node_voltage(
+        self, p: IdealBipolarMemristor, q: IdealBipolarMemristor
+    ) -> float:
+        """Voltage of the shared node during the IMP pulse."""
+        v = self.voltages
+        g_p = 1.0 / p.resistance()
+        g_q = 1.0 / q.resistance()
+        g_g = 1.0 / v.r_g
+        return (v.v_cond * g_p + v.v_set * g_q) / (g_p + g_q + g_g)
+
+    def apply(
+        self,
+        p: IdealBipolarMemristor,
+        q: IdealBipolarMemristor,
+        duration: Optional[float] = None,
+    ) -> int:
+        """Execute ``q <- p IMP q`` on the two devices; returns new q bit.
+
+        The node voltage is re-solved after any switching event (Q
+        switching changes the divider), mirroring the settling behaviour
+        of the physical circuit.  Raises :class:`LogicError` if the
+        voltage configuration would corrupt the P operand — that is a
+        design error in the drive voltages, not a data condition.
+        """
+        if p is q:
+            raise LogicError("IMP requires two distinct devices")
+        duration = duration if duration is not None else p.switch_time
+        for _ in range(4):
+            v_node = self.common_node_voltage(p, q)
+            v_across_p = self.voltages.v_cond - v_node
+            v_across_q = self.voltages.v_set - v_node
+            if p.would_switch(v_across_p):
+                raise LogicError(
+                    f"V_COND configuration disturbs operand P "
+                    f"(V across P = {v_across_p:.3f} V)"
+                )
+            before = q.as_bit()
+            q.apply_voltage(v_across_q, duration)
+            if q.as_bit() == before:
+                break
+        return q.as_bit()
+
+    def false(self, device: IdealBipolarMemristor, duration: Optional[float] = None) -> None:
+        """Unconditionally clear a device to '0' (the FALSE operation
+        that, together with IMP, forms a complete logic basis)."""
+        duration = duration if duration is not None else device.switch_time
+        device.apply_voltage(self.voltages.v_reset, duration)
+        if device.as_bit() != 0:
+            raise LogicError("FALSE pulse failed to reset the device")
+
+
+class CRSImplyCell:
+    """Fig 5(b): in-cell IMP on a single CRS device.
+
+    Protocol (quoted from the paper):
+
+    1. ``Init device Z to '1'``  (V_T1 = +1/2 V_WRITE, V_T2 = -1/2 V_WRITE)
+    2. ``Z' = p IMP q``          (V_T1 = V_q,  V_T2 = V_p)
+    3. ``Read Z'``
+
+    Logic values are encoded as terminal voltages ``±1/2 V_WRITE``; the
+    differential across the cell is therefore in {-V_WRITE, 0, +V_WRITE}
+    and only the ``p=1, q=0`` case produces the full negative write
+    voltage that flips Z to '0'.
+    """
+
+    def __init__(
+        self,
+        cell: Optional[ComplementaryResistiveSwitch] = None,
+        v_write: Optional[float] = None,
+    ) -> None:
+        self.cell = cell if cell is not None else ComplementaryResistiveSwitch()
+        vth2 = self.cell.thresholds()[1]
+        self.v_write = v_write if v_write is not None else 1.3 * vth2
+        if self.v_write <= vth2:
+            raise LogicError(
+                f"v_write ({self.v_write} V) must exceed Vth2 ({vth2} V)"
+            )
+
+    def _terminal(self, bit: int) -> float:
+        if bit not in (0, 1):
+            raise LogicError(f"operand must be a bit, got {bit}")
+        return 0.5 * self.v_write if bit == 1 else -0.5 * self.v_write
+
+    def initialise(self) -> None:
+        """Step 1: write '1' into Z with the full differential."""
+        self.cell.apply_voltage(self.v_write, 1e-9)
+        if self.cell.stored_bit() != 1:
+            raise LogicError("CRS init-to-'1' failed")
+
+    def imply(self, p: int, q: int) -> int:
+        """Steps 1+2: compute ``p IMP q`` into the cell; returns the bit.
+
+        The result is read non-destructively here (state inspection);
+        an electrical read via :meth:`ComplementaryResistiveSwitch.read`
+        is exercised separately in the tests.
+        """
+        self.initialise()
+        v_t1 = self._terminal(q)
+        v_t2 = self._terminal(p)
+        self.cell.apply_voltage(v_t1 - v_t2, 1e-9)
+        result = self.cell.stored_bit()
+        if result is None:
+            raise LogicError(
+                f"CRS IMP left the cell in state {self.cell.state.value}"
+            )
+        return result
+
+    @property
+    def steps_per_imp(self) -> int:
+        """Two write steps per IMP (init + operate), versus three for the
+        Fig 5(a) protocol (set p, set q, conditional set) — the paper's
+        "superior performance"."""
+        return 2

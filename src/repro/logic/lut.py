@@ -1,0 +1,104 @@
+"""Crossbar look-up tables (Section IV.C, refs [83, 88, 89]).
+
+"Resistive memories can be either used to implement small LUTs for
+FPGAs or LUTs can be mapped to large-scale crossbar arrays to reduce
+the crossbar array overhead."  A LUT stores one output word per input
+pattern; evaluation is a single crossbar word read, so an arbitrary
+k-input function costs O(1) read steps at the price of 2^k rows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..crossbar.memory import CrossbarMemory
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import LogicError
+
+
+class CrossbarLUT:
+    """A k-input, w-output look-up table in a crossbar memory.
+
+    Parameters
+    ----------
+    input_bits:
+        Number of address inputs (rows = 2^input_bits).
+    output_bits:
+        Word width of each entry.
+    cell_kind:
+        Junction type for the backing memory ('1R' or 'CRS').
+    technology:
+        Energy/latency profile for access accounting.
+    """
+
+    def __init__(
+        self,
+        input_bits: int,
+        output_bits: int,
+        cell_kind: str = "1R",
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+    ) -> None:
+        if input_bits < 1 or input_bits > 20:
+            raise LogicError(
+                f"input_bits must be in 1..20 (2^k rows), got {input_bits}"
+            )
+        if output_bits < 1:
+            raise LogicError(f"output_bits must be >= 1, got {output_bits}")
+        self.input_bits = input_bits
+        self.output_bits = output_bits
+        self.memory = CrossbarMemory(
+            words=1 << input_bits,
+            width=output_bits,
+            cell_kind=cell_kind,
+            technology=technology,
+        )
+
+    @classmethod
+    def from_function(
+        cls,
+        function: Callable[..., int],
+        input_bits: int,
+        output_bits: int = 1,
+        **kwargs,
+    ) -> "CrossbarLUT":
+        """Program a LUT from a Python function of *input_bits* bits.
+
+        The function receives the address bits little-endian and must
+        return an integer fitting in *output_bits*.
+        """
+        lut = cls(input_bits, output_bits, **kwargs)
+        for address in range(1 << input_bits):
+            bits = [(address >> i) & 1 for i in range(input_bits)]
+            value = function(*bits)
+            if not 0 <= value < (1 << output_bits):
+                raise LogicError(
+                    f"function value {value} does not fit in {output_bits} bits"
+                )
+            lut.memory.write_int(address, value)
+        return lut
+
+    def lookup(self, *bits: int) -> int:
+        """Evaluate the LUT: one crossbar word read."""
+        if len(bits) != self.input_bits:
+            raise LogicError(
+                f"expected {self.input_bits} address bits, got {len(bits)}"
+            )
+        address = 0
+        for i, bit in enumerate(bits):
+            if bit not in (0, 1):
+                raise LogicError(f"address bits must be 0/1, got {bit}")
+            address |= bit << i
+        return self.memory.read_int(address)
+
+    def lookup_word(self, address: int) -> int:
+        """Evaluate by integer address."""
+        return self.memory.read_int(address)
+
+    @property
+    def stats(self):
+        """Access statistics of the backing crossbar memory."""
+        return self.memory.stats
+
+    def area(self) -> float:
+        """Junction area of the backing crossbar (m^2)."""
+        return self.memory.area()

@@ -1,0 +1,201 @@
+"""IMPLY programs: the instruction representation for stateful logic.
+
+A program is a straight-line sequence over named memristor registers
+using the complete basis {FALSE, IMP} plus the input-loading SET/LOAD
+pseudo-ops from the paper's Fig 5(a) protocol ("1. Set device P to p,
+2. Set device Q to q, ...").  Programs are pure data: they can be
+cost-analysed (steps, devices) without execution, executed functionally,
+or executed electrically by :class:`repro.logic.sequencer.ImplyMachine`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import LogicError
+
+
+class OpKind(enum.Enum):
+    """Stateful-logic instruction kinds."""
+
+    #: Unconditionally clear a register to '0'.
+    FALSE = "FALSE"
+    #: Load an input bit into a register (one write pulse).
+    LOAD = "LOAD"
+    #: ``q <- p IMP q`` (one conditional-set pulse).
+    IMP = "IMP"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One stateful-logic step.
+
+    ``operands`` holds register names: 1 for FALSE, 2 for IMP (p, q).
+    LOAD additionally names the input signal it reads in ``source``.
+    """
+
+    kind: OpKind
+    operands: Tuple[str, ...]
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        expected = {OpKind.FALSE: 1, OpKind.LOAD: 1, OpKind.IMP: 2}[self.kind]
+        if len(self.operands) != expected:
+            raise LogicError(
+                f"{self.kind.value} takes {expected} operand(s), "
+                f"got {len(self.operands)}"
+            )
+        if self.kind is OpKind.IMP and self.operands[0] == self.operands[1]:
+            raise LogicError("IMP requires two distinct registers")
+        if self.kind is OpKind.LOAD and not self.source:
+            raise LogicError("LOAD requires a source signal name")
+
+
+@dataclass
+class ImplyProgram:
+    """A named straight-line IMPLY program.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    instructions:
+        Ordered instruction list.
+    inputs:
+        Input signal names, in argument order.
+    outputs:
+        Mapping of output signal name -> register holding it at the end.
+    """
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    inputs: List[str] = field(default_factory=list)
+    outputs: Dict[str, str] = field(default_factory=dict)
+
+    # -- builders ----------------------------------------------------------
+
+    def false(self, register: str) -> "ImplyProgram":
+        """Append a FALSE step; returns self for chaining."""
+        self.instructions.append(Instruction(OpKind.FALSE, (register,)))
+        return self
+
+    def load(self, register: str, source: str) -> "ImplyProgram":
+        """Append a LOAD step reading input *source* into *register*."""
+        self.instructions.append(Instruction(OpKind.LOAD, (register,), source))
+        return self
+
+    def imp(self, p: str, q: str) -> "ImplyProgram":
+        """Append ``q <- p IMP q``."""
+        self.instructions.append(Instruction(OpKind.IMP, (p, q)))
+        return self
+
+    def extend(self, other: "ImplyProgram", rename: Dict[str, str] = None) -> "ImplyProgram":
+        """Append another program's instructions, optionally renaming its
+        registers (for composing gate recipes into larger circuits)."""
+        rename = rename or {}
+        for ins in other.instructions:
+            operands = tuple(rename.get(r, r) for r in ins.operands)
+            self.instructions.append(Instruction(ins.kind, operands, ins.source))
+        return self
+
+    # -- static analysis -------------------------------------------------------
+
+    @property
+    def step_count(self) -> int:
+        """Total pulses — every instruction is one memristor write step."""
+        return len(self.instructions)
+
+    @property
+    def compute_step_count(self) -> int:
+        """Steps excluding input LOADs (the paper's gate step counts,
+        e.g. 'an NAND takes 3 steps', exclude operand loading)."""
+        return sum(1 for i in self.instructions if i.kind is not OpKind.LOAD)
+
+    @property
+    def registers(self) -> List[str]:
+        """All register names, in first-use order."""
+        seen: Dict[str, None] = {}
+        for ins in self.instructions:
+            for r in ins.operands:
+                seen.setdefault(r)
+        for r in self.outputs.values():
+            seen.setdefault(r)
+        return list(seen)
+
+    @property
+    def device_count(self) -> int:
+        """Number of distinct memristors the program touches."""
+        return len(self.registers)
+
+    def validate(self) -> None:
+        """Static checks: outputs refer to known registers; every LOAD
+        source is a declared input; registers read by IMP have been
+        written (loaded or cleared) before use."""
+        written = set()
+        for ins in self.instructions:
+            if ins.kind is OpKind.LOAD:
+                if ins.source not in self.inputs:
+                    raise LogicError(
+                        f"{self.name}: LOAD reads undeclared input {ins.source!r}"
+                    )
+                written.add(ins.operands[0])
+            elif ins.kind is OpKind.FALSE:
+                written.add(ins.operands[0])
+            else:  # IMP
+                for r in ins.operands:
+                    if r not in written:
+                        raise LogicError(
+                            f"{self.name}: IMP uses register {r!r} before "
+                            "it is loaded or cleared"
+                        )
+        for signal, register in self.outputs.items():
+            if register not in written:
+                raise LogicError(
+                    f"{self.name}: output {signal!r} maps to register "
+                    f"{register!r} which is never written"
+                )
+
+    # -- functional execution -----------------------------------------------------
+
+    def run_functional(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Execute with the truth-table semantics (no electrical model).
+
+        Returns the output signal values.  Used as the golden reference
+        the electrical :class:`~repro.logic.sequencer.ImplyMachine` is
+        checked against.
+        """
+        missing = [s for s in self.inputs if s not in inputs]
+        if missing:
+            raise LogicError(f"{self.name}: missing inputs {missing}")
+        state: Dict[str, int] = {}
+        for ins in self.instructions:
+            if ins.kind is OpKind.FALSE:
+                state[ins.operands[0]] = 0
+            elif ins.kind is OpKind.LOAD:
+                bit = inputs[ins.source]
+                if bit not in (0, 1):
+                    raise LogicError(
+                        f"{self.name}: input {ins.source!r} must be a bit, got {bit}"
+                    )
+                state[ins.operands[0]] = bit
+            else:
+                p, q = ins.operands
+                if p not in state or q not in state:
+                    raise LogicError(
+                        f"{self.name}: IMP on uninitialised register ({p}, {q})"
+                    )
+                state[q] = (1 - state[p]) | state[q]
+        return {signal: state[register] for signal, register in self.outputs.items()}
+
+    def truth_table(self) -> List[Tuple[Dict[str, int], Dict[str, int]]]:
+        """Exhaustive (inputs -> outputs) table over all input patterns."""
+        n = len(self.inputs)
+        table = []
+        for pattern in range(1 << n):
+            assignment = {
+                name: (pattern >> i) & 1 for i, name in enumerate(self.inputs)
+            }
+            table.append((assignment, self.run_functional(assignment)))
+        return table

@@ -1,0 +1,141 @@
+"""Electrical executor for IMPLY programs.
+
+:class:`ImplyMachine` owns a register file of
+:class:`~repro.devices.base.IdealBipolarMemristor` devices and executes
+:class:`~repro.logic.program.ImplyProgram` instructions by actually
+driving the Fig 5(a) circuit: FALSE is a reset pulse, LOAD a write
+pulse, IMP the V_COND/V_SET two-device operation solved through the
+load-resistor divider.  Energy and latency are charged per pulse against
+a :class:`~repro.devices.technology.MemristorTechnology` profile,
+matching the paper's cost accounting ("each step takes a memristor
+write time", "1 fJ per write operation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..devices.base import IdealBipolarMemristor
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import LogicError
+from .imply import ImplyGate, ImplyVoltages
+from .program import ImplyProgram, Instruction, OpKind
+
+
+@dataclass
+class ExecutionReport:
+    """Cost and result of one program execution.
+
+    ``steps`` counts pulses (= memristor write times); ``energy`` and
+    ``latency`` are the Table 1-style totals; ``outputs`` are the output
+    signal bits.
+    """
+
+    program: str
+    steps: int
+    energy: float
+    latency: float
+    outputs: Dict[str, int] = field(default_factory=dict)
+
+
+class ImplyMachine:
+    """A register file of memristors plus one IMPLY driver.
+
+    Parameters
+    ----------
+    registers:
+        Register names to pre-allocate; programs may reference new names,
+        which are allocated on demand.
+    voltages:
+        Drive voltages for the Fig 5(a) circuit.
+    technology:
+        Energy/latency profile (defaults to the paper's 5 nm numbers).
+    device_factory:
+        Zero-argument callable producing fresh devices; defaults to
+        :class:`IdealBipolarMemristor` with standard thresholds.
+    """
+
+    def __init__(
+        self,
+        registers: Iterable[str] = (),
+        voltages: Optional[ImplyVoltages] = None,
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+        device_factory=IdealBipolarMemristor,
+    ) -> None:
+        self.gate = ImplyGate(voltages)
+        self.technology = technology
+        self._device_factory = device_factory
+        self.registers: Dict[str, IdealBipolarMemristor] = {
+            name: device_factory() for name in registers
+        }
+
+    def device(self, name: str) -> IdealBipolarMemristor:
+        """The register's device, allocating it on first reference."""
+        if name not in self.registers:
+            self.registers[name] = self._device_factory()
+        return self.registers[name]
+
+    def read_register(self, name: str) -> int:
+        """Digital value currently stored in register *name*."""
+        if name not in self.registers:
+            raise LogicError(f"unknown register {name!r}")
+        return self.registers[name].as_bit()
+
+    # -- execution ------------------------------------------------------------
+
+    def execute_instruction(self, ins: Instruction, inputs: Dict[str, int]) -> None:
+        """Drive one instruction on the register file."""
+        if ins.kind is OpKind.FALSE:
+            self.gate.false(self.device(ins.operands[0]))
+        elif ins.kind is OpKind.LOAD:
+            try:
+                bit = inputs[ins.source]
+            except KeyError:
+                raise LogicError(f"missing input {ins.source!r}") from None
+            self.device(ins.operands[0]).write_bit(bit)
+        else:
+            p = self.device(ins.operands[0])
+            q = self.device(ins.operands[1])
+            self.gate.apply(p, q)
+
+    def run(self, program: ImplyProgram, inputs: Optional[Dict[str, int]] = None) -> ExecutionReport:
+        """Execute *program* and return its outputs and cost.
+
+        Every instruction costs one write time and one write energy —
+        the paper's accounting unit.  The electrical IMP itself decides
+        whether the target device actually switches; cost is charged per
+        pulse regardless (the drive energy is spent either way).
+        """
+        inputs = inputs or {}
+        program.validate()
+        for ins in program.instructions:
+            self.execute_instruction(ins, inputs)
+        outputs = {
+            signal: self.read_register(register)
+            for signal, register in program.outputs.items()
+        }
+        steps = program.step_count
+        return ExecutionReport(
+            program=program.name,
+            steps=steps,
+            energy=steps * self.technology.write_energy,
+            latency=steps * self.technology.write_time,
+            outputs=outputs,
+        )
+
+    def run_and_check(self, program: ImplyProgram, inputs: Dict[str, int]) -> ExecutionReport:
+        """Execute electrically and assert agreement with the functional
+        (truth-table) semantics; raises :class:`LogicError` on mismatch.
+
+        This is the library's built-in self-test hook: any drift between
+        circuit behaviour and logical intent is caught at run time.
+        """
+        report = self.run(program, inputs)
+        expected = program.run_functional(inputs)
+        if report.outputs != expected:
+            raise LogicError(
+                f"electrical/functional mismatch in {program.name}: "
+                f"inputs={inputs} electrical={report.outputs} functional={expected}"
+            )
+        return report

@@ -1,0 +1,118 @@
+"""Boolean-function synthesis into IMPLY programs.
+
+The paper argues IMP "paves the path to more complex memristive
+in-memory-computing architectures"; a compiler from arbitrary Boolean
+functions to {FALSE, IMP} sequences is the minimal toolchain piece that
+claim needs.  The strategy is textbook sum-of-products:
+
+1. enumerate the ON-set minterms of the target truth table;
+2. compute each minterm as an AND of literals (inverted inputs via the
+   2-step NOT recipe);
+3. OR-reduce the minterms into an accumulator.
+
+The output is a plain :class:`~repro.logic.program.ImplyProgram`, so
+synthesised functions run both functionally and electrically and can be
+cost-compared against hand recipes (see the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from ..errors import SynthesisError
+from .program import ImplyProgram
+
+TruthFunction = Callable[..., int]
+
+
+def truth_table_of(function: TruthFunction, arity: int) -> List[int]:
+    """Evaluate *function* over all 2^arity input patterns.
+
+    Pattern *k* assigns bit *i* of *k* to input *i* (little-endian).
+    """
+    if arity < 1:
+        raise SynthesisError(f"arity must be >= 1, got {arity}")
+    table = []
+    for pattern in range(1 << arity):
+        bits = [(pattern >> i) & 1 for i in range(arity)]
+        value = function(*bits)
+        if value not in (0, 1):
+            raise SynthesisError(
+                f"function returned non-bit {value!r} for input {bits}"
+            )
+        table.append(value)
+    return table
+
+
+def synthesise(
+    function: TruthFunction,
+    arity: int,
+    name: str = "SYNTH",
+    input_names: Sequence[str] = None,
+) -> ImplyProgram:
+    """Compile *function* into an IMPLY program.
+
+    Returns a program with inputs ``x0..x{arity-1}`` (or *input_names*)
+    and a single output ``out``.  Constant functions compile to a bare
+    FALSE (and an inversion for constant 1).
+    """
+    table = truth_table_of(function, arity)
+    names = list(input_names) if input_names else [f"x{i}" for i in range(arity)]
+    if len(names) != arity:
+        raise SynthesisError(
+            f"need {arity} input names, got {len(names)}"
+        )
+    prog = ImplyProgram(name, inputs=names, outputs={"out": "acc"})
+    for n in names:
+        prog.load(n, n)
+
+    minterms = [k for k, v in enumerate(table) if v == 1]
+
+    # Pre-compute the complements of every input once (shared by minterms).
+    needs_complement = set()
+    for k in minterms:
+        for i in range(arity):
+            if not (k >> i) & 1:
+                needs_complement.add(i)
+    for i in sorted(needs_complement):
+        prog.false(f"n{i}").imp(names[i], f"n{i}")      # n_i = !x_i
+
+    prog.false("acc")
+    if not minterms:
+        return prog                                      # constant 0
+    if len(minterms) == (1 << arity):
+        # Constant 1: invert the cleared accumulator via a cleared helper.
+        prog.false("one_h").imp("acc", "one_h")          # one_h = !0 = 1
+        prog.outputs["out"] = "one_h"
+        return prog
+
+    for k in minterms:
+        # minterm = AND of literals, built as !(l0 IMP !l1 ...) chains:
+        # nand-accumulate literals into m_n, then invert into m.
+        prog.false("m_n")
+        for i in range(arity):
+            literal = names[i] if (k >> i) & 1 else f"n{i}"
+            prog.imp(literal, "m_n")                     # m_n = !(AND literals)
+        prog.false("m").imp("m_n", "m")                  # m = minterm k
+        # acc |= m  via  t = !m ; t IMP acc
+        prog.false("t").imp("m", "t").imp("t", "acc")
+    return prog
+
+
+def verify_program(program: ImplyProgram, function: TruthFunction) -> None:
+    """Check a program against *function* on every input pattern.
+
+    Raises :class:`SynthesisError` on the first mismatch.  Input
+    ordering follows ``program.inputs``.
+    """
+    arity = len(program.inputs)
+    for pattern in range(1 << arity):
+        assignment = {
+            name: (pattern >> i) & 1 for i, name in enumerate(program.inputs)
+        }
+        got = program.run_functional(assignment)["out"]
+        want = function(*[assignment[n] for n in program.inputs])
+        if got != want:
+            raise SynthesisError(
+                f"{program.name}: mismatch at {assignment}: got {got}, want {want}"
+            )

@@ -1,0 +1,47 @@
+"""Reliability, test and lifetime — the paper's open "industrialisation"
+questions made executable.
+
+Public API: fault models (:class:`FaultType`, :class:`FaultInjector`),
+March tests (:class:`MarchRunner`, :data:`MARCH_C_MINUS`,
+:data:`MATS_PLUS`), endurance projection (:func:`project_lifetime`).
+"""
+
+from .endurance import (
+    ENDURANCE_ECM,
+    ENDURANCE_VCM,
+    SECONDS_PER_YEAR,
+    LifetimeReport,
+    project_lifetime,
+    writes_per_operation,
+)
+from .faults import Fault, FaultInjector, FaultType
+from .wearlevel import WearLevelledMemory, WearStats, hot_row_workload
+from .march import (
+    MARCH_C_MINUS,
+    MATS_PLUS,
+    Detection,
+    MarchResult,
+    MarchRunner,
+    test_length,
+)
+
+__all__ = [
+    "FaultType",
+    "Fault",
+    "FaultInjector",
+    "MarchRunner",
+    "MarchResult",
+    "Detection",
+    "MARCH_C_MINUS",
+    "MATS_PLUS",
+    "test_length",
+    "project_lifetime",
+    "LifetimeReport",
+    "writes_per_operation",
+    "ENDURANCE_VCM",
+    "ENDURANCE_ECM",
+    "SECONDS_PER_YEAR",
+    "WearLevelledMemory",
+    "WearStats",
+    "hot_row_workload",
+]

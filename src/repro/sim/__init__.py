@@ -1,0 +1,21 @@
+"""Functional (bit-accurate) CIM machine simulation.
+
+Public API: :class:`FunctionalCIM` (crossbar storage + IMPLY compute
+lanes with full energy tracing), :class:`EnergyTrace`,
+:class:`CIMRunResult`.
+"""
+
+from .machine import CIMRunResult, FunctionalCIM
+from .rowmap import RowRegisterFile
+from .simd import SIMDReport, SIMDRowExecutor
+from .trace import EnergyTrace, TraceEvent
+
+__all__ = [
+    "FunctionalCIM",
+    "CIMRunResult",
+    "EnergyTrace",
+    "TraceEvent",
+    "RowRegisterFile",
+    "SIMDRowExecutor",
+    "SIMDReport",
+]

@@ -1,0 +1,268 @@
+"""Functional CIM machine: crossbar storage + IMPLY compute lanes.
+
+This is the executable version of Fig 2's right-hand side.  Data words
+live in a :class:`~repro.crossbar.memory.CrossbarMemory`; computation
+happens in IMPLY *lanes* (register files of memristors driven by one
+:class:`~repro.logic.sequencer.ImplyMachine` each).  Every access and
+every logic pulse is charged to an :class:`~repro.sim.trace.EnergyTrace`
+with the Table 1 constants, so a functional run produces the same kind
+of numbers the analytical model predicts — on real, bit-accurate data.
+
+The two paper workloads are provided as machine methods:
+:meth:`compare_all` (DNA-style equality search over stored words) and
+:meth:`add_arrays` (parallel addition), each verified against a Python
+golden model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..crossbar.memory import CrossbarMemory
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import ArchitectureError
+from ..logic.adders import ripple_adder_program
+from ..logic.comparator import word_comparator_program
+from ..logic.program import ImplyProgram
+from ..logic.sequencer import ImplyMachine
+from .trace import EnergyTrace
+
+
+@dataclass
+class CIMRunResult:
+    """Output of one functional CIM operation batch."""
+
+    values: List[int]
+    trace: EnergyTrace
+
+
+class FunctionalCIM:
+    """A words x width CIM tile with *lanes* parallel IMPLY compute lanes.
+
+    Parameters
+    ----------
+    words, width:
+        Crossbar storage geometry (one word per row).
+    lanes:
+        Number of independent compute lanes; a batch of K operations
+        takes ``ceil(K / lanes)`` sequential lane-rounds of latency but
+        pays energy for all K (parallel units burn energy concurrently).
+    cell_kind:
+        '1R' or 'CRS' storage junctions.
+    technology:
+        Table 1 memristor profile.
+    """
+
+    def __init__(
+        self,
+        words: int,
+        width: int,
+        lanes: int = 4,
+        cell_kind: str = "1R",
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+    ) -> None:
+        if lanes < 1:
+            raise ArchitectureError(f"lanes must be >= 1, got {lanes}")
+        if width > 16:
+            raise ArchitectureError(
+                f"functional width is limited to 16 bits (got {width}); "
+                "use repro.core for analytical wide-word evaluation"
+            )
+        self.memory = CrossbarMemory(words, width, cell_kind, technology)
+        self.lanes = lanes
+        self.technology = technology
+        self.trace = EnergyTrace()
+
+    # -- storage --------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.memory.width
+
+    @property
+    def words(self) -> int:
+        return self.memory.words
+
+    def store(self, address: int, value: int) -> None:
+        """Write one word into the crossbar (traced)."""
+        before_e, before_t = self.memory.stats.energy, self.memory.stats.time
+        self.memory.write_int(address, value)
+        self.trace.record(
+            "write",
+            f"store[{address}]",
+            self.width,
+            self.memory.stats.energy - before_e,
+            self.memory.stats.time - before_t,
+        )
+
+    def store_many(self, values: Sequence[int], base: int = 0) -> None:
+        """Write a vector of words starting at row *base*."""
+        for offset, value in enumerate(values):
+            self.store(base + offset, value)
+
+    def load(self, address: int) -> int:
+        """Read one word (traced; CRS write-backs included)."""
+        before_e, before_t = self.memory.stats.energy, self.memory.stats.time
+        value = self.memory.read_int(address)
+        self.trace.record(
+            "read",
+            f"load[{address}]",
+            1,
+            self.memory.stats.energy - before_e,
+            self.memory.stats.time - before_t,
+        )
+        return value
+
+    # -- compute -----------------------------------------------------------------
+
+    def _run_logic_batch(
+        self,
+        program: ImplyProgram,
+        input_sets: List[dict],
+        label: str,
+    ) -> List[dict]:
+        """Run *program* once per input set across the lanes.
+
+        Energy: every execution pays; latency: executions pipeline over
+        the lanes, so the batch takes ``ceil(K / lanes)`` program
+        latencies.
+        """
+        outputs = []
+        for inputs in input_sets:
+            machine = ImplyMachine(technology=self.technology)
+            report = machine.run_and_check(program, inputs)
+            outputs.append(report.outputs)
+        executions = len(input_sets)
+        if executions:
+            rounds = -(-executions // self.lanes)
+            per_run_energy = program.step_count * self.technology.write_energy
+            per_run_latency = program.step_count * self.technology.write_time
+            self.trace.record(
+                "logic",
+                label,
+                program.step_count * executions,
+                per_run_energy * executions,
+                per_run_latency * rounds,
+            )
+        return outputs
+
+    def compare_all(self, query: int) -> CIMRunResult:
+        """Compare *query* against every stored word in-memory.
+
+        Returns the list of matching row addresses.  Golden-checked
+        against a direct read-back comparison.
+        """
+        program = word_comparator_program(self.width)
+        input_sets = []
+        stored = []
+        for row in range(self.words):
+            value = self.memory.read_int(row)
+            stored.append(value)
+            inputs = {}
+            for i in range(self.width):
+                inputs[f"a{i}"] = (value >> i) & 1
+                inputs[f"b{i}"] = (query >> i) & 1
+            input_sets.append(inputs)
+        outputs = self._run_logic_batch(program, input_sets, "compare_all")
+        matches = [row for row, out in enumerate(outputs) if out["match"] == 1]
+        golden = [row for row, value in enumerate(stored) if value == query]
+        if matches != golden:
+            raise ArchitectureError(
+                f"in-memory comparison diverged: {matches} vs golden {golden}"
+            )
+        return CIMRunResult(values=matches, trace=self.trace)
+
+    def add_arrays(self, x: Sequence[int], y: Sequence[int]) -> CIMRunResult:
+        """Element-wise in-memory addition of two vectors (mod 2^width)."""
+        if len(x) != len(y):
+            raise ArchitectureError(f"length mismatch: {len(x)} vs {len(y)}")
+        program = ripple_adder_program(self.width)
+        mask = (1 << self.width) - 1
+        input_sets = []
+        for a, b in zip(x, y):
+            if not 0 <= a <= mask or not 0 <= b <= mask:
+                raise ArchitectureError(f"operands must fit in {self.width} bits")
+            inputs = {}
+            for i in range(self.width):
+                inputs[f"a{i}"] = (a >> i) & 1
+                inputs[f"b{i}"] = (b >> i) & 1
+            input_sets.append(inputs)
+        outputs = self._run_logic_batch(program, input_sets, "add_arrays")
+        sums = [
+            sum(out[f"s{i}"] << i for i in range(self.width)) for out in outputs
+        ]
+        golden = [(a + b) & mask for a, b in zip(x, y)]
+        if sums != golden:
+            raise ArchitectureError("in-memory addition diverged from golden model")
+        return CIMRunResult(values=sums, trace=self.trace)
+
+    def reduce_add(self, addresses: Optional[Sequence[int]] = None) -> CIMRunResult:
+        """Sum the stored words (mod 2^width) by a balanced adder tree.
+
+        Each tree level is one :meth:`add_arrays`-style batch across the
+        lanes, so the latency scales with ``log2(n)`` levels while energy
+        scales with the ``n - 1`` additions — the massive-parallelism
+        pattern the paper's architecture is built for.
+        """
+        if addresses is None:
+            addresses = range(self.words)
+        values = [self.memory.read_int(a) for a in addresses]
+        if not values:
+            raise ArchitectureError("reduce_add needs at least one word")
+        mask = (1 << self.width) - 1
+        golden = 0
+        for value in values:
+            golden = (golden + value) & mask
+        program = ripple_adder_program(self.width)
+        while len(values) > 1:
+            pairs = [(values[i], values[i + 1])
+                     for i in range(0, len(values) - 1, 2)]
+            carry = [values[-1]] if len(values) % 2 else []
+            input_sets = []
+            for a, b in pairs:
+                inputs = {}
+                for i in range(self.width):
+                    inputs[f"a{i}"] = (a >> i) & 1
+                    inputs[f"b{i}"] = (b >> i) & 1
+                input_sets.append(inputs)
+            outputs = self._run_logic_batch(program, input_sets, "reduce_add")
+            values = [
+                sum(out[f"s{i}"] << i for i in range(self.width))
+                for out in outputs
+            ] + carry
+        if values[0] != golden:
+            raise ArchitectureError("in-memory reduction diverged from golden model")
+        return CIMRunResult(values=values, trace=self.trace)
+
+    def bitwise(self, op: str, address_a: int, address_b: int) -> int:
+        """In-memory bitwise gate over two stored words.
+
+        *op* is any 2-input gate from the library (AND/OR/NAND/NOR/
+        XOR/XNOR); one gate program runs per bit lane, all lanes
+        logically parallel.
+        """
+        from ..logic.gates import build_gate
+
+        program = build_gate(op)
+        if len(program.inputs) != 2:
+            raise ArchitectureError(f"bitwise needs a 2-input gate, got {op!r}")
+        a = self.memory.read_int(address_a)
+        b = self.memory.read_int(address_b)
+        input_sets = []
+        for i in range(self.width):
+            input_sets.append({
+                "a": (a >> i) & 1,
+                "b": (b >> i) & 1,
+            })
+        outputs = self._run_logic_batch(program, input_sets, f"bitwise_{op}")
+        result = sum(out["out"] << i for i, out in enumerate(outputs))
+        golden = {
+            "AND": a & b, "OR": a | b, "XOR": a ^ b,
+            "NAND": ~(a & b), "NOR": ~(a | b), "XNOR": ~(a ^ b),
+        }[op.upper()] & ((1 << self.width) - 1)
+        if result != golden:
+            raise ArchitectureError(
+                f"in-memory {op} diverged from golden model"
+            )
+        return result

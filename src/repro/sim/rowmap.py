@@ -1,0 +1,135 @@
+"""Executing IMPLY programs *inside* a crossbar row.
+
+The abstract :class:`~repro.logic.sequencer.ImplyMachine` uses a free-
+floating register file; a real CIM tile computes with the memristors of
+one crossbar row while neighbouring rows hold data (Fig 2 right).
+:class:`RowRegisterFile` makes that concrete: program registers are
+allocated onto the columns of a chosen row of a
+:class:`~repro.crossbar.array.CrossbarArray`, the Fig 5(a) IMP circuit
+drives the actual junction devices, and a guard checksum verifies that
+*no other row's data changes* during execution — the isolation property
+that lets storage and compute share one array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..crossbar.array import CrossbarArray
+from ..devices.base import IdealBipolarMemristor
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import LogicError
+from ..logic.imply import ImplyGate, ImplyVoltages
+from ..logic.program import ImplyProgram, OpKind
+from ..logic.sequencer import ExecutionReport
+
+
+class RowRegisterFile:
+    """Maps IMPLY program registers onto one crossbar row's columns.
+
+    Parameters
+    ----------
+    array:
+        The crossbar; its junctions must expose a bare
+        :class:`IdealBipolarMemristor` (the default array junction) or a
+        ``.device`` attribute holding one (1R junctions).
+    row:
+        The compute row.  All other rows are data and must be untouched
+        by program execution.
+    voltages:
+        IMP drive voltages; defaults match the default device.
+    """
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        row: int,
+        voltages: Optional[ImplyVoltages] = None,
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+    ) -> None:
+        if not 0 <= row < array.rows:
+            raise LogicError(f"row {row} outside the {array.rows}-row array")
+        self.array = array
+        self.row = row
+        self.gate = ImplyGate(voltages)
+        self.technology = technology
+        self._columns: Dict[str, int] = {}
+
+    # -- device plumbing --------------------------------------------------
+
+    def _device(self, col: int) -> IdealBipolarMemristor:
+        junction = self.array.cell(self.row, col)
+        if isinstance(junction, IdealBipolarMemristor):
+            return junction
+        device = getattr(junction, "device", None)
+        if isinstance(device, IdealBipolarMemristor):
+            return device
+        raise LogicError(
+            f"junction at ({self.row}, {col}) is not an abrupt memristor: "
+            f"{type(junction).__name__}"
+        )
+
+    def _column_of(self, register: str) -> int:
+        if register not in self._columns:
+            col = len(self._columns)
+            if col >= self.array.cols:
+                raise LogicError(
+                    f"program needs more than {self.array.cols} registers; "
+                    "widen the array or run the register-reuse pass"
+                )
+            self._columns[register] = col
+        return self._columns[register]
+
+    @property
+    def columns_used(self) -> int:
+        return len(self._columns)
+
+    # -- execution -----------------------------------------------------------
+
+    def _data_snapshot(self) -> List[List[int]]:
+        return [
+            [self.array.cell(r, c).as_bit() for c in range(self.array.cols)]
+            for r in range(self.array.rows) if r != self.row
+        ]
+
+    def run(
+        self, program: ImplyProgram, inputs: Optional[Dict[str, int]] = None
+    ) -> ExecutionReport:
+        """Execute *program* in the compute row.
+
+        Raises :class:`LogicError` if any *other* row's stored bits
+        change (compute leaking into storage) or if the program needs
+        more registers than the row has columns.
+        """
+        inputs = inputs or {}
+        program.validate()
+        before = self._data_snapshot()
+        for ins in program.instructions:
+            if ins.kind is OpKind.FALSE:
+                self.gate.false(self._device(self._column_of(ins.operands[0])))
+            elif ins.kind is OpKind.LOAD:
+                try:
+                    bit = inputs[ins.source]
+                except KeyError:
+                    raise LogicError(f"missing input {ins.source!r}") from None
+                self._device(self._column_of(ins.operands[0])).write_bit(bit)
+            else:
+                p = self._device(self._column_of(ins.operands[0]))
+                q = self._device(self._column_of(ins.operands[1]))
+                self.gate.apply(p, q)
+        if self._data_snapshot() != before:
+            raise LogicError(
+                "compute row execution disturbed stored data rows"
+            )
+        outputs = {
+            signal: self._device(self._column_of(register)).as_bit()
+            for signal, register in program.outputs.items()
+        }
+        steps = program.step_count
+        return ExecutionReport(
+            program=program.name,
+            steps=steps,
+            energy=steps * self.technology.write_energy,
+            latency=steps * self.technology.write_time,
+            outputs=outputs,
+        )

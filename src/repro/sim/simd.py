@@ -1,0 +1,141 @@
+"""SIMD execution: one pulse controller, many crossbar rows.
+
+The paper's parallelism is lock-step: Table 1's comparator runs "two
+XOR ... in parallel" and the architecture replicates that unit hundreds
+of thousands of times, all driven by a shared controller broadcasting
+the same pulse sequence.  :class:`SIMDRowExecutor` is that model at the
+electrical level: the *same* IMPLY program executes simultaneously on
+every selected row of a crossbar (each row has its own operands), the
+latency is charged **once** for the whole batch, and the energy once
+per row — the defining cost asymmetry of data-parallel CIM.
+
+Per-row results are bit-exact against the functional semantics, and
+rows outside the selection are guarded against disturbance, exactly as
+in :class:`repro.sim.rowmap.RowRegisterFile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..crossbar.array import CrossbarArray
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import LogicError
+from ..logic.imply import ImplyVoltages
+from ..logic.program import ImplyProgram
+from .rowmap import RowRegisterFile
+
+
+@dataclass
+class SIMDReport:
+    """Cost and results of one lock-step batch.
+
+    ``latency`` is one program execution (rows run simultaneously);
+    ``energy`` is per-row energy summed over the batch.
+    """
+
+    program: str
+    rows: int
+    steps_per_row: int
+    latency: float
+    energy: float
+    outputs: List[Dict[str, int]]
+
+
+class SIMDRowExecutor:
+    """Runs one IMPLY program across many rows of one crossbar.
+
+    Parameters
+    ----------
+    array:
+        The shared crossbar; each selected row provides the program's
+        register columns.
+    voltages:
+        IMP drive voltages shared by all rows (one controller).
+    technology:
+        Cost constants.
+    """
+
+    def __init__(
+        self,
+        array: CrossbarArray,
+        voltages: Optional[ImplyVoltages] = None,
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+    ) -> None:
+        self.array = array
+        self.voltages = voltages
+        self.technology = technology
+
+    def run(
+        self,
+        program: ImplyProgram,
+        per_row_inputs: Dict[int, Dict[str, int]],
+    ) -> SIMDReport:
+        """Execute *program* on every row in *per_row_inputs* lock-step.
+
+        The dict maps row index -> that row's input assignment.  Rows
+        not listed are storage and must remain untouched (verified).
+        Each row's outputs are checked against the functional golden
+        model, so a silent electrical divergence on any row fails loudly.
+        """
+        if not per_row_inputs:
+            raise LogicError("SIMD batch needs at least one row")
+        rows = sorted(per_row_inputs)
+        for row in rows:
+            if not 0 <= row < self.array.rows:
+                raise LogicError(
+                    f"row {row} outside the {self.array.rows}-row array"
+                )
+        compute = set(rows)
+        guard_before = [
+            [self.array.cell(r, c).as_bit() for c in range(self.array.cols)]
+            for r in range(self.array.rows) if r not in compute
+        ]
+
+        outputs: List[Dict[str, int]] = []
+        for row in rows:
+            row_file = RowRegisterFile(
+                self.array, row, self.voltages, self.technology
+            )
+            report = row_file.run(program, per_row_inputs[row])
+            expected = program.run_functional(per_row_inputs[row])
+            if report.outputs != expected:
+                raise LogicError(
+                    f"row {row}: electrical/functional divergence "
+                    f"({report.outputs} vs {expected})"
+                )
+            outputs.append(report.outputs)
+
+        guard_after = [
+            [self.array.cell(r, c).as_bit() for c in range(self.array.cols)]
+            for r in range(self.array.rows) if r not in compute
+        ]
+        if guard_after != guard_before:
+            raise LogicError("SIMD batch disturbed storage rows")
+
+        steps = program.step_count
+        return SIMDReport(
+            program=program.name,
+            rows=len(rows),
+            steps_per_row=steps,
+            # Lock-step: the controller's pulse sequence runs once.
+            latency=steps * self.technology.write_time,
+            # Every row's devices dissipate their own pulses.
+            energy=steps * len(rows) * self.technology.write_energy,
+            outputs=outputs,
+        )
+
+    def map_unary(
+        self,
+        program: ImplyProgram,
+        values: Sequence[Dict[str, int]],
+        base_row: int = 0,
+    ) -> SIMDReport:
+        """Convenience: run *program* over consecutive rows starting at
+        *base_row*, one input assignment per row."""
+        per_row = {
+            base_row + offset: assignment
+            for offset, assignment in enumerate(values)
+        }
+        return self.run(program, per_row)

@@ -1,0 +1,71 @@
+"""Energy/latency tracing for the functional CIM machine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..errors import ArchitectureError
+from ..units import si_format
+
+
+@dataclass
+class TraceEvent:
+    """One accounted operation in the functional machine."""
+
+    kind: str          # 'read', 'write', 'logic'
+    label: str
+    steps: int
+    energy: float
+    latency: float
+
+
+@dataclass
+class EnergyTrace:
+    """Accumulates events and answers aggregate questions."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(self, kind: str, label: str, steps: int, energy: float, latency: float) -> None:
+        """Append one event (validates non-negative costs)."""
+        if steps < 0 or energy < 0 or latency < 0:
+            raise ArchitectureError("trace costs must be non-negative")
+        self.events.append(TraceEvent(kind, label, steps, energy, latency))
+
+    @property
+    def total_energy(self) -> float:
+        return sum(e.energy for e in self.events)
+
+    @property
+    def total_latency(self) -> float:
+        return sum(e.latency for e in self.events)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(e.steps for e in self.events)
+
+    def by_kind(self) -> Dict[str, Tuple[int, float, float]]:
+        """Aggregate (steps, energy, latency) per event kind."""
+        out: Dict[str, Tuple[int, float, float]] = {}
+        for event in self.events:
+            steps, energy, latency = out.get(event.kind, (0, 0.0, 0.0))
+            out[event.kind] = (
+                steps + event.steps,
+                energy + event.energy,
+                latency + event.latency,
+            )
+        return out
+
+    def summary(self) -> str:
+        """Multi-line human-readable cost summary."""
+        lines = [
+            f"total: steps={self.total_steps}, "
+            f"E={si_format(self.total_energy, 'J')}, "
+            f"T={si_format(self.total_latency, 's')}"
+        ]
+        for kind, (steps, energy, latency) in sorted(self.by_kind().items()):
+            lines.append(
+                f"  {kind:6s}: steps={steps}, E={si_format(energy, 'J')}, "
+                f"T={si_format(latency, 's')}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""SI unit constants and engineering-notation helpers.
+
+The paper (Table 1) quotes quantities across twelve orders of magnitude:
+gate delays in picoseconds, write energies in femtojoules, cache areas in
+square millimetres.  Keeping every internal quantity in base SI units
+(seconds, joules, watts, square metres) and converting only at the
+input/output boundary removes a whole class of unit mistakes.  This
+module provides the conversion constants and human-readable formatting.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# SI prefixes (multipliers into base units)
+# ---------------------------------------------------------------------------
+
+ATTO = 1e-18
+FEMTO = 1e-15
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+#: Binary kilobyte as used by the paper's "8 kB cache".
+KiB = 1024
+#: Bytes per gigabyte (decimal, as used for "3 GB genome").
+GB = 10**9
+
+# Time ----------------------------------------------------------------------
+PS = PICO
+NS = NANO
+US = MICRO
+MS = MILLI
+
+# Energy / power -------------------------------------------------------------
+FJ = FEMTO
+PJ = PICO
+NJ = NANO
+NW = NANO
+UW = MICRO
+MW = MILLI
+
+# Area ------------------------------------------------------------------------
+#: Square micrometres expressed in square metres.
+UM2 = 1e-12
+#: Square millimetres expressed in square metres.
+MM2 = 1e-6
+
+_PREFIXES = [
+    (1e24, "Y"), (1e21, "Z"), (1e18, "E"), (1e15, "P"), (1e12, "T"),
+    (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""), (1e-3, "m"),
+    (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"), (1e-18, "a"),
+    (1e-21, "z"), (1e-24, "y"),
+]
+
+
+def si_format(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format *value* with an SI prefix, e.g. ``si_format(2e-10, 's')`` →
+    ``'200 ps'``.
+
+    Values of exactly zero render without a prefix.  Non-finite values are
+    rendered via :func:`repr` so that debugging output never raises.
+    """
+    if not math.isfinite(value):
+        return f"{value!r} {unit}".strip()
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for factor, prefix in _PREFIXES:
+        if magnitude >= factor:
+            scaled = value / factor
+            return f"{scaled:.{digits}g} {prefix}{unit}".strip()
+    factor, prefix = _PREFIXES[-1]
+    return f"{value / factor:.{digits}g} {prefix}{unit}".strip()
+
+
+def from_unit(value: float, multiplier: float) -> float:
+    """Convert *value* expressed in a prefixed unit into base SI units.
+
+    ``from_unit(200, PS)`` → ``2e-10`` seconds.
+    """
+    return value * multiplier
+
+
+def to_unit(value: float, multiplier: float) -> float:
+    """Convert a base-SI *value* into a prefixed unit.
+
+    ``to_unit(2e-10, PS)`` → ``200.0`` picoseconds.
+    """
+    return value / multiplier
+
+
+def ratio_db(ratio: float) -> float:
+    """Express a power ratio in decibels (used for read-margin reporting)."""
+    if ratio <= 0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices import ComplementaryResistiveSwitch, IdealBipolarMemristor
+from repro.logic import ImplyMachine
+
+
+@pytest.fixture
+def device():
+    """A fresh ideal bipolar memristor in HRS."""
+    return IdealBipolarMemristor()
+
+
+@pytest.fixture
+def crs():
+    """A fresh CRS cell in state '0'."""
+    return ComplementaryResistiveSwitch()
+
+
+@pytest.fixture
+def machine():
+    """A fresh electrical IMPLY machine."""
+    return ImplyMachine()
+
+
+def all_bit_pairs():
+    """All (p, q) bit pairs, for exhaustive gate checks."""
+    return [(p, q) for p in (0, 1) for q in (0, 1)]

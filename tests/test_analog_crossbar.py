@@ -1,0 +1,176 @@
+"""Tests for the analog VMM crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.analog import AnalogCrossbar, AnalogSpec, DifferentialCrossbar
+from repro.errors import CrossbarError
+
+
+def example_weights():
+    return np.array([
+        [1.0, 2.0, 3.0],
+        [0.0, -1.0, 2.0],
+        [5.0, 5.0, 5.0],
+        [-2.0, 0.0, 1.0],
+    ])
+
+
+class TestAnalogSpec:
+    def test_defaults_valid(self):
+        spec = AnalogSpec()
+        assert spec.g_min < spec.g_max
+
+    def test_validation(self):
+        with pytest.raises(CrossbarError):
+            AnalogSpec(g_min=1e-3, g_max=1e-6)
+        with pytest.raises(CrossbarError):
+            AnalogSpec(levels=-1)
+        with pytest.raises(CrossbarError):
+            AnalogSpec(sigma=-0.1)
+        with pytest.raises(CrossbarError):
+            AnalogSpec(v_read=0.0)
+
+
+class TestIdealVMM:
+    def test_matches_numpy_matmul(self):
+        xbar = AnalogCrossbar(4, 3)
+        w = example_weights()
+        xbar.program(w)
+        x = np.array([0.5, 1.0, 0.25, 0.8])
+        assert np.allclose(xbar.matvec(x), x @ w)
+
+    def test_negative_weights_supported_via_mapping(self):
+        xbar = AnalogCrossbar(2, 2)
+        w = np.array([[-5.0, 3.0], [2.0, -1.0]])
+        xbar.program(w)
+        x = np.array([1.0, 0.5])
+        assert np.allclose(xbar.matvec(x), x @ w)
+
+    def test_zero_input_zero_output(self):
+        xbar = AnalogCrossbar(3, 2)
+        xbar.program(np.ones((3, 2)))
+        assert np.allclose(xbar.matvec(np.zeros(3)), 0.0)
+
+    def test_constant_matrix(self):
+        xbar = AnalogCrossbar(3, 2)
+        xbar.program(np.full((3, 2), 4.0))
+        x = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(xbar.matvec(x), x @ np.full((3, 2), 4.0))
+
+    def test_conductances_within_window(self):
+        xbar = AnalogCrossbar(4, 3)
+        xbar.program(example_weights())
+        g = xbar.conductances
+        assert (g >= xbar.spec.g_min - 1e-18).all()
+        assert (g <= xbar.spec.g_max + 1e-18).all()
+
+    def test_shape_validation(self):
+        xbar = AnalogCrossbar(4, 3)
+        with pytest.raises(CrossbarError):
+            xbar.program(np.ones((3, 4)))
+        xbar.program(example_weights())
+        with pytest.raises(CrossbarError):
+            xbar.matvec(np.ones(5))
+
+    def test_non_finite_weights_rejected(self):
+        xbar = AnalogCrossbar(2, 2)
+        with pytest.raises(CrossbarError):
+            xbar.program(np.array([[1.0, np.inf], [0.0, 0.0]]))
+
+
+class TestNonIdealities:
+    def test_quantisation_error_bounded(self):
+        ideal = AnalogCrossbar(4, 3)
+        coarse = AnalogCrossbar(4, 3, AnalogSpec(levels=5))
+        w = example_weights()
+        ideal.program(w)
+        coarse.program(w)
+        x = np.array([0.3, 0.9, 0.1, 0.5])
+        error = np.abs(coarse.matvec(x) - ideal.matvec(x)).max()
+        assert 0 < error < 2.0
+
+    def test_more_levels_less_error(self):
+        w = example_weights()
+        x = np.array([0.3, 0.9, 0.1, 0.5])
+        errors = []
+        for levels in (4, 16, 256):
+            xbar = AnalogCrossbar(4, 3, AnalogSpec(levels=levels))
+            xbar.program(w)
+            errors.append(np.abs(xbar.matvec(x) - x @ w).max())
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_programming_noise_reproducible_by_seed(self):
+        spec = AnalogSpec(sigma=0.2)
+        a = AnalogCrossbar(4, 3, spec, seed=9)
+        b = AnalogCrossbar(4, 3, spec, seed=9)
+        a.program(example_weights())
+        b.program(example_weights())
+        assert np.allclose(a.conductances, b.conductances)
+
+    def test_noise_perturbs_result(self):
+        xbar = AnalogCrossbar(4, 3, AnalogSpec(sigma=0.2), seed=1)
+        xbar.program(example_weights())
+        x = np.array([0.3, 0.9, 0.1, 0.5])
+        assert not np.allclose(xbar.matvec(x), x @ example_weights())
+
+    def test_wire_resistance_attenuates(self):
+        xbar = AnalogCrossbar(4, 3)
+        w = np.abs(example_weights())
+        xbar.program(w)
+        x = np.array([1.0, 1.0, 1.0, 1.0])
+        ideal = xbar.matvec(x)
+        wired = xbar.matvec(x, wire_resistance=20.0)
+        assert (wired < ideal + 1e-12).all()
+        # Small wire resistance converges to the ideal result.
+        nearly = xbar.matvec(x, wire_resistance=1e-6)
+        assert np.allclose(nearly, ideal, rtol=1e-4)
+
+
+class TestCostModel:
+    def test_latency_is_one_pulse(self):
+        xbar = AnalogCrossbar(64, 64)
+        assert xbar.latency() == xbar.technology.write_time
+
+    def test_read_energy_scales_with_input(self):
+        xbar = AnalogCrossbar(4, 3)
+        xbar.program(np.abs(example_weights()))
+        low = xbar.read_energy(np.full(4, 0.1))
+        high = xbar.read_energy(np.full(4, 1.0))
+        assert high > low > 0
+
+    def test_area(self):
+        xbar = AnalogCrossbar(10, 10)
+        assert xbar.area() == pytest.approx(100 * xbar.technology.cell_area)
+
+
+class TestDifferential:
+    def test_signed_vmm(self):
+        diff = DifferentialCrossbar(4, 3)
+        w = example_weights()
+        diff.program(w)
+        x = np.array([0.5, 1.0, 0.25, 0.8])
+        assert np.allclose(diff.matvec(x), x @ w)
+
+    def test_all_negative_weights(self):
+        diff = DifferentialCrossbar(2, 2)
+        w = np.array([[-1.0, -2.0], [-3.0, -4.0]])
+        diff.program(w)
+        x = np.array([1.0, 1.0])
+        assert np.allclose(diff.matvec(x), x @ w)
+
+    def test_area_doubles(self):
+        diff = DifferentialCrossbar(4, 4)
+        assert diff.area() == pytest.approx(2 * diff.positive.area())
+
+    def test_energy_sums_halves(self):
+        diff = DifferentialCrossbar(4, 3)
+        diff.program(example_weights())
+        x = np.array([0.5, 1.0, 0.25, 0.8])
+        assert diff.read_energy(x) == pytest.approx(
+            diff.positive.read_energy(x) + diff.negative.read_energy(x)
+        )
+
+    def test_shape_validation(self):
+        with pytest.raises(CrossbarError):
+            DifferentialCrossbar(2, 2).program(np.ones((3, 3)))

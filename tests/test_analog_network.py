@@ -1,0 +1,140 @@
+"""Tests for crossbar-mapped neural inference."""
+
+import numpy as np
+import pytest
+
+from repro.analog import (
+    AnalogSpec,
+    CrossbarMLP,
+    LayerWeights,
+    fit_two_layer_classifier,
+    make_blobs,
+    relu,
+)
+from repro.errors import CrossbarError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_blobs(samples=240, classes=3, features=4, spread=0.5, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trained(blobs):
+    xs, labels = blobs
+    return fit_two_layer_classifier(xs, labels, hidden=24, classes=3, seed=2)
+
+
+class TestHelpers:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-1.0, 0.0, 2.0])),
+                              np.array([0.0, 0.0, 2.0]))
+
+    def test_make_blobs_shapes(self, blobs):
+        xs, labels = blobs
+        assert xs.shape == (240, 4)
+        assert labels.shape == (240,)
+        assert set(np.unique(labels)) <= {0, 1, 2}
+
+    def test_make_blobs_seeded(self):
+        a = make_blobs(seed=5)
+        b = make_blobs(seed=5)
+        assert np.allclose(a[0], b[0])
+
+    def test_layer_weights_validation(self):
+        with pytest.raises(CrossbarError):
+            LayerWeights(np.ones((2, 3)), np.ones(2))
+
+
+class TestTraining:
+    def test_classifier_fits_blobs(self, blobs, trained):
+        xs, labels = blobs
+        mlp = CrossbarMLP(trained)
+        assert mlp.accuracy(xs, labels) > 0.9
+
+    def test_layer_chain_validated(self):
+        bad = [
+            LayerWeights(np.ones((4, 8)), np.zeros(8)),
+            LayerWeights(np.ones((9, 2)), np.zeros(2)),
+        ]
+        with pytest.raises(CrossbarError):
+            CrossbarMLP(bad)
+
+    def test_training_validation(self):
+        with pytest.raises(CrossbarError):
+            fit_two_layer_classifier(np.ones(10), np.zeros(10))
+        with pytest.raises(CrossbarError):
+            fit_two_layer_classifier(np.ones((10, 2)), np.zeros(5))
+
+
+class TestAnalogInference:
+    def test_ideal_crossbars_match_float(self, blobs, trained):
+        xs, _ = blobs
+        mlp = CrossbarMLP(trained)
+        for x in xs[:10]:
+            assert np.allclose(mlp.forward_analog(x), mlp.forward_float(x),
+                               atol=1e-9)
+
+    def test_quantised_inference_degrades_gracefully(self, blobs, trained):
+        xs, labels = blobs
+        ideal = CrossbarMLP(trained).accuracy(xs, labels)
+        quantised = CrossbarMLP(
+            trained, spec=AnalogSpec(levels=32)
+        ).accuracy(xs, labels)
+        assert quantised > 0.7
+        assert quantised <= ideal + 0.05
+
+    def test_noise_sweep_monotone_on_average(self, blobs, trained):
+        """More programming noise -> lower accuracy (averaged over
+        seeds to tame Monte-Carlo jitter)."""
+        xs, labels = blobs
+
+        def mean_accuracy(sigma):
+            scores = [
+                CrossbarMLP(
+                    trained, spec=AnalogSpec(sigma=sigma), seed=seed
+                ).accuracy(xs, labels)
+                for seed in range(3)
+            ]
+            return sum(scores) / len(scores)
+
+        clean = mean_accuracy(0.0)
+        noisy = mean_accuracy(0.4)
+        assert clean > noisy
+
+    def test_predict_returns_class_index(self, blobs, trained):
+        xs, _ = blobs
+        mlp = CrossbarMLP(trained)
+        assert mlp.predict(xs[0]) in (0, 1, 2)
+
+    def test_accuracy_validation(self, trained):
+        mlp = CrossbarMLP(trained)
+        with pytest.raises(CrossbarError):
+            mlp.accuracy(np.ones((3, 4)), np.zeros(2))
+
+
+class TestCosts:
+    def test_latency_one_pulse_per_layer(self, trained):
+        mlp = CrossbarMLP(trained)
+        per_pulse = mlp.arrays[0].positive.latency()
+        assert mlp.inference_latency() == pytest.approx(
+            len(trained) * per_pulse
+        )
+
+    def test_energy_positive(self, blobs, trained):
+        xs, _ = blobs
+        mlp = CrossbarMLP(trained)
+        assert mlp.inference_energy(xs[0]) > 0
+
+    def test_area_counts_both_halves(self, trained):
+        mlp = CrossbarMLP(trained)
+        expected = sum(
+            2 * a.positive.rows * a.positive.cols
+            * a.positive.technology.cell_area
+            for a in mlp.arrays
+        )
+        assert mlp.area() == pytest.approx(expected)
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(CrossbarError):
+            CrossbarMLP([])

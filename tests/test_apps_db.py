@@ -1,0 +1,126 @@
+"""Tests for the in-memory database engine."""
+
+import pytest
+
+from repro.apps.db import CIMTable, Column, ScanCostModel, select_speedup
+from repro.errors import WorkloadError
+
+
+def make_table(capacity=16):
+    table = CIMTable([Column("id", 8), Column("qty", 8)], capacity=capacity)
+    for i, qty in enumerate((10, 20, 10, 5, 10, 99)):
+        table.insert(id=qty, qty=i)
+    return table
+
+
+class TestSchema:
+    def test_column_validation(self):
+        with pytest.raises(WorkloadError):
+            Column("", 8)
+        with pytest.raises(WorkloadError):
+            Column("x", 0)
+        with pytest.raises(WorkloadError):
+            Column("x", 17)
+
+    def test_table_validation(self):
+        with pytest.raises(WorkloadError):
+            CIMTable([])
+        with pytest.raises(WorkloadError):
+            CIMTable([Column("a", 4), Column("a", 4)])
+        with pytest.raises(WorkloadError):
+            CIMTable([Column("a", 4)], capacity=0)
+
+
+class TestInsert:
+    def test_row_ids_sequential(self):
+        table = CIMTable([Column("k", 4)], capacity=4)
+        assert table.insert(k=1) == 0
+        assert table.insert(k=2) == 1
+        assert len(table) == 2
+
+    def test_capacity_enforced(self):
+        table = CIMTable([Column("k", 4)], capacity=1)
+        table.insert(k=0)
+        with pytest.raises(WorkloadError):
+            table.insert(k=1)
+
+    def test_missing_column_rejected(self):
+        table = CIMTable([Column("a", 4), Column("b", 4)])
+        with pytest.raises(WorkloadError):
+            table.insert(a=1)
+
+    def test_unknown_column_rejected(self):
+        table = CIMTable([Column("a", 4)])
+        with pytest.raises(WorkloadError):
+            table.insert(a=1, ghost=2)
+
+    def test_value_range_checked(self):
+        table = CIMTable([Column("a", 4)])
+        with pytest.raises(WorkloadError):
+            table.insert(a=16)
+
+
+class TestQueries:
+    def test_select_equal_finds_all(self):
+        table = make_table()
+        assert table.select_equal(10) == [0, 2, 4]
+
+    def test_select_no_match(self):
+        table = make_table()
+        assert table.select_equal(77) == []
+
+    def test_select_validates_key(self):
+        table = make_table()
+        with pytest.raises(WorkloadError):
+            table.select_equal(256)
+
+    def test_fetch(self):
+        table = make_table()
+        assert table.fetch(3, "qty") == 3
+        with pytest.raises(WorkloadError):
+            table.fetch(3, "ghost")
+        with pytest.raises(WorkloadError):
+            table.fetch(99, "qty")
+
+    def test_sum_column(self):
+        table = make_table()
+        assert table.sum_column("qty") == sum(range(6))
+        with pytest.raises(WorkloadError):
+            table.sum_column("ghost")
+
+    def test_query_log_records_costs(self):
+        table = make_table()
+        table.select_equal(10)
+        table.sum_column("qty")
+        kinds = [entry.kind for entry in table.query_log]
+        assert kinds == ["select=", "sum(qty)"]
+        assert all(entry.latency > 0 for entry in table.query_log)
+
+
+class TestScanComparison:
+    def test_scan_cost_scales_with_rows(self):
+        model = ScanCostModel()
+        assert model.select_cost(1000).latency == pytest.approx(
+            10 * model.select_cost(100).latency
+        )
+
+    def test_cam_select_beats_scan(self):
+        """The O(1)-vs-O(n) argument: associative search latency is one
+        array access; the scan pays ~83 ns per row."""
+        table = make_table()
+        cam, scan, speedup = select_speedup(table, 10)
+        assert cam.latency < scan.latency
+        assert speedup > 100
+
+    def test_speedup_grows_with_table_size(self):
+        small = make_table()
+        big = CIMTable([Column("id", 8), Column("qty", 8)], capacity=64)
+        for i in range(60):
+            big.insert(id=i % 16, qty=i % 200)
+        _, _, s_small = select_speedup(small, 10)
+        _, _, s_big = select_speedup(big, 3)
+        assert s_big > s_small
+
+    def test_scan_validation(self):
+        with pytest.raises(WorkloadError):
+            ScanCostModel().select_cost(-1)

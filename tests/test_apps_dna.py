@@ -1,0 +1,201 @@
+"""Tests for the DNA application pipeline."""
+
+import pytest
+
+from repro.apps.dna import (
+    ALPHABET,
+    ReadMapper,
+    ShortRead,
+    SortedKmerIndex,
+    decode_nucleotide,
+    decode_sequence,
+    encode_nucleotide,
+    encode_sequence,
+    generate_reads,
+    measure_cache_hit_ratio,
+    measured_workload,
+    random_genome,
+)
+from repro.errors import WorkloadError
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        for nucleotide in ALPHABET:
+            assert decode_nucleotide(encode_nucleotide(nucleotide)) == nucleotide
+
+    def test_two_bits(self):
+        assert {encode_nucleotide(n) for n in ALPHABET} == {0, 1, 2, 3}
+
+    def test_sequence_round_trip(self):
+        seq = "ACGTACGT"
+        assert decode_sequence(encode_sequence(seq)) == seq
+
+    def test_invalid_nucleotide(self):
+        with pytest.raises(WorkloadError):
+            encode_nucleotide("N")
+        with pytest.raises(WorkloadError):
+            decode_nucleotide(4)
+
+
+class TestGenome:
+    def test_length_and_alphabet(self):
+        genome = random_genome(1000, seed=0)
+        assert len(genome) == 1000
+        assert set(genome) <= set(ALPHABET)
+
+    def test_seeded_reproducibility(self):
+        assert random_genome(100, seed=5) == random_genome(100, seed=5)
+        assert random_genome(100, seed=5) != random_genome(100, seed=6)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(WorkloadError):
+            random_genome(0)
+
+
+class TestReads:
+    def test_coverage_formula(self):
+        genome = random_genome(10000, seed=0)
+        reads = generate_reads(genome, coverage=5, read_length=100, seed=1)
+        assert len(reads) == 5 * 10000 // 100
+
+    def test_error_free_reads_match_reference(self):
+        genome = random_genome(5000, seed=0)
+        for read in generate_reads(genome, coverage=1, read_length=80, seed=1):
+            assert genome[read.origin: read.origin + 80] == read.bases
+
+    def test_errors_injected(self):
+        genome = random_genome(5000, seed=0)
+        reads = generate_reads(genome, coverage=2, read_length=100,
+                               error_rate=0.1, seed=1)
+        mismatches = sum(
+            sum(a != b for a, b in
+                zip(genome[r.origin: r.origin + 100], r.bases))
+            for r in reads
+        )
+        # ~10% of 100 chars x 100 reads = ~1000 mismatches.
+        assert 600 < mismatches < 1500
+
+    def test_validation(self):
+        genome = random_genome(100, seed=0)
+        with pytest.raises(WorkloadError):
+            generate_reads(genome, read_length=200)
+        with pytest.raises(WorkloadError):
+            generate_reads(genome, coverage=0, read_length=10)
+        with pytest.raises(WorkloadError):
+            generate_reads(genome, read_length=10, error_rate=1.0)
+
+
+class TestSortedIndex:
+    def test_lookup_finds_all_occurrences(self):
+        genome = "ACGT" * 100
+        index = SortedKmerIndex(genome, k=8)
+        positions = index.lookup("ACGTACGT")
+        assert positions == list(range(0, 4 * 100 - 7, 4))
+
+    def test_missing_kmer_empty(self):
+        index = SortedKmerIndex("AAAAAAAAAA", k=4)
+        assert index.lookup("ACGT") == []
+
+    def test_every_kmer_indexed(self):
+        genome = random_genome(500, seed=3)
+        index = SortedKmerIndex(genome, k=12)
+        assert len(index) == 500 - 12 + 1
+        for start in (0, 100, 488):
+            assert start in index.lookup(genome[start: start + 12])
+
+    def test_instrumentation_counts(self):
+        genome = random_genome(1000, seed=0)
+        index = SortedKmerIndex(genome, k=10)
+        index.lookup(genome[:10])
+        assert index.stats.probes == 1
+        assert index.stats.comparisons > 0
+        assert len(index.stats.addresses) == index.stats.comparisons
+
+    def test_reset_stats(self):
+        genome = random_genome(200, seed=0)
+        index = SortedKmerIndex(genome, k=8)
+        index.lookup(genome[:8])
+        index.reset_stats()
+        assert index.stats.probes == 0
+
+    def test_binary_search_is_logarithmic(self):
+        genome = random_genome(4096, seed=0)
+        index = SortedKmerIndex(genome, k=12)
+        index.lookup(genome[:12])
+        # log2(4085) ~ 12; allow the equal-run scan some slack.
+        assert index.stats.comparisons < 40
+
+    def test_pack_validation(self):
+        index = SortedKmerIndex("ACGTACGTACGT", k=4)
+        with pytest.raises(WorkloadError):
+            index.pack("ACG")
+
+    def test_k_bounds(self):
+        with pytest.raises(WorkloadError):
+            SortedKmerIndex("ACGT", k=0)
+        with pytest.raises(WorkloadError):
+            SortedKmerIndex("ACGT", k=32)
+        with pytest.raises(WorkloadError):
+            SortedKmerIndex("ACG", k=4)
+
+
+class TestReadMapper:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        genome = random_genome(20000, seed=1)
+        reads = generate_reads(genome, coverage=1, read_length=60,
+                               error_rate=0.01, seed=2)
+        index = SortedKmerIndex(genome, k=16)
+        mapper = ReadMapper(index)
+        stats = mapper.map_all(reads)
+        return genome, index, mapper, stats
+
+    def test_high_accuracy_on_clean_data(self, pipeline):
+        _, _, _, stats = pipeline
+        assert stats.accuracy > 0.8
+
+    def test_char_comparisons_counted(self, pipeline):
+        _, _, _, stats = pipeline
+        assert stats.char_comparisons >= stats.candidates_verified
+
+    def test_perfect_reads_map_exactly(self):
+        genome = random_genome(5000, seed=4)
+        reads = generate_reads(genome, coverage=1, read_length=50, seed=5)
+        index = SortedKmerIndex(genome, k=16)
+        mapper = ReadMapper(index)
+        stats = mapper.map_all(reads)
+        assert stats.accuracy == 1.0
+        for result in stats.results:
+            assert result.mismatches == 0
+
+    def test_read_shorter_than_k_rejected(self):
+        index = SortedKmerIndex(random_genome(100, seed=0), k=16)
+        with pytest.raises(WorkloadError):
+            ReadMapper(index).map_read(ShortRead(0, "ACGT"))
+
+    def test_measured_hit_ratio_near_paper_assumption(self, pipeline):
+        """The Table 1 assumption 'Hit ratio = 50%' — our functional
+        cache replay of the real index probes lands in the same band."""
+        _, index, _, _ = pipeline
+        hit_ratio = measure_cache_hit_ratio(index)
+        assert 0.3 < hit_ratio < 0.75
+
+    def test_measured_workload_bridge(self, pipeline):
+        _, index, _, stats = pipeline
+        workload = measured_workload(stats, 0.5)
+        assert workload.operations == stats.candidates_verified
+        assert workload.reads_per_op == pytest.approx(
+            stats.char_comparisons / stats.candidates_verified
+        )
+
+    def test_measured_workload_requires_data(self):
+        from repro.apps.dna.mapping import MappingStats
+
+        with pytest.raises(WorkloadError):
+            measured_workload(MappingStats(), 0.5)
+
+    def test_hit_ratio_requires_recorded_accesses(self):
+        index = SortedKmerIndex(random_genome(100, seed=0), k=8)
+        with pytest.raises(WorkloadError):
+            measure_cache_hit_ratio(index)

@@ -1,0 +1,148 @@
+"""Tests for the math application and the functional CIM machine."""
+
+import numpy as np
+import pytest
+
+from repro.apps.math import CIMVectorAdder, add_vectors_reference
+from repro.errors import ArchitectureError, WorkloadError
+from repro.sim import EnergyTrace, FunctionalCIM
+
+
+class TestReferenceAdd:
+    def test_elementwise(self):
+        out = add_vectors_reference([1, 2, 3], [4, 5, 6])
+        assert list(out) == [5, 7, 9]
+
+    def test_wraps_modulo(self):
+        out = add_vectors_reference([2**32 - 1], [1], width=32)
+        assert list(out) == [0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(WorkloadError):
+            add_vectors_reference([1], [1, 2])
+
+    def test_range_check(self):
+        with pytest.raises(WorkloadError):
+            add_vectors_reference([256], [0], width=8)
+
+
+class TestCIMVectorAdder:
+    def test_matches_numpy(self):
+        adder = CIMVectorAdder(width=8)
+        report = adder.add_vectors([1, 200, 33, 255], [7, 55, 99, 255])
+        assert list(report.sums) == [8, 255, 132, 254]
+
+    def test_report_costs(self):
+        adder = CIMVectorAdder(width=8)
+        report = adder.add_vectors([1], [2])
+        assert report.tc_adder_steps_per_add == 4 * 8 + 5
+        assert report.imply_steps_per_add == adder.program.step_count
+        assert report.tc_adder_energy > 0
+
+    def test_single_add(self):
+        assert CIMVectorAdder(width=4).add(7, 8) == 15
+
+    def test_width_guard(self):
+        with pytest.raises(WorkloadError):
+            CIMVectorAdder(width=32)
+
+
+class TestEnergyTrace:
+    def test_totals(self):
+        trace = EnergyTrace()
+        trace.record("read", "x", 1, 1e-15, 1e-9)
+        trace.record("logic", "y", 10, 5e-15, 2e-9)
+        assert trace.total_steps == 11
+        assert trace.total_energy == pytest.approx(6e-15)
+        assert trace.total_latency == pytest.approx(3e-9)
+
+    def test_by_kind(self):
+        trace = EnergyTrace()
+        trace.record("read", "a", 1, 1.0, 1.0)
+        trace.record("read", "b", 2, 2.0, 2.0)
+        trace.record("write", "c", 3, 3.0, 3.0)
+        grouped = trace.by_kind()
+        assert grouped["read"] == (3, 3.0, 3.0)
+        assert grouped["write"] == (3, 3.0, 3.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ArchitectureError):
+            EnergyTrace().record("read", "x", -1, 0.0, 0.0)
+
+    def test_summary_text(self):
+        trace = EnergyTrace()
+        trace.record("logic", "x", 5, 5e-15, 1e-9)
+        assert "logic" in trace.summary()
+
+
+class TestFunctionalCIM:
+    def test_store_load_round_trip(self):
+        machine = FunctionalCIM(words=4, width=8)
+        machine.store(2, 173)
+        assert machine.load(2) == 173
+
+    def test_store_many(self):
+        machine = FunctionalCIM(words=4, width=8)
+        machine.store_many([10, 20, 30], base=1)
+        assert machine.load(1) == 10
+        assert machine.load(3) == 30
+
+    def test_compare_all_finds_matches(self):
+        machine = FunctionalCIM(words=6, width=8)
+        machine.store_many([9, 1, 9, 9, 0, 5])
+        result = machine.compare_all(9)
+        assert result.values == [0, 2, 3]
+
+    def test_compare_all_no_match(self):
+        machine = FunctionalCIM(words=3, width=4)
+        machine.store_many([1, 2, 3])
+        assert machine.compare_all(9).values == []
+
+    def test_add_arrays(self):
+        machine = FunctionalCIM(words=4, width=8, lanes=2)
+        result = machine.add_arrays([1, 2, 3, 250], [4, 5, 6, 10])
+        assert result.values == [5, 7, 9, 4]
+
+    def test_add_arrays_length_check(self):
+        machine = FunctionalCIM(words=2, width=4)
+        with pytest.raises(ArchitectureError):
+            machine.add_arrays([1], [1, 2])
+
+    def test_add_arrays_range_check(self):
+        machine = FunctionalCIM(words=2, width=4)
+        with pytest.raises(ArchitectureError):
+            machine.add_arrays([16], [0])
+
+    def test_lane_parallelism_reduces_latency(self):
+        serial = FunctionalCIM(words=8, width=4, lanes=1)
+        parallel = FunctionalCIM(words=8, width=4, lanes=8)
+        x, y = [1] * 8, [2] * 8
+        serial.add_arrays(x, y)
+        parallel.add_arrays(x, y)
+        logic_serial = serial.trace.by_kind()["logic"]
+        logic_parallel = parallel.trace.by_kind()["logic"]
+        assert logic_parallel[2] == pytest.approx(logic_serial[2] / 8)
+        # Energy is identical: parallelism saves time, not joules.
+        assert logic_parallel[1] == pytest.approx(logic_serial[1])
+
+    def test_crs_storage_mode(self):
+        machine = FunctionalCIM(words=4, width=4, cell_kind="CRS")
+        machine.store(0, 5)
+        assert machine.load(0) == 5
+        assert machine.load(0) == 5   # destructive read healed
+
+    def test_trace_accumulates(self):
+        machine = FunctionalCIM(words=2, width=4)
+        machine.store(0, 3)
+        machine.load(0)
+        machine.compare_all(3)
+        kinds = set(machine.trace.by_kind())
+        assert {"write", "read", "logic"} <= kinds
+
+    def test_width_guard(self):
+        with pytest.raises(ArchitectureError):
+            FunctionalCIM(words=2, width=32)
+
+    def test_lanes_guard(self):
+        with pytest.raises(ArchitectureError):
+            FunctionalCIM(words=2, width=4, lanes=0)

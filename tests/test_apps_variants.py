@@ -1,0 +1,151 @@
+"""Tests for the variant-calling stage of the DNA pipeline."""
+
+import pytest
+
+from repro.apps.dna import (
+    PileupCaller,
+    ReadMapper,
+    ShortRead,
+    SortedKmerIndex,
+    Variant,
+    generate_reads,
+    plant_variants,
+    random_genome,
+    score_calls,
+)
+from repro.errors import WorkloadError
+
+
+class TestPlantVariants:
+    def test_count_and_difference(self):
+        genome = random_genome(2000, seed=0)
+        donor, truth = plant_variants(genome, 15, seed=1)
+        assert len(truth) == 15
+        for position, base in truth.items():
+            assert donor[position] == base
+            assert genome[position] != base
+
+    def test_untouched_elsewhere(self):
+        genome = random_genome(500, seed=0)
+        donor, truth = plant_variants(genome, 5, seed=1)
+        for i in range(500):
+            if i not in truth:
+                assert donor[i] == genome[i]
+
+    def test_seeded(self):
+        genome = random_genome(500, seed=0)
+        assert plant_variants(genome, 5, seed=9) == plant_variants(genome, 5, seed=9)
+
+    def test_zero_count(self):
+        genome = random_genome(100, seed=0)
+        donor, truth = plant_variants(genome, 0)
+        assert donor == genome and truth == {}
+
+    def test_count_bounds(self):
+        with pytest.raises(WorkloadError):
+            plant_variants("ACGT", 10)
+
+
+class TestPileupCaller:
+    def test_homozygous_variant_called(self):
+        reference = "A" * 20
+        caller = PileupCaller(reference, min_depth=3)
+        for _ in range(5):
+            caller.add_read(8, "AACAA")       # C at position 10
+        variants = caller.call()
+        assert len(variants) == 1
+        variant = variants[0]
+        assert (variant.position, variant.observed) == (10, "C")
+        assert variant.depth == 5 and variant.support == 5
+        assert variant.allele_fraction == 1.0
+
+    def test_reference_positions_not_called(self):
+        caller = PileupCaller("ACGTACGT")
+        for _ in range(5):
+            caller.add_read(0, "ACGTACGT")
+        assert caller.call() == []
+
+    def test_min_depth_filter(self):
+        caller = PileupCaller("A" * 10, min_depth=4)
+        for _ in range(3):
+            caller.add_read(0, "C")
+        assert caller.call() == []
+
+    def test_min_fraction_filters_errors(self):
+        caller = PileupCaller("A" * 10, min_depth=3, min_fraction=0.6)
+        caller.add_read(0, "C")               # one erroneous read
+        for _ in range(4):
+            caller.add_read(0, "A")
+        assert caller.call() == []
+
+    def test_coverage(self):
+        caller = PileupCaller("A" * 10)
+        caller.add_read(2, "AAA")
+        caller.add_read(3, "AA")
+        assert caller.coverage(3) == 2
+        assert caller.coverage(2) == 1
+        assert caller.coverage(9) == 0
+
+    def test_read_bounds_checked(self):
+        caller = PileupCaller("ACGT")
+        with pytest.raises(WorkloadError):
+            caller.add_read(2, "ACG")
+        with pytest.raises(WorkloadError):
+            caller.add_read(-1, "A")
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            PileupCaller("ACGT", min_depth=0)
+        with pytest.raises(WorkloadError):
+            PileupCaller("ACGT", min_fraction=0.0)
+
+
+class TestScoring:
+    def test_perfect_calls(self):
+        truth = {5: "C", 9: "G"}
+        calls = [Variant(5, "A", "C", 10, 10), Variant(9, "A", "G", 8, 8)]
+        score = score_calls(calls, truth)
+        assert score.recall == 1.0 and score.precision == 1.0
+
+    def test_false_positive_counted(self):
+        score = score_calls([Variant(3, "A", "T", 5, 5)], {})
+        assert score.precision == 0.0
+        assert score.false_positives == 1
+
+    def test_false_negative_counted(self):
+        score = score_calls([], {3: "T"})
+        assert score.recall == 0.0
+        assert score.false_negatives == 1
+
+    def test_wrong_allele_is_both_fp_and_fn(self):
+        score = score_calls([Variant(3, "A", "C", 5, 5)], {3: "T"})
+        assert score.false_positives == 1
+        assert score.false_negatives == 1
+
+
+class TestEndToEndCalling:
+    def test_clinical_pipeline(self):
+        """Plant variants -> sequence donor -> map to reference ->
+        pileup -> call -> score.  The paper's [51] workflow, measured."""
+        reference = random_genome(15000, seed=31)
+        donor, truth = plant_variants(reference, 12, seed=32)
+        reads = generate_reads(donor, coverage=12, read_length=80,
+                               error_rate=0.002, seed=33)
+        index = SortedKmerIndex(reference, k=16)
+        mapper = ReadMapper(index, max_mismatches=4)
+        stats = mapper.map_all(reads)
+        caller = PileupCaller(reference)
+        caller.add_mapped(stats, reads)
+        score = score_calls(caller.call(), truth)
+        assert score.recall > 0.7
+        assert score.precision > 0.9
+
+    def test_add_mapped_length_check(self):
+        reference = random_genome(1000, seed=0)
+        index = SortedKmerIndex(reference, k=16)
+        mapper = ReadMapper(index)
+        stats = mapper.map_all(generate_reads(reference, coverage=0.5,
+                                              read_length=50, seed=1))
+        caller = PileupCaller(reference)
+        with pytest.raises(WorkloadError):
+            caller.add_mapped(stats, [])

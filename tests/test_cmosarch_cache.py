@@ -1,0 +1,96 @@
+"""Tests for the analytical and functional cache models."""
+
+import pytest
+
+from repro.cmosarch import CacheModel, FunctionalCache
+from repro.devices import CACHE_8KB_DNA, CACHE_8KB_MATH
+from repro.errors import ArchitectureError
+
+
+class TestAnalyticalModel:
+    def test_average_read_latency_dna(self):
+        model = CacheModel(CACHE_8KB_DNA)
+        assert model.average_read_latency() == pytest.approx(83e-9)
+
+    def test_average_read_latency_math(self):
+        model = CacheModel(CACHE_8KB_MATH)
+        assert model.average_read_latency() == pytest.approx(4.28e-9)
+
+    def test_write_latency_one_cycle(self):
+        model = CacheModel(CACHE_8KB_DNA)
+        assert model.write_latency() == pytest.approx(1e-9)
+
+    def test_access_cost_totals(self):
+        model = CacheModel(CACHE_8KB_MATH)
+        cost = model.access_cost(reads=2, writes=1)
+        assert cost.latency == pytest.approx(2 * 4.28e-9 + 1e-9)
+        assert cost.hits == pytest.approx(2 * 0.98)
+        assert cost.misses == pytest.approx(2 * 0.02)
+
+    def test_access_cost_validation(self):
+        with pytest.raises(ArchitectureError):
+            CacheModel(CACHE_8KB_DNA).access_cost(-1, 0)
+
+    def test_static_energy(self):
+        model = CacheModel(CACHE_8KB_DNA)
+        assert model.static_energy(2.0) == pytest.approx(2.0 / 64.0)
+        with pytest.raises(ArchitectureError):
+            model.static_energy(-1.0)
+
+
+class TestFunctionalCache:
+    def test_repeat_access_hits(self):
+        cache = FunctionalCache()
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)   # same 64-byte line
+
+    def test_distinct_lines_miss(self):
+        cache = FunctionalCache()
+        cache.access(0)
+        assert not cache.access(64)
+
+    def test_sequential_stream_has_high_hit_ratio(self):
+        """Streaming access (good locality) hits ~ 63/64 of the time."""
+        cache = FunctionalCache()
+        cache.access_many(range(0, 4096))
+        assert cache.hit_ratio > 0.9
+
+    def test_random_stream_over_large_footprint_misses(self):
+        """The sorted-index access pattern: random probes over a
+        footprint far larger than the cache mostly miss."""
+        import random
+
+        rng = random.Random(3)
+        cache = FunctionalCache()
+        addresses = [rng.randrange(0, 64 * 1024 * 1024) for _ in range(4000)]
+        cache.access_many(addresses)
+        assert cache.hit_ratio < 0.05
+
+    def test_lru_eviction(self):
+        # Direct-mapped-like stress: 1 set, 2 ways.
+        cache = FunctionalCache(size_bytes=128, line_bytes=64, ways=2)
+        cache.access(0)        # line 0
+        cache.access(64)       # line 1
+        cache.access(0)        # keeps line 0 most recent? no - touch
+        cache.access(128)      # evicts line 1 (LRU)
+        assert cache.access(0)          # still resident
+        assert not cache.access(64)     # was evicted
+
+    def test_access_many_returns_deltas(self):
+        cache = FunctionalCache()
+        hits, misses = cache.access_many([0, 0, 64])
+        assert (hits, misses) == (1, 2)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ArchitectureError):
+            FunctionalCache(size_bytes=32, line_bytes=64)
+        with pytest.raises(ArchitectureError):
+            FunctionalCache(size_bytes=8192, line_bytes=64, ways=5)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ArchitectureError):
+            FunctionalCache().access(-1)
+
+    def test_hit_ratio_empty(self):
+        assert FunctionalCache().hit_ratio == 0.0

@@ -1,0 +1,53 @@
+"""Tests for the CMOS gate-block cost model."""
+
+import pytest
+
+from repro.cmosarch import CLA_ADDER_32, CMOS_COMPARATOR, GateBlock
+from repro.devices import FINFET_22NM
+from repro.errors import ArchitectureError
+from repro.units import FJ, PS, UM2
+
+
+class TestGateBlock:
+    def test_latency(self):
+        block = GateBlock("x", gates=10, depth=3)
+        assert block.latency == pytest.approx(3 * 14 * PS)
+
+    def test_dynamic_energy(self):
+        block = GateBlock("x", gates=10, depth=3)
+        assert block.dynamic_energy == pytest.approx(10 * 2.45e-18, rel=1e-9, abs=0)
+
+    def test_leakage_power(self):
+        block = GateBlock("x", gates=100, depth=1)
+        assert block.leakage_power == pytest.approx(100 * 42.83e-9)
+
+    def test_leakage_energy_per_cycle_uses_table1_duration(self):
+        block = GateBlock("x", gates=1, depth=1)
+        idle = FINFET_22NM.cycle_time - FINFET_22NM.gate_delay
+        assert block.leakage_energy_per_cycle() == pytest.approx(
+            42.83e-9 * idle
+        )
+
+    def test_area(self):
+        block = GateBlock("x", gates=4, depth=1)
+        assert block.area == pytest.approx(4 * 0.248 * UM2)
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            GateBlock("bad", gates=0, depth=1)
+        with pytest.raises(ArchitectureError):
+            GateBlock("bad", gates=1, depth=0)
+
+
+class TestTable1Blocks:
+    def test_cla_208_gates_18_delays(self):
+        assert CLA_ADDER_32.gates == 208
+        assert CLA_ADDER_32.depth == 18
+
+    def test_cla_latency_252ps(self):
+        """Table 1: 'Adder latency: 252ps = 18*14ps'."""
+        assert CLA_ADDER_32.latency == pytest.approx(252 * PS)
+
+    def test_comparator_structure(self):
+        assert CMOS_COMPARATOR.gates == 3
+        assert CMOS_COMPARATOR.depth == 2

@@ -1,0 +1,86 @@
+"""Tests for the clustered multicore machine description."""
+
+import pytest
+
+from repro.cmosarch import CLA_ADDER_32, CMOS_COMPARATOR, ClusteredMulticore
+from repro.devices import CACHE_8KB_DNA, CACHE_8KB_MATH
+from repro.errors import ArchitectureError
+from repro.units import MM2
+
+
+def dna_machine():
+    return ClusteredMulticore(
+        name="dna",
+        clusters=18750,
+        units_per_cluster=32,
+        unit=CMOS_COMPARATOR,
+        cache=CACHE_8KB_DNA,
+    )
+
+
+class TestStructure:
+    def test_parallel_units(self):
+        assert dna_machine().parallel_units == 600000
+
+    def test_total_gates(self):
+        assert dna_machine().total_gates == 600000 * 3
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            ClusteredMulticore("bad", 0, 32, CMOS_COMPARATOR, CACHE_8KB_DNA)
+        with pytest.raises(ArchitectureError):
+            ClusteredMulticore("bad", 1, 0, CMOS_COMPARATOR, CACHE_8KB_DNA)
+
+
+class TestPower:
+    def test_cache_static_per_unit_convention(self):
+        machine = dna_machine()
+        assert machine.total_cache_static_power() == pytest.approx(600000 / 64.0)
+
+    def test_cache_static_per_cluster_convention(self):
+        machine = ClusteredMulticore(
+            "dna", 18750, 32, CMOS_COMPARATOR, CACHE_8KB_DNA,
+            cache_static_per_unit=False,
+        )
+        assert machine.total_cache_static_power() == pytest.approx(18750 / 64.0)
+
+    def test_logic_leakage(self):
+        machine = dna_machine()
+        assert machine.logic_leakage_power() == pytest.approx(
+            600000 * 3 * 42.83e-9
+        )
+
+
+class TestArea:
+    def test_cache_dominates_dna_area(self):
+        machine = dna_machine()
+        caches = 18750 * CACHE_8KB_DNA.area
+        assert machine.area() > caches
+        assert machine.area() == pytest.approx(caches, rel=0.01)
+
+    def test_dna_area_about_173_mm2(self):
+        # 18750 x 0.0092 mm^2 caches + comparator logic.
+        assert dna_machine().area() / MM2 == pytest.approx(172.9, rel=0.01)
+
+
+class TestScaling:
+    def test_scaled_to_units_rounds_up(self):
+        machine = dna_machine().scaled_to_units(33)
+        assert machine.clusters == 2
+        assert machine.parallel_units == 64
+
+    def test_scaled_preserves_configuration(self):
+        machine = ClusteredMulticore(
+            "math", 1, 32, CLA_ADDER_32, CACHE_8KB_MATH
+        ).scaled_to_units(10**6)
+        assert machine.clusters == 31250
+        assert machine.unit is CLA_ADDER_32
+        assert machine.cache is CACHE_8KB_MATH
+
+    def test_scaled_rejects_zero(self):
+        with pytest.raises(ArchitectureError):
+            dna_machine().scaled_to_units(0)
+
+    def test_cache_model_bridge(self):
+        model = dna_machine().cache_model()
+        assert model.spec is CACHE_8KB_DNA

@@ -1,0 +1,233 @@
+"""Tests for the netlist compiler and register allocator."""
+
+from itertools import product
+
+import pytest
+
+from repro.compiler import (
+    OP_ARITY,
+    OP_PULSES,
+    LogicNetwork,
+    allocation_report,
+    compilation_report,
+    compile_network,
+    random_network,
+    reuse_registers,
+)
+from repro.errors import SynthesisError
+from repro.logic import ImplyMachine
+
+
+def full_adder_network():
+    net = LogicNetwork("fa")
+    a, b, c = net.input("a"), net.input("b"), net.input("cin")
+    x = net.gate("XOR", a, b)
+    s = net.gate("XOR", x, c, name="sum")
+    g = net.gate("AND", a, b)
+    p = net.gate("AND", x, c)
+    net.gate("OR", g, p, name="cout")
+    net.output("sum")
+    net.output("cout")
+    return net
+
+
+class TestNetworkConstruction:
+    def test_builder(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        out = net.gate("NOT", a)
+        net.output(out)
+        assert net.gate_count == 1
+        assert net.depth() == 1
+
+    def test_depth(self):
+        # sum sits at level 2; cout = OR(AND, AND(XOR)) at level 3.
+        net = full_adder_network()
+        assert net.depth() == 3
+
+    def test_duplicate_signal_rejected(self):
+        net = LogicNetwork()
+        net.input("a")
+        with pytest.raises(SynthesisError):
+            net.input("a")
+
+    def test_unknown_operand_rejected(self):
+        net = LogicNetwork()
+        with pytest.raises(SynthesisError):
+            net.gate("NOT", "ghost")
+
+    def test_unknown_op_rejected(self):
+        net = LogicNetwork()
+        net.input("a")
+        with pytest.raises(SynthesisError):
+            net.gate("MAJ", "a")
+
+    def test_arity_checked(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        with pytest.raises(SynthesisError):
+            net.gate("AND", a)
+
+    def test_duplicate_output_rejected(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        out = net.gate("NOT", a)
+        net.output(out)
+        with pytest.raises(SynthesisError):
+            net.output(out)
+
+    def test_validate_requires_outputs(self):
+        net = LogicNetwork()
+        net.input("a")
+        with pytest.raises(SynthesisError):
+            net.validate()
+
+
+class TestEvaluation:
+    def test_full_adder_semantics(self):
+        net = full_adder_network()
+        for a, b, c in product((0, 1), repeat=3):
+            out = net.evaluate({"a": a, "b": b, "cin": c})
+            total = a + b + c
+            assert out["sum"] == total & 1
+            assert out["cout"] == total >> 1
+
+    def test_missing_input_rejected(self):
+        net = full_adder_network()
+        with pytest.raises(SynthesisError):
+            net.evaluate({"a": 1})
+
+    def test_truth_table(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        net.output(net.gate("AND", a, b))
+        table = net.truth_table()
+        assert len(table) == 4
+
+
+class TestCompilation:
+    def test_full_adder_compiles_correctly(self):
+        net = full_adder_network()
+        prog = compile_network(net)
+        for a, b, c in product((0, 1), repeat=3):
+            assignment = {"a": a, "b": b, "cin": c}
+            assert prog.run_functional(assignment) == net.evaluate(assignment)
+
+    @pytest.mark.parametrize("op", sorted(OP_ARITY))
+    def test_single_gate_networks(self, op):
+        net = LogicNetwork(op.lower())
+        args = [net.input(f"x{i}") for i in range(OP_ARITY[op])]
+        net.output(net.gate(op, *args))
+        prog = compile_network(net)
+        for bits in product((0, 1), repeat=len(args)):
+            assignment = dict(zip([f"x{i}" for i in range(len(args))], bits))
+            assert prog.run_functional(assignment) == net.evaluate(assignment)
+
+    @pytest.mark.parametrize("op", sorted(OP_PULSES))
+    def test_pulse_costs_match_contract(self, op):
+        net = LogicNetwork()
+        args = [net.input(f"x{i}") for i in range(OP_ARITY[op])]
+        net.output(net.gate(op, *args))
+        prog = compile_network(net)
+        assert prog.compute_step_count == OP_PULSES[op], op
+
+    def test_fanout_does_not_corrupt_operands(self):
+        """One signal feeding many gates: operand registers must be
+        preserved across all uses (the non-destructive lowering)."""
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        x = net.gate("XOR", a, b)
+        net.output(net.gate("AND", x, a, name="o1"))
+        net.output(net.gate("OR", x, b, name="o2"))
+        net.output(net.gate("XOR", x, x, name="o3"))
+        prog = compile_network(net)
+        for bits in product((0, 1), repeat=2):
+            assignment = dict(zip(["a", "b"], bits))
+            assert prog.run_functional(assignment) == net.evaluate(assignment)
+
+    def test_electrical_execution(self):
+        net = full_adder_network()
+        prog = compile_network(net)
+        machine = ImplyMachine()
+        machine.run_and_check(prog, {"a": 1, "b": 1, "cin": 1})
+
+    def test_report(self):
+        report = compilation_report(full_adder_network())
+        assert report.gates == 5
+        assert report.pulses > 0
+        assert report.pulses_per_gate > 0
+        assert set(report.pulses_by_op) == {"XOR", "AND", "OR"}
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_networks_compile_correctly(self, seed):
+        net = random_network(inputs=3, gates=10, outputs=2, seed=seed)
+        prog = compile_network(net)
+        for pattern in range(8):
+            assignment = {
+                s: (pattern >> i) & 1 for i, s in enumerate(net.inputs)
+            }
+            assert prog.run_functional(assignment) == net.evaluate(assignment)
+
+    def test_random_network_validation(self):
+        with pytest.raises(SynthesisError):
+            random_network(inputs=0)
+        with pytest.raises(SynthesisError):
+            random_network(gates=2, outputs=5)
+
+
+class TestRegisterReuse:
+    def test_behaviour_preserved_exhaustively(self):
+        net = full_adder_network()
+        prog = compile_network(net)
+        compact = reuse_registers(prog)
+        for a, b, c in product((0, 1), repeat=3):
+            assignment = {"a": a, "b": b, "cin": c}
+            assert compact.run_functional(assignment) == net.evaluate(assignment)
+
+    def test_registers_reduced(self):
+        prog = compile_network(full_adder_network())
+        compact = reuse_registers(prog)
+        assert compact.device_count < prog.device_count
+
+    def test_pulse_count_unchanged(self):
+        prog = compile_network(full_adder_network())
+        assert reuse_registers(prog).step_count == prog.step_count
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_networks_survive_reuse(self, seed):
+        net = random_network(inputs=4, gates=12, outputs=3, seed=seed)
+        prog = compile_network(net)
+        compact = reuse_registers(prog)
+        assert compact.device_count <= prog.device_count
+        for pattern in range(16):
+            assignment = {
+                s: (pattern >> i) & 1 for i, s in enumerate(net.inputs)
+            }
+            assert compact.run_functional(assignment) == net.evaluate(assignment)
+
+    def test_compact_program_runs_electrically(self):
+        prog = compile_network(full_adder_network())
+        compact = reuse_registers(prog)
+        machine = ImplyMachine()
+        machine.run_and_check(compact, {"a": 1, "b": 0, "cin": 1})
+
+    def test_allocation_report(self):
+        prog = compile_network(full_adder_network())
+        report = allocation_report(prog)
+        assert report.saved > 0
+        assert 0 < report.reduction < 1
+        assert report.registers_after < report.registers_before
+
+    def test_inputs_keep_distinct_registers(self):
+        """Input registers are all live from the start; reuse must not
+        merge them."""
+        net = LogicNetwork()
+        a, b, c = net.input("a"), net.input("b"), net.input("c")
+        x = net.gate("AND", a, b)
+        net.output(net.gate("AND", x, c))
+        compact = reuse_registers(compile_network(net))
+        load_targets = [
+            ins.operands[0] for ins in compact.instructions
+            if ins.kind.name == "LOAD"
+        ]
+        assert len(set(load_targets)) == 3

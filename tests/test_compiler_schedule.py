@@ -1,0 +1,130 @@
+"""Tests for the parallel netlist scheduler."""
+
+import pytest
+
+from repro.compiler import (
+    LogicNetwork,
+    critical_path_pulses,
+    lane_sweep,
+    levelise,
+    random_network,
+    schedule_network,
+)
+from repro.compiler.mapper import OP_PULSES
+from repro.errors import SynthesisError
+
+
+def wide_network(width=8):
+    """*width* independent XORs — embarrassingly parallel."""
+    net = LogicNetwork("wide")
+    for i in range(width):
+        a = net.input(f"a{i}")
+        b = net.input(f"b{i}")
+        net.output(net.gate("XOR", a, b))
+    return net
+
+
+def chain_network(length=6):
+    """A NOT chain — zero parallelism available."""
+    net = LogicNetwork("chain")
+    signal = net.input("x")
+    for _ in range(length):
+        signal = net.gate("NOT", signal)
+    net.output(signal)
+    return net
+
+
+class TestLevelise:
+    def test_independent_gates_share_level(self):
+        levels = levelise(wide_network(4))
+        assert len(levels) == 1
+        assert len(levels[0]) == 4
+
+    def test_chain_one_gate_per_level(self):
+        levels = levelise(chain_network(5))
+        assert [len(l) for l in levels] == [1] * 5
+
+    def test_levels_respect_dependencies(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        x = net.gate("AND", a, b)
+        y = net.gate("OR", x, a)
+        net.output(y)
+        levels = levelise(net)
+        assert levels[0][0].name == x
+        assert levels[1][0].name == y
+
+
+class TestSchedule:
+    def test_wide_network_scales_with_lanes(self):
+        net = wide_network(8)
+        serial = schedule_network(net, lanes=1)
+        parallel = schedule_network(net, lanes=8)
+        assert parallel.latency_pulses == serial.latency_pulses / 8
+        assert parallel.speedup == pytest.approx(8.0)
+
+    def test_chain_gains_nothing(self):
+        net = chain_network(6)
+        assert schedule_network(net, lanes=16).speedup == pytest.approx(1.0)
+
+    def test_energy_is_lane_independent(self):
+        net = random_network(inputs=4, gates=20, outputs=2, seed=1)
+        one = schedule_network(net, lanes=1)
+        many = schedule_network(net, lanes=8)
+        assert one.total_gate_pulses == many.total_gate_pulses
+
+    def test_latency_never_below_critical_path(self):
+        for seed in range(5):
+            net = random_network(inputs=5, gates=25, outputs=2, seed=seed)
+            plan = schedule_network(net, lanes=1000)
+            assert plan.latency_pulses >= critical_path_pulses(net)
+
+    def test_unbounded_lanes_reach_level_bound(self):
+        """With enough lanes, latency equals the sum of per-level
+        maxima (the slot-envelope bound)."""
+        net = random_network(inputs=4, gates=15, outputs=2, seed=2)
+        plan = schedule_network(net, lanes=1000)
+        level_bound = sum(
+            max(OP_PULSES[g.op] for g in level) for level in levelise(net)
+        )
+        assert plan.latency_pulses == level_bound
+
+    def test_every_gate_scheduled_exactly_once(self):
+        net = random_network(inputs=4, gates=18, outputs=2, seed=3)
+        plan = schedule_network(net, lanes=3)
+        scheduled = [g.name for slot in plan.slots for g in slot.gates]
+        assert sorted(scheduled) == sorted(n.name for n in net.nodes)
+
+    def test_slot_width_respects_lanes(self):
+        net = wide_network(10)
+        plan = schedule_network(net, lanes=3)
+        assert all(len(slot.gates) <= 3 for slot in plan.slots)
+
+    def test_slot_pulse_envelope(self):
+        net = random_network(inputs=4, gates=12, outputs=2, seed=4)
+        plan = schedule_network(net, lanes=2)
+        for slot in plan.slots:
+            assert slot.pulses == max(OP_PULSES[g.op] for g in slot.gates)
+
+    def test_utilisation_bounds(self):
+        net = random_network(inputs=4, gates=20, outputs=2, seed=5)
+        for lanes in (1, 4, 16):
+            u = schedule_network(net, lanes).utilisation()
+            assert 0 < u <= 1.0
+
+    def test_lanes_validated(self):
+        with pytest.raises(SynthesisError):
+            schedule_network(wide_network(2), lanes=0)
+
+
+class TestLaneSweep:
+    def test_monotone_latency(self):
+        net = random_network(inputs=6, gates=30, outputs=3, seed=6)
+        rows = lane_sweep(net, (1, 2, 4, 8))
+        latencies = [r["latency_pulses"] for r in rows]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_speedup_saturates(self):
+        net = random_network(inputs=6, gates=30, outputs=3, seed=6)
+        rows = lane_sweep(net, (64, 128))
+        assert rows[0]["speedup"] == pytest.approx(rows[1]["speedup"])

@@ -1,0 +1,73 @@
+"""Tests for the Fig 1 working-set classification model."""
+
+import pytest
+
+from repro.core import (
+    ArchitectureClass,
+    class_cost,
+    classify_all,
+    ordering_is_monotonic,
+)
+from repro.core.classification import CLASS_PARAMETERS, COMPUTE_ENERGY
+from repro.errors import ArchitectureError
+
+
+class TestClassParameters:
+    def test_all_classes_parameterised(self):
+        assert set(CLASS_PARAMETERS) == set(ArchitectureClass)
+
+    def test_distances_strictly_decrease(self):
+        distances = [CLASS_PARAMETERS[c].distance for c in ArchitectureClass]
+        assert distances == sorted(distances, reverse=True)
+        assert len(set(distances)) == len(distances)
+
+
+class TestClassCost:
+    def test_cim_is_compute_dominated(self):
+        cost = class_cost(ArchitectureClass.COMPUTATION_IN_MEMORY)
+        assert cost.communication_fraction < 0.01
+        assert cost.energy_per_op == pytest.approx(COMPUTE_ENERGY, rel=0.01)
+
+    def test_main_memory_is_communication_dominated(self):
+        cost = class_cost(ArchitectureClass.MAIN_MEMORY)
+        assert cost.communication_fraction > 0.9
+
+    def test_data_intensity_scales_communication(self):
+        lean = class_cost(ArchitectureClass.CACHE, operands_per_op=1)
+        heavy = class_cost(ArchitectureClass.CACHE, operands_per_op=10)
+        assert heavy.energy_per_op > lean.energy_per_op
+        assert heavy.communication_fraction > lean.communication_fraction
+
+    def test_zero_operands_pure_compute(self):
+        cost = class_cost(ArchitectureClass.MAIN_MEMORY, operands_per_op=0)
+        assert cost.communication_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            class_cost(ArchitectureClass.CACHE, operands_per_op=-1)
+        with pytest.raises(ArchitectureError):
+            class_cost(ArchitectureClass.CACHE, word_bits=0)
+
+
+class TestFig1Ordering:
+    def test_five_classes_in_order(self):
+        costs = classify_all()
+        assert [c.architecture for c in costs] == list(ArchitectureClass)
+
+    def test_monotonic_improvement(self):
+        """The Fig 1 claim: every step toward the data strictly improves
+        energy and latency per operation."""
+        assert ordering_is_monotonic(classify_all())
+
+    def test_monotonic_across_data_intensities(self):
+        for operands in (1, 3, 10, 100):
+            assert ordering_is_monotonic(classify_all(operands_per_op=operands))
+
+    def test_cim_vs_main_memory_orders_of_magnitude(self):
+        costs = classify_all()
+        first, last = costs[0], costs[-1]
+        assert first.energy_per_op / last.energy_per_op > 100
+
+    def test_non_monotonic_detected(self):
+        costs = classify_all()
+        assert not ordering_is_monotonic(list(reversed(costs)))

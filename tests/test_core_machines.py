@@ -1,0 +1,140 @@
+"""Tests for the conventional and CIM machine evaluations."""
+
+import pytest
+
+from repro.core import (
+    CIMMachine,
+    cim_dna_machine,
+    cim_math_machine,
+    conventional_dna_machine,
+    conventional_math_machine,
+    dna_paper_workload,
+    math_paper_workload,
+    parallel_additions_workload,
+)
+from repro.errors import ArchitectureError
+from repro.logic import ComparatorCost, TCAdderCost
+from repro.units import MM2, NS
+
+
+class TestConventionalMath:
+    """Table 2's mathematics column reconstructs exactly (DESIGN.md s5)."""
+
+    def test_round_time_9_81_ns(self):
+        machine = conventional_math_machine()
+        w = math_paper_workload()
+        # 2 reads x 4.28 cycles + 1 write cycle = 9.56 ns, + 252 ps CLA.
+        assert machine.round_time(w) == pytest.approx(9.812 * NS, rel=1e-3)
+
+    def test_single_round(self):
+        report = conventional_math_machine().evaluate(math_paper_workload())
+        assert report.rounds == 1
+        assert report.parallel_units == 10**6
+
+    def test_energy_close_to_paper(self):
+        """Paper-implied E = 1.533e-4 J (units x 1/64 W x T); ours adds
+        the (small) dynamic and leakage terms."""
+        report = conventional_math_machine().evaluate(math_paper_workload())
+        assert report.energy == pytest.approx(1.533e-4, rel=0.01)
+
+    def test_cache_static_dominates(self):
+        report = conventional_math_machine().evaluate(math_paper_workload())
+        assert report.dominant_energy_component() == "cache_static"
+
+    def test_communication_energy_fraction_over_70_percent(self):
+        """The paper: 'energy consumption of the cache accesses and
+        communication makes up easily 70% to 90%'."""
+        machine = conventional_math_machine()
+        assert machine.communication_energy_fraction(math_paper_workload()) > 0.7
+
+
+class TestConventionalDNA:
+    def test_execution_time_83ms(self):
+        """Back-computed from Table 2: T = 0.083 s."""
+        report = conventional_dna_machine().evaluate(dna_paper_workload())
+        assert report.time == pytest.approx(0.0830, rel=0.01)
+
+    def test_rounds(self):
+        report = conventional_dna_machine().evaluate(dna_paper_workload())
+        assert report.rounds == 10000
+
+    def test_area_about_173_mm2(self):
+        report = conventional_dna_machine().evaluate(dna_paper_workload())
+        assert report.area / MM2 == pytest.approx(172.9, rel=0.01)
+
+
+class TestCIMMachineModel:
+    def test_paper_packing_units(self):
+        assert cim_dna_machine("paper").units == 600000
+
+    def test_max_packing_units(self):
+        machine = cim_dna_machine("max")
+        assert machine.units == (18750 * 8 * 1024) // 13
+
+    def test_unknown_packing_rejected(self):
+        with pytest.raises(ValueError):
+            cim_dna_machine("typo")
+
+    def test_zero_static_energy(self):
+        report = cim_math_machine().evaluate(math_paper_workload())
+        assert report.energy_breakdown["crossbar_static"] == 0.0
+
+    def test_cim_math_time_36ns(self):
+        """Back-computed from Table 2: T = 36.2 ns (26.6 + 9.56)."""
+        report = cim_math_machine().evaluate(math_paper_workload())
+        assert report.time == pytest.approx(36.16 * NS, rel=1e-3)
+
+    def test_cim_math_energy_256fj_per_op(self):
+        report = cim_math_machine().evaluate(math_paper_workload())
+        assert report.energy_per_op == pytest.approx(256e-15)
+
+    def test_cim_dna_time_tracks_conventional(self):
+        """With matched unit counts both machines are memory-bound and
+        nearly iso-latency — the Table 2 situation."""
+        conv = conventional_dna_machine().evaluate(dna_paper_workload())
+        cim = cim_dna_machine("paper").evaluate(dna_paper_workload())
+        assert cim.time == pytest.approx(conv.time, rel=0.05)
+
+    def test_max_packing_is_faster(self):
+        paper = cim_dna_machine("paper").evaluate(dna_paper_workload())
+        packed = cim_dna_machine("max").evaluate(dna_paper_workload())
+        assert packed.time < paper.time
+
+    def test_units_must_fit_crossbar(self):
+        with pytest.raises(ArchitectureError):
+            CIMMachine(
+                name="overfull",
+                units=10**9,
+                unit=ComparatorCost(),
+                storage_devices=1000,
+            )
+
+    def test_unit_cost_interface_checked(self):
+        class Junk:
+            pass
+
+        with pytest.raises(ArchitectureError):
+            CIMMachine(name="junk", units=1, unit=Junk(), storage_devices=100,
+                       compute_in_storage=False)
+
+    def test_compute_outside_storage_adds_area(self):
+        inside = CIMMachine(
+            name="in", units=10, unit=TCAdderCost(width=8),
+            storage_devices=1000, compute_in_storage=True,
+        )
+        outside = CIMMachine(
+            name="out", units=10, unit=TCAdderCost(width=8),
+            storage_devices=1000, compute_in_storage=False,
+        )
+        assert outside.total_devices() == 1000 + 100
+        assert outside.area() > inside.area()
+
+    def test_packed_into_crossbar_rejects_tiny_storage(self):
+        with pytest.raises(ArchitectureError):
+            CIMMachine.packed_into_crossbar("tiny", ComparatorCost(), 5)
+
+    def test_hit_ratio_changes_round_time(self):
+        machine = cim_math_machine()
+        fast = machine.round_time(parallel_additions_workload(hit_ratio=1.0))
+        slow = machine.round_time(parallel_additions_workload(hit_ratio=0.5))
+        assert slow > fast

@@ -1,0 +1,103 @@
+"""Tests for the Table 2 metrics and improvement factors."""
+
+import pytest
+
+from repro.core import (
+    MachineReport,
+    MetricSet,
+    improvement,
+    metrics_from_report,
+)
+from repro.errors import ArchitectureError
+from repro.units import MM2
+
+
+def make_report(**overrides):
+    defaults = dict(
+        machine="m",
+        workload="w",
+        operations=1000,
+        parallel_units=10,
+        rounds=100,
+        time=1e-3,
+        energy=1e-6,
+        area=2 * MM2,
+    )
+    defaults.update(overrides)
+    return MachineReport(**defaults)
+
+
+class TestMachineReport:
+    def test_derived_quantities(self):
+        report = make_report()
+        assert report.energy_per_op == pytest.approx(1e-9)
+        assert report.time_per_op == pytest.approx(1e-6)
+        assert report.throughput == pytest.approx(1e6)
+
+    def test_breakdown_must_sum(self):
+        with pytest.raises(ArchitectureError):
+            make_report(energy_breakdown={"dynamic": 1.0})
+
+    def test_consistent_breakdown_accepted(self):
+        report = make_report(
+            energy_breakdown={"dynamic": 0.4e-6, "cache_static": 0.6e-6}
+        )
+        assert report.dominant_energy_component() == "cache_static"
+
+    def test_positive_quantities_enforced(self):
+        with pytest.raises(ArchitectureError):
+            make_report(time=0.0)
+        with pytest.raises(ArchitectureError):
+            make_report(energy=-1.0)
+
+    def test_summary_mentions_machine(self):
+        assert "m on w" in make_report().summary()
+
+
+class TestMetricSet:
+    def test_energy_delay_per_op(self):
+        metrics = metrics_from_report(make_report())
+        assert metrics.energy_delay_per_op == pytest.approx(1e-6 * 1e-3 / 1000)
+
+    def test_computing_efficiency(self):
+        metrics = metrics_from_report(make_report())
+        assert metrics.computing_efficiency == pytest.approx(1000 / 1e-6)
+
+    def test_performance_per_area_in_mm2(self):
+        metrics = metrics_from_report(make_report())
+        # (1000 ops / 1e-3 s) / 2 mm^2 = 5e5 ops/s/mm^2
+        assert metrics.performance_per_area == pytest.approx(5e5)
+
+    def test_as_dict_keys(self):
+        metrics = metrics_from_report(make_report())
+        assert set(metrics.as_dict()) == {
+            "energy_delay_per_op",
+            "computing_efficiency",
+            "performance_per_area",
+        }
+
+
+class TestImprovement:
+    def test_directionality(self):
+        conv = metrics_from_report(make_report(machine="conv"))
+        cim = metrics_from_report(
+            make_report(machine="cim", energy=1e-9, time=1e-4, area=0.2 * MM2)
+        )
+        factors = improvement(conv, cim)
+        # 1000x less energy, 10x less time -> EDP 1e4, efficiency 1e3.
+        assert factors.energy_delay == pytest.approx(1e4)
+        assert factors.computing_efficiency == pytest.approx(1e3)
+        assert factors.performance_per_area == pytest.approx(100.0)
+        assert factors.all_improvements()
+
+    def test_workload_mismatch_rejected(self):
+        a = metrics_from_report(make_report(workload="w1"))
+        b = metrics_from_report(make_report(workload="w2"))
+        with pytest.raises(ArchitectureError):
+            improvement(a, b)
+
+    def test_regression_detected(self):
+        conv = metrics_from_report(make_report())
+        worse = metrics_from_report(make_report(energy=1e-3))
+        factors = improvement(conv, worse)
+        assert not factors.all_improvements()

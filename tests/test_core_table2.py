@@ -1,0 +1,112 @@
+"""The Table 2 reproduction tests — the headline result of the paper.
+
+These tests pin the quantitative agreement documented in
+EXPERIMENTS.md: the mathematics column reconstructs to ~0.1%, the DNA
+execution time reconstructs to ~1%, and the qualitative claims (orders
+of magnitude CIM improvement) hold everywhere.
+"""
+
+import pytest
+
+from repro.core import PAPER_TABLE2, table2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table2(dna_packing="paper")
+
+
+class TestMathColumnExact:
+    """The recoverable cells, matched to the paper's four significant
+    figures."""
+
+    def test_conventional_edp(self, result):
+        ours = result.metric("math", "conventional", "energy_delay_per_op")
+        paper = PAPER_TABLE2[("math", "conventional")]["energy_delay_per_op"]
+        assert ours == pytest.approx(paper, rel=0.002)
+
+    def test_conventional_efficiency(self, result):
+        ours = result.metric("math", "conventional", "computing_efficiency")
+        paper = PAPER_TABLE2[("math", "conventional")]["computing_efficiency"]
+        assert ours == pytest.approx(paper, rel=0.002)
+
+    def test_cim_edp(self, result):
+        ours = result.metric("math", "cim", "energy_delay_per_op")
+        paper = PAPER_TABLE2[("math", "cim")]["energy_delay_per_op"]
+        assert ours == pytest.approx(paper, rel=0.0005)
+
+    def test_cim_efficiency(self, result):
+        ours = result.metric("math", "cim", "computing_efficiency")
+        paper = PAPER_TABLE2[("math", "cim")]["computing_efficiency"]
+        assert ours == pytest.approx(paper, rel=0.0005)
+
+
+class TestMathImprovementRatios:
+    """Paper ratios: EDP 162.5x, efficiency 599x."""
+
+    def test_edp_ratio(self, result):
+        assert result.improvements["math"].energy_delay == pytest.approx(
+            162.5, rel=0.01
+        )
+
+    def test_efficiency_ratio(self, result):
+        assert result.improvements["math"].computing_efficiency == pytest.approx(
+            599.0, rel=0.01
+        )
+
+
+class TestDNAColumn:
+    """The DNA energies in the paper contain a unit double-count (see
+    DESIGN.md); the time reconstructs and the qualitative claims hold."""
+
+    def test_execution_times_match_paper_implied(self, result):
+        conv = result.reports[("dna", "conventional")]
+        cim = result.reports[("dna", "cim")]
+        assert conv.time == pytest.approx(0.0830, rel=0.01)
+        assert cim.time == pytest.approx(0.0830, rel=0.01)
+
+    def test_cim_wins_every_metric(self, result):
+        assert result.improvements["dna"].all_improvements()
+
+    def test_efficiency_improvement_orders_of_magnitude(self, result):
+        assert result.improvements["dna"].computing_efficiency > 1e3
+
+    def test_comparator_energy_ratio_is_the_paper_900x(self, result):
+        """The paper's 901x CE ratio equals (per-op conventional energy)
+        / (45 fJ); our per-op energies reproduce the same physics even
+        though the paper's absolute joules are buggy."""
+        conv = result.reports[("dna", "conventional")]
+        cim = result.reports[("dna", "cim")]
+        ratio = conv.energy_per_op / cim.energy_per_op
+        assert ratio > 500
+
+
+class TestQualitativeClaims:
+    def test_cim_wins_everywhere(self, result):
+        for factors in result.improvements.values():
+            assert factors.all_improvements()
+
+    def test_paper_values_carried(self, result):
+        assert result.paper_metric("math", "cim", "computing_efficiency") == 3.9063e12
+
+    def test_max_packing_variant_also_wins(self):
+        packed = table2(dna_packing="max")
+        assert packed.improvements["dna"].all_improvements()
+        # More units -> strictly faster DNA execution.
+        assert (
+            packed.reports[("dna", "cim")].time
+            < table2(dna_packing="paper").reports[("dna", "cim")].time
+        )
+
+    def test_zero_leakage_claim(self, result):
+        """'An architecture with practically zero leakage': the CIM
+        energy breakdown has no static component."""
+        for app in ("dna", "math"):
+            breakdown = result.reports[(app, "cim")].energy_breakdown
+            assert breakdown["crossbar_static"] == 0.0
+
+    def test_conventional_dominated_by_memory_system(self, result):
+        """Fig 2's motivation: conventional energy is cache-dominated."""
+        for app in ("dna", "math"):
+            report = result.reports[(app, "conventional")]
+            assert report.dominant_energy_component() == "cache_static"

@@ -1,0 +1,82 @@
+"""Tests for the junction → tile → system-cost integration study."""
+
+import math
+
+import pytest
+
+from repro.core import TilingStudy, feasible_tile_edge
+from repro.crossbar.selector import CRSJunction, OneSelectorOneR
+from repro.errors import ArchitectureError
+
+
+class TestFeasibleTileEdge:
+    def test_1r_limited_to_tiny_tiles(self):
+        assert feasible_tile_edge(None, edges=(2, 4, 8)) <= 4
+
+    def test_crs_sustains_large_tiles(self):
+        factory = lambda r, c: CRSJunction()
+        assert feasible_tile_edge(factory, edges=(2, 8, 16)) == 16
+
+    def test_selector_sustains_large_tiles(self):
+        factory = lambda r, c: OneSelectorOneR()
+        assert feasible_tile_edge(factory, edges=(2, 8, 16)) == 16
+
+    def test_multistage_rescues_1r(self):
+        plain = feasible_tile_edge(None, edges=(2, 8, 16))
+        multi = feasible_tile_edge(None, edges=(2, 8, 16), multistage=True)
+        assert multi == 16 > plain
+
+    def test_impossible_margin_returns_zero(self):
+        assert feasible_tile_edge(None, min_margin=1e9, edges=(2, 4)) == 0
+
+
+class TestTilingStudy:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return TilingStudy(devices=10**6).compare()
+
+    def test_all_families_evaluated(self, comparison):
+        assert set(comparison) == {"1R", "1S1R", "CRS"}
+
+    def test_crs_minimises_periphery_tax(self, comparison):
+        """The system-level argument for Section IV.B's CRS cell: its
+        big tiles amortise the CMOS periphery far better than 1R."""
+        assert (comparison["CRS"].periphery_area_ratio
+                < comparison["1R"].periphery_area_ratio / 10)
+
+    def test_1r_pays_for_tiny_tiles(self, comparison):
+        assert comparison["1R"].tile_edge <= 4
+        assert comparison["1R"].tiles > comparison["CRS"].tiles * 100
+
+    def test_crs_doubles_junction_area(self, comparison):
+        assert comparison["CRS"].junction_area == pytest.approx(
+            2 * comparison["1R"].junction_area
+        )
+
+    def test_tile_count_covers_device_budget(self, comparison):
+        for name, report in comparison.items():
+            devices_per_junction = 2 if name == "CRS" else 1
+            junctions = math.ceil(10**6 / devices_per_junction)
+            capacity = report.tiles * report.tile_edge ** 2
+            assert capacity >= junctions
+
+    def test_multistage_variant_fixes_1r(self):
+        study = TilingStudy(devices=10**5)
+        fixed = study.compare(multistage_for_1r=True)["1R"]
+        plain = study.compare()["1R"]
+        assert fixed.tile_edge > plain.tile_edge
+        assert fixed.periphery_area_ratio < plain.periphery_area_ratio
+
+    def test_infeasible_report(self):
+        study = TilingStudy(devices=100, min_margin=1e9)
+        report = study.evaluate_junction("1R", None, edges=(2,))
+        assert not report.feasible
+        assert math.isinf(report.periphery_area)
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            TilingStudy(devices=0)
+        with pytest.raises(ArchitectureError):
+            TilingStudy(devices=10, min_margin=0.5)
+        with pytest.raises(ArchitectureError):
+            TilingStudy(devices=10, cell_area=0.0)

@@ -1,0 +1,64 @@
+"""Tests for workload definitions, including the Table 1 formulas."""
+
+import pytest
+
+from repro.core import Workload, dna_workload, parallel_additions_workload
+from repro.errors import WorkloadError
+
+
+class TestWorkloadDataclass:
+    def test_totals(self):
+        w = Workload("t", operations=100, reads_per_op=2, writes_per_op=1, hit_ratio=0.5)
+        assert w.total_reads == 200
+        assert w.total_writes == 100
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Workload("t", 0, 1, 1, 0.5)
+        with pytest.raises(WorkloadError):
+            Workload("t", 1, -1, 1, 0.5)
+        with pytest.raises(WorkloadError):
+            Workload("t", 1, 1, 1, 1.5)
+
+
+class TestDNAWorkload:
+    def test_paper_operation_count(self):
+        """Table 1: no_short_reads = 50 * 3e9 / 100 = 1.5e9;
+        no_comparisons = 4 * no_short_reads = 6e9."""
+        w = dna_workload()
+        assert w.operations == 6_000_000_000
+
+    def test_reads_per_op_is_read_length(self):
+        assert dna_workload().reads_per_op == 100.0
+
+    def test_hit_ratio_default(self):
+        assert dna_workload().hit_ratio == 0.5
+
+    def test_scaled_parameters(self):
+        w = dna_workload(coverage=10, reference_bases=10**6, short_read_len=50)
+        assert w.operations == 4 * (10 * 10**6 // 50)
+        assert w.reads_per_op == 50.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            dna_workload(coverage=0)
+        with pytest.raises(WorkloadError):
+            dna_workload(short_read_len=0)
+
+
+class TestMathWorkload:
+    def test_paper_count(self):
+        w = parallel_additions_workload()
+        assert w.operations == 10**6
+
+    def test_two_reads_one_write(self):
+        w = parallel_additions_workload()
+        assert w.reads_per_op == 2.0
+        assert w.writes_per_op == 1.0
+
+    def test_hit_ratio_98(self):
+        assert parallel_additions_workload().hit_ratio == 0.98
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            parallel_additions_workload(count=0)

@@ -1,0 +1,100 @@
+"""Tests for repro.crossbar.array."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar import CrossbarArray
+from repro.crossbar.selector import OneR
+from repro.errors import CrossbarError
+
+
+class TestConstruction:
+    def test_default_junctions_are_memristors(self):
+        array = CrossbarArray(3, 4)
+        assert array.rows == 3
+        assert array.cols == 4
+        assert array.size == 12
+        assert array.cell(0, 0).as_bit() == 0
+
+    def test_custom_factory(self):
+        array = CrossbarArray(2, 2, lambda r, c: OneR())
+        assert isinstance(array.cell(1, 1), OneR)
+
+    def test_factory_receives_coordinates(self):
+        seen = []
+        CrossbarArray(2, 3, lambda r, c: seen.append((r, c)) or OneR())
+        assert (1, 2) in seen
+        assert len(seen) == 6
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(CrossbarError):
+            CrossbarArray(0, 4)
+        with pytest.raises(CrossbarError):
+            CrossbarArray(4, -1)
+
+    def test_cells_are_distinct_objects(self):
+        array = CrossbarArray(2, 2)
+        array.cell(0, 0).write_bit(1)
+        assert array.cell(0, 1).as_bit() == 0
+
+
+class TestAddressing:
+    def test_out_of_range_rejected(self):
+        array = CrossbarArray(2, 2)
+        with pytest.raises(CrossbarError):
+            array.cell(2, 0)
+        with pytest.raises(CrossbarError):
+            array.cell(0, -1)
+
+    def test_set_cell(self):
+        array = CrossbarArray(2, 2)
+        replacement = OneR()
+        array.set_cell(1, 0, replacement)
+        assert array.cell(1, 0) is replacement
+
+    def test_iter_cells_covers_all(self):
+        array = CrossbarArray(3, 3)
+        coords = {(r, c) for r, c, _ in array.iter_cells()}
+        assert len(coords) == 9
+
+
+class TestPatterns:
+    def test_write_read_round_trip(self):
+        array = CrossbarArray(2, 3)
+        pattern = [[1, 0, 1], [0, 1, 0]]
+        array.write_pattern(pattern)
+        assert array.read_pattern() == pattern
+
+    def test_fill(self):
+        array = CrossbarArray(2, 2)
+        array.fill(1)
+        assert array.read_pattern() == [[1, 1], [1, 1]]
+
+    def test_shape_mismatch_rejected(self):
+        array = CrossbarArray(2, 2)
+        with pytest.raises(CrossbarError):
+            array.write_pattern([[1, 0]])
+        with pytest.raises(CrossbarError):
+            array.write_pattern([[1], [0]])
+
+    def test_non_writable_junction_rejected(self):
+        array = CrossbarArray(1, 1, lambda r, c: object())
+        with pytest.raises(CrossbarError):
+            array.write_pattern([[1]])
+        with pytest.raises(CrossbarError):
+            array.read_pattern()
+
+
+class TestConductanceMatrix:
+    def test_shape_and_values(self):
+        array = CrossbarArray(2, 2)
+        array.write_pattern([[1, 0], [0, 1]])
+        g = array.conductance_matrix()
+        assert g.shape == (2, 2)
+        device = array.cell(0, 0)
+        assert g[0, 0] == pytest.approx(1.0 / device.resistance())
+        assert g[0, 0] > g[0, 1]
+
+    def test_all_positive(self):
+        g = CrossbarArray(4, 4).conductance_matrix()
+        assert (g > 0).all()

@@ -1,0 +1,98 @@
+"""Tests for the crossbar bias schemes."""
+
+import pytest
+
+from repro.crossbar import (
+    ALL_SCHEMES,
+    FloatingBias,
+    GroundedBias,
+    VHalfBias,
+    VThirdBias,
+)
+from repro.errors import CrossbarError
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_selected_lines_always_driven(self, scheme):
+        row_drive, col_drive = scheme.drives(4, 4, 1, 2, 1.0)
+        assert row_drive[1] == 1.0
+        assert col_drive[2] == 0.0
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_rejects_out_of_range_cell(self, scheme):
+        with pytest.raises(CrossbarError):
+            scheme.drives(4, 4, 4, 0, 1.0)
+        with pytest.raises(CrossbarError):
+            scheme.drives(4, 4, 0, -1, 1.0)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_rejects_zero_voltage(self, scheme):
+        with pytest.raises(CrossbarError):
+            scheme.drives(4, 4, 0, 0, 0.0)
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_stress_non_negative(self, scheme):
+        assert scheme.max_unselected_stress(1.0) >= 0
+
+
+class TestFloating:
+    def test_only_selected_lines_driven(self):
+        row_drive, col_drive = FloatingBias().drives(8, 8, 3, 5, 1.0)
+        assert set(row_drive) == {3}
+        assert set(col_drive) == {5}
+
+
+class TestGrounded:
+    def test_all_lines_driven(self):
+        row_drive, col_drive = GroundedBias().drives(4, 4, 0, 0, 1.0)
+        assert set(row_drive) == set(range(4))
+        assert set(col_drive) == set(range(4))
+        assert row_drive[2] == 0.0
+        assert col_drive[3] == 0.0
+
+
+class TestVHalf:
+    def test_unselected_at_half(self):
+        row_drive, col_drive = VHalfBias().drives(4, 4, 0, 0, 1.0)
+        assert row_drive[1] == pytest.approx(0.5)
+        assert col_drive[1] == pytest.approx(0.5)
+
+    def test_stress_is_half(self):
+        assert VHalfBias().max_unselected_stress(1.0) == pytest.approx(0.5)
+
+    def test_unselected_junction_sees_zero(self):
+        """A fully unselected junction (V/2 row to V/2 column) sees no
+        voltage at all under V/2 biasing."""
+        row_drive, col_drive = VHalfBias().drives(4, 4, 0, 0, 1.0)
+        assert row_drive[2] - col_drive[3] == pytest.approx(0.0)
+
+
+class TestVThird:
+    def test_asymmetric_levels(self):
+        row_drive, col_drive = VThirdBias().drives(4, 4, 0, 0, 0.9)
+        assert row_drive[1] == pytest.approx(0.3)
+        assert col_drive[1] == pytest.approx(0.6)
+
+    def test_every_junction_class_bounded_by_third(self):
+        v = 0.9
+        row_drive, col_drive = VThirdBias().drives(3, 3, 0, 0, v)
+        stresses = [
+            abs(row_drive[r] - col_drive[c])
+            for r in range(3)
+            for c in range(3)
+            if (r, c) != (0, 0)
+        ]
+        assert max(stresses) <= v / 3.0 + 1e-12
+        assert VThirdBias().max_unselected_stress(v) == pytest.approx(v / 3.0)
+
+
+class TestHalfSelectSafety:
+    def test_vhalf_protects_threshold_devices(self):
+        """If the write voltage exceeds the device threshold but V/2
+        does not, unselected cells are never disturbed — the property
+        write schemes rely on."""
+        v_write, v_threshold = 1.4, 1.0
+        assert VHalfBias().max_unselected_stress(v_write) < v_threshold
+        assert VThirdBias().max_unselected_stress(v_write) < v_threshold
+        assert GroundedBias().max_unselected_stress(v_write) >= v_threshold

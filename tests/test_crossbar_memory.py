@@ -1,0 +1,126 @@
+"""Tests for the word-level crossbar memory."""
+
+import pytest
+
+from repro.crossbar import AccessStats, CrossbarMemory
+from repro.devices import MEMRISTOR_5NM
+from repro.errors import CrossbarError
+
+
+class TestGeometry:
+    def test_dimensions(self):
+        memory = CrossbarMemory(16, 8)
+        assert memory.words == 16
+        assert memory.width == 8
+
+    def test_rejects_unknown_cell_kind(self):
+        with pytest.raises(CrossbarError):
+            CrossbarMemory(4, 4, cell_kind="2T2R")
+
+    def test_area_scales_with_cells(self):
+        small = CrossbarMemory(4, 4).area()
+        big = CrossbarMemory(8, 8).area()
+        assert big == pytest.approx(4 * small)
+
+    def test_crs_area_doubles(self):
+        r1 = CrossbarMemory(4, 4, "1R").area()
+        crs = CrossbarMemory(4, 4, "CRS").area()
+        assert crs == pytest.approx(2 * r1)
+
+
+class Test1RAccess:
+    def test_word_round_trip(self):
+        memory = CrossbarMemory(4, 8)
+        memory.write_word(2, [1, 0, 1, 1, 0, 0, 1, 0])
+        assert memory.read_word(2) == [1, 0, 1, 1, 0, 0, 1, 0]
+
+    def test_int_round_trip(self):
+        memory = CrossbarMemory(4, 8)
+        for value in (0, 1, 170, 255):
+            memory.write_int(0, value)
+            assert memory.read_int(0) == value
+
+    def test_rejects_oversized_int(self):
+        memory = CrossbarMemory(4, 4)
+        with pytest.raises(CrossbarError):
+            memory.write_int(0, 16)
+        with pytest.raises(CrossbarError):
+            memory.write_int(0, -1)
+
+    def test_rejects_bad_address(self):
+        memory = CrossbarMemory(4, 4)
+        with pytest.raises(CrossbarError):
+            memory.write_int(4, 1)
+        with pytest.raises(CrossbarError):
+            memory.read_word(-1)
+
+    def test_rejects_wrong_word_width(self):
+        memory = CrossbarMemory(4, 4)
+        with pytest.raises(CrossbarError):
+            memory.write_word(0, [1, 0])
+
+
+class TestCRSAccess:
+    def test_word_round_trip(self):
+        memory = CrossbarMemory(4, 8, "CRS")
+        memory.write_int(1, 0b10110010)
+        assert memory.read_int(1) == 0b10110010
+
+    def test_repeated_reads_stable(self):
+        """Destructive reads must be healed by write-back every time."""
+        memory = CrossbarMemory(2, 8, "CRS")
+        memory.write_int(0, 0b01010101)
+        for _ in range(5):
+            assert memory.read_int(0) == 0b01010101
+
+    def test_write_backs_counted_per_zero_bit(self):
+        memory = CrossbarMemory(2, 8, "CRS")
+        memory.write_int(0, 0b00001111)   # four zeros
+        memory.read_word(0)
+        assert memory.stats.write_backs == 4
+
+    def test_all_ones_word_needs_no_write_back(self):
+        memory = CrossbarMemory(2, 4, "CRS")
+        memory.write_int(0, 0b1111)
+        memory.read_word(0)
+        assert memory.stats.write_backs == 0
+
+
+class TestAccounting:
+    def test_write_energy_per_table1(self):
+        memory = CrossbarMemory(2, 32)
+        memory.write_int(0, 12345)
+        assert memory.stats.energy == pytest.approx(32 * MEMRISTOR_5NM.write_energy)
+        assert memory.stats.time == pytest.approx(MEMRISTOR_5NM.write_time)
+
+    def test_1r_read_costs_no_write_energy(self):
+        memory = CrossbarMemory(2, 8)
+        memory.write_int(0, 7)
+        e_after_write = memory.stats.energy
+        memory.read_word(0)
+        assert memory.stats.energy == pytest.approx(e_after_write)
+        assert memory.stats.reads == 1
+
+    def test_crs_read_costs_write_back_energy(self):
+        memory = CrossbarMemory(2, 8, "CRS")
+        memory.write_int(0, 0)           # 8 zeros -> 8 write-backs
+        e_after_write = memory.stats.energy
+        memory.read_word(0)
+        extra = memory.stats.energy - e_after_write
+        assert extra == pytest.approx(8 * MEMRISTOR_5NM.write_energy)
+
+    def test_device_write_counter(self):
+        memory = CrossbarMemory(2, 4)
+        memory.write_int(0, 5)
+        memory.write_int(1, 2)
+        assert memory.stats.device_writes == 8
+
+    def test_stats_merge(self):
+        a = AccessStats(reads=1, writes=2, device_writes=3, energy=1e-15, time=1e-10)
+        b = AccessStats(reads=4, writes=5, device_writes=6, energy=2e-15, time=3e-10)
+        merged = a.merge(b)
+        assert merged.reads == 5
+        assert merged.writes == 7
+        assert merged.device_writes == 9
+        assert merged.energy == pytest.approx(3e-15)
+        assert merged.time == pytest.approx(4e-10)

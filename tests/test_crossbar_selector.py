@@ -1,0 +1,130 @@
+"""Tests for the cross-point junction options (Fig 3 right)."""
+
+import pytest
+
+from repro.crossbar.selector import CRSJunction, OneR, OneSelectorOneR, Selector
+from repro.devices import CRSState
+from repro.errors import CrossbarError, DeviceError
+
+
+class TestOneR:
+    def test_digital_interface(self):
+        junction = OneR()
+        junction.write_bit(1)
+        assert junction.as_bit() == 1
+
+    def test_ohmic_at_any_bias(self):
+        junction = OneR()
+        assert junction.resistance_at(0.1) == junction.resistance_at(0.9)
+
+    def test_state_dependent_resistance(self):
+        junction = OneR()
+        r_off = junction.resistance()
+        junction.write_bit(1)
+        assert junction.resistance() < r_off
+
+
+class TestSelector:
+    def test_zero_bias_is_very_resistive(self):
+        selector = Selector()
+        assert selector.resistance_at(0.0) > 1e6
+
+    def test_current_is_odd_function(self):
+        selector = Selector()
+        assert selector.current(-0.5) == pytest.approx(-selector.current(0.5))
+
+    def test_nonlinearity_grows_with_voltage(self):
+        selector = Selector()
+        assert selector.nonlinearity(1.0) > selector.nonlinearity(0.5) > 1.0
+
+    def test_strong_nonlinearity_at_full_select(self):
+        # The whole point of a selector: orders of magnitude between
+        # full select and half select.
+        assert Selector().nonlinearity(1.0) > 100.0
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            Selector(i0=0.0)
+        with pytest.raises(DeviceError):
+            Selector().nonlinearity(-1.0)
+
+
+class TestOneSelectorOneR:
+    def test_series_current_below_memristor_alone(self):
+        junction = OneSelectorOneR()
+        junction.write_bit(1)
+        i_with = junction.current_at(0.5)
+        i_without = 0.5 / junction.device.resistance()
+        assert 0 < i_with < i_without
+
+    def test_bisection_converges(self):
+        junction = OneSelectorOneR()
+        junction.write_bit(1)
+        i = junction.current_at(1.0)
+        # Residual of the series equation should be tiny.
+        import math
+
+        drop = i * junction.device.resistance() + junction.selector.v0 * math.asinh(
+            i / junction.selector.i0
+        )
+        assert drop == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_voltage_zero_current(self):
+        assert OneSelectorOneR().current_at(0.0) == 0.0
+
+    def test_negative_voltage_negative_current(self):
+        junction = OneSelectorOneR()
+        junction.write_bit(1)
+        assert junction.current_at(-0.5) < 0
+
+    def test_half_select_suppression(self):
+        """The chord resistance at half select must be much larger than
+        at full select — the sneak suppression mechanism."""
+        junction = OneSelectorOneR()
+        junction.write_bit(1)
+        assert junction.resistance_at(0.5) > 5 * junction.resistance_at(1.0)
+
+    def test_digital_interface(self):
+        junction = OneSelectorOneR()
+        junction.write_bit(1)
+        assert junction.as_bit() == 1
+
+
+class TestCRSJunction:
+    def test_both_states_same_low_bias_resistance(self):
+        junction = CRSJunction()
+        junction.write_bit(0)
+        r0 = junction.resistance()
+        junction.write_bit(1)
+        r1 = junction.resistance()
+        assert r0 == pytest.approx(r1)
+
+    def test_read_window_conduction_for_zero(self):
+        junction = CRSJunction()
+        junction.write_bit(0)
+        vth1, vth2, _, _ = junction.cell.thresholds()
+        v_read = 0.5 * (vth1 + vth2)
+        assert junction.resistance_at(v_read) < junction.resistance() / 100
+
+    def test_one_state_blocks_at_read_voltage(self):
+        junction = CRSJunction()
+        junction.write_bit(1)
+        vth1, vth2, _, _ = junction.cell.thresholds()
+        v_read = 0.5 * (vth1 + vth2)
+        assert junction.resistance_at(v_read) == pytest.approx(junction.resistance())
+
+    def test_resistance_at_does_not_mutate(self):
+        junction = CRSJunction()
+        junction.write_bit(0)
+        junction.resistance_at(0.95)
+        assert junction.as_bit() == 0
+
+    def test_as_bit_rejects_on_state(self):
+        junction = CRSJunction()
+        junction.cell.set_state(CRSState.ON)
+        with pytest.raises(CrossbarError):
+            junction.as_bit()
+
+    def test_write_bit_validation(self):
+        with pytest.raises(CrossbarError):
+            CRSJunction().write_bit(7)

@@ -1,0 +1,131 @@
+"""Tests for sneak-path / read-margin analysis — the Fig 3 claims."""
+
+import pytest
+
+from repro.crossbar import (
+    CrossbarArray,
+    FloatingBias,
+    GroundedBias,
+    VThirdBias,
+    margin_vs_size,
+    max_readable_size,
+    read_margin,
+    sense_current,
+    solve_access,
+    worst_case_array,
+)
+from repro.crossbar.selector import CRSJunction, OneR, OneSelectorOneR
+from repro.errors import CrossbarError
+
+
+class TestWorstCaseArray:
+    def test_target_and_background(self):
+        array = worst_case_array(4, 4, None, target_bit=0)
+        pattern = array.read_pattern()
+        assert pattern[0][0] == 0
+        assert sum(sum(row) for row in pattern) == 15
+
+    def test_custom_selected_cell(self):
+        array = worst_case_array(4, 4, None, 0, sel_row=2, sel_col=3)
+        assert array.cell(2, 3).as_bit() == 0
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(CrossbarError):
+            worst_case_array(2, 2, None, target_bit=2)
+
+
+class TestSenseCurrent:
+    def test_lrs_read_dominated_by_cell(self):
+        array = CrossbarArray(4, 4)
+        array.fill(0)
+        array.cell(0, 0).write_bit(1)
+        i = sense_current(array, GroundedBias(), 0, 0, 1.0)
+        device = array.cell(0, 0).device if hasattr(array.cell(0, 0), "device") else array.cell(0, 0)
+        assert i == pytest.approx(1.0 / device.r_on, rel=0.02)
+
+    def test_sneak_inflates_hrs_read(self):
+        """Reading an HRS cell against an all-LRS background under
+        floating bias: the sneak current dwarfs the cell current."""
+        array = worst_case_array(8, 8, None, target_bit=0)
+        i = sense_current(array, FloatingBias(), 0, 0, 1.0)
+        device = array.cell(0, 0)
+        i_cell_only = 1.0 / device.resistance()
+        assert i > 50 * i_cell_only
+
+    def test_grounded_scheme_reduces_sneak(self):
+        array = worst_case_array(8, 8, None, target_bit=0)
+        i_float = sense_current(array, FloatingBias(), 0, 0, 1.0)
+        array2 = worst_case_array(8, 8, None, target_bit=0)
+        i_grounded = sense_current(array2, GroundedBias(), 0, 0, 1.0)
+        assert i_grounded < i_float
+
+
+class TestReadMargin:
+    def test_small_1r_array_is_readable(self):
+        report = read_margin(2, 2)
+        assert report.margin > 2.0
+        assert report.readable()
+
+    def test_1r_margin_collapses_with_size(self):
+        reports = margin_vs_size((2, 4, 8, 16))
+        margins = [r.margin for r in reports]
+        assert margins == sorted(margins, reverse=True)
+        assert margins[-1] < 2.0
+
+    def test_crs_margin_stays_high(self):
+        factory = lambda r, c: CRSJunction()
+        reports = margin_vs_size((2, 4, 8, 16), factory)
+        assert min(r.margin for r in reports) > 10.0
+
+    def test_selector_margin_stays_high(self):
+        factory = lambda r, c: OneSelectorOneR()
+        reports = margin_vs_size((2, 4, 8), factory)
+        assert min(r.margin for r in reports) > 10.0
+
+    def test_v_third_beats_floating_for_1r(self):
+        floating = read_margin(8, 8, scheme=FloatingBias())
+        third = read_margin(8, 8, scheme=VThirdBias())
+        assert third.margin > floating.margin
+
+    def test_margin_report_fields(self):
+        report = read_margin(4, 4, scheme=VThirdBias())
+        assert report.rows == report.cols == 4
+        assert report.scheme == "v/3"
+        assert report.current_high >= report.current_low > 0
+
+    def test_infinite_margin_when_low_current_zero(self):
+        from repro.crossbar.sneak import MarginReport
+
+        report = MarginReport(2, 2, "x", current_high=1.0, current_low=0.0)
+        assert report.margin == float("inf")
+
+
+class TestMaxReadableSize:
+    def test_1r_limited_to_small_arrays(self):
+        """The paper: 'the maximum array is limited to small arrays'."""
+        best = max_readable_size((2, 4, 8, 16))
+        assert best <= 4
+
+    def test_crs_unlocks_larger_arrays(self):
+        factory = lambda r, c: CRSJunction()
+        best = max_readable_size((2, 4, 8, 16), factory)
+        assert best == 16
+
+    def test_returns_zero_when_nothing_qualifies(self):
+        best = max_readable_size((16, 32), min_margin=1e9)
+        assert best == 0
+
+
+class TestSolveAccessConvergence:
+    def test_linear_junctions_one_pass(self):
+        array = CrossbarArray(4, 4)
+        array.fill(1)
+        sol = solve_access(array, GroundedBias(), 0, 0, 1.0)
+        assert sol.junction_voltage(0, 0) == pytest.approx(1.0)
+
+    def test_nonlinear_junctions_converge(self):
+        array = CrossbarArray(4, 4, lambda r, c: OneSelectorOneR())
+        array.fill(1)
+        sol_a = solve_access(array, FloatingBias(), 0, 0, 1.0)
+        sol_b = solve_access(array, FloatingBias(), 0, 0, 1.0)
+        assert sol_a.col_currents[0] == pytest.approx(sol_b.col_currents[0])

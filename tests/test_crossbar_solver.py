@@ -1,0 +1,151 @@
+"""Tests for the crossbar electrical solvers against hand-computable
+circuits."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.solver import solve_ideal_wires, solve_with_wire_resistance
+from repro.errors import CrossbarError
+
+
+class TestIdealWiresSingleCell:
+    def test_one_junction_ohms_law(self):
+        g = np.array([[1e-3]])
+        sol = solve_ideal_wires(g, {0: 1.0}, {0: 0.0})
+        assert sol.junction_currents[0, 0] == pytest.approx(1e-3)
+        assert sol.row_currents[0] == pytest.approx(1e-3)
+        assert sol.col_currents[0] == pytest.approx(1e-3)
+
+    def test_junction_voltage(self):
+        g = np.array([[2e-3]])
+        sol = solve_ideal_wires(g, {0: 0.5}, {0: 0.0})
+        assert sol.junction_voltage(0, 0) == pytest.approx(0.5)
+
+    def test_reverse_polarity(self):
+        g = np.array([[1e-3]])
+        sol = solve_ideal_wires(g, {0: -1.0}, {0: 0.0})
+        assert sol.junction_currents[0, 0] == pytest.approx(-1e-3)
+
+
+class TestFloatingLines:
+    def test_voltage_divider_through_floating_column(self):
+        """Two junctions in series via a floating column: the column
+        floats to the divider midpoint."""
+        g = np.array([[1e-3], [1e-3]])
+        sol = solve_ideal_wires(g, {0: 1.0, 1: 0.0}, {})
+        assert sol.col_voltages[0] == pytest.approx(0.5)
+        # Current flows row0 -> col -> row1.
+        assert sol.row_currents[0] == pytest.approx(0.5e-3)
+        assert sol.row_currents[1] == pytest.approx(-0.5e-3)
+
+    def test_unequal_divider(self):
+        g = np.array([[3e-3], [1e-3]])
+        sol = solve_ideal_wires(g, {0: 1.0, 1: 0.0}, {})
+        assert sol.col_voltages[0] == pytest.approx(0.75)
+
+    def test_floating_rows_kcl(self):
+        """2x2 with one driven row, one floating row: the sneak path
+        row0 -> col1 -> row1 -> col0 must carry current."""
+        g = np.full((2, 2), 1e-3)
+        sol = solve_ideal_wires(g, {0: 1.0}, {0: 0.0})
+        # Floating nodes settle between the rails.
+        assert 0.0 < sol.row_voltages[1] < 1.0
+        assert 0.0 < sol.col_voltages[1] < 1.0
+        # The sneak contribution adds to the selected column current:
+        # direct path 1mS * 1V = 1 mA, sneak path = 3 junctions in
+        # series = (1/3) mS -> total 4/3 mA.
+        assert sol.col_currents[0] == pytest.approx(4.0 / 3.0 * 1e-3)
+
+    def test_kcl_on_floating_lines(self):
+        g = np.array([[1e-3, 2e-3, 0.5e-3], [2e-4, 1e-3, 1e-3]])
+        sol = solve_ideal_wires(g, {0: 0.8}, {1: 0.0})
+        # Net current into every floating line is zero.
+        assert sol.row_currents[1] == pytest.approx(0.0, abs=1e-15)
+        assert sol.col_currents[0] == pytest.approx(0.0, abs=1e-15)
+        assert sol.col_currents[2] == pytest.approx(0.0, abs=1e-15)
+
+    def test_energy_conservation(self):
+        g = np.full((3, 3), 1e-4)
+        sol = solve_ideal_wires(g, {0: 1.0, 1: 0.5}, {0: 0.0, 2: 0.2})
+        source_power = (
+            sol.row_voltages @ sol.row_currents
+            - sol.col_voltages @ sol.col_currents
+        )
+        dissipated = (
+            sol.junction_currents ** 2 / np.where(g > 0, g, 1.0)
+        ).sum()
+        assert source_power == pytest.approx(dissipated)
+
+
+class TestValidation:
+    def test_requires_a_driven_line(self):
+        with pytest.raises(CrossbarError):
+            solve_ideal_wires(np.ones((2, 2)), {}, {})
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(CrossbarError):
+            solve_ideal_wires(np.ones((2, 2)), {5: 1.0}, {0: 0.0})
+
+    def test_rejects_negative_conductance(self):
+        with pytest.raises(CrossbarError):
+            solve_ideal_wires(np.array([[-1.0]]), {0: 1.0}, {0: 0.0})
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(CrossbarError):
+            solve_ideal_wires(np.ones(3), {0: 1.0}, {0: 0.0})
+
+    def test_disconnected_floating_line_is_singular(self):
+        g = np.array([[1e-3, 0.0], [0.0, 0.0]])
+        with pytest.raises(CrossbarError):
+            solve_ideal_wires(g, {0: 1.0}, {0: 0.0})
+
+
+class TestWireResistance:
+    def test_reduces_to_ideal_for_tiny_wire_resistance(self):
+        g = np.full((3, 3), 1e-4)
+        ideal = solve_ideal_wires(g, {0: 1.0}, {0: 0.0})
+        wired = solve_with_wire_resistance(
+            g, {0: 1.0}, {0: 0.0}, wire_resistance=1e-6
+        )
+        assert wired.col_currents[0] == pytest.approx(
+            ideal.col_currents[0], rel=1e-3
+        )
+
+    def test_ir_drop_reduces_far_cell_voltage(self):
+        """With significant line resistance the junction farthest from
+        the drivers sees less voltage than the nearest one."""
+        g = np.full((4, 4), 1e-4)
+        sol = solve_with_wire_resistance(
+            g, {0: 1.0}, {0: 0.0}, wire_resistance=500.0
+        )
+        near = sol.junction_voltage(0, 0)
+        far = sol.junction_voltage(0, 3)
+        assert far < near
+
+    def test_driver_resistance_drops_voltage(self):
+        g = np.array([[1e-3]])
+        sol = solve_with_wire_resistance(
+            g, {0: 1.0}, {0: 0.0}, wire_resistance=1e-3, driver_resistance=1000.0
+        )
+        # 1 kohm row driver + 1 kohm junction + 1 kohm column driver:
+        # a third of the voltage appears across the cell.
+        assert sol.junction_voltage(0, 0) == pytest.approx(1.0 / 3.0, rel=0.01)
+
+    def test_terminal_currents_balance(self):
+        g = np.full((3, 3), 1e-4)
+        sol = solve_with_wire_resistance(g, {0: 1.0, 2: 1.0}, {1: 0.0},
+                                         wire_resistance=10.0)
+        assert sol.row_currents.sum() == pytest.approx(
+            sol.col_currents.sum(), rel=1e-6
+        )
+
+    def test_size_guard(self):
+        g = np.ones((100, 100))
+        with pytest.raises(CrossbarError):
+            solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0})
+
+    def test_rejects_nonpositive_wire_resistance(self):
+        with pytest.raises(CrossbarError):
+            solve_with_wire_resistance(
+                np.ones((2, 2)), {0: 1.0}, {0: 0.0}, wire_resistance=0.0
+            )

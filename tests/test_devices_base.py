@@ -1,0 +1,152 @@
+"""Tests for repro.devices.base."""
+
+import pytest
+
+from repro.devices.base import (
+    IdealBipolarMemristor,
+    LOGIC_THRESHOLD,
+    SwitchingThresholds,
+)
+from repro.errors import DeviceError
+
+
+class TestSwitchingThresholds:
+    def test_defaults(self):
+        t = SwitchingThresholds()
+        assert t.v_set > 0 > t.v_reset
+
+    def test_rejects_negative_set(self):
+        with pytest.raises(DeviceError):
+            SwitchingThresholds(v_set=-0.5)
+
+    def test_rejects_positive_reset(self):
+        with pytest.raises(DeviceError):
+            SwitchingThresholds(v_reset=0.5)
+
+
+class TestConstruction:
+    def test_default_state_is_hrs(self, device):
+        assert device.x == 0.0
+        assert device.as_bit() == 0
+
+    def test_rejects_r_on_above_r_off(self):
+        with pytest.raises(DeviceError):
+            IdealBipolarMemristor(r_on=1e6, r_off=1e3)
+
+    def test_rejects_equal_resistances(self):
+        with pytest.raises(DeviceError):
+            IdealBipolarMemristor(r_on=1e4, r_off=1e4)
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(DeviceError):
+            IdealBipolarMemristor(r_on=-1.0)
+
+    def test_rejects_state_outside_unit_interval(self):
+        with pytest.raises(DeviceError):
+            IdealBipolarMemristor(x=1.5)
+
+    def test_rejects_nonpositive_switch_time(self):
+        with pytest.raises(DeviceError):
+            IdealBipolarMemristor(switch_time=0.0)
+
+
+class TestResistance:
+    def test_hrs_resistance(self, device):
+        assert device.resistance() == pytest.approx(device.r_off)
+
+    def test_lrs_resistance(self, device):
+        device.force_set()
+        assert device.resistance() == pytest.approx(device.r_on)
+
+    def test_intermediate_state_between_bounds(self):
+        d = IdealBipolarMemristor(x=0.5)
+        assert d.r_on < d.resistance() < d.r_off
+
+    def test_conductance_is_reciprocal(self, device):
+        assert device.conductance() == pytest.approx(1.0 / device.resistance())
+
+    def test_current_is_ohmic(self, device):
+        v = 0.3
+        assert device.current(v) == pytest.approx(v / device.resistance())
+
+    def test_conductance_interpolation_is_linear(self):
+        # G(x) = x/r_on + (1-x)/r_off by the filamentary convention.
+        d = IdealBipolarMemristor(x=0.25)
+        g = 0.25 / d.r_on + 0.75 / d.r_off
+        assert d.conductance() == pytest.approx(g)
+
+
+class TestDigitalInterface:
+    def test_write_and_read_bits(self, device):
+        device.write_bit(1)
+        assert device.as_bit() == 1
+        device.write_bit(0)
+        assert device.as_bit() == 0
+
+    def test_write_rejects_non_bits(self, device):
+        with pytest.raises(DeviceError):
+            device.write_bit(2)
+
+    def test_logic_threshold_boundary(self):
+        assert IdealBipolarMemristor(x=LOGIC_THRESHOLD).as_bit() == 1
+        assert IdealBipolarMemristor(x=LOGIC_THRESHOLD - 0.01).as_bit() == 0
+
+    def test_force_set_reset(self, device):
+        device.force_set()
+        assert device.x == 1.0
+        device.force_reset()
+        assert device.x == 0.0
+
+    def test_state_setter_validates(self, device):
+        with pytest.raises(DeviceError):
+            device.x = -0.1
+
+
+class TestAbruptSwitching:
+    def test_full_set_pulse(self, device):
+        device.apply_voltage(1.5, device.switch_time)
+        assert device.as_bit() == 1
+
+    def test_full_reset_pulse(self, device):
+        device.force_set()
+        device.apply_voltage(-1.5, device.switch_time)
+        assert device.as_bit() == 0
+
+    def test_subthreshold_pulse_is_retained(self, device):
+        # Arbitrarily long sub-threshold stress must not move the state:
+        # the zero-standby-power/retention property.
+        device.apply_voltage(0.5, 10.0)
+        assert device.x == 0.0
+
+    def test_subthreshold_negative_retained(self, device):
+        device.force_set()
+        device.apply_voltage(-0.5, 10.0)
+        assert device.x == 1.0
+
+    def test_partial_pulse_moves_partially(self, device):
+        device.apply_voltage(1.5, device.switch_time / 2)
+        assert device.x == pytest.approx(0.5)
+
+    def test_two_half_pulses_complete_a_switch(self, device):
+        device.apply_voltage(1.5, device.switch_time / 2)
+        device.apply_voltage(1.5, device.switch_time / 2)
+        assert device.x == pytest.approx(1.0)
+
+    def test_exact_threshold_switches(self, device):
+        device.apply_voltage(device.thresholds.v_set, device.switch_time)
+        assert device.as_bit() == 1
+
+    def test_would_switch(self, device):
+        assert device.would_switch(1.2)
+        assert device.would_switch(-1.2)
+        assert not device.would_switch(0.9)
+        assert not device.would_switch(-0.9)
+
+    def test_negative_duration_rejected(self, device):
+        with pytest.raises(DeviceError):
+            device.apply_voltage(1.5, -1.0)
+
+    def test_set_is_idempotent(self, device):
+        device.apply_voltage(1.5, device.switch_time)
+        device.apply_voltage(1.5, device.switch_time)
+        assert device.x == 1.0

@@ -1,0 +1,201 @@
+"""Tests for the complementary resistive switch (Fig 4)."""
+
+import pytest
+
+from repro.devices import (
+    ComplementaryResistiveSwitch,
+    CRSState,
+    IdealBipolarMemristor,
+    SwitchingThresholds,
+    triangular_sweep,
+)
+from repro.errors import DeviceError
+
+
+class TestStateMapping:
+    def test_initial_state(self, crs):
+        assert crs.state is CRSState.ZERO
+        assert crs.stored_bit() == 0
+
+    def test_set_state_round_trip(self, crs):
+        for state in CRSState:
+            crs.set_state(state)
+            assert crs.state is state
+
+    def test_stored_bit_none_for_on_off(self, crs):
+        crs.set_state(CRSState.ON)
+        assert crs.stored_bit() is None
+        crs.set_state(CRSState.OFF)
+        assert crs.stored_bit() is None
+
+
+class TestThresholds:
+    def test_four_thresholds_ordered(self, crs):
+        vth1, vth2, vth3, vth4 = crs.thresholds()
+        assert 0 < vth1 < vth2
+        assert vth4 < vth3 < 0
+
+    def test_read_window_nonempty(self, crs):
+        lo, hi = crs.read_window()
+        assert lo < hi
+
+    def test_empty_window_rejected(self):
+        # v_set >= 2|v_reset| collapses the read window.
+        element = lambda: IdealBipolarMemristor(
+            thresholds=SwitchingThresholds(v_set=1.0, v_reset=-0.4)
+        )
+        with pytest.raises(DeviceError):
+            ComplementaryResistiveSwitch(element(), element())
+
+
+class TestHighResistanceProperty:
+    def test_both_states_high_resistive(self, crs):
+        """The anti-sneak-path property: '0' and '1' look identical at
+        low bias (one element is always in HRS)."""
+        crs.set_state(CRSState.ZERO)
+        r0 = crs.resistance()
+        crs.set_state(CRSState.ONE)
+        r1 = crs.resistance()
+        assert r0 == pytest.approx(r1)
+        assert r0 > crs.element_a.r_off / 2
+
+    def test_on_state_low_resistive(self, crs):
+        crs.set_state(CRSState.ON)
+        assert crs.resistance() == pytest.approx(
+            crs.element_a.r_on + crs.element_b.r_on
+        )
+
+    def test_subthreshold_bias_preserves_state(self, crs):
+        for state in (CRSState.ZERO, CRSState.ONE):
+            crs.set_state(state)
+            crs.apply_voltage(0.3, 1e-6)
+            assert crs.state is state
+
+
+class TestWriteProtocol:
+    def test_write_one_positive(self, crs):
+        crs.write(1)
+        assert crs.state is CRSState.ONE
+
+    def test_write_zero_negative(self, crs):
+        crs.write(1)
+        crs.write(0)
+        assert crs.state is CRSState.ZERO
+
+    def test_writes_are_idempotent(self, crs):
+        crs.write(1)
+        crs.write(1)
+        assert crs.state is CRSState.ONE
+        crs.write(0)
+        crs.write(0)
+        assert crs.state is CRSState.ZERO
+
+    def test_write_from_on_state(self, crs):
+        crs.set_state(CRSState.ON)
+        crs.write(0)
+        assert crs.state is CRSState.ZERO
+
+    def test_write_from_off_state(self, crs):
+        crs.set_state(CRSState.OFF)
+        crs.write(1)
+        assert crs.state is CRSState.ONE
+
+    def test_write_one_requires_voltage_above_vth2(self, crs):
+        vth2 = crs.thresholds()[1]
+        with pytest.raises(DeviceError):
+            crs.write(1, v_write=vth2 * 0.9)
+
+    def test_write_zero_requires_voltage_below_vth4(self, crs):
+        vth4 = crs.thresholds()[3]
+        with pytest.raises(DeviceError):
+            crs.write(0, v_write=vth4 * 0.9)
+
+    def test_write_rejects_non_bit(self, crs):
+        with pytest.raises(DeviceError):
+            crs.write(2)
+
+
+class TestReadProtocol:
+    def test_read_one_nondestructive(self, crs):
+        crs.write(1)
+        assert crs.read() == 1
+        assert crs.state is CRSState.ONE
+
+    def test_read_zero_with_write_back(self, crs):
+        crs.write(0)
+        assert crs.read() == 0
+        # The paper: write back the previous state after reading.
+        assert crs.state is CRSState.ZERO
+
+    def test_read_zero_without_write_back_leaves_on(self, crs):
+        crs.write(0)
+        assert crs.read(write_back=False) == 0
+        assert crs.state is CRSState.ON
+
+    def test_read_voltage_outside_window_rejected(self, crs):
+        lo, hi = crs.read_window()
+        with pytest.raises(DeviceError):
+            crs.read(v_read=hi * 1.5)
+        with pytest.raises(DeviceError):
+            crs.read(v_read=lo * 0.5)
+
+    def test_read_on_state_rejected(self, crs):
+        crs.set_state(CRSState.ON)
+        with pytest.raises(DeviceError):
+            crs.read()
+
+    def test_many_read_cycles_stable(self, crs):
+        crs.write(0)
+        for _ in range(10):
+            assert crs.read() == 0
+        crs.write(1)
+        for _ in range(10):
+            assert crs.read() == 1
+
+
+class TestIVSweep:
+    def test_butterfly_visits_all_storage_states(self, crs):
+        trace = crs.sweep_iv(triangular_sweep(1.6, 32))
+        states = {state for _, _, state in trace}
+        assert CRSState.ZERO in states
+        assert CRSState.ONE in states
+        assert CRSState.ON in states
+
+    def test_current_spike_in_read_window(self, crs):
+        """Sweeping up from '0' shows the ON-state current spike between
+        Vth1 and Vth2, then the drop after Vth2 — Fig 4's signature."""
+        vth1, vth2, _, _ = crs.thresholds()
+        crs.set_state(CRSState.ZERO)
+        trace = crs.sweep_iv(triangular_sweep(1.6, 64))
+        in_window = [i for v, i, s in trace if vth1 * 1.05 < v < vth2 * 0.95]
+        above = [abs(i) for v, i, s in trace if v > vth2 * 1.1]
+        assert max(in_window) > 10 * max(above)
+
+    def test_sweep_ends_in_written_state(self, crs):
+        # Full positive-then-negative sweep ends having written '0'.
+        crs.sweep_iv(triangular_sweep(1.6, 32))
+        assert crs.state is CRSState.ZERO
+
+    def test_triangular_sweep_shape(self):
+        wave = triangular_sweep(1.0, 4)
+        assert wave[0] == 0.0
+        assert max(wave) == pytest.approx(1.0)
+        assert min(wave) == pytest.approx(-1.0)
+        assert wave[-1] == pytest.approx(0.0)
+
+    def test_triangular_sweep_validation(self):
+        with pytest.raises(DeviceError):
+            triangular_sweep(-1.0)
+        with pytest.raises(DeviceError):
+            triangular_sweep(1.0, points_per_leg=1)
+
+
+class TestDestructiveReadDetection:
+    def test_transitions_reported(self, crs):
+        crs.set_state(CRSState.ZERO)
+        transitions = crs.apply_voltage(0.95, 1e-9)
+        assert transitions >= 1
+        assert crs.state is CRSState.ON
+
+    def test_no_transition_below_threshold(self, crs):
+        assert crs.apply_voltage(0.3, 1e-9) == 0

@@ -1,0 +1,183 @@
+"""Tests for the continuous device models (linear, VTEAM, ECM, VCM)."""
+
+import math
+
+import pytest
+
+from repro.devices import (
+    ECMMemristor,
+    LinearIonDriftMemristor,
+    VCMMemristor,
+    VTEAMMemristor,
+    windows,
+)
+from repro.errors import DeviceError
+
+
+class TestLinearIonDrift:
+    def test_series_resistance_mix(self):
+        d = LinearIonDriftMemristor(r_on=100, r_off=16000, x=0.5)
+        assert d.resistance() == pytest.approx(0.5 * 100 + 0.5 * 16000)
+
+    def test_positive_bias_moves_toward_lrs(self):
+        d = LinearIonDriftMemristor(x=0.1)
+        r0 = d.resistance()
+        d.apply_voltage(1.0, 1e-3, steps=100)
+        assert d.x > 0.1
+        assert d.resistance() < r0
+
+    def test_negative_bias_moves_toward_hrs(self):
+        d = LinearIonDriftMemristor(x=0.9)
+        d.apply_voltage(-1.0, 1e-3, steps=100)
+        assert d.x < 0.9
+
+    def test_no_threshold(self):
+        # The model's documented flaw: any tiny bias drifts the state.
+        d = LinearIonDriftMemristor(x=0.5)
+        d.apply_voltage(0.01, 1.0, steps=1000)
+        assert d.x != 0.5
+        assert not d.has_threshold()
+
+    def test_state_stays_bounded(self):
+        d = LinearIonDriftMemristor(x=0.9)
+        d.apply_voltage(5.0, 1.0, steps=2000)
+        assert 0.0 <= d.x <= 1.0
+
+    def test_window_is_pluggable(self):
+        d = LinearIonDriftMemristor(window=windows.rectangular, x=0.5)
+        assert d.window is windows.rectangular
+
+    def test_drift_coefficient(self):
+        d = LinearIonDriftMemristor(r_on=100, d=10e-9, mu_v=1e-14)
+        assert d.drift_coefficient == pytest.approx(1e-14 * 100 / 1e-16)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(DeviceError):
+            LinearIonDriftMemristor(d=0.0)
+        with pytest.raises(DeviceError):
+            LinearIonDriftMemristor(mu_v=-1e-14)
+
+
+class TestVTEAM:
+    def test_subthreshold_retention(self):
+        d = VTEAMMemristor(x=0.5)
+        d.apply_voltage(0.5, 1.0, steps=100)   # below v_on = 0.7
+        assert d.x == pytest.approx(0.5)
+        assert d.has_threshold()
+
+    def test_above_threshold_sets(self):
+        d = VTEAMMemristor(x=0.0)
+        d.apply_voltage(1.4, 1e-8, steps=200)
+        assert d.x > 0.5
+
+    def test_below_negative_threshold_resets(self):
+        d = VTEAMMemristor(x=1.0)
+        d.apply_voltage(-1.4, 1e-8, steps=200)
+        assert d.x < 0.5
+
+    def test_polarity_flip(self):
+        d = VTEAMMemristor(x=0.0, polarity=-1)
+        d.apply_voltage(-1.4, 1e-8, steps=200)  # negative now sets
+        assert d.x > 0.5
+
+    def test_overdrive_speeds_switching(self):
+        t_low = VTEAMMemristor().switching_time(1.0)
+        t_high = VTEAMMemristor().switching_time(1.8)
+        assert t_high < t_low
+
+    def test_switching_time_matches_integration(self):
+        d = VTEAMMemristor(x=0.0)
+        t = d.switching_time(1.4, from_x=0.0, to_x=0.9)
+        d.apply_voltage(1.4, t, steps=4000)
+        assert d.x == pytest.approx(0.9, abs=0.02)
+
+    def test_switching_time_rejects_subthreshold(self):
+        with pytest.raises(DeviceError):
+            VTEAMMemristor().switching_time(0.3)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(DeviceError):
+            VTEAMMemristor(a_on=0)
+
+
+class TestECM:
+    def test_nucleation_barrier_retention(self):
+        d = ECMMemristor(x=0.5)
+        d.apply_voltage(0.2, 100.0, steps=10)  # below v_nucleation = 0.25
+        assert d.x == pytest.approx(0.5)
+        assert d.has_threshold()
+
+    def test_filament_grows_under_positive_bias(self):
+        d = ECMMemristor(x=0.0)
+        d.apply_voltage(0.6, 1e-7, steps=500)
+        assert d.x > 0.0
+
+    def test_filament_dissolves_under_negative_bias(self):
+        d = ECMMemristor(x=1.0)
+        d.apply_voltage(-0.6, 1e-7, steps=500)
+        assert d.x < 1.0
+
+    def test_exponential_kinetics(self):
+        # sinh kinetics: doubling the overdrive speeds switching by far
+        # more than 2x (short pulse so neither device saturates).
+        slow = ECMMemristor(x=0.0)
+        fast = ECMMemristor(x=0.0)
+        slow.apply_voltage(0.3, 1e-12, steps=100)
+        fast.apply_voltage(0.6, 1e-12, steps=100)
+        assert fast.x > 10 * max(slow.x, 1e-12)
+
+    def test_retention_ratio_infinite_below_nucleation(self):
+        d = ECMMemristor()
+        assert math.isinf(d.retention_ratio(0.1, 1.0))
+
+    def test_retention_ratio_large_at_half_select(self):
+        d = ECMMemristor()
+        ratio = d.retention_ratio(0.5, 1.0)
+        assert ratio > 1e3
+
+    def test_retention_ratio_validates_order(self):
+        with pytest.raises(DeviceError):
+            ECMMemristor().retention_ratio(1.0, 0.5)
+
+
+class TestVCM:
+    def test_subthreshold_retention(self):
+        d = VCMMemristor(x=0.3)
+        d.apply_voltage(0.5, 1.0, steps=10)
+        assert d.x == pytest.approx(0.3)
+        assert d.has_threshold()
+
+    def test_set_and_reset(self):
+        d = VCMMemristor(x=0.0)
+        d.apply_voltage(1.2, 1e-7, steps=500)
+        assert d.x > 0.5
+        d.apply_voltage(-1.2, 1e-6, steps=500)
+        assert d.x < 0.5
+
+    def test_asymmetric_kinetics(self):
+        # tau_reset = 2 * tau_set by default: reset is slower at equal
+        # overdrive.
+        set_dev = VCMMemristor(x=0.0)
+        reset_dev = VCMMemristor(x=1.0)
+        set_dev.apply_voltage(0.9, 2e-10, steps=50)
+        reset_dev.apply_voltage(-0.9, 2e-10, steps=50)
+        assert (set_dev.x - 0.0) > (1.0 - reset_dev.x)
+
+    def test_wear_accumulates(self):
+        d = VCMMemristor(x=0.0)
+        assert d.wear_cycles == 0.0
+        d.apply_voltage(1.5, 1e-7, steps=100)   # full set ~ 0.5 cycles
+        d.apply_voltage(-1.5, 1e-6, steps=200)  # full reset ~ 0.5 cycles
+        assert d.wear_cycles == pytest.approx(1.0, abs=0.1)
+        assert not d.is_worn_out()
+
+    def test_wear_out_detection(self):
+        d = VCMMemristor(endurance=0.4)
+        d.apply_voltage(1.5, 1e-7, steps=100)
+        assert d.is_worn_out()
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(DeviceError):
+            VCMMemristor(v_set=-0.5)
+        with pytest.raises(DeviceError):
+            VCMMemristor(v_reset=0.5)

@@ -1,0 +1,145 @@
+"""Tests for the Table 1 technology profiles."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices import (
+    CACHE_8KB_DNA,
+    CACHE_8KB_MATH,
+    CacheSpec,
+    CMOSTechnology,
+    FINFET_22NM,
+    MEMRISTOR_5NM,
+    MemristorTechnology,
+)
+from repro.errors import DeviceError
+from repro.units import FJ, NW, PS, UM2
+
+
+class TestMemristor5nm:
+    """Each assertion quotes one Table 1 line."""
+
+    def test_write_time_200ps(self):
+        assert MEMRISTOR_5NM.write_time == pytest.approx(200 * PS)
+
+    def test_write_energy_1fj(self):
+        assert MEMRISTOR_5NM.write_energy == pytest.approx(1 * FJ)
+
+    def test_cell_area(self):
+        assert MEMRISTOR_5NM.cell_area == pytest.approx(1e-4 * UM2)
+
+    def test_zero_static_power(self):
+        assert MEMRISTOR_5NM.static_power == 0.0
+
+    def test_feature_size_5nm(self):
+        assert MEMRISTOR_5NM.feature_size == pytest.approx(5e-9)
+
+    def test_off_on_ratio(self):
+        assert MEMRISTOR_5NM.off_on_ratio == pytest.approx(1000.0)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MEMRISTOR_5NM.write_time = 1.0
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            MemristorTechnology(
+                name="bad", feature_size=-1, write_time=1e-10,
+                write_energy=1e-15, cell_area=1e-16,
+            )
+        with pytest.raises(DeviceError):
+            MemristorTechnology(
+                name="bad", feature_size=5e-9, write_time=1e-10,
+                write_energy=1e-15, cell_area=1e-16, r_on=1e6, r_off=1e3,
+            )
+
+
+class TestFinFET22nm:
+    def test_gate_delay_14ps(self):
+        assert FINFET_22NM.gate_delay == pytest.approx(14 * PS)
+
+    def test_gate_power_175nw(self):
+        assert FINFET_22NM.gate_power == pytest.approx(175 * NW)
+
+    def test_gate_leakage(self):
+        assert FINFET_22NM.gate_leakage == pytest.approx(42.83 * NW)
+
+    def test_gate_area(self):
+        assert FINFET_22NM.gate_area == pytest.approx(0.248 * UM2)
+
+    def test_cycle_time_1ns(self):
+        assert FINFET_22NM.cycle_time == pytest.approx(1e-9)
+
+    def test_gate_dynamic_energy(self):
+        # 175 nW x 14 ps = 2.45 aJ per gate evaluation.  Note: this is
+        # attojoules — Table 1's per-gate power is tiny, which is why
+        # the conventional energy bill is cache-dominated.
+        assert FINFET_22NM.gate_dynamic_energy() == pytest.approx(
+            2.45e-18, rel=1e-9, abs=0
+        )
+
+    def test_leakage_energy_over_idle(self):
+        idle = FINFET_22NM.cycle_time - FINFET_22NM.gate_delay
+        expected = 42.83 * NW * idle
+        assert FINFET_22NM.gate_leakage_energy(idle) == pytest.approx(
+            expected, rel=1e-9, abs=0
+        )
+
+    def test_leakage_rejects_negative_idle(self):
+        with pytest.raises(DeviceError):
+            FINFET_22NM.gate_leakage_energy(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            CMOSTechnology(
+                name="bad", gate_delay=0, gate_area=1e-13,
+                gate_power=1e-7, gate_leakage=1e-8, clock_frequency=1e9,
+            )
+
+
+class TestCacheSpecs:
+    def test_dna_hit_ratio(self):
+        assert CACHE_8KB_DNA.hit_ratio == 0.5
+
+    def test_math_hit_ratio(self):
+        assert CACHE_8KB_MATH.hit_ratio == 0.98
+
+    def test_shared_parameters(self):
+        # "the same as for healthcare except with 98% hit rate"
+        for field in ("size_bytes", "area", "miss_penalty_cycles",
+                      "static_power", "hit_cycles", "write_cycles"):
+            assert getattr(CACHE_8KB_DNA, field) == getattr(CACHE_8KB_MATH, field)
+
+    def test_size_8kb(self):
+        assert CACHE_8KB_DNA.size_bytes == 8192
+
+    def test_static_power_one_64th_watt(self):
+        assert CACHE_8KB_DNA.static_power == pytest.approx(1.0 / 64.0)
+
+    def test_miss_penalty_165(self):
+        assert CACHE_8KB_DNA.miss_penalty_cycles == 165
+
+    def test_average_read_cycles_dna(self):
+        # 0.5*1 + 0.5*165 = 83 cycles.
+        assert CACHE_8KB_DNA.average_read_cycles() == pytest.approx(83.0)
+
+    def test_average_read_cycles_math(self):
+        # 0.98*1 + 0.02*165 = 4.28 cycles.
+        assert CACHE_8KB_MATH.average_read_cycles() == pytest.approx(4.28)
+
+    def test_with_hit_ratio(self):
+        spec = CACHE_8KB_DNA.with_hit_ratio(1.0)
+        assert spec.hit_ratio == 1.0
+        assert spec.average_read_cycles() == pytest.approx(1.0)
+        assert spec.area == CACHE_8KB_DNA.area
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            CacheSpec(hit_ratio=1.5)
+        with pytest.raises(DeviceError):
+            CacheSpec(size_bytes=0)
+        with pytest.raises(DeviceError):
+            CacheSpec(miss_penalty_cycles=0)
+        with pytest.raises(DeviceError):
+            CacheSpec(static_power=-1.0)

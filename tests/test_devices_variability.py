@@ -1,0 +1,97 @@
+"""Tests for process-variation sampling."""
+
+import pytest
+
+from repro.devices import (
+    IdealBipolarMemristor,
+    VariabilityModel,
+    VariationSpec,
+    resistance_spread,
+)
+from repro.errors import DeviceError
+
+
+class TestVariationSpec:
+    def test_defaults_non_negative(self):
+        spec = VariationSpec()
+        assert spec.sigma_r_on >= 0
+        assert spec.sigma_v_set >= 0
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(DeviceError):
+            VariationSpec(sigma_r_on=-0.1)
+
+
+class TestSampling:
+    def test_sample_is_valid_device(self):
+        model = VariabilityModel(seed=1)
+        device = model.sample()
+        assert device.r_on < device.r_off
+        assert device.thresholds.v_set > 0 > device.thresholds.v_reset
+
+    def test_seeded_reproducibility(self):
+        a = VariabilityModel(seed=42).sample()
+        b = VariabilityModel(seed=42).sample()
+        assert a.r_on == pytest.approx(b.r_on)
+        assert a.thresholds.v_set == pytest.approx(b.thresholds.v_set)
+
+    def test_different_seeds_differ(self):
+        a = VariabilityModel(seed=1).sample()
+        b = VariabilityModel(seed=2).sample()
+        assert a.r_on != b.r_on
+
+    def test_zero_sigma_pins_nominal(self):
+        nominal = IdealBipolarMemristor(r_on=2e3, r_off=2e6)
+        spec = VariationSpec(0.0, 0.0, 0.0, 0.0)
+        device = VariabilityModel(nominal, spec, seed=0).sample()
+        assert device.r_on == pytest.approx(2e3)
+        assert device.r_off == pytest.approx(2e6)
+        assert device.thresholds.v_set == pytest.approx(nominal.thresholds.v_set)
+
+    def test_sample_many_count(self):
+        devices = VariabilityModel(seed=0).sample_many(25)
+        assert len(devices) == 25
+
+    def test_sample_many_rejects_negative(self):
+        with pytest.raises(DeviceError):
+            VariabilityModel(seed=0).sample_many(-1)
+
+    def test_iter_samples_stream(self):
+        stream = VariabilityModel(seed=0).iter_samples()
+        first = next(stream)
+        second = next(stream)
+        assert first.r_on != second.r_on
+
+    def test_population_mean_near_nominal(self):
+        model = VariabilityModel(seed=7)
+        devices = model.sample_many(500)
+        spread = resistance_spread(devices)
+        # Lognormal with sigma 0.15: mean within ~5% of nominal e^{s^2/2}.
+        assert spread["r_on_mean"] == pytest.approx(
+            model.nominal.r_on, rel=0.10
+        )
+
+
+class TestResistanceSpread:
+    def test_keys(self):
+        spread = resistance_spread(VariabilityModel(seed=0).sample_many(10))
+        assert set(spread) == {
+            "r_on_mean", "r_on_std", "r_off_mean", "r_off_std", "min_window"
+        }
+
+    def test_min_window_positive(self):
+        spread = resistance_spread(VariabilityModel(seed=0).sample_many(100))
+        assert spread["min_window"] > 1.0
+
+    def test_variation_shrinks_window(self):
+        tight = resistance_spread(
+            VariabilityModel(spec=VariationSpec(0.01, 0.01, 0, 0), seed=0).sample_many(200)
+        )
+        wide = resistance_spread(
+            VariabilityModel(spec=VariationSpec(0.5, 0.5, 0, 0), seed=0).sample_many(200)
+        )
+        assert wide["min_window"] < tight["min_window"]
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(DeviceError):
+            resistance_spread([])

@@ -1,0 +1,73 @@
+"""Tests for repro.devices.windows."""
+
+import pytest
+
+from repro.devices import windows
+from repro.errors import DeviceError
+
+
+class TestRectangular:
+    def test_is_unity_everywhere(self):
+        for x in (0.0, 0.3, 1.0):
+            assert windows.rectangular(x) == 1.0
+
+
+class TestJoglekar:
+    def test_vanishes_at_boundaries(self):
+        assert windows.joglekar(0.0) == pytest.approx(0.0)
+        assert windows.joglekar(1.0) == pytest.approx(0.0)
+
+    def test_peaks_at_center(self):
+        assert windows.joglekar(0.5) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        assert windows.joglekar(0.2) == pytest.approx(windows.joglekar(0.8))
+
+    def test_larger_p_flattens(self):
+        # Higher p keeps the window closer to 1 in the interior.
+        assert windows.joglekar(0.3, p=5) > windows.joglekar(0.3, p=1)
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(DeviceError):
+            windows.joglekar(1.5)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(DeviceError):
+            windows.joglekar(0.5, p=0)
+
+
+class TestBiolek:
+    def test_direction_dependence(self):
+        # Moving up (positive current) at x=1 must stall...
+        assert windows.biolek(1.0, current=1.0) == pytest.approx(0.0)
+        # ...but moving down from x=1 must be allowed.
+        assert windows.biolek(1.0, current=-1.0) > 0.5
+
+    def test_no_terminal_lockup_at_zero(self):
+        # The Joglekar failure mode: at x=0 the device can still set.
+        assert windows.biolek(0.0, current=1.0) == pytest.approx(1.0)
+
+    def test_down_motion_stalls_at_zero(self):
+        assert windows.biolek(0.0, current=-1.0) == pytest.approx(0.0)
+
+    def test_rejects_bad_x(self):
+        with pytest.raises(DeviceError):
+            windows.biolek(-0.1, current=1.0)
+
+
+class TestProdromakis:
+    def test_vanishes_at_boundaries(self):
+        assert windows.prodromakis(0.0) == pytest.approx(0.0)
+        assert windows.prodromakis(1.0) == pytest.approx(0.0)
+
+    def test_scale_parameter(self):
+        assert windows.prodromakis(0.5, j=2.0) == pytest.approx(
+            2.0 * windows.prodromakis(0.5, j=1.0)
+        )
+
+    def test_rejects_nonpositive_j(self):
+        with pytest.raises(DeviceError):
+            windows.prodromakis(0.5, j=0.0)
+
+    def test_symmetric(self):
+        assert windows.prodromakis(0.1) == pytest.approx(windows.prodromakis(0.9))

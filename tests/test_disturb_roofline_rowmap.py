@@ -1,0 +1,222 @@
+"""Tests for write-disturb analysis, the roofline model, and in-array
+program execution."""
+
+import math
+
+import pytest
+
+from repro.crossbar import (
+    CrossbarArray,
+    FloatingBias,
+    VHalfBias,
+    VThirdBias,
+    compare_schemes,
+    ecm_disturb_report,
+    max_writes_per_row,
+    threshold_disturb_free,
+)
+from repro.core import (
+    Roofline,
+    cim_dna_machine,
+    cim_math_machine,
+    cim_roofline,
+    conventional_dna_machine,
+    conventional_math_machine,
+    conventional_roofline,
+    dna_paper_workload,
+    intensity_sweep,
+    math_paper_workload,
+    workload_intensity,
+)
+from repro.devices import ECMMemristor
+from repro.errors import ArchitectureError, CrossbarError, LogicError
+from repro.logic import build_gate, ripple_adder_program
+from repro.sim import RowRegisterFile
+
+
+class TestThresholdDisturb:
+    def test_vhalf_safe_for_threshold_devices(self):
+        # Threshold 1.0 V, write 1.4 V: V/2 stress 0.7 V < 1.0 V.
+        assert threshold_disturb_free(VHalfBias(), 1.4)
+
+    def test_floating_unsafe(self):
+        assert not threshold_disturb_free(FloatingBias(), 1.4)
+
+    def test_vthird_allows_higher_write_voltage(self):
+        # V/3 keeps cells safe up to 3x the threshold.
+        assert threshold_disturb_free(VThirdBias(), 2.9)
+        assert not threshold_disturb_free(VHalfBias(), 2.9)
+
+
+class TestECMDisturb:
+    def test_below_nucleation_is_disturb_free(self):
+        # Write 0.72 V: V/3 stress 0.24 V < 0.25 V nucleation.
+        report = ecm_disturb_report(VThirdBias(), 0.72)
+        assert report.disturb_free
+        assert report.drift_per_event == 0.0
+
+    def test_above_nucleation_disturbs(self):
+        report = ecm_disturb_report(VHalfBias(), 0.72)
+        assert not report.disturb_free
+        assert report.events_to_failure < 100
+
+    def test_scheme_selection_story(self):
+        """At a 0.72 V write on the default ECM cell, V/3 is the only
+        disturb-free scheme — the Section IV.B selection argument."""
+        reports = {r.scheme: r for r in compare_schemes(0.72)}
+        assert reports["v/3"].disturb_free
+        assert not reports["v/2"].disturb_free
+        assert not reports["floating"].disturb_free
+
+    def test_stress_ordering(self):
+        reports = {r.scheme: r for r in compare_schemes(1.2)}
+        assert (reports["v/3"].stress_voltage
+                < reports["v/2"].stress_voltage
+                < reports["floating"].stress_voltage)
+
+    def test_gentler_kinetics_survive_longer(self):
+        harsh = ECMMemristor()
+        gentle = ECMMemristor(v0=0.2, tau0=1e-6)
+        r_harsh = ecm_disturb_report(VHalfBias(), 0.72, harsh)
+        r_gentle = ecm_disturb_report(VHalfBias(), 0.72, gentle)
+        assert r_gentle.events_to_failure > r_harsh.events_to_failure
+
+    def test_max_writes_per_row(self):
+        assert math.isinf(max_writes_per_row(VThirdBias(), 0.72, 64))
+        finite = max_writes_per_row(VHalfBias(), 0.72, 64)
+        assert finite < 10
+
+    def test_validation(self):
+        with pytest.raises(CrossbarError):
+            ecm_disturb_report(VHalfBias(), -1.0)
+        with pytest.raises(CrossbarError):
+            ecm_disturb_report(VHalfBias(), 1.0, pulse_width=0.0)
+        with pytest.raises(CrossbarError):
+            ecm_disturb_report(VHalfBias(), 1.0, failure_margin=0.0)
+        with pytest.raises(CrossbarError):
+            max_writes_per_row(VHalfBias(), 1.0, 1)
+
+
+class TestRoofline:
+    def test_attainable_clips_at_peak(self):
+        roofline = Roofline("m", peak=100.0, bandwidth=10.0)
+        assert roofline.attainable(1.0) == 10.0
+        assert roofline.attainable(100.0) == 100.0
+        assert roofline.ridge_intensity == 10.0
+
+    def test_memory_bound_predicate(self):
+        roofline = Roofline("m", peak=100.0, bandwidth=10.0)
+        assert roofline.is_memory_bound(1.0)
+        assert not roofline.is_memory_bound(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            Roofline("m", peak=0.0, bandwidth=1.0)
+        with pytest.raises(ArchitectureError):
+            Roofline("m", peak=1.0, bandwidth=1.0).attainable(0.0)
+
+    def test_paper_workloads_memory_bound_on_conventional(self):
+        """The memory-wall claim: both Table 2 workloads sit far below
+        the conventional ridge point."""
+        for machine, workload in [
+            (conventional_dna_machine(), dna_paper_workload()),
+            (conventional_math_machine(), math_paper_workload()),
+        ]:
+            roofline = conventional_roofline(machine)
+            intensity = workload_intensity(workload)
+            assert roofline.is_memory_bound(intensity)
+            assert intensity < roofline.ridge_intensity / 100
+
+    def test_cim_moves_the_ridge(self):
+        """CIM's internal bandwidth scales with units, pushing the ridge
+        far left of the conventional one."""
+        conv = conventional_roofline(conventional_dna_machine())
+        cim = cim_roofline(cim_dna_machine("paper"))
+        assert cim.ridge_intensity < conv.ridge_intensity / 100
+
+    def test_cim_attains_more_at_low_intensity(self):
+        conv = conventional_roofline(conventional_dna_machine())
+        cim = cim_roofline(cim_dna_machine("paper"))
+        intensity = workload_intensity(dna_paper_workload())
+        assert cim.attainable(intensity) > 10 * conv.attainable(intensity)
+
+    def test_intensity_sweep_shape(self):
+        conv = conventional_roofline(conventional_math_machine())
+        rows = intensity_sweep([conv], intensities=(0.01, 0.1, 1.0))
+        values = [row[conv.machine] for row in rows]
+        assert values == sorted(values)
+
+    def test_workload_intensity(self):
+        assert workload_intensity(math_paper_workload()) == pytest.approx(
+            1.0 / (3 * 4)
+        )
+
+
+class TestRowRegisterFile:
+    def make_array(self):
+        array = CrossbarArray(4, 8)
+        array.write_pattern([
+            [1, 0, 1, 0, 1, 0, 1, 0],
+            [0] * 8,
+            [1] * 8,
+            [0, 1, 0, 1, 0, 1, 0, 1],
+        ])
+        return array
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_gate_in_row_correct(self, a, b):
+        array = self.make_array()
+        rf = RowRegisterFile(array, row=1)
+        report = rf.run(build_gate("XOR"), {"a": a, "b": b})
+        assert report.outputs["out"] == a ^ b
+
+    def test_data_rows_untouched(self):
+        array = self.make_array()
+        before = array.read_pattern()
+        rf = RowRegisterFile(array, row=1)
+        rf.run(build_gate("AND"), {"a": 1, "b": 1})
+        after = array.read_pattern()
+        for row in (0, 2, 3):
+            assert after[row] == before[row]
+
+    def test_register_overflow_detected(self):
+        array = CrossbarArray(2, 4)
+        rf = RowRegisterFile(array, row=0)
+        with pytest.raises(LogicError):
+            rf.run(ripple_adder_program(4), {
+                **{f"a{i}": 0 for i in range(4)},
+                **{f"b{i}": 0 for i in range(4)},
+            })
+
+    def test_costs_accounted(self):
+        array = self.make_array()
+        rf = RowRegisterFile(array, row=1)
+        program = build_gate("NAND")
+        report = rf.run(program, {"a": 1, "b": 0})
+        assert report.steps == program.step_count
+        assert report.energy > 0
+
+    def test_row_bounds_checked(self):
+        with pytest.raises(LogicError):
+            RowRegisterFile(CrossbarArray(2, 4), row=5)
+
+    def test_missing_input_raises(self):
+        rf = RowRegisterFile(self.make_array(), row=1)
+        with pytest.raises(LogicError):
+            rf.run(build_gate("NOT"), {})
+
+    def test_one_r_junction_arrays_supported(self):
+        from repro.crossbar import OneR
+
+        array = CrossbarArray(2, 6, lambda r, c: OneR())
+        rf = RowRegisterFile(array, row=0)
+        report = rf.run(build_gate("OR"), {"a": 0, "b": 1})
+        assert report.outputs["out"] == 1
+
+    def test_crs_junction_rejected(self):
+        from repro.crossbar import CRSJunction
+
+        array = CrossbarArray(2, 6, lambda r, c: CRSJunction())
+        rf = RowRegisterFile(array, row=0)
+        with pytest.raises(LogicError):
+            rf.run(build_gate("NOT"), {"a": 1})

@@ -1,0 +1,93 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ArchitectureError,
+    CrossbarError,
+    DeviceError,
+    LogicError,
+    ReproError,
+    SynthesisError,
+    WorkloadError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error", [
+        DeviceError, CrossbarError, LogicError,
+        ArchitectureError, WorkloadError, SynthesisError,
+    ])
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+    def test_synthesis_error_is_logic_error(self):
+        assert issubclass(SynthesisError, LogicError)
+
+    def test_library_failures_are_catchable_as_repro_error(self):
+        from repro.devices import IdealBipolarMemristor
+
+        with pytest.raises(ReproError):
+            IdealBipolarMemristor(r_on=10, r_off=1)
+
+    def test_repro_error_does_not_mask_type_errors(self):
+        assert not issubclass(TypeError, ReproError)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    @pytest.mark.parametrize("package", [
+        "devices", "crossbar", "logic", "cmosarch", "core",
+        "apps", "sim", "analysis", "analog", "compiler",
+        "reliability", "interconnect", "units",
+    ])
+    def test_subpackages_reachable(self, package):
+        assert hasattr(repro, package)
+
+    @pytest.mark.parametrize("package", [
+        repro.devices, repro.crossbar, repro.logic, repro.core,
+        repro.analog, repro.compiler, repro.reliability,
+        repro.interconnect, repro.analysis, repro.sim,
+    ])
+    def test_all_exports_resolve(self, package):
+        """Every name in __all__ must actually exist — catches stale
+        export lists."""
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package.__name__}.{name}"
+
+    def test_paper_table2_covers_all_cells(self):
+        from repro.core import PAPER_TABLE2
+
+        assert set(PAPER_TABLE2) == {
+            ("dna", "conventional"), ("dna", "cim"),
+            ("math", "conventional"), ("math", "cim"),
+        }
+        for cell in PAPER_TABLE2.values():
+            assert set(cell) == {
+                "energy_delay_per_op",
+                "computing_efficiency",
+                "performance_per_area",
+            }
+
+    def test_metric_labels_match_metric_keys(self):
+        from repro.analysis import METRIC_LABELS
+        from repro.core import PAPER_TABLE2
+
+        keys = {key for _, key in METRIC_LABELS}
+        assert keys == set(PAPER_TABLE2[("dna", "cim")])
+
+    def test_every_public_module_has_docstring(self):
+        import importlib
+        import pathlib
+
+        root = pathlib.Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            relative = path.relative_to(root.parent)
+            module_name = ".".join(relative.with_suffix("").parts)
+            module = importlib.import_module(module_name)
+            assert module.__doc__, f"{module_name} lacks a docstring"

@@ -1,0 +1,113 @@
+"""Tests for the CMOL-style programmable interconnect."""
+
+import pytest
+
+from repro.errors import CrossbarError
+from repro.interconnect import Net, ProgrammableFabric
+
+
+class TestFabricStructure:
+    def test_switch_count_grid(self):
+        # 4x4 grid: 3*4 vertical + 4*3 horizontal = 24 segments.
+        assert ProgrammableFabric(4, 4).switch_count == 24
+
+    def test_diagonals_add_switches(self):
+        plain = ProgrammableFabric(4, 4).switch_count
+        diag = ProgrammableFabric(4, 4, diagonals=True).switch_count
+        assert diag == plain + 9
+
+    def test_minimum_size(self):
+        with pytest.raises(CrossbarError):
+            ProgrammableFabric(1, 4)
+
+    def test_net_validation(self):
+        with pytest.raises(CrossbarError):
+            Net((0, 0), (0, 0))
+
+
+class TestRouting:
+    def test_single_net_shortest_path(self):
+        fabric = ProgrammableFabric(5, 5)
+        route = fabric.route_net(Net((0, 0), (4, 4)))
+        assert route is not None
+        assert route.segments == fabric.manhattan((0, 0), (4, 4))
+
+    def test_path_is_connected(self):
+        fabric = ProgrammableFabric(5, 5)
+        route = fabric.route_net(Net((0, 3), (4, 1)))
+        for a, b in zip(route.path, route.path[1:]):
+            assert fabric.manhattan(a, b) == 1
+
+    def test_routes_are_switch_disjoint(self):
+        fabric = ProgrammableFabric(6, 6)
+        nets = [Net((0, i), (5, i)) for i in range(6)]
+        result = fabric.route_all(nets)
+        assert result.success_ratio == 1.0
+        edges = []
+        for route in result.routes:
+            for a, b in zip(route.path, route.path[1:]):
+                edges.append(fabric._edge_key(a, b))
+        assert len(edges) == len(set(edges))
+
+    def test_congestion_causes_failures(self):
+        """Many long nets through a small fabric cannot all be
+        switch-disjoint."""
+        fabric = ProgrammableFabric(3, 3)
+        nets = [Net((0, 0), (2, 2)), Net((0, 2), (2, 0)),
+                Net((0, 1), (2, 1)), Net((1, 0), (1, 2)),
+                Net((0, 0), (2, 1)), Net((0, 2), (2, 1))]
+        result = fabric.route_all(nets)
+        assert result.failed
+        assert result.success_ratio < 1.0
+
+    def test_short_first_order_helps(self):
+        def build_nets():
+            return [Net((0, 0), (5, 5)), Net((2, 2), (2, 3)),
+                    Net((3, 3), (3, 4)), Net((0, 5), (5, 0))]
+
+        a = ProgrammableFabric(6, 6)
+        b = ProgrammableFabric(6, 6)
+        given = a.route_all(build_nets(), order="given")
+        short = b.route_all(build_nets(), order="short-first")
+        assert short.success_ratio >= given.success_ratio
+
+    def test_reset_releases_switches(self):
+        fabric = ProgrammableFabric(4, 4)
+        fabric.route_net(Net((0, 0), (3, 3)))
+        assert fabric.switches_on > 0
+        fabric.reset()
+        assert fabric.switches_on == 0
+        assert fabric.route_net(Net((0, 0), (3, 3))) is not None
+
+    def test_cell_bounds_checked(self):
+        fabric = ProgrammableFabric(3, 3)
+        with pytest.raises(CrossbarError):
+            fabric.route_net(Net((0, 0), (9, 9)))
+
+    def test_order_validated(self):
+        fabric = ProgrammableFabric(3, 3)
+        with pytest.raises(CrossbarError):
+            fabric.route_all([], order="random")
+
+
+class TestCosts:
+    def test_configuration_cost(self):
+        fabric = ProgrammableFabric(5, 5)
+        fabric.route_net(Net((0, 0), (0, 4)))
+        cost = fabric.configuration_cost()
+        assert cost["switch_writes"] == 4
+        assert cost["energy"] == pytest.approx(
+            4 * fabric.technology.write_energy
+        )
+        assert cost["area"] > 0
+
+    def test_utilisation(self):
+        fabric = ProgrammableFabric(4, 4)
+        assert fabric.utilisation() == 0.0
+        fabric.route_net(Net((0, 0), (0, 1)))
+        assert fabric.utilisation() == pytest.approx(1 / 24)
+
+    def test_wirelength(self):
+        fabric = ProgrammableFabric(5, 5)
+        result = fabric.route_all([Net((0, 0), (0, 2)), Net((1, 0), (3, 0))])
+        assert result.wirelength() == 4

@@ -1,0 +1,121 @@
+"""Tests for the IMPLY adders and the CRS TC-adder cost model."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import (
+    ImplyMachine,
+    TCAdderCost,
+    add_integers_functional,
+    full_adder_program,
+    ripple_adder_program,
+)
+from repro.units import FJ, PS
+
+
+class TestFullAdder:
+    @pytest.mark.parametrize(
+        "a,b,cin", list(itertools.product((0, 1), repeat=3))
+    )
+    def test_exhaustive_truth_table(self, a, b, cin):
+        prog = full_adder_program()
+        out = prog.run_functional({"a": a, "b": b, "cin": cin})
+        total = a + b + cin
+        assert out["sum"] == total & 1
+        assert out["cout"] == total >> 1
+
+    @pytest.mark.parametrize(
+        "a,b,cin", list(itertools.product((0, 1), repeat=3))
+    )
+    def test_electrical_agreement(self, a, b, cin):
+        machine = ImplyMachine()
+        machine.run_and_check(full_adder_program(), {"a": a, "b": b, "cin": cin})
+
+    def test_validates(self):
+        full_adder_program().validate()
+
+
+class TestRippleAdder:
+    @pytest.mark.parametrize("width,x,y", [
+        (1, 0, 0), (1, 1, 1),
+        (4, 7, 9), (4, 15, 15), (4, 0, 13),
+        (8, 200, 55), (8, 255, 255), (8, 128, 128),
+        (12, 4095, 1),
+    ])
+    def test_functional_addition(self, width, x, y):
+        result = add_integers_functional(width, x, y)
+        assert result["sum"] + (result["cout"] << width) == x + y
+
+    def test_exhaustive_4bit(self):
+        prog = ripple_adder_program(4)
+        for x in range(16):
+            for y in range(16):
+                inputs = {f"a{i}": (x >> i) & 1 for i in range(4)}
+                inputs.update({f"b{i}": (y >> i) & 1 for i in range(4)})
+                out = prog.run_functional(inputs)
+                total = sum(out[f"s{i}"] << i for i in range(4))
+                total += out["cout"] << 4
+                assert total == x + y, (x, y)
+
+    def test_electrical_2bit_exhaustive(self):
+        prog = ripple_adder_program(2)
+        for x in range(4):
+            for y in range(4):
+                machine = ImplyMachine()
+                inputs = {f"a{i}": (x >> i) & 1 for i in range(2)}
+                inputs.update({f"b{i}": (y >> i) & 1 for i in range(2)})
+                machine.run_and_check(prog, inputs)
+
+    def test_steps_scale_linearly(self):
+        s4 = ripple_adder_program(4).step_count
+        s8 = ripple_adder_program(8).step_count
+        s12 = ripple_adder_program(12).step_count
+        assert s8 - s4 == s12 - s8  # constant per-bit cost
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(LogicError):
+            ripple_adder_program(0)
+
+    def test_functional_rejects_oversized_operands(self):
+        with pytest.raises(LogicError):
+            add_integers_functional(4, 16, 0)
+
+
+class TestTCAdderCost:
+    """Every assertion quotes a Table 1 CIM-mathematics line."""
+
+    def test_memristors_n_plus_2(self):
+        assert TCAdderCost(width=32).memristors == 34
+
+    def test_steps_4n_plus_5(self):
+        assert TCAdderCost(width=32).steps == 133
+
+    def test_latency_is_steps_times_write_time(self):
+        # 133 x 200 ps = 26.6 ns (the paper prints 16600 ps beside the
+        # same formula — an arithmetic slip; we reproduce the formula).
+        assert TCAdderCost(width=32).latency == pytest.approx(133 * 200 * PS)
+
+    def test_dynamic_energy_formula(self):
+        # 8 ops/bit x 32 bits x 1 fJ = 256 fJ (paper prints 246 fJ
+        # beside this exact formula).
+        assert TCAdderCost(width=32).dynamic_energy == pytest.approx(256 * FJ)
+
+    def test_static_energy_zero(self):
+        assert TCAdderCost().static_energy == 0.0
+
+    def test_area_34_cells(self):
+        cost = TCAdderCost(width=32)
+        assert cost.area == pytest.approx(34 * cost.technology.cell_area)
+        # = 3.4e-3 um^2 in Table 1.
+        assert cost.area == pytest.approx(3.4e-3 * 1e-12)
+
+    def test_other_widths(self):
+        cost = TCAdderCost(width=8)
+        assert cost.memristors == 10
+        assert cost.steps == 37
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(LogicError):
+            TCAdderCost(width=0)

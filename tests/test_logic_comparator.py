@@ -1,0 +1,109 @@
+"""Tests for the IMPLY comparators (the Table 1 DNA compute unit)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import (
+    ComparatorCost,
+    ImplyMachine,
+    nucleotide_comparator_program,
+    word_comparator_program,
+)
+from repro.units import FJ, NS
+
+
+class TestNucleotideComparator:
+    def test_exhaustive_match_semantics(self):
+        prog = nucleotide_comparator_program()
+        for bits in itertools.product((0, 1), repeat=4):
+            inputs = dict(zip(prog.inputs, bits))
+            want = 1 if (inputs["a1"], inputs["a0"]) == (inputs["b1"], inputs["b0"]) else 0
+            assert prog.run_functional(inputs)["match"] == want
+
+    def test_electrical_agreement(self):
+        prog = nucleotide_comparator_program()
+        for bits in itertools.product((0, 1), repeat=4):
+            machine = ImplyMachine()
+            machine.run_and_check(prog, dict(zip(prog.inputs, bits)))
+
+    def test_validates(self):
+        nucleotide_comparator_program().validate()
+
+    def test_device_count_close_to_paper(self):
+        """Paper: 13 memristors.  Ours: 4 inputs + 2x3 XOR scratch + 1
+        combine register = 11; within the same design point."""
+        prog = nucleotide_comparator_program()
+        assert prog.device_count <= 13
+
+
+class TestComparatorCost:
+    """Each assertion quotes one Table 1 CIM-healthcare line."""
+
+    def test_13_memristors(self):
+        assert ComparatorCost().memristors == 13
+
+    def test_16_steps(self):
+        assert ComparatorCost().steps == 16
+
+    def test_latency_3_2_ns(self):
+        assert ComparatorCost().latency == pytest.approx(3.2 * NS)
+
+    def test_dynamic_energy_45_fj(self):
+        assert ComparatorCost().dynamic_energy == pytest.approx(45 * FJ)
+
+    def test_static_energy_zero(self):
+        assert ComparatorCost().static_energy == 0.0
+
+    def test_area(self):
+        assert ComparatorCost().area == pytest.approx(1.3e-3 * 1e-12)
+
+    def test_energy_per_comparison(self):
+        cost = ComparatorCost()
+        assert cost.energy_per_comparison() == pytest.approx(45 * FJ)
+
+
+class TestWordComparator:
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_equal_words_match(self, width):
+        prog = word_comparator_program(width)
+        value = (1 << width) - 2 if width > 1 else 1
+        inputs = {f"a{i}": (value >> i) & 1 for i in range(width)}
+        inputs.update({f"b{i}": (value >> i) & 1 for i in range(width)})
+        assert prog.run_functional(inputs)["match"] == 1
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_single_bit_difference_detected(self, width):
+        prog = word_comparator_program(width)
+        for flip in range(width):
+            inputs = {f"a{i}": 0 for i in range(width)}
+            inputs.update({f"b{i}": 1 if i == flip else 0 for i in range(width)})
+            assert prog.run_functional(inputs)["match"] == 0, flip
+
+    def test_exhaustive_3bit(self):
+        prog = word_comparator_program(3)
+        for x in range(8):
+            for y in range(8):
+                inputs = {f"a{i}": (x >> i) & 1 for i in range(3)}
+                inputs.update({f"b{i}": (y >> i) & 1 for i in range(3)})
+                assert prog.run_functional(inputs)["match"] == int(x == y)
+
+    def test_electrical_agreement_2bit(self):
+        prog = word_comparator_program(2)
+        for x in range(4):
+            for y in range(4):
+                machine = ImplyMachine()
+                inputs = {f"a{i}": (x >> i) & 1 for i in range(2)}
+                inputs.update({f"b{i}": (y >> i) & 1 for i in range(2)})
+                machine.run_and_check(prog, inputs)
+
+    def test_steps_scale_linearly(self):
+        s2 = word_comparator_program(2).compute_step_count
+        s4 = word_comparator_program(4).compute_step_count
+        s8 = word_comparator_program(8).compute_step_count
+        assert s4 - s2 == (s8 - s4) / 2
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(LogicError):
+            word_comparator_program(0)

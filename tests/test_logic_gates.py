@@ -1,0 +1,97 @@
+"""Tests for the IMPLY gate library: truth tables, step counts, and
+electrical/functional agreement."""
+
+import itertools
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import GATES, ImplyMachine, build_gate
+
+EXPECTED = {
+    "NOT": lambda a: 1 - a,
+    "OR": lambda a, b: a | b,
+    "NAND": lambda a, b: 1 - (a & b),
+    "AND": lambda a, b: a & b,
+    "NOR": lambda a, b: 1 - (a | b),
+    "XOR": lambda a, b: a ^ b,
+    "XNOR": lambda a, b: 1 - (a ^ b),
+}
+
+#: Contracted compute-step and device counts (module docstring table).
+COSTS = {
+    "NOT": (2, 2),
+    "OR": (3, 3),
+    "NAND": (3, 3),
+    "AND": (5, 4),
+    "NOR": (5, 3),
+    "XOR": (11, 5),
+    "XNOR": (9, 5),
+}
+
+
+def input_patterns(prog):
+    return list(itertools.product((0, 1), repeat=len(prog.inputs)))
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_functional_semantics(self, name):
+        prog = build_gate(name)
+        fn = EXPECTED[name]
+        for bits in input_patterns(prog):
+            out = prog.run_functional(dict(zip(prog.inputs, bits)))["out"]
+            assert out == fn(*bits), f"{name}{bits}"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_electrical_matches_functional(self, name):
+        prog = build_gate(name)
+        for bits in input_patterns(prog):
+            machine = ImplyMachine()
+            machine.run_and_check(prog, dict(zip(prog.inputs, bits)))
+
+
+class TestCosts:
+    @pytest.mark.parametrize("name", sorted(COSTS))
+    def test_step_and_device_counts(self, name):
+        prog = build_gate(name)
+        steps, devices = COSTS[name]
+        assert prog.compute_step_count == steps, name
+        assert prog.device_count == devices, name
+
+    def test_nand_is_three_steps(self):
+        """Table 1: 'an NAND takes 3 steps'."""
+        assert build_gate("NAND").compute_step_count == 3
+
+    def test_xor_with_loads_matches_paper_13(self):
+        """Table 1: 'an XOR takes 13 steps' — 11 compute + 2 loads."""
+        prog = build_gate("XOR")
+        assert prog.step_count == 13
+
+    def test_xor_uses_five_memristors(self):
+        """Table 1: 'XOR: 5' memristors."""
+        assert build_gate("XOR").device_count == 5
+
+    def test_nand_uses_three_memristors(self):
+        """Table 1: 'NAND: 3' memristors."""
+        assert build_gate("NAND").device_count == 3
+
+
+class TestRegistry:
+    def test_case_insensitive(self):
+        assert build_gate("xor").name == "XOR"
+
+    def test_unknown_gate(self):
+        with pytest.raises(LogicError):
+            build_gate("XAND")
+
+    def test_all_registered_gates_validate(self):
+        for name in GATES:
+            build_gate(name).validate()
+
+    def test_builders_return_fresh_programs(self):
+        a = build_gate("AND")
+        b = build_gate("AND")
+        assert a is not b
+        a.false("extra")
+        assert b.step_count != a.step_count

@@ -1,0 +1,143 @@
+"""Tests for the two IMP implementations of Fig 5."""
+
+import itertools
+
+import pytest
+
+from repro.devices import IdealBipolarMemristor
+from repro.errors import LogicError
+from repro.logic import CRSImplyCell, ImplyGate, ImplyVoltages, imp_truth
+
+
+class TestTruthFunction:
+    def test_truth_table(self):
+        # p IMP q = NOT p OR q
+        assert imp_truth(0, 0) == 1
+        assert imp_truth(0, 1) == 1
+        assert imp_truth(1, 0) == 0
+        assert imp_truth(1, 1) == 1
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(LogicError):
+            imp_truth(2, 0)
+
+
+class TestImplyVoltages:
+    def test_defaults_valid(self):
+        v = ImplyVoltages()
+        assert 0 < v.v_cond < v.v_set
+
+    def test_v_cond_must_be_below_v_set(self):
+        with pytest.raises(LogicError):
+            ImplyVoltages(v_cond=1.2, v_set=1.0)
+
+    def test_v_reset_must_be_negative(self):
+        with pytest.raises(LogicError):
+            ImplyVoltages(v_reset=0.5)
+
+    def test_load_resistance_positive(self):
+        with pytest.raises(LogicError):
+            ImplyVoltages(r_g=0.0)
+
+
+class TestFig5aGate:
+    """The electrical two-memristor + R_G circuit."""
+
+    @pytest.mark.parametrize("p_bit,q_bit", list(itertools.product((0, 1), repeat=2)))
+    def test_truth_table_emerges_electrically(self, p_bit, q_bit):
+        gate = ImplyGate()
+        p = IdealBipolarMemristor(x=float(p_bit))
+        q = IdealBipolarMemristor(x=float(q_bit))
+        result = gate.apply(p, q)
+        assert result == imp_truth(p_bit, q_bit)
+
+    @pytest.mark.parametrize("p_bit,q_bit", list(itertools.product((0, 1), repeat=2)))
+    def test_p_operand_never_disturbed(self, p_bit, q_bit):
+        gate = ImplyGate()
+        p = IdealBipolarMemristor(x=float(p_bit))
+        q = IdealBipolarMemristor(x=float(q_bit))
+        gate.apply(p, q)
+        assert p.as_bit() == p_bit
+
+    def test_node_voltage_follows_p_state(self):
+        gate = ImplyGate()
+        p_lrs = IdealBipolarMemristor(x=1.0)
+        p_hrs = IdealBipolarMemristor(x=0.0)
+        q = IdealBipolarMemristor(x=0.0)
+        assert gate.common_node_voltage(p_lrs, q) > gate.common_node_voltage(p_hrs, q)
+
+    def test_rejects_same_device(self):
+        gate = ImplyGate()
+        device = IdealBipolarMemristor()
+        with pytest.raises(LogicError):
+            gate.apply(device, device)
+
+    def test_false_resets(self):
+        gate = ImplyGate()
+        device = IdealBipolarMemristor(x=1.0)
+        gate.false(device)
+        assert device.as_bit() == 0
+
+    def test_false_idempotent(self):
+        gate = ImplyGate()
+        device = IdealBipolarMemristor(x=0.0)
+        gate.false(device)
+        assert device.as_bit() == 0
+
+    def test_bad_vcond_detected(self):
+        """A V_COND above the device threshold corrupts P; the gate must
+        refuse rather than silently compute garbage."""
+        voltages = ImplyVoltages(v_cond=1.05, v_set=1.2)
+        gate = ImplyGate(voltages)
+        p = IdealBipolarMemristor(x=0.0)
+        q = IdealBipolarMemristor(x=0.0)
+        with pytest.raises(LogicError):
+            gate.apply(p, q)
+
+
+class TestFig5bCRSCell:
+    """The in-cell CRS IMP (2 steps per operation)."""
+
+    @pytest.mark.parametrize("p,q", list(itertools.product((0, 1), repeat=2)))
+    def test_truth_table(self, p, q):
+        cell = CRSImplyCell()
+        assert cell.imply(p, q) == imp_truth(p, q)
+
+    def test_reusable_across_operations(self):
+        cell = CRSImplyCell()
+        for p, q in itertools.product((0, 1), repeat=2):
+            assert cell.imply(p, q) == imp_truth(p, q)
+        # And again in reverse order.
+        for p, q in reversed(list(itertools.product((0, 1), repeat=2))):
+            assert cell.imply(p, q) == imp_truth(p, q)
+
+    def test_initialise_writes_one(self):
+        cell = CRSImplyCell()
+        cell.cell.write(0)
+        cell.initialise()
+        assert cell.cell.stored_bit() == 1
+
+    def test_two_steps_per_imp(self):
+        assert CRSImplyCell().steps_per_imp == 2
+
+    def test_fig5a_needs_three_steps(self):
+        """The paper's Fig 5(a) protocol: set p, set q, conditional set
+        — one more step than the CRS variant ('superior performance')."""
+        assert CRSImplyCell().steps_per_imp < 3
+
+    def test_v_write_must_exceed_vth2(self):
+        with pytest.raises(LogicError):
+            CRSImplyCell(v_write=0.5)
+
+    def test_rejects_non_bit_operand(self):
+        with pytest.raises(LogicError):
+            CRSImplyCell().imply(2, 0)
+
+    def test_electrical_read_of_result(self):
+        """The full Fig 5(b) protocol ends with 'Read Z': verify the
+        destructive read returns the IMP result."""
+        cell = CRSImplyCell()
+        cell.imply(1, 0)
+        assert cell.cell.read() == 0
+        cell.imply(0, 0)
+        assert cell.cell.read() == 1

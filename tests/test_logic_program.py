@@ -1,0 +1,127 @@
+"""Tests for the IMPLY program representation."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import ImplyProgram, Instruction, OpKind
+
+
+class TestInstruction:
+    def test_false_takes_one_operand(self):
+        ins = Instruction(OpKind.FALSE, ("a",))
+        assert ins.operands == ("a",)
+
+    def test_imp_takes_two_distinct(self):
+        Instruction(OpKind.IMP, ("a", "b"))
+        with pytest.raises(LogicError):
+            Instruction(OpKind.IMP, ("a", "a"))
+
+    def test_operand_arity_enforced(self):
+        with pytest.raises(LogicError):
+            Instruction(OpKind.FALSE, ("a", "b"))
+        with pytest.raises(LogicError):
+            Instruction(OpKind.IMP, ("a",))
+
+    def test_load_requires_source(self):
+        with pytest.raises(LogicError):
+            Instruction(OpKind.LOAD, ("a",))
+        Instruction(OpKind.LOAD, ("a",), source="x")
+
+
+class TestBuilders:
+    def test_chaining(self):
+        prog = ImplyProgram("T", inputs=["x"], outputs={"out": "s"})
+        returned = prog.load("a", "x").false("s").imp("a", "s")
+        assert returned is prog
+        assert prog.step_count == 3
+
+    def test_extend_with_rename(self):
+        inner = ImplyProgram("G")
+        inner.false("s").imp("a", "s")
+        outer = ImplyProgram("O")
+        outer.false("a")
+        outer.extend(inner, rename={"s": "t", "a": "a"})
+        ops = [(i.kind, i.operands) for i in outer.instructions]
+        assert ops == [
+            (OpKind.FALSE, ("a",)),
+            (OpKind.FALSE, ("t",)),
+            (OpKind.IMP, ("a", "t")),
+        ]
+
+
+class TestStaticAnalysis:
+    def test_step_counts(self):
+        prog = ImplyProgram("T", inputs=["x", "y"])
+        prog.load("a", "x").load("b", "y").false("s").imp("a", "s")
+        assert prog.step_count == 4
+        assert prog.compute_step_count == 2
+
+    def test_registers_in_first_use_order(self):
+        prog = ImplyProgram("T")
+        prog.false("b").false("a").imp("b", "a")
+        assert prog.registers == ["b", "a"]
+
+    def test_device_count(self):
+        prog = ImplyProgram("T")
+        prog.false("a").false("b").false("c").imp("a", "b")
+        assert prog.device_count == 3
+
+    def test_validate_catches_undeclared_input(self):
+        prog = ImplyProgram("T", inputs=["x"])
+        prog.load("a", "nope")
+        with pytest.raises(LogicError):
+            prog.validate()
+
+    def test_validate_catches_use_before_write(self):
+        prog = ImplyProgram("T")
+        prog.false("a").imp("a", "b")   # b never initialised
+        with pytest.raises(LogicError):
+            prog.validate()
+
+    def test_validate_catches_dangling_output(self):
+        prog = ImplyProgram("T", outputs={"out": "ghost"})
+        prog.false("a")
+        with pytest.raises(LogicError):
+            prog.validate()
+
+    def test_valid_program_passes(self):
+        prog = ImplyProgram("T", inputs=["x"], outputs={"out": "s"})
+        prog.load("a", "x").false("s").imp("a", "s")
+        prog.validate()
+
+
+class TestFunctionalExecution:
+    def test_not_semantics(self):
+        prog = ImplyProgram("NOT", inputs=["x"], outputs={"out": "s"})
+        prog.load("a", "x").false("s").imp("a", "s")
+        assert prog.run_functional({"x": 0})["out"] == 1
+        assert prog.run_functional({"x": 1})["out"] == 0
+
+    def test_missing_input_rejected(self):
+        prog = ImplyProgram("T", inputs=["x"], outputs={"out": "a"})
+        prog.load("a", "x")
+        with pytest.raises(LogicError):
+            prog.run_functional({})
+
+    def test_non_bit_input_rejected(self):
+        prog = ImplyProgram("T", inputs=["x"], outputs={"out": "a"})
+        prog.load("a", "x")
+        with pytest.raises(LogicError):
+            prog.run_functional({"x": 3})
+
+    def test_imp_on_uninitialised_register_rejected(self):
+        prog = ImplyProgram("T", inputs=[], outputs={})
+        prog.instructions.append(Instruction(OpKind.IMP, ("a", "b")))
+        with pytest.raises(LogicError):
+            prog.run_functional({})
+
+    def test_truth_table_enumeration(self):
+        prog = ImplyProgram("OR", inputs=["a", "b"], outputs={"out": "b"})
+        prog.load("a", "a").load("b", "b")
+        prog.false("s").imp("a", "s").imp("s", "b")
+        table = prog.truth_table()
+        assert len(table) == 4
+        got = {tuple(sorted(i.items())): o["out"] for i, o in table}
+        for a in (0, 1):
+            for b in (0, 1):
+                assert got[tuple(sorted({"a": a, "b": b}.items()))] == (a | b)

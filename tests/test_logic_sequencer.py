@@ -1,0 +1,91 @@
+"""Tests for the electrical IMPLY machine (sequencer)."""
+
+import pytest
+
+from repro.devices import MEMRISTOR_5NM, MemristorTechnology
+from repro.errors import LogicError
+from repro.logic import ImplyMachine, ImplyProgram, build_gate
+from repro.units import FJ, PS
+
+
+class TestRegisterFile:
+    def test_preallocated_registers(self):
+        machine = ImplyMachine(registers=["a", "b"])
+        assert machine.read_register("a") == 0
+
+    def test_on_demand_allocation(self):
+        machine = ImplyMachine()
+        device = machine.device("fresh")
+        assert device.as_bit() == 0
+        assert machine.read_register("fresh") == 0
+
+    def test_unknown_register_read_rejected(self):
+        with pytest.raises(LogicError):
+            ImplyMachine().read_register("ghost")
+
+    def test_custom_device_factory(self):
+        from repro.devices import IdealBipolarMemristor
+
+        factory = lambda: IdealBipolarMemristor(r_on=2e3, r_off=2e6)
+        machine = ImplyMachine(device_factory=factory)
+        assert machine.device("a").r_on == 2e3
+
+
+class TestExecution:
+    def test_run_returns_outputs(self, machine):
+        report = machine.run(build_gate("NOT"), {"a": 1})
+        assert report.outputs == {"out": 0}
+        assert report.program == "NOT"
+
+    def test_missing_input_raises(self, machine):
+        with pytest.raises(LogicError):
+            machine.run(build_gate("NOT"), {})
+
+    def test_state_persists_between_runs(self, machine):
+        prog = ImplyProgram("SETUP", inputs=["x"], outputs={"v": "a"})
+        prog.load("a", "x")
+        machine.run(prog, {"x": 1})
+        assert machine.read_register("a") == 1
+
+    def test_run_validates_program(self, machine):
+        bad = ImplyProgram("BAD", outputs={"out": "never"})
+        with pytest.raises(LogicError):
+            machine.run(bad, {})
+
+
+class TestCostAccounting:
+    def test_energy_is_steps_times_write_energy(self, machine):
+        prog = build_gate("NAND")
+        report = machine.run(prog, {"a": 1, "b": 1})
+        assert report.steps == prog.step_count
+        assert report.energy == pytest.approx(prog.step_count * 1 * FJ)
+
+    def test_latency_is_steps_times_write_time(self, machine):
+        prog = build_gate("XOR")
+        report = machine.run(prog, {"a": 0, "b": 1})
+        assert report.latency == pytest.approx(prog.step_count * 200 * PS)
+
+    def test_custom_technology(self):
+        slow = MemristorTechnology(
+            name="slow", feature_size=10e-9, write_time=10e-9,
+            write_energy=10e-15, cell_area=1e-15,
+        )
+        machine = ImplyMachine(technology=slow)
+        report = machine.run(build_gate("NOT"), {"a": 0})
+        assert report.latency == pytest.approx(3 * 10e-9)
+        assert report.energy == pytest.approx(3 * 10e-15)
+
+
+class TestSelfCheck:
+    def test_run_and_check_passes_for_gates(self, machine):
+        machine.run_and_check(build_gate("AND"), {"a": 1, "b": 1})
+
+    def test_run_and_check_catches_divergence(self):
+        """A machine whose electrical IMP misbehaves (V_SET too low to
+        ever switch Q) must be caught by the self-check."""
+        from repro.logic import ImplyVoltages
+
+        # v_set below the device threshold: IMP can never set Q.
+        broken = ImplyMachine(voltages=ImplyVoltages(v_cond=0.3, v_set=0.9))
+        with pytest.raises(LogicError):
+            broken.run_and_check(build_gate("NOT"), {"a": 0})

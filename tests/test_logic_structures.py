@@ -1,0 +1,140 @@
+"""Tests for the crossbar LUT and memristive CAM."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.logic import WILDCARD, CrossbarLUT, MemristiveCAM
+
+
+class TestCrossbarLUT:
+    def test_from_function_xor(self):
+        lut = CrossbarLUT.from_function(lambda a, b: a ^ b, input_bits=2)
+        for a in (0, 1):
+            for b in (0, 1):
+                assert lut.lookup(a, b) == a ^ b
+
+    def test_multi_bit_output(self):
+        # A 2-bit adder as a LUT: inputs a, b -> 2-bit sum.
+        lut = CrossbarLUT.from_function(lambda a, b: a + b, 2, output_bits=2)
+        assert lut.lookup(1, 1) == 2
+
+    def test_lookup_word(self):
+        lut = CrossbarLUT.from_function(lambda a, b, c: a & b & c, 3)
+        assert lut.lookup_word(0b111) == 1
+        assert lut.lookup_word(0b011) == 0
+
+    def test_three_input_majority(self):
+        maj = lambda a, b, c: 1 if a + b + c >= 2 else 0
+        lut = CrossbarLUT.from_function(maj, 3)
+        for pattern in range(8):
+            bits = [(pattern >> i) & 1 for i in range(3)]
+            assert lut.lookup(*bits) == maj(*bits)
+
+    def test_crs_backed_lut(self):
+        lut = CrossbarLUT.from_function(lambda a, b: a | b, 2, cell_kind="CRS")
+        assert lut.lookup(0, 0) == 0
+        assert lut.lookup(1, 0) == 1
+        # Repeated lookups survive destructive reads (write-back).
+        assert lut.lookup(0, 0) == 0
+
+    def test_access_stats_accumulate(self):
+        lut = CrossbarLUT.from_function(lambda a: a, 1)
+        before = lut.stats.reads
+        lut.lookup(1)
+        assert lut.stats.reads == before + 1
+
+    def test_area_positive(self):
+        assert CrossbarLUT(2, 1).area() > 0
+
+    def test_wrong_address_arity(self):
+        lut = CrossbarLUT.from_function(lambda a, b: a, 2)
+        with pytest.raises(LogicError):
+            lut.lookup(1)
+
+    def test_non_bit_address(self):
+        lut = CrossbarLUT.from_function(lambda a: a, 1)
+        with pytest.raises(LogicError):
+            lut.lookup(2)
+
+    def test_function_value_overflow_rejected(self):
+        with pytest.raises(LogicError):
+            CrossbarLUT.from_function(lambda a, b: a + b, 2, output_bits=1)
+
+    def test_geometry_validation(self):
+        with pytest.raises(LogicError):
+            CrossbarLUT(0, 1)
+        with pytest.raises(LogicError):
+            CrossbarLUT(21, 1)
+        with pytest.raises(LogicError):
+            CrossbarLUT(2, 0)
+
+
+class TestMemristiveCAM:
+    def make_cam(self):
+        cam = MemristiveCAM(rows=4, width=4)
+        cam.store(0, [1, 0, 1, 0])
+        cam.store(1, [1, 1, 1, 1])
+        cam.store(2, [1, 0, 1, 0])
+        return cam
+
+    def test_exact_match(self):
+        cam = self.make_cam()
+        assert cam.search([1, 0, 1, 0]) == [0, 2]
+
+    def test_no_match(self):
+        cam = self.make_cam()
+        assert cam.search([0, 0, 0, 0]) == []
+
+    def test_search_first(self):
+        cam = self.make_cam()
+        assert cam.search_first([1, 0, 1, 0]) == 0
+        assert cam.search_first([0, 1, 0, 1]) is None
+
+    def test_wildcard_matching(self):
+        cam = MemristiveCAM(2, 3)
+        cam.store(0, [1, WILDCARD, 0])
+        assert cam.search([1, 0, 0]) == [0]
+        assert cam.search([1, 1, 0]) == [0]
+        assert cam.search([0, 1, 0]) == []
+
+    def test_unprogrammed_rows_never_match(self):
+        cam = MemristiveCAM(4, 2)
+        cam.store(3, [0, 0])
+        assert cam.search([0, 0]) == [3]
+        assert cam.stored_rows() == 1
+
+    def test_search_cost_scales_with_stored_cells(self):
+        cam = self.make_cam()
+        cam.search([1, 1, 1, 1])
+        assert cam.stats.searches == 1
+        assert cam.stats.cell_evaluations == 3 * 4
+        assert cam.stats.energy > 0
+
+    def test_search_latency_single_access(self):
+        """Associative search is one array access regardless of rows."""
+        cam = self.make_cam()
+        cam.search([1, 1, 1, 1])
+        t1 = cam.stats.time
+        cam.search([0, 0, 0, 0])
+        assert cam.stats.time == pytest.approx(2 * t1)
+
+    def test_area_two_devices_per_cell(self):
+        cam = MemristiveCAM(4, 4)
+        assert cam.area() == pytest.approx(
+            4 * 4 * 2 * cam.technology.cell_area
+        )
+
+    def test_validation(self):
+        cam = MemristiveCAM(2, 2)
+        with pytest.raises(LogicError):
+            cam.store(5, [0, 0])
+        with pytest.raises(LogicError):
+            cam.store(0, [0])
+        with pytest.raises(LogicError):
+            cam.store(0, [0, 7])
+        with pytest.raises(LogicError):
+            cam.search([0])
+        with pytest.raises(LogicError):
+            cam.search([WILDCARD, 0])
+        with pytest.raises(LogicError):
+            MemristiveCAM(0, 2)

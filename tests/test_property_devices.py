@@ -1,0 +1,141 @@
+"""Property-based tests for device models (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.devices import (
+    ComplementaryResistiveSwitch,
+    ECMMemristor,
+    IdealBipolarMemristor,
+    LinearIonDriftMemristor,
+    SwitchingThresholds,
+    VCMMemristor,
+    VTEAMMemristor,
+)
+
+states = st.floats(min_value=0.0, max_value=1.0)
+voltages = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False)
+durations = st.floats(min_value=0.0, max_value=1e-6, allow_nan=False)
+
+
+class TestStateInvariants:
+    @given(x=states, v=voltages, t=durations)
+    def test_ideal_state_stays_in_unit_interval(self, x, v, t):
+        device = IdealBipolarMemristor(x=x)
+        device.apply_voltage(v, t)
+        assert 0.0 <= device.x <= 1.0
+
+    @given(x=states, v=voltages, t=durations)
+    def test_vteam_state_stays_in_unit_interval(self, x, v, t):
+        device = VTEAMMemristor(x=x)
+        device.apply_voltage(v, t, steps=5)
+        assert 0.0 <= device.x <= 1.0
+
+    @given(x=states, v=voltages, t=durations)
+    def test_ecm_state_stays_in_unit_interval(self, x, v, t):
+        device = ECMMemristor(x=x)
+        device.apply_voltage(v, t, steps=5)
+        assert 0.0 <= device.x <= 1.0
+
+    @given(x=states, v=voltages, t=durations)
+    def test_vcm_state_stays_in_unit_interval(self, x, v, t):
+        device = VCMMemristor(x=x)
+        device.apply_voltage(v, t, steps=5)
+        assert 0.0 <= device.x <= 1.0
+
+
+class TestResistanceInvariants:
+    @given(x=states)
+    def test_resistance_between_bounds(self, x):
+        device = IdealBipolarMemristor(x=x)
+        assert device.r_on <= device.resistance() <= device.r_off
+
+    @given(x=states)
+    def test_linear_model_resistance_between_bounds(self, x):
+        device = LinearIonDriftMemristor(x=x)
+        assert device.r_on <= device.resistance() <= device.r_off
+
+    @given(x=states, v=st.floats(min_value=-1.0, max_value=1.0, allow_nan=False))
+    def test_current_sign_follows_voltage(self, x, v):
+        device = IdealBipolarMemristor(x=x)
+        current = device.current(v)
+        assert math.copysign(1.0, current) == math.copysign(1.0, v) or current == 0
+
+
+class TestRetentionProperty:
+    @given(
+        x=states,
+        v=st.floats(min_value=-0.99, max_value=0.99, allow_nan=False),
+        t=st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    )
+    def test_ideal_device_retains_below_threshold(self, x, v, t):
+        """Nonvolatility: sub-threshold bias never moves the state,
+        no matter how long it is applied."""
+        device = IdealBipolarMemristor(x=x)
+        device.apply_voltage(v, t)
+        assert device.x == x
+
+
+class TestMonotonicityProperty:
+    @given(
+        x=states,
+        v=st.floats(min_value=1.0, max_value=3.0, allow_nan=False),
+        t=durations,
+    )
+    def test_positive_overdrive_never_decreases_state(self, x, v, t):
+        device = IdealBipolarMemristor(x=x)
+        device.apply_voltage(v, t)
+        assert device.x >= x
+
+    @given(
+        x=states,
+        v=st.floats(min_value=-3.0, max_value=-1.0, allow_nan=False),
+        t=durations,
+    )
+    def test_negative_overdrive_never_increases_state(self, x, v, t):
+        device = IdealBipolarMemristor(x=x)
+        device.apply_voltage(v, t)
+        assert device.x <= x
+
+
+class TestCRSProperties:
+    @given(bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_write_read_sequence_always_consistent(self, bits):
+        """Any sequence of writes and destructive reads round-trips."""
+        cell = ComplementaryResistiveSwitch()
+        for bit in bits:
+            cell.write(bit)
+            assert cell.read() == bit
+            assert cell.stored_bit() == bit
+
+    @given(
+        v=st.floats(min_value=-0.6, max_value=0.6, allow_nan=False),
+        t=st.floats(min_value=0.0, max_value=1e-3, allow_nan=False),
+    )
+    def test_low_bias_never_corrupts(self, v, t):
+        """Below Vth1 in magnitude, CRS state is untouchable — the
+        sneak-path immunity property."""
+        for initial in (0, 1):
+            cell = ComplementaryResistiveSwitch()
+            cell.write(initial)
+            cell.apply_voltage(v, t)
+            assert cell.stored_bit() == initial
+
+    @given(
+        v_set=st.floats(min_value=0.3, max_value=1.2),
+        v_reset_mag=st.floats(min_value=0.2, max_value=1.5),
+    )
+    @settings(max_examples=60)
+    def test_threshold_geometry(self, v_set, v_reset_mag):
+        """For any element parameters with a non-empty read window, the
+        composite thresholds keep their Fig 4 ordering."""
+        if v_set >= 2 * v_reset_mag - 1e-9:
+            return  # empty window: constructor rejects (tested elsewhere)
+        make = lambda: IdealBipolarMemristor(
+            thresholds=SwitchingThresholds(v_set=v_set, v_reset=-v_reset_mag)
+        )
+        cell = ComplementaryResistiveSwitch(make(), make())
+        vth1, vth2, vth3, vth4 = cell.thresholds()
+        assert vth1 < vth2 and vth4 < vth3 < 0 < vth1

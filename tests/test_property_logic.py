@@ -1,0 +1,138 @@
+"""Property-based tests for the stateful-logic layer (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.logic import (
+    ImplyMachine,
+    add_integers_functional,
+    build_gate,
+    imp_truth,
+    ripple_adder_program,
+    synthesise,
+    verify_program,
+    word_comparator_program,
+)
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestImpAlgebra:
+    @given(p=bits, q=bits)
+    def test_imp_equals_not_p_or_q(self, p, q):
+        assert imp_truth(p, q) == ((1 - p) | q)
+
+    @given(p=bits)
+    def test_imp_self_is_tautology_shape(self, p):
+        # p IMP p = 1 for all p (on distinct devices holding equal bits).
+        assert imp_truth(p, p) == 1
+
+    @given(p=bits, q=bits)
+    def test_electrical_imp_matches_truth(self, p, q):
+        from repro.devices import IdealBipolarMemristor
+        from repro.logic import ImplyGate
+
+        gate = ImplyGate()
+        device_p = IdealBipolarMemristor(x=float(p))
+        device_q = IdealBipolarMemristor(x=float(q))
+        assert gate.apply(device_p, device_q) == imp_truth(p, q)
+
+
+class TestAdderProperties:
+    @given(
+        width=st.integers(min_value=1, max_value=10),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_addition_is_correct_for_any_operands(self, width, data):
+        x = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        y = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        result = add_integers_functional(width, x, y)
+        assert result["sum"] + (result["cout"] << width) == x + y
+
+    @given(
+        x=st.integers(min_value=0, max_value=255),
+        y=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_addition_commutes(self, x, y):
+        a = add_integers_functional(8, x, y)
+        b = add_integers_functional(8, y, x)
+        assert a["sum"] == b["sum"] and a["cout"] == b["cout"]
+
+
+class TestComparatorProperties:
+    @given(
+        width=st.integers(min_value=1, max_value=6),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_match_iff_equal(self, width, data):
+        x = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        y = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        prog = word_comparator_program(width)
+        inputs = {f"a{i}": (x >> i) & 1 for i in range(width)}
+        inputs.update({f"b{i}": (y >> i) & 1 for i in range(width)})
+        assert prog.run_functional(inputs)["match"] == int(x == y)
+
+
+class TestSynthesisProperties:
+    @given(
+        arity=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_truth_table_synthesises_correctly(self, arity, data):
+        """Synthesis is semantically complete: every Boolean function of
+        up to 4 inputs compiles to a correct IMPLY program."""
+        table = data.draw(
+            st.lists(bits, min_size=1 << arity, max_size=1 << arity)
+        )
+
+        def fn(*args):
+            pattern = sum(bit << i for i, bit in enumerate(args))
+            return table[pattern]
+
+        program = synthesise(fn, arity)
+        verify_program(program, fn)
+
+    @given(
+        arity=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_synthesised_programs_run_electrically(self, arity, data):
+        table = data.draw(
+            st.lists(bits, min_size=1 << arity, max_size=1 << arity)
+        )
+
+        def fn(*args):
+            pattern = sum(bit << i for i, bit in enumerate(args))
+            return table[pattern]
+
+        program = synthesise(fn, arity)
+        for pattern in range(1 << arity):
+            machine = ImplyMachine()
+            inputs = {
+                name: (pattern >> i) & 1
+                for i, name in enumerate(program.inputs)
+            }
+            machine.run_and_check(program, inputs)
+
+
+class TestGateComposition:
+    @given(a=bits, b=bits)
+    def test_demorgan_holds_across_gates(self, a, b):
+        """NAND(a,b) == OR(!a,!b) computed through the gate library."""
+        nand = build_gate("NAND").run_functional({"a": a, "b": b})["out"]
+        not_a = build_gate("NOT").run_functional({"a": a})["out"]
+        not_b = build_gate("NOT").run_functional({"a": b})["out"]
+        or_gate = build_gate("OR").run_functional({"a": not_a, "b": not_b})["out"]
+        assert nand == or_gate
+
+    @given(a=bits, b=bits)
+    def test_xor_equals_or_and_not_and(self, a, b):
+        xor = build_gate("XOR").run_functional({"a": a, "b": b})["out"]
+        or_v = build_gate("OR").run_functional({"a": a, "b": b})["out"]
+        nand_v = build_gate("NAND").run_functional({"a": a, "b": b})["out"]
+        and_v = build_gate("AND").run_functional({"a": or_v, "b": nand_v})["out"]
+        assert xor == and_v

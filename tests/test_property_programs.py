@@ -1,0 +1,81 @@
+"""Property test: random valid IMPLY programs behave identically on the
+functional semantics, the electrical machine, and the in-row crossbar
+execution — the strongest cross-layer equivalence in the suite."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar import CrossbarArray
+from repro.logic import ImplyMachine, ImplyProgram
+from repro.sim import RowRegisterFile
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+@st.composite
+def random_program(draw):
+    """A random valid straight-line program over <= 6 registers.
+
+    Construction mirrors how real programs look: load the inputs, then
+    a mix of FALSE and IMP steps over initialised registers, with the
+    last-written register as the output.
+    """
+    n_inputs = draw(st.integers(min_value=1, max_value=3))
+    program = ImplyProgram(
+        "FUZZ",
+        inputs=[f"x{i}" for i in range(n_inputs)],
+        outputs={},
+    )
+    registers = []
+    for i in range(n_inputs):
+        register = f"r{i}"
+        program.load(register, f"x{i}")
+        registers.append(register)
+
+    steps = draw(st.integers(min_value=1, max_value=12))
+    last_written = registers[0]
+    for step in range(steps):
+        if len(registers) < 6 and draw(st.booleans()):
+            register = f"r{len(registers)}"
+            program.false(register)
+            registers.append(register)
+            last_written = register
+        else:
+            p = registers[draw(st.integers(0, len(registers) - 1))]
+            q = registers[draw(st.integers(0, len(registers) - 1))]
+            if p == q:
+                program.false(q)
+            else:
+                program.imp(p, q)
+            last_written = q
+    program.outputs["out"] = last_written
+    program.validate()
+    return program
+
+
+class TestCrossLayerEquivalence:
+    @given(program=random_program(), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_functional_equals_electrical(self, program, data):
+        inputs = {
+            name: data.draw(bits, label=name) for name in program.inputs
+        }
+        machine = ImplyMachine()
+        machine.run_and_check(program, inputs)   # raises on divergence
+
+    @given(program=random_program(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_functional_equals_in_row_execution(self, program, data):
+        inputs = {
+            name: data.draw(bits, label=name) for name in program.inputs
+        }
+        array = CrossbarArray(3, 8)
+        array.write_pattern([[1, 0, 1, 0, 1, 0, 1, 0],
+                             [0] * 8,
+                             [0, 1, 1, 0, 0, 1, 1, 0]])
+        row_file = RowRegisterFile(array, row=1)
+        report = row_file.run(program, inputs)
+        expected = program.run_functional(inputs)
+        assert report.outputs == expected
+        # Storage isolation held (run() itself asserts it; double-check
+        # one data row here for explicitness).
+        assert array.read_pattern()[0] == [1, 0, 1, 0, 1, 0, 1, 0]

@@ -1,0 +1,91 @@
+"""Property-based tests for the crossbar solver: physics invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.crossbar.solver import solve_ideal_wires
+
+conductances = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+    ),
+    elements=st.floats(min_value=1e-7, max_value=1e-2),
+)
+drive_voltage = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+class TestKirchhoffInvariants:
+    @given(g=conductances, v=drive_voltage)
+    @settings(max_examples=80, deadline=None)
+    def test_current_conservation(self, g, v):
+        """Total current injected by rows equals total absorbed by
+        columns (charge conservation)."""
+        rows, cols = g.shape
+        sol = solve_ideal_wires(g, {0: v}, {cols - 1: 0.0})
+        assert np.isclose(sol.row_currents.sum(), sol.col_currents.sum())
+
+    @given(g=conductances, v=drive_voltage)
+    @settings(max_examples=80, deadline=None)
+    def test_floating_node_voltages_bounded_by_rails(self, g, v):
+        """No passive network node can float outside the driven range."""
+        rows, cols = g.shape
+        sol = solve_ideal_wires(g, {0: v}, {cols - 1: 0.0})
+        lo, hi = min(0.0, v), max(0.0, v)
+        eps = 1e-9
+        assert (sol.row_voltages >= lo - eps).all()
+        assert (sol.row_voltages <= hi + eps).all()
+        assert (sol.col_voltages >= lo - eps).all()
+        assert (sol.col_voltages <= hi + eps).all()
+
+    @given(g=conductances, v=st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=80, deadline=None)
+    def test_power_non_negative(self, g, v):
+        """Dissipated power in a passive network is non-negative."""
+        rows, cols = g.shape
+        sol = solve_ideal_wires(g, {0: v}, {0: 0.0})
+        power = (sol.junction_currents ** 2 / g).sum()
+        assert power >= 0
+
+    @given(g=conductances, v=drive_voltage, scale=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_linearity_in_drive_voltage(self, g, v, scale):
+        """Scaling the drive scales every current linearly."""
+        rows, cols = g.shape
+        sol1 = solve_ideal_wires(g, {0: v}, {cols - 1: 0.0})
+        sol2 = solve_ideal_wires(g, {0: v * scale}, {cols - 1: 0.0})
+        assert np.allclose(
+            sol2.junction_currents, sol1.junction_currents * scale,
+            rtol=1e-6, atol=1e-12,
+        )
+
+    @given(g=conductances)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_drive_zero_current(self, g):
+        rows, cols = g.shape
+        sol = solve_ideal_wires(g, {0: 0.0}, {cols - 1: 0.0})
+        assert np.allclose(sol.junction_currents, 0.0, atol=1e-15)
+
+    @given(g=conductances, v=st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=60, deadline=None)
+    def test_superposition_of_sources(self, g, v):
+        """Driving two rows = sum of driving each alone (with the other
+        grounded) — linear-network superposition, using all-driven rows
+        so the floating sets match."""
+        rows, cols = g.shape
+        if rows < 2:
+            return
+        drive_both = {0: v, 1: v / 2}
+        drive_a = {0: v, 1: 0.0}
+        drive_b = {0: 0.0, 1: v / 2}
+        ground = {c: 0.0 for c in range(cols)}
+        both = solve_ideal_wires(g, drive_both, ground)
+        a = solve_ideal_wires(g, drive_a, ground)
+        b = solve_ideal_wires(g, drive_b, ground)
+        assert np.allclose(
+            both.junction_currents,
+            a.junction_currents + b.junction_currents,
+            rtol=1e-6, atol=1e-12,
+        )

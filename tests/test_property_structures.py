@@ -1,0 +1,161 @@
+"""Second round of property-based tests: memories, CAM, analog VMM,
+scheduler and wear levelling (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analog import AnalogCrossbar
+from repro.compiler import random_network, schedule_network, critical_path_pulses
+from repro.crossbar import CrossbarMemory
+from repro.logic import WILDCARD, MemristiveCAM
+from repro.reliability import WearLevelledMemory
+
+bits = st.integers(min_value=0, max_value=1)
+
+
+class TestCrossbarMemoryProperties:
+    @given(
+        cell_kind=st.sampled_from(["1R", "CRS"]),
+        operations=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(0, 255)),
+            min_size=1, max_size=30,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_read_sequences_round_trip(self, cell_kind, operations):
+        """Any interleaving of word writes and reads behaves like a
+        plain array — including CRS destructive-read healing."""
+        memory = CrossbarMemory(8, 8, cell_kind)
+        shadow = {}
+        for address, value in operations:
+            memory.write_int(address, value)
+            shadow[address] = value
+            probe = min(shadow)
+            assert memory.read_int(probe) == shadow[probe]
+        for address, value in shadow.items():
+            assert memory.read_int(address) == value
+
+    @given(values=st.lists(st.integers(0, 255), min_size=1, max_size=8))
+    @settings(max_examples=30, deadline=None)
+    def test_reads_are_idempotent(self, values):
+        memory = CrossbarMemory(8, 8, "CRS")
+        for address, value in enumerate(values):
+            memory.write_int(address, value)
+        first = [memory.read_int(a) for a in range(len(values))]
+        second = [memory.read_int(a) for a in range(len(values))]
+        assert first == second == values
+
+
+class TestCAMProperties:
+    @given(
+        keys=st.lists(
+            st.lists(bits, min_size=4, max_size=4), min_size=1, max_size=8
+        ),
+        query=st.lists(bits, min_size=4, max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_search_matches_linear_scan(self, keys, query):
+        cam = MemristiveCAM(rows=len(keys), width=4)
+        for row, key in enumerate(keys):
+            cam.store(row, key)
+        expected = [row for row, key in enumerate(keys) if key == query]
+        assert cam.search(query) == expected
+
+    @given(
+        key=st.lists(bits, min_size=5, max_size=5),
+        mask=st.lists(st.booleans(), min_size=5, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_wildcards_match_any_value(self, key, mask):
+        stored = [WILDCARD if m else k for k, m in zip(key, mask)]
+        cam = MemristiveCAM(rows=1, width=5)
+        cam.store(0, stored)
+        assert cam.search(key) == [0]
+
+
+class TestAnalogVMMProperties:
+    weights = st.lists(
+        st.lists(st.floats(-10, 10), min_size=3, max_size=3),
+        min_size=4, max_size=4,
+    )
+    inputs = st.lists(st.floats(0, 1), min_size=4, max_size=4)
+
+    @given(w=weights, x=inputs)
+    @settings(max_examples=60, deadline=None)
+    def test_ideal_crossbar_equals_matmul(self, w, x):
+        w = np.array(w)
+        x = np.array(x)
+        crossbar = AnalogCrossbar(4, 3)
+        crossbar.program(w)
+        assert np.allclose(crossbar.matvec(x), x @ w, atol=1e-9)
+
+    @given(
+        w=weights,
+        x=inputs,
+        scale=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_in_inputs(self, w, x, scale):
+        crossbar = AnalogCrossbar(4, 3)
+        crossbar.program(np.array(w))
+        base = crossbar.matvec(np.array(x))
+        scaled = crossbar.matvec(np.array(x) * scale)
+        assert np.allclose(scaled, base * scale, atol=1e-9)
+
+
+class TestSchedulerProperties:
+    @given(
+        seed=st.integers(0, 100),
+        lanes=st.integers(1, 16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invariants_on_random_networks(self, seed, lanes):
+        network = random_network(inputs=4, gates=15, outputs=2, seed=seed)
+        plan = schedule_network(network, lanes)
+        # Every gate exactly once.
+        scheduled = sorted(g.name for s in plan.slots for g in s.gates)
+        assert scheduled == sorted(n.name for n in network.nodes)
+        # Lane bound respected; latency sandwiched between bounds.
+        assert all(len(s.gates) <= lanes for s in plan.slots)
+        assert plan.latency_pulses >= critical_path_pulses(network) if lanes >= 15 else True
+        assert plan.latency_pulses <= plan.serial_latency_pulses
+        assert plan.speedup >= 1.0
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_more_lanes_never_slower(self, seed):
+        network = random_network(inputs=4, gates=12, outputs=2, seed=seed)
+        latencies = [
+            schedule_network(network, lanes).latency_pulses
+            for lanes in (1, 2, 4, 8)
+        ]
+        assert latencies == sorted(latencies, reverse=True)
+
+
+class TestWearLevellingProperties:
+    @given(
+        operations=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 15)),
+            min_size=1, max_size=60,
+        ),
+        gap_interval=st.integers(1, 10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mapping_never_loses_data(self, operations, gap_interval):
+        memory = WearLevelledMemory(6, 4, gap_interval=gap_interval)
+        shadow = {}
+        for address, value in operations:
+            memory.write_int(address, value)
+            shadow[address] = value
+        for address, value in shadow.items():
+            assert memory.read_int(address) == value
+
+    @given(gap_interval=st.integers(1, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_mapping_always_injective(self, gap_interval):
+        memory = WearLevelledMemory(5, 4, gap_interval=gap_interval)
+        for step in range(60):
+            memory.write_int(step % 5, step % 16)
+            physical = {memory._map(l) for l in range(5)}
+            assert len(physical) == 5

@@ -1,0 +1,184 @@
+"""Tests for fault models, March tests and endurance projection."""
+
+import pytest
+
+from repro.core import (
+    cim_dna_machine,
+    cim_math_machine,
+    dna_paper_workload,
+    math_paper_workload,
+)
+from repro.crossbar import CrossbarMemory
+from repro.errors import ArchitectureError, CrossbarError
+from repro.reliability import (
+    ENDURANCE_ECM,
+    ENDURANCE_VCM,
+    MARCH_C_MINUS,
+    MATS_PLUS,
+    FaultInjector,
+    FaultType,
+    MarchRunner,
+    project_lifetime,
+    writes_per_operation,
+)
+from repro.reliability import test_length as march_test_length
+
+
+class TestFaultModels:
+    def test_sa0_always_reads_zero(self):
+        memory = CrossbarMemory(4, 4)
+        FaultInjector(memory).inject(1, 1, FaultType.SA0)
+        memory.write_word(1, [1, 1, 1, 1])
+        assert memory.read_word(1) == [1, 0, 1, 1]
+
+    def test_sa1_always_reads_one(self):
+        memory = CrossbarMemory(4, 4)
+        FaultInjector(memory).inject(2, 0, FaultType.SA1)
+        memory.write_word(2, [0, 0, 0, 0])
+        assert memory.read_word(2) == [1, 0, 0, 0]
+
+    def test_tf0_blocks_up_transition_only(self):
+        memory = CrossbarMemory(4, 4)
+        FaultInjector(memory).inject(0, 0, FaultType.TF0)
+        memory.write_word(0, [1, 0, 0, 0])     # up from 0: blocked
+        assert memory.read_word(0)[0] == 0
+        # The cell can still be "written 0" (no-op) without error.
+        memory.write_word(0, [0, 0, 0, 0])
+        assert memory.read_word(0)[0] == 0
+
+    def test_tf1_blocks_down_transition_only(self):
+        memory = CrossbarMemory(4, 4)
+        injector = FaultInjector(memory)
+        # Bring the cell to 1 first (up transition works for TF1).
+        injector.inject(0, 0, FaultType.TF1)
+        memory.write_word(0, [1, 0, 0, 0])
+        assert memory.read_word(0)[0] == 1
+        memory.write_word(0, [0, 0, 0, 0])     # down: blocked
+        assert memory.read_word(0)[0] == 1
+
+    def test_double_injection_rejected(self):
+        memory = CrossbarMemory(4, 4)
+        injector = FaultInjector(memory)
+        injector.inject(0, 0, FaultType.SA0)
+        with pytest.raises(CrossbarError):
+            injector.inject(0, 0, FaultType.SA1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CrossbarError):
+            FaultInjector(CrossbarMemory(2, 2)).inject(5, 0, FaultType.SA0)
+
+    def test_crs_memory_rejected(self):
+        with pytest.raises(CrossbarError):
+            FaultInjector(CrossbarMemory(2, 2, "CRS"))
+
+    def test_random_injection(self):
+        memory = CrossbarMemory(8, 8)
+        injector = FaultInjector(memory)
+        faults = injector.inject_random(10, seed=3)
+        assert len(faults) == 10
+        assert len(injector.fault_map()) == 10
+
+    def test_random_injection_seeded(self):
+        a = FaultInjector(CrossbarMemory(8, 8))
+        b = FaultInjector(CrossbarMemory(8, 8))
+        assert (
+            [f.kind for f in a.inject_random(5, seed=7)]
+            == [f.kind for f in b.inject_random(5, seed=7)]
+        )
+
+    def test_random_injection_count_bounds(self):
+        with pytest.raises(CrossbarError):
+            FaultInjector(CrossbarMemory(2, 2)).inject_random(5)
+
+
+class TestMarchCMinusDetection:
+    def test_clean_memory_passes(self):
+        result = MarchRunner(CrossbarMemory(8, 8)).run()
+        assert result.passed
+        assert result.operations == 10 * 64     # 10N
+
+    @pytest.mark.parametrize("kind", list(FaultType))
+    def test_every_fault_type_detected(self, kind):
+        memory = CrossbarMemory(8, 8)
+        FaultInjector(memory).inject(3, 5, kind)
+        result = MarchRunner(memory).run()
+        assert result.faulty_cells() == {(3, 5)}, kind
+
+    def test_exact_fault_localisation(self):
+        memory = CrossbarMemory(8, 8)
+        injector = FaultInjector(memory)
+        injector.inject_random(6, seed=11)
+        result = MarchRunner(memory).run()
+        assert result.faulty_cells() == set(injector.fault_map())
+
+    def test_detection_metadata(self):
+        memory = CrossbarMemory(4, 4)
+        FaultInjector(memory).inject(0, 0, FaultType.SA1)
+        result = MarchRunner(memory).run()
+        first = result.detections[0]
+        assert (first.row, first.col) == (0, 0)
+        assert first.expected != first.observed
+
+    def test_mats_plus_weaker_than_march_c(self):
+        """MATS+ (5N) misses the TF1 fault in the down-only position
+        that March C- catches — the classic coverage difference."""
+        memory = CrossbarMemory(4, 4)
+        FaultInjector(memory).inject(0, 1, FaultType.TF1)
+        mats = MarchRunner(memory).run(MATS_PLUS, "MATS+")
+        memory2 = CrossbarMemory(4, 4)
+        FaultInjector(memory2).inject(0, 1, FaultType.TF1)
+        march_c = MarchRunner(memory2).run()
+        assert march_c.faulty_cells() == {(0, 1)}
+        assert len(mats.faulty_cells()) <= len(march_c.faulty_cells())
+
+    def test_test_length_formula(self):
+        assert march_test_length(MARCH_C_MINUS, 1024) == 10 * 1024
+        assert march_test_length(MATS_PLUS, 1024) == 5 * 1024
+
+
+class TestEndurance:
+    def test_writes_per_operation_uses_steps(self):
+        from repro.logic import ComparatorCost, TCAdderCost
+
+        assert writes_per_operation(ComparatorCost()) == 16
+        assert writes_per_operation(TCAdderCost(width=32)) == 133
+
+    def test_math_machine_wears_out_fast(self):
+        """Continuous stateful arithmetic burns 1e12 cycles in hours —
+        endurance is a real architectural constraint the paper's vision
+        leaves open."""
+        report = project_lifetime(cim_math_machine(), math_paper_workload())
+        assert report.lifetime_seconds < 24 * 3600
+        assert not report.meets(1.0)
+
+    def test_dna_machine_lifetime_longer(self):
+        """The DNA workload is memory-bound (long rounds), so its
+        compute cells wear far slower."""
+        dna = project_lifetime(cim_dna_machine("paper"), dna_paper_workload())
+        math = project_lifetime(cim_math_machine(), math_paper_workload())
+        assert dna.lifetime_seconds > 100 * math.lifetime_seconds
+
+    def test_ecm_endurance_is_100x_worse(self):
+        vcm = project_lifetime(cim_math_machine(), math_paper_workload(),
+                               endurance=ENDURANCE_VCM)
+        ecm = project_lifetime(cim_math_machine(), math_paper_workload(),
+                               endurance=ENDURANCE_ECM)
+        assert vcm.lifetime_seconds == pytest.approx(
+            100 * ecm.lifetime_seconds
+        )
+
+    def test_duty_cycle_scales_lifetime(self):
+        full = project_lifetime(cim_math_machine(), math_paper_workload())
+        tenth = project_lifetime(cim_math_machine(), math_paper_workload(),
+                                 duty_cycle=0.1)
+        assert tenth.lifetime_seconds == pytest.approx(
+            10 * full.lifetime_seconds
+        )
+
+    def test_validation(self):
+        with pytest.raises(ArchitectureError):
+            project_lifetime(cim_math_machine(), math_paper_workload(),
+                             endurance=0.0)
+        with pytest.raises(ArchitectureError):
+            project_lifetime(cim_math_machine(), math_paper_workload(),
+                             duty_cycle=1.5)

@@ -1,0 +1,165 @@
+"""Tests for the retention model, scaling study and CLI."""
+
+import math
+
+import pytest
+
+from repro.core import addition_sweep, coverage_sweep
+from repro.devices import RetentionModel, extrapolate_from_bake
+from repro.errors import DeviceError, WorkloadError
+
+
+class TestRetentionModel:
+    def test_ten_years_at_room_temperature(self):
+        """The Section IV.A claim: >10-year retention at operating
+        temperature, with mid-range VCM/ECM activation energy."""
+        model = RetentionModel()
+        assert model.meets_ten_years(300.0)
+        assert model.retention_years(300.0) > 10
+
+    def test_retention_collapses_when_hot(self):
+        model = RetentionModel()
+        assert model.retention_time(450.0) < model.retention_time(300.0) / 1e3
+
+    def test_arrhenius_form(self):
+        model = RetentionModel(activation_energy=1.0, attempt_time=1e-14)
+        from repro.devices import BOLTZMANN_EV
+
+        expected = 1e-14 * math.exp(1.0 / (BOLTZMANN_EV * 350.0))
+        assert model.retention_time(350.0) == pytest.approx(expected)
+
+    def test_state_decay(self):
+        model = RetentionModel()
+        t_ret = model.retention_time(400.0)
+        x = model.state_after(1.0, t_ret, 400.0)
+        assert x == pytest.approx(math.exp(-1.0))
+
+    def test_state_decay_zero_time(self):
+        assert RetentionModel().state_after(0.7, 0.0, 300.0) == pytest.approx(0.7)
+
+    def test_max_operating_temperature(self):
+        model = RetentionModel()
+        t_max = model.max_operating_temperature(years=10.0)
+        # At exactly t_max the criterion holds with equality.
+        assert model.retention_years(t_max) == pytest.approx(10.0, rel=1e-6)
+        assert model.meets_ten_years(t_max - 1.0)
+        assert not model.meets_ten_years(t_max + 5.0)
+
+    def test_higher_ea_retains_longer(self):
+        weak = RetentionModel(activation_energy=0.9)
+        strong = RetentionModel(activation_energy=1.2)
+        assert strong.retention_time(300.0) > weak.retention_time(300.0)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            RetentionModel(activation_energy=0.0)
+        with pytest.raises(DeviceError):
+            RetentionModel().retention_time(-10.0)
+        with pytest.raises(DeviceError):
+            RetentionModel().state_after(2.0, 1.0, 300.0)
+        with pytest.raises(DeviceError):
+            RetentionModel().max_operating_temperature(0.0)
+
+
+class TestBakeExtrapolation:
+    def test_bake_to_operating(self):
+        """A cell retaining 1 hour at 250 C extrapolates to years at
+        85 C — the published measurement methodology."""
+        t_op = extrapolate_from_bake(
+            bake_temperature_k=523.0,
+            bake_retention_s=3600.0,
+            operating_temperature_k=358.0,
+        )
+        assert t_op > 3600.0 * 1e3
+
+    def test_same_temperature_identity(self):
+        assert extrapolate_from_bake(400.0, 100.0, 400.0) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            extrapolate_from_bake(-1.0, 100.0, 300.0)
+        with pytest.raises(DeviceError):
+            extrapolate_from_bake(400.0, 0.0, 300.0)
+
+
+class TestScalingStudy:
+    def test_coverage_sweep_linear_growth(self):
+        rows = coverage_sweep(coverages=(10, 20, 40))
+        conv_times = [r["conv_time"] for r in rows]
+        assert conv_times[1] == pytest.approx(2 * conv_times[0], rel=0.01)
+        assert conv_times[2] == pytest.approx(4 * conv_times[0], rel=0.01)
+
+    def test_cim_advantage_sustained(self):
+        """The Big-Data point: at fixed silicon, CIM's time advantage is
+        sustained at every data volume (and the absolute gap widens)."""
+        rows = coverage_sweep(coverages=(10, 50, 200))
+        for row in rows:
+            assert row["time_advantage"] > 10
+            assert row["energy_advantage"] > 1e3
+        gaps = [r["conv_time"] - r["cim_time"] for r in rows]
+        assert gaps == sorted(gaps)
+
+    def test_addition_sweep_energy_separation(self):
+        rows = addition_sweep(counts=(10**4, 10**5))
+        for row in rows:
+            assert row["energy_advantage"] > 100
+            # Both machines run one round: time independent of count.
+        assert rows[0]["conv_time"] == pytest.approx(rows[1]["conv_time"])
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            coverage_sweep(coverages=())
+        with pytest.raises(WorkloadError):
+            addition_sweep(counts=())
+
+
+class TestCLI:
+    def run_cli(self, *argv):
+        import contextlib
+        import io
+
+        from repro.__main__ import main
+
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = main(list(argv))
+        return code, out.getvalue()
+
+    def test_table2(self):
+        code, out = self.run_cli("table2")
+        assert code == 0
+        assert "9.2570e-21" in out
+
+    def test_table2_max_packing(self):
+        code, out = self.run_cli("table2", "--packing", "max")
+        assert code == 0
+        assert "Table 2" in out
+
+    def test_machines(self):
+        code, out = self.run_cli("machines")
+        assert code == 0
+        assert "conventional-dna" in out
+
+    def test_fig1(self):
+        code, out = self.run_cli("fig1", "--operands", "5")
+        assert code == 0
+        assert "computation-in-memory" in out
+
+    def test_fig4(self):
+        code, out = self.run_cli("fig4")
+        assert code == 0
+        assert "Vth2=1.20" in out
+
+    def test_fig5(self):
+        code, out = self.run_cli("fig5")
+        assert code == 0
+        assert "IMP" in out
+
+    def test_scaling(self):
+        code, out = self.run_cli("scaling")
+        assert code == 0
+        assert "coverage" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            self.run_cli("nonsense")

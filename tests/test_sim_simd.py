@@ -1,0 +1,114 @@
+"""Tests for lock-step SIMD execution across crossbar rows."""
+
+import itertools
+
+import pytest
+
+from repro.crossbar import CrossbarArray
+from repro.devices import MEMRISTOR_5NM
+from repro.errors import LogicError
+from repro.logic import build_gate, full_adder_program
+from repro.sim import SIMDRowExecutor
+
+
+def make_array(rows=6, cols=30):
+    return CrossbarArray(rows, cols)
+
+
+class TestLockStepExecution:
+    def test_all_truth_table_rows_in_one_batch(self):
+        """The four XOR input patterns execute on four rows at once."""
+        array = make_array()
+        executor = SIMDRowExecutor(array)
+        program = build_gate("XOR")
+        patterns = list(itertools.product((0, 1), repeat=2))
+        per_row = {
+            row: {"a": a, "b": b} for row, (a, b) in enumerate(patterns)
+        }
+        report = executor.run(program, per_row)
+        assert [o["out"] for o in report.outputs] == [a ^ b for a, b in patterns]
+
+    def test_full_adders_in_parallel(self):
+        array = make_array(rows=8, cols=40)
+        executor = SIMDRowExecutor(array)
+        program = full_adder_program()
+        patterns = list(itertools.product((0, 1), repeat=3))
+        per_row = {
+            row: dict(zip(["a", "b", "cin"], bits))
+            for row, bits in enumerate(patterns)
+        }
+        report = executor.run(program, per_row)
+        for bits, out in zip(patterns, report.outputs):
+            total = sum(bits)
+            assert out["sum"] == total & 1
+            assert out["cout"] == total >> 1
+
+    def test_map_unary_helper(self):
+        array = make_array()
+        executor = SIMDRowExecutor(array)
+        report = executor.map_unary(
+            build_gate("NOT"),
+            [{"a": 0}, {"a": 1}, {"a": 0}],
+            base_row=2,
+        )
+        assert [o["out"] for o in report.outputs] == [1, 0, 1]
+
+
+class TestCostAsymmetry:
+    def test_latency_charged_once(self):
+        """The defining SIMD property: adding rows adds energy, not
+        time."""
+        program = build_gate("AND")
+        one = SIMDRowExecutor(make_array()).run(program, {0: {"a": 1, "b": 1}})
+        four = SIMDRowExecutor(make_array()).run(program, {
+            row: {"a": 1, "b": 1} for row in range(4)
+        })
+        assert four.latency == one.latency
+        assert four.energy == pytest.approx(4 * one.energy)
+
+    def test_costs_match_technology(self):
+        program = build_gate("NAND")
+        report = SIMDRowExecutor(make_array()).run(
+            program, {0: {"a": 0, "b": 1}, 1: {"a": 1, "b": 1}}
+        )
+        assert report.latency == pytest.approx(
+            program.step_count * MEMRISTOR_5NM.write_time
+        )
+        assert report.energy == pytest.approx(
+            2 * program.step_count * MEMRISTOR_5NM.write_energy
+        )
+        assert report.steps_per_row == program.step_count
+
+
+class TestIsolation:
+    def test_storage_rows_untouched(self):
+        array = make_array(rows=5, cols=20)
+        stored = [1, 0, 1, 1, 0] * 4
+        array.write_pattern([stored] + [[0] * 20] * 3 + [stored])
+        executor = SIMDRowExecutor(array)
+        executor.run(build_gate("OR"), {
+            1: {"a": 1, "b": 0}, 2: {"a": 0, "b": 0}, 3: {"a": 1, "b": 1},
+        })
+        pattern = array.read_pattern()
+        assert pattern[0] == stored
+        assert pattern[4] == stored
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(LogicError):
+            SIMDRowExecutor(make_array()).run(build_gate("NOT"), {})
+
+    def test_row_bounds_checked(self):
+        with pytest.raises(LogicError):
+            SIMDRowExecutor(make_array(rows=2)).run(
+                build_gate("NOT"), {7: {"a": 1}}
+            )
+
+    def test_register_overflow_detected_per_row(self):
+        from repro.logic import ripple_adder_program
+
+        narrow = CrossbarArray(2, 6)
+        executor = SIMDRowExecutor(narrow)
+        inputs = {f"a{i}": 0 for i in range(4)}
+        inputs.update({f"b{i}": 0 for i in range(4)})
+        with pytest.raises(LogicError):
+            executor.run(ripple_adder_program(4), {0: inputs})

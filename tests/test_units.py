@@ -1,0 +1,85 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestConstants:
+    def test_prefix_values(self):
+        assert units.PICO == 1e-12
+        assert units.FEMTO == 1e-15
+        assert units.GIGA == 1e9
+
+    def test_time_aliases(self):
+        assert units.PS == units.PICO
+        assert units.NS == units.NANO
+
+    def test_area_constants(self):
+        # 1 um^2 in m^2, 1 mm^2 in m^2
+        assert units.UM2 == 1e-12
+        assert units.MM2 == 1e-6
+
+    def test_kib_is_binary(self):
+        assert units.KiB == 1024
+
+    def test_gb_is_decimal(self):
+        assert units.GB == 10**9
+
+
+class TestSiFormat:
+    def test_picoseconds(self):
+        assert units.si_format(200e-12, "s") == "200 ps"
+
+    def test_femtojoules(self):
+        assert units.si_format(45e-15, "J") == "45 fJ"
+
+    def test_unity(self):
+        assert units.si_format(3.0, "V") == "3 V"
+
+    def test_kilo(self):
+        assert units.si_format(10e3, "ohm") == "10 kohm"
+
+    def test_zero(self):
+        assert units.si_format(0.0, "J") == "0 J"
+
+    def test_negative_value(self):
+        assert units.si_format(-1.4, "V") == "-1.4 V"
+
+    def test_no_unit(self):
+        assert units.si_format(1e6) == "1 M"
+
+    def test_non_finite(self):
+        assert "inf" in units.si_format(math.inf, "J")
+
+    def test_below_smallest_prefix(self):
+        out = units.si_format(1e-27, "s")
+        assert "y" in out
+
+
+class TestConversions:
+    def test_from_unit(self):
+        assert units.from_unit(200, units.PS) == pytest.approx(2e-10)
+
+    def test_to_unit(self):
+        assert units.to_unit(2e-10, units.PS) == pytest.approx(200.0)
+
+    def test_round_trip(self):
+        value = 42.7
+        assert units.to_unit(units.from_unit(value, units.FJ), units.FJ) == pytest.approx(value)
+
+
+class TestRatioDb:
+    def test_10x_is_10db(self):
+        assert units.ratio_db(10.0) == pytest.approx(10.0)
+
+    def test_unity_is_0db(self):
+        assert units.ratio_db(1.0) == pytest.approx(0.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            units.ratio_db(0.0)
+        with pytest.raises(ValueError):
+            units.ratio_db(-3.0)

@@ -1,0 +1,95 @@
+"""Tests for start-gap wear levelling."""
+
+import pytest
+
+from repro.errors import CrossbarError
+from repro.reliability import WearLevelledMemory, hot_row_workload
+
+
+class TestMappingConsistency:
+    def test_round_trip_without_levelling(self):
+        memory = WearLevelledMemory(8, 8, levelling=False)
+        memory.write_int(3, 42)
+        assert memory.read_int(3) == 42
+
+    def test_round_trip_through_many_rotations(self):
+        memory = WearLevelledMemory(words=6, width=8, gap_interval=1)
+        shadow = {}
+        for step in range(300):
+            logical = step % 6
+            value = (step * 13) % 256
+            memory.write_int(logical, value)
+            shadow[logical] = value
+            for address, expected in shadow.items():
+                assert memory.read_int(address) == expected, (step, address)
+        assert memory.migrations == 300
+
+    def test_mapping_stays_injective(self):
+        memory = WearLevelledMemory(words=7, width=4, gap_interval=1)
+        for step in range(150):
+            memory.write_int(step % 7, step % 16)
+            physical = [memory._map(l) for l in range(7)]
+            assert len(set(physical)) == 7
+            assert memory._gap not in physical
+
+    def test_address_validation(self):
+        memory = WearLevelledMemory(4, 4)
+        with pytest.raises(CrossbarError):
+            memory.write_int(4, 0)
+        with pytest.raises(CrossbarError):
+            memory.read_int(-1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(CrossbarError):
+            WearLevelledMemory(0, 4)
+        with pytest.raises(CrossbarError):
+            WearLevelledMemory(4, 4, gap_interval=0)
+
+
+class TestWearMetrics:
+    def test_hot_workload_skews_baseline(self):
+        baseline = WearLevelledMemory(32, 8, levelling=False)
+        stats = hot_row_workload(baseline, 3000, seed=2)
+        assert stats.wear_ratio > 10
+
+    def test_levelling_flattens_wear(self):
+        levelled = WearLevelledMemory(32, 8, gap_interval=8)
+        stats = hot_row_workload(levelled, 3000, seed=2)
+        assert stats.wear_ratio < 4
+
+    def test_lifetime_gain(self):
+        levelled = WearLevelledMemory(32, 8, gap_interval=8)
+        baseline = WearLevelledMemory(32, 8, levelling=False)
+        s1 = hot_row_workload(levelled, 3000, seed=2)
+        s2 = hot_row_workload(baseline, 3000, seed=2)
+        assert s1.lifetime_gain_over(s2) > 3
+
+    def test_smaller_gap_interval_levels_better(self):
+        fast = WearLevelledMemory(32, 8, gap_interval=4)
+        slow = WearLevelledMemory(32, 8, gap_interval=64)
+        s_fast = hot_row_workload(fast, 4000, seed=3)
+        s_slow = hot_row_workload(slow, 4000, seed=3)
+        assert s_fast.wear_ratio < s_slow.wear_ratio
+
+    def test_migration_overhead_counted(self):
+        memory = WearLevelledMemory(16, 8, gap_interval=4)
+        hot_row_workload(memory, 400, seed=0)
+        assert memory.migrations == 400 // 4
+        # Migration writes appear in the wear counters too.
+        assert memory.stats().total_writes >= 400
+
+    def test_uniform_workload_already_level(self):
+        baseline = WearLevelledMemory(16, 8, levelling=False)
+        stats = hot_row_workload(baseline, 4000, hot_fraction=0.0, seed=4)
+        assert stats.wear_ratio < 2
+
+    def test_workload_validation(self):
+        memory = WearLevelledMemory(8, 8)
+        with pytest.raises(CrossbarError):
+            hot_row_workload(memory, 10, hot_fraction=1.5)
+        with pytest.raises(CrossbarError):
+            hot_row_workload(memory, 10, hot_rows=100)
+
+    def test_wear_stats_zero_writes(self):
+        memory = WearLevelledMemory(4, 4)
+        assert memory.stats().wear_ratio == 1.0
