@@ -4,4 +4,66 @@ Every benchmark regenerates one of the paper's tables/figures (see the
 per-experiment index in DESIGN.md) and prints its data rows, so a
 ``pytest benchmarks/ --benchmark-only -s`` run doubles as the
 reproduction report.
+
+Telemetry: a ``pytest_runtest_call`` hookwrapper below routes every
+bench through :mod:`repro.obs.bench`, so each bench module emits a
+machine-readable ``BENCH_<name>.json`` artifact (wall time, simulated
+energy/latency, metric movement, git rev) at module teardown.
+Artifacts land in ``$REPRO_BENCH_DIR`` (default: the repo root);
+``$REPRO_BENCH_SMOKE`` marks the artifact as a smoke run.
+``benchmarks/run_all.py`` drives the whole suite this way.
+
+All tests here carry the ``bench`` marker, so they can be excluded with
+``pytest -m "not bench"`` anywhere they get collected.
 """
+
+import os
+from collections import defaultdict
+
+import pytest
+
+from repro.obs import bench as obs_bench
+from repro.obs.tracing import get_tracer
+
+_MODULE_RECORDS = defaultdict(list)
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
+def _out_dir() -> str:
+    configured = os.environ.get("REPRO_BENCH_DIR")
+    if configured:
+        return configured
+    # Repo root: this file lives in <root>/benchmarks/.
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Measure every bench call through the obs harness."""
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    with obs_bench.measuring(item.name) as record:
+        yield
+    if not was_enabled:
+        # The measurement enabled tracing just for this test; drop the
+        # recorded spans so a long suite doesn't accumulate them.
+        tracer.reset()
+    _MODULE_RECORDS[item.module.__name__].append(record)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_artifact(request):
+    """Write this module's BENCH_<name>.json once its benches finish."""
+    yield
+    records = _MODULE_RECORDS.pop(request.module.__name__, [])
+    if records:
+        obs_bench.write_artifact(
+            _out_dir(),
+            request.module.__name__,
+            records,
+            smoke=bool(os.environ.get("REPRO_BENCH_SMOKE")),
+        )

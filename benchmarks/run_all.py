@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Run every benchmark and emit the ``BENCH_*.json`` telemetry artifacts.
+
+This is the CI driver for the benchmark suite: it executes each
+``benchmarks/bench_*.py`` through pytest (the modules stay valid
+pytest-benchmark suites), lets the instrumented ``benchmark`` fixture in
+``conftest.py`` capture per-test telemetry, and then validates that
+every artifact parses and carries wall-time plus simulated
+energy/latency fields.  Exit code is non-zero if any bench raises or
+any artifact is missing/invalid.
+
+Usage::
+
+    python benchmarks/run_all.py --smoke            # one pass per bench
+    python benchmarks/run_all.py --out /tmp/bench   # artifact directory
+    python benchmarks/run_all.py -k table2          # subset by name
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from typing import List, Optional
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+# Make `python benchmarks/run_all.py` work without PYTHONPATH gymnastics.
+_SRC = os.path.join(REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run all benchmarks and write BENCH_*.json artifacts")
+    parser.add_argument("--smoke", action="store_true",
+                        help="single pass per bench (no timing loops); "
+                             "artifacts are tagged smoke=true")
+    parser.add_argument("--out", default=REPO_ROOT, metavar="DIR",
+                        help="artifact output directory (default: repo root)")
+    parser.add_argument("-k", dest="filter", default=None, metavar="EXPR",
+                        help="pytest -k expression to select benches")
+    parser.add_argument("-s", dest="capture", action="store_true",
+                        help="show the benches' printed tables")
+    args = parser.parse_args(argv)
+
+    import pytest
+
+    from repro.obs.bench import load_artifact
+    from repro.errors import ObservabilityError
+
+    out_dir = os.path.abspath(args.out)
+    os.makedirs(out_dir, exist_ok=True)
+    os.environ["REPRO_BENCH_DIR"] = out_dir
+    if args.smoke:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    else:
+        os.environ.pop("REPRO_BENCH_SMOKE", None)
+
+    pytest_args = [BENCH_DIR, "-q", "-m", "bench", "-p", "no:cacheprovider"]
+    if args.smoke:
+        pytest_args.append("--benchmark-disable")
+    if args.filter:
+        pytest_args += ["-k", args.filter]
+    if args.capture:
+        pytest_args.append("-s")
+
+    code = int(pytest.main(pytest_args))
+    if code != 0:
+        print(f"run_all: pytest exited with {code}", file=sys.stderr)
+        return code
+
+    artifacts = sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json")))
+    if not artifacts:
+        print("run_all: no BENCH_*.json artifacts were produced",
+              file=sys.stderr)
+        return 1
+
+    print(f"\n{len(artifacts)} artifacts in {out_dir}:")
+    failures = 0
+    for path in artifacts:
+        try:
+            payload = load_artifact(path)
+        except ObservabilityError as exc:
+            print(f"  INVALID {os.path.basename(path)}: {exc}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        entries = payload["entries"]
+        wall = sum(e["wall_time_s"] for e in entries)
+        sim_e = sum(e["sim_energy_j"] for e in entries)
+        sim_t = sum(e["sim_latency_s"] for e in entries)
+        print(f"  {os.path.basename(path):42s} "
+              f"entries={len(entries):2d} wall={wall:.3g}s "
+              f"simE={sim_e:.3g}J simT={sim_t:.3g}s")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

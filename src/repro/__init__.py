@@ -25,12 +25,13 @@ Quick start::
     print(render_table2(table2()))
 """
 
-from . import analog, analysis, apps, cmosarch, compiler, core, crossbar, devices, interconnect, logic, reliability, sim, units
+from . import analog, analysis, apps, cmosarch, compiler, core, crossbar, devices, interconnect, logic, obs, reliability, sim, units
 from .errors import (
     ArchitectureError,
     CrossbarError,
     DeviceError,
     LogicError,
+    ObservabilityError,
     ReproError,
     SynthesisError,
     WorkloadError,
@@ -51,6 +52,7 @@ __all__ = [
     "apps",
     "sim",
     "analysis",
+    "obs",
     "units",
     "ReproError",
     "DeviceError",
@@ -59,5 +61,6 @@ __all__ = [
     "ArchitectureError",
     "WorkloadError",
     "SynthesisError",
+    "ObservabilityError",
     "__version__",
 ]

@@ -8,7 +8,14 @@ code:
 * ``fig1`` — the architecture-class ordering;
 * ``fig4`` — CRS thresholds and the I-V sweep summary;
 * ``fig5`` — both IMP implementations' truth tables;
-* ``scaling`` — the data-volume scaling study.
+* ``scaling`` — the data-volume scaling study;
+* ``obs`` — exercise the observability layer and export telemetry.
+
+Every subcommand accepts ``--profile`` (print the span tree and metric
+summary after the command), ``--quiet`` and ``--verbose`` (stdlib
+logging levels via :mod:`repro.obs.logsetup`).  Handlers return the
+process exit code; ``main`` normalises it (``None`` -> 0) and turns
+uncaught :class:`~repro.errors.ReproError` into exit code 2.
 """
 
 from __future__ import annotations
@@ -18,6 +25,9 @@ import sys
 from typing import List, Optional
 
 from .analysis import format_table, render_machine_reports, render_table2
+from .errors import ReproError
+from .obs import configure_logging, get_registry, get_tracer
+from .obs.export import console_summary
 from .units import si_format
 
 
@@ -104,35 +114,89 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Exercise the instrumented stack and print/export its telemetry."""
+    from .obs.export import export_prometheus, export_spans_jsonl
+    from .sim.machine import FunctionalCIM
+
+    tracer = get_tracer()
+    tracer.enable()
+    with tracer.span("obs-demo"):
+        machine = FunctionalCIM(words=args.words, width=8, lanes=4)
+        with tracer.span("store"):
+            machine.store_many([(3 * i + 1) % 251 % 256 for i in range(args.words)])
+        with tracer.span("add_arrays"):
+            machine.add_arrays([1, 2, 3, 4], [5, 6, 7, 8])
+        with tracer.span("compare_all"):
+            machine.compare_all(4)
+        with tracer.span("reduce_add"):
+            machine.reduce_add()
+    print(tracer.render())
+    print()
+    print(console_summary(get_registry()))
+    if args.jsonl:
+        export_spans_jsonl(tracer, args.jsonl)
+        print(f"spans written to {args.jsonl}")
+    if args.prom:
+        export_prometheus(get_registry(), args.prom)
+        print(f"metrics written to {args.prom}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--profile", action="store_true",
+                        help="print the span tree and metric summary "
+                             "after the command")
+    common.add_argument("-q", "--quiet", action="store_true",
+                        help="only log errors")
+    common.add_argument("-v", "--verbose", action="count", default=0,
+                        help="increase log verbosity (-v info, -vv debug)")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of the DATE 2015 memristor CIM paper.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    table2 = sub.add_parser("table2", help="reproduce Table 2")
+    table2 = sub.add_parser("table2", help="reproduce Table 2",
+                            parents=[common])
     table2.add_argument("--packing", choices=("paper", "max"),
                         default="paper",
                         help="CIM DNA comparator packing (default: paper)")
     table2.set_defaults(handler=_cmd_table2)
 
-    machines = sub.add_parser("machines", help="per-machine evaluations")
+    machines = sub.add_parser("machines", help="per-machine evaluations",
+                              parents=[common])
     machines.set_defaults(handler=_cmd_machines)
 
-    fig1 = sub.add_parser("fig1", help="architecture classification")
+    fig1 = sub.add_parser("fig1", help="architecture classification",
+                          parents=[common])
     fig1.add_argument("--operands", type=float, default=3.0,
                       help="operand transfers per operation (default 3)")
     fig1.set_defaults(handler=_cmd_fig1)
 
-    fig4 = sub.add_parser("fig4", help="CRS cell characterisation")
+    fig4 = sub.add_parser("fig4", help="CRS cell characterisation",
+                          parents=[common])
     fig4.set_defaults(handler=_cmd_fig4)
 
-    fig5 = sub.add_parser("fig5", help="IMP truth tables")
+    fig5 = sub.add_parser("fig5", help="IMP truth tables", parents=[common])
     fig5.set_defaults(handler=_cmd_fig5)
 
-    scaling = sub.add_parser("scaling", help="data-volume scaling study")
+    scaling = sub.add_parser("scaling", help="data-volume scaling study",
+                             parents=[common])
     scaling.set_defaults(handler=_cmd_scaling)
+
+    obs = sub.add_parser(
+        "obs", parents=[common],
+        help="run an instrumented demo and export telemetry")
+    obs.add_argument("--words", type=int, default=8,
+                     help="functional-CIM words for the demo (default 8)")
+    obs.add_argument("--jsonl", metavar="PATH",
+                     help="write the span tree as JSON lines")
+    obs.add_argument("--prom", metavar="PATH",
+                     help="write metrics in Prometheus text format")
+    obs.set_defaults(handler=_cmd_obs)
     return parser
 
 
@@ -140,8 +204,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(-1 if getattr(args, "quiet", False)
+                      else getattr(args, "verbose", 0))
+    profiling = getattr(args, "profile", False)
+    if profiling:
+        get_tracer().enable()
     try:
-        return args.handler(args)
+        code = args.handler(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         try:
@@ -149,6 +221,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    finally:
+        if profiling:
+            tracer = get_tracer()
+            try:
+                print("\n-- span tree " + "-" * 47)
+                print(tracer.render())
+                print()
+                print(console_summary(get_registry()))
+            except (BrokenPipeError, ValueError):
+                # The reader went away mid-command (e.g. `| head`); the
+                # BrokenPipeError handler above may have closed stdout
+                # already, which turns further prints into ValueError.
+                pass
+            finally:
+                # Leave the process-wide tracer as we found it so repeated
+                # in-process main() calls don't accumulate span trees.
+                tracer.disable()
+                tracer.reset()
+    # Handlers return an exit code; None (bare return) means success.
+    return 0 if code is None else int(code)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -26,6 +26,19 @@ from ...crossbar.memory import CrossbarMemory
 from ...devices.technology import CACHE_8KB_DNA, MEMRISTOR_5NM, MemristorTechnology
 from ...errors import WorkloadError
 from ...logic.cam import MemristiveCAM
+from ...obs.registry import get_registry
+from ...obs.tracing import get_tracer
+
+_REGISTRY = get_registry()
+_QUERIES = _REGISTRY.counter(
+    "db_queries_total", "CIM database queries executed, by kind")
+_SELECTS = _QUERIES.labels(kind="select_equal")
+_SUMS = _QUERIES.labels(kind="sum_column")
+_INSERTS = _REGISTRY.counter("db_rows_inserted_total", "rows inserted")
+_ROWS_EXAMINED = _REGISTRY.counter(
+    "db_rows_examined_total", "rows touched by query execution")
+_QUERY_LATENCY = _REGISTRY.histogram(
+    "db_query_sim_latency_seconds", "simulated latency per query")
 
 
 @dataclass(frozen=True)
@@ -119,7 +132,16 @@ class CIMTable:
             [(key >> i) & 1 for i in range(self.key_column.width)],
         )
         self._rows.append(dict(values))
+        _INSERTS.inc()
         return row_id
+
+    def _account(self, counter, cost: QueryCost) -> None:
+        """Charge one executed query to the ledger, metrics and tracer."""
+        self.query_log.append(cost)
+        counter.inc()
+        _ROWS_EXAMINED.inc(cost.rows_examined)
+        _QUERY_LATENCY.observe(cost.latency)
+        get_tracer().add_sim(energy=cost.energy, latency=cost.latency)
 
     # -- queries ----------------------------------------------------------------
 
@@ -131,15 +153,16 @@ class CIMTable:
         width = self.key_column.width
         if not 0 <= key < (1 << width):
             raise WorkloadError(f"key {key} does not fit {width} bits")
-        e0, t0 = self._cam.stats.energy, self._cam.stats.time
-        matches = self._cam.search([(key >> i) & 1 for i in range(width)])
-        cost = QueryCost(
-            kind="select=",
-            rows_examined=len(self._rows),
-            energy=self._cam.stats.energy - e0,
-            latency=self._cam.stats.time - t0,
-        )
-        self.query_log.append(cost)
+        with get_tracer().span("db/select_equal", rows=len(self._rows)):
+            e0, t0 = self._cam.stats.energy, self._cam.stats.time
+            matches = self._cam.search([(key >> i) & 1 for i in range(width)])
+            cost = QueryCost(
+                kind="select=",
+                rows_examined=len(self._rows),
+                energy=self._cam.stats.energy - e0,
+                latency=self._cam.stats.time - t0,
+            )
+            self._account(_SELECTS, cost)
         golden = [
             rid for rid, row in enumerate(self._rows)
             if row[self.key_column.name] == key
@@ -163,17 +186,18 @@ class CIMTable:
         if column not in self._stores:
             raise WorkloadError(f"unknown column {column!r}")
         store = self._stores[column]
-        total = sum(store.read_int(rid) for rid in range(len(self._rows)))
-        golden = sum(row[column] for row in self._rows)
-        if total != golden:
-            raise WorkloadError("aggregation diverged from shadow copy")
-        cost = QueryCost(
-            kind=f"sum({column})",
-            rows_examined=len(self._rows),
-            energy=0.0,                      # reads are free in 1R mode
-            latency=len(self._rows) * self.technology.write_time,
-        )
-        self.query_log.append(cost)
+        with get_tracer().span("db/sum_column", column=column):
+            total = sum(store.read_int(rid) for rid in range(len(self._rows)))
+            golden = sum(row[column] for row in self._rows)
+            if total != golden:
+                raise WorkloadError("aggregation diverged from shadow copy")
+            cost = QueryCost(
+                kind=f"sum({column})",
+                rows_examined=len(self._rows),
+                energy=0.0,                  # reads are free in 1R mode
+                latency=len(self._rows) * self.technology.write_time,
+            )
+            self._account(_SUMS, cost)
         return total
 
 

@@ -16,8 +16,22 @@ from typing import List, Optional, Sequence
 from ...cmosarch.cache import FunctionalCache
 from ...core.workload import Workload
 from ...errors import WorkloadError
+from ...obs.registry import get_registry
+from ...obs.tracing import get_tracer
 from .genome import ShortRead
 from .index import SortedKmerIndex
+
+_REGISTRY = get_registry()
+_READS_MAPPED = _REGISTRY.counter(
+    "dna_reads_mapped_total", "short reads pushed through the mapper")
+_CANDIDATES = _REGISTRY.counter(
+    "dna_candidates_verified_total", "seed candidates verified")
+_CHAR_COMPARISONS = _REGISTRY.counter(
+    "dna_char_comparisons_total",
+    "character comparisons (the CIM comparator workload)")
+_MISMATCHES = _REGISTRY.histogram(
+    "dna_candidate_mismatches", "mismatch count per verified candidate",
+    buckets=(0, 1, 2, 4, 8, 16, 32))
 
 
 @dataclass
@@ -89,11 +103,14 @@ class ReadMapper:
         best_position: Optional[int] = None
         best_mismatches = self.max_mismatches + 1
         limit = len(self.index.reference) - len(read.bases)
+        chars_before = self.stats.char_comparisons
         for position in candidates:
             if position > limit:
                 continue
             self.stats.candidates_verified += 1
+            _CANDIDATES.inc()
             mismatches = self._verify(read.bases, position)
+            _MISMATCHES.observe(mismatches)
             if mismatches < best_mismatches:
                 best_position, best_mismatches = position, mismatches
 
@@ -103,6 +120,8 @@ class ReadMapper:
             mismatches=best_mismatches if best_position is not None else -1,
         )
         self.stats.reads_mapped += 1
+        _READS_MAPPED.inc()
+        _CHAR_COMPARISONS.inc(self.stats.char_comparisons - chars_before)
         if result.correct:
             self.stats.reads_correct += 1
         self.stats.results.append(result)
@@ -110,8 +129,10 @@ class ReadMapper:
 
     def map_all(self, reads: Sequence[ShortRead]) -> MappingStats:
         """Map every read and return the aggregate statistics."""
-        for read in reads:
-            self.map_read(read)
+        with get_tracer().span("dna/map_all", reads=len(reads)) as span:
+            for read in reads:
+                self.map_read(read)
+            span.set_attr("accuracy", self.stats.accuracy)
         return self.stats
 
 

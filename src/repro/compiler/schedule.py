@@ -23,8 +23,23 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from ..errors import SynthesisError
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 from .mapper import OP_PULSES
 from .netlist import GateNode, LogicNetwork
+
+_REGISTRY = get_registry()
+_NETWORKS = _REGISTRY.counter(
+    "schedule_networks_total", "netlists packed into parallel schedules")
+_GATES = _REGISTRY.counter(
+    "schedule_gates_total", "gates placed into schedule slots")
+_SLOTS = _REGISTRY.counter(
+    "schedule_slots_total", "controller slots emitted")
+_LEVEL_WIDTH = _REGISTRY.histogram(
+    "schedule_level_width", "allocation pressure: gates per ASAP level",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+_UTILISATION = _REGISTRY.gauge(
+    "schedule_utilisation", "lane-slot utilisation of the last schedule")
 
 
 @dataclass
@@ -99,16 +114,24 @@ def schedule_network(network: LogicNetwork, lanes: int = 4) -> Schedule:
     if lanes < 1:
         raise SynthesisError(f"lanes must be >= 1, got {lanes}")
     network.validate()
-    plan = Schedule(network=network.name, lanes=lanes)
-    for level_index, gates in enumerate(levelise(network)):
-        ordered = sorted(gates, key=lambda g: -OP_PULSES[g.op])
-        for start in range(0, len(ordered), lanes):
-            group = ordered[start: start + lanes]
-            plan.slots.append(ScheduleSlot(
-                level=level_index + 1,
-                gates=group,
-                pulses=max(OP_PULSES[g.op] for g in group),
-            ))
+    with get_tracer().span(
+        f"schedule:{network.name}", lanes=lanes, gates=len(network.nodes)
+    ):
+        plan = Schedule(network=network.name, lanes=lanes)
+        for level_index, gates in enumerate(levelise(network)):
+            _LEVEL_WIDTH.observe(len(gates))
+            ordered = sorted(gates, key=lambda g: -OP_PULSES[g.op])
+            for start in range(0, len(ordered), lanes):
+                group = ordered[start: start + lanes]
+                plan.slots.append(ScheduleSlot(
+                    level=level_index + 1,
+                    gates=group,
+                    pulses=max(OP_PULSES[g.op] for g in group),
+                ))
+    _NETWORKS.inc()
+    _GATES.inc(len(network.nodes))
+    _SLOTS.inc(len(plan.slots))
+    _UTILISATION.set(plan.utilisation())
     return plan
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .metrics import ImprovementFactors, MetricSet, improvement, metrics_from_report
@@ -26,6 +28,9 @@ from .presets import (
 from .report import MachineReport
 
 Cell = Tuple[str, str]  # (application, architecture)
+
+_CELLS_EVALUATED = get_registry().counter(
+    "table2_cells_evaluated_total", "machine/workload cells evaluated")
 
 
 @dataclass
@@ -51,9 +56,21 @@ def evaluate_pair(
     cim: CIMMachine,
     workload,
 ) -> Tuple[MachineReport, MachineReport, ImprovementFactors]:
-    """Evaluate one workload on both architectures."""
-    conv_report = conventional.evaluate(workload)
-    cim_report = cim.evaluate(workload)
+    """Evaluate one workload on both architectures.
+
+    Each machine evaluation runs under its own tracing span (named
+    ``<workload>/conventional`` and ``<workload>/cim``) carrying the
+    report's simulated energy/time, so ``--profile`` output splits the
+    modelled cost per cell.
+    """
+    tracer = get_tracer()
+    with tracer.span(f"{workload.name}/conventional") as span:
+        conv_report = conventional.evaluate(workload)
+        span.add_sim(energy=conv_report.energy, latency=conv_report.time)
+    with tracer.span(f"{workload.name}/cim") as span:
+        cim_report = cim.evaluate(workload)
+        span.add_sim(energy=cim_report.energy, latency=cim_report.time)
+    _CELLS_EVALUATED.inc(2)
     factors = improvement(
         metrics_from_report(conv_report), metrics_from_report(cim_report)
     )
@@ -69,22 +86,23 @@ def table2(dna_packing: str = "paper") -> Table2Result:
     """
     result = Table2Result(paper=dict(PAPER_TABLE2))
 
-    dna = dna_paper_workload()
-    conv_dna, cim_dna, dna_factors = evaluate_pair(
-        conventional_dna_machine(), cim_dna_machine(dna_packing), dna
-    )
-    result.reports[("dna", "conventional")] = conv_dna
-    result.reports[("dna", "cim")] = cim_dna
-    result.improvements["dna"] = dna_factors
+    with get_tracer().span("table2", packing=dna_packing):
+        dna = dna_paper_workload()
+        conv_dna, cim_dna, dna_factors = evaluate_pair(
+            conventional_dna_machine(), cim_dna_machine(dna_packing), dna
+        )
+        result.reports[("dna", "conventional")] = conv_dna
+        result.reports[("dna", "cim")] = cim_dna
+        result.improvements["dna"] = dna_factors
 
-    math_wl = math_paper_workload()
-    conv_math, cim_math, math_factors = evaluate_pair(
-        conventional_math_machine(), cim_math_machine(), math_wl
-    )
-    result.reports[("math", "conventional")] = conv_math
-    result.reports[("math", "cim")] = cim_math
-    result.improvements["math"] = math_factors
+        math_wl = math_paper_workload()
+        conv_math, cim_math, math_factors = evaluate_pair(
+            conventional_math_machine(), cim_math_machine(), math_wl
+        )
+        result.reports[("math", "conventional")] = conv_math
+        result.reports[("math", "cim")] = cim_math
+        result.improvements["math"] = math_factors
 
-    for cell, report in result.reports.items():
-        result.metrics[cell] = metrics_from_report(report)
+        for cell, report in result.reports.items():
+            result.metrics[cell] = metrics_from_report(report)
     return result

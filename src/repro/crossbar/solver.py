@@ -26,10 +26,33 @@ from typing import Dict
 import numpy as np
 
 from ..errors import CrossbarError
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
 
 #: Voltage assignment for driven lines: index -> volts.  Lines absent
 #: from the mapping float.
 LineDrive = Dict[int, float]
+
+_REGISTRY = get_registry()
+_TRACER = get_tracer()
+_SOLVES = _REGISTRY.counter(
+    "crossbar_solves_total", "electrical crossbar solves by solver kind")
+_SOLVES_IDEAL = _SOLVES.labels(solver="ideal_wires")
+_SOLVES_WIRE = _SOLVES.labels(solver="wire_resistance")
+_UNKNOWNS = _REGISTRY.histogram(
+    "crossbar_solver_unknowns", "linear-system unknowns per solve",
+    buckets=(1, 4, 16, 64, 256, 1024, 4096, 16384))
+_RESIDUAL = _REGISTRY.gauge(
+    "crossbar_solver_residual_max_abs",
+    "max |Ax - b| of the last solve (updated only while tracing)")
+
+
+def _note_solve(counter, a: np.ndarray, b: np.ndarray, x: np.ndarray) -> None:
+    """Record one solve; the O(n^2) residual check runs only under tracing."""
+    counter.inc()
+    _UNKNOWNS.observe(len(b))
+    if _TRACER.enabled:
+        _RESIDUAL.set(float(np.abs(a @ x - b).max()) if len(b) else 0.0)
 
 
 @dataclass
@@ -135,10 +158,15 @@ def solve_ideal_wires(
                 "singular crossbar system (a floating line has no conductive "
                 "path to any driven line)"
             ) from exc
+        _note_solve(_SOLVES_IDEAL, a, b, x)
         for r in floating_rows:
             v_row[r] = x[row_pos[r]]
         for c in floating_cols:
             v_col[c] = x[col_pos[c]]
+    else:
+        # Fully driven: no linear system, but still one accounted solve.
+        _SOLVES_IDEAL.inc()
+        _UNKNOWNS.observe(0)
 
     currents = g * (v_row[:, None] - v_col[None, :])
     return CrossbarSolution(
@@ -234,6 +262,7 @@ def solve_with_wire_resistance(
         x = np.linalg.solve(a, b)
     except np.linalg.LinAlgError as exc:
         raise CrossbarError("singular crossbar system") from exc
+    _note_solve(_SOLVES_WIRE, a, b, x)
 
     v_row = x[: rows * cols].reshape(rows, cols)
     v_col = x[rows * cols:].reshape(rows, cols)

@@ -34,3 +34,7 @@ class WorkloadError(ReproError):
 
 class SynthesisError(LogicError):
     """Boolean-function synthesis could not produce an IMP program."""
+
+
+class ObservabilityError(ReproError):
+    """Invalid metric/trace usage or a malformed telemetry sink/path."""

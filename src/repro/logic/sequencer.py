@@ -19,8 +19,25 @@ from typing import Dict, Iterable, Optional
 from ..devices.base import IdealBipolarMemristor
 from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
 from ..errors import LogicError
+from ..obs.registry import get_registry
 from .imply import ImplyGate, ImplyVoltages
 from .program import ImplyProgram, Instruction, OpKind
+
+# Hot-loop metrics: resolved once at import so the per-instruction cost
+# is a dict lookup plus a float add (the <= 10% tracing-overhead budget
+# on the 32-bit adder depends on this staying allocation-free).
+_REGISTRY = get_registry()
+_RUNS = _REGISTRY.counter(
+    "imply_runs_total", "ImplyMachine program executions")
+_PULSES = _REGISTRY.counter(
+    "imply_pulses_total", "IMPLY pulses driven (memristor write slots)")
+_SIM_ENERGY = _REGISTRY.counter(
+    "imply_sim_energy_joules_total", "simulated energy charged per pulse")
+_SIM_LATENCY = _REGISTRY.counter(
+    "imply_sim_latency_seconds_total", "simulated latency charged per pulse")
+_OP_FAMILY = _REGISTRY.counter(
+    "imply_op_pulses_total", "pulses by instruction kind")
+_OP_COUNTERS = {kind: _OP_FAMILY.labels(op=kind.name) for kind in OpKind}
 
 
 @dataclass
@@ -86,6 +103,7 @@ class ImplyMachine:
 
     def execute_instruction(self, ins: Instruction, inputs: Dict[str, int]) -> None:
         """Drive one instruction on the register file."""
+        _OP_COUNTERS[ins.kind].inc()
         if ins.kind is OpKind.FALSE:
             self.gate.false(self.device(ins.operands[0]))
         elif ins.kind is OpKind.LOAD:
@@ -116,11 +134,17 @@ class ImplyMachine:
             for signal, register in program.outputs.items()
         }
         steps = program.step_count
+        energy = steps * self.technology.write_energy
+        latency = steps * self.technology.write_time
+        _RUNS.inc()
+        _PULSES.inc(steps)
+        _SIM_ENERGY.inc(energy)
+        _SIM_LATENCY.inc(latency)
         return ExecutionReport(
             program=program.name,
             steps=steps,
-            energy=steps * self.technology.write_energy,
-            latency=steps * self.technology.write_time,
+            energy=energy,
+            latency=latency,
             outputs=outputs,
         )
 

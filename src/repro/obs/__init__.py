@@ -1,0 +1,59 @@
+"""Observability layer: metrics, span tracing, exporters, bench telemetry.
+
+This package is the measurement substrate for the whole simulator:
+
+* :mod:`repro.obs.registry` — process-wide counters / gauges /
+  fixed-bucket histograms, cheap enough to stay on in hot loops;
+* :mod:`repro.obs.tracing` — nestable wall-clock spans that also carry
+  simulated energy/latency (disabled by default, free when off);
+* :mod:`repro.obs.export` — JSON-lines, Prometheus-text and console
+  exporters;
+* :mod:`repro.obs.bench` — the ``BENCH_<name>.json`` benchmark
+  telemetry harness;
+* :mod:`repro.obs.logsetup` — stdlib logging configuration
+  (``NullHandler`` on the ``repro`` root logger).
+
+Quick start::
+
+    from repro.obs import get_registry, get_tracer
+
+    pulses = get_registry().counter("my_pulses_total")
+    tracer = get_tracer()
+    tracer.enable()
+    with tracer.span("phase") as sp:
+        pulses.inc(8)
+        sp.add_sim(energy=8e-15, latency=8e-10)
+    print(tracer.render())
+"""
+
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .tracing import NULL_SPAN, Span, Tracer, get_tracer
+from .logsetup import configure_logging, get_logger
+from . import bench, export, logsetup, registry, tracing
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "Span",
+    "Tracer",
+    "NULL_SPAN",
+    "get_tracer",
+    "configure_logging",
+    "get_logger",
+    "bench",
+    "export",
+    "logsetup",
+    "registry",
+    "tracing",
+]

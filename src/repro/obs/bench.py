@@ -1,0 +1,212 @@
+"""Machine-readable benchmark telemetry.
+
+:func:`measure` runs one callable under a tracing span and captures a
+:class:`BenchRecord`: wall time, the simulated energy/latency/steps the
+run charged, and the registry metrics it moved.
+:func:`write_artifact` serialises a group of records — plus the git
+revision and environment stamps — into a ``BENCH_<name>.json`` file, the
+artifact the benchmark suite emits so every later perf PR has a
+trajectory to report against.  :func:`run_bench` is the one-shot
+combination of the two.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from ..errors import ObservabilityError
+from .registry import get_registry
+from .tracing import get_tracer
+
+#: Schema tag written into every artifact so consumers can dispatch.
+ARTIFACT_SCHEMA = "repro-bench/1"
+
+
+@dataclass
+class BenchRecord:
+    """Telemetry for one measured callable."""
+
+    name: str
+    wall_time_s: float
+    sim_energy_j: float
+    sim_latency_s: float
+    sim_steps: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    value: Any = None  # the callable's return value; not serialised
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "wall_time_s": self.wall_time_s,
+            "sim_energy_j": self.sim_energy_j,
+            "sim_latency_s": self.sim_latency_s,
+            "sim_steps": self.sim_steps,
+            "metrics": dict(self.metrics),
+            "attrs": dict(self.attrs),
+        }
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit hash, or None outside a repo / without git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def metric_deltas(before: Dict[str, dict], after: Dict[str, dict]) -> Dict[str, float]:
+    """Scalar registry movement between two snapshots (counters/gauges by
+    value, histograms by observation count and sum)."""
+    deltas: Dict[str, float] = {}
+    for name, entry in after.items():
+        prior = before.get(name, {})
+        if entry["kind"] == "histogram":
+            d_count = entry["count"] - prior.get("count", 0)
+            d_sum = entry["sum"] - prior.get("sum", 0.0)
+            if d_count:
+                deltas[f"{name}_count"] = d_count
+                deltas[f"{name}_sum"] = d_sum
+        else:
+            delta = entry["value"] - prior.get("value", 0.0)
+            if delta:
+                deltas[name] = delta
+    return deltas
+
+
+@contextlib.contextmanager
+def measuring(name: str, **attrs: Any) -> Iterator[BenchRecord]:
+    """Context-manager measurement: telemetry for the enclosed block.
+
+    The tracer is force-enabled for the duration (and restored after) so
+    simulated costs recorded anywhere inside roll up into the bench
+    span; the metrics field holds the registry deltas the block caused.
+    The yielded :class:`BenchRecord` is filled in on exit (even when the
+    block raises, so failed runs still carry partial telemetry).
+    """
+    tracer = get_tracer()
+    registry = get_registry()
+    before = registry.snapshot()
+    was_enabled = tracer.enabled
+    tracer.enable()
+    record = BenchRecord(
+        name=name, wall_time_s=0.0, sim_energy_j=0.0,
+        sim_latency_s=0.0, sim_steps=0, attrs=dict(attrs),
+    )
+    t0 = time.perf_counter()
+    span = None
+    try:
+        with tracer.span(f"bench:{name}", **attrs) as span:
+            yield record
+    finally:
+        record.wall_time_s = time.perf_counter() - t0
+        tracer.enabled = was_enabled
+        if span is not None:
+            record.sim_energy_j = span.total_sim_energy
+            record.sim_latency_s = span.total_sim_latency
+            record.sim_steps = span.total_sim_steps
+        record.metrics = metric_deltas(before, registry.snapshot())
+
+
+def measure(name: str, fn: Callable[[], Any], **attrs: Any) -> BenchRecord:
+    """Run *fn* once under a span and return its :class:`BenchRecord`."""
+    if not callable(fn):
+        raise ObservabilityError(f"bench target for {name!r} is not callable")
+    with measuring(name, **attrs) as record:
+        record.value = fn()
+    return record
+
+
+def artifact_path(out_dir: str, bench_name: str) -> str:
+    """The ``BENCH_<name>.json`` path for *bench_name* under *out_dir*."""
+    safe = bench_name.replace("bench_", "", 1) if bench_name.startswith("bench_") else bench_name
+    if not safe or any(sep in safe for sep in ("/", "\\", "..")):
+        raise ObservabilityError(f"invalid bench name {bench_name!r}")
+    return os.path.join(out_dir, f"BENCH_{safe}.json")
+
+
+def write_artifact(
+    out_dir: str,
+    bench_name: str,
+    records: Sequence[BenchRecord],
+    smoke: bool = False,
+    extra: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write one ``BENCH_<name>.json`` artifact; returns its path.
+
+    Raises :class:`ObservabilityError` if the directory is missing or
+    unwritable, or a record does not serialise.
+    """
+    if not os.path.isdir(out_dir):
+        raise ObservabilityError(f"bench output dir {out_dir!r} does not exist")
+    payload = {
+        "schema": ARTIFACT_SCHEMA,
+        "bench": bench_name,
+        "smoke": bool(smoke),
+        "created_unix": time.time(),
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "entries": [r.as_dict() for r in records],
+    }
+    if extra:
+        payload.update(extra)
+    path = artifact_path(out_dir, bench_name)
+    try:
+        text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ObservabilityError(
+            f"bench artifact for {bench_name!r} is not JSON-serialisable: {exc}"
+        ) from exc
+    try:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text + "\n")
+    except OSError as exc:
+        raise ObservabilityError(f"cannot write {path!r}: {exc}") from exc
+    return path
+
+
+def run_bench(
+    name: str,
+    fn: Callable[[], Any],
+    out_dir: str = ".",
+    smoke: bool = False,
+    **attrs: Any,
+) -> BenchRecord:
+    """Measure *fn* and write a single-entry ``BENCH_<name>.json``."""
+    record = measure(name, fn, **attrs)
+    write_artifact(out_dir, name, [record], smoke=smoke)
+    return record
+
+
+def load_artifact(path: str) -> dict:
+    """Read and validate one bench artifact."""
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            payload = json.load(stream)
+    except OSError as exc:
+        raise ObservabilityError(f"cannot read {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ObservabilityError(f"{path!r} is not valid JSON: {exc}") from exc
+    for key in ("schema", "bench", "entries"):
+        if key not in payload:
+            raise ObservabilityError(f"{path!r} missing required key {key!r}")
+    for entry in payload["entries"]:
+        for key in ("name", "wall_time_s", "sim_energy_j", "sim_latency_s"):
+            if key not in entry:
+                raise ObservabilityError(
+                    f"{path!r} entry missing required key {key!r}"
+                )
+    return payload

@@ -1,0 +1,176 @@
+"""Exporters: JSON-lines, Prometheus text, and a console summary table.
+
+All exporters accept either an open file-like object (anything with
+``write``) or a filesystem path; malformed sinks, unwritable paths and
+non-serialisable records raise :class:`repro.errors.ObservabilityError`
+rather than leaking ``ValueError``/``OSError`` internals.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable, List, Optional, Union
+
+from ..errors import ObservabilityError
+from .registry import Gauge, Histogram, MetricsRegistry, get_registry
+from .tracing import Span, Tracer, get_tracer
+
+Sink = Union[str, IO[str]]
+
+
+class _OpenedSink:
+    """Normalise a path-or-stream sink; closes only what it opened."""
+
+    def __init__(self, sink: Sink) -> None:
+        if hasattr(sink, "write"):
+            self.stream, self._owned = sink, False
+        elif isinstance(sink, str):
+            if not sink:
+                raise ObservabilityError("export path must be non-empty")
+            try:
+                self.stream = open(sink, "w", encoding="utf-8")
+            except OSError as exc:
+                raise ObservabilityError(
+                    f"cannot open export sink {sink!r}: {exc}"
+                ) from exc
+            self._owned = True
+        else:
+            raise ObservabilityError(
+                f"sink must be a path or a writable stream, got {type(sink).__name__}"
+            )
+
+    def __enter__(self) -> IO[str]:
+        return self.stream
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._owned:
+            self.stream.close()
+
+
+def _dump(record: object) -> str:
+    try:
+        return json.dumps(record, sort_keys=True, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ObservabilityError(f"record is not JSON-serialisable: {exc}") from exc
+
+
+# -- JSON lines ---------------------------------------------------------------
+
+def export_jsonl(records: Iterable[dict], sink: Sink) -> int:
+    """Write one JSON object per line; returns the number of lines."""
+    written = 0
+    with _OpenedSink(sink) as stream:
+        for record in records:
+            if not isinstance(record, dict):
+                raise ObservabilityError(
+                    f"JSONL records must be dicts, got {type(record).__name__}"
+                )
+            stream.write(_dump(record) + "\n")
+            written += 1
+    return written
+
+
+def span_records(source: Union[Tracer, Iterable[Span]]) -> List[dict]:
+    """Flatten spans into one JSONL-ready record per span.
+
+    Each record carries its slash-joined ``path`` (root/child/...) and
+    ``depth`` so the tree is reconstructible from flat lines.
+    """
+    roots = source.roots if isinstance(source, Tracer) else list(source)
+    records: List[dict] = []
+
+    def visit(span: Span, prefix: str, depth: int) -> None:
+        path = f"{prefix}/{span.name}" if prefix else span.name
+        record = span.as_dict()
+        record.pop("children", None)
+        record["path"] = path
+        record["depth"] = depth
+        records.append(record)
+        for child in span.children:
+            visit(child, path, depth + 1)
+
+    for root in roots:
+        visit(root, "", 0)
+    return records
+
+
+def export_spans_jsonl(source: Union[Tracer, Iterable[Span]], sink: Sink) -> int:
+    """Export a tracer's span forest as JSON lines."""
+    return export_jsonl(span_records(source), sink)
+
+
+# -- Prometheus text ----------------------------------------------------------
+
+def _prom_number(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _prom_labels(labelvalues, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in labelvalues]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        prom_kind = metric.kind if metric.kind != "metric" else "untyped"
+        lines.append(f"# TYPE {metric.name} {prom_kind}")
+        instances = metric.children() or [metric]
+        for inst in instances:
+            if isinstance(inst, Histogram):
+                for bound, count in inst.bucket_counts():
+                    le = _prom_labels(inst.labelvalues, f'le="{_prom_number(bound)}"')
+                    lines.append(f"{inst.name}_bucket{le} {count}")
+                labels = _prom_labels(inst.labelvalues)
+                lines.append(f"{inst.name}_sum{labels} {_prom_number(inst.sum)}")
+                lines.append(f"{inst.name}_count{labels} {inst.count}")
+            else:
+                labels = _prom_labels(inst.labelvalues)
+                value = inst.value  # type: ignore[attr-defined]
+                lines.append(f"{inst.name}{labels} {_prom_number(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def export_prometheus(registry: Optional[MetricsRegistry], sink: Sink) -> None:
+    """Write the Prometheus text format to *sink*."""
+    text = prometheus_text(registry)
+    with _OpenedSink(sink) as stream:
+        stream.write(text)
+
+
+# -- console summary ----------------------------------------------------------
+
+def console_summary(registry: Optional[MetricsRegistry] = None, title: str = "metrics") -> str:
+    """Aligned table of every metric (reuses the analysis table style)."""
+    from ..analysis.tables import format_table  # local: avoids an import cycle
+
+    registry = registry if registry is not None else get_registry()
+    rows: List[List[str]] = []
+    for metric in registry:
+        for inst in metric.children() or [metric]:
+            labels = ",".join(f"{k}={v}" for k, v in inst.labelvalues)
+            name = f"{inst.name}{{{labels}}}" if labels else inst.name
+            if isinstance(inst, Histogram):
+                value = (
+                    f"count={inst.count} sum={inst.sum:.6g} mean={inst.mean:.6g}"
+                )
+            elif isinstance(inst, Gauge):
+                value = f"{inst.value:.6g}"
+            else:
+                v = inst.value  # type: ignore[attr-defined]
+                value = f"{int(v)}" if float(v).is_integer() else f"{v:.6g}"
+            rows.append([name, inst.kind, value])
+    if not rows:
+        return f"{title}: (empty registry)"
+    return format_table(["metric", "kind", "value"], rows, title=title)

@@ -1,0 +1,72 @@
+"""Stdlib logging configuration for the :mod:`repro` library and CLI.
+
+The library itself only ever *emits* log records on the ``repro.*``
+logger hierarchy and never configures handlers — per the logging
+how-to, a :class:`logging.NullHandler` is attached to the library root
+so importing applications see no spurious "no handler" warnings and
+stay in full control of output.
+
+The CLI (and anything else that wants console output) calls
+:func:`configure_logging` with a verbosity level derived from the
+``--quiet`` / ``--verbose`` flags.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Name of the library root logger; all module loggers hang below it.
+LIBRARY_LOGGER = "repro"
+
+# Library-side setup: emit into the void unless the application opts in.
+logging.getLogger(LIBRARY_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the library hierarchy (``repro.<name>``)."""
+    if name == LIBRARY_LOGGER or name.startswith(LIBRARY_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LIBRARY_LOGGER}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-q``/``-v`` style verbosity integer to a logging level.
+
+    ``-1`` (quiet) -> ERROR, ``0`` -> WARNING, ``1`` -> INFO,
+    ``>= 2`` -> DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0,
+    stream=None,
+    fmt: Optional[str] = None,
+) -> logging.Logger:
+    """Attach one stream handler to the library root at *verbosity*.
+
+    Idempotent: a handler previously installed by this function is
+    replaced rather than stacked, so repeated CLI invocations (or tests)
+    do not multiply output.  Returns the configured library logger.
+    """
+    logger = logging.getLogger(LIBRARY_LOGGER)
+    level = verbosity_to_level(verbosity)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        fmt or "%(levelname)s %(name)s: %(message)s"
+    ))
+    handler.set_name("repro-cli")
+    for existing in list(logger.handlers):
+        if existing.get_name() == "repro-cli":
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return logger

@@ -1,0 +1,326 @@
+"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the always-on half of the observability layer (the
+tracer in :mod:`repro.obs.tracing` is the opt-in half).  Metrics are
+designed to be cheap enough to leave enabled in hot loops: recording is
+a couple of attribute updates with no locking on the fast path, no
+string formatting, and no time calls.  Exporters
+(:mod:`repro.obs.export`) turn a registry snapshot into JSON lines,
+Prometheus text, or a console table.
+
+Naming follows the Prometheus conventions loosely: ``snake_case`` names,
+``_total`` suffix on counters, base SI units (joules, seconds) without
+prefixes.  Labelled metrics are families: ``family.labels(op="IMP")``
+returns (creating on first use) the child metric for that label set.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ObservabilityError
+
+#: Default histogram buckets: nine decades around "simulated seconds /
+#: joules" scales (1 ns .. 100 s).  An implicit +inf bucket always ends
+#: the list.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-9, 3))
+
+_LabelValues = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labelvalues: Dict[str, str]) -> _LabelValues:
+    return tuple(sorted((str(k), str(v)) for k, v in labelvalues.items()))
+
+
+class _Metric:
+    """Shared machinery: name/help bookkeeping and label children."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise ObservabilityError(
+                f"metric name must be a snake_case identifier, got {name!r}"
+            )
+        self.name = name
+        self.help = help
+        self.labelvalues: _LabelValues = ()
+        self._children: Dict[_LabelValues, "_Metric"] = {}
+
+    # -- labels ---------------------------------------------------------------
+
+    def labels(self, **labelvalues: object) -> "_Metric":
+        """Child metric for one label set, created on first use."""
+        if not labelvalues:
+            raise ObservabilityError(f"{self.name}: labels() needs at least one label")
+        if self.labelvalues:
+            raise ObservabilityError(
+                f"{self.name}: labels() on an already-labelled child"
+            )
+        key = _label_key({k: str(v) for k, v in labelvalues.items()})
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            child.labelvalues = key
+            self._children[key] = child
+        return child
+
+    def _make_child(self) -> "_Metric":
+        raise NotImplementedError
+
+    def children(self) -> List["_Metric"]:
+        """All labelled children (empty for plain metrics)."""
+        return [self._children[k] for k in sorted(self._children)]
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def _reset_children(self) -> None:
+        for child in self._children.values():
+            child.reset()
+
+
+class Counter(_Metric):
+    """Monotonically increasing count (events, pulses, joules spent)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ObservabilityError(
+                f"{self.name}: counters only go up (inc by {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _make_child(self) -> "Counter":
+        return Counter(self.name, self.help)
+
+    def reset(self) -> None:
+        self._value = 0.0
+        self._reset_children()
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (utilisation, residual, depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def _make_child(self) -> "Gauge":
+        return Gauge(self.name, self.help)
+
+    def reset(self) -> None:
+        self._value = 0.0
+        self._reset_children()
+
+
+class Histogram(_Metric):
+    """Fixed-bucket histogram of observations.
+
+    Buckets are upper bounds (strictly increasing); an implicit +inf
+    bucket catches the tail.  Per-bucket counts are non-cumulative
+    internally; exporters cumulate for the Prometheus ``le`` convention.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ObservabilityError(f"{self.name}: histogram needs >= 1 bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"{self.name}: bucket bounds must be strictly increasing"
+            )
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # + the +inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._counts[bisect.bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return self._max
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, +inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self._counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, self.buckets)
+
+    def reset(self) -> None:
+        self._counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = None
+        self._max = None
+        self._reset_children()
+
+
+class MetricsRegistry:
+    """Registry of named metrics; registration is idempotent.
+
+    ``registry.counter("x")`` returns the existing counter on repeat
+    calls (so instrumented modules can look metrics up at import time
+    without coordination) and raises :class:`ObservabilityError` if the
+    name is already registered as a different kind.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every metric's value; registrations are kept."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def unregister_all(self) -> None:
+        """Drop all registrations (tests only; instrumented modules keep
+        references to their metrics, so prefer :meth:`reset`)."""
+        self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Plain-data view of every metric, for JSON export."""
+        out: Dict[str, dict] = {}
+        for metric in self:
+            out[metric.name] = _snapshot_one(metric)
+        return out
+
+
+def _snapshot_one(metric: _Metric) -> dict:
+    entry: dict = {"kind": metric.kind, "help": metric.help}
+    if isinstance(metric, Histogram):
+        entry.update({
+            "count": metric.count,
+            "sum": metric.sum,
+            "mean": metric.mean,
+            "min": metric.minimum,
+            "max": metric.maximum,
+            "buckets": [
+                [bound, count] for bound, count in metric.bucket_counts()
+            ],
+        })
+    else:
+        entry["value"] = metric.value  # type: ignore[attr-defined]
+    kids = metric.children()
+    if kids:
+        entry["children"] = [
+            dict(_snapshot_one(child), labels=dict(child.labelvalues))
+            for child in kids
+        ]
+    return entry
+
+
+#: The process-wide registry every instrumented module shares.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return REGISTRY

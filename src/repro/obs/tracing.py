@@ -1,0 +1,242 @@
+"""Span tracing: nested wall-clock timing that also carries simulated cost.
+
+A :class:`Span` measures real wall time (``time.perf_counter``) around a
+region *and* accumulates the simulated energy/latency/step costs charged
+inside it, so one tree answers both "where does the Python time go?"
+and "where does the modelled energy go?".  Spans nest: the tracer keeps
+a stack, and :meth:`Tracer.add_sim` charges the innermost open span.
+
+The tracer is **disabled by default** and free when disabled:
+``tracer.span(...)`` returns a shared no-op context manager, and
+``add_sim`` is a single attribute check.  Enable it with
+:meth:`Tracer.enable` (the CLI's ``--profile`` flag and the bench
+harness do this for you).
+
+The existing :class:`repro.sim.trace.EnergyTrace` forwards every
+recorded event into the active span, so functional-machine runs under a
+span are subsumed automatically.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ObservabilityError
+from ..units import si_format
+
+
+class Span:
+    """One traced region: name, wall-clock window, simulated costs."""
+
+    __slots__ = (
+        "name", "parent", "children", "attrs", "error",
+        "start", "end", "sim_energy", "sim_latency", "sim_steps",
+    )
+
+    def __init__(self, name: str, parent: Optional["Span"] = None, **attrs: object) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: List[Span] = []
+        self.attrs: Dict[str, object] = dict(attrs)
+        self.error: Optional[str] = None
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.sim_energy = 0.0
+        self.sim_latency = 0.0
+        self.sim_steps = 0
+
+    # -- recording ------------------------------------------------------------
+
+    def add_sim(self, energy: float = 0.0, latency: float = 0.0, steps: int = 0) -> None:
+        """Charge simulated costs to this span (own costs, not children's)."""
+        self.sim_energy += energy
+        self.sim_latency += latency
+        self.sim_steps += steps
+
+    def set_attr(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def wall_time(self) -> float:
+        """Elapsed seconds (up to now if the span is still open)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    @property
+    def total_sim_energy(self) -> float:
+        """Simulated joules including all child spans."""
+        return self.sim_energy + sum(c.total_sim_energy for c in self.children)
+
+    @property
+    def total_sim_latency(self) -> float:
+        """Simulated seconds including all child spans."""
+        return self.sim_latency + sum(c.total_sim_latency for c in self.children)
+
+    @property
+    def total_sim_steps(self) -> int:
+        """Simulated steps including all child spans."""
+        return self.sim_steps + sum(c.total_sim_steps for c in self.children)
+
+    def as_dict(self) -> dict:
+        """Plain-data view (nested), for JSON export."""
+        out: dict = {
+            "name": self.name,
+            "wall_time_s": self.wall_time,
+            "sim_energy_j": self.total_sim_energy,
+            "sim_latency_s": self.total_sim_latency,
+            "sim_steps": self.total_sim_steps,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.error:
+            out["error"] = self.error
+        if self.children:
+            out["children"] = [c.as_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, wall={self.wall_time:.3g}s)"
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def add_sim(self, energy: float = 0.0, latency: float = 0.0, steps: int = 0) -> None:
+        pass
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one real span on the tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self._span.error = f"{type(exc).__name__}: {exc}"
+        self._tracer._close(self._span)
+        return False  # never swallow
+
+
+class Tracer:
+    """Owns the span stack and the finished span forest."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans included)."""
+        self.roots = []
+        self._stack = []
+
+    # -- span management ------------------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """Open a nested span; no-op (and free) while disabled.
+
+        Use as a context manager::
+
+            with tracer.span("compare_all", rows=64) as sp:
+                ...
+                sp.add_sim(energy=e, latency=t)
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, parent, **attrs)
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} closed out of order"
+            )
+        self._stack.pop()
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def add_sim(self, energy: float = 0.0, latency: float = 0.0, steps: int = 0) -> None:
+        """Charge simulated costs to the current span (no-op if none)."""
+        if self.enabled and self._stack:
+            self._stack[-1].add_sim(energy, latency, steps)
+
+    # -- views ----------------------------------------------------------------
+
+    def iter_spans(self) -> Iterator[Span]:
+        """All recorded spans, depth-first."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def render(self) -> str:
+        """Human-readable span tree with wall and simulated costs."""
+        lines: List[str] = []
+        for root in self.roots:
+            _render_span(root, "", lines)
+        return "\n".join(lines) if lines else "(no spans recorded)"
+
+
+def _render_span(span: Span, indent: str, lines: List[str]) -> None:
+    cost = (
+        f"wall={si_format(span.wall_time, 's')}"
+        f"  simE={si_format(span.total_sim_energy, 'J')}"
+        f"  simT={si_format(span.total_sim_latency, 's')}"
+    )
+    if span.total_sim_steps:
+        cost += f"  steps={span.total_sim_steps}"
+    tag = f"  [{span.error}]" if span.error else ""
+    lines.append(f"{indent}{span.name:<{max(1, 40 - len(indent))}s} {cost}{tag}")
+    for child in span.children:
+        _render_span(child, indent + "  ", lines)
+
+
+#: The process-wide tracer shared by all instrumented modules.
+TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide :class:`Tracer`."""
+    return TRACER

@@ -1,15 +1,37 @@
-"""Energy/latency tracing for the functional CIM machine."""
+"""Energy/latency tracing for the functional CIM machine.
+
+:class:`EnergyTrace` is the per-machine simulated-cost ledger.  Since
+the observability layer landed it is a thin client of
+:mod:`repro.obs`: every :meth:`EnergyTrace.record` call also charges the
+active tracing span (if the process tracer is enabled), and the
+aggregation helpers delegate to :class:`repro.obs.registry.Histogram`.
+
+Traces round-trip through JSON via :meth:`EnergyTrace.to_json` /
+:meth:`EnergyTrace.from_json` so benchmark artifacts can embed them.
+
+.. deprecated::
+    Poking the event list directly (``trace.events.append(...)``) is
+    deprecated; ``events`` is now a read-only tuple view.  Use
+    :meth:`record`, and the aggregate properties/histograms instead of
+    hand-rolled loops.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..errors import ArchitectureError
+from ..errors import ArchitectureError, ObservabilityError
+from ..obs.registry import Histogram
+from ..obs.tracing import get_tracer
 from ..units import si_format
 
+#: Numeric per-event fields, in serialisation order.
+_EVENT_FIELDS = ("kind", "label", "steps", "energy", "latency")
 
-@dataclass
+
+@dataclass(frozen=True)
 class TraceEvent:
     """One accounted operation in the functional machine."""
 
@@ -20,34 +42,76 @@ class TraceEvent:
     latency: float
 
 
-@dataclass
 class EnergyTrace:
     """Accumulates events and answers aggregate questions."""
 
-    events: List[TraceEvent] = field(default_factory=list)
+    __slots__ = ("_events",)
+
+    def __init__(self, events: Optional[Iterable[TraceEvent]] = None) -> None:
+        self._events: List[TraceEvent] = []
+        for event in events or ():
+            self._append(event)
+
+    # -- recording ------------------------------------------------------------
 
     def record(self, kind: str, label: str, steps: int, energy: float, latency: float) -> None:
-        """Append one event (validates non-negative costs)."""
-        if steps < 0 or energy < 0 or latency < 0:
+        """Append one event (validates non-negative costs).
+
+        The event's simulated costs are also charged to the innermost
+        open :class:`repro.obs.tracing.Span`, so functional runs under
+        ``--profile`` show up in the span tree automatically.
+        """
+        self._append(TraceEvent(kind, label, steps, energy, latency))
+        get_tracer().add_sim(energy=energy, latency=latency, steps=steps)
+
+    def _append(self, event: TraceEvent) -> None:
+        if event.steps < 0 or event.energy < 0 or event.latency < 0:
             raise ArchitectureError("trace costs must be non-negative")
-        self.events.append(TraceEvent(kind, label, steps, energy, latency))
+        self._events.append(event)
+
+    # -- event access ---------------------------------------------------------
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        """Read-only view of the recorded events.
+
+        Mutating the returned tuple is impossible by construction; code
+        that used to append here must go through :meth:`record`.
+        """
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EnergyTrace):
+            return NotImplemented
+        return self._events == other._events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EnergyTrace({len(self._events)} events, "
+            f"E={self.total_energy:.3g} J, T={self.total_latency:.3g} s)"
+        )
+
+    # -- aggregates -----------------------------------------------------------
 
     @property
     def total_energy(self) -> float:
-        return sum(e.energy for e in self.events)
+        return sum(e.energy for e in self._events)
 
     @property
     def total_latency(self) -> float:
-        return sum(e.latency for e in self.events)
+        return sum(e.latency for e in self._events)
 
     @property
     def total_steps(self) -> int:
-        return sum(e.steps for e in self.events)
+        return sum(e.steps for e in self._events)
 
     def by_kind(self) -> Dict[str, Tuple[int, float, float]]:
         """Aggregate (steps, energy, latency) per event kind."""
         out: Dict[str, Tuple[int, float, float]] = {}
-        for event in self.events:
+        for event in self._events:
             steps, energy, latency = out.get(event.kind, (0, 0.0, 0.0))
             out[event.kind] = (
                 steps + event.steps,
@@ -55,6 +119,24 @@ class EnergyTrace:
                 latency + event.latency,
             )
         return out
+
+    def histogram(self, field: str = "energy", buckets=None) -> Histogram:
+        """Distribution of one per-event cost field as an obs histogram.
+
+        *field* is ``'energy'``, ``'latency'`` or ``'steps'``; the
+        returned :class:`~repro.obs.registry.Histogram` is standalone
+        (not registered) and carries count/sum/mean/min/max plus the
+        fixed-bucket counts the exporters understand.
+        """
+        if field not in ("energy", "latency", "steps"):
+            raise ObservabilityError(
+                f"histogram field must be energy/latency/steps, got {field!r}"
+            )
+        kwargs = {} if buckets is None else {"buckets": buckets}
+        hist = Histogram(f"trace_{field}", f"per-event {field}", **kwargs)
+        for event in self._events:
+            hist.observe(getattr(event, field))
+        return hist
 
     def summary(self) -> str:
         """Multi-line human-readable cost summary."""
@@ -69,3 +151,50 @@ class EnergyTrace:
                 f"T={si_format(latency, 's')}"
             )
         return "\n".join(lines)
+
+    # -- (de)serialisation ----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to a JSON document (lossless round-trip)."""
+        return json.dumps(
+            {"events": [asdict(e) for e in self._events]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "EnergyTrace":
+        """Rebuild a trace from :meth:`to_json` output.
+
+        Raises :class:`~repro.errors.ObservabilityError` on malformed
+        payloads.  Deserialisation does **not** re-charge the tracer —
+        loading a trace is not executing one.
+        """
+        try:
+            doc = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ObservabilityError(f"trace payload is not valid JSON: {exc}") from exc
+        if not isinstance(doc, dict) or not isinstance(doc.get("events"), list):
+            raise ObservabilityError("trace payload must be {'events': [...]}")
+        trace = cls()
+        for i, entry in enumerate(doc["events"]):
+            if not isinstance(entry, dict) or set(entry) != set(_EVENT_FIELDS):
+                raise ObservabilityError(
+                    f"trace event #{i} must have exactly fields {_EVENT_FIELDS}"
+                )
+            try:
+                event = TraceEvent(
+                    kind=str(entry["kind"]),
+                    label=str(entry["label"]),
+                    steps=int(entry["steps"]),
+                    energy=float(entry["energy"]),
+                    latency=float(entry["latency"]),
+                )
+            except (TypeError, ValueError) as exc:
+                raise ObservabilityError(
+                    f"trace event #{i} has malformed fields: {exc}"
+                ) from exc
+            try:
+                trace._append(event)
+            except ArchitectureError as exc:
+                raise ObservabilityError(str(exc)) from exc
+        return trace

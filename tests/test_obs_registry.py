@@ -1,0 +1,179 @@
+"""Unit tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("pulses_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_negative_increment_rejected(self):
+        c = Counter("pulses_total")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("pulses_total")
+        c.inc(5)
+        c.reset()
+        assert c.value == 0
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter("bad name!")
+        with pytest.raises(ObservabilityError):
+            Counter("")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == pytest.approx(11.5)
+
+    def test_reset(self):
+        g = Gauge("depth")
+        g.set(-3)
+        g.reset()
+        assert g.value == 0
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+        assert h.mean == pytest.approx(555.5 / 4)
+        assert h.minimum == 0.5
+        assert h.maximum == 500.0
+
+    def test_bucket_counts_are_cumulative_le(self):
+        h = Histogram("lat", buckets=(1.0, 10.0))
+        for v in (1.0, 2.0, 10.0, 11.0):  # bound-equal values land inside
+            h.observe(v)
+        assert h.bucket_counts() == [(1.0, 1), (10.0, 3), (float("inf"), 4)]
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.minimum is None and h.maximum is None
+        assert h.buckets == DEFAULT_BUCKETS
+
+    def test_bad_buckets_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Histogram("lat", buckets=())
+        with pytest.raises(ObservabilityError):
+            Histogram("lat", buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram("lat", buckets=(2.0, 1.0))
+
+    def test_reset(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0
+        assert h.bucket_counts() == [(1.0, 0), (float("inf"), 0)]
+
+
+class TestLabels:
+    def test_same_labels_same_child(self):
+        c = Counter("ops_total")
+        a = c.labels(op="IMP")
+        b = c.labels(op="IMP")
+        assert a is b
+        a.inc(3)
+        assert b.value == 3
+
+    def test_distinct_labels_distinct_children(self):
+        c = Counter("ops_total")
+        c.labels(op="IMP").inc()
+        c.labels(op="FALSE").inc(2)
+        assert [child.value for child in c.children()] == [2, 1]  # sorted
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("ops_total")
+        assert c.labels(a="1", b="2") is c.labels(b="2", a="1")
+
+    def test_labels_on_child_rejected(self):
+        c = Counter("ops_total")
+        with pytest.raises(ObservabilityError):
+            c.labels(op="IMP").labels(op="nested")
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter("ops_total").labels()
+
+    def test_parent_reset_resets_children(self):
+        c = Counter("ops_total")
+        c.labels(op="IMP").inc(7)
+        c.reset()
+        assert c.labels(op="IMP").value == 0
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help text")
+        b = reg.counter("x_total")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x")
+        with pytest.raises(ObservabilityError):
+            reg.histogram("x")
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.inc(9)
+        reg.reset()
+        assert reg.counter("x") is c
+        assert c.value == 0
+
+    def test_iteration_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.gauge("aa")
+        assert [m.name for m in reg] == ["aa", "zz"]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "a counter").inc(2)
+        reg.gauge("g").set(1.5)
+        h = reg.histogram("h", buckets=(1.0,))
+        h.observe(0.5)
+        reg.counter("lab").labels(op="X").inc()
+        snap = reg.snapshot()
+        assert snap["c"] == {"kind": "counter", "help": "a counter", "value": 2}
+        assert snap["g"]["value"] == 1.5
+        assert snap["h"]["count"] == 1
+        assert snap["h"]["buckets"] == [[1.0, 1], [float("inf"), 1]]
+        assert snap["lab"]["children"][0]["labels"] == {"op": "X"}
+
+    def test_global_registry_is_shared(self):
+        assert get_registry() is get_registry()
+        # The instrumented modules registered their hot-path metrics.
+        assert get_registry().get("imply_pulses_total") is not None

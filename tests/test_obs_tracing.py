@@ -1,0 +1,152 @@
+"""Unit tests for span tracing: nesting, sim-cost roll-up, exception safety."""
+
+import pytest
+
+from repro.errors import LogicError
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, get_tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestDisabledTracer:
+    def test_disabled_by_default(self):
+        assert Tracer().enabled is False
+
+    def test_span_is_shared_noop(self):
+        t = Tracer()
+        ctx = t.span("anything", attr=1)
+        assert ctx is NULL_SPAN
+        with ctx as span:
+            span.add_sim(energy=1.0)   # must be accepted and ignored
+            span.set_attr("k", "v")
+        assert t.roots == []
+        assert t.current is None
+
+    def test_add_sim_noop(self):
+        t = Tracer()
+        t.add_sim(energy=5.0)  # no span, disabled: silently ignored
+
+
+class TestNesting:
+    def test_tree_structure(self, tracer):
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.roots] == ["root"]
+        root = tracer.roots[0]
+        assert [c.name for c in root.children] == ["a", "b"]
+        assert [c.name for c in root.children[0].children] == ["a1"]
+        assert [s.name for s in tracer.iter_spans()] == ["root", "a", "a1", "b"]
+
+    def test_current_tracks_stack(self, tracer):
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_wall_time_monotone(self, tracer):
+        with tracer.span("x") as span:
+            pass
+        assert span.end is not None
+        assert span.wall_time >= 0.0
+
+    def test_reset(self, tracer):
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+
+
+class TestSimCosts:
+    def test_add_sim_charges_innermost(self, tracer):
+        with tracer.span("outer") as outer:
+            tracer.add_sim(energy=1.0, latency=2.0, steps=3)
+            with tracer.span("inner") as inner:
+                tracer.add_sim(energy=10.0)
+        assert outer.sim_energy == 1.0
+        assert inner.sim_energy == 10.0
+
+    def test_totals_roll_up_children(self, tracer):
+        with tracer.span("outer") as outer:
+            outer.add_sim(energy=1.0, latency=0.5, steps=1)
+            with tracer.span("inner") as inner:
+                inner.add_sim(energy=2.0, latency=1.5, steps=4)
+        assert outer.total_sim_energy == pytest.approx(3.0)
+        assert outer.total_sim_latency == pytest.approx(2.0)
+        assert outer.total_sim_steps == 5
+        assert inner.total_sim_energy == pytest.approx(2.0)
+
+    def test_as_dict(self, tracer):
+        with tracer.span("outer", workload="dna") as outer:
+            outer.add_sim(energy=1.0)
+            with tracer.span("inner"):
+                pass
+        doc = outer.as_dict()
+        assert doc["name"] == "outer"
+        assert doc["attrs"] == {"workload": "dna"}
+        assert doc["sim_energy_j"] == 1.0
+        assert [c["name"] for c in doc["children"]] == ["inner"]
+
+
+class TestExceptionSafety:
+    def test_exception_closes_span_and_propagates(self, tracer):
+        with pytest.raises(LogicError):
+            with tracer.span("boom"):
+                raise LogicError("electrical mismatch")
+        span = tracer.roots[0]
+        assert span.end is not None
+        assert span.error == "LogicError: electrical mismatch"
+        assert tracer.current is None  # stack unwound
+
+    def test_sibling_after_exception_is_root_level(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("first"):
+                raise ValueError("x")
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+
+class TestRender:
+    def test_render_contains_names_and_costs(self, tracer):
+        with tracer.span("phase") as span:
+            span.add_sim(energy=1e-12, latency=1e-9, steps=7)
+        text = tracer.render()
+        assert "phase" in text
+        assert "wall=" in text and "simE=" in text and "simT=" in text
+        assert "steps=7" in text
+
+    def test_render_empty(self):
+        assert "no spans" in Tracer().render()
+
+
+class TestGlobalTracer:
+    def test_shared_instance(self):
+        assert get_tracer() is get_tracer()
+
+    def test_energy_trace_forwards_into_spans(self):
+        from repro.sim.trace import EnergyTrace
+
+        tracer = get_tracer()
+        tracer.enable()
+        try:
+            with tracer.span("functional") as span:
+                trace = EnergyTrace()
+                trace.record("logic", "x", 4, 4e-15, 4e-10)
+            assert span.sim_energy == pytest.approx(4e-15)
+            assert span.sim_latency == pytest.approx(4e-10)
+            assert span.sim_steps == 4
+        finally:
+            tracer.disable()
+            tracer.reset()
