@@ -14,6 +14,7 @@ from repro.crossbar import (
     ALL_SCHEMES,
     max_readable_size,
     read_margin,
+    scipy_available,
 )
 from repro.crossbar.selector import CRSJunction, OneSelectorOneR
 
@@ -65,3 +66,30 @@ def test_bench_fig3_max_readable_size(benchmark):
     assert result["1R"] <= 4
     assert result["CRS"] == 16
     assert result["1S1R"] == 16
+
+
+def test_bench_fig3_wire_resistance_scaling(benchmark):
+    """Margin vs size including line IR drop through the sparse nodal
+    solver.  The seed's dense solver rejected anything past 64x64 and
+    took ~17 s there; the sparse path makes 256x256 sweeps routine.
+    Without scipy the dense fallback caps the sweep at 64x64."""
+    sizes = (16, 64, 256) if scipy_available() else (16, 64)
+    wire_resistance = 5.0
+
+    def sweep():
+        return [
+            (n, read_margin(n, n, wire_resistance=wire_resistance).margin)
+            for n in sizes
+        ]
+
+    rows = benchmark(sweep)
+    print()
+    print(format_table(
+        ["n (n x n array)", "1R margin @ 5 ohm/segment"],
+        [[str(n), f"{m:.3f}"] for n, m in rows],
+        title="Fig 3 extension: read margin vs size with wire IR drop",
+    ))
+    margins = dict(rows)
+    assert all(m >= 1.0 for m in margins.values())
+    # IR drop on top of sneak paths: large 1R arrays stay unreadable.
+    assert margins[sizes[-1]] < 2.0

@@ -141,13 +141,19 @@ class AnalogCrossbar:
     # -- compute ----------------------------------------------------------
 
     def column_currents(
-        self, inputs: np.ndarray, wire_resistance: Optional[float] = None
+        self,
+        inputs: np.ndarray,
+        wire_resistance: Optional[float] = None,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Raw bitline currents for the given input vector.
 
         Inputs are normalised to [0, 1] of the read voltage by the
         caller's convention; *wire_resistance* switches from the ideal
-        Kirchhoff sum to the full IR-drop nodal solve.
+        Kirchhoff sum to the full IR-drop nodal solve.  Every line is
+        driven, so repeated evaluations on the same programmed array
+        share one cached factorization — only the right-hand side
+        changes per input vector.
         """
         v = np.asarray(inputs, dtype=float)
         if v.shape != (self.rows,):
@@ -160,12 +166,16 @@ class AnalogCrossbar:
         row_drive = {i: float(voltages[i]) for i in range(self.rows)}
         col_drive = {j: 0.0 for j in range(self.cols)}
         solution = solve_with_wire_resistance(
-            self._g, row_drive, col_drive, wire_resistance=wire_resistance
+            self._g, row_drive, col_drive, wire_resistance=wire_resistance,
+            backend=backend,
         )
         return solution.col_currents
 
     def matvec(
-        self, inputs: np.ndarray, wire_resistance: Optional[float] = None
+        self,
+        inputs: np.ndarray,
+        wire_resistance: Optional[float] = None,
+        backend: str = "auto",
     ) -> np.ndarray:
         """Weight-domain vector-matrix product ``inputs @ W``.
 
@@ -174,7 +184,7 @@ class AnalogCrossbar:
         gives ``x @ W = (I/v_read - g_min*sum(x)) / slope * span + w_min*sum(x)``.
         """
         x = np.asarray(inputs, dtype=float)
-        currents = self.column_currents(x, wire_resistance)
+        currents = self.column_currents(x, wire_resistance, backend)
         span = self._w_max - self._w_min
         slope = (self.spec.g_max - self.spec.g_min)
         sum_x = x.sum()

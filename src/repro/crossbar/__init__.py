@@ -29,6 +29,7 @@ from .disturb import (
     compare_schemes,
     ecm_disturb_report,
     max_writes_per_row,
+    solved_unselected_stress,
     threshold_disturb_free,
 )
 from .memory import AccessStats, CrossbarMemory
@@ -49,13 +50,21 @@ from .sneak import (
     solve_access,
     worst_case_array,
 )
-from .solver import CrossbarSolution, solve_ideal_wires, solve_with_wire_resistance
+from .solver import (
+    CrossbarSolution,
+    clear_factorization_cache,
+    scipy_available,
+    solve_ideal_wires,
+    solve_with_wire_resistance,
+)
 
 __all__ = [
     "CrossbarArray",
     "CrossbarSolution",
     "solve_ideal_wires",
     "solve_with_wire_resistance",
+    "clear_factorization_cache",
+    "scipy_available",
     "BiasScheme",
     "FloatingBias",
     "GroundedBias",
@@ -82,6 +91,7 @@ __all__ = [
     "read_cost_factor",
     "DisturbReport",
     "ecm_disturb_report",
+    "solved_unselected_stress",
     "threshold_disturb_free",
     "compare_schemes",
     "max_writes_per_row",

@@ -16,12 +16,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
+
+import numpy as np
 
 from ..devices.base import IdealBipolarMemristor
 from ..devices.ecm import ECMMemristor
 from ..errors import CrossbarError
+from .array import CrossbarArray
 from .bias import ALL_SCHEMES, BiasScheme
+from .solver import solve_ideal_wires, solve_with_wire_resistance
 
 
 @dataclass(frozen=True)
@@ -57,12 +61,52 @@ def threshold_disturb_free(
             and -stress > device.thresholds.v_reset)
 
 
+def solved_unselected_stress(
+    scheme: BiasScheme,
+    v_write: float,
+    rows: int = 8,
+    cols: int = 8,
+    junction_factory: Optional[Callable[[int, int], object]] = None,
+    sel_row: int = 0,
+    sel_col: int = 0,
+    background_bit: int = 1,
+    wire_resistance: Optional[float] = None,
+) -> float:
+    """Worst-case |voltage| on unselected junctions from a full solve.
+
+    The analytic ``scheme.max_unselected_stress`` is a nominal bound;
+    this computes the *actual* stress electrically for a concrete array
+    (all-LRS background by default — the most conductive, hence worst,
+    sneak network), optionally including line IR drop, which relaxes
+    the stress far from the drivers.
+    """
+    if v_write == 0:
+        raise CrossbarError("v_write must be nonzero")
+    array = CrossbarArray(rows, cols, junction_factory)
+    array.fill(background_bit)
+    row_drive, col_drive = scheme.drives(rows, cols, sel_row, sel_col, v_write)
+    g = array.conductance_matrix()
+    if wire_resistance is None:
+        solution = solve_ideal_wires(g, row_drive, col_drive)
+        vdiff = (solution.row_voltages[:, None]
+                 - solution.col_voltages[None, :])
+    else:
+        solution = solve_with_wire_resistance(
+            g, row_drive, col_drive, wire_resistance=wire_resistance
+        )
+        vdiff = solution.row_voltages - solution.col_voltages
+    stress = np.abs(vdiff)
+    stress[sel_row, sel_col] = 0.0
+    return float(stress.max())
+
+
 def ecm_disturb_report(
     scheme: BiasScheme,
     v_write: float,
     device: Optional[ECMMemristor] = None,
     pulse_width: float = 1e-9,
     failure_margin: float = 0.4,
+    stress_voltage: Optional[float] = None,
 ) -> DisturbReport:
     """Disturb budget of an ECM cell under *scheme* at *v_write*.
 
@@ -70,6 +114,9 @@ def ecm_disturb_report(
     *pulse_width* per neighbouring write; state drift accumulates until
     it crosses *failure_margin* (default 0.4: a stored '0' at x=0
     corrupts when x reaches the 0.5 logic threshold minus guard band).
+    Pass *stress_voltage* (e.g. from :func:`solved_unselected_stress`)
+    to charge the electrically-solved stress instead of the scheme's
+    analytic bound.
     """
     if v_write <= 0:
         raise CrossbarError(f"v_write must be positive, got {v_write}")
@@ -80,7 +127,8 @@ def ecm_disturb_report(
             f"failure_margin must lie in (0, 1], got {failure_margin}"
         )
     device = device if device is not None else ECMMemristor()
-    stress = scheme.max_unselected_stress(v_write)
+    stress = (scheme.max_unselected_stress(v_write)
+              if stress_voltage is None else float(stress_voltage))
     if stress < device.v_nucleation:
         return DisturbReport(
             scheme=scheme.name,

@@ -38,8 +38,14 @@ def multistage_sense_current(
     sel_col: int,
     v_read: float = 0.95,
     wire_resistance: Optional[float] = None,
+    backend: str = "auto",
 ) -> float:
-    """Two-phase differential sense current of one cell (amperes)."""
+    """Two-phase differential sense current of one cell (amperes).
+
+    With *wire_resistance* both phases run through the sparse nodal
+    solver; the two drive patterns each keep their own cached
+    factorization, so margin sweeps re-solve only the right-hand side.
+    """
     if not (0 <= sel_row < array.rows and 0 <= sel_col < array.cols):
         raise CrossbarError(
             f"cell ({sel_row}, {sel_col}) outside {array.rows}x{array.cols}"
@@ -54,10 +60,12 @@ def multistage_sense_current(
         phase2 = solve_ideal_wires(g, without_selected, col_drive)
     else:
         phase1 = solve_with_wire_resistance(
-            g, all_rows, col_drive, wire_resistance=wire_resistance
+            g, all_rows, col_drive, wire_resistance=wire_resistance,
+            backend=backend,
         )
         phase2 = solve_with_wire_resistance(
-            g, without_selected, col_drive, wire_resistance=wire_resistance
+            g, without_selected, col_drive, wire_resistance=wire_resistance,
+            backend=backend,
         )
     return float(phase1.col_currents[sel_col] - phase2.col_currents[sel_col])
 
@@ -68,6 +76,7 @@ def multistage_read_margin(
     junction_factory: Optional[JunctionFactory] = None,
     v_read: float = 0.95,
     wire_resistance: Optional[float] = None,
+    backend: str = "auto",
 ) -> MarginReport:
     """Worst-case read margin under multistage readout.
 
@@ -80,7 +89,7 @@ def multistage_read_margin(
     for bit in (1, 0):
         array = worst_case_array(rows, cols, junction_factory, bit)
         currents.append(abs(multistage_sense_current(
-            array, 0, 0, v_read, wire_resistance
+            array, 0, 0, v_read, wire_resistance, backend
         )))
     high, low = max(currents), min(currents)
     return MarginReport(
@@ -94,10 +103,12 @@ def multistage_margin_vs_size(
     junction_factory: Optional[JunctionFactory] = None,
     v_read: float = 0.95,
     wire_resistance: Optional[float] = None,
+    backend: str = "auto",
 ) -> list:
     """Margin over square sizes (for the Fig 3 comparison bench)."""
     return [
-        multistage_read_margin(n, n, junction_factory, v_read, wire_resistance)
+        multistage_read_margin(n, n, junction_factory, v_read,
+                               wire_resistance, backend)
         for n in sizes
     ]
 

@@ -22,14 +22,35 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import CrossbarError
+from ..obs.logsetup import get_logger
+from ..obs.registry import get_registry
 from .array import CrossbarArray
 from .bias import BiasScheme, FloatingBias
-from .solver import CrossbarSolution, solve_ideal_wires
+from .solver import CrossbarSolution, solve_ideal_wires, solve_with_wire_resistance
 
 JunctionFactory = Callable[[int, int], object]
 
 #: Default minimum I_high/I_low ratio considered readable.
 DEFAULT_MIN_MARGIN = 2.0
+
+_LOG = get_logger(__name__)
+_NONCONVERGED = get_registry().counter(
+    "crossbar_fixedpoint_nonconverged_total",
+    "nonlinear-junction fixed-point loops that ran out of iterations")
+
+
+def _junction_conductance(junction: object, r: int, c: int, v: float) -> float:
+    """Conductance of one junction at voltage *v*, guarding bad models."""
+    if hasattr(junction, "resistance_at"):
+        resistance = junction.resistance_at(v)
+    else:
+        resistance = junction.resistance()
+    if resistance <= 0:
+        raise CrossbarError(
+            f"junction at ({r}, {c}) reported non-positive resistance "
+            f"{resistance!r}"
+        )
+    return 1.0 / resistance
 
 
 def solve_access(
@@ -40,29 +61,56 @@ def solve_access(
     v_read: float,
     iterations: int = 30,
     tolerance: float = 1e-9,
+    wire_resistance: Optional[float] = None,
+    driver_resistance: float = 0.0,
 ) -> CrossbarSolution:
     """Solve a single-cell access, iterating for nonlinear junctions.
 
     Junction conductances are evaluated with ``resistance_at`` at the
     junction voltage of the previous iterate (fixed-point / chord
     iteration).  Linear junctions converge in one pass; 1S1R and CRS
-    junctions typically need a handful.
+    junctions typically need a handful.  Passing *wire_resistance*
+    switches every iterate from the ideal-wire solver to the full
+    IR-drop nodal solve (the per-topology factorization cache makes the
+    repeated solves cheap).
+
+    The returned solution's ``converged`` flag records whether the loop
+    actually reached *tolerance*; running out of *iterations* clears it,
+    bumps the ``crossbar_fixedpoint_nonconverged_total`` counter, and
+    logs a warning instead of silently returning the last iterate.
     """
     row_drive, col_drive = scheme.drives(array.rows, array.cols, sel_row, sel_col, v_read)
+
+    def _solve(g_now: np.ndarray) -> CrossbarSolution:
+        if wire_resistance is None:
+            return solve_ideal_wires(g_now, row_drive, col_drive)
+        return solve_with_wire_resistance(
+            g_now, row_drive, col_drive,
+            wire_resistance=wire_resistance,
+            driver_resistance=driver_resistance,
+        )
+
     g = array.conductance_matrix()
-    solution = solve_ideal_wires(g, row_drive, col_drive)
+    solution = _solve(g)
+    converged = False
     for _ in range(iterations):
         g_next = np.empty_like(g)
         for r, c, junction in array.iter_cells():
             v_junction = solution.junction_voltage(r, c)
-            if hasattr(junction, "resistance_at"):
-                g_next[r, c] = 1.0 / junction.resistance_at(v_junction)
-            else:
-                g_next[r, c] = 1.0 / junction.resistance()
+            g_next[r, c] = _junction_conductance(junction, r, c, v_junction)
         if np.allclose(g_next, g, rtol=tolerance, atol=0.0):
+            converged = True
             break
         g = g_next
-        solution = solve_ideal_wires(g, row_drive, col_drive)
+        solution = _solve(g)
+    if not converged:
+        _NONCONVERGED.inc()
+        _LOG.warning(
+            "fixed-point junction iteration did not converge within %d "
+            "iterations on a %dx%d array (scheme %s); returning the last "
+            "iterate", iterations, array.rows, array.cols, scheme.name,
+        )
+    solution.converged = converged
     return solution
 
 
@@ -72,13 +120,18 @@ def sense_current(
     sel_row: int,
     sel_col: int,
     v_read: float,
+    wire_resistance: Optional[float] = None,
 ) -> float:
     """Current absorbed by the selected (grounded) column in amperes.
 
     This is what a transimpedance sense amplifier on the bitline sees:
-    the addressed junction's current *plus* every sneak contribution.
+    the addressed junction's current *plus* every sneak contribution
+    (and, with *wire_resistance*, minus what the IR drop eats).
     """
-    solution = solve_access(array, scheme, sel_row, sel_col, v_read)
+    solution = solve_access(
+        array, scheme, sel_row, sel_col, v_read,
+        wire_resistance=wire_resistance,
+    )
     return float(solution.col_currents[sel_col])
 
 
@@ -136,19 +189,25 @@ def read_margin(
     v_read: float = 0.95,
     sel_row: int = 0,
     sel_col: int = 0,
+    wire_resistance: Optional[float] = None,
 ) -> MarginReport:
     """Worst-case read margin of a *rows* x *cols* array.
 
     Builds the worst-case background twice (selected cell storing 1 and
     0), measures both sense currents, and reports their ratio.  The
     default read voltage of 0.95 V sits inside the default CRS read
-    window so the same call works for every junction type.
+    window so the same call works for every junction type.  With
+    *wire_resistance* the margin additionally includes line IR drop
+    (sparse solver; 256x256 sweeps are practical).
     """
     scheme = scheme if scheme is not None else FloatingBias()
     currents = []
     for bit in (1, 0):
         array = worst_case_array(rows, cols, junction_factory, bit, sel_row, sel_col)
-        currents.append(abs(sense_current(array, scheme, sel_row, sel_col, v_read)))
+        currents.append(abs(sense_current(
+            array, scheme, sel_row, sel_col, v_read,
+            wire_resistance=wire_resistance,
+        )))
     high, low = max(currents), min(currents)
     return MarginReport(
         rows=rows, cols=cols, scheme=scheme.name, current_high=high, current_low=low
@@ -160,10 +219,13 @@ def margin_vs_size(
     junction_factory: Optional[JunctionFactory] = None,
     scheme: Optional[BiasScheme] = None,
     v_read: float = 0.95,
+    wire_resistance: Optional[float] = None,
 ) -> List[MarginReport]:
     """Read margin for square n x n arrays over *sizes*."""
     return [
-        read_margin(n, n, junction_factory, scheme, v_read) for n in sizes
+        read_margin(n, n, junction_factory, scheme, v_read,
+                    wire_resistance=wire_resistance)
+        for n in sizes
     ]
 
 
@@ -173,6 +235,7 @@ def max_readable_size(
     scheme: Optional[BiasScheme] = None,
     v_read: float = 0.95,
     min_margin: float = DEFAULT_MIN_MARGIN,
+    wire_resistance: Optional[float] = None,
 ) -> int:
     """Largest array edge in *sizes* whose worst-case margin stays
     readable; returns 0 if none qualifies.
@@ -182,7 +245,8 @@ def max_readable_size(
     biasing, selectors, or CRS cells.
     """
     best = 0
-    for report in margin_vs_size(sorted(sizes), junction_factory, scheme, v_read):
+    for report in margin_vs_size(sorted(sizes), junction_factory, scheme, v_read,
+                                 wire_resistance=wire_resistance):
         if report.readable(min_margin):
             best = max(best, report.rows)
     return best

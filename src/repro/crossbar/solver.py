@@ -14,14 +14,60 @@ Two solvers are provided:
   resistance.  This exposes the IR-drop effects that bound realistic
   array sizes.
 
-Both return a :class:`CrossbarSolution` with node voltages, the junction
-current matrix, and per-line terminal currents.
+The wire-resistance system is assembled with vectorised NumPy index
+arithmetic (no Python double loop) and solved through one of two
+backends:
+
+* ``sparse`` — :func:`scipy.sparse.linalg.splu` on the CSC form of the
+  2·R·C-node conductance matrix.  SciPy is the optional ``repro[fast]``
+  extra; when it is importable this backend is the default and there is
+  no array-size cap (256x256 and beyond are routine).
+* ``dense`` — a pure-NumPy :func:`numpy.linalg.solve` fallback, capped
+  at :data:`DENSE_NODE_LIMIT` nodes so an accidental large solve cannot
+  allocate a multi-gigabyte matrix.
+
+Factorizations are memoised in a small LRU cache keyed on the array
+shape, the *pattern* of driven lines, the wire/driver resistances, the
+backend, and a digest of the conductance matrix.  Drive *voltages* only
+enter the right-hand side, so repeated same-topology solves — the
+fixed-point loop in :func:`repro.crossbar.sneak.solve_access`,
+per-input :meth:`repro.analog.crossbar.AnalogCrossbar.matvec`, the
+two-phase multistage readout — reuse the factorization instead of
+re-factoring.  Cache traffic is observable through the
+``crossbar_factorization_cache_total{result=hit|miss}`` counter.
+
+Both solvers return a :class:`CrossbarSolution` with node voltages, the
+junction current matrix, and per-line terminal currents.  Terminal
+currents of the wire-resistance solver are recovered by summing each
+line's junction currents (the only elements through which current can
+leave a line) rather than differencing adjacent node voltages across a
+wire segment: the voltage drop across one segment shrinks like
+``wire_resistance`` while the node voltages stay O(1), so the old
+difference cancelled catastrophically and row/column totals disagreed
+by ~0.4% at ``wire_resistance=1e-9``.  Junction voltage differences
+stay O(1), so charge conservation now holds to solver tolerance at any
+wire resistance.
+
+Conditioning caveat: at extreme wire-to-junction conductance ratios
+(``g_wire / g_junction`` around 1e13, e.g. ``wire_resistance=1e-9``
+against 10 kohm junctions) the float64 *assembly* itself limits
+absolute accuracy.  Rounding the diagonal to the nearest representable
+double injects a spurious leak of about ``ulp(2e9) ~ 2.4e-7 S`` per
+node — a few times 1e-3 relative to a 1e-4 S junction — and no solver
+or iterative refinement can recover what the stamped matrix no longer
+represents.  Charge conservation is unaffected (both terminal totals
+sum the same junction-current matrix), but comparisons against the
+ideal-wire solution should budget ~1e-3 relative error in that regime;
+at ``wire_resistance >= 1e-6`` the agreement is ~1e-4 or better.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -29,9 +75,26 @@ from ..errors import CrossbarError
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
 
+try:  # SciPy is optional: the `repro[fast]` extra.
+    from scipy.sparse import coo_matrix as _coo_matrix
+    from scipy.sparse.linalg import splu as _splu
+    _HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised via backend="dense"
+    _HAVE_SCIPY = False
+
 #: Voltage assignment for driven lines: index -> volts.  Lines absent
 #: from the mapping float.
 LineDrive = Dict[int, float]
+
+#: Node-count ceiling for the dense fallback backend.  2 * rows * cols
+#: nodes; 16384 nodes is a 2 GB dense matrix — anything larger needs the
+#: sparse backend (install ``repro[fast]``).
+DENSE_NODE_LIMIT = 16384
+
+#: Maximum number of memoised factorizations (LRU eviction beyond it).
+FACTORIZATION_CACHE_SIZE = 16
+
+_BACKENDS = ("auto", "sparse", "dense")
 
 _REGISTRY = get_registry()
 _TRACER = get_tracer()
@@ -45,10 +108,24 @@ _UNKNOWNS = _REGISTRY.histogram(
 _RESIDUAL = _REGISTRY.gauge(
     "crossbar_solver_residual_max_abs",
     "max |Ax - b| of the last solve (updated only while tracing)")
+_CACHE_LOOKUPS = _REGISTRY.counter(
+    "crossbar_factorization_cache_total",
+    "wire-resistance factorization cache lookups by result")
+_CACHE_HIT = _CACHE_LOOKUPS.labels(result="hit")
+_CACHE_MISS = _CACHE_LOOKUPS.labels(result="miss")
 
 
-def _note_solve(counter, a: np.ndarray, b: np.ndarray, x: np.ndarray) -> None:
-    """Record one solve; the O(n^2) residual check runs only under tracing."""
+def scipy_available() -> bool:
+    """Whether the sparse (SciPy) backend can be used in this process."""
+    return _HAVE_SCIPY
+
+
+def _note_solve(counter, a, b: np.ndarray, x: np.ndarray) -> None:
+    """Record one solve; the residual check runs only under tracing.
+
+    *a* may be a dense ndarray or a scipy sparse matrix — both support
+    ``a @ x``.
+    """
     counter.inc()
     _UNKNOWNS.observe(len(b))
     if _TRACER.enabled:
@@ -69,7 +146,13 @@ class CrossbarSolution:
         (amperes), shape (rows, cols).
     row_currents, col_currents:
         Net current injected by each row / absorbed by each column at
-        its terminal (amperes).
+        its terminal (amperes).  Floating lines report their net
+        junction current, which is ~0 to solver tolerance.
+    converged:
+        Whether the producing computation converged.  Direct linear
+        solves always converge; :func:`repro.crossbar.sneak.solve_access`
+        clears this flag when its nonlinear fixed-point loop runs out of
+        iterations.
     """
 
     row_voltages: np.ndarray
@@ -77,6 +160,7 @@ class CrossbarSolution:
     junction_currents: np.ndarray
     row_currents: np.ndarray
     col_currents: np.ndarray
+    converged: bool = True
 
     def junction_voltage(self, row: int, col: int) -> float:
         """Voltage across junction (*row*, *col*), row side minus column side."""
@@ -178,12 +262,222 @@ def solve_ideal_wires(
     )
 
 
+# ---------------------------------------------------------------------------
+# Wire-resistance solver: sparse/dense assembly and factorization cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Factorization:
+    """One prepared same-topology solve: reduced system + solve closure.
+
+    ``solve`` maps a reduced right-hand side to the unknown-node
+    voltages; ``a_up`` couples the unknowns to the pinned driver nodes
+    (None when drivers are resistive, i.e. stamped into the matrix).
+    """
+
+    backend: str
+    n_nodes: int
+    unknown: np.ndarray
+    pinned: np.ndarray
+    driver_nodes: np.ndarray
+    g_drv: Optional[float]
+    a_red: object
+    a_up: object
+    solve: Callable[[np.ndarray], np.ndarray]
+
+
+_CACHE_LOCK = threading.Lock()
+_FACTOR_CACHE: "OrderedDict[Tuple, _Factorization]" = OrderedDict()
+
+
+def clear_factorization_cache() -> None:
+    """Drop every memoised wire-resistance factorization."""
+    with _CACHE_LOCK:
+        _FACTOR_CACHE.clear()
+
+
+def factorization_cache_len() -> int:
+    """Number of factorizations currently memoised."""
+    with _CACHE_LOCK:
+        return len(_FACTOR_CACHE)
+
+
+def _resolve_backend(backend: str) -> str:
+    if backend not in _BACKENDS:
+        raise CrossbarError(
+            f"unknown solver backend {backend!r}; choose one of {_BACKENDS}"
+        )
+    if backend == "auto":
+        return "sparse" if _HAVE_SCIPY else "dense"
+    if backend == "sparse" and not _HAVE_SCIPY:
+        raise CrossbarError(
+            "the sparse backend needs scipy — install the repro[fast] extra"
+        )
+    return backend
+
+
+def _assemble_full(
+    g: np.ndarray,
+    g_wire: float,
+    g_drv: Optional[float],
+    driver_nodes: np.ndarray,
+    backend: str,
+):
+    """Full symmetric 2·R·C-node conductance matrix, vectorised.
+
+    Node numbering: row-side node (r, c) is ``r*cols + c``; column-side
+    node (r, c) is ``rows*cols + r*cols + c``.
+    """
+    rows, cols = g.shape
+    rc = rows * cols
+    n = 2 * rc
+    cell = np.arange(rc)
+
+    # Two-terminal elements as (i, j, conductance) triples.
+    ei = [cell]                      # junction row-side endpoints
+    ej = [cell + rc]                 # junction col-side endpoints
+    ev = [g.ravel()]
+    if cols > 1:                     # row-line segments (r,c)-(r,c+1)
+        i = cell[cell % cols != cols - 1]
+        ei.append(i)
+        ej.append(i + 1)
+        ev.append(np.full(i.size, g_wire))
+    if rows > 1:                     # column-line segments (r,c)-(r+1,c)
+        i = rc + np.arange(rc - cols)
+        ei.append(i)
+        ej.append(i + cols)
+        ev.append(np.full(rc - cols, g_wire))
+    ei = np.concatenate(ei)
+    ej = np.concatenate(ej)
+    ev = np.concatenate(ev)
+
+    # Symmetric stamp of every element: +v on both diagonals, -v on the
+    # two off-diagonal entries.  Duplicate coordinates accumulate.
+    ri = np.concatenate([ei, ej, ei, ej])
+    ci = np.concatenate([ei, ej, ej, ei])
+    vv = np.concatenate([ev, ev, -ev, -ev])
+    if g_drv is not None and driver_nodes.size:
+        ri = np.concatenate([ri, driver_nodes])
+        ci = np.concatenate([ci, driver_nodes])
+        vv = np.concatenate([vv, np.full(driver_nodes.size, g_drv)])
+
+    if backend == "sparse":
+        return _coo_matrix((vv, (ri, ci)), shape=(n, n)).tocsr()
+    a = np.zeros((n, n))
+    np.add.at(a, (ri, ci), vv)
+    return a
+
+
+def _make_solve(a_red, backend: str) -> Callable[[np.ndarray], np.ndarray]:
+    n = a_red.shape[0]
+    if n == 0:
+        return lambda b: np.empty(0)
+    if backend == "sparse":
+        try:
+            lu = _splu(a_red.tocsc())
+        except RuntimeError as exc:
+            raise CrossbarError("singular crossbar system") from exc
+        return lu.solve
+
+    def _solve_dense(b: np.ndarray) -> np.ndarray:
+        try:
+            return np.linalg.solve(a_red, b)
+        except np.linalg.LinAlgError as exc:
+            raise CrossbarError("singular crossbar system") from exc
+
+    return _solve_dense
+
+
+def _build_factorization(
+    g: np.ndarray,
+    row_idx: Tuple[int, ...],
+    col_idx: Tuple[int, ...],
+    wire_resistance: float,
+    driver_resistance: float,
+    backend: str,
+) -> _Factorization:
+    rows, cols = g.shape
+    rc = rows * cols
+    n = 2 * rc
+    g_wire = 1.0 / wire_resistance
+    g_drv = 1.0 / driver_resistance if driver_resistance > 0 else None
+    # Drivers attach at the row line's left end and the column line's
+    # top end; canonical order = sorted rows then sorted columns (which
+    # is ascending in node id too).
+    driver_nodes = np.array(
+        [r * cols for r in row_idx] + [rc + c for c in col_idx], dtype=int
+    )
+
+    a_full = _assemble_full(g, g_wire, g_drv, driver_nodes, backend)
+    if g_drv is None:
+        pinned = driver_nodes
+        mask = np.ones(n, dtype=bool)
+        mask[pinned] = False
+        unknown = np.nonzero(mask)[0]
+        if backend == "sparse":
+            a_red = a_full[unknown][:, unknown]
+            a_up = a_full[unknown][:, pinned]
+        else:
+            a_red = a_full[np.ix_(unknown, unknown)]
+            a_up = a_full[np.ix_(unknown, pinned)]
+    else:
+        pinned = np.empty(0, dtype=int)
+        unknown = np.arange(n)
+        a_red = a_full
+        a_up = None
+    return _Factorization(
+        backend=backend,
+        n_nodes=n,
+        unknown=unknown,
+        pinned=pinned,
+        driver_nodes=driver_nodes,
+        g_drv=g_drv,
+        a_red=a_red,
+        a_up=a_up,
+        solve=_make_solve(a_red, backend),
+    )
+
+
+def _get_factorization(
+    g: np.ndarray,
+    row_idx: Tuple[int, ...],
+    col_idx: Tuple[int, ...],
+    wire_resistance: float,
+    driver_resistance: float,
+    backend: str,
+) -> _Factorization:
+    digest = hashlib.blake2b(
+        np.ascontiguousarray(g).tobytes(), digest_size=16
+    ).digest()
+    key = (
+        g.shape, row_idx, col_idx,
+        float(wire_resistance), float(driver_resistance), backend, digest,
+    )
+    with _CACHE_LOCK:
+        fact = _FACTOR_CACHE.get(key)
+        if fact is not None:
+            _FACTOR_CACHE.move_to_end(key)
+            _CACHE_HIT.inc()
+            return fact
+    _CACHE_MISS.inc()
+    fact = _build_factorization(
+        g, row_idx, col_idx, wire_resistance, driver_resistance, backend
+    )
+    with _CACHE_LOCK:
+        _FACTOR_CACHE[key] = fact
+        while len(_FACTOR_CACHE) > FACTORIZATION_CACHE_SIZE:
+            _FACTOR_CACHE.popitem(last=False)
+    return fact
+
+
 def solve_with_wire_resistance(
     conductances: np.ndarray,
     row_drive: LineDrive,
     col_drive: LineDrive,
     wire_resistance: float = 1.0,
     driver_resistance: float = 0.0,
+    backend: str = "auto",
 ) -> CrossbarSolution:
     """Solve a crossbar including line (IR-drop) resistance.
 
@@ -192,18 +486,25 @@ def solve_with_wire_resistance(
     at its left end through *driver_resistance*; columns mirror this,
     driven at the top end.  Undriven lines float.
 
-    The system is solved densely with numpy; arrays up to ~128x128
-    (32k nodes is too large dense — practical limit here is ~64x64,
-    which covers the sneak-path studies in the benchmarks).
+    Parameters
+    ----------
+    backend:
+        ``"auto"`` (default) uses the sparse SciPy path when available
+        and falls back to dense NumPy; ``"sparse"`` / ``"dense"`` force
+        a backend.  The dense fallback refuses systems larger than
+        :data:`DENSE_NODE_LIMIT` nodes; the sparse backend has no cap.
+
+    Repeated solves with the same conductances, driven-line pattern, and
+    resistances reuse a cached factorization (only the right-hand side
+    is rebuilt), which is what makes per-input analog VMM and the
+    nonlinear fixed-point read loops cheap.
     """
     g = np.asarray(conductances, dtype=float)
     if g.ndim != 2:
         raise CrossbarError(f"conductance matrix must be 2-D, got shape {g.shape}")
+    if (g < 0).any():
+        raise CrossbarError("conductances must be non-negative")
     rows, cols = g.shape
-    if rows * cols > 8192:
-        raise CrossbarError(
-            f"{rows}x{cols} is too large for the dense wire-resistance solver"
-        )
     if wire_resistance <= 0:
         raise CrossbarError(f"wire_resistance must be positive, got {wire_resistance}")
     if driver_resistance < 0:
@@ -212,95 +513,61 @@ def solve_with_wire_resistance(
     _check_drive(col_drive, cols, "col")
     if not row_drive and not col_drive:
         raise CrossbarError("at least one line must be driven")
+    backend = _resolve_backend(backend)
+    rc = rows * cols
+    n = 2 * rc
+    if backend == "dense" and n > DENSE_NODE_LIMIT:
+        raise CrossbarError(
+            f"{rows}x{cols} ({n} nodes) is too large for the dense "
+            f"wire-resistance fallback (limit {DENSE_NODE_LIMIT} nodes); "
+            "install scipy (the repro[fast] extra) for the sparse backend"
+        )
 
-    g_wire = 1.0 / wire_resistance
-    g_drv = 1.0 / driver_resistance if driver_resistance > 0 else None
+    row_idx = tuple(sorted(row_drive))
+    col_idx = tuple(sorted(col_drive))
+    fact = _get_factorization(
+        g, row_idx, col_idx, wire_resistance, driver_resistance, backend
+    )
+    drive_volts = np.array(
+        [row_drive[r] for r in row_idx] + [col_drive[c] for c in col_idx]
+    )
 
-    n = 2 * rows * cols
-
-    def row_node(r: int, c: int) -> int:
-        return r * cols + c
-
-    def col_node(r: int, c: int) -> int:
-        return rows * cols + r * cols + c
-
-    a = np.zeros((n, n))
-    b = np.zeros(n)
-
-    def stamp_conductance(i: int, j: int, value: float) -> None:
-        a[i, i] += value
-        a[j, j] += value
-        a[i, j] -= value
-        a[j, i] -= value
-
-    def stamp_source(i: int, volts: float, g_source: float) -> None:
-        a[i, i] += g_source
-        b[i] += g_source * volts
-
-    for r in range(rows):
-        for c in range(cols):
-            stamp_conductance(row_node(r, c), col_node(r, c), g[r, c])
-            if c + 1 < cols:
-                stamp_conductance(row_node(r, c), row_node(r, c + 1), g_wire)
-            if r + 1 < rows:
-                stamp_conductance(col_node(r, c), col_node(r + 1, c), g_wire)
-
-    for r, v in row_drive.items():
-        node = row_node(r, 0)
-        if g_drv is None:
-            _pin_node(a, b, node, v)
+    x = np.empty(n)
+    if fact.g_drv is None:
+        # Pinned drivers: solve the un-pinned KCL rows against the
+        # boundary coupling block.
+        if fact.unknown.size:
+            b_red = -(fact.a_up @ drive_volts)
+            x_u = fact.solve(b_red)
         else:
-            stamp_source(node, v, g_drv)
-    for c, v in col_drive.items():
-        node = col_node(0, c)
-        if g_drv is None:
-            _pin_node(a, b, node, v)
-        else:
-            stamp_source(node, v, g_drv)
+            b_red = np.empty(0)
+            x_u = b_red
+        x[fact.pinned] = drive_volts
+        x[fact.unknown] = x_u
+    else:
+        b_red = np.zeros(n)
+        b_red[fact.driver_nodes] = fact.g_drv * drive_volts
+        x_u = fact.solve(b_red)
+        x = x_u
+    if not np.isfinite(x).all():
+        raise CrossbarError("singular crossbar system")
+    _note_solve(_SOLVES_WIRE, fact.a_red, b_red, x_u)
 
-    try:
-        x = np.linalg.solve(a, b)
-    except np.linalg.LinAlgError as exc:
-        raise CrossbarError("singular crossbar system") from exc
-    _note_solve(_SOLVES_WIRE, a, b, x)
-
-    v_row = x[: rows * cols].reshape(rows, cols)
-    v_col = x[rows * cols:].reshape(rows, cols)
+    v_row = x[:rc].reshape(rows, cols)
+    v_col = x[rc:].reshape(rows, cols)
     currents = g * (v_row - v_col)
-    row_terminal = np.zeros(rows)
-    col_terminal = np.zeros(cols)
-    for r, v in row_drive.items():
-        if g_drv is None:
-            # Current delivered by the ideal source = net current leaving
-            # the pinned node through the wire + its junction.
-            i_out = g[r, 0] * (v_row[r, 0] - v_col[r, 0])
-            if cols > 1:
-                i_out += g_wire * (v_row[r, 0] - v_row[r, 1])
-            row_terminal[r] = i_out
-        else:
-            row_terminal[r] = g_drv * (v - v_row[r, 0])
-    for c, v in col_drive.items():
-        if g_drv is None:
-            i_in = g[0, c] * (v_row[0, c] - v_col[0, c])
-            if rows > 1:
-                i_in -= g_wire * (v_col[0, c] - v_col[1, c])
-            col_terminal[c] = i_in
-        else:
-            col_terminal[c] = g_drv * (v_col[0, c] - v)
+    # Terminal currents: every path out of a line goes through its
+    # junctions, so the line's junction-current sum *is* its terminal
+    # current — numerically stable at any wire resistance (junction
+    # voltage differences stay O(1)), and row/column totals conserve
+    # charge by construction.  Floating lines sum to ~0.
     return CrossbarSolution(
         row_voltages=v_row,
         col_voltages=v_col,
         junction_currents=currents,
-        row_currents=row_terminal,
-        col_currents=col_terminal,
+        row_currents=currents.sum(axis=1),
+        col_currents=currents.sum(axis=0),
     )
-
-
-def _pin_node(a: np.ndarray, b: np.ndarray, node: int, volts: float) -> None:
-    """Replace *node*'s KCL row with the constraint V_node = volts."""
-    a[node, :] = 0.0
-    a[node, node] = 1.0
-    b[node] = volts
 
 
 def _check_drive(drive: LineDrive, count: int, kind: str) -> None:

@@ -4,8 +4,20 @@ circuits."""
 import numpy as np
 import pytest
 
-from repro.crossbar.solver import solve_ideal_wires, solve_with_wire_resistance
+from repro.crossbar.solver import (
+    DENSE_NODE_LIMIT,
+    clear_factorization_cache,
+    factorization_cache_len,
+    scipy_available,
+    solve_ideal_wires,
+    solve_with_wire_resistance,
+    _CACHE_HIT,
+    _CACHE_MISS,
+)
 from repro.errors import CrossbarError
+
+needs_scipy = pytest.mark.skipif(
+    not scipy_available(), reason="scipy (repro[fast]) not installed")
 
 
 class TestIdealWiresSingleCell:
@@ -139,13 +151,157 @@ class TestWireResistance:
             sol.col_currents.sum(), rel=1e-6
         )
 
-    def test_size_guard(self):
+    def test_dense_fallback_size_guard(self):
+        """The dense backend still refuses huge systems; the message
+        points at the sparse extra."""
         g = np.ones((100, 100))
-        with pytest.raises(CrossbarError):
-            solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0})
+        assert 2 * g.size > DENSE_NODE_LIMIT
+        with pytest.raises(CrossbarError, match="repro\\[fast\\]"):
+            solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0}, backend="dense")
+
+    @needs_scipy
+    def test_sparse_backend_has_no_size_cap(self):
+        """The seed's 8192-node cap is gone: 100x100 (20k nodes) solves."""
+        g = np.full((100, 100), 1e-4)
+        sol = solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0},
+                                         wire_resistance=10.0)
+        assert np.isfinite(sol.junction_currents).all()
+        assert sol.col_currents[0] > 0
 
     def test_rejects_nonpositive_wire_resistance(self):
         with pytest.raises(CrossbarError):
             solve_with_wire_resistance(
                 np.ones((2, 2)), {0: 1.0}, {0: 0.0}, wire_resistance=0.0
             )
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(CrossbarError):
+            solve_with_wire_resistance(
+                np.ones((2, 2)), {0: 1.0}, {0: 0.0}, backend="quantum"
+            )
+
+    def test_rejects_negative_conductance(self):
+        with pytest.raises(CrossbarError):
+            solve_with_wire_resistance(
+                np.array([[-1.0]]), {0: 1.0}, {0: 0.0}
+            )
+
+    def test_disconnected_line_is_singular(self):
+        """An undriven line with no junction path anywhere is a floating
+        island: the system is singular on every backend."""
+        g = np.array([[1e-3, 0.0], [0.0, 0.0]])
+        backends = ["dense"] + (["sparse"] if scipy_available() else [])
+        for backend in backends:
+            with pytest.raises(CrossbarError):
+                solve_with_wire_resistance(
+                    g, {0: 1.0}, {0: 0.0}, backend=backend
+                )
+
+
+class TestCurrentConservation:
+    """Regression for the terminal-current extraction bug: the seed
+    recovered driven-line currents by differencing adjacent node
+    voltages across one wire segment, which cancels catastrophically as
+    wire resistance shrinks (~0.4% row/col mismatch at 1e-9 ohm)."""
+
+    @pytest.mark.parametrize("wire_resistance", [1e-9, 1e-3, 1.0])
+    def test_row_col_totals_agree(self, wire_resistance):
+        rng = np.random.default_rng(42)
+        g = rng.uniform(1e-5, 1e-3, (8, 8))
+        sol = solve_with_wire_resistance(
+            g, {0: 1.0}, {0: 0.0}, wire_resistance=wire_resistance
+        )
+        assert sol.row_currents.sum() == pytest.approx(
+            sol.col_currents.sum(), rel=1e-6
+        )
+
+    @pytest.mark.parametrize("wire_resistance", [1e-9, 1e-3, 1.0])
+    def test_all_driven_totals_agree(self, wire_resistance):
+        g = np.full((6, 6), 1e-4)
+        rd = {r: 1.0 for r in range(6)}
+        cd = {c: 0.0 for c in range(6)}
+        sol = solve_with_wire_resistance(
+            g, rd, cd, wire_resistance=wire_resistance
+        )
+        assert sol.row_currents.sum() == pytest.approx(
+            sol.col_currents.sum(), rel=1e-6
+        )
+
+    def test_tiny_wire_resistance_matches_ideal(self):
+        """At 1e-9 ohm/segment the network is electrically ideal.  The
+        recovered terminals must track the ideal solver (the float64
+        nodal stamp itself carries ~1e-3 error at g_wire/g_junction ~
+        1e13, so 1% is the right bar) and, unlike the seed's one-segment
+        differencing, must agree with *each other* to solver tolerance."""
+        g = np.full((4, 4), 1e-4)
+        ideal = solve_ideal_wires(g, {0: 1.0}, {0: 0.0})
+        wired = solve_with_wire_resistance(
+            g, {0: 1.0}, {0: 0.0}, wire_resistance=1e-9
+        )
+        assert wired.row_currents[0] == pytest.approx(
+            ideal.row_currents[0], rel=1e-2
+        )
+        assert wired.col_currents[0] == pytest.approx(
+            ideal.col_currents[0], rel=1e-2
+        )
+        assert wired.row_currents.sum() == pytest.approx(
+            wired.col_currents.sum(), rel=1e-9
+        )
+
+    def test_conservation_with_driver_resistance(self):
+        g = np.full((5, 5), 2e-4)
+        sol = solve_with_wire_resistance(
+            g, {0: 1.0, 3: 0.7}, {1: 0.0}, wire_resistance=1e-6,
+            driver_resistance=50.0,
+        )
+        assert sol.row_currents.sum() == pytest.approx(
+            sol.col_currents.sum(), rel=1e-6
+        )
+
+
+class TestFactorizationCache:
+    def setup_method(self):
+        clear_factorization_cache()
+
+    def test_warm_solve_is_identical_and_hits(self):
+        g = np.full((4, 4), 1e-4)
+        hits = _CACHE_HIT.value
+        misses = _CACHE_MISS.value
+        cold = solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0},
+                                          wire_resistance=2.0)
+        warm = solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0},
+                                          wire_resistance=2.0)
+        assert _CACHE_MISS.value == misses + 1
+        assert _CACHE_HIT.value == hits + 1
+        np.testing.assert_array_equal(cold.row_voltages, warm.row_voltages)
+        np.testing.assert_array_equal(cold.junction_currents,
+                                      warm.junction_currents)
+
+    def test_changed_conductances_do_not_reuse_stale_factorization(self):
+        g = np.full((3, 3), 1e-4)
+        sol_a = solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0})
+        g2 = g * 2.0
+        sol_b = solve_with_wire_resistance(g2, {0: 1.0}, {0: 0.0})
+        assert sol_b.col_currents[0] > 1.5 * sol_a.col_currents[0]
+
+    def test_same_pattern_different_voltages_share_factorization(self):
+        """Drive voltages only enter the right-hand side: one cached
+        factorization serves them all, and linearity holds."""
+        g = np.full((3, 3), 1e-4)
+        rd = {r: 1.0 for r in range(3)}
+        cd = {c: 0.0 for c in range(3)}
+        solve_with_wire_resistance(g, rd, cd, wire_resistance=1e-3)
+        before = factorization_cache_len()
+        half = solve_with_wire_resistance(
+            g, {r: 0.5 for r in rd}, cd, wire_resistance=1e-3)
+        full = solve_with_wire_resistance(g, rd, cd, wire_resistance=1e-3)
+        assert factorization_cache_len() == before
+        assert np.allclose(half.junction_currents * 2.0,
+                           full.junction_currents, rtol=1e-9)
+
+    def test_clear_empties_cache(self):
+        g = np.full((2, 2), 1e-4)
+        solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0})
+        assert factorization_cache_len() >= 1
+        clear_factorization_cache()
+        assert factorization_cache_len() == 0

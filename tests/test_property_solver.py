@@ -1,10 +1,16 @@
 """Property-based tests for the crossbar solver: physics invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.crossbar.solver import solve_ideal_wires
+from repro.crossbar.solver import (
+    clear_factorization_cache,
+    scipy_available,
+    solve_ideal_wires,
+    solve_with_wire_resistance,
+)
 
 conductances = hnp.arrays(
     dtype=float,
@@ -15,6 +21,24 @@ conductances = hnp.arrays(
     elements=st.floats(min_value=1e-7, max_value=1e-2),
 )
 drive_voltage = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+#: Conductance range for the wire-resistance properties, kept a few
+#: decades away from the wire conductance so convergence tolerances are
+#: meaningful for every drawn example.
+wire_conductances = hnp.arrays(
+    dtype=float,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+    ),
+    elements=st.floats(min_value=1e-5, max_value=1e-3),
+)
+
+
+def _drives(g, v):
+    """One driven row (first) and one driven column (last)."""
+    rows, cols = g.shape
+    return {0: v}, {cols - 1: 0.0}
 
 
 class TestKirchhoffInvariants:
@@ -89,3 +113,91 @@ class TestKirchhoffInvariants:
             a.junction_currents + b.junction_currents,
             rtol=1e-6, atol=1e-12,
         )
+
+
+class TestWireSolverProperties:
+    """Properties tying the wire-resistance solver to the ideal one and
+    its two backends/cache modes to each other."""
+
+    @given(g=wire_conductances, v=st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_converges_to_ideal_as_wire_resistance_vanishes(self, g, v):
+        """wire_resistance -> 0 recovers the ideal-wire solution.
+
+        Tolerance is set by the float64 nodal stamp: at g_wire = 1e6 S
+        against junctions >= 1e-5 S the representable diagonal carries a
+        spurious-leak error of ~1e-4 relative, well inside 1e-3.
+        """
+        row_drive, col_drive = _drives(g, v)
+        ideal = solve_ideal_wires(g, row_drive, col_drive)
+        wired = solve_with_wire_resistance(
+            g, row_drive, col_drive, wire_resistance=1e-6
+        )
+        sel = g.shape[1] - 1
+        assert wired.col_currents[sel] == pytest.approx(
+            ideal.col_currents[sel], rel=1e-3, abs=1e-15
+        )
+        assert wired.row_currents[0] == pytest.approx(
+            ideal.row_currents[0], rel=1e-3, abs=1e-15
+        )
+
+    @given(g=wire_conductances, v=st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_current_conservation(self, g, v):
+        row_drive, col_drive = _drives(g, v)
+        sol = solve_with_wire_resistance(
+            g, row_drive, col_drive, wire_resistance=1e-3
+        )
+        assert np.isclose(sol.row_currents.sum(), sol.col_currents.sum(),
+                          rtol=1e-9, atol=1e-18)
+
+    @pytest.mark.skipif(not scipy_available(),
+                        reason="scipy (repro[fast]) not installed")
+    @given(
+        g=wire_conductances,
+        v=st.floats(min_value=0.1, max_value=2.0),
+        wire_resistance=st.floats(min_value=1e-2, max_value=1e3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sparse_and_dense_backends_agree(self, g, v, wire_resistance):
+        """Same netlist, either factorization: bit-close answers.
+
+        The two backends factor the identical float64 matrix with
+        different elimination orders, so they can differ by eps times
+        the condition number (<= 1e7 over these ranges).
+        """
+        row_drive, col_drive = _drives(g, v)
+        sparse = solve_with_wire_resistance(
+            g, row_drive, col_drive, wire_resistance=wire_resistance,
+            backend="sparse",
+        )
+        dense = solve_with_wire_resistance(
+            g, row_drive, col_drive, wire_resistance=wire_resistance,
+            backend="dense",
+        )
+        assert np.allclose(sparse.row_voltages, dense.row_voltages,
+                           rtol=1e-6, atol=1e-12)
+        assert np.allclose(sparse.junction_currents, dense.junction_currents,
+                           rtol=1e-6, atol=1e-16)
+
+    @given(
+        g=wire_conductances,
+        v=st.floats(min_value=0.1, max_value=2.0),
+        wire_resistance=st.floats(min_value=1e-3, max_value=1e3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_cached_solve_identical_to_cold(self, g, v, wire_resistance):
+        """A cache hit must return bit-identical results to a cold
+        factorization of the same system."""
+        row_drive, col_drive = _drives(g, v)
+        clear_factorization_cache()
+        cold = solve_with_wire_resistance(
+            g, row_drive, col_drive, wire_resistance=wire_resistance
+        )
+        warm = solve_with_wire_resistance(
+            g, row_drive, col_drive, wire_resistance=wire_resistance
+        )
+        np.testing.assert_array_equal(cold.row_voltages, warm.row_voltages)
+        np.testing.assert_array_equal(cold.col_voltages, warm.col_voltages)
+        np.testing.assert_array_equal(cold.junction_currents,
+                                      warm.junction_currents)
