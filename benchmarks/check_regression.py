@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Gate benchmark wall times against the committed baseline.
+
+Reads every ``BENCH_*.json`` artifact produced by ``run_all.py`` and
+compares each bench entry's wall time against
+``benchmarks/BASELINE.json``.  A bench that runs more than ``--factor``
+times slower than its baseline (default 2x) fails the build; benches
+absent from the baseline are reported but tolerated, so adding a bench
+never breaks CI before the baseline is refreshed.
+
+Regenerate the baseline after an intentional performance change::
+
+    python benchmarks/run_all.py --smoke --out /tmp/bench
+    python benchmarks/check_regression.py --update /tmp/bench
+
+Wall-time floors matter: CI runners jitter badly below a few
+milliseconds, so entries faster than ``--floor`` seconds (in either the
+baseline or the run) are skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+BASELINE_PATH = os.path.join(BENCH_DIR, "BASELINE.json")
+
+
+def _load_entries(artifact_dir: str) -> Dict[str, float]:
+    """Flatten all artifacts to {``module::test``: wall seconds}."""
+    times: Dict[str, float] = {}
+    for path in sorted(glob.glob(os.path.join(artifact_dir, "BENCH_*.json"))):
+        with open(path, encoding="utf-8") as stream:
+            payload = json.load(stream)
+        for entry in payload.get("entries", []):
+            key = f"{payload['bench']}::{entry['name']}"
+            times[key] = float(entry["wall_time_s"])
+    return times
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail if any benchmark regressed vs the baseline")
+    parser.add_argument("artifact_dir", nargs="?",
+                        default=os.path.dirname(BENCH_DIR),
+                        help="directory holding BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline file (default: benchmarks/BASELINE.json)")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed slowdown factor (default 2.0)")
+    parser.add_argument("--floor", type=float, default=0.05,
+                        help="ignore entries faster than this many seconds "
+                             "(default 0.05)")
+    parser.add_argument("--update", metavar="DIR", default=None,
+                        help="rewrite the baseline from DIR's artifacts "
+                             "and exit")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        times = _load_entries(args.update)
+        if not times:
+            print("check_regression: no artifacts to baseline from",
+                  file=sys.stderr)
+            return 1
+        with open(args.baseline, "w", encoding="utf-8") as stream:
+            json.dump({"wall_time_s": times}, stream, indent=2,
+                      sort_keys=True)
+            stream.write("\n")
+        print(f"baseline updated with {len(times)} entries -> {args.baseline}")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as stream:
+            baseline = json.load(stream)["wall_time_s"]
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"check_regression: cannot read baseline: {exc}",
+              file=sys.stderr)
+        return 1
+
+    times = _load_entries(args.artifact_dir)
+    if not times:
+        print(f"check_regression: no BENCH_*.json in {args.artifact_dir}",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    skipped = 0
+    new = []
+    for key, wall in sorted(times.items()):
+        base = baseline.get(key)
+        if base is None:
+            new.append(key)
+            continue
+        if base < args.floor or wall < args.floor:
+            skipped += 1
+            continue
+        ratio = wall / base
+        status = "FAIL" if ratio > args.factor else "ok"
+        if ratio > args.factor:
+            failures.append((key, base, wall, ratio))
+        print(f"  {status:4s} {key:60s} {base:.3f}s -> {wall:.3f}s "
+              f"({ratio:.2f}x)")
+    if new:
+        print(f"  {len(new)} bench(es) missing from baseline (tolerated): "
+              + ", ".join(new))
+    print(f"{len(times)} entries checked, {skipped} below the "
+          f"{args.floor}s floor, {len(failures)} regression(s)")
+    for key, base, wall, ratio in failures:
+        print(f"check_regression: {key} regressed {ratio:.2f}x "
+              f"({base:.3f}s -> {wall:.3f}s)", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,9 @@ The package is organised bottom-up, mirroring the paper:
 * :mod:`repro.apps` — the DNA-sequencing and parallel-addition
   workloads (Section III.B).
 * :mod:`repro.sim` — a bit-accurate functional CIM machine.
+* :mod:`repro.engine` — the unified compile-once/execute-many kernel
+  pipeline every workload runs through (functional, electrical, and
+  analytical executors behind one interface).
 * :mod:`repro.analysis` — reports and parameter sweeps.
 
 Quick start::
@@ -25,11 +28,12 @@ Quick start::
     print(render_table2(table2()))
 """
 
-from . import analog, analysis, apps, cmosarch, compiler, core, crossbar, devices, interconnect, logic, obs, reliability, sim, units
+from . import analog, analysis, apps, cmosarch, compiler, core, crossbar, devices, engine, interconnect, logic, obs, reliability, sim, units
 from .errors import (
     ArchitectureError,
     CrossbarError,
     DeviceError,
+    EngineError,
     LogicError,
     ObservabilityError,
     ReproError,
@@ -43,6 +47,7 @@ __all__ = [
     "devices",
     "analog",
     "compiler",
+    "engine",
     "reliability",
     "interconnect",
     "crossbar",
@@ -62,5 +67,6 @@ __all__ = [
     "WorkloadError",
     "SynthesisError",
     "ObservabilityError",
+    "EngineError",
     "__version__",
 ]

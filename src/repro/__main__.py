@@ -9,6 +9,7 @@ code:
 * ``fig4`` — CRS thresholds and the I-V sweep summary;
 * ``fig5`` — both IMP implementations' truth tables;
 * ``scaling`` — the data-volume scaling study;
+* ``kernels`` — the engine's built-in compiled kernels and their costs;
 * ``obs`` — exercise the observability layer and export telemetry.
 
 Every subcommand accepts ``--profile`` (print the span tree and metric
@@ -114,6 +115,31 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    """List the engine's built-in kernels with compiled + analytical costs."""
+    from .engine import kernel_catalog
+
+    rows = []
+    for entry in kernel_catalog(adder_width=args.width,
+                                match_width=args.width):
+        energy = entry.get("analytical_energy_j")
+        latency = entry.get("analytical_latency_s")
+        rows.append([
+            str(entry["name"]),
+            str(entry["digest"]),
+            str(entry["steps"]),
+            str(entry["memristors"]),
+            si_format(energy, "J") if energy is not None else "-",
+            si_format(latency, "s") if latency is not None else "-",
+        ])
+    print(format_table(
+        ["kernel", "digest", "steps", "memristors", "E (Table 1)", "T (Table 1)"],
+        rows,
+        title=f"Built-in engine kernels at width {args.width}",
+    ))
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Exercise the instrumented stack and print/export its telemetry."""
     from .obs.export import export_prometheus, export_spans_jsonl
@@ -186,6 +212,13 @@ def build_parser() -> argparse.ArgumentParser:
     scaling = sub.add_parser("scaling", help="data-volume scaling study",
                              parents=[common])
     scaling.set_defaults(handler=_cmd_scaling)
+
+    kernels = sub.add_parser(
+        "kernels", parents=[common],
+        help="list the engine's built-in compiled kernels")
+    kernels.add_argument("--width", type=int, default=32,
+                         help="word width for the sized kernels (default 32)")
+    kernels.set_defaults(handler=_cmd_kernels)
 
     obs = sub.add_parser(
         "obs", parents=[common],

@@ -24,6 +24,7 @@ from typing import Dict, List, Sequence, Tuple
 from ...cmosarch.cache import CacheModel
 from ...crossbar.memory import CrossbarMemory
 from ...devices.technology import CACHE_8KB_DNA, MEMRISTOR_5NM, MemristorTechnology
+from ...engine import cam_match_kernel, int_to_bits, run_kernel
 from ...errors import WorkloadError
 from ...logic.cam import MemristiveCAM
 from ...obs.registry import get_registry
@@ -127,10 +128,7 @@ class CIMTable:
                 )
             self._stores[column.name].write_int(row_id, value)
         key = values[self.key_column.name]
-        self._cam.store(
-            row_id,
-            [(key >> i) & 1 for i in range(self.key_column.width)],
-        )
+        self._cam.store(row_id, int_to_bits(key, self.key_column.width))
         self._rows.append(dict(values))
         _INSERTS.inc()
         return row_id
@@ -155,7 +153,7 @@ class CIMTable:
             raise WorkloadError(f"key {key} does not fit {width} bits")
         with get_tracer().span("db/select_equal", rows=len(self._rows)):
             e0, t0 = self._cam.stats.energy, self._cam.stats.time
-            matches = self._cam.search([(key >> i) & 1 for i in range(width)])
+            matches = self._cam.search(int_to_bits(key, width))
             cost = QueryCost(
                 kind="select=",
                 rows_examined=len(self._rows),
@@ -171,6 +169,24 @@ class CIMTable:
             raise WorkloadError(
                 f"CAM select diverged: {matches} vs golden {golden}"
             )
+        if self._rows:
+            # Cross-validate the associative search against the engine's
+            # functional match kernel sweeping every stored key (cost is
+            # already charged above; the sweep is a correctness check).
+            stored = [row[self.key_column.name] for row in self._rows]
+            sweep = run_kernel(
+                cam_match_kernel(width),
+                {"a": stored, "b": [key] * len(stored)},
+                charge_span=False,
+            )
+            engine_matches = [
+                rid for rid, bit in enumerate(sweep.bit("match")) if bit
+            ]
+            if engine_matches != matches:
+                raise WorkloadError(
+                    f"engine match sweep diverged: {engine_matches} vs "
+                    f"CAM {matches}"
+                )
         return matches
 
     def fetch(self, row_id: int, column: str) -> int:

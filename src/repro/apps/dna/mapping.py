@@ -15,10 +15,11 @@ from typing import List, Optional, Sequence
 
 from ...cmosarch.cache import FunctionalCache
 from ...core.workload import Workload
+from ...engine import comparator_kernel, run_kernel
 from ...errors import WorkloadError
 from ...obs.registry import get_registry
 from ...obs.tracing import get_tracer
-from .genome import ShortRead
+from .genome import ShortRead, encode_sequence
 from .index import SortedKmerIndex
 
 _REGISTRY = get_registry()
@@ -68,11 +69,17 @@ class MappingStats:
 class ReadMapper:
     """Sorted-index read mapper with full instrumentation."""
 
-    def __init__(self, index: SortedKmerIndex, max_mismatches: int = 3) -> None:
+    def __init__(
+        self,
+        index: SortedKmerIndex,
+        max_mismatches: int = 3,
+        cim_verify: bool = False,
+    ) -> None:
         if max_mismatches < 0:
             raise WorkloadError("max_mismatches must be non-negative")
         self.index = index
         self.max_mismatches = max_mismatches
+        self.cim_verify = cim_verify
         self.stats = MappingStats()
 
     def _verify(self, read: str, position: int) -> int:
@@ -81,13 +88,43 @@ class ReadMapper:
         budget is blown, like real verifiers)."""
         reference = self.index.reference
         mismatches = 0
+        scanned = 0
         for offset, base in enumerate(read):
             self.stats.char_comparisons += 1
+            scanned = offset + 1
             if reference[position + offset] != base:
                 mismatches += 1
                 if mismatches > self.max_mismatches:
                     break
+        if self.cim_verify and scanned:
+            self._cim_verify(read, position, scanned, mismatches)
         return mismatches
+
+    def _cim_verify(
+        self, read: str, position: int, scanned: int, mismatches: int
+    ) -> None:
+        """Replay the scanned prefix on the engine's nucleotide
+        comparator — one functional batch, one comparator execution per
+        character, exactly the in-memory workload Table 1 prices.
+
+        The per-read instrumentation (``char_comparisons`` etc.) is the
+        conventional pipeline's measurement and is left untouched; this
+        is the CIM execution of the same comparisons, cross-checked.
+        """
+        reference = self.index.reference
+        read_codes = encode_sequence(read[:scanned])
+        ref_codes = encode_sequence(reference[position:position + scanned])
+        batch = run_kernel(
+            comparator_kernel(),
+            {"a": read_codes, "b": ref_codes},
+            charge_span=False,
+        )
+        cim_mismatches = int(scanned - batch.bit("match").sum())
+        if cim_mismatches != mismatches:
+            raise WorkloadError(
+                f"CIM comparator diverged at position {position}: "
+                f"{cim_mismatches} mismatches vs scanned {mismatches}"
+            )
 
     def map_read(self, read: ShortRead) -> MappingResult:
         """Map one read: k-mer seed lookup, then candidate verification."""

@@ -4,12 +4,15 @@ Two execution paths over the same workload:
 
 * :func:`add_vectors_reference` — the numpy baseline (the role of the
   conventional machine's result, and the golden output);
-* :class:`CIMVectorAdder` — functional in-memory execution: each element
-  pair is added by the IMPLY ripple adder running on the electrical
-  machine, with TC-adder cost accounting on the side.
+* :class:`CIMVectorAdder` — in-memory execution through the unified
+  engine (:mod:`repro.engine`): the ripple-adder kernel is compiled
+  once, vector batches run on the vectorised functional executor, and
+  single adds can be driven on the electrical fidelity backend, with
+  TC-adder cost accounting on the side.
 
-The functional path is laptop-scale (hundreds of elements); the
-analytical Table 2 path (10^6 additions) lives in :mod:`repro.core`.
+The functional path is laptop-scale (up to ~10^5 elements thanks to the
+batch executor); the analytical Table 2 path (10^6 additions) lives in
+:mod:`repro.core`.
 """
 
 from __future__ import annotations
@@ -19,9 +22,9 @@ from typing import Sequence
 
 import numpy as np
 
+from ...engine import adder_kernel, run_kernel
 from ...errors import WorkloadError
-from ...logic.adders import TCAdderCost, ripple_adder_program
-from ...logic.sequencer import ImplyMachine
+from ...logic.adders import TCAdderCost
 
 
 def add_vectors_reference(x: Sequence[int], y: Sequence[int], width: int = 32) -> np.ndarray:
@@ -50,10 +53,12 @@ class VectorAddReport:
 
 
 class CIMVectorAdder:
-    """Adds vectors element-wise with in-memory IMPLY ripple adders.
+    """Adds vectors element-wise with the in-memory ripple-adder kernel.
 
-    Each element pair executes the full ripple-adder program on a fresh
-    electrical register file; adders for different elements are
+    The kernel is compiled once (digest-cached in the engine); vector
+    batches execute lock-step on the functional batch executor, so an
+    N-element addition is one array-op replay of the adder program, not
+    N per-bit Python loops.  Adders for different elements are
     independent (massively parallel in the architecture), so the
     TC-adder *latency* cost is per-add, not summed.
     """
@@ -65,25 +70,25 @@ class CIMVectorAdder:
                 "analytical model for wider words"
             )
         self.width = width
-        self.program = ripple_adder_program(width)
+        self.kernel = adder_kernel(width)
+        self.program = self.kernel.program
         self.cost = TCAdderCost(width=width)
 
     def add(self, x: int, y: int) -> int:
-        """Add one element pair on the electrical machine."""
-        machine = ImplyMachine()
-        inputs = {}
-        for i in range(self.width):
-            inputs[f"a{i}"] = (x >> i) & 1
-            inputs[f"b{i}"] = (y >> i) & 1
-        report = machine.run_and_check(self.program, inputs)
-        return sum(report.outputs[f"s{i}"] << i for i in range(self.width))
+        """Add one element pair on the electrical fidelity backend."""
+        result = run_kernel(
+            self.kernel, {"a": [x], "b": [y]}, backend="electrical"
+        )
+        return int(result.word("sum")[0])
 
     def add_vectors(self, x: Sequence[int], y: Sequence[int]) -> VectorAddReport:
-        """Add two vectors; verifies every element against numpy."""
+        """Add two vectors in one functional batch; verified against numpy."""
         expected = add_vectors_reference(x, y, self.width)
-        sums = np.empty(len(expected), dtype=np.uint64)
-        for i, (a, b) in enumerate(zip(x, y)):
-            sums[i] = self.add(int(a), int(b))
+        if len(expected) == 0:
+            sums = np.empty(0, dtype=np.uint64)
+        else:
+            result = run_kernel(self.kernel, {"a": x, "b": y})
+            sums = result.word("sum")
         if not np.array_equal(sums, expected):
             raise WorkloadError("CIM addition diverged from the numpy baseline")
         return VectorAddReport(

@@ -1,0 +1,91 @@
+"""repro.engine — the unified compile-once/execute-many kernel pipeline.
+
+One pipeline from workload to cost, for every consumer::
+
+    netlist / IMPLY program
+        -> compile (repro.compiler: map, allocate, schedule)
+        -> CompiledKernel          (immutable, digest-keyed, LRU-cached)
+        -> executor                (functional | electrical | analytical)
+
+* Build artifacts with :func:`compile_kernel` (netlists),
+  :func:`compile_program` / :func:`kernel_for_program` (IMPLY
+  programs), or grab a built-in (:func:`adder_kernel`,
+  :func:`comparator_kernel`, :func:`word_comparator_kernel`,
+  :func:`cam_match_kernel`).
+* Execute with :func:`run_kernel` — backend ``functional`` (vectorised
+  NumPy batch, the default), ``electrical`` (bit-exact device-level
+  reference) or ``analytical`` (Table 1 cost pricing, no simulation).
+* Move data with the shared pack/unpack helpers
+  (:func:`pack_words` / :func:`unpack_words` /
+  :func:`int_to_bits` / :func:`bits_to_int`).
+
+Telemetry: ``engine_kernel_cache_total{result=}``,
+``engine_executor_dispatch_total{backend=}``,
+``engine_words_executed_total`` and per-kernel ``engine/<name>`` spans.
+"""
+
+from .builtins import (
+    CAMMatchCost,
+    adder_kernel,
+    cam_match_kernel,
+    comparator_kernel,
+    kernel_catalog,
+    word_comparator_kernel,
+)
+from .executors import (
+    BACKENDS,
+    AnalyticalCostExecutor,
+    BatchResult,
+    ElectricalBatchExecutor,
+    FunctionalBatchExecutor,
+    run_kernel,
+)
+from .kernel import (
+    KERNEL_CACHE_CAPACITY,
+    CompiledKernel,
+    cached_kernel,
+    clear_kernel_cache,
+    compile_kernel,
+    compile_program,
+    kernel_cache_len,
+    kernel_for_program,
+    network_digest,
+    program_digest,
+)
+from .packing import (
+    MAX_WIDTH,
+    bits_to_int,
+    int_to_bits,
+    pack_words,
+    unpack_words,
+)
+
+__all__ = [
+    "BACKENDS",
+    "KERNEL_CACHE_CAPACITY",
+    "MAX_WIDTH",
+    "AnalyticalCostExecutor",
+    "BatchResult",
+    "CAMMatchCost",
+    "CompiledKernel",
+    "ElectricalBatchExecutor",
+    "FunctionalBatchExecutor",
+    "adder_kernel",
+    "bits_to_int",
+    "cached_kernel",
+    "cam_match_kernel",
+    "clear_kernel_cache",
+    "comparator_kernel",
+    "compile_kernel",
+    "compile_program",
+    "int_to_bits",
+    "kernel_cache_len",
+    "kernel_catalog",
+    "kernel_for_program",
+    "network_digest",
+    "pack_words",
+    "program_digest",
+    "run_kernel",
+    "unpack_words",
+    "word_comparator_kernel",
+]

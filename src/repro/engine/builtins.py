@@ -1,0 +1,154 @@
+"""Built-in kernels: the paper's compute units as engine artifacts.
+
+Each factory returns a cached :class:`~repro.engine.kernel.CompiledKernel`
+with the matching Table 1 analytical cost model attached, so one
+artifact serves all three backends:
+
+* :func:`comparator_kernel` — the 2-bit nucleotide comparator
+  (Table 1's "2 XOR and a NAND", :class:`ComparatorCost`);
+* :func:`word_comparator_kernel` — the N-bit equality comparator the
+  DNA sweeps use;
+* :func:`adder_kernel` — the N-bit ripple adder, priced as the CRS
+  TC-adder (:class:`TCAdderCost`);
+* :func:`cam_match_kernel` — one CAM row's match (functional program =
+  word equality; analytical cost = the associative-search accounting of
+  :class:`~repro.logic.cam.MemristiveCAM`).
+
+:func:`kernel_catalog` lists them for the ``repro kernels`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import EngineError
+from ..logic.adders import TCAdderCost, ripple_adder_program
+from ..logic.comparator import (
+    ComparatorCost,
+    nucleotide_comparator_program,
+    word_comparator_program,
+)
+from .kernel import CompiledKernel, cached_kernel, compile_program
+
+
+@dataclass(frozen=True)
+class CAMMatchCost:
+    """Analytical cost of matching one stored CAM row against a query.
+
+    Mirrors :class:`~repro.logic.cam.MemristiveCAM`'s accounting: all
+    rows compare in parallel in **one** array access (steps = 1,
+    latency = one write time), and each of the row's *width* cells
+    dissipates one worst-case search pulse.
+    """
+
+    width: int
+    technology: MemristorTechnology = MEMRISTOR_5NM
+
+    @property
+    def memristors(self) -> int:
+        return 2 * self.width          # two devices per ternary cell
+
+    @property
+    def steps(self) -> int:
+        return 1
+
+    @property
+    def latency(self) -> float:
+        return self.technology.write_time
+
+    @property
+    def dynamic_energy(self) -> float:
+        return self.width * self.technology.write_energy
+
+
+def _check_width(width: int, limit: int = 63) -> int:
+    if not 1 <= int(width) <= limit:
+        raise EngineError(f"kernel width must be 1..{limit}, got {width}")
+    return int(width)
+
+
+def comparator_kernel() -> CompiledKernel:
+    """The paper's 2-bit nucleotide comparator (Table 1 DNA unit)."""
+    def build() -> CompiledKernel:
+        return compile_program(
+            nucleotide_comparator_program(),
+            name="comparator",
+            word_inputs={"a": ("a0", "a1"), "b": ("b0", "b1")},
+            word_outputs={"match": ("match",)},
+            cost=ComparatorCost(),
+        )
+    return cached_kernel(("builtin", "comparator"), build)
+
+
+def word_comparator_kernel(width: int) -> CompiledKernel:
+    """N-bit word equality comparator (match = 1 iff a == b)."""
+    width = _check_width(width)
+
+    def build() -> CompiledKernel:
+        return compile_program(
+            word_comparator_program(width),
+            name=f"word-compare-{width}",
+            word_inputs={
+                "a": tuple(f"a{i}" for i in range(width)),
+                "b": tuple(f"b{i}" for i in range(width)),
+            },
+            word_outputs={"match": ("match",)},
+            # No Table 1 constant covers an N-bit comparator; leave the
+            # cost to the step-count fallback of the analytical backend.
+            cost=None,
+        )
+    return cached_kernel(("builtin", "word-compare", width), build)
+
+
+def adder_kernel(width: int) -> CompiledKernel:
+    """N-bit ripple adder, priced as the CRS TC-adder of Table 1."""
+    width = _check_width(width)
+
+    def build() -> CompiledKernel:
+        return compile_program(
+            ripple_adder_program(width),
+            name=f"tc-adder-{width}",
+            word_inputs={
+                "a": tuple(f"a{i}" for i in range(width)),
+                "b": tuple(f"b{i}" for i in range(width)),
+            },
+            word_outputs={
+                "sum": tuple(f"s{i}" for i in range(width)),
+                "cout": ("cout",),
+            },
+            cost=TCAdderCost(width=width),
+        )
+    return cached_kernel(("builtin", "adder", width), build)
+
+
+def cam_match_kernel(width: int) -> CompiledKernel:
+    """One CAM row's equality match against an N-bit query."""
+    width = _check_width(width)
+
+    def build() -> CompiledKernel:
+        program = word_comparator_program(width)
+        program.name = f"cam-match-{width}"
+        return compile_program(
+            program,
+            name=f"cam-match-{width}",
+            word_inputs={
+                "a": tuple(f"a{i}" for i in range(width)),
+                "b": tuple(f"b{i}" for i in range(width)),
+            },
+            word_outputs={"match": ("match",)},
+            cost=CAMMatchCost(width=width),
+        )
+    return cached_kernel(("builtin", "cam-match", width), build)
+
+
+def kernel_catalog(adder_width: int = 32, match_width: int = 16) -> List[Dict[str, object]]:
+    """Describe every built-in kernel (the ``repro kernels`` listing)."""
+    kernels = [
+        comparator_kernel(),
+        word_comparator_kernel(match_width),
+        adder_kernel(adder_width),
+        cam_match_kernel(match_width),
+    ]
+    return [k.describe() for k in kernels]

@@ -1,0 +1,354 @@
+"""Pluggable executors: one compiled kernel, three ways to run it.
+
+The engine's execution contract is a single call —
+:func:`run_kernel` — behind which three backends live:
+
+``functional``
+    Vectorised truth-table semantics: the dense instruction stream
+    replays across an N-word batch as NumPy bitwise ops on packed
+    operand arrays, one array op per instruction instead of one Python
+    step per word per instruction.  Bit-identical to the electrical
+    reference by construction (IMP is ``q <- !p | q`` in both), and the
+    backend every app uses by default.
+
+``electrical``
+    The fidelity reference: each word executes on a fresh
+    :class:`~repro.logic.sequencer.ImplyMachine` register file, actually
+    driving the Fig 5(a) circuit, then the whole batch is cross-checked
+    against the functional backend (any divergence raises).
+
+``analytical``
+    No simulation at all: the kernel is priced from its attached cost
+    model (e.g. :class:`~repro.logic.comparator.ComparatorCost` or
+    :class:`~repro.logic.adders.TCAdderCost`), falling back to
+    steps x technology constants — the Table 2 accounting path.
+
+Cost convention (all backends): the architecture is lock-step SIMD, so
+**latency** is charged once per batch and **energy** once per word —
+the asymmetry :class:`repro.sim.simd.SIMDRowExecutor` models
+electrically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..errors import EngineError
+from ..logic.sequencer import ImplyMachine
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
+from .kernel import OP_FALSE, OP_IMP, OP_LOAD, CompiledKernel
+from .packing import pack_words, unpack_words
+
+#: Names accepted by :func:`run_kernel`'s ``backend`` argument.
+BACKENDS = ("functional", "electrical", "analytical")
+
+_REGISTRY = get_registry()
+_DISPATCH_FAMILY = _REGISTRY.counter(
+    "engine_executor_dispatch_total", "kernel executions dispatched, by backend")
+_DISPATCH = {name: _DISPATCH_FAMILY.labels(backend=name) for name in BACKENDS}
+_WORDS = _REGISTRY.counter(
+    "engine_words_executed_total", "operand words pushed through executors")
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one kernel execution over an N-word batch.
+
+    ``outputs`` maps output signal name -> ``(words,)`` uint8 bit array
+    (``None`` for the analytical backend, which never computes values).
+    ``latency`` is one lock-step batch; ``energy`` sums every word.
+    """
+
+    kernel: str
+    backend: str
+    words: int
+    steps_per_word: int
+    energy: float
+    latency: float
+    outputs: Optional[Dict[str, np.ndarray]]
+    word_outputs: Mapping[str, Sequence[str]]
+
+    def word(self, group: str) -> np.ndarray:
+        """Assemble one multi-bit output group into integer words."""
+        if self.outputs is None:
+            raise EngineError(
+                f"{self.backend} backend produced no output values"
+            )
+        members = self.word_outputs.get(group)
+        if members is None:
+            raise EngineError(
+                f"unknown output group {group!r}; have {sorted(self.word_outputs)}"
+            )
+        matrix = np.stack([self.outputs[m] for m in members], axis=1)
+        return unpack_words(matrix)
+
+    def bit(self, signal: str) -> np.ndarray:
+        """One output signal's bit lane across the batch."""
+        if self.outputs is None:
+            raise EngineError(
+                f"{self.backend} backend produced no output values"
+            )
+        if signal not in self.outputs:
+            raise EngineError(
+                f"unknown output signal {signal!r}; have {sorted(self.outputs)}"
+            )
+        return self.outputs[signal]
+
+
+def _prepare_input_bits(
+    kernel: CompiledKernel,
+    operands: Mapping[str, Union[Sequence[int], np.ndarray]],
+) -> np.ndarray:
+    """Resolve an operand mapping into the ``(inputs, words)`` bit matrix.
+
+    Keys may be word groups from ``kernel.word_inputs`` (values are
+    integer words, packed here) or raw input signal names (values are
+    bit vectors).  Every input signal must be covered exactly once.
+    """
+    lanes: Dict[str, np.ndarray] = {}
+    words: Optional[int] = None
+
+    def put(signal: str, bits: np.ndarray, source: str) -> None:
+        nonlocal words
+        if signal in lanes:
+            raise EngineError(
+                f"input signal {signal!r} supplied twice (via {source!r})"
+            )
+        if words is None:
+            words = bits.shape[0]
+        elif bits.shape[0] != words:
+            raise EngineError(
+                f"operand {source!r} has {bits.shape[0]} words, expected {words}"
+            )
+        lanes[signal] = bits
+
+    for name, values in operands.items():
+        group = kernel.word_inputs.get(name)
+        if group is not None and not (len(group) == 1 and group[0] == name):
+            packed = pack_words(values, len(group))
+            for lane, signal in enumerate(group):
+                put(signal, packed[:, lane], name)
+        elif name in kernel.inputs:
+            bits = np.atleast_1d(np.asarray(values, dtype=np.uint8))
+            if bits.ndim != 1:
+                raise EngineError(
+                    f"input {name!r} must be a flat bit vector"
+                )
+            if bits.size and not np.isin(bits, (0, 1)).all():
+                raise EngineError(f"input {name!r} must hold bits (0/1)")
+            put(name, bits, name)
+        else:
+            raise EngineError(
+                f"{kernel.name}: unknown operand {name!r}; word groups: "
+                f"{sorted(kernel.word_inputs)}, signals: {list(kernel.inputs)}"
+            )
+    missing = [s for s in kernel.inputs if s not in lanes]
+    if missing:
+        raise EngineError(f"{kernel.name}: missing inputs {missing}")
+    if words is None or words == 0:
+        raise EngineError(f"{kernel.name}: empty operand batch")
+    return np.stack([lanes[s] for s in kernel.inputs], axis=0)
+
+
+# -- backends --------------------------------------------------------------
+
+
+def _functional_outputs(
+    kernel: CompiledKernel, input_bits: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Replay the dense instruction stream across the batch."""
+    words = input_bits.shape[1]
+    state = np.zeros((kernel.n_registers, words), dtype=np.uint8)
+    for kind, a, b in kernel.ops:
+        if kind == OP_IMP:
+            # b <- a IMP b  ==  b |= !a
+            np.bitwise_or(state[b], state[a] ^ 1, out=state[b])
+        elif kind == OP_FALSE:
+            state[a] = 0
+        else:  # OP_LOAD
+            state[a] = input_bits[b]
+    return {
+        signal: state[register].copy()
+        for signal, register in kernel.output_registers.items()
+    }
+
+
+class FunctionalBatchExecutor:
+    """Vectorised functional backend (the default)."""
+
+    name = "functional"
+
+    def __init__(self, technology: MemristorTechnology = MEMRISTOR_5NM) -> None:
+        self.technology = technology
+
+    def run(self, kernel: CompiledKernel, input_bits: np.ndarray) -> BatchResult:
+        words = input_bits.shape[1]
+        outputs = _functional_outputs(kernel, input_bits)
+        steps = kernel.step_count
+        return BatchResult(
+            kernel=kernel.name,
+            backend=self.name,
+            words=words,
+            steps_per_word=steps,
+            energy=steps * words * self.technology.write_energy,
+            latency=steps * self.technology.write_time,
+            outputs=outputs,
+            word_outputs=kernel.word_outputs,
+        )
+
+
+class ElectricalBatchExecutor:
+    """Per-word electrical backend — the bit-exact fidelity reference."""
+
+    name = "electrical"
+
+    def __init__(
+        self,
+        technology: MemristorTechnology = MEMRISTOR_5NM,
+        voltages=None,
+        device_factory=None,
+    ) -> None:
+        self.technology = technology
+        self.voltages = voltages
+        self.device_factory = device_factory
+
+    def _machine(self) -> ImplyMachine:
+        kwargs = {"technology": self.technology}
+        if self.voltages is not None:
+            kwargs["voltages"] = self.voltages
+        if self.device_factory is not None:
+            kwargs["device_factory"] = self.device_factory
+        return ImplyMachine(**kwargs)
+
+    def run(self, kernel: CompiledKernel, input_bits: np.ndarray) -> BatchResult:
+        words = input_bits.shape[1]
+        signals = list(kernel.output_registers)
+        collected = {s: np.empty(words, dtype=np.uint8) for s in signals}
+        for w in range(words):
+            inputs = {
+                signal: int(input_bits[lane, w])
+                for lane, signal in enumerate(kernel.inputs)
+            }
+            report = self._machine().run(kernel.program, inputs)
+            for signal in signals:
+                collected[signal][w] = report.outputs[signal]
+        golden = _functional_outputs(kernel, input_bits)
+        for signal in signals:
+            if not np.array_equal(collected[signal], golden[signal]):
+                raise EngineError(
+                    f"{kernel.name}: electrical/functional divergence on "
+                    f"output {signal!r}"
+                )
+        steps = kernel.step_count
+        return BatchResult(
+            kernel=kernel.name,
+            backend=self.name,
+            words=words,
+            steps_per_word=steps,
+            energy=steps * words * self.technology.write_energy,
+            latency=steps * self.technology.write_time,
+            outputs=collected,
+            word_outputs=kernel.word_outputs,
+        )
+
+
+class AnalyticalCostExecutor:
+    """Prices a kernel without simulating it (no output values)."""
+
+    name = "analytical"
+
+    def __init__(self, technology: MemristorTechnology = MEMRISTOR_5NM) -> None:
+        self.technology = technology
+
+    def run(self, kernel: CompiledKernel, words: int) -> BatchResult:
+        if words < 1:
+            raise EngineError(f"analytical batch needs words >= 1, got {words}")
+        cost = kernel.cost
+        if cost is not None:
+            steps = int(cost.steps)
+            energy_per_word = float(cost.dynamic_energy)
+            latency = float(cost.latency)
+        else:
+            steps = kernel.compute_step_count
+            energy_per_word = steps * self.technology.write_energy
+            latency = steps * self.technology.write_time
+        return BatchResult(
+            kernel=kernel.name,
+            backend=self.name,
+            words=words,
+            steps_per_word=steps,
+            energy=energy_per_word * words,
+            latency=latency,
+            outputs=None,
+            word_outputs=kernel.word_outputs,
+        )
+
+
+_EXECUTOR_CLASSES = {
+    "functional": FunctionalBatchExecutor,
+    "electrical": ElectricalBatchExecutor,
+    "analytical": AnalyticalCostExecutor,
+}
+
+
+def run_kernel(
+    kernel: CompiledKernel,
+    operands: Optional[Mapping[str, Union[Sequence[int], np.ndarray]]] = None,
+    *,
+    backend: str = "functional",
+    words: Optional[int] = None,
+    technology: MemristorTechnology = MEMRISTOR_5NM,
+    executor=None,
+    charge_span: bool = True,
+) -> BatchResult:
+    """Execute *kernel* over an operand batch on the chosen *backend*.
+
+    *operands* maps word-group names to integer word arrays (packed via
+    :mod:`repro.engine.packing`) and/or raw input signals to bit
+    vectors.  The analytical backend takes no operands — pass *words*
+    instead (with operands given, their batch size wins).
+
+    Dispatch is metered on ``engine_executor_dispatch_total{backend=}``
+    and wrapped in an ``engine/<kernel>`` span so ``--profile``
+    attributes cost to kernels; ``charge_span=False`` leaves the span's
+    simulated totals to a caller that keeps its own ledger.
+    """
+    if backend not in _EXECUTOR_CLASSES:
+        raise EngineError(
+            f"unknown backend {backend!r}; choose one of {BACKENDS}"
+        )
+    if executor is None:
+        executor = _EXECUTOR_CLASSES[backend](technology)
+    input_bits: Optional[np.ndarray] = None
+    if operands:
+        input_bits = _prepare_input_bits(kernel, operands)
+        words = input_bits.shape[1]
+    if words is None:
+        raise EngineError(
+            f"{kernel.name}: supply operands (or words= for analytical runs)"
+        )
+    _DISPATCH[backend].inc()
+    _WORDS.inc(words)
+    with get_tracer().span(
+        f"engine/{kernel.name}", backend=backend, words=words
+    ) as span:
+        if backend == "analytical":
+            result = executor.run(kernel, words)
+        else:
+            if input_bits is None:
+                raise EngineError(
+                    f"{kernel.name}: the {backend} backend needs operand values"
+                )
+            result = executor.run(kernel, input_bits)
+        if charge_span:
+            span.add_sim(
+                energy=result.energy,
+                latency=result.latency,
+                steps=result.steps_per_word * result.words,
+            )
+    return result

@@ -1,0 +1,373 @@
+"""Compile-once kernel artifacts for the unified CIM engine.
+
+Section III.C argues CIM "changes the traditional system design,
+compiler tools" — the practical consequence for this reproduction is
+that *every* workload needs the same pipeline: describe the logic
+(netlist or hand-tuned IMPLY program), lower it through the compiler
+(:mod:`repro.compiler`), shrink its memristor footprint
+(liveness-based register reuse), and only then execute — functionally,
+electrically, or analytically.  A :class:`CompiledKernel` is the
+immutable artifact that pipeline produces: the validated
+:class:`~repro.logic.program.ImplyProgram` plus a dense integer
+encoding of its instruction stream (register names resolved to indices)
+that the vectorised executor can replay across an N-word batch without
+touching a Python dict.
+
+Kernels are digest-keyed and memoised in a small LRU cache (the same
+shape as the PR-2 crossbar factorization cache), with hit/miss counts
+on ``engine_kernel_cache_total`` — compiling is pure, so two requests
+for the same logic share one artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+from ..compiler.allocate import reuse_registers
+from ..compiler.mapper import compile_network
+from ..compiler.netlist import LogicNetwork
+from ..compiler.schedule import schedule_network
+from ..errors import EngineError
+from ..logic.program import ImplyProgram, OpKind
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
+
+#: Dense opcode values used by the vectorised executor.
+OP_FALSE, OP_LOAD, OP_IMP = 0, 1, 2
+
+#: Maximum number of memoised kernels (LRU eviction beyond it).
+KERNEL_CACHE_CAPACITY = 64
+
+_REGISTRY = get_registry()
+_CACHE_FAMILY = _REGISTRY.counter(
+    "engine_kernel_cache_total", "compiled-kernel cache lookups by result")
+_CACHE_HIT = _CACHE_FAMILY.labels(result="hit")
+_CACHE_MISS = _CACHE_FAMILY.labels(result="miss")
+
+_GROUPED_NAME = re.compile(r"^(.*?)(\d+)$")
+
+
+@dataclass(frozen=True)
+class CompiledKernel:
+    """One compiled, immutable, executable kernel.
+
+    Attributes
+    ----------
+    name:
+        Kernel identifier (used in spans, reports, the CLI listing).
+    digest:
+        SHA-256 over the canonical instruction stream — the cache key
+        and the identity used to assert artifact equality.
+    program:
+        The lowered (and, by default, register-allocated) IMPLY program;
+        the electrical executor runs this directly.
+    ops:
+        Dense ``(opcode, a, b)`` triples: FALSE clears register ``a``;
+        LOAD copies input lane ``b`` into register ``a``; IMP computes
+        ``b <- a IMP b`` over register indices.
+    n_registers:
+        Size of the register file (= memristor footprint per word).
+    inputs:
+        Input signal names in lane order (LOAD's ``b`` indexes this).
+    output_registers:
+        Output signal name -> register index holding it at the end.
+    word_inputs / word_outputs:
+        Multi-bit operand grouping: operand name -> LSB-first signal
+        names.  Lets callers pass/read integer words instead of bits.
+    cost:
+        Optional analytical cost model (e.g.
+        :class:`~repro.logic.comparator.ComparatorCost`); any object
+        exposing ``steps``, ``memristors``, ``latency`` and
+        ``dynamic_energy`` works.
+    meta:
+        Free-form provenance (gate counts, schedule latency, ...).
+    """
+
+    name: str
+    digest: str
+    program: ImplyProgram
+    ops: Tuple[Tuple[int, int, int], ...]
+    n_registers: int
+    inputs: Tuple[str, ...]
+    output_registers: Dict[str, int]
+    word_inputs: Dict[str, Tuple[str, ...]]
+    word_outputs: Dict[str, Tuple[str, ...]]
+    cost: Optional[object] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- static analysis -------------------------------------------------
+
+    @property
+    def step_count(self) -> int:
+        """Pulses per word (every instruction is one write slot)."""
+        return len(self.ops)
+
+    @property
+    def compute_step_count(self) -> int:
+        """Steps excluding input LOADs (the paper's step convention)."""
+        return sum(1 for kind, _, _ in self.ops if kind != OP_LOAD)
+
+    @property
+    def device_count(self) -> int:
+        """Distinct memristors one word of this kernel occupies."""
+        return self.n_registers
+
+    @property
+    def outputs(self) -> Tuple[str, ...]:
+        return tuple(self.output_registers)
+
+    def describe(self) -> Dict[str, object]:
+        """Plain-data summary (CLI listing, artifacts)."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "digest": self.digest[:12],
+            "steps": self.step_count,
+            "compute_steps": self.compute_step_count,
+            "memristors": self.device_count,
+            "inputs": len(self.inputs),
+            "outputs": len(self.output_registers),
+        }
+        cost = self.cost
+        if cost is not None:
+            out["analytical_steps"] = cost.steps
+            out["analytical_memristors"] = cost.memristors
+            out["analytical_energy_j"] = cost.dynamic_energy
+            out["analytical_latency_s"] = cost.latency
+        out.update(self.meta)
+        return out
+
+
+# -- digests --------------------------------------------------------------
+
+
+def program_digest(program: ImplyProgram) -> str:
+    """SHA-256 of the canonical instruction stream + I/O binding."""
+    hasher = hashlib.sha256()
+    for ins in program.instructions:
+        hasher.update(ins.kind.value.encode())
+        for operand in ins.operands:
+            hasher.update(b"\x00" + operand.encode())
+        if ins.source:
+            hasher.update(b"\x01" + ins.source.encode())
+        hasher.update(b"\n")
+    hasher.update(("|".join(program.inputs)).encode())
+    hasher.update(b"\x02")
+    for signal in sorted(program.outputs):
+        hasher.update(f"{signal}={program.outputs[signal]};".encode())
+    return hasher.hexdigest()
+
+
+def network_digest(network: LogicNetwork) -> str:
+    """SHA-256 of a netlist's structure (inputs, gates, outputs)."""
+    hasher = hashlib.sha256()
+    hasher.update(("|".join(network.inputs)).encode())
+    hasher.update(b"\x02")
+    for node in network.nodes:
+        hasher.update(f"{node.name}={node.op}({','.join(node.args)});".encode())
+    hasher.update(("|".join(network.outputs)).encode())
+    return hasher.hexdigest()
+
+
+# -- the kernel cache -----------------------------------------------------
+
+_CACHE_LOCK = threading.Lock()
+_KERNEL_CACHE: "OrderedDict[Hashable, CompiledKernel]" = OrderedDict()
+
+
+def cached_kernel(key: Hashable, factory: Callable[[], CompiledKernel]) -> CompiledKernel:
+    """Memoise *factory* under *key* with LRU eviction + hit/miss counts."""
+    with _CACHE_LOCK:
+        kernel = _KERNEL_CACHE.get(key)
+        if kernel is not None:
+            _KERNEL_CACHE.move_to_end(key)
+            _CACHE_HIT.inc()
+            return kernel
+    _CACHE_MISS.inc()
+    kernel = factory()
+    with _CACHE_LOCK:
+        _KERNEL_CACHE[key] = kernel
+        _KERNEL_CACHE.move_to_end(key)
+        while len(_KERNEL_CACHE) > KERNEL_CACHE_CAPACITY:
+            _KERNEL_CACHE.popitem(last=False)
+    return kernel
+
+
+def clear_kernel_cache() -> None:
+    """Drop every memoised kernel."""
+    with _CACHE_LOCK:
+        _KERNEL_CACHE.clear()
+
+
+def kernel_cache_len() -> int:
+    """Number of kernels currently memoised."""
+    with _CACHE_LOCK:
+        return len(_KERNEL_CACHE)
+
+
+# -- compilation ----------------------------------------------------------
+
+
+def _infer_word_groups(names: Tuple[str, ...]) -> Dict[str, Tuple[str, ...]]:
+    """Group ``a0, a1, ...`` style signal runs into word operands.
+
+    A prefix forms a word group when its numbered members cover the
+    contiguous index range ``0..k-1`` with ``k >= 2``; everything else
+    stays a single-bit group under its own name.
+    """
+    runs: Dict[str, Dict[int, str]] = {}
+    for name in names:
+        match = _GROUPED_NAME.match(name)
+        if match and match.group(1):
+            runs.setdefault(match.group(1), {})[int(match.group(2))] = name
+    groups: Dict[str, Tuple[str, ...]] = {}
+    grouped: set = set()
+    for prefix, members in runs.items():
+        if len(members) >= 2 and sorted(members) == list(range(len(members))):
+            groups[prefix] = tuple(members[i] for i in range(len(members)))
+            grouped.update(groups[prefix])
+    for name in names:
+        if name not in grouped:
+            groups[name] = (name,)
+    return groups
+
+
+def _freeze_groups(
+    names: Tuple[str, ...],
+    groups: Optional[Dict[str, Tuple[str, ...]]],
+    role: str,
+) -> Dict[str, Tuple[str, ...]]:
+    if groups is None:
+        return _infer_word_groups(names)
+    known = set(names)
+    frozen: Dict[str, Tuple[str, ...]] = {}
+    for group, members in groups.items():
+        members = tuple(members)
+        unknown = [m for m in members if m not in known]
+        if unknown:
+            raise EngineError(
+                f"{role} group {group!r} names unknown signals {unknown}"
+            )
+        frozen[group] = members
+    return frozen
+
+
+def compile_program(
+    program: ImplyProgram,
+    *,
+    name: Optional[str] = None,
+    allocate: bool = True,
+    word_inputs: Optional[Dict[str, Tuple[str, ...]]] = None,
+    word_outputs: Optional[Dict[str, Tuple[str, ...]]] = None,
+    cost: Optional[object] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> CompiledKernel:
+    """Lower an IMPLY *program* into a :class:`CompiledKernel`.
+
+    With ``allocate=True`` (default) the program first goes through
+    liveness-based register reuse, so the artifact's memristor footprint
+    is the allocated one.  The digest is taken over the *source*
+    program, making allocated and source artifacts cache-compatible.
+    """
+    program.validate()
+    digest = program_digest(program)
+    source = program
+    if allocate:
+        program = reuse_registers(program)
+    register_index: Dict[str, int] = {}
+
+    def reg(register: str) -> int:
+        index = register_index.get(register)
+        if index is None:
+            index = register_index[register] = len(register_index)
+        return index
+
+    input_lane = {signal: lane for lane, signal in enumerate(program.inputs)}
+    ops = []
+    for ins in program.instructions:
+        if ins.kind is OpKind.FALSE:
+            ops.append((OP_FALSE, reg(ins.operands[0]), 0))
+        elif ins.kind is OpKind.LOAD:
+            ops.append((OP_LOAD, reg(ins.operands[0]), input_lane[ins.source]))
+        else:
+            ops.append((OP_IMP, reg(ins.operands[0]), reg(ins.operands[1])))
+    output_registers = {
+        signal: reg(register) for signal, register in program.outputs.items()
+    }
+    inputs = tuple(program.inputs)
+    return CompiledKernel(
+        name=name or source.name,
+        digest=digest,
+        program=program,
+        ops=tuple(ops),
+        n_registers=len(register_index),
+        inputs=inputs,
+        output_registers=output_registers,
+        word_inputs=_freeze_groups(inputs, word_inputs, "input"),
+        word_outputs=_freeze_groups(
+            tuple(program.outputs), word_outputs, "output"),
+        cost=cost,
+        meta=dict(meta or {}),
+    )
+
+
+def kernel_for_program(
+    program: ImplyProgram,
+    *,
+    allocate: bool = True,
+    cost: Optional[object] = None,
+) -> CompiledKernel:
+    """Digest-keyed cached :func:`compile_program` front door."""
+    key = ("program", program_digest(program), allocate)
+    return cached_kernel(
+        key, lambda: compile_program(program, allocate=allocate, cost=cost)
+    )
+
+
+def compile_kernel(
+    network: LogicNetwork,
+    *,
+    name: Optional[str] = None,
+    lanes: int = 4,
+    allocate: bool = True,
+    word_inputs: Optional[Dict[str, Tuple[str, ...]]] = None,
+    word_outputs: Optional[Dict[str, Tuple[str, ...]]] = None,
+    cost: Optional[object] = None,
+) -> CompiledKernel:
+    """The full netlist pipeline: map -> allocate -> schedule -> artifact.
+
+    Lowers *network* through :func:`repro.compiler.mapper.compile_network`,
+    optionally shrinks the register file, and attaches the *lanes*-wide
+    parallel schedule's latency/utilisation as provenance.  Results are
+    digest-keyed in the kernel cache, so recompiling an identical
+    netlist is a dictionary hit.
+    """
+    key = ("network", network_digest(network), lanes, allocate)
+
+    def build() -> CompiledKernel:
+        with get_tracer().span(
+            f"engine/compile:{network.name}", gates=network.gate_count
+        ):
+            program = compile_network(network)
+            plan = schedule_network(network, lanes)
+            return compile_program(
+                program,
+                name=name or network.name,
+                allocate=allocate,
+                word_inputs=word_inputs,
+                word_outputs=word_outputs,
+                cost=cost,
+                meta={
+                    "gates": network.gate_count,
+                    "depth": network.depth(),
+                    "lanes": lanes,
+                    "schedule_latency_pulses": plan.latency_pulses,
+                    "schedule_utilisation": round(plan.utilisation(), 4),
+                },
+            )
+
+    return cached_kernel(key, build)

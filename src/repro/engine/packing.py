@@ -1,0 +1,88 @@
+"""Shared bit pack/unpack helpers for the kernel engine.
+
+Every executor — and every app feeding one — needs the same two moves:
+explode integer words into little-endian bit lanes (one memristor column
+per bit) and reassemble lane bits into words.  Before the engine landed,
+each consumer hand-rolled its own ``[(value >> i) & 1 for i in
+range(width)]`` loop; these helpers centralise that convention and do it
+vectorised, so an N-word batch packs as one NumPy shift instead of
+``N * width`` Python iterations.
+
+Conventions
+-----------
+* Bit order is **little-endian**: lane ``i`` holds bit ``2**i``.
+* Packed batches are ``uint8`` arrays of shape ``(words, width)``.
+* Word values travel as ``uint64`` (so ``width <= 63`` round-trips
+  exactly through the NumPy shift path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from ..errors import EngineError
+
+#: Widest word the vectorised uint64 shift path supports.
+MAX_WIDTH = 63
+
+
+def _check_width(width: int) -> int:
+    if not 1 <= int(width) <= MAX_WIDTH:
+        raise EngineError(f"width must be 1..{MAX_WIDTH} bits, got {width}")
+    return int(width)
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Little-endian bit list of one *width*-bit word."""
+    width = _check_width(width)
+    value = int(value)
+    if not 0 <= value < (1 << width):
+        raise EngineError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Reassemble a little-endian bit sequence into an integer."""
+    value = 0
+    for i, bit in enumerate(bits):
+        if bit not in (0, 1):
+            raise EngineError(f"bit lane {i} must hold 0/1, got {bit}")
+        value |= int(bit) << i
+    return value
+
+
+def pack_words(values: Union[Sequence[int], np.ndarray], width: int) -> np.ndarray:
+    """Explode integer words into a ``(words, width)`` uint8 bit matrix.
+
+    Lane ``i`` (column ``i``) carries bit ``2**i`` of every word — the
+    layout all engine executors consume.
+    """
+    width = _check_width(width)
+    words = np.atleast_1d(np.asarray(values))
+    if words.ndim != 1:
+        raise EngineError(f"expected a flat word vector, got shape {words.shape}")
+    if words.size and (words.min() < 0):
+        raise EngineError("word values must be non-negative")
+    words = words.astype(np.uint64)
+    if words.size and int(words.max()) >= (1 << width):
+        raise EngineError(
+            f"word {int(words.max())} does not fit in {width} bits"
+        )
+    lanes = np.arange(width, dtype=np.uint64)
+    return ((words[:, None] >> lanes[None, :]) & np.uint64(1)).astype(np.uint8)
+
+
+def unpack_words(bits: np.ndarray) -> np.ndarray:
+    """Reassemble a ``(words, width)`` bit matrix into uint64 words."""
+    matrix = np.asarray(bits)
+    if matrix.ndim != 2:
+        raise EngineError(f"expected a (words, width) matrix, got shape {matrix.shape}")
+    width = _check_width(matrix.shape[1])
+    if matrix.size and not np.isin(matrix, (0, 1)).all():
+        raise EngineError("bit matrix entries must be 0/1")
+    lanes = np.arange(width, dtype=np.uint64)
+    return (matrix.astype(np.uint64) << lanes[None, :]).sum(
+        axis=1, dtype=np.uint64
+    )

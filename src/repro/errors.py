@@ -38,3 +38,7 @@ class SynthesisError(LogicError):
 
 class ObservabilityError(ReproError):
     """Invalid metric/trace usage or a malformed telemetry sink/path."""
+
+
+class EngineError(ReproError):
+    """Invalid kernel construction, operand batch, or executor backend."""

@@ -2,11 +2,12 @@
 
 This is the executable version of Fig 2's right-hand side.  Data words
 live in a :class:`~repro.crossbar.memory.CrossbarMemory`; computation
-happens in IMPLY *lanes* (register files of memristors driven by one
-:class:`~repro.logic.sequencer.ImplyMachine` each).  Every access and
-every logic pulse is charged to an :class:`~repro.sim.trace.EnergyTrace`
-with the Table 1 constants, so a functional run produces the same kind
-of numbers the analytical model predicts — on real, bit-accurate data.
+happens in IMPLY *lanes* — program batches execute through the unified
+:mod:`repro.engine` pipeline (digest-cached kernels, vectorised
+functional executor).  Every access and every logic pulse is charged to
+an :class:`~repro.sim.trace.EnergyTrace` with the Table 1 constants, so
+a functional run produces the same kind of numbers the analytical model
+predicts — on real, bit-accurate data.
 
 The two paper workloads are provided as machine methods:
 :meth:`compare_all` (DNA-style equality search over stored words) and
@@ -19,13 +20,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..crossbar.memory import CrossbarMemory
 from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..engine import kernel_for_program, run_kernel
 from ..errors import ArchitectureError
 from ..logic.adders import ripple_adder_program
 from ..logic.comparator import word_comparator_program
 from ..logic.program import ImplyProgram
-from ..logic.sequencer import ImplyMachine
 from .trace import EnergyTrace
 
 
@@ -124,17 +127,33 @@ class FunctionalCIM:
     ) -> List[dict]:
         """Run *program* once per input set across the lanes.
 
-        Energy: every execution pays; latency: executions pipeline over
-        the lanes, so the batch takes ``ceil(K / lanes)`` program
-        latencies.
+        The whole batch is one vectorised functional-executor replay of
+        the engine-compiled kernel (digest-cached, so repeated batches
+        of the same program compile once).  Energy: every execution
+        pays; latency: executions pipeline over the lanes, so the batch
+        takes ``ceil(K / lanes)`` program latencies.
         """
-        outputs = []
-        for inputs in input_sets:
-            machine = ImplyMachine(technology=self.technology)
-            report = machine.run_and_check(program, inputs)
-            outputs.append(report.outputs)
+        outputs: List[dict] = []
         executions = len(input_sets)
         if executions:
+            kernel = kernel_for_program(program)
+            batch = {
+                signal: np.array(
+                    [inputs[signal] for inputs in input_sets], dtype=np.uint8
+                )
+                for signal in kernel.inputs
+            }
+            # The lane/round cost model below is this tile's own ledger;
+            # charge_span=False keeps the engine span from double-billing
+            # any enclosing tracer span.
+            result = run_kernel(kernel, batch, charge_span=False)
+            outputs = [
+                {
+                    signal: int(result.outputs[signal][index])
+                    for signal in kernel.outputs
+                }
+                for index in range(executions)
+            ]
             rounds = -(-executions // self.lanes)
             per_run_energy = program.step_count * self.technology.write_energy
             per_run_latency = program.step_count * self.technology.write_time

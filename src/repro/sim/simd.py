@@ -4,23 +4,30 @@ The paper's parallelism is lock-step: Table 1's comparator runs "two
 XOR ... in parallel" and the architecture replicates that unit hundreds
 of thousands of times, all driven by a shared controller broadcasting
 the same pulse sequence.  :class:`SIMDRowExecutor` is that model at the
-electrical level: the *same* IMPLY program executes simultaneously on
+electrical level: the *same* compiled kernel executes simultaneously on
 every selected row of a crossbar (each row has its own operands), the
 latency is charged **once** for the whole batch, and the energy once
 per row — the defining cost asymmetry of data-parallel CIM.
 
-Per-row results are bit-exact against the functional semantics, and
-rows outside the selection are guarded against disturbance, exactly as
-in :class:`repro.sim.rowmap.RowRegisterFile`.
+Kernel construction and the per-row golden model both come from
+:mod:`repro.engine`: programs are compiled into
+:class:`~repro.engine.kernel.CompiledKernel` artifacts (digest-cached),
+and the expected outputs for the whole batch are produced by one
+vectorised functional-executor run instead of a per-row Python
+interpretation.  Rows outside the selection are guarded against
+disturbance, exactly as in :class:`repro.sim.rowmap.RowRegisterFile`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from ..crossbar.array import CrossbarArray
 from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from ..engine import CompiledKernel, kernel_for_program, run_kernel
 from ..errors import LogicError
 from ..logic.imply import ImplyVoltages
 from ..logic.program import ImplyProgram
@@ -44,7 +51,7 @@ class SIMDReport:
 
 
 class SIMDRowExecutor:
-    """Runs one IMPLY program across many rows of one crossbar.
+    """Runs one compiled kernel across many rows of one crossbar.
 
     Parameters
     ----------
@@ -69,16 +76,24 @@ class SIMDRowExecutor:
 
     def run(
         self,
-        program: ImplyProgram,
+        kernel: Union[CompiledKernel, ImplyProgram],
         per_row_inputs: Dict[int, Dict[str, int]],
     ) -> SIMDReport:
-        """Execute *program* on every row in *per_row_inputs* lock-step.
+        """Execute *kernel* on every row in *per_row_inputs* lock-step.
 
-        The dict maps row index -> that row's input assignment.  Rows
-        not listed are storage and must remain untouched (verified).
-        Each row's outputs are checked against the functional golden
-        model, so a silent electrical divergence on any row fails loudly.
+        *kernel* is a :class:`~repro.engine.kernel.CompiledKernel` or a
+        raw :class:`~repro.logic.program.ImplyProgram` (compiled through
+        the engine's digest cache on the fly).  The dict maps row index
+        -> that row's input assignment.  Rows not listed are storage and
+        must remain untouched (verified).  Every row's outputs are
+        checked against one vectorised functional-executor run, so a
+        silent electrical divergence on any row fails loudly.
         """
+        if isinstance(kernel, ImplyProgram):
+            # Register names must survive for the row register file's
+            # column mapping, so skip the allocation pass.
+            kernel = kernel_for_program(kernel, allocate=False)
+        program = kernel.program
         if not per_row_inputs:
             raise LogicError("SIMD batch needs at least one row")
         rows = sorted(per_row_inputs)
@@ -93,17 +108,31 @@ class SIMDRowExecutor:
             for r in range(self.array.rows) if r not in compute
         ]
 
+        # Golden model: one functional batch across all rows.
+        batch_inputs = {
+            signal: np.array(
+                [per_row_inputs[row][signal] for row in rows], dtype=np.uint8
+            )
+            for signal in kernel.inputs
+        }
+        expected = run_kernel(
+            kernel, batch_inputs, backend="functional", charge_span=False
+        )
+
         outputs: List[Dict[str, int]] = []
-        for row in rows:
+        for index, row in enumerate(rows):
             row_file = RowRegisterFile(
                 self.array, row, self.voltages, self.technology
             )
             report = row_file.run(program, per_row_inputs[row])
-            expected = program.run_functional(per_row_inputs[row])
-            if report.outputs != expected:
+            golden_row = {
+                signal: int(expected.outputs[signal][index])
+                for signal in kernel.outputs
+            }
+            if report.outputs != golden_row:
                 raise LogicError(
                     f"row {row}: electrical/functional divergence "
-                    f"({report.outputs} vs {expected})"
+                    f"({report.outputs} vs {golden_row})"
                 )
             outputs.append(report.outputs)
 
@@ -128,14 +157,14 @@ class SIMDRowExecutor:
 
     def map_unary(
         self,
-        program: ImplyProgram,
+        kernel: Union[CompiledKernel, ImplyProgram],
         values: Sequence[Dict[str, int]],
         base_row: int = 0,
     ) -> SIMDReport:
-        """Convenience: run *program* over consecutive rows starting at
+        """Convenience: run *kernel* over consecutive rows starting at
         *base_row*, one input assignment per row."""
         per_row = {
             base_row + offset: assignment
             for offset, assignment in enumerate(values)
         }
-        return self.run(program, per_row)
+        return self.run(kernel, per_row)

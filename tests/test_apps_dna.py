@@ -174,6 +174,22 @@ class TestReadMapper:
         with pytest.raises(WorkloadError):
             ReadMapper(index).map_read(ShortRead(0, "ACGT"))
 
+    def test_cim_verify_preserves_results_and_stats(self):
+        """The engine-backed comparator verification replays every
+        scanned character on the CIM comparator kernel without changing
+        the pipeline's measurements or mapping decisions."""
+        genome = random_genome(4000, seed=9)
+        reads = generate_reads(genome, coverage=1, read_length=40,
+                               error_rate=0.03, seed=10)
+        plain = ReadMapper(SortedKmerIndex(genome, k=12))
+        checked = ReadMapper(SortedKmerIndex(genome, k=12), cim_verify=True)
+        s1 = plain.map_all(reads)
+        s2 = checked.map_all(reads)
+        assert s2.accuracy == s1.accuracy
+        assert s2.char_comparisons == s1.char_comparisons
+        assert ([r.mapped_position for r in s2.results]
+                == [r.mapped_position for r in s1.results])
+
     def test_measured_hit_ratio_near_paper_assumption(self, pipeline):
         """The Table 1 assumption 'Hit ratio = 50%' — our functional
         cache replay of the real index probes lands in the same band."""
