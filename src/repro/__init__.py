@@ -19,7 +19,11 @@ The package is organised bottom-up, mirroring the paper:
 * :mod:`repro.engine` — the unified compile-once/execute-many kernel
   pipeline every workload runs through (functional, electrical, and
   analytical executors behind one interface).
-* :mod:`repro.analysis` — reports and parameter sweeps.
+* :mod:`repro.spec` — the Table 1 parameter space as one frozen,
+  digest-keyed :class:`~repro.spec.TechSpec` tree plus the
+  provenance-tagged :class:`~repro.spec.CostLedger`.
+* :mod:`repro.analysis` — reports, parameter sweeps and the DSE sweep
+  engine (``repro sweep``).
 
 Quick start::
 
@@ -28,7 +32,7 @@ Quick start::
     print(render_table2(table2()))
 """
 
-from . import analog, analysis, apps, cmosarch, compiler, core, crossbar, devices, engine, interconnect, logic, obs, reliability, sim, units
+from . import analog, analysis, apps, cmosarch, compiler, core, crossbar, devices, engine, interconnect, logic, obs, reliability, sim, spec, units
 from .errors import (
     ArchitectureError,
     CrossbarError,
@@ -37,6 +41,7 @@ from .errors import (
     LogicError,
     ObservabilityError,
     ReproError,
+    SpecError,
     SynthesisError,
     WorkloadError,
 )
@@ -56,6 +61,7 @@ __all__ = [
     "core",
     "apps",
     "sim",
+    "spec",
     "analysis",
     "obs",
     "units",
@@ -68,5 +74,6 @@ __all__ = [
     "SynthesisError",
     "ObservabilityError",
     "EngineError",
+    "SpecError",
     "__version__",
 ]

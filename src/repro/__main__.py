@@ -10,7 +10,8 @@ code:
 * ``fig5`` — both IMP implementations' truth tables;
 * ``scaling`` — the data-volume scaling study;
 * ``kernels`` — the engine's built-in compiled kernels and their costs;
-* ``obs`` — exercise the observability layer and export telemetry.
+* ``obs`` — exercise the observability layer and export telemetry;
+* ``sweep`` — design-space exploration over TechSpec parameters.
 
 Every subcommand accepts ``--profile`` (print the span tree and metric
 summary after the command), ``--quiet`` and ``--verbose`` (stdlib
@@ -118,7 +119,9 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 def _cmd_kernels(args: argparse.Namespace) -> int:
     """List the engine's built-in kernels with compiled + analytical costs."""
     from .engine import kernel_catalog
+    from .spec import TABLE1
 
+    print(f"active spec: {TABLE1.describe()}")
     rows = []
     for entry in kernel_catalog(adder_width=args.width,
                                 match_width=args.width):
@@ -144,7 +147,9 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     """Exercise the instrumented stack and print/export its telemetry."""
     from .obs.export import export_prometheus, export_spans_jsonl
     from .sim.machine import FunctionalCIM
+    from .spec import TABLE1
 
+    print(f"active spec: {TABLE1.describe()}")
     tracer = get_tracer()
     tracer.enable()
     with tracer.span("obs-demo"):
@@ -166,6 +171,78 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.prom:
         export_prometheus(get_registry(), args.prom)
         print(f"metrics written to {args.prom}")
+    return 0
+
+
+def _parse_sweep_param(raw: str):
+    """``path=v1,v2,...`` -> ``(path, [values])`` with float coercion."""
+    path, sep, values = raw.partition("=")
+    if not sep or not path or not values:
+        raise ReproError(
+            f"bad --param {raw!r}; expected path=value,value "
+            "(e.g. memristor.write_energy=1e-15,2e-15)"
+        )
+
+    def coerce(text: str):
+        try:
+            number = float(text)
+        except ValueError:
+            return text
+        if number.is_integer() and ("e" not in text.lower()
+                                    and "." not in text):
+            return int(number)
+        return number
+
+    return path, [coerce(v) for v in values.split(",")]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a TechSpec parameter sweep and write JSONL/CSV artifacts."""
+    from .analysis.dse import paper_grid, run_sweep, write_csv, write_jsonl
+    from .spec import TABLE1
+
+    if args.param:
+        grid = dict(_parse_sweep_param(p) for p in args.param)
+    else:
+        grid = paper_grid()
+    print(f"base spec: {TABLE1.describe()}")
+    result = run_sweep(
+        grid,
+        workers=args.workers,
+        serial=args.serial,
+        keep_ledgers=not args.no_ledgers,
+    )
+    mode = (f"parallel x{result.workers}" if result.parallel else "serial")
+    print(f"swept {len(result)} points ({result.evaluated} evaluated, "
+          f"{result.cache_hits} cache hits, {mode})")
+
+    headers = ["metric", "best", "worst", "at (best overrides)"]
+    rows = []
+    for key in ("dna.improvement.energy_delay",
+                "math.improvement.energy_delay",
+                "dna.improvement.computing_efficiency",
+                "math.improvement.computing_efficiency"):
+        if key not in result.points[0].metrics:
+            continue
+        best = result.best(key, maximize=True)
+        worst = result.best(key, maximize=False)
+        rows.append([
+            key,
+            f"{best.metrics[key]:.4g}x",
+            f"{worst.metrics[key]:.4g}x",
+            ", ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                      for k, v in best.overrides.items()) or "(base)",
+        ])
+    print(format_table(headers, rows, title="CIM improvement across the grid"))
+
+    if args.jsonl:
+        with open(args.jsonl, "w", encoding="utf-8") as stream:
+            lines = write_jsonl(result, stream)
+        print(f"{lines} JSONL lines written to {args.jsonl}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8", newline="") as stream:
+            lines = write_csv(result, stream)
+        print(f"{lines} CSV rows written to {args.csv}")
     return 0
 
 
@@ -230,6 +307,26 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--prom", metavar="PATH",
                      help="write metrics in Prometheus text format")
     obs.set_defaults(handler=_cmd_obs)
+
+    sweep = sub.add_parser(
+        "sweep", parents=[common],
+        help="design-space exploration over TechSpec parameters")
+    sweep.add_argument(
+        "--param", action="append", metavar="PATH=V1,V2",
+        help="sweep one dotted spec path over comma-separated values "
+             "(repeatable; default: the built-in 128-point paper grid)")
+    sweep.add_argument("--jsonl", metavar="PATH",
+                       help="write every point (with cost-ledger "
+                            "provenance) as JSON lines")
+    sweep.add_argument("--csv", metavar="PATH",
+                       help="write an overrides+metrics CSV")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: cpu count)")
+    sweep.add_argument("--serial", action="store_true",
+                       help="evaluate in-process, no pool")
+    sweep.add_argument("--no-ledgers", action="store_true",
+                       help="drop per-point ledgers (smaller JSONL)")
+    sweep.set_defaults(handler=_cmd_sweep)
     return parser
 
 

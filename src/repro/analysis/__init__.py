@@ -1,5 +1,16 @@
-"""Reporting and sweep utilities shared by benchmarks and examples."""
+"""Reporting, sweep and design-space-exploration utilities."""
 
+from .dse import (
+    SweepPoint,
+    SweepResult,
+    cim_dominates,
+    evaluate_point,
+    expand_grid,
+    paper_grid,
+    run_sweep,
+    write_csv,
+    write_jsonl,
+)
 from .report import METRIC_LABELS, render_machine_reports, render_table2
 from .sweeps import adder_width_sweep, crossbar_scaling_sweep, hit_ratio_sweep
 from .tables import format_sci, format_table
@@ -13,4 +24,13 @@ __all__ = [
     "hit_ratio_sweep",
     "adder_width_sweep",
     "crossbar_scaling_sweep",
+    "SweepPoint",
+    "SweepResult",
+    "cim_dominates",
+    "evaluate_point",
+    "expand_grid",
+    "paper_grid",
+    "run_sweep",
+    "write_csv",
+    "write_jsonl",
 ]

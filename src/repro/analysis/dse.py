@@ -1,0 +1,466 @@
+"""Design-space exploration over the Table 1 parameter space.
+
+The spec layer makes every Table 1 assumption addressable
+(``memristor.write_energy``, ``cmos.gate_leakage``, ...); this module
+turns that into an exploration engine:
+
+1. :func:`expand_grid` expands a ``{path: [values...]}`` grid into the
+   cartesian list of override mappings (deterministic order);
+2. :func:`evaluate_point` derives a :class:`~repro.spec.TechSpec` per
+   override set and re-runs the full Table 2 evaluation under it,
+   returning the metrics, the CIM-vs-conventional improvement factors
+   and every report's provenance-tagged cost ledger;
+3. :func:`run_sweep` maps :func:`evaluate_point` over the grid — either
+   serially or process-parallel via :class:`concurrent.futures.
+   ProcessPoolExecutor` — deduplicating points by spec digest, serving
+   repeats from a digest-keyed LRU cache, and metering the run on the
+   ``dse_points_total`` / ``dse_cache_hits_total`` counters under a
+   ``dse/sweep`` tracing span.
+
+Results serialize to JSONL (one point per line, ledgers included) and
+CSV (metrics only) for downstream analysis; the ``repro sweep`` CLI
+subcommand is a thin wrapper over :func:`run_sweep` + these writers.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import csv
+import itertools
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    IO,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..errors import SpecError
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
+from ..spec import TABLE1, TechSpec
+
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "cim_dominates",
+    "evaluate_point",
+    "expand_grid",
+    "paper_grid",
+    "run_sweep",
+    "write_csv",
+    "write_jsonl",
+]
+
+_REGISTRY = get_registry()
+_POINTS = _REGISTRY.counter(
+    "dse_points_total", "DSE sweep points evaluated (cache misses included)")
+_CACHE_HITS = _REGISTRY.counter(
+    "dse_cache_hits_total", "DSE sweep points served from the digest cache")
+
+#: The two Table 2 applications every point is evaluated on.
+APPLICATIONS: Tuple[str, str] = ("dna", "math")
+
+
+@dataclass
+class SweepPoint:
+    """One evaluated design point.
+
+    ``metrics`` is flat: ``"<app>.<arch>.<metric>"`` -> value, plus the
+    per-application improvement factors under ``"<app>.improvement.*"``.
+    ``ledgers`` maps ``"<app>.<arch>"`` to the evaluation's provenance
+    rows (see :meth:`repro.spec.CostLedger.as_rows`).
+    """
+
+    index: int
+    overrides: Dict[str, Any]
+    spec_name: str
+    spec_digest: str
+    metrics: Dict[str, float]
+    ledgers: Dict[str, List[Dict[str, Any]]] = field(default_factory=dict)
+    cached: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (one JSONL line)."""
+        return {
+            "index": self.index,
+            "overrides": self.overrides,
+            "spec_name": self.spec_name,
+            "spec_digest": self.spec_digest,
+            "metrics": self.metrics,
+            "ledgers": self.ledgers,
+            "cached": self.cached,
+        }
+
+
+@dataclass
+class SweepResult:
+    """Everything :func:`run_sweep` produced."""
+
+    base_digest: str
+    points: List[SweepPoint]
+    evaluated: int
+    cache_hits: int
+    parallel: bool
+    workers: int
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def metric_column(self, key: str) -> List[float]:
+        """One metric across all points, in grid order."""
+        return [point.metrics[key] for point in self.points]
+
+    def best(self, key: str, maximize: bool = True) -> SweepPoint:
+        """The point extremizing ``metrics[key]``."""
+        if not self.points:
+            raise SpecError("empty sweep has no best point")
+        chooser = max if maximize else min
+        return chooser(self.points, key=lambda p: p.metrics[key])
+
+
+def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of a ``{dotted-path: values}`` grid.
+
+    Order is deterministic: the first parameter varies slowest (the
+    usual odometer order), so equal grids always enumerate identically
+    — a requirement for the digest cache and for result diffing.
+    """
+    if not grid:
+        return [{}]
+    paths = list(grid.keys())
+    for path, values in grid.items():
+        if not isinstance(values, (list, tuple)):
+            raise SpecError(
+                f"grid values for {path!r} must be a list/tuple, "
+                f"got {type(values).__name__}"
+            )
+        if not values:
+            raise SpecError(f"grid for {path!r} has no values")
+    return [
+        dict(zip(paths, combo))
+        for combo in itertools.product(*(grid[p] for p in paths))
+    ]
+
+
+def paper_grid() -> Dict[str, List[Any]]:
+    """The default 128-point grid around the Table 1 operating point.
+
+    Perturbs the four assumptions Table 2 is most sensitive to — the
+    memristor write energy/time, the CMOS leakage, and the two
+    application hit ratios — half of each range on the pessimistic side
+    of the paper's value.
+    """
+    fj = 1e-15
+    ps = 1e-12
+    nw = 1e-9
+    return {
+        "memristor.write_energy": [0.5 * fj, 1 * fj, 2 * fj, 5 * fj],
+        "memristor.write_time": [100 * ps, 200 * ps, 400 * ps, 800 * ps],
+        "cmos.gate_leakage": [42.83 * nw, 85.66 * nw],
+        "workloads.dna_hit_ratio": [0.5, 0.9],
+        "workloads.math_hit_ratio": [0.9, 0.98],
+    }
+
+
+def evaluate_point(
+    base: TechSpec,
+    overrides: Mapping[str, Any],
+    dna_coverages: Sequence[int] = (),
+    keep_ledgers: bool = True,
+) -> Tuple[str, str, Dict[str, float], Dict[str, List[Dict[str, Any]]]]:
+    """Evaluate one override set against *base*.
+
+    Returns ``(spec_name, spec_digest, metrics, ledgers)``.  The import
+    of the machine factories is local so the module stays importable in
+    pool worker processes without dragging the whole core package in at
+    import time.  ``dna_coverages`` adds a coverage-scaling evaluation
+    per value (used by the benchmark to give each point realistic
+    weight); its rows land in ``metrics`` as
+    ``"dna.coverage<N>.energy_advantage"``.
+    """
+    from ..core.evaluate import evaluate_pair
+    from ..core.presets import (
+        cim_dna_machine,
+        cim_math_machine,
+        conventional_dna_machine,
+        conventional_math_machine,
+        dna_paper_workload,
+        math_paper_workload,
+    )
+    from ..core.metrics import metrics_from_report
+    from ..core.workload import dna_workload
+
+    spec = base.derive(overrides)
+    metrics: Dict[str, float] = {}
+    ledgers: Dict[str, List[Dict[str, Any]]] = {}
+
+    pairs = {
+        "dna": (
+            conventional_dna_machine(spec),
+            cim_dna_machine("paper", spec),
+            dna_paper_workload(spec),
+        ),
+        "math": (
+            conventional_math_machine(spec),
+            cim_math_machine(spec),
+            math_paper_workload(spec),
+        ),
+    }
+    for app, (conventional, cim, workload) in pairs.items():
+        conv_report, cim_report, factors = evaluate_pair(
+            conventional, cim, workload
+        )
+        for arch, report in (("conventional", conv_report), ("cim", cim_report)):
+            for metric, value in metrics_from_report(report).as_dict().items():
+                metrics[f"{app}.{arch}.{metric}"] = value
+            if keep_ledgers and report.ledger is not None:
+                ledgers[f"{app}.{arch}"] = report.ledger.as_rows()
+        metrics[f"{app}.improvement.energy_delay"] = factors.energy_delay
+        metrics[f"{app}.improvement.computing_efficiency"] = (
+            factors.computing_efficiency)
+        metrics[f"{app}.improvement.performance_per_area"] = (
+            factors.performance_per_area)
+
+    if dna_coverages:
+        conventional, cim, _ = pairs["dna"]
+        for coverage in dna_coverages:
+            workload = dna_workload(
+                coverage=coverage,
+                reference_bases=spec.workloads.dna_reference_bases,
+                short_read_len=spec.workloads.dna_short_read_len,
+                hit_ratio=spec.workloads.dna_hit_ratio,
+            )
+            conv_report = conventional.evaluate(workload)
+            cim_report = cim.evaluate(workload)
+            metrics[f"dna.coverage{coverage}.energy_advantage"] = (
+                conv_report.energy / cim_report.energy)
+
+    return spec.name, spec.digest, metrics, ledgers
+
+
+def _pool_evaluate(
+    args: Tuple[TechSpec, Dict[str, Any], Tuple[int, ...], bool],
+) -> Tuple[str, str, Dict[str, float], Dict[str, List[Dict[str, Any]]]]:
+    """Top-level pool entry point (must be picklable)."""
+    base, overrides, dna_coverages, keep_ledgers = args
+    return evaluate_point(base, overrides, dna_coverages, keep_ledgers)
+
+
+class _DigestLRU:
+    """A tiny digest-keyed LRU for evaluated points."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: "OrderedDict[str, Tuple[str, str, Dict[str, float], Dict[str, List[Dict[str, Any]]]]]" = OrderedDict()
+
+    def get(
+        self, digest: str
+    ) -> Optional[Tuple[str, str, Dict[str, float], Dict[str, List[Dict[str, Any]]]]]:
+        value = self._data.get(digest)
+        if value is not None:
+            self._data.move_to_end(digest)
+        return value
+
+    def put(
+        self,
+        digest: str,
+        value: Tuple[str, str, Dict[str, float], Dict[str, List[Dict[str, Any]]]],
+    ) -> None:
+        if self.maxsize <= 0:
+            return
+        self._data[digest] = value
+        self._data.move_to_end(digest)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+
+#: Process-wide evaluation cache shared by consecutive sweeps (the
+#: benchmark's cache-speedup gate measures exactly this).
+_EVAL_CACHE = _DigestLRU(maxsize=512)
+
+
+def clear_cache() -> None:
+    """Drop every cached point (tests and benchmarks)."""
+    _EVAL_CACHE._data.clear()
+
+
+def run_sweep(
+    grid: Mapping[str, Sequence[Any]],
+    base: TechSpec = TABLE1,
+    *,
+    workers: Optional[int] = None,
+    serial: bool = False,
+    chunksize: int = 8,
+    dna_coverages: Sequence[int] = (),
+    keep_ledgers: bool = True,
+    use_cache: bool = True,
+) -> SweepResult:
+    """Evaluate every point of *grid* against *base*.
+
+    Points whose derived spec digest repeats (or was already evaluated
+    by an earlier sweep in this process) are served from the LRU cache;
+    the rest run through a :class:`~concurrent.futures.
+    ProcessPoolExecutor` in *chunksize* batches (``serial=True`` or a
+    single distinct point falls back to in-process evaluation).
+    ``workers`` defaults to the executor's own ``os.cpu_count()``
+    sizing.
+    """
+    if chunksize < 1:
+        raise SpecError(f"chunksize must be >= 1, got {chunksize}")
+    override_sets = expand_grid(grid)
+
+    # Derive every spec up front (cheap) so points can be deduplicated
+    # and cache-checked by digest before any evaluation is scheduled.
+    derived: List[Tuple[Dict[str, Any], str]] = []
+    for overrides in override_sets:
+        derived.append((overrides, base.derive(overrides).digest))
+
+    points: List[Optional[SweepPoint]] = [None] * len(derived)
+    pending: "OrderedDict[str, List[int]]" = OrderedDict()
+    cache_hits = 0
+    for index, (overrides, digest) in enumerate(derived):
+        cached = _EVAL_CACHE.get(digest) if use_cache else None
+        if cached is not None:
+            name, _, metrics, ledgers = cached
+            points[index] = SweepPoint(
+                index=index, overrides=dict(overrides), spec_name=name,
+                spec_digest=digest, metrics=dict(metrics),
+                ledgers={k: list(v) for k, v in ledgers.items()},
+                cached=True,
+            )
+            cache_hits += 1
+        else:
+            pending.setdefault(digest, []).append(index)
+
+    coverages = tuple(dna_coverages)
+    jobs: List[Tuple[TechSpec, Dict[str, Any], Tuple[int, ...], bool]] = [
+        (base, dict(derived[indices[0]][0]), coverages, keep_ledgers)
+        for indices in pending.values()
+    ]
+    parallel = not serial and len(jobs) > 1
+    workers_used = 0
+
+    with get_tracer().span(
+        "dse/sweep", points=len(derived), distinct=len(jobs),
+        cache_hits=cache_hits, parallel=parallel,
+        base=base.short_digest,
+    ):
+        if not jobs:
+            results: List[
+                Tuple[str, str, Dict[str, float], Dict[str, List[Dict[str, Any]]]]
+            ] = []
+        elif parallel:
+            workers_used = workers if workers else (os.cpu_count() or 1)
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            ) as pool:
+                results = list(
+                    pool.map(_pool_evaluate, jobs, chunksize=chunksize)
+                )
+        else:
+            workers_used = 1
+            results = [_pool_evaluate(job) for job in jobs]
+
+        for (digest, indices), result in zip(pending.items(), results):
+            name, result_digest, metrics, ledgers = result
+            if result_digest != digest:
+                raise SpecError(
+                    f"worker returned digest {result_digest[:12]} for "
+                    f"point keyed {digest[:12]} — non-deterministic derive?"
+                )
+            if use_cache:
+                _EVAL_CACHE.put(digest, result)
+            for position, index in enumerate(indices):
+                if position > 0:
+                    cache_hits += 1  # duplicate grid point, evaluated once
+                points[index] = SweepPoint(
+                    index=index, overrides=dict(derived[index][0]),
+                    spec_name=name, spec_digest=digest,
+                    metrics=dict(metrics),
+                    ledgers={k: list(v) for k, v in ledgers.items()},
+                    cached=position > 0,
+                )
+
+        _POINTS.inc(len(derived))
+        _CACHE_HITS.inc(cache_hits)
+
+    final = [point for point in points if point is not None]
+    if len(final) != len(derived):
+        raise SpecError("sweep lost points — internal bookkeeping error")
+    return SweepResult(
+        base_digest=base.digest,
+        points=final,
+        evaluated=len(jobs),
+        cache_hits=cache_hits,
+        parallel=parallel,
+        workers=workers_used,
+    )
+
+
+def cim_dominates(point: SweepPoint, application: str) -> bool:
+    """True when CIM beats conventional on energy-delay for *application*
+    at this point (the property the hypothesis test guards)."""
+    return point.metrics[f"{application}.improvement.energy_delay"] > 1.0
+
+
+# -- serialization ----------------------------------------------------------
+
+
+def write_jsonl(result: SweepResult, stream: IO[str]) -> int:
+    """One JSON object per point (ledger provenance included); returns
+    the number of lines written.  A header line carries the sweep
+    identity."""
+    header = {
+        "base_digest": result.base_digest,
+        "points": len(result.points),
+        "evaluated": result.evaluated,
+        "cache_hits": result.cache_hits,
+        "parallel": result.parallel,
+        "workers": result.workers,
+    }
+    stream.write(json.dumps({"sweep": header}, sort_keys=True) + "\n")
+    for point in result.points:
+        stream.write(json.dumps(point.as_dict(), sort_keys=True) + "\n")
+    return 1 + len(result.points)
+
+
+def _metric_keys(points: Iterable[SweepPoint]) -> List[str]:
+    keys: List[str] = []
+    seen = set()
+    for point in points:
+        for key in point.metrics:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
+    return keys
+
+
+def write_csv(result: SweepResult, stream: IO[str]) -> int:
+    """Flat CSV: override columns + metric columns; returns row count."""
+    override_keys: List[str] = []
+    seen = set()
+    for point in result.points:
+        for key in point.overrides:
+            if key not in seen:
+                seen.add(key)
+                override_keys.append(key)
+    metric_keys = _metric_keys(result.points)
+    writer = csv.writer(stream)
+    writer.writerow(
+        ["index", "spec_digest"] + override_keys + metric_keys)
+    for point in result.points:
+        writer.writerow(
+            [point.index, point.spec_digest[:12]]
+            + [point.overrides.get(k, "") for k in override_keys]
+            + [point.metrics.get(k, "") for k in metric_keys]
+        )
+    return 1 + len(result.points)

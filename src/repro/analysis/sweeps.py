@@ -17,11 +17,13 @@ from ..core.presets import (
 )
 from ..core.workload import dna_workload, parallel_additions_workload
 from ..errors import ReproError
+from ..spec import TABLE1, TechSpec
 
 
 def hit_ratio_sweep(
     application: str = "dna",
     hit_ratios: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 0.98, 1.0),
+    spec: TechSpec = TABLE1,
 ) -> List[Dict[str, float]]:
     """Sweep the cache/data hit ratio and report both machines' time,
     energy and the CIM improvement factors.
@@ -30,12 +32,12 @@ def hit_ratio_sweep(
     hit-ratio assumptions move (Ablation A in DESIGN.md).
     """
     if application == "dna":
-        conventional = conventional_dna_machine()
-        cim = cim_dna_machine("paper")
+        conventional = conventional_dna_machine(spec)
+        cim = cim_dna_machine("paper", spec)
         make = lambda h: dna_workload(hit_ratio=h)
     elif application == "math":
-        conventional = conventional_math_machine()
-        cim = cim_math_machine()
+        conventional = conventional_math_machine(spec)
+        cim = cim_math_machine(spec)
         make = lambda h: parallel_additions_workload(hit_ratio=h)
     else:
         raise ReproError(f"unknown application {application!r}")
@@ -56,7 +58,10 @@ def hit_ratio_sweep(
     return rows
 
 
-def adder_width_sweep(widths: Sequence[int] = (8, 16, 32, 64)) -> List[Dict[str, float]]:
+def adder_width_sweep(
+    widths: Sequence[int] = (8, 16, 32, 64),
+    spec: TechSpec = TABLE1,
+) -> List[Dict[str, float]]:
     """Compare CMOS CLA vs CRS TC-adder vs IMPLY ripple adder over
     operand width (Ablation B): latency, energy and device/gate counts.
 
@@ -66,9 +71,9 @@ def adder_width_sweep(widths: Sequence[int] = (8, 16, 32, 64)) -> List[Dict[str,
     energy is tiny; the memory system is what CIM eliminates).
     """
     from ..cmosarch.gates import GateBlock
-    from ..devices.technology import CACHE_8KB_MATH
     from ..logic.adders import TCAdderCost, ripple_adder_program
 
+    cache = spec.cache_for("math")
     rows = []
     for width in widths:
         if width < 4 or width % 4:
@@ -77,16 +82,17 @@ def adder_width_sweep(widths: Sequence[int] = (8, 16, 32, 64)) -> List[Dict[str,
         # by 2 gate delays per 4x width step beyond 32 bits.
         gates = max(1, round(208 * width / 32))
         depth = 18 if width <= 32 else 22
-        cla = GateBlock(name=f"cla-{width}", gates=gates, depth=depth)
-        tc = TCAdderCost(width=width)
+        cla = GateBlock(name=f"cla-{width}", gates=gates, depth=depth,
+                        technology=spec.cmos)
+        tc = TCAdderCost.from_spec(spec, width=width)
         imply_steps = ripple_adder_program(width).step_count
         # Per-op memory round: 2 operand reads + 1 result write at the
         # math workload's 98% hit ratio, on a 1 GHz reference clock.
         cycle = cla.technology.cycle_time
-        round_time = (2 * CACHE_8KB_MATH.average_read_cycles() + 1) * cycle
+        round_time = (2 * cache.average_read_cycles() + 1) * cycle
         system_energy = (
             cla.dynamic_energy
-            + CACHE_8KB_MATH.static_power * (round_time + cla.latency)
+            + cache.static_power * (round_time + cla.latency)
         )
         rows.append({
             "width": width,

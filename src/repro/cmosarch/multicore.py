@@ -88,11 +88,17 @@ class ClusteredMulticore:
         """Aggregate gate leakage power in watts."""
         return self.total_gates * self.technology.gate_leakage
 
+    def logic_area(self) -> float:
+        """Area of all processing-unit gates in square metres."""
+        return self.total_gates * self.technology.gate_area
+
+    def cache_area(self) -> float:
+        """Area of all shared caches in square metres."""
+        return self.clusters * self.cache.area
+
     def area(self) -> float:
         """Total area in square metres: unit logic + caches."""
-        logic = self.total_gates * self.technology.gate_area
-        caches = self.clusters * self.cache.area
-        return logic + caches
+        return self.logic_area() + self.cache_area()
 
     def scaled_to_units(self, units: int) -> "ClusteredMulticore":
         """A copy with enough clusters for *units* processing units

@@ -30,6 +30,7 @@ from ..devices.technology import (
     MemristorTechnology,
 )
 from ..errors import ArchitectureError
+from ..spec.ledger import CostLedger, Quantity
 from .report import MachineReport
 from .workload import Workload
 
@@ -144,11 +145,33 @@ class CIMMachine:
         return self.total_devices() * self.technology.cell_area
 
     def evaluate(self, workload: Workload) -> MachineReport:
-        """Full time/energy/area evaluation of *workload*."""
+        """Full time/energy/area evaluation of *workload*.
+
+        The report carries a provenance-tagged
+        :class:`~repro.spec.CostLedger` whose insertion-ordered energy
+        total reproduces the legacy dynamic+static sum bit-for-bit.
+        """
         rounds = math.ceil(workload.operations / self.units)
         time = rounds * self.round_time(workload)
         dynamic = workload.operations * self.unit.dynamic_energy
         static = self.technology.static_power * self.total_devices() * time
+
+        ledger = CostLedger()
+        ledger.energy(
+            "dynamic", dynamic,
+            f"{workload.operations} ops x unit dynamic energy "
+            "[comparator.dynamic_energy | adder ops x memristor.write_energy]")
+        ledger.energy(
+            "crossbar_static", static,
+            f"memristor.static_power x {self.total_devices()} devices x runtime")
+        ledger.latency(
+            "rounds", time,
+            f"{rounds} rounds x (residency accesses + steps x "
+            "memristor.write_time)")
+        ledger.area(
+            "crossbar", self.area(),
+            f"{self.total_devices()} devices x memristor.cell_area")
+
         return MachineReport(
             machine=self.name,
             workload=workload.name,
@@ -156,7 +179,8 @@ class CIMMachine:
             parallel_units=self.units,
             rounds=rounds,
             time=time,
-            energy=dynamic + static,
+            energy=ledger.total(Quantity.ENERGY),
             area=self.area(),
             energy_breakdown={"dynamic": dynamic, "crossbar_static": static},
+            ledger=ledger,
         )

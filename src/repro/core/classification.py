@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..errors import ArchitectureError
-from ..units import NS, PJ, PS
+from ..spec import TABLE1, TechSpec
 
 
 class ArchitectureClass(enum.Enum):
@@ -58,13 +58,16 @@ CLASS_PARAMETERS: Dict[ArchitectureClass, ClassParameters] = {
     ArchitectureClass.COMPUTATION_IN_MEMORY: ClassParameters(distance=1e-6),
 }
 
+#: Deprecated aliases — the canonical values live on
+#: ``TABLE1.interconnect`` (see ``repro.spec``); kept for callers that
+#: import the module constants directly.
 #: Wire energy per bit per metre (0.15 pJ/bit/mm, Horowitz-class number).
-WIRE_ENERGY_PER_BIT_M = 0.15 * PJ / 1e-3
+WIRE_ENERGY_PER_BIT_M = TABLE1.interconnect.wire_energy_per_bit_m
 #: Wire delay per metre (repeatered global wire, ~100 ps/mm).
-WIRE_DELAY_PER_M = 100 * PS / 1e-3
+WIRE_DELAY_PER_M = TABLE1.interconnect.wire_delay_per_m
 #: Fixed compute cost per operation (a 4 pJ ALU op per [4]).
-COMPUTE_ENERGY = 4 * PJ
-COMPUTE_DELAY = 1 * NS
+COMPUTE_ENERGY = TABLE1.interconnect.compute_energy
+COMPUTE_DELAY = TABLE1.interconnect.compute_delay
 
 
 @dataclass(frozen=True)
@@ -81,22 +84,25 @@ def class_cost(
     architecture: ArchitectureClass,
     operands_per_op: float = 3.0,
     word_bits: int = 32,
+    spec: TechSpec = TABLE1,
 ) -> ClassCost:
     """Energy and latency per operation for *architecture*.
 
     ``operands_per_op`` is the data intensity (operand transfers each
-    operation performs — 3 for a load-load-store op).
+    operation performs — 3 for a load-load-store op).  Wire and compute
+    costs come from ``spec.interconnect``.
     """
     if operands_per_op < 0:
         raise ArchitectureError("operands_per_op must be non-negative")
     if word_bits < 1:
         raise ArchitectureError("word_bits must be >= 1")
+    wires = spec.interconnect
     params = CLASS_PARAMETERS[architecture]
     transfers = operands_per_op * params.round_trips_per_operand
-    comm_energy = transfers * word_bits * WIRE_ENERGY_PER_BIT_M * params.distance
-    comm_delay = transfers * WIRE_DELAY_PER_M * params.distance
-    energy = COMPUTE_ENERGY + comm_energy
-    latency = COMPUTE_DELAY + comm_delay
+    comm_energy = transfers * word_bits * wires.wire_energy_per_bit_m * params.distance
+    comm_delay = transfers * wires.wire_delay_per_m * params.distance
+    energy = wires.compute_energy + comm_energy
+    latency = wires.compute_delay + comm_delay
     return ClassCost(
         architecture=architecture,
         energy_per_op=energy,
@@ -105,10 +111,14 @@ def class_cost(
     )
 
 
-def classify_all(operands_per_op: float = 3.0, word_bits: int = 32) -> List[ClassCost]:
+def classify_all(
+    operands_per_op: float = 3.0,
+    word_bits: int = 32,
+    spec: TechSpec = TABLE1,
+) -> List[ClassCost]:
     """Costs of all five classes, in Fig 1 order (a) to (e)."""
     return [
-        class_cost(architecture, operands_per_op, word_bits)
+        class_cost(architecture, operands_per_op, word_bits, spec)
         for architecture in ArchitectureClass
     ]
 

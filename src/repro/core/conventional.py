@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import math
 
 from ..cmosarch.multicore import ClusteredMulticore
+from ..spec.ledger import CostLedger, Quantity
 from .report import MachineReport
 from .workload import Workload
 
@@ -48,7 +49,13 @@ class ConventionalMachine:
         return read_time + write_time + self.machine.unit.latency
 
     def evaluate(self, workload: Workload) -> MachineReport:
-        """Full time/energy/area evaluation of *workload*."""
+        """Full time/energy/area evaluation of *workload*.
+
+        The report carries a provenance-tagged
+        :class:`~repro.spec.CostLedger`; its insertion-ordered energy
+        total is the same float the legacy dynamic+leakage+static sum
+        produced (pinned by the Table 2 golden test).
+        """
         units = self.machine.parallel_units
         rounds = math.ceil(workload.operations / units)
         time = rounds * self.round_time(workload)
@@ -60,7 +67,31 @@ class ConventionalMachine:
         leak_fraction = (tech.cycle_time - tech.gate_delay) / tech.cycle_time
         logic_leakage = self.machine.logic_leakage_power() * time * leak_fraction
         cache_static = self.machine.total_cache_static_power() * time
-        energy = dynamic + logic_leakage + cache_static
+
+        ledger = CostLedger()
+        ledger.energy(
+            "dynamic", dynamic,
+            f"{workload.operations} ops x {self.machine.unit.name} "
+            f"gate dynamic energy [cmos.gate_power x cmos.gate_delay]")
+        ledger.energy(
+            "logic_leakage", logic_leakage,
+            "gate leakage power x runtime x (cycle - gate_delay)/cycle "
+            "[cmos.gate_leakage]")
+        ledger.energy(
+            "cache_static", cache_static,
+            f"{self.machine.total_cache_static_power():.4g} W x runtime "
+            "[cache.static_power]")
+        ledger.latency(
+            "rounds", time,
+            f"{rounds} rounds x (cache accesses + unit latency) "
+            "[cache.*_cycles, cmos.gate_delay]")
+        ledger.area(
+            "logic", self.machine.logic_area(),
+            "gates x cmos.gate_area")
+        ledger.area(
+            "caches", self.machine.cache_area(),
+            f"{self.machine.clusters} clusters x cache.area")
+        energy = ledger.total(Quantity.ENERGY)
 
         return MachineReport(
             machine=self.name,
@@ -76,6 +107,7 @@ class ConventionalMachine:
                 "logic_leakage": logic_leakage,
                 "cache_static": cache_static,
             },
+            ledger=ledger,
         )
 
     def communication_energy_fraction(self, workload: Workload) -> float:

@@ -13,6 +13,7 @@ from typing import Dict, Tuple
 
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
+from ..spec import TABLE1, TechSpec
 from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .metrics import ImprovementFactors, MetricSet, improvement, metrics_from_report
@@ -41,6 +42,8 @@ class Table2Result:
     metrics: Dict[Cell, MetricSet] = field(default_factory=dict)
     improvements: Dict[str, ImprovementFactors] = field(default_factory=dict)
     paper: Dict[Cell, Dict[str, float]] = field(default_factory=dict)
+    spec: TechSpec = TABLE1
+    spec_digest: str = ""
 
     def metric(self, application: str, architecture: str, name: str) -> float:
         """Convenience accessor for one reproduced metric value."""
@@ -77,27 +80,36 @@ def evaluate_pair(
     return conv_report, cim_report, factors
 
 
-def table2(dna_packing: str = "paper") -> Table2Result:
+def table2(dna_packing: str = "paper", spec: TechSpec = TABLE1) -> Table2Result:
     """Reproduce Table 2 with the preset machines and workloads.
 
     ``dna_packing`` selects the CIM DNA unit count: ``'paper'`` (600k
     units, matching Table 2's implied configuration) or ``'max'``
     (full crossbar packing — the architecture's actual potential).
-    """
-    result = Table2Result(paper=dict(PAPER_TABLE2))
 
-    with get_tracer().span("table2", packing=dna_packing):
-        dna = dna_paper_workload()
+    ``spec`` supplies every technology parameter; the default
+    :data:`~repro.spec.TABLE1` reproduces the paper bit-for-bit (golden
+    test), and any :meth:`~repro.spec.TechSpec.derive` variant re-runs
+    the whole table under the perturbed technology.
+    """
+    result = Table2Result(paper=dict(PAPER_TABLE2), spec=spec,
+                          spec_digest=spec.digest)
+
+    with get_tracer().span("table2", packing=dna_packing,
+                           spec=spec.short_digest):
+        dna = dna_paper_workload(spec)
         conv_dna, cim_dna, dna_factors = evaluate_pair(
-            conventional_dna_machine(), cim_dna_machine(dna_packing), dna
+            conventional_dna_machine(spec),
+            cim_dna_machine(dna_packing, spec),
+            dna,
         )
         result.reports[("dna", "conventional")] = conv_dna
         result.reports[("dna", "cim")] = cim_dna
         result.improvements["dna"] = dna_factors
 
-        math_wl = math_paper_workload()
+        math_wl = math_paper_workload(spec)
         conv_math, cim_math, math_factors = evaluate_pair(
-            conventional_math_machine(), cim_math_machine(), math_wl
+            conventional_math_machine(spec), cim_math_machine(spec), math_wl
         )
         result.reports[("math", "conventional")] = conv_math
         result.reports[("math", "cim")] = cim_math

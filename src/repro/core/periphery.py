@@ -63,6 +63,19 @@ class PeripheryModel:
         self.spec = spec if spec is not None else PeripherySpec()
         self.technology = technology
 
+    @classmethod
+    def from_spec(cls, spec) -> "PeripheryModel":
+        """Build from a :class:`~repro.spec.TechSpec` — gate budgets
+        from ``spec.periphery``, sizing constants from ``spec.cmos``."""
+        return cls(
+            spec=PeripherySpec(
+                gates_per_driver=spec.periphery.gates_per_driver,
+                gates_per_sense_amp=spec.periphery.gates_per_sense_amp,
+                decoder_gates_per_line=spec.periphery.decoder_gates_per_line,
+            ),
+            technology=spec.cmos,
+        )
+
     def gates_per_tile(self, rows: int, cols: int) -> int:
         """CMOS gates serving one rows x cols tile."""
         if rows < 1 or cols < 1:

@@ -1,75 +1,126 @@
 """Table 1 presets: the four machine configurations and two workloads.
 
-Every constant here is quoted from Table 1; derivations that the paper
-leaves implicit (and the two places where its own arithmetic slips) are
-called out in comments and reproduced faithfully where they matter.
+Since PR 4 every factory here is parameterized on a
+:class:`~repro.spec.TechSpec` (default :data:`~repro.spec.TABLE1`), so
+the same code that reproduces Table 2 also evaluates any derived
+assumption set — the DSE sweep engine in :mod:`repro.analysis.dse`
+calls these factories with perturbed specs.  Under the default spec the
+construction is value-identical to the original hard-coded presets
+(pinned by the Table 2 golden test).
+
+Derivations the paper leaves implicit (and the two places where its own
+arithmetic slips) are called out in comments and reproduced faithfully
+where they matter.
 """
 
 from __future__ import annotations
 
-from ..cmosarch.gates import CLA_ADDER_32, CMOS_COMPARATOR
+from ..cmosarch.gates import GateBlock
 from ..cmosarch.multicore import ClusteredMulticore
-from ..devices.technology import CACHE_8KB_DNA, CACHE_8KB_MATH
 from ..logic.adders import TCAdderCost
 from ..logic.comparator import ComparatorCost
+from ..spec import TABLE1, TechSpec
 from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .workload import Workload, dna_workload, parallel_additions_workload
 
+#: Deprecated aliases of the TABLE1 spec fields (kept for callers that
+#: predate the spec layer; ``tests/test_spec_consistency.py`` pins each
+#: one to the spec so they can never diverge).
+#:
 #: Table 1: "Number of clusters is 18750, each contains 32 comparators"
 #: ("limited with the state-of-the-art chip area").
-DNA_CLUSTERS = 18750
-UNITS_PER_CLUSTER = 32
+DNA_CLUSTERS = TABLE1.crossbar.dna_clusters
+UNITS_PER_CLUSTER = TABLE1.crossbar.units_per_cluster
 
 #: Table 1: "Size = 18750 * 8kB = 1.536*10^8 memristors".  (18750 x 8192
 #: is a *byte* count; the paper equates bytes and memristors — we keep
 #: its number verbatim.)
-DNA_CROSSBAR_DEVICES = DNA_CLUSTERS * 8 * 1024
+DNA_CROSSBAR_DEVICES = TABLE1.dna_crossbar_devices
 
 #: Unit count of the paper's implied CIM DNA configuration.  Table 2's
 #: CIM DNA execution time back-computes to ~0.087 s, which corresponds
 #: to the *same* 600 000 comparators as the conventional machine (see
 #: DESIGN.md section 5); the paper never states the CIM unit count.
-DNA_PAPER_IMPLIED_UNITS = DNA_CLUSTERS * UNITS_PER_CLUSTER
+DNA_PAPER_IMPLIED_UNITS = TABLE1.dna_units
 
 #: Table 1 mathematics example: 10^6 parallel additions, 32 adders per
 #: cluster -> 31250 clusters ("fully scalable reusing clusters").
-MATH_ADDITIONS = 10**6
-MATH_CLUSTERS = MATH_ADDITIONS // UNITS_PER_CLUSTER
+MATH_ADDITIONS = TABLE1.workloads.math_additions
+MATH_CLUSTERS = TABLE1.math_clusters
 
 #: Math-side storage: "The memory capacity of the CIM architectures is
 #: assumed to be equal to the sum of all caches" -> 31250 x 8 kB, with
 #: the paper's bytes-as-devices convention.
-MATH_STORAGE_DEVICES = MATH_CLUSTERS * 8 * 1024
+MATH_STORAGE_DEVICES = TABLE1.math_storage_devices
 
 
-def conventional_dna_machine() -> ConventionalMachine:
+# -- unit cost factories (spec -> cost model) -------------------------------
+
+
+def comparator_cost(spec: TechSpec = TABLE1) -> ComparatorCost:
+    """The spec's IMPLY nucleotide comparator (Table 1 CIM DNA unit)."""
+    return ComparatorCost.from_spec(spec)
+
+
+def tc_adder_cost(spec: TechSpec = TABLE1) -> TCAdderCost:
+    """The spec's CRS TC-adder (Table 1 CIM mathematics unit)."""
+    return TCAdderCost.from_spec(spec)
+
+
+def cla_adder_block(spec: TechSpec = TABLE1) -> GateBlock:
+    """The spec's 32-bit CLA adder (Table 1 conventional math unit)."""
+    return GateBlock(
+        name=f"cla-adder-{spec.adder.width}",
+        gates=spec.cla_adder.gates,
+        depth=spec.cla_adder.depth,
+        technology=spec.cmos,
+    )
+
+
+def cmos_comparator_block(spec: TechSpec = TABLE1) -> GateBlock:
+    """The spec's CMOS nucleotide comparator (see DESIGN.md for the
+    gate-count assumption Table 1 leaves open)."""
+    return GateBlock(
+        name="cmos-comparator",
+        gates=spec.cmos_comparator.gates,
+        depth=spec.cmos_comparator.depth,
+        technology=spec.cmos,
+    )
+
+
+# -- machine factories ------------------------------------------------------
+
+
+def conventional_dna_machine(spec: TechSpec = TABLE1) -> ConventionalMachine:
     """18750 clusters x 32 CMOS comparators, 8 kB caches at 50% hits."""
     return ConventionalMachine(
         ClusteredMulticore(
             name="conventional-dna",
-            clusters=DNA_CLUSTERS,
-            units_per_cluster=UNITS_PER_CLUSTER,
-            unit=CMOS_COMPARATOR,
-            cache=CACHE_8KB_DNA,
+            clusters=spec.crossbar.dna_clusters,
+            units_per_cluster=spec.crossbar.units_per_cluster,
+            unit=cmos_comparator_block(spec),
+            cache=spec.cache_for("dna"),
+            technology=spec.cmos,
         )
     )
 
 
-def conventional_math_machine() -> ConventionalMachine:
+def conventional_math_machine(spec: TechSpec = TABLE1) -> ConventionalMachine:
     """31250 clusters x 32 CLA adders, 8 kB caches at 98% hits."""
     return ConventionalMachine(
         ClusteredMulticore(
             name="conventional-math",
-            clusters=MATH_CLUSTERS,
-            units_per_cluster=UNITS_PER_CLUSTER,
-            unit=CLA_ADDER_32,
-            cache=CACHE_8KB_MATH,
+            clusters=spec.math_clusters,
+            units_per_cluster=spec.crossbar.units_per_cluster,
+            unit=cla_adder_block(spec),
+            cache=spec.cache_for("math"),
+            technology=spec.cmos,
         )
     )
 
 
-def cim_dna_machine(packing: str = "max") -> CIMMachine:
+def cim_dna_machine(packing: str = "max", spec: TechSpec = TABLE1) -> CIMMachine:
     """CIM DNA machine: IMPLY comparators inside the cache-sized crossbar.
 
     ``packing='max'`` fits as many 13-memristor comparators as the
@@ -77,25 +128,35 @@ def cim_dna_machine(packing: str = "max") -> CIMMachine:
     ``packing='paper'`` uses the 600 000 units Table 2's execution time
     implies (apples-to-apples with the conventional machine).
     """
-    unit = ComparatorCost()
+    unit = comparator_cost(spec)
     if packing == "max":
         return CIMMachine.packed_into_crossbar(
             name="cim-dna-max",
             unit=unit,
-            storage_devices=DNA_CROSSBAR_DEVICES,
+            storage_devices=spec.dna_crossbar_devices,
+            miss_penalty_cycles=spec.cache.miss_penalty_cycles,
+            hit_cycles=spec.cache.hit_cycles,
+            write_cycles=spec.cache.write_cycles,
+            reference_clock=spec.cmos,
+            technology=spec.memristor,
         )
     if packing == "paper":
         return CIMMachine(
             name="cim-dna-paper",
-            units=DNA_PAPER_IMPLIED_UNITS,
+            units=spec.dna_units,
             unit=unit,
-            storage_devices=DNA_CROSSBAR_DEVICES,
+            storage_devices=spec.dna_crossbar_devices,
             compute_in_storage=True,
+            miss_penalty_cycles=spec.cache.miss_penalty_cycles,
+            hit_cycles=spec.cache.hit_cycles,
+            write_cycles=spec.cache.write_cycles,
+            reference_clock=spec.cmos,
+            technology=spec.memristor,
         )
     raise ValueError(f"packing must be 'max' or 'paper', got {packing!r}")
 
 
-def cim_math_machine() -> CIMMachine:
+def cim_math_machine(spec: TechSpec = TABLE1) -> CIMMachine:
     """CIM math machine: 10^6 TC-adders next to cache-equivalent storage.
 
     "The crossbar is scalable to support the 10^6 adders", so the
@@ -103,21 +164,34 @@ def cim_math_machine() -> CIMMachine:
     """
     return CIMMachine(
         name="cim-math",
-        units=MATH_ADDITIONS,
-        unit=TCAdderCost(width=32),
-        storage_devices=MATH_STORAGE_DEVICES,
+        units=spec.workloads.math_additions,
+        unit=tc_adder_cost(spec),
+        storage_devices=spec.math_storage_devices,
         compute_in_storage=False,
+        miss_penalty_cycles=spec.cache.miss_penalty_cycles,
+        hit_cycles=spec.cache.hit_cycles,
+        write_cycles=spec.cache.write_cycles,
+        reference_clock=spec.cmos,
+        technology=spec.memristor,
     )
 
 
-def dna_paper_workload() -> Workload:
+def dna_paper_workload(spec: TechSpec = TABLE1) -> Workload:
     """Table 1 healthcare workload (coverage 50, 100-char reads, 50% hits)."""
-    return dna_workload()
+    return dna_workload(
+        coverage=spec.workloads.dna_coverage,
+        reference_bases=spec.workloads.dna_reference_bases,
+        short_read_len=spec.workloads.dna_short_read_len,
+        hit_ratio=spec.workloads.dna_hit_ratio,
+    )
 
 
-def math_paper_workload() -> Workload:
+def math_paper_workload(spec: TechSpec = TABLE1) -> Workload:
     """Table 1 mathematics workload (10^6 additions, 98% hits)."""
-    return parallel_additions_workload(MATH_ADDITIONS)
+    return parallel_additions_workload(
+        count=spec.workloads.math_additions,
+        hit_ratio=spec.workloads.math_hit_ratio,
+    )
 
 
 #: Table 2 of the paper, verbatim, for paper-vs-measured reporting.

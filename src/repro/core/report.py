@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 from ..errors import ArchitectureError
+from ..spec.ledger import CostLedger, Quantity
 from ..units import MM2, si_format
 
 
@@ -15,7 +16,10 @@ class MachineReport:
 
     All quantities in base SI units.  ``energy_breakdown`` maps
     component labels (``dynamic``, ``logic_leakage``, ``cache_static``)
-    to joules and always sums to ``energy``.
+    to joules and always sums to ``energy``.  ``ledger``, when present,
+    carries the same numbers as provenance-tagged
+    :class:`~repro.spec.CostLedger` entries (energy, latency *and*
+    area), and its energy total equals ``energy`` bit-for-bit.
     """
 
     machine: str
@@ -27,6 +31,7 @@ class MachineReport:
     energy: float
     area: float
     energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    ledger: Optional[CostLedger] = None
 
     def __post_init__(self) -> None:
         if min(self.time, self.energy, self.area) <= 0:
@@ -40,6 +45,13 @@ class MachineReport:
                 raise ArchitectureError(
                     f"{self.machine}: breakdown sums to {total}, "
                     f"energy is {self.energy}"
+                )
+        if self.ledger is not None:
+            ledger_energy = self.ledger.total(Quantity.ENERGY)
+            if abs(ledger_energy - self.energy) > 1e-9 * max(abs(self.energy), 1e-30):
+                raise ArchitectureError(
+                    f"{self.machine}: ledger energy {ledger_energy} "
+                    f"disagrees with report energy {self.energy}"
                 )
 
     # -- derived per-op quantities ------------------------------------------

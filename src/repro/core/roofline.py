@@ -25,12 +25,14 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..errors import ArchitectureError
+from ..spec import TABLE1, TechSpec
 from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .workload import Workload
 
-#: Bytes moved per operand access (32-bit words).
-WORD_BYTES = 4
+#: Bytes moved per operand access (32-bit words).  Deprecated alias of
+#: ``TABLE1.interconnect.word_bytes``.
+WORD_BYTES = TABLE1.interconnect.word_bytes
 
 
 @dataclass(frozen=True)
@@ -67,7 +69,9 @@ class Roofline:
         return intensity < self.ridge_intensity
 
 
-def conventional_roofline(machine: ConventionalMachine) -> Roofline:
+def conventional_roofline(
+    machine: ConventionalMachine, spec: TechSpec = TABLE1
+) -> Roofline:
     """Roofline of a clustered CMOS machine.
 
     Peak: all units issuing back-to-back at their combinational latency.
@@ -78,11 +82,12 @@ def conventional_roofline(machine: ConventionalMachine) -> Roofline:
     inner = machine.machine
     peak = inner.parallel_units / inner.unit.latency
     cycle = inner.technology.cycle_time
-    bandwidth = inner.clusters * WORD_BYTES / (inner.cache.hit_cycles * cycle)
+    word_bytes = spec.interconnect.word_bytes
+    bandwidth = inner.clusters * word_bytes / (inner.cache.hit_cycles * cycle)
     return Roofline(machine=inner.name, peak=peak, bandwidth=bandwidth)
 
 
-def cim_roofline(machine: CIMMachine) -> Roofline:
+def cim_roofline(machine: CIMMachine, spec: TechSpec = TABLE1) -> Roofline:
     """Roofline of a CIM machine.
 
     Peak: every in-memory unit completing one operation per unit
@@ -92,13 +97,15 @@ def cim_roofline(machine: CIMMachine) -> Roofline:
     """
     peak = machine.units / machine.unit.latency
     cycle = machine.reference_clock.cycle_time
-    bandwidth = machine.units * WORD_BYTES / (machine.hit_cycles * cycle)
+    word_bytes = spec.interconnect.word_bytes
+    bandwidth = machine.units * word_bytes / (machine.hit_cycles * cycle)
     return Roofline(machine=machine.name, peak=peak, bandwidth=bandwidth)
 
 
-def workload_intensity(workload: Workload) -> float:
+def workload_intensity(workload: Workload, spec: TechSpec = TABLE1) -> float:
     """Arithmetic intensity of a workload in ops/byte."""
-    bytes_per_op = (workload.reads_per_op + workload.writes_per_op) * WORD_BYTES
+    word_bytes = spec.interconnect.word_bytes
+    bytes_per_op = (workload.reads_per_op + workload.writes_per_op) * word_bytes
     if bytes_per_op == 0:
         raise ArchitectureError(
             f"{workload.name}: workload moves no data; intensity undefined"

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from ..errors import WorkloadError
+from ..spec import TABLE1, TechSpec
 from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .presets import (
@@ -32,17 +33,19 @@ from .workload import dna_workload, parallel_additions_workload
 def coverage_sweep(
     coverages: Sequence[int] = (10, 25, 50, 100, 200),
     cim_packing: str = "max",
+    spec: TechSpec = TABLE1,
 ) -> List[Dict[str, float]]:
     """DNA data volume sweep at fixed silicon.
 
-    Both machines keep their Table 1 configuration while the sequencing
-    coverage (hence data volume and comparison count) grows; returns
-    per-coverage times, energies and the CIM advantage.
+    Both machines keep their *spec* configuration (default Table 1)
+    while the sequencing coverage (hence data volume and comparison
+    count) grows; returns per-coverage times, energies and the CIM
+    advantage.
     """
     if not coverages:
         raise WorkloadError("need at least one coverage point")
-    conventional = conventional_dna_machine()
-    cim = cim_dna_machine(cim_packing)
+    conventional = conventional_dna_machine(spec)
+    cim = cim_dna_machine(cim_packing, spec)
     rows = []
     for coverage in coverages:
         workload = dna_workload(coverage=coverage)
@@ -63,6 +66,7 @@ def coverage_sweep(
 
 def addition_sweep(
     counts: Sequence[int] = (10**4, 10**5, 10**6, 10**7),
+    spec: TechSpec = TABLE1,
 ) -> List[Dict[str, float]]:
     """Mathematics scaling where *both* machines scale their compute.
 
@@ -75,19 +79,24 @@ def addition_sweep(
     if not counts:
         raise WorkloadError("need at least one count")
     rows = []
-    base_conv = conventional_math_machine()
+    base_conv = conventional_math_machine(spec)
     for count in counts:
         workload = parallel_additions_workload(count)
         conventional = ConventionalMachine(
             base_conv.machine.scaled_to_units(count)
         )
-        template = cim_math_machine()
+        template = cim_math_machine(spec)
         cim = CIMMachine(
             name=template.name,
             units=count,
             unit=template.unit,
             storage_devices=max(1, template.storage_devices),
             compute_in_storage=False,
+            miss_penalty_cycles=template.miss_penalty_cycles,
+            hit_cycles=template.hit_cycles,
+            write_cycles=template.write_cycles,
+            reference_clock=spec.cmos,
+            technology=spec.memristor,
         )
         conv_report = conventional.evaluate(workload)
         cim_report = cim.evaluate(workload)

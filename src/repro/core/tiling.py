@@ -109,8 +109,9 @@ class TilingStudy:
         self,
         devices: int,
         min_margin: float = 2.0,
-        cell_area: float = 1e-4 * 1e-12,
+        cell_area: Optional[float] = None,
         periphery: Optional[PeripheryModel] = None,
+        spec=None,
     ) -> None:
         if devices < 1:
             raise ArchitectureError(f"devices must be >= 1, got {devices}")
@@ -118,12 +119,22 @@ class TilingStudy:
             raise ArchitectureError(
                 f"min_margin must be >= 1, got {min_margin}"
             )
+        if cell_area is None:
+            # Junction area from the memristor profile; default is the
+            # Table 1 cell (1e-4 um^2).
+            if spec is not None:
+                cell_area = spec.memristor.cell_area
+            else:
+                cell_area = 1e-4 * 1e-12
         if cell_area <= 0:
             raise ArchitectureError(f"cell_area must be positive")
+        if periphery is None:
+            periphery = (PeripheryModel.from_spec(spec) if spec is not None
+                         else PeripheryModel())
         self.devices = devices
         self.min_margin = min_margin
         self.cell_area = cell_area
-        self.periphery = periphery if periphery is not None else PeripheryModel()
+        self.periphery = periphery
 
     def evaluate_junction(
         self,

@@ -46,6 +46,11 @@ class CAMMatchCost:
     width: int
     technology: MemristorTechnology = MEMRISTOR_5NM
 
+    @classmethod
+    def from_spec(cls, width: int, spec) -> "CAMMatchCost":
+        """Build on the memristor profile of a :class:`~repro.spec.TechSpec`."""
+        return cls(width=width, technology=spec.memristor)
+
     @property
     def memristors(self) -> int:
         return 2 * self.width          # two devices per ternary cell

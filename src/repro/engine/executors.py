@@ -41,6 +41,7 @@ from ..errors import EngineError
 from ..logic.sequencer import ImplyMachine
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
+from ..spec.ledger import CostLedger
 from .kernel import OP_FALSE, OP_IMP, OP_LOAD, CompiledKernel
 from .packing import pack_words, unpack_words
 
@@ -62,6 +63,8 @@ class BatchResult:
     ``outputs`` maps output signal name -> ``(words,)`` uint8 bit array
     (``None`` for the analytical backend, which never computes values).
     ``latency`` is one lock-step batch; ``energy`` sums every word.
+    ``ledger`` carries the same energy/latency as provenance-tagged
+    :class:`~repro.spec.CostLedger` entries.
     """
 
     kernel: str
@@ -72,6 +75,7 @@ class BatchResult:
     latency: float
     outputs: Optional[Dict[str, np.ndarray]]
     word_outputs: Mapping[str, Sequence[str]]
+    ledger: Optional[CostLedger] = None
 
     def word(self, group: str) -> np.ndarray:
         """Assemble one multi-bit output group into integer words."""
@@ -158,6 +162,21 @@ def _prepare_input_bits(
 # -- backends --------------------------------------------------------------
 
 
+def _step_ledger(
+    kernel_name: str, steps: int, words: int,
+    technology: MemristorTechnology,
+) -> CostLedger:
+    """Provenance ledger for the step-counted simulation backends."""
+    ledger = CostLedger()
+    ledger.energy(
+        kernel_name, steps * words * technology.write_energy,
+        f"{steps} steps x {words} words x memristor.write_energy")
+    ledger.latency(
+        kernel_name, steps * technology.write_time,
+        f"{steps} steps x memristor.write_time (lock-step batch)")
+    return ledger
+
+
 def _functional_outputs(
     kernel: CompiledKernel, input_bits: np.ndarray
 ) -> Dict[str, np.ndarray]:
@@ -199,6 +218,7 @@ class FunctionalBatchExecutor:
             latency=steps * self.technology.write_time,
             outputs=outputs,
             word_outputs=kernel.word_outputs,
+            ledger=_step_ledger(kernel.name, steps, words, self.technology),
         )
 
 
@@ -254,6 +274,7 @@ class ElectricalBatchExecutor:
             latency=steps * self.technology.write_time,
             outputs=collected,
             word_outputs=kernel.word_outputs,
+            ledger=_step_ledger(kernel.name, steps, words, self.technology),
         )
 
 
@@ -269,14 +290,26 @@ class AnalyticalCostExecutor:
         if words < 1:
             raise EngineError(f"analytical batch needs words >= 1, got {words}")
         cost = kernel.cost
+        ledger = CostLedger()
         if cost is not None:
             steps = int(cost.steps)
             energy_per_word = float(cost.dynamic_energy)
             latency = float(cost.latency)
+            ledger.energy(
+                kernel.name, energy_per_word * words,
+                f"{words} words x {type(cost).__name__}.dynamic_energy")
+            ledger.latency(
+                kernel.name, latency, f"{type(cost).__name__}.latency")
         else:
             steps = kernel.compute_step_count
             energy_per_word = steps * self.technology.write_energy
             latency = steps * self.technology.write_time
+            ledger.energy(
+                kernel.name, energy_per_word * words,
+                f"{steps} steps x {words} words x memristor.write_energy")
+            ledger.latency(
+                kernel.name, latency,
+                f"{steps} steps x memristor.write_time")
         return BatchResult(
             kernel=kernel.name,
             backend=self.name,
@@ -286,6 +319,7 @@ class AnalyticalCostExecutor:
             latency=latency,
             outputs=None,
             word_outputs=kernel.word_outputs,
+            ledger=ledger,
         )
 
 
@@ -302,7 +336,8 @@ def run_kernel(
     *,
     backend: str = "functional",
     words: Optional[int] = None,
-    technology: MemristorTechnology = MEMRISTOR_5NM,
+    technology: Optional[MemristorTechnology] = None,
+    spec=None,
     executor=None,
     charge_span: bool = True,
 ) -> BatchResult:
@@ -313,6 +348,10 @@ def run_kernel(
     vectors.  The analytical backend takes no operands — pass *words*
     instead (with operands given, their batch size wins).
 
+    The device profile defaults to Table 1's memristor; pass either
+    *technology* directly or a :class:`~repro.spec.TechSpec` via *spec*
+    (whose ``memristor`` node is used — supplying both is an error).
+
     Dispatch is metered on ``engine_executor_dispatch_total{backend=}``
     and wrapped in an ``engine/<kernel>`` span so ``--profile``
     attributes cost to kernels; ``charge_span=False`` leaves the span's
@@ -322,6 +361,10 @@ def run_kernel(
         raise EngineError(
             f"unknown backend {backend!r}; choose one of {BACKENDS}"
         )
+    if technology is not None and spec is not None:
+        raise EngineError("pass either technology= or spec=, not both")
+    if technology is None:
+        technology = spec.memristor if spec is not None else MEMRISTOR_5NM
     if executor is None:
         executor = _EXECUTOR_CLASSES[backend](technology)
     input_bits: Optional[np.ndarray] = None

@@ -36,6 +36,10 @@ class SynthesisError(LogicError):
     """Boolean-function synthesis could not produce an IMP program."""
 
 
+class SpecError(ReproError):
+    """Invalid technology-spec parameter, override path, or ledger entry."""
+
+
 class ObservabilityError(ReproError):
     """Invalid metric/trace usage or a malformed telemetry sink/path."""
 

@@ -157,6 +157,16 @@ class TCAdderCost:
         if self.width < 1:
             raise LogicError(f"width must be >= 1, got {self.width}")
 
+    @classmethod
+    def from_spec(cls, spec, width=None) -> "TCAdderCost":
+        """Build from a :class:`~repro.spec.TechSpec` (its ``adder`` node
+        plus its memristor device profile); *width* overrides the spec's."""
+        return cls(
+            width=spec.adder.width if width is None else width,
+            operations_per_bit=spec.adder.operations_per_bit,
+            technology=spec.memristor,
+        )
+
     @property
     def memristors(self) -> int:
         return self.width + 2

@@ -57,6 +57,11 @@ class MemristiveCAM:
         self._keys: List[Optional[List[int]]] = [None] * rows
         self.stats = SearchStats()
 
+    @classmethod
+    def from_spec(cls, rows: int, width: int, spec) -> "MemristiveCAM":
+        """Build on the memristor profile of a :class:`~repro.spec.TechSpec`."""
+        return cls(rows, width, technology=spec.memristor)
+
     def _check_key(self, key: Sequence[int]) -> List[int]:
         if len(key) != self.width:
             raise LogicError(f"key must have {self.width} symbols, got {len(key)}")

@@ -104,6 +104,19 @@ class ComparatorCost:
     area: float = 1.3e-3 * 1e-12  # m^2
     technology: MemristorTechnology = MEMRISTOR_5NM
 
+    @classmethod
+    def from_spec(cls, spec) -> "ComparatorCost":
+        """Build from a :class:`~repro.spec.TechSpec` (its ``comparator``
+        node plus its memristor device profile)."""
+        return cls(
+            memristors=spec.comparator.memristors,
+            steps=spec.comparator.steps,
+            dynamic_energy=spec.comparator.dynamic_energy,
+            static_energy=0.0,
+            area=spec.comparator.area,
+            technology=spec.memristor,
+        )
+
     @property
     def latency(self) -> float:
         """Steps x memristor write time (Table 1: 3.2 ns)."""

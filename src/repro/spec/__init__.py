@@ -1,0 +1,40 @@
+"""repro.spec — the typed Table 1 parameter layer.
+
+Two pieces:
+
+* :class:`TechSpec` / :data:`TABLE1` (:mod:`repro.spec.techspec`) — the
+  frozen, digest-keyed dataclass tree holding every Table 1 constant;
+  ``TABLE1.derive({...})`` produces perturbed specs for what-if studies
+  and the :mod:`repro.analysis.dse` sweep engine.
+* :class:`CostLedger` (:mod:`repro.spec.ledger`) — provenance-tagged
+  energy/latency/area accounting shared by the machine models, the
+  engine's analytical executor, and sweep artifacts.
+"""
+
+from .ledger import CostEntry, CostLedger, Quantity
+from .techspec import (
+    TABLE1,
+    AdderSpec,
+    ComparatorSpec,
+    CrossbarOrgSpec,
+    GateBlockSpec,
+    InterconnectSpec,
+    PeripheryBudgetSpec,
+    TechSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "AdderSpec",
+    "ComparatorSpec",
+    "CostEntry",
+    "CostLedger",
+    "CrossbarOrgSpec",
+    "GateBlockSpec",
+    "InterconnectSpec",
+    "PeripheryBudgetSpec",
+    "Quantity",
+    "TABLE1",
+    "TechSpec",
+    "WorkloadSpec",
+]

@@ -1,0 +1,183 @@
+"""Composable cost accounting with provenance.
+
+The Table 2 evaluation used to plumb bare floats: every machine model
+computed ``dynamic``/``leakage``/``static`` energies inline, summed them,
+and stuffed a label->joules dict into its report.  A :class:`CostLedger`
+replaces that with typed entries — each one a ``(component, quantity,
+value, provenance)`` record, where *provenance* names the Table 1
+assumption the number came from (e.g. ``"ops x comparator.dynamic_energy
+[table1]"``).  Ledgers compose: machine evaluations, engine batches and
+DSE sweep points all speak the same currency, and a JSONL sweep artifact
+can carry the full derivation of every number it reports.
+
+Totalling is insertion-ordered, so a ledger built from the same terms in
+the same order as the legacy float sums reproduces them **bit-identically**
+(guaranteed by the Table 2 golden test).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..errors import SpecError
+
+__all__ = ["CostEntry", "CostLedger", "Quantity"]
+
+
+class Quantity(enum.Enum):
+    """The three cost dimensions of the Table 2 evaluation."""
+
+    ENERGY = "energy"      # joules
+    LATENCY = "latency"    # seconds
+    AREA = "area"          # square metres
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class CostEntry:
+    """One priced contribution to a machine/kernel/sweep evaluation.
+
+    ``component`` is the breakdown label (``dynamic``, ``logic_leakage``,
+    ``cache_static``, ...); ``provenance`` records which spec fields and
+    formula produced ``value``.
+    """
+
+    component: str
+    quantity: Quantity
+    value: float
+    provenance: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.component:
+            raise SpecError("cost entry needs a component label")
+        if not isinstance(self.quantity, Quantity):
+            raise SpecError(f"quantity must be a Quantity, got {self.quantity!r}")
+        if not math.isfinite(self.value):
+            raise SpecError(
+                f"{self.component}: cost value must be finite, got {self.value}"
+            )
+        if self.value < 0:
+            raise SpecError(
+                f"{self.component}: cost value must be >= 0, got {self.value}"
+            )
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready row (used by the DSE JSONL writer)."""
+        return {
+            "component": self.component,
+            "quantity": self.quantity.value,
+            "value": self.value,
+            "provenance": self.provenance,
+        }
+
+
+@dataclass
+class CostLedger:
+    """An ordered collection of :class:`CostEntry` rows.
+
+    The ledger is append-only; totals and breakdowns are computed on
+    demand.  Summation runs in insertion order (see module docstring).
+    """
+
+    entries: List[CostEntry] = field(default_factory=list)
+
+    # -- building ----------------------------------------------------------
+
+    def add(
+        self,
+        component: str,
+        quantity: Quantity,
+        value: float,
+        provenance: str = "",
+    ) -> CostEntry:
+        """Append one entry and return it."""
+        entry = CostEntry(component, quantity, value, provenance)
+        self.entries.append(entry)
+        return entry
+
+    def energy(self, component: str, value: float, provenance: str = "") -> CostEntry:
+        """Shorthand for an ENERGY entry."""
+        return self.add(component, Quantity.ENERGY, value, provenance)
+
+    def latency(self, component: str, value: float, provenance: str = "") -> CostEntry:
+        """Shorthand for a LATENCY entry."""
+        return self.add(component, Quantity.LATENCY, value, provenance)
+
+    def area(self, component: str, value: float, provenance: str = "") -> CostEntry:
+        """Shorthand for an AREA entry."""
+        return self.add(component, Quantity.AREA, value, provenance)
+
+    def merge(self, other: "CostLedger", prefix: str = "") -> "CostLedger":
+        """Append every entry of *other* (optionally label-prefixed)."""
+        for entry in other.entries:
+            component = f"{prefix}{entry.component}" if prefix else entry.component
+            self.entries.append(
+                CostEntry(component, entry.quantity, entry.value, entry.provenance)
+            )
+        return self
+
+    def __add__(self, other: "CostLedger") -> "CostLedger":
+        combined = CostLedger(list(self.entries))
+        return combined.merge(other)
+
+    # -- reading -----------------------------------------------------------
+
+    def __iter__(self) -> Iterator[CostEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def select(self, quantity: Quantity) -> Sequence[CostEntry]:
+        """Entries of one quantity, in insertion order."""
+        return [e for e in self.entries if e.quantity is quantity]
+
+    def total(self, quantity: Quantity) -> float:
+        """Insertion-ordered sum of one quantity's values."""
+        total = 0.0
+        for entry in self.entries:
+            if entry.quantity is quantity:
+                total += entry.value
+        return total
+
+    def breakdown(self, quantity: Quantity) -> Dict[str, float]:
+        """Component label -> summed value for one quantity."""
+        out: Dict[str, float] = {}
+        for entry in self.entries:
+            if entry.quantity is quantity:
+                out[entry.component] = out.get(entry.component, 0.0) + entry.value
+        return out
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """Every entry as a JSON-ready dict (JSONL/CSV emission)."""
+        return [entry.as_dict() for entry in self.entries]
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Mapping[str, object]]) -> "CostLedger":
+        """Inverse of :meth:`as_rows`."""
+        ledger = cls()
+        for row in rows:
+            ledger.add(
+                str(row["component"]),
+                Quantity(str(row["quantity"])),
+                float(row["value"]),  # type: ignore[arg-type]
+                str(row.get("provenance", "")),
+            )
+        return ledger
+
+    def render(self, title: Optional[str] = None) -> str:
+        """Human-readable multi-line table (debug/CLI aid)."""
+        lines: List[str] = []
+        if title:
+            lines.append(title)
+        for entry in self.entries:
+            lines.append(
+                f"  {entry.component:<18s} {entry.quantity.value:<8s} "
+                f"{entry.value:.6g}  {entry.provenance}"
+            )
+        return "\n".join(lines)

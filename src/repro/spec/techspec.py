@@ -1,0 +1,412 @@
+"""The Table 1 parameter space as one frozen, digest-keyed dataclass tree.
+
+Every quantitative assumption the paper's Table 1 makes — the FinFET
+22nm gate constants, the 8 kB cache, the memristor 5nm device, the
+IMPLY-comparator and CRS TC-adder step counts, the cluster organisation,
+the crossbar periphery budgets, and the Fig 1 interconnect scaling
+numbers — lives in exactly one place: :data:`TABLE1`, an instance of
+:class:`TechSpec`.  Everything downstream (the Fig 2 machines,
+``core.evaluate``, classification/roofline/scaling/tiling, the engine's
+analytical executor, the DSE sweep runner) consumes a ``TechSpec``
+instead of module-level constants.
+
+Design rules:
+
+* **Frozen.** Every node is a frozen dataclass; a spec never mutates.
+  Variations are new specs made with :meth:`TechSpec.derive`.
+* **Digest-keyed.** :attr:`TechSpec.digest` is a SHA-256 over the
+  canonical JSON form — the identity used by the DSE evaluation cache
+  and stamped on benchmark artifacts and CLI output.
+* **Addressable.** Each leaf has a dotted path (``memristor.write_energy``,
+  ``cmos.gate_delay``); :meth:`TechSpec.derive` takes a mapping of such
+  paths to new values, and :meth:`TechSpec.flat` enumerates them — the
+  vocabulary of the ``repro sweep`` parameter grid.
+* **Base SI units** throughout (seconds, joules, watts, square metres),
+  like the rest of the codebase.
+
+The legacy module-level constants (``MEMRISTOR_5NM``, ``FINFET_22NM``,
+``CACHE_8KB_DNA``/``_MATH``, ``CLA_ADDER_32``, the ``core.presets``
+cluster counts, the ``core.classification`` wire constants, ...) remain
+as deprecated aliases; ``tests/test_spec_consistency.py`` pins each of
+them to the corresponding :data:`TABLE1` field so the two representations
+can never diverge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Any, Dict, Mapping, Optional
+
+from ..devices.technology import CacheSpec, CMOSTechnology, MemristorTechnology
+from ..errors import SpecError
+from ..units import FJ, GB, NS, NW, PJ, PS, UM2
+
+__all__ = [
+    "AdderSpec",
+    "ComparatorSpec",
+    "CrossbarOrgSpec",
+    "GateBlockSpec",
+    "InterconnectSpec",
+    "PeripheryBudgetSpec",
+    "TABLE1",
+    "TechSpec",
+    "WorkloadSpec",
+]
+
+
+@dataclass(frozen=True)
+class GateBlockSpec:
+    """Gate count + critical-path depth of one CMOS combinational block
+    (how Table 1 describes the CLA adder: 208 gates, 18 gate delays)."""
+
+    gates: int
+    depth: int
+
+    def __post_init__(self) -> None:
+        if self.gates < 1 or self.depth < 1:
+            raise SpecError(
+                f"gate block needs gates >= 1 and depth >= 1, "
+                f"got {self.gates}/{self.depth}"
+            )
+
+
+@dataclass(frozen=True)
+class ComparatorSpec:
+    """The IMPLY nucleotide comparator (Table 1, CIM healthcare column):
+    13 memristors, 16 steps, 45 fJ dynamic, 1.3e-3 um^2 [58]."""
+
+    memristors: int = 13
+    steps: int = 16
+    dynamic_energy: float = 45 * FJ
+    area: float = 1.3e-3 * UM2
+
+    def __post_init__(self) -> None:
+        if self.memristors < 1 or self.steps < 1:
+            raise SpecError("comparator memristors and steps must be >= 1")
+        if self.dynamic_energy < 0 or self.area <= 0:
+            raise SpecError("comparator energy/area must be non-negative/positive")
+
+
+@dataclass(frozen=True)
+class AdderSpec:
+    """The CRS TC-adder (Table 1, CIM mathematics column) [59]:
+    ``N+2`` memristors, ``4N+5`` steps, 8 device operations per bit."""
+
+    width: int = 32
+    operations_per_bit: int = 8
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.operations_per_bit < 1:
+            raise SpecError("adder width and operations_per_bit must be >= 1")
+
+
+@dataclass(frozen=True)
+class CrossbarOrgSpec:
+    """Cluster organisation of Table 1's two machine pairs.
+
+    ``dna_clusters`` is the paper's "limited with the state-of-the-art
+    chip area" 18750; both machines put 32 units behind each shared
+    cache.  Storage sizes follow the paper's bytes-as-devices convention
+    (crossbar devices = cluster count x cache bytes) and are derived on
+    :class:`TechSpec`, which owns the cache size.
+    """
+
+    dna_clusters: int = 18750
+    units_per_cluster: int = 32
+
+    def __post_init__(self) -> None:
+        if self.dna_clusters < 1 or self.units_per_cluster < 1:
+            raise SpecError("cluster organisation values must be >= 1")
+
+
+@dataclass(frozen=True)
+class PeripheryBudgetSpec:
+    """CMOS gate budgets for crossbar service logic (drivers, sense
+    amplifiers, decoders) — the ``core.periphery`` correction model."""
+
+    gates_per_driver: int = 8
+    gates_per_sense_amp: int = 30
+    decoder_gates_per_line: int = 2
+
+    def __post_init__(self) -> None:
+        if min(self.gates_per_driver, self.gates_per_sense_amp,
+               self.decoder_gates_per_line) < 1:
+            raise SpecError("periphery gate budgets must be >= 1")
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Wire/compute scaling constants behind the Fig 1 classification
+    (Horowitz-class numbers: ~0.15 pJ/bit/mm, ~100 ps/mm) and the word
+    width shared with the roofline model."""
+
+    wire_energy_per_bit_m: float = 0.15 * PJ / 1e-3
+    wire_delay_per_m: float = 100 * PS / 1e-3
+    compute_energy: float = 4 * PJ
+    compute_delay: float = 1 * NS
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if min(self.wire_energy_per_bit_m, self.wire_delay_per_m,
+               self.compute_energy, self.compute_delay) <= 0:
+            raise SpecError("interconnect constants must be positive")
+        if self.word_bits < 1 or self.word_bits % 8:
+            raise SpecError(
+                f"word_bits must be a positive multiple of 8, got {self.word_bits}"
+            )
+
+    @property
+    def word_bytes(self) -> int:
+        """Bytes moved per operand access."""
+        return self.word_bits // 8
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The Table 1 workload parameters: the healthcare (DNA) example's
+    coverage/read-length/hit-rate and the mathematics example's
+    addition count/hit-rate."""
+
+    dna_coverage: int = 50
+    dna_reference_bases: int = 3 * GB
+    dna_short_read_len: int = 100
+    dna_hit_ratio: float = 0.5
+    math_additions: int = 10 ** 6
+    math_hit_ratio: float = 0.98
+
+    def __post_init__(self) -> None:
+        if min(self.dna_coverage, self.dna_reference_bases,
+               self.dna_short_read_len, self.math_additions) < 1:
+            raise SpecError("workload sizes must be >= 1")
+        for ratio in (self.dna_hit_ratio, self.math_hit_ratio):
+            if not 0.0 <= ratio <= 1.0:
+                raise SpecError(f"hit ratios must lie in [0, 1], got {ratio}")
+
+
+#: Node field name -> node dataclass type (the shape of the tree; also
+#: the whitelist for ``derive``/``from_dict`` path resolution).
+_NODE_TYPES: Dict[str, type] = {
+    "cmos": CMOSTechnology,
+    "cache": CacheSpec,
+    "memristor": MemristorTechnology,
+    "comparator": ComparatorSpec,
+    "adder": AdderSpec,
+    "cla_adder": GateBlockSpec,
+    "cmos_comparator": GateBlockSpec,
+    "crossbar": CrossbarOrgSpec,
+    "periphery": PeripheryBudgetSpec,
+    "interconnect": InterconnectSpec,
+    "workloads": WorkloadSpec,
+}
+
+
+def _default_cmos() -> CMOSTechnology:
+    """Table 1's FinFET 22nm profile (same numbers as ``FINFET_22NM``)."""
+    return CMOSTechnology(
+        name="finfet-22nm",
+        gate_delay=14 * PS,
+        gate_area=0.248 * UM2,
+        gate_power=175 * NW,
+        gate_leakage=42.83 * NW,
+        clock_frequency=1e9,
+    )
+
+
+def _default_memristor() -> MemristorTechnology:
+    """Table 1's memristor 5nm profile (same numbers as ``MEMRISTOR_5NM``)."""
+    return MemristorTechnology(
+        name="memristor-5nm",
+        feature_size=5e-9,
+        write_time=200 * PS,
+        write_energy=1 * FJ,
+        cell_area=1e-4 * UM2,
+        static_power=0.0,
+    )
+
+
+@dataclass(frozen=True)
+class TechSpec:
+    """The full Table 1 assumption set as one immutable value.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label; derived specs get ``<base>+<n>ov`` unless
+        renamed.
+    cmos / cache / memristor:
+        The device-layer profiles (re-using the frozen dataclasses from
+        :mod:`repro.devices.technology`).  ``cache.hit_ratio`` is the
+        *base* value; the per-application hit rates live in
+        ``workloads``.
+    comparator / adder / cla_adder / cmos_comparator:
+        The four Table 1 compute-unit descriptions (two CIM, two CMOS).
+    crossbar / periphery / interconnect / workloads:
+        Organisation, service-logic budgets, Fig 1 wire constants, and
+        workload sizes.
+    """
+
+    name: str = "table1"
+    cmos: CMOSTechnology = field(default_factory=_default_cmos)
+    cache: CacheSpec = field(default_factory=CacheSpec)
+    memristor: MemristorTechnology = field(default_factory=_default_memristor)
+    comparator: ComparatorSpec = field(default_factory=ComparatorSpec)
+    adder: AdderSpec = field(default_factory=AdderSpec)
+    cla_adder: GateBlockSpec = field(
+        default_factory=lambda: GateBlockSpec(gates=208, depth=18))
+    cmos_comparator: GateBlockSpec = field(
+        default_factory=lambda: GateBlockSpec(gates=3, depth=2))
+    crossbar: CrossbarOrgSpec = field(default_factory=CrossbarOrgSpec)
+    periphery: PeripheryBudgetSpec = field(default_factory=PeripheryBudgetSpec)
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+    workloads: WorkloadSpec = field(default_factory=WorkloadSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("spec name must be non-empty")
+
+    # -- derived Table 1 quantities ---------------------------------------
+
+    @property
+    def dna_units(self) -> int:
+        """Parallel comparators of the DNA machines (18750 x 32)."""
+        return self.crossbar.dna_clusters * self.crossbar.units_per_cluster
+
+    @property
+    def dna_crossbar_devices(self) -> int:
+        """Table 1: "Size = 18750 * 8kB" with bytes counted as devices."""
+        return self.crossbar.dna_clusters * self.cache.size_bytes
+
+    @property
+    def math_clusters(self) -> int:
+        """Clusters of the mathematics machines ("fully scalable")."""
+        return self.workloads.math_additions // self.crossbar.units_per_cluster
+
+    @property
+    def math_storage_devices(self) -> int:
+        """Math-side storage: cache-equivalent crossbar capacity."""
+        return self.math_clusters * self.cache.size_bytes
+
+    def cache_for(self, application: str) -> CacheSpec:
+        """The cache with the Table 1 hit ratio of *application*."""
+        if application == "dna":
+            return self.cache.with_hit_ratio(self.workloads.dna_hit_ratio)
+        if application == "math":
+            return self.cache.with_hit_ratio(self.workloads.math_hit_ratio)
+        raise SpecError(f"unknown application {application!r}")
+
+    # -- canonical form, digest, round-trip -------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain nested dict (JSON-ready) of every field."""
+        out: Dict[str, Any] = {"name": self.name}
+        for node_name in _NODE_TYPES:
+            node = getattr(self, node_name)
+            out[node_name] = {
+                f.name: getattr(node, f.name) for f in fields(node)
+            }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TechSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        kwargs: Dict[str, Any] = {}
+        for key, value in data.items():
+            if key == "name":
+                kwargs["name"] = str(value)
+            elif key in _NODE_TYPES:
+                if not isinstance(value, Mapping):
+                    raise SpecError(f"node {key!r} must be a mapping")
+                kwargs[key] = _NODE_TYPES[key](**dict(value))
+            else:
+                raise SpecError(f"unknown TechSpec field {key!r}")
+        return cls(**kwargs)
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form — the spec's identity."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def short_digest(self) -> str:
+        """First 12 hex chars of :attr:`digest` (display form)."""
+        return self.digest[:12]
+
+    # -- the parameter-space view -----------------------------------------
+
+    def flat(self) -> Dict[str, Any]:
+        """Dotted leaf path -> value, for every sweepable parameter."""
+        out: Dict[str, Any] = {}
+        for node_name in _NODE_TYPES:
+            node = getattr(self, node_name)
+            for f in fields(node):
+                out[f"{node_name}.{f.name}"] = getattr(node, f.name)
+        return out
+
+    def derive(
+        self,
+        overrides: Optional[Mapping[str, Any]] = None,
+        *,
+        name: Optional[str] = None,
+    ) -> "TechSpec":
+        """A new spec with dotted-path *overrides* applied.
+
+        ``spec.derive({"memristor.write_energy": 0.5e-15})`` returns a
+        spec identical to this one except for that leaf.  Unknown paths
+        raise :class:`~repro.errors.SpecError` (listing is available via
+        :meth:`flat`).  With no overrides this is an identity copy —
+        same digest, optionally renamed.
+        """
+        overrides = dict(overrides or {})
+        per_node: Dict[str, Dict[str, Any]] = {}
+        for path, value in overrides.items():
+            node_name, _, leaf = path.partition(".")
+            if not leaf or node_name not in _NODE_TYPES:
+                raise SpecError(
+                    f"unknown spec parameter {path!r}; valid paths look "
+                    f"like 'memristor.write_energy' (see TechSpec.flat())"
+                )
+            node_fields = {f.name for f in fields(_NODE_TYPES[node_name])}
+            if leaf not in node_fields:
+                raise SpecError(
+                    f"unknown spec parameter {path!r}; "
+                    f"{node_name} has fields {sorted(node_fields)}"
+                )
+            per_node.setdefault(node_name, {})[leaf] = value
+        changes: Dict[str, Any] = {
+            node_name: replace(getattr(self, node_name), **leaf_values)
+            for node_name, leaf_values in per_node.items()
+        }
+        if name is not None:
+            changes["name"] = name
+        elif overrides:
+            changes["name"] = f"{self.name}+{len(overrides)}ov"
+        if not changes:
+            return self
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line identity string for CLI/benchmark provenance."""
+        return f"TechSpec {self.name} digest={self.short_digest}"
+
+
+def _assert_tree_shape() -> None:
+    """Fail fast at import if the node table drifts from the dataclass."""
+    declared = {f.name for f in fields(TechSpec)} - {"name"}
+    if declared != set(_NODE_TYPES):
+        raise SpecError(
+            f"TechSpec nodes {sorted(declared)} out of sync with "
+            f"_NODE_TYPES {sorted(_NODE_TYPES)}"
+        )
+    for node_name, node_type in _NODE_TYPES.items():
+        if not is_dataclass(node_type):
+            raise SpecError(f"node {node_name!r} is not a dataclass")
+
+
+_assert_tree_shape()
+
+#: The paper's Table 1 assumption set — the default spec everywhere.
+TABLE1 = TechSpec()

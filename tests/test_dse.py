@@ -1,0 +1,187 @@
+"""Tests for the DSE sweep engine (:mod:`repro.analysis.dse`)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.dse import (
+    SweepResult,
+    cim_dominates,
+    clear_cache,
+    evaluate_point,
+    expand_grid,
+    paper_grid,
+    run_sweep,
+    write_csv,
+    write_jsonl,
+)
+from repro.errors import SpecError
+from repro.obs.registry import get_registry
+from repro.spec import TABLE1
+
+SMALL_GRID = {
+    "memristor.write_energy": [0.5e-15, 1e-15],
+    "workloads.dna_hit_ratio": [0.5, 0.9],
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+# -- grid expansion ---------------------------------------------------------
+
+
+def test_expand_grid_order_is_deterministic():
+    points = expand_grid(SMALL_GRID)
+    assert len(points) == 4
+    # Cartesian odometer: last axis varies fastest.
+    assert points[0] == {
+        "memristor.write_energy": 0.5e-15,
+        "workloads.dna_hit_ratio": 0.5,
+    }
+    assert points[1]["workloads.dna_hit_ratio"] == 0.9
+    assert points[2]["memristor.write_energy"] == 1e-15
+    assert expand_grid(SMALL_GRID) == points
+
+
+def test_expand_grid_empty_grid_is_single_base_point():
+    assert expand_grid({}) == [{}]
+
+
+def test_expand_grid_rejects_bad_values():
+    with pytest.raises(SpecError):
+        expand_grid({"memristor.write_energy": []})
+    with pytest.raises(SpecError):
+        expand_grid({"memristor.write_energy": 1e-15})
+
+
+def test_paper_grid_has_128_points():
+    assert len(expand_grid(paper_grid())) == 128
+
+
+# -- single-point evaluation ------------------------------------------------
+
+
+def test_evaluate_point_base_matches_table2():
+    name, digest, metrics, ledgers = evaluate_point(TABLE1, {})
+    assert digest == TABLE1.digest
+    assert metrics["dna.improvement.energy_delay"] > 1.0
+    assert metrics["math.improvement.energy_delay"] > 1.0
+    assert set(ledgers) == {
+        "dna.cim", "dna.conventional", "math.cim", "math.conventional",
+    }
+    for rows in ledgers.values():
+        assert rows and all(row["provenance"] for row in rows)
+
+
+def test_evaluate_point_coverage_metrics():
+    _, _, metrics, _ = evaluate_point(
+        TABLE1, {}, dna_coverages=(5, 40), keep_ledgers=False)
+    assert "dna.coverage5.energy_advantage" in metrics
+    assert "dna.coverage40.energy_advantage" in metrics
+
+
+# -- sweeps -----------------------------------------------------------------
+
+
+def test_run_sweep_serial_shape_and_provenance():
+    result = run_sweep(SMALL_GRID, serial=True)
+    assert isinstance(result, SweepResult)
+    assert len(result) == 4
+    assert result.evaluated == 4
+    assert result.cache_hits == 0
+    assert not result.parallel
+    assert result.base_digest == TABLE1.digest
+    digests = {p.spec_digest for p in result.points}
+    assert len(digests) == 4
+    for point in result.points:
+        assert point.metrics["math.improvement.energy_delay"] > 0
+        assert point.ledgers
+        assert cim_dominates(point, "math")
+
+
+def test_run_sweep_cache_hits_on_rerun():
+    first = run_sweep(SMALL_GRID, serial=True)
+    second = run_sweep(SMALL_GRID, serial=True)
+    assert second.evaluated == 0
+    assert second.cache_hits == 4
+    assert all(p.cached for p in second.points)
+    for a, b in zip(first.points, second.points):
+        assert a.metrics == b.metrics
+
+
+def test_run_sweep_dedups_duplicate_grid_points():
+    grid = {"memristor.write_energy": [1e-15, 1e-15]}
+    result = run_sweep(grid, serial=True)
+    assert len(result) == 2
+    assert result.evaluated == 1
+    assert result.cache_hits == 1
+    assert result.points[0].metrics == result.points[1].metrics
+
+
+def test_run_sweep_counters_increment():
+    registry = get_registry()
+    points = registry.counter("dse_points_total")
+    hits = registry.counter("dse_cache_hits_total")
+    points_before, hits_before = points.value, hits.value
+    run_sweep(SMALL_GRID, serial=True)
+    run_sweep(SMALL_GRID, serial=True)
+    assert points.value == points_before + 8
+    assert hits.value == hits_before + 4
+
+
+def test_run_sweep_parallel_matches_serial():
+    serial = run_sweep(SMALL_GRID, serial=True)
+    clear_cache()
+    parallel = run_sweep(SMALL_GRID, workers=2, use_cache=False)
+    assert parallel.parallel
+    assert len(parallel) == len(serial)
+    for a, b in zip(serial.points, parallel.points):
+        assert a.spec_digest == b.spec_digest
+        assert a.metrics == b.metrics
+
+
+def test_run_sweep_best():
+    result = run_sweep(SMALL_GRID, serial=True)
+    key = "math.improvement.energy_delay"
+    best = result.best(key)
+    assert best.metrics[key] == max(result.metric_column(key))
+    worst = result.best(key, maximize=False)
+    assert worst.metrics[key] == min(result.metric_column(key))
+
+
+# -- serialisation ----------------------------------------------------------
+
+
+def test_write_jsonl_round_trip():
+    result = run_sweep(SMALL_GRID, serial=True)
+    stream = io.StringIO()
+    lines = write_jsonl(result, stream)
+    assert lines == 5  # header + 4 points
+    rows = [json.loads(line) for line in stream.getvalue().splitlines()]
+    header = rows[0]["sweep"]
+    assert header["points"] == 4
+    assert header["base_digest"] == TABLE1.digest
+    for row, point in zip(rows[1:], result.points):
+        assert row["spec_digest"] == point.spec_digest
+        assert row["metrics"] == point.metrics
+        assert row["ledgers"]["math.cim"][0]["provenance"]
+
+
+def test_write_csv_shape():
+    result = run_sweep(SMALL_GRID, serial=True)
+    stream = io.StringIO()
+    write_csv(result, stream)
+    rows = list(csv.reader(io.StringIO(stream.getvalue())))
+    header, body = rows[0], rows[1:]
+    assert len(body) == 4
+    assert header[0] == "index"
+    assert "memristor.write_energy" in header
+    assert "math.improvement.energy_delay" in header
+    assert [row[0] for row in body] == ["0", "1", "2", "3"]

@@ -1,0 +1,144 @@
+"""Unit tests for :mod:`repro.spec` — the TechSpec tree and CostLedger."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec import (
+    CostEntry,
+    CostLedger,
+    Quantity,
+    TABLE1,
+    TechSpec,
+)
+
+
+# -- TechSpec ---------------------------------------------------------------
+
+
+def test_flat_covers_every_leaf():
+    flat = TABLE1.flat()
+    assert flat["memristor.write_energy"] == 1e-15
+    assert flat["cmos.gate_delay"] == TABLE1.cmos.gate_delay
+    assert flat["workloads.math_additions"] == 10 ** 6
+    # Every flat path round-trips through derive as an identity (the
+    # auto-generated "+Nov" name suffix is part of the digest, so pin it).
+    same = TABLE1.derive(dict(flat), name=TABLE1.name)
+    assert same.digest == TABLE1.digest
+
+
+def test_derive_rejects_unknown_paths():
+    with pytest.raises(SpecError, match="unknown spec parameter"):
+        TABLE1.derive({"memristor.write_speed": 1.0})
+    with pytest.raises(SpecError, match="unknown spec parameter"):
+        TABLE1.derive({"nonsense.write_energy": 1.0})
+    with pytest.raises(SpecError, match="unknown spec parameter"):
+        TABLE1.derive({"memristor": 1.0})
+
+
+def test_derive_validates_through_node_constructors():
+    with pytest.raises(Exception):
+        TABLE1.derive({"memristor.write_energy": -1.0})
+    with pytest.raises(Exception):
+        TABLE1.derive({"workloads.dna_hit_ratio": 1.5})
+    with pytest.raises(SpecError):
+        TABLE1.derive({"comparator.steps": 0})
+
+
+def test_derive_names_and_renames():
+    derived = TABLE1.derive({"memristor.write_energy": 2e-15})
+    assert derived.name == "table1+1ov"
+    named = TABLE1.derive({"memristor.write_energy": 2e-15}, name="fat-write")
+    assert named.name == "fat-write"
+    # Name participates in the digest (it is part of the canonical form).
+    assert named.digest != derived.digest
+
+
+def test_from_dict_rejects_unknown_fields():
+    data = TABLE1.to_dict()
+    data["gremlins"] = {"count": 3}
+    with pytest.raises(SpecError, match="unknown TechSpec field"):
+        TechSpec.from_dict(data)
+
+
+def test_digest_is_value_identity():
+    a = TechSpec()
+    b = TechSpec()
+    assert a is not b
+    assert a.digest == b.digest == TABLE1.digest
+
+
+def test_cache_for_unknown_application():
+    with pytest.raises(SpecError, match="unknown application"):
+        TABLE1.cache_for("weather")
+
+
+def test_describe_mentions_name_and_digest():
+    text = TABLE1.describe()
+    assert "table1" in text
+    assert TABLE1.short_digest in text
+
+
+# -- CostLedger -------------------------------------------------------------
+
+
+def test_entry_validation():
+    with pytest.raises(SpecError):
+        CostEntry("", Quantity.ENERGY, 1.0)
+    with pytest.raises(SpecError):
+        CostEntry("dynamic", Quantity.ENERGY, float("nan"))
+    with pytest.raises(SpecError):
+        CostEntry("dynamic", Quantity.ENERGY, -1.0)
+    with pytest.raises(SpecError):
+        CostEntry("dynamic", "energy", 1.0)
+
+
+def test_totals_are_insertion_ordered():
+    values = [0.1, 0.2, 0.7, 1e-20]
+    ledger = CostLedger()
+    for index, value in enumerate(values):
+        ledger.energy(f"part{index}", value)
+    expected = 0.0
+    for value in values:
+        expected += value
+    assert ledger.total(Quantity.ENERGY) == expected
+
+
+def test_quantities_do_not_mix():
+    ledger = CostLedger()
+    ledger.energy("dynamic", 2.0, "ops x unit energy")
+    ledger.latency("rounds", 3.0)
+    ledger.area("crossbar", 4.0)
+    assert ledger.total(Quantity.ENERGY) == 2.0
+    assert ledger.total(Quantity.LATENCY) == 3.0
+    assert ledger.total(Quantity.AREA) == 4.0
+    assert len(ledger.select(Quantity.ENERGY)) == 1
+    assert ledger.breakdown(Quantity.ENERGY) == {"dynamic": 2.0}
+
+
+def test_merge_prefix_and_add():
+    a = CostLedger()
+    a.energy("dynamic", 1.0)
+    b = CostLedger()
+    b.energy("dynamic", 2.0)
+    combined = a + b
+    assert combined.total(Quantity.ENERGY) == 3.0
+    assert len(a) == 1 and len(b) == 1  # operands untouched
+    prefixed = CostLedger().merge(b, prefix="cim/")
+    assert prefixed.entries[0].component == "cim/dynamic"
+
+
+def test_rows_round_trip():
+    ledger = CostLedger()
+    ledger.energy("dynamic", 1.5, "ops x comparator.dynamic_energy")
+    ledger.latency("rounds", 0.25, "rounds x round_time")
+    rebuilt = CostLedger.from_rows(ledger.as_rows())
+    assert rebuilt.as_rows() == ledger.as_rows()
+    assert rebuilt.total(Quantity.ENERGY) == ledger.total(Quantity.ENERGY)
+
+
+def test_render_includes_provenance():
+    ledger = CostLedger()
+    ledger.energy("dynamic", 1.0, "ops x unit energy")
+    text = ledger.render(title="demo")
+    assert "demo" in text
+    assert "ops x unit energy" in text
