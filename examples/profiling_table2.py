@@ -15,8 +15,8 @@ lines and Prometheus text.  Equivalent one-liner:
 import os
 import tempfile
 
+from repro import api
 from repro.analysis import render_table2
-from repro.core import table2
 from repro.obs import get_registry, get_tracer
 from repro.obs.bench import metric_deltas
 from repro.obs.export import (
@@ -34,7 +34,7 @@ def main() -> None:
     tracer.enable()
     try:
         with tracer.span("profiling_table2"):
-            result = table2(dna_packing="paper")
+            result = api.table2(dna_packing="paper")
 
         print(render_table2(result))
 

@@ -7,14 +7,17 @@ Evaluates the two paper workloads (DNA sequencing, 10^6 parallel
 additions) on both machine models built from the Table 1 assumptions,
 prints the reproduced Table 2 next to the published values, and shows
 the CIM improvement factors.
+
+Everything goes through ``repro.api`` — the stable keyword-only facade
+(its surface is snapshot-tested, so this example won't rot).
 """
 
+from repro import api
 from repro.analysis import render_machine_reports, render_table2
-from repro.core import table2
 
 
 def main() -> None:
-    result = table2(dna_packing="paper")
+    result = api.table2(dna_packing="paper")
 
     print("Machine evaluations")
     print("-------------------")

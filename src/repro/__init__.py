@@ -25,24 +25,33 @@ The package is organised bottom-up, mirroring the paper:
 * :mod:`repro.analysis` — reports, parameter sweeps and the DSE sweep
   engine (``repro sweep``).
 
+* :mod:`repro.serve` — the async batched serving layer (``repro
+  serve``): dynamic batching, backpressure, deadlines, digest-keyed
+  result caching.
+* :mod:`repro.api` — the stable public facade; start here.
+
 Quick start::
 
-    from repro.core import table2
+    from repro import api
     from repro.analysis import render_table2
-    print(render_table2(table2()))
+    print(render_table2(api.table2()))
 """
 
-from . import analog, analysis, apps, cmosarch, compiler, core, crossbar, devices, engine, interconnect, logic, obs, reliability, sim, spec, units
+from . import analog, analysis, api, apps, cmosarch, compiler, core, crossbar, devices, engine, interconnect, logic, obs, reliability, serve, sim, spec, units
 from .errors import (
     ArchitectureError,
     CrossbarError,
+    DeadlineExceeded,
     DeviceError,
     EngineError,
     LogicError,
     ObservabilityError,
     ReproError,
+    ServeError,
+    ServerOverloaded,
     SpecError,
     SynthesisError,
+    TransientExecutorError,
     WorkloadError,
 )
 
@@ -51,6 +60,7 @@ __version__ = "0.1.0"
 __all__ = [
     "devices",
     "analog",
+    "api",
     "compiler",
     "engine",
     "reliability",
@@ -60,6 +70,7 @@ __all__ = [
     "cmosarch",
     "core",
     "apps",
+    "serve",
     "sim",
     "spec",
     "analysis",
@@ -75,5 +86,9 @@ __all__ = [
     "ObservabilityError",
     "EngineError",
     "SpecError",
+    "ServeError",
+    "ServerOverloaded",
+    "DeadlineExceeded",
+    "TransientExecutorError",
     "__version__",
 ]

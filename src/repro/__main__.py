@@ -11,49 +11,143 @@ code:
 * ``scaling`` — the data-volume scaling study;
 * ``kernels`` — the engine's built-in compiled kernels and their costs;
 * ``obs`` — exercise the observability layer and export telemetry;
-* ``sweep`` — design-space exploration over TechSpec parameters.
+* ``sweep`` — design-space exploration over TechSpec parameters;
+* ``serve`` — the async batched JSONL serving loop (stdin -> stdout).
 
-Every subcommand accepts ``--profile`` (print the span tree and metric
-summary after the command), ``--quiet`` and ``--verbose`` (stdlib
-logging levels via :mod:`repro.obs.logsetup`).  Handlers return the
-process exit code; ``main`` normalises it (``None`` -> 0) and turns
-uncaught :class:`~repro.errors.ReproError` into exit code 2.
+Every subcommand shares one argparse parent parser, so the surface is
+uniform: ``--spec-override path=value`` (repeatable; derives the
+active :class:`~repro.spec.TechSpec` for the command), ``--json``
+(machine-readable output on stdout), ``--profile`` (print the span
+tree and metric summary after the command), and ``-q``/``-v``
+(stdlib logging levels via :mod:`repro.obs.logsetup`).  Handlers
+return the process exit code; ``main`` normalises it (``None`` -> 0)
+and turns uncaught :class:`~repro.errors.ReproError` into exit code 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .analysis import format_table, render_machine_reports, render_table2
 from .errors import ReproError
 from .obs import configure_logging, get_registry, get_tracer
 from .obs.export import console_summary
+from .spec import TABLE1, TechSpec
 from .units import si_format
+
+
+def _coerce_value(text: str) -> Any:
+    """CLI value -> int/float/str (ints only when spelled as integers)."""
+    try:
+        number = float(text)
+    except ValueError:
+        return text
+    if number.is_integer() and ("e" not in text.lower() and "." not in text):
+        return int(number)
+    return number
+
+
+def _parse_override(raw: str) -> Tuple[str, Any]:
+    """``path=value`` -> ``(path, value)`` with numeric coercion."""
+    path, sep, value = raw.partition("=")
+    if not sep or not path or not value:
+        raise ReproError(
+            f"bad --spec-override {raw!r}; expected path=value "
+            "(e.g. memristor.write_energy=1e-15)"
+        )
+    return path, _coerce_value(value)
+
+
+def _spec_from_args(args: argparse.Namespace) -> TechSpec:
+    """The command's active spec: TABLE1 plus any --spec-override."""
+    overrides = getattr(args, "spec_override", None)
+    if not overrides:
+        return TABLE1
+    return TABLE1.derive(dict(_parse_override(raw) for raw in overrides))
+
+
+def _emit_json(payload: Any) -> int:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def _table2_payload(result: Any) -> Dict[str, Any]:
+    cells = {
+        f"{application}.{architecture}": metric_set.as_dict()
+        for (application, architecture), metric_set in result.metrics.items()
+    }
+    improvements = {
+        application: {
+            "energy_delay": factors.energy_delay,
+            "computing_efficiency": factors.computing_efficiency,
+        }
+        for application, factors in result.improvements.items()
+    }
+    return {
+        "spec_digest": result.spec_digest,
+        "cells": cells,
+        "improvements": improvements,
+        "paper": {f"{app}.{arch}": dict(values)
+                  for (app, arch), values in result.paper.items()},
+    }
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     from .core import table2
 
-    print(render_table2(table2(dna_packing=args.packing)))
+    result = table2(dna_packing=args.packing, spec=_spec_from_args(args))
+    if args.json:
+        return _emit_json(_table2_payload(result))
+    print(render_table2(result))
     return 0
 
 
 def _cmd_machines(args: argparse.Namespace) -> int:
-    print(render_machine_reports())
+    from .core import table2
+
+    result = table2(spec=_spec_from_args(args))
+    if args.json:
+        payload = {
+            f"{application}.{architecture}": {
+                "machine": report.machine,
+                "workload": report.workload,
+                "operations": report.operations,
+                "parallel_units": report.parallel_units,
+                "time_s": report.time,
+                "energy_j": report.energy,
+                "area_m2": report.area,
+            }
+            for (application, architecture), report in result.reports.items()
+        }
+        return _emit_json(payload)
+    print(render_machine_reports(result))
     return 0
 
 
 def _cmd_fig1(args: argparse.Namespace) -> int:
     from .core import classify_all
 
+    costs = classify_all(operands_per_op=args.operands,
+                         spec=_spec_from_args(args))
+    if args.json:
+        return _emit_json([
+            {
+                "class": cost.architecture.value,
+                "energy_per_op_j": cost.energy_per_op,
+                "latency_per_op_s": cost.latency_per_op,
+                "communication_fraction": cost.communication_fraction,
+            }
+            for cost in costs
+        ])
     rows = [
         [cost.architecture.value,
          si_format(cost.energy_per_op, "J"),
          si_format(cost.latency_per_op, "s"),
          f"{100 * cost.communication_fraction:.1f}%"]
-        for cost in classify_all(operands_per_op=args.operands)
+        for cost in costs
     ]
     print(format_table(
         ["Class", "E/op", "T/op", "comm share"], rows,
@@ -67,14 +161,18 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
     cell = ComplementaryResistiveSwitch()
     vth = cell.thresholds()
+    trace = cell.sweep_iv(triangular_sweep(1.6, 48))
+    states = list(dict.fromkeys(state.value for _, _, state in trace))
+    peak = max(abs(current) for _, current, _ in trace)
+    if args.json:
+        return _emit_json({
+            "thresholds_v": list(vth),
+            "states": states,
+            "peak_current_a": peak,
+        })
     print(f"CRS thresholds: Vth1={vth[0]:.2f} V, Vth2={vth[1]:.2f} V, "
           f"Vth3={vth[2]:.2f} V, Vth4={vth[3]:.2f} V")
-    trace = cell.sweep_iv(triangular_sweep(1.6, 48))
-    states = " -> ".join(
-        dict.fromkeys(state.value for _, _, state in trace)
-    )
-    peak = max(abs(current) for _, current, _ in trace)
-    print(f"I-V sweep: states {states}; peak |I| = {peak:.3e} A")
+    print(f"I-V sweep: states {' -> '.join(states)}; peak |I| = {peak:.3e} A")
     return 0
 
 
@@ -90,24 +188,33 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     for p, q in itertools.product((0, 1), repeat=2):
         device_p = IdealBipolarMemristor(x=float(p))
         device_q = IdealBipolarMemristor(x=float(q))
-        rows.append([str(p), str(q),
-                     str(gate.apply(device_p, device_q)),
-                     str(crs.imply(p, q))])
-    print(format_table(["p", "q", "Fig 5(a)", "Fig 5(b) CRS"], rows,
-                       title="p IMP q, both implementations"))
+        rows.append([p, q, gate.apply(device_p, device_q), crs.imply(p, q)])
+    if args.json:
+        return _emit_json([
+            {"p": p, "q": q, "fig5a": a, "fig5b_crs": b}
+            for p, q, a, b in rows
+        ])
+    print(format_table(
+        ["p", "q", "Fig 5(a)", "Fig 5(b) CRS"],
+        [[str(v) for v in row] for row in rows],
+        title="p IMP q, both implementations",
+    ))
     return 0
 
 
 def _cmd_scaling(args: argparse.Namespace) -> int:
     from .core.scaling import coverage_sweep
 
+    rows_data = coverage_sweep(spec=_spec_from_args(args))
+    if args.json:
+        return _emit_json(rows_data)
     rows = [
         [str(r["coverage"]),
          si_format(r["conv_time"], "s"),
          si_format(r["cim_time"], "s"),
          f"{r['time_advantage']:.1f}x",
          f"{r['energy_advantage']:.3g}x"]
-        for r in coverage_sweep()
+        for r in rows_data
     ]
     print(format_table(
         ["coverage", "conv T", "CIM T", "time adv", "energy adv"],
@@ -119,12 +226,14 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
 def _cmd_kernels(args: argparse.Namespace) -> int:
     """List the engine's built-in kernels with compiled + analytical costs."""
     from .engine import kernel_catalog
-    from .spec import TABLE1
 
-    print(f"active spec: {TABLE1.describe()}")
+    spec = _spec_from_args(args)
+    catalog = kernel_catalog(adder_width=args.width, match_width=args.width)
+    if args.json:
+        return _emit_json({"spec_digest": spec.digest, "kernels": catalog})
+    print(f"active spec: {spec.describe()}")
     rows = []
-    for entry in kernel_catalog(adder_width=args.width,
-                                match_width=args.width):
+    for entry in catalog:
         energy = entry.get("analytical_energy_j")
         latency = entry.get("analytical_latency_s")
         rows.append([
@@ -143,13 +252,31 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _metrics_payload() -> Dict[str, Any]:
+    """Registry snapshot as plain data (the ``obs --json`` output)."""
+    payload: Dict[str, Any] = {}
+    for metric in get_registry():
+        instances = metric.children() or [metric]
+        for instance in instances:
+            labels = ",".join(f"{k}={v}" for k, v in instance.labelvalues)
+            key = f"{metric.name}{{{labels}}}" if labels else metric.name
+            if metric.kind == "histogram":
+                payload[key] = {
+                    "count": instance.count,
+                    "sum": instance.sum,
+                    "mean": instance.mean,
+                }
+            else:
+                payload[key] = instance.value
+    return payload
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     """Exercise the instrumented stack and print/export its telemetry."""
     from .obs.export import export_prometheus, export_spans_jsonl
     from .sim.machine import FunctionalCIM
-    from .spec import TABLE1
 
-    print(f"active spec: {TABLE1.describe()}")
+    spec = _spec_from_args(args)
     tracer = get_tracer()
     tracer.enable()
     with tracer.span("obs-demo"):
@@ -162,19 +289,25 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             machine.compare_all(4)
         with tracer.span("reduce_add"):
             machine.reduce_add()
-    print(tracer.render())
-    print()
-    print(console_summary(get_registry()))
+    if args.json:
+        code = _emit_json({"spec_digest": spec.digest,
+                           "metrics": _metrics_payload()})
+    else:
+        code = 0
+        print(f"active spec: {spec.describe()}")
+        print(tracer.render())
+        print()
+        print(console_summary(get_registry()))
     if args.jsonl:
         export_spans_jsonl(tracer, args.jsonl)
-        print(f"spans written to {args.jsonl}")
+        print(f"spans written to {args.jsonl}", file=sys.stderr)
     if args.prom:
         export_prometheus(get_registry(), args.prom)
-        print(f"metrics written to {args.prom}")
-    return 0
+        print(f"metrics written to {args.prom}", file=sys.stderr)
+    return code
 
 
-def _parse_sweep_param(raw: str):
+def _parse_sweep_param(raw: str) -> Tuple[str, List[Any]]:
     """``path=v1,v2,...`` -> ``(path, [values])`` with float coercion."""
     path, sep, values = raw.partition("=")
     if not sep or not path or not values:
@@ -182,72 +315,120 @@ def _parse_sweep_param(raw: str):
             f"bad --param {raw!r}; expected path=value,value "
             "(e.g. memristor.write_energy=1e-15,2e-15)"
         )
-
-    def coerce(text: str):
-        try:
-            number = float(text)
-        except ValueError:
-            return text
-        if number.is_integer() and ("e" not in text.lower()
-                                    and "." not in text):
-            return int(number)
-        return number
-
-    return path, [coerce(v) for v in values.split(",")]
+    return path, [_coerce_value(v) for v in values.split(",")]
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Run a TechSpec parameter sweep and write JSONL/CSV artifacts."""
     from .analysis.dse import paper_grid, run_sweep, write_csv, write_jsonl
-    from .spec import TABLE1
 
+    base = _spec_from_args(args)
     if args.param:
         grid = dict(_parse_sweep_param(p) for p in args.param)
     else:
         grid = paper_grid()
-    print(f"base spec: {TABLE1.describe()}")
+    if not args.json:
+        print(f"base spec: {base.describe()}")
     result = run_sweep(
         grid,
+        base=base,
         workers=args.workers,
         serial=args.serial,
         keep_ledgers=not args.no_ledgers,
     )
     mode = (f"parallel x{result.workers}" if result.parallel else "serial")
-    print(f"swept {len(result)} points ({result.evaluated} evaluated, "
-          f"{result.cache_hits} cache hits, {mode})")
 
-    headers = ["metric", "best", "worst", "at (best overrides)"]
-    rows = []
-    for key in ("dna.improvement.energy_delay",
-                "math.improvement.energy_delay",
-                "dna.improvement.computing_efficiency",
-                "math.improvement.computing_efficiency"):
-        if key not in result.points[0].metrics:
-            continue
-        best = result.best(key, maximize=True)
-        worst = result.best(key, maximize=False)
-        rows.append([
-            key,
-            f"{best.metrics[key]:.4g}x",
-            f"{worst.metrics[key]:.4g}x",
-            ", ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
-                      for k, v in best.overrides.items()) or "(base)",
-        ])
-    print(format_table(headers, rows, title="CIM improvement across the grid"))
+    improvement_keys = [
+        key for key in ("dna.improvement.energy_delay",
+                        "math.improvement.energy_delay",
+                        "dna.improvement.computing_efficiency",
+                        "math.improvement.computing_efficiency")
+        if key in result.points[0].metrics
+    ]
+    if args.json:
+        summary = {
+            "base_spec_digest": base.digest,
+            "points": len(result),
+            "evaluated": result.evaluated,
+            "cache_hits": result.cache_hits,
+            "mode": mode,
+            "metrics": {
+                key: {
+                    "best": result.best(key, maximize=True).metrics[key],
+                    "worst": result.best(key, maximize=False).metrics[key],
+                    "best_overrides": dict(
+                        result.best(key, maximize=True).overrides),
+                }
+                for key in improvement_keys
+            },
+        }
+        code = _emit_json(summary)
+    else:
+        code = 0
+        print(f"swept {len(result)} points ({result.evaluated} evaluated, "
+              f"{result.cache_hits} cache hits, {mode})")
+        headers = ["metric", "best", "worst", "at (best overrides)"]
+        rows = []
+        for key in improvement_keys:
+            best = result.best(key, maximize=True)
+            worst = result.best(key, maximize=False)
+            rows.append([
+                key,
+                f"{best.metrics[key]:.4g}x",
+                f"{worst.metrics[key]:.4g}x",
+                ", ".join(f"{k}={v:g}" if isinstance(v, float) else f"{k}={v}"
+                          for k, v in best.overrides.items()) or "(base)",
+            ])
+        print(format_table(headers, rows,
+                           title="CIM improvement across the grid"))
 
     if args.jsonl:
         with open(args.jsonl, "w", encoding="utf-8") as stream:
             lines = write_jsonl(result, stream)
-        print(f"{lines} JSONL lines written to {args.jsonl}")
+        print(f"{lines} JSONL lines written to {args.jsonl}", file=sys.stderr)
     if args.csv:
         with open(args.csv, "w", encoding="utf-8", newline="") as stream:
             lines = write_csv(result, stream)
-        print(f"{lines} CSV rows written to {args.csv}")
+        print(f"{lines} CSV rows written to {args.csv}", file=sys.stderr)
+    return code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the async batched JSONL serving loop until input EOF."""
+    from .serve import serve_jsonl
+
+    in_stream = sys.stdin
+    if args.input:
+        in_stream = open(args.input, "r", encoding="utf-8")
+    try:
+        stats = serve_jsonl(
+            in_stream,
+            sys.stdout,
+            max_batch_size=args.max_batch_size,
+            max_wait_us=args.max_wait_us,
+            queue_limit=args.queue_limit,
+            workers=args.workers,
+            retries=args.retries,
+            spec=_spec_from_args(args),
+        )
+    finally:
+        if args.input:
+            in_stream.close()
+    print(stats.summary(), file=sys.stderr)
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # The one shared parent parser: every subcommand gets the same
+    # --spec-override / --json / --profile / -q / -v surface.
     common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--spec-override", action="append",
+                        metavar="PATH=VALUE", default=[],
+                        help="derive the active TechSpec with one dotted "
+                             "override (repeatable; e.g. "
+                             "memristor.write_energy=2e-15)")
+    common.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON on stdout")
     common.add_argument("--profile", action="store_true",
                         help="print the span tree and metric summary "
                              "after the command")
@@ -327,6 +508,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-ledgers", action="store_true",
                        help="drop per-point ledgers (smaller JSONL)")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve", parents=[common],
+        help="serve JSONL kernel/evaluate requests (stdin -> stdout)")
+    serve.add_argument("--input", metavar="PATH",
+                       help="read requests from PATH instead of stdin")
+    serve.add_argument("--max-batch-size", type=int, default=64,
+                       help="requests coalesced per batch (default 64)")
+    serve.add_argument("--max-wait-us", type=float, default=500.0,
+                       help="batching window in microseconds (default 500)")
+    serve.add_argument("--queue-limit", type=int, default=1024,
+                       help="bounded queue size; beyond it requests are "
+                            "rejected with ServerOverloaded (default 1024)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="executor threads / concurrent batches "
+                            "(default 4)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="transient executor failure retries (default 2)")
+    serve.set_defaults(handler=_cmd_serve)
     return parser
 
 

@@ -1,0 +1,50 @@
+"""Deprecation machinery for legacy module-level constants.
+
+PR 4 replaced every module-level Table 1 constant with the frozen
+:data:`repro.spec.TABLE1` tree but kept the old names as aliases.
+Those aliases are now formally deprecated: modules move them into a
+``{name: (replacement, value)}`` table and expose them through a
+PEP 562 module ``__getattr__`` built here, so every access still works
+but emits a single :class:`DeprecationWarning` (per name, per process)
+pointing at the :mod:`repro.api` / :mod:`repro.spec` replacement.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Callable, Mapping, Set, Tuple
+
+__all__ = ["deprecated_module_attrs"]
+
+_WARNED: Set[str] = set()
+
+
+def deprecated_module_attrs(
+    module_name: str,
+    table: Mapping[str, Tuple[str, Any]],
+) -> Callable[[str], Any]:
+    """Build a module ``__getattr__`` serving deprecated constants.
+
+    *table* maps each legacy name to ``(replacement, value)`` where
+    *replacement* is the dotted modern spelling quoted in the warning
+    (e.g. ``"repro.spec.TABLE1.crossbar.dna_clusters"``).
+    """
+
+    def __getattr__(name: str) -> Any:
+        try:
+            replacement, value = table[name]
+        except KeyError:
+            raise AttributeError(
+                f"module {module_name!r} has no attribute {name!r}"
+            ) from None
+        key = f"{module_name}.{name}"
+        if key not in _WARNED:
+            _WARNED.add(key)
+            warnings.warn(
+                f"{key} is deprecated; use {replacement} instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return value
+
+    return __getattr__

@@ -1,0 +1,232 @@
+"""repro.api — the stable public facade.
+
+One import gives every headline capability behind keyword-only,
+documented signatures::
+
+    from repro import api
+
+    api.table2()                             # reproduce Table 2
+    api.evaluate(application="dna")          # one application's metrics
+    api.run_kernel(kernel="adder", width=8,  # engine execution by name
+                   operands={"a": [1, 2], "b": [3, 4]})
+    api.sweep(grid={"memristor.write_energy": [1e-15, 2e-15]})
+    api.solve_crossbar(conductances=g, row_drive={0: 0.5}, col_drive={3: 0.0})
+    api.serve()                              # JSONL serving loop (stdin)
+
+Everything here is a thin, stable veneer over :mod:`repro.core`,
+:mod:`repro.engine`, :mod:`repro.analysis.dse`, :mod:`repro.crossbar`
+and :mod:`repro.serve`; internals may move freely underneath, but this
+surface only changes deliberately (``tests/test_api_surface.py``
+snapshots ``__all__`` and every signature).  All entry points accept
+``spec=`` (a :class:`~repro.spec.TechSpec`) and/or ``overrides=``
+(dotted :meth:`~repro.spec.TechSpec.derive` paths) so any what-if
+technology runs through the same code as the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Any, Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from .core.evaluate import Table2Result
+from .core.evaluate import table2 as _table2
+from .crossbar.solver import CrossbarSolution
+from .engine import BatchResult
+from .errors import ReproError
+from .spec import TABLE1, TechSpec
+
+__all__ = [
+    "evaluate",
+    "run_kernel",
+    "serve",
+    "solve_crossbar",
+    "sweep",
+    "table2",
+]
+
+#: Applications Table 2 evaluates (the two paper workloads).
+_APPLICATIONS = ("dna", "math")
+
+
+def _resolve_spec(
+    spec: Optional[TechSpec], overrides: Optional[Mapping[str, Any]]
+) -> TechSpec:
+    base = TABLE1 if spec is None else spec
+    return base.derive(overrides) if overrides else base
+
+
+def table2(
+    *,
+    dna_packing: str = "paper",
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Table2Result:
+    """Reproduce the paper's Table 2.
+
+    ``dna_packing`` selects the CIM DNA unit count (``"paper"`` — the
+    implied 600k-unit configuration — or ``"max"``, full crossbar
+    packing).  The default spec reproduces the published numbers
+    bit-for-bit; ``spec``/``overrides`` re-run the whole table under a
+    derived technology.
+    """
+    return _table2(dna_packing=dna_packing,
+                   spec=_resolve_spec(spec, overrides))
+
+
+def evaluate(
+    *,
+    application: str = "dna",
+    dna_packing: str = "paper",
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, float]:
+    """Evaluate one application on both architectures.
+
+    Returns a flat metric mapping:
+    ``{"conventional.<metric>", "cim.<metric>",
+    "improvement.energy_delay", "improvement.computing_efficiency"}``
+    for ``application`` (``"dna"`` or ``"math"``).
+    """
+    if application not in _APPLICATIONS:
+        raise ReproError(
+            f"application must be one of {_APPLICATIONS}, got {application!r}"
+        )
+    result = table2(dna_packing=dna_packing, spec=spec, overrides=overrides)
+    metrics: Dict[str, float] = {}
+    for architecture in ("conventional", "cim"):
+        cell = result.metrics[(application, architecture)]
+        for name, value in cell.as_dict().items():
+            metrics[f"{architecture}.{name}"] = value
+    factors = result.improvements[application]
+    metrics["improvement.energy_delay"] = factors.energy_delay
+    metrics["improvement.computing_efficiency"] = factors.computing_efficiency
+    return metrics
+
+
+def run_kernel(
+    *,
+    kernel: str,
+    width: int = 32,
+    operands: Optional[Mapping[str, Union[Sequence[int], np.ndarray]]] = None,
+    backend: str = "functional",
+    words: Optional[int] = None,
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> BatchResult:
+    """Execute a built-in engine kernel by name.
+
+    ``kernel`` is one of the serving vocabulary names
+    (:data:`repro.engine.KERNEL_BUILDERS`: ``"comparator"``,
+    ``"word-compare"``, ``"adder"``, ``"cam-match"``, ...); ``operands``
+    maps word-group names to integer word batches.  ``backend`` selects
+    ``functional`` (vectorised), ``electrical`` (device-level
+    reference) or ``analytical`` (Table 1 pricing; pass ``words``
+    instead of operands).
+    """
+    from .engine import resolve_kernel
+    from .engine import run_kernel as _run_kernel
+
+    return _run_kernel(
+        resolve_kernel(kernel, width),
+        operands,
+        backend=backend,
+        words=words,
+        spec=_resolve_spec(spec, overrides),
+    )
+
+
+def sweep(
+    *,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    workers: Optional[int] = None,
+    serial: bool = False,
+    keep_ledgers: bool = True,
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Run a design-space sweep over Table 1 parameters.
+
+    ``grid`` maps dotted spec paths to value lists (default: the
+    built-in 128-point paper grid).  Returns the
+    :class:`~repro.analysis.dse.SweepResult`; points are digest-deduped
+    and cached, and evaluation parallelises across processes unless
+    ``serial``.
+    """
+    from .analysis.dse import paper_grid, run_sweep
+
+    return run_sweep(
+        dict(grid) if grid is not None else paper_grid(),
+        base=_resolve_spec(spec, overrides),
+        workers=workers,
+        serial=serial,
+        keep_ledgers=keep_ledgers,
+    )
+
+
+def solve_crossbar(
+    *,
+    conductances: Union[Sequence[Sequence[float]], np.ndarray],
+    row_drive: Mapping[int, float],
+    col_drive: Mapping[int, float],
+    wire_resistance: Optional[float] = None,
+    driver_resistance: float = 0.0,
+    backend: str = "auto",
+) -> CrossbarSolution:
+    """Solve a passive crossbar electrically.
+
+    With ``wire_resistance=None`` the lines are ideal conductors (the
+    sneak-path model); a positive value switches to the IR-drop solver
+    (per-segment line resistance, drivers attached through
+    ``driver_resistance``, sparse/dense ``backend`` selection).
+    """
+    from .crossbar.solver import solve_ideal_wires, solve_with_wire_resistance
+
+    g = np.asarray(conductances, dtype=float)
+    if wire_resistance is None:
+        return solve_ideal_wires(g, dict(row_drive), dict(col_drive))
+    return solve_with_wire_resistance(
+        g,
+        dict(row_drive),
+        dict(col_drive),
+        wire_resistance=wire_resistance,
+        driver_resistance=driver_resistance,
+        backend=backend,
+    )
+
+
+def serve(
+    *,
+    input: Optional[IO[str]] = None,
+    output: Optional[IO[str]] = None,
+    max_batch_size: int = 64,
+    max_wait_us: float = 500.0,
+    queue_limit: int = 1024,
+    workers: int = 4,
+    retries: int = 2,
+    cache_capacity: int = 1024,
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Serve newline-delimited JSON requests until EOF, then drain.
+
+    The scriptable face of :mod:`repro.serve`: reads one request per
+    line from ``input`` (default stdin), writes one JSON result per
+    line to ``output`` (default stdout) in completion order, batching
+    compatible requests into single engine executions.  Returns the
+    :class:`~repro.serve.ServeStats` status tally.
+    """
+    from .serve import serve_jsonl
+
+    return serve_jsonl(
+        input if input is not None else sys.stdin,
+        output if output is not None else sys.stdout,
+        max_batch_size=max_batch_size,
+        max_wait_us=max_wait_us,
+        queue_limit=queue_limit,
+        workers=workers,
+        retries=retries,
+        cache_capacity=cache_capacity,
+        spec=_resolve_spec(spec, overrides),
+    )

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List
 
+from .._compat import deprecated_module_attrs
 from ..errors import ArchitectureError
 from ..spec import TABLE1, TechSpec
 
@@ -58,16 +59,24 @@ CLASS_PARAMETERS: Dict[ArchitectureClass, ClassParameters] = {
     ArchitectureClass.COMPUTATION_IN_MEMORY: ClassParameters(distance=1e-6),
 }
 
-#: Deprecated aliases — the canonical values live on
-#: ``TABLE1.interconnect`` (see ``repro.spec``); kept for callers that
-#: import the module constants directly.
-#: Wire energy per bit per metre (0.15 pJ/bit/mm, Horowitz-class number).
-WIRE_ENERGY_PER_BIT_M = TABLE1.interconnect.wire_energy_per_bit_m
-#: Wire delay per metre (repeatered global wire, ~100 ps/mm).
-WIRE_DELAY_PER_M = TABLE1.interconnect.wire_delay_per_m
-#: Fixed compute cost per operation (a 4 pJ ALU op per [4]).
-COMPUTE_ENERGY = TABLE1.interconnect.compute_energy
-COMPUTE_DELAY = TABLE1.interconnect.compute_delay
+# Deprecated aliases — the canonical values live on
+# ``TABLE1.interconnect`` (see ``repro.spec``).  Accessing them still
+# works but emits one DeprecationWarning naming the replacement: the
+# wire energy (0.15 pJ/bit/mm), the repeatered-wire delay (~100 ps/mm),
+# and the fixed 4 pJ ALU compute cost per [4].
+_DEPRECATED = {
+    "WIRE_ENERGY_PER_BIT_M": (
+        "repro.spec.TABLE1.interconnect.wire_energy_per_bit_m",
+        TABLE1.interconnect.wire_energy_per_bit_m),
+    "WIRE_DELAY_PER_M": ("repro.spec.TABLE1.interconnect.wire_delay_per_m",
+                         TABLE1.interconnect.wire_delay_per_m),
+    "COMPUTE_ENERGY": ("repro.spec.TABLE1.interconnect.compute_energy",
+                       TABLE1.interconnect.compute_energy),
+    "COMPUTE_DELAY": ("repro.spec.TABLE1.interconnect.compute_delay",
+                      TABLE1.interconnect.compute_delay),
+}
+
+__getattr__ = deprecated_module_attrs(__name__, _DEPRECATED)
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ where they matter.
 
 from __future__ import annotations
 
+from .._compat import deprecated_module_attrs
 from ..cmosarch.gates import GateBlock
 from ..cmosarch.multicore import ClusteredMulticore
 from ..logic.adders import TCAdderCost
@@ -24,35 +25,34 @@ from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .workload import Workload, dna_workload, parallel_additions_workload
 
-#: Deprecated aliases of the TABLE1 spec fields (kept for callers that
-#: predate the spec layer; ``tests/test_spec_consistency.py`` pins each
-#: one to the spec so they can never diverge).
-#:
-#: Table 1: "Number of clusters is 18750, each contains 32 comparators"
-#: ("limited with the state-of-the-art chip area").
-DNA_CLUSTERS = TABLE1.crossbar.dna_clusters
-UNITS_PER_CLUSTER = TABLE1.crossbar.units_per_cluster
+# Deprecated aliases of the TABLE1 spec fields (kept for callers that
+# predate the spec layer; ``tests/test_spec_consistency.py`` pins each
+# one to the spec so they can never diverge).  Accessing any of them
+# emits one DeprecationWarning pointing at the spec-layer replacement;
+# the values themselves are unchanged — DNA_CLUSTERS is Table 1's
+# "Number of clusters is 18750, each contains 32 comparators",
+# DNA_CROSSBAR_DEVICES keeps the paper's bytes-as-devices 18750 x 8192,
+# DNA_PAPER_IMPLIED_UNITS the back-computed 600 000-unit CIM DNA
+# configuration (DESIGN.md section 5), and the MATH_* trio the
+# 10^6-addition / 31250-cluster mathematics column.
+_DEPRECATED = {
+    "DNA_CLUSTERS": ("repro.spec.TABLE1.crossbar.dna_clusters",
+                     TABLE1.crossbar.dna_clusters),
+    "UNITS_PER_CLUSTER": ("repro.spec.TABLE1.crossbar.units_per_cluster",
+                          TABLE1.crossbar.units_per_cluster),
+    "DNA_CROSSBAR_DEVICES": ("repro.spec.TABLE1.dna_crossbar_devices",
+                             TABLE1.dna_crossbar_devices),
+    "DNA_PAPER_IMPLIED_UNITS": ("repro.spec.TABLE1.dna_units",
+                                TABLE1.dna_units),
+    "MATH_ADDITIONS": ("repro.spec.TABLE1.workloads.math_additions",
+                       TABLE1.workloads.math_additions),
+    "MATH_CLUSTERS": ("repro.spec.TABLE1.math_clusters",
+                      TABLE1.math_clusters),
+    "MATH_STORAGE_DEVICES": ("repro.spec.TABLE1.math_storage_devices",
+                             TABLE1.math_storage_devices),
+}
 
-#: Table 1: "Size = 18750 * 8kB = 1.536*10^8 memristors".  (18750 x 8192
-#: is a *byte* count; the paper equates bytes and memristors — we keep
-#: its number verbatim.)
-DNA_CROSSBAR_DEVICES = TABLE1.dna_crossbar_devices
-
-#: Unit count of the paper's implied CIM DNA configuration.  Table 2's
-#: CIM DNA execution time back-computes to ~0.087 s, which corresponds
-#: to the *same* 600 000 comparators as the conventional machine (see
-#: DESIGN.md section 5); the paper never states the CIM unit count.
-DNA_PAPER_IMPLIED_UNITS = TABLE1.dna_units
-
-#: Table 1 mathematics example: 10^6 parallel additions, 32 adders per
-#: cluster -> 31250 clusters ("fully scalable reusing clusters").
-MATH_ADDITIONS = TABLE1.workloads.math_additions
-MATH_CLUSTERS = TABLE1.math_clusters
-
-#: Math-side storage: "The memory capacity of the CIM architectures is
-#: assumed to be equal to the sum of all caches" -> 31250 x 8 kB, with
-#: the paper's bytes-as-devices convention.
-MATH_STORAGE_DEVICES = TABLE1.math_storage_devices
+__getattr__ = deprecated_module_attrs(__name__, _DEPRECATED)
 
 
 # -- unit cost factories (spec -> cost model) -------------------------------

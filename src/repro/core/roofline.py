@@ -24,15 +24,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+from .._compat import deprecated_module_attrs
 from ..errors import ArchitectureError
 from ..spec import TABLE1, TechSpec
 from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .workload import Workload
 
-#: Bytes moved per operand access (32-bit words).  Deprecated alias of
-#: ``TABLE1.interconnect.word_bytes``.
-WORD_BYTES = TABLE1.interconnect.word_bytes
+# Deprecated alias of ``TABLE1.interconnect.word_bytes`` (bytes moved
+# per operand access, 32-bit words); access emits one DeprecationWarning.
+_DEPRECATED = {
+    "WORD_BYTES": ("repro.spec.TABLE1.interconnect.word_bytes",
+                   TABLE1.interconnect.word_bytes),
+}
+
+__getattr__ = deprecated_module_attrs(__name__, _DEPRECATED)
 
 
 @dataclass(frozen=True)

@@ -26,10 +26,12 @@ Telemetry: ``engine_kernel_cache_total{result=}``,
 
 from .builtins import (
     CAMMatchCost,
+    KERNEL_BUILDERS,
     adder_kernel,
     cam_match_kernel,
     comparator_kernel,
     kernel_catalog,
+    resolve_kernel,
     word_comparator_kernel,
 )
 from .executors import (
@@ -38,6 +40,7 @@ from .executors import (
     BatchResult,
     ElectricalBatchExecutor,
     FunctionalBatchExecutor,
+    coalesce_operand_batches,
     run_kernel,
 )
 from .kernel import (
@@ -62,6 +65,7 @@ from .packing import (
 
 __all__ = [
     "BACKENDS",
+    "KERNEL_BUILDERS",
     "KERNEL_CACHE_CAPACITY",
     "MAX_WIDTH",
     "AnalyticalCostExecutor",
@@ -75,6 +79,7 @@ __all__ = [
     "cached_kernel",
     "cam_match_kernel",
     "clear_kernel_cache",
+    "coalesce_operand_batches",
     "comparator_kernel",
     "compile_kernel",
     "compile_program",
@@ -85,6 +90,7 @@ __all__ = [
     "network_digest",
     "pack_words",
     "program_digest",
+    "resolve_kernel",
     "run_kernel",
     "unpack_words",
     "word_comparator_kernel",

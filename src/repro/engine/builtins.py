@@ -20,7 +20,7 @@ artifact serves all three backends:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Callable, Dict, List
 
 from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
 from ..errors import EngineError
@@ -157,3 +157,36 @@ def kernel_catalog(adder_width: int = 32, match_width: int = 16) -> List[Dict[st
         cam_match_kernel(match_width),
     ]
     return [k.describe() for k in kernels]
+
+
+#: Serve/API kernel-name vocabulary: public name -> builder taking a
+#: width (``comparator`` ignores it — the nucleotide comparator is
+#: fixed at 2 bits).  ``adder``/``word-compare``/``cam-match`` are the
+#: canonical names; the compiled artifact names (``tc-adder`` etc.)
+#: are accepted as aliases.
+KERNEL_BUILDERS: Dict[str, Callable[[int], CompiledKernel]] = {
+    "comparator": lambda width: comparator_kernel(),
+    "word-compare": word_comparator_kernel,
+    "word-comparator": word_comparator_kernel,
+    "adder": adder_kernel,
+    "tc-adder": adder_kernel,
+    "cam-match": cam_match_kernel,
+}
+
+
+def resolve_kernel(name: str, width: int = 32) -> CompiledKernel:
+    """Look a built-in kernel up by its public name.
+
+    The resolver is the name vocabulary shared by :mod:`repro.api` and
+    the :mod:`repro.serve` request protocol, so a JSONL request's
+    ``{"kernel": "adder", "width": 32}`` and an in-process
+    ``api.run_kernel(kernel="adder", width=32)`` hit the same cached
+    artifact.
+    """
+    builder = KERNEL_BUILDERS.get(str(name).strip().lower())
+    if builder is None:
+        raise EngineError(
+            f"unknown kernel {name!r}; choose one of "
+            f"{sorted(set(KERNEL_BUILDERS))}"
+        )
+    return builder(width)

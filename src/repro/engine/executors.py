@@ -32,7 +32,7 @@ electrically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -103,6 +103,55 @@ class BatchResult:
             )
         return self.outputs[signal]
 
+    def split(self, sizes: Sequence[int]) -> "List[BatchResult]":
+        """Split a coalesced batch back into per-submitter results.
+
+        The inverse of :func:`coalesce_operand_batches`: slice the
+        output lanes into consecutive chunks of *sizes* words.  Energy
+        is per-word, so each chunk gets its word share; latency is
+        charged once per lock-step batch, so every chunk keeps the full
+        batch latency — exactly what each sub-batch would have been
+        billed had it run alone (the serve layer's correctness
+        contract).
+        """
+        sizes = [int(s) for s in sizes]
+        if any(s < 1 for s in sizes):
+            raise EngineError(f"split sizes must be >= 1, got {sizes}")
+        if sum(sizes) != self.words:
+            raise EngineError(
+                f"split sizes sum to {sum(sizes)}, batch has {self.words} words"
+            )
+        energy_per_word = self.energy / self.words
+        parts: List[BatchResult] = []
+        offset = 0
+        for size in sizes:
+            outputs: Optional[Dict[str, np.ndarray]] = None
+            if self.outputs is not None:
+                outputs = {
+                    signal: lane[offset:offset + size].copy()
+                    for signal, lane in self.outputs.items()
+                }
+            ledger = CostLedger()
+            ledger.energy(
+                self.kernel, energy_per_word * size,
+                f"{size} of {self.words} coalesced words")
+            ledger.latency(
+                self.kernel, self.latency,
+                "lock-step batch (shared across coalesced requests)")
+            parts.append(BatchResult(
+                kernel=self.kernel,
+                backend=self.backend,
+                words=size,
+                steps_per_word=self.steps_per_word,
+                energy=energy_per_word * size,
+                latency=self.latency,
+                outputs=outputs,
+                word_outputs=self.word_outputs,
+                ledger=ledger,
+            ))
+            offset += size
+        return parts
+
 
 def _prepare_input_bits(
     kernel: CompiledKernel,
@@ -157,6 +206,55 @@ def _prepare_input_bits(
     if words is None or words == 0:
         raise EngineError(f"{kernel.name}: empty operand batch")
     return np.stack([lanes[s] for s in kernel.inputs], axis=0)
+
+
+def coalesce_operand_batches(
+    batches: Sequence[Mapping[str, Union[Sequence[int], np.ndarray]]],
+) -> Tuple[Dict[str, np.ndarray], List[int]]:
+    """Merge per-request operand mappings into one batch's operands.
+
+    The serve layer's coalescing entry point: *batches* is one operand
+    mapping per request (all naming the same operand keys); the result
+    is ``(merged, sizes)`` where *merged* concatenates each operand
+    across requests in order and *sizes* records each request's word
+    count — the argument :meth:`BatchResult.split` takes to undo the
+    merge after one engine execution.
+    """
+    if not batches:
+        raise EngineError("coalesce needs at least one operand batch")
+    keys = sorted(batches[0])
+    if not keys:
+        raise EngineError("coalesce: empty operand mapping")
+    merged: Dict[str, List[np.ndarray]] = {key: [] for key in keys}
+    sizes: List[int] = []
+    for index, operands in enumerate(batches):
+        if sorted(operands) != keys:
+            raise EngineError(
+                f"coalesce: operand batch {index} has keys "
+                f"{sorted(operands)}, expected {keys}"
+            )
+        words: Optional[int] = None
+        for key in keys:
+            values = np.atleast_1d(np.asarray(operands[key]))
+            if values.ndim != 1:
+                raise EngineError(
+                    f"coalesce: operand {key!r} of batch {index} must be flat"
+                )
+            if words is None:
+                words = int(values.shape[0])
+            elif int(values.shape[0]) != words:
+                raise EngineError(
+                    f"coalesce: batch {index} operand {key!r} has "
+                    f"{values.shape[0]} words, expected {words}"
+                )
+            merged[key].append(values)
+        if not words:
+            raise EngineError(f"coalesce: batch {index} is empty")
+        sizes.append(words)
+    return (
+        {key: np.concatenate(chunks) for key, chunks in merged.items()},
+        sizes,
+    )
 
 
 # -- backends --------------------------------------------------------------

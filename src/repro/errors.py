@@ -46,3 +46,21 @@ class ObservabilityError(ReproError):
 
 class EngineError(ReproError):
     """Invalid kernel construction, operand batch, or executor backend."""
+
+
+class ServeError(ReproError):
+    """Invalid serving request, malformed protocol line, or server misuse."""
+
+
+class ServerOverloaded(ServeError):
+    """The server's bounded request queue is full; the request was rejected
+    without being accepted (safe to retry after backoff)."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline elapsed before its batch completed."""
+
+
+class TransientExecutorError(ServeError):
+    """A retryable executor failure (the serve layer retries these with
+    exponential backoff before surfacing them)."""

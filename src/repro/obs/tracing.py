@@ -19,6 +19,7 @@ span are subsumed automatically.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterator, List, Optional
 
@@ -56,6 +57,14 @@ class Span:
 
     def set_attr(self, key: str, value: object) -> None:
         self.attrs[key] = value
+
+    def backdate(self, start: float) -> None:
+        """Move the opening time back to *start* (``perf_counter`` value).
+
+        For callers that must measure a region they cannot wrap in the
+        ``with`` block — e.g. awaiting concurrent work whose interleaved
+        spans would otherwise close out of order."""
+        self.start = start
 
     # -- aggregates -----------------------------------------------------------
 
@@ -117,6 +126,9 @@ class _NullSpan:
     def set_attr(self, key: str, value: object) -> None:
         pass
 
+    def backdate(self, start: float) -> None:
+        pass
+
 
 NULL_SPAN = _NullSpan()
 
@@ -141,12 +153,28 @@ class _SpanContext:
 
 
 class Tracer:
-    """Owns the span stack and the finished span forest."""
+    """Owns the span stack and the finished span forest.
+
+    The open-span stack is **per thread**: work dispatched to worker
+    threads (the serving layer's executor pool) records its spans as
+    separate roots instead of corrupting the dispatching thread's
+    nesting.  Within one thread the stack is strictly LIFO — closing a
+    span that is not innermost is an error.
+    """
 
     def __init__(self) -> None:
         self.enabled = False
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+
+    @property
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -157,9 +185,10 @@ class Tracer:
         self.enabled = False
 
     def reset(self) -> None:
-        """Drop all recorded spans (open spans included)."""
-        self.roots = []
-        self._stack = []
+        """Drop all recorded spans (and this thread's open spans)."""
+        with self._roots_lock:
+            self.roots = []
+        self._local.stack = []
 
     # -- span management ------------------------------------------------------
 
@@ -174,13 +203,15 @@ class Tracer:
         """
         if not self.enabled:
             return NULL_SPAN
-        parent = self._stack[-1] if self._stack else None
+        stack = self._stack
+        parent = stack[-1] if stack else None
         span = Span(name, parent, **attrs)
         if parent is not None:
             parent.children.append(span)
         else:
-            self.roots.append(span)
-        self._stack.append(span)
+            with self._roots_lock:
+                self.roots.append(span)
+        stack.append(span)
         return _SpanContext(self, span)
 
     def _close(self, span: Span) -> None:

@@ -1,0 +1,59 @@
+"""repro.serve — the async batched serving layer.
+
+The request-serving front door the ROADMAP's "heavy traffic" north star
+asks for: an :mod:`asyncio` job server that accepts kernel-execution
+and Table 2 evaluation requests, coalesces compatible requests into
+single engine functional batches (dynamic batching:
+``max_batch_size`` / ``max_wait_us`` window), runs them on a bounded
+worker pool, and serves repeat submissions from a digest-keyed result
+cache.
+
+* :class:`KernelServer` — the server core: bounded-queue backpressure
+  (:class:`~repro.errors.ServerOverloaded`), per-request deadlines
+  (:class:`~repro.errors.DeadlineExceeded`), transient-failure retries
+  with backoff, graceful drain, full obs wiring.
+* :class:`ServeRequest` / :class:`ServeResult` — the protocol types,
+  with JSONL codecs (:func:`request_from_dict`, :func:`result_to_dict`).
+* :func:`serve_jsonl` — the scriptable stdin/stdout front end behind
+  ``repro serve``.
+
+In-process quick start::
+
+    import asyncio
+    from repro.serve import KernelServer, ServeRequest
+
+    async def main():
+        async with KernelServer(max_batch_size=64) as server:
+            result = await server.submit(ServeRequest(
+                id="r1", kernel="adder", width=8,
+                operands={"a": (1, 2), "b": (3, 4)}))
+            print(result.outputs["sum"])   # (4, 6)
+
+    asyncio.run(main())
+
+Telemetry: ``serve_requests_total{status=}``, ``serve_batch_size`` and
+``serve_batch_words`` histograms, ``serve_queue_depth`` gauge,
+``serve_retries_total``, and per-batch ``serve/<kernel>`` spans.
+"""
+
+from .frontend import ServeStats, serve_jsonl
+from .request import (
+    REQUEST_KINDS,
+    ServeRequest,
+    ServeResult,
+    request_from_dict,
+    result_to_dict,
+)
+from .server import KernelServer, RunBatchFn
+
+__all__ = [
+    "KernelServer",
+    "REQUEST_KINDS",
+    "RunBatchFn",
+    "ServeRequest",
+    "ServeResult",
+    "ServeStats",
+    "request_from_dict",
+    "result_to_dict",
+    "serve_jsonl",
+]

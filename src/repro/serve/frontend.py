@@ -1,0 +1,125 @@
+"""Scriptable JSONL front end for the serving layer (``repro serve``).
+
+One request per input line, one JSON result per output line::
+
+    $ printf '%s\n' \
+        '{"id":"a","op":"kernel","kernel":"adder","width":8,"operands":{"a":[1,2],"b":[3,4]}}' \
+        '{"id":"e","op":"evaluate"}' \
+      | python -m repro serve
+    {"id": "a", "status": "ok", ...}
+    {"id": "e", "status": "ok", ...}
+
+Results stream out in *completion* order (batching reorders), so every
+record echoes its request ``id``.  Failures become
+``{"id": ..., "status": "rejected" | "deadline" | "error", "error": ...}``
+records rather than crashing the loop, which is what makes an overload
+burst observable without losing accepted requests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Mapping, Optional
+
+from ..errors import DeadlineExceeded, ReproError, ServeError, ServerOverloaded
+from .request import request_from_dict, result_to_dict
+from .server import KernelServer
+
+__all__ = ["ServeStats", "serve_jsonl"]
+
+
+@dataclass
+class ServeStats:
+    """Terminal-status tally of one ``serve_jsonl`` run."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, status: str) -> None:
+        self.counts[status] = self.counts.get(status, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def summary(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"served {self.total} requests ({parts or 'none'})"
+
+
+def _error_record(request_id: Optional[str], exc: BaseException) -> Dict[str, Any]:
+    if isinstance(exc, ServerOverloaded):
+        status = "rejected"
+    elif isinstance(exc, DeadlineExceeded):
+        status = "deadline"
+    else:
+        status = "error"
+    return {"id": request_id, "status": status, "error": str(exc)}
+
+
+async def _pump(
+    in_stream: IO[str],
+    out_stream: IO[str],
+    server: KernelServer,
+    stats: ServeStats,
+) -> None:
+    loop = asyncio.get_running_loop()
+    lock = asyncio.Lock()
+    tasks = []
+
+    async def emit(record: Mapping[str, Any]) -> None:
+        async with lock:
+            out_stream.write(json.dumps(record) + "\n")
+            out_stream.flush()
+
+    async def handle(line: str) -> None:
+        request_id: Optional[str] = None
+        try:
+            payload = json.loads(line)
+            if isinstance(payload, Mapping) and payload.get("id"):
+                # Echo the caller's id even when validation rejects the
+                # request — error records must stay attributable.
+                request_id = str(payload["id"])
+            request = request_from_dict(payload)
+            request_id = request.id or None
+            result = await server.submit(request)
+        except (ReproError, ValueError) as exc:
+            record = _error_record(request_id, exc)
+            stats.bump(str(record["status"]))
+            await emit(record)
+        else:
+            stats.bump("cached" if result.cached else "ok")
+            await emit(result_to_dict(result))
+
+    async with server:
+        while True:
+            line = await loop.run_in_executor(None, in_stream.readline)
+            if not line:
+                break
+            if not line.strip():
+                continue
+            tasks.append(loop.create_task(handle(line)))
+        if tasks:
+            await asyncio.gather(*tasks)
+
+
+def serve_jsonl(
+    in_stream: IO[str],
+    out_stream: IO[str],
+    *,
+    server: Optional[KernelServer] = None,
+    **server_options: Any,
+) -> ServeStats:
+    """Serve newline-delimited JSON requests until EOF, then drain.
+
+    Pass an existing *server* or any :class:`~repro.serve.KernelServer`
+    keyword options (``max_batch_size``, ``max_wait_us``,
+    ``queue_limit``, ``spec``, ...).  Returns the status tally.
+    """
+    if server is not None and server_options:
+        raise ServeError("pass either server= or server options, not both")
+    stats = ServeStats()
+    instance = server or KernelServer(**server_options)
+    asyncio.run(_pump(in_stream, out_stream, instance, stats))
+    return stats

@@ -1,0 +1,213 @@
+"""Serving protocol types: requests, results, digests, JSON codecs.
+
+A :class:`ServeRequest` describes one unit of work the server accepts:
+
+``kernel``
+    Execute a built-in engine kernel (resolved through
+    :func:`repro.engine.resolve_kernel`) over an operand word batch on
+    one of the engine backends.  Compatible kernel requests — same
+    kernel, width, backend, spec digest, and operand keys — coalesce
+    into a single engine functional batch.
+``evaluate``
+    Re-run the full Table 2 evaluation (optionally under per-request
+    :meth:`~repro.spec.TechSpec.derive` overrides) and return its
+    metrics; identical evaluations dedupe within a batch window and
+    across the digest-keyed result cache.
+
+Identity is content-addressed: :attr:`ServeRequest.digest` is a SHA-256
+over the canonical JSON form of the *semantic* fields (kind, kernel,
+width, backend, operands, params, spec overrides — not the caller's id
+or deadline), which keys the server's result cache so repeat
+submissions are served without re-execution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from ..engine import BACKENDS
+from ..errors import ServeError
+
+__all__ = [
+    "REQUEST_KINDS",
+    "ServeRequest",
+    "ServeResult",
+    "request_from_dict",
+    "result_to_dict",
+]
+
+#: Accepted values of :attr:`ServeRequest.kind`.
+REQUEST_KINDS: Tuple[str, ...] = ("kernel", "evaluate")
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One unit of serving work (see the module docstring).
+
+    ``operands`` maps word-group names to integer word tuples (kernel
+    requests); ``params`` carries evaluation options (``dna_packing``);
+    ``overrides`` are dotted :meth:`~repro.spec.TechSpec.derive` paths
+    applied per request; ``deadline_s`` is the caller's total time
+    budget measured from submission (``None`` = no deadline).
+    """
+
+    id: str
+    kind: str = "kernel"
+    kernel: str = ""
+    width: int = 32
+    operands: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
+    backend: str = "functional"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in REQUEST_KINDS:
+            raise ServeError(
+                f"request kind must be one of {REQUEST_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "kernel":
+            if not self.kernel:
+                raise ServeError("kernel requests need a kernel name")
+            if self.backend not in BACKENDS:
+                raise ServeError(
+                    f"backend must be one of {BACKENDS}, got {self.backend!r}"
+                )
+            if self.backend != "analytical" and not self.operands:
+                raise ServeError(
+                    f"{self.backend} kernel requests need operands"
+                )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ServeError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
+
+    @property
+    def words(self) -> int:
+        """Word count of the operand batch (1 for evaluate requests)."""
+        if self.kind != "kernel" or not self.operands:
+            return 1
+        return max(len(values) for values in self.operands.values())
+
+    @property
+    def digest(self) -> str:
+        """Content digest — the result-cache key (id/deadline excluded)."""
+        payload = {
+            "kind": self.kind,
+            "kernel": self.kernel.lower(),
+            "width": self.width,
+            "backend": self.backend,
+            "operands": {k: list(v) for k, v in sorted(self.operands.items())},
+            "params": {k: self.params[k] for k in sorted(self.params)},
+            "overrides": {k: self.overrides[k] for k in sorted(self.overrides)},
+        }
+        return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+    def batch_key(self, spec_digest: str) -> Tuple[Any, ...]:
+        """Coalescing compatibility key: requests sharing it can merge
+        into one engine execution under one derived spec."""
+        return (
+            self.kind,
+            self.kernel.lower(),
+            self.width,
+            self.backend,
+            spec_digest,
+            tuple(sorted(self.operands)),
+            _canonical({k: self.params[k] for k in sorted(self.params)}),
+        )
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of one successfully served request.
+
+    Failures never become results — they surface as typed
+    :class:`~repro.errors.ServeError` subclasses from ``submit`` (the
+    JSONL frontend turns them into error records).  ``outputs`` maps
+    word-group name -> integer words (kernel requests; empty for the
+    analytical backend); ``metrics`` carries the Table 2 numbers
+    (evaluate requests).  ``batch_words``/``batch_requests`` record the
+    coalesced batch this request rode in; ``cached`` marks result-cache
+    hits.
+    """
+
+    id: str
+    kind: str
+    kernel: str
+    backend: str
+    words: int
+    outputs: Mapping[str, Tuple[int, ...]] = field(default_factory=dict)
+    metrics: Mapping[str, float] = field(default_factory=dict)
+    energy: float = 0.0
+    latency: float = 0.0
+    steps_per_word: int = 0
+    spec_digest: str = ""
+    batch_words: int = 0
+    batch_requests: int = 0
+    cached: bool = False
+    digest: str = ""
+
+    def for_request(self, request_id: str, *, cached: bool = False) -> "ServeResult":
+        """The same payload re-addressed to another submitter."""
+        return replace(self, id=request_id, cached=cached)
+
+
+def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
+    """Build a :class:`ServeRequest` from one decoded JSONL object."""
+    if not isinstance(payload, Mapping):
+        raise ServeError(f"request must be a JSON object, got {type(payload).__name__}")
+    known = {"id", "op", "kind", "kernel", "width", "operands", "backend",
+             "params", "overrides", "deadline_s"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ServeError(f"unknown request fields {unknown}")
+    raw_operands = payload.get("operands", {})
+    if not isinstance(raw_operands, Mapping):
+        raise ServeError("operands must map names to integer word lists")
+    operands: Dict[str, Tuple[int, ...]] = {}
+    for name, values in raw_operands.items():
+        if not isinstance(values, Sequence) or isinstance(values, (str, bytes)):
+            raise ServeError(f"operand {name!r} must be a list of integers")
+        operands[str(name)] = tuple(int(v) for v in values)
+    deadline = payload.get("deadline_s")
+    return ServeRequest(
+        id=str(payload.get("id", "")),
+        kind=str(payload.get("op", payload.get("kind", "kernel"))),
+        kernel=str(payload.get("kernel", "")),
+        width=int(payload.get("width", 32)),
+        operands=operands,
+        backend=str(payload.get("backend", "functional")),
+        params=dict(payload.get("params", {})),
+        overrides=dict(payload.get("overrides", {})),
+        deadline_s=None if deadline is None else float(deadline),
+    )
+
+
+def result_to_dict(result: ServeResult) -> Dict[str, Any]:
+    """Flatten a :class:`ServeResult` for the JSONL wire format."""
+    out: Dict[str, Any] = {
+        "id": result.id,
+        "status": "ok",
+        "op": result.kind,
+        "kernel": result.kernel,
+        "backend": result.backend,
+        "words": result.words,
+        "energy_j": result.energy,
+        "latency_s": result.latency,
+        "spec_digest": result.spec_digest[:12],
+        "batch_words": result.batch_words,
+        "batch_requests": result.batch_requests,
+        "cached": result.cached,
+    }
+    if result.outputs:
+        out["outputs"] = {k: list(v) for k, v in result.outputs.items()}
+    if result.metrics:
+        out["metrics"] = dict(result.metrics)
+    return out

@@ -1,0 +1,564 @@
+"""The asyncio batching job server.
+
+Dataflow (DESIGN.md section 8)::
+
+    submit() ──▶ digest cache ──▶ bounded queue ──▶ batcher ──▶ worker pool
+                    │  hit               │ full         │ window      │
+                    ▼                    ▼              ▼             ▼
+                 cached result    ServerOverloaded   coalesce     engine batch
+                                                     by key     ──▶ split ──▶ futures
+
+* **Backpressure** — the request queue is bounded (``queue_limit``);
+  a full queue rejects the submission with
+  :class:`~repro.errors.ServerOverloaded` *before* accepting it, so an
+  overload burst never corrupts or delays already-accepted work.
+* **Dynamic batching** — the batcher takes the first queued request,
+  then keeps collecting until ``max_batch_size`` requests or
+  ``max_wait_us`` microseconds, whichever first; the window's requests
+  are grouped by :meth:`~repro.serve.request.ServeRequest.batch_key`
+  and each group coalesces into one engine execution
+  (:func:`~repro.engine.coalesce_operand_batches` ➜
+  :func:`~repro.engine.run_kernel` ➜ :meth:`~repro.engine.BatchResult.split`).
+* **Deadlines** — each request may carry ``deadline_s``; expiry
+  cancels the submitter's wait with
+  :class:`~repro.errors.DeadlineExceeded` and drops the request from
+  any batch it has not yet joined.
+* **Retries** — transient executor failures (default:
+  :class:`~repro.errors.TransientExecutorError`) retry with exponential
+  backoff up to ``retries`` times; exhaustion surfaces the *original*
+  executor error to every coalesced submitter.
+* **Result cache** — completed results are kept in a digest-keyed LRU;
+  repeat submissions return immediately (``cached=True``).
+* **Drain** — :meth:`KernelServer.drain` stops intake, lets every
+  queued and in-flight request finish, then shuts the pool down;
+  ``async with KernelServer(...)`` drains on exit.
+
+Telemetry: ``serve_requests_total{status=}`` (ok / cached / rejected /
+deadline / error), ``serve_batch_size`` + ``serve_batch_words``
+histograms, ``serve_queue_depth`` gauge, ``serve_retries_total``
+counter, and a ``serve/<kernel>`` span per executed batch carrying the
+simulated energy/latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    Union,
+)
+
+from ..engine import (
+    BatchResult,
+    coalesce_operand_batches,
+    resolve_kernel,
+    run_kernel,
+)
+from ..errors import (
+    DeadlineExceeded,
+    ServeError,
+    ServerOverloaded,
+    TransientExecutorError,
+)
+from ..obs.registry import get_registry
+from ..obs.tracing import get_tracer
+from ..spec import TABLE1, TechSpec
+from .request import ServeRequest, ServeResult
+
+__all__ = ["KernelServer", "RunBatchFn"]
+
+#: Injectable batch executor: ``(request, operands, spec) -> BatchResult``.
+#: *request* is the group's representative; *operands* the coalesced
+#: operand mapping (``None`` for evaluate / analytical groups).
+RunBatchFn = Callable[
+    [ServeRequest, Optional[Mapping[str, Sequence[int]]], TechSpec],
+    BatchResult,
+]
+
+_REGISTRY = get_registry()
+_REQUESTS_FAMILY = _REGISTRY.counter(
+    "serve_requests_total", "serving requests, by terminal status")
+_REQUESTS = {
+    status: _REQUESTS_FAMILY.labels(status=status)
+    for status in ("ok", "cached", "rejected", "deadline", "error")
+}
+_BATCH_SIZE = _REGISTRY.histogram(
+    "serve_batch_size", "requests coalesced per executed batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256))
+_BATCH_WORDS = _REGISTRY.histogram(
+    "serve_batch_words", "operand words per executed batch",
+    buckets=(1, 4, 16, 64, 256, 1024, 4096, 16384))
+_QUEUE_DEPTH = _REGISTRY.gauge(
+    "serve_queue_depth", "requests waiting in the server queue")
+_RETRIES = _REGISTRY.counter(
+    "serve_retries_total", "transient executor failures retried")
+
+
+@dataclass
+class _Pending:
+    """One accepted request waiting for its batch to complete."""
+
+    request: ServeRequest
+    spec: TechSpec
+    future: "asyncio.Future[ServeResult]"
+    expires_at: Optional[float] = None
+    cancelled: bool = False
+
+
+class _Stop:
+    """Queue sentinel that ends the batcher after a drain."""
+
+
+_STOP = _Stop()
+
+
+def _default_run_batch(
+    request: ServeRequest,
+    operands: Optional[Mapping[str, Sequence[int]]],
+    spec: TechSpec,
+) -> BatchResult:
+    """The production executor: resolve + run the engine kernel."""
+    kernel = resolve_kernel(request.kernel, request.width)
+    if request.backend == "analytical":
+        words = request.words if operands is None else None
+        return run_kernel(kernel, operands or None, backend="analytical",
+                          words=words, spec=spec)
+    return run_kernel(kernel, operands or {}, backend=request.backend,
+                      spec=spec)
+
+
+def _run_evaluate(request: ServeRequest, spec: TechSpec) -> Dict[str, float]:
+    """Execute one Table 2 evaluation under *spec* (pool thread)."""
+    from ..core.evaluate import table2
+
+    packing = str(request.params.get("dna_packing", "paper"))
+    result = table2(dna_packing=packing, spec=spec)
+    metrics: Dict[str, float] = {}
+    for (application, architecture), metric_set in result.metrics.items():
+        for name, value in metric_set.as_dict().items():
+            metrics[f"{application}.{architecture}.{name}"] = value
+    for application, factors in result.improvements.items():
+        metrics[f"{application}.improvement.energy_delay"] = factors.energy_delay
+        metrics[f"{application}.improvement.computing_efficiency"] = (
+            factors.computing_efficiency)
+    return metrics
+
+
+class KernelServer:
+    """Asyncio front door for kernel execution and evaluation requests.
+
+    See the module docstring for the dataflow.  All methods must be
+    called from one running event loop; the heavy lifting happens on a
+    ``workers``-sized thread pool, with at most ``workers`` batches in
+    flight.
+
+    Parameters mirror the serving knobs: ``max_batch_size`` /
+    ``max_wait_us`` (the batching window), ``queue_limit``
+    (backpressure bound), ``retries`` / ``backoff_s`` / ``transient``
+    (retry policy), ``cache_capacity`` (digest result cache),
+    ``spec`` (base :class:`~repro.spec.TechSpec`; per-request
+    ``overrides`` derive from it), and ``run_batch`` (injectable
+    executor, for tests and alternative engines).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int = 64,
+        max_wait_us: float = 500.0,
+        queue_limit: int = 1024,
+        workers: int = 4,
+        retries: int = 2,
+        backoff_s: float = 0.005,
+        cache_capacity: int = 1024,
+        spec: TechSpec = TABLE1,
+        run_batch: Optional[RunBatchFn] = None,
+        transient: Tuple[Type[BaseException], ...] = (TransientExecutorError,),
+    ) -> None:
+        if max_batch_size < 1:
+            raise ServeError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_us < 0:
+            raise ServeError(f"max_wait_us must be >= 0, got {max_wait_us}")
+        if queue_limit < 1:
+            raise ServeError(f"queue_limit must be >= 1, got {queue_limit}")
+        if workers < 1:
+            raise ServeError(f"workers must be >= 1, got {workers}")
+        if retries < 0:
+            raise ServeError(f"retries must be >= 0, got {retries}")
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_us = float(max_wait_us)
+        self.queue_limit = int(queue_limit)
+        self.workers = int(workers)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.cache_capacity = int(cache_capacity)
+        self.spec = spec
+        self.transient = transient
+        self._run_batch: RunBatchFn = run_batch or _default_run_batch
+
+        # The asyncio primitives are created lazily inside the running
+        # loop (_ensure_started): on Python 3.9 constructing them here
+        # would bind whatever loop get_event_loop() returns at import
+        # time, breaking later use under asyncio.run().
+        self._queue: Optional["asyncio.Queue[Union[_Pending, _Stop]]"] = None
+        self._batcher_task: Optional["asyncio.Task[None]"] = None
+        self._inflight: "set[asyncio.Task[None]]" = set()
+        self._sem: Optional[asyncio.Semaphore] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._draining = False
+        self._closed = False
+        self._cache: "OrderedDict[str, ServeResult]" = OrderedDict()
+        self._spec_cache: Dict[str, TechSpec] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def __aenter__(self) -> "KernelServer":
+        self._ensure_started()
+        return self
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.drain()
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise ServeError("server is closed")
+        if self._batcher_task is None or self._batcher_task.done():
+            if self._draining:
+                raise ServeError("server is draining; not accepting requests")
+            if self._queue is None:
+                self._queue = asyncio.Queue()
+            if self._sem is None:
+                self._sem = asyncio.Semaphore(self.workers)
+            self._pool = self._pool or ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-serve")
+            self._batcher_task = asyncio.get_running_loop().create_task(
+                self._batch_loop(), name="repro-serve-batcher")
+
+    async def drain(self) -> None:
+        """Stop intake, finish all accepted work, release the pool."""
+        if self._closed:
+            return
+        self._draining = True
+        if self._batcher_task is not None:
+            assert self._queue is not None
+            self._queue.put_nowait(_STOP)
+            await self._batcher_task
+        while self._inflight:
+            await asyncio.gather(*tuple(self._inflight),
+                                 return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._batcher_task = None
+        self._closed = True
+        _QUEUE_DEPTH.set(0)
+
+    # -- client API ---------------------------------------------------------
+
+    async def submit(self, request: ServeRequest) -> ServeResult:
+        """Serve one request; raises the typed serve errors on failure.
+
+        Cache hits return immediately; otherwise the request is queued
+        (or rejected with :class:`~repro.errors.ServerOverloaded` when
+        the queue is full) and awaited until its batch completes or its
+        deadline expires (:class:`~repro.errors.DeadlineExceeded`).
+        """
+        if self._draining or self._closed:
+            raise ServeError("server is draining; not accepting requests")
+        self._ensure_started()
+        assert self._queue is not None
+        queue = self._queue
+
+        cached = self._cache_get(request.digest)
+        if cached is not None:
+            _REQUESTS["cached"].inc()
+            return cached.for_request(request.id, cached=True)
+
+        if queue.qsize() >= self.queue_limit:
+            _REQUESTS["rejected"].inc()
+            raise ServerOverloaded(
+                f"request queue full ({self.queue_limit} pending); retry later"
+            )
+
+        loop = asyncio.get_running_loop()
+        pending = _Pending(
+            request=request,
+            spec=self._derive_spec(request.overrides),
+            future=loop.create_future(),
+            expires_at=(None if request.deadline_s is None
+                        else loop.time() + request.deadline_s),
+        )
+        queue.put_nowait(pending)
+        _QUEUE_DEPTH.set(queue.qsize())
+        if request.deadline_s is None:
+            return await pending.future
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(pending.future), request.deadline_s)
+        except asyncio.TimeoutError:
+            pending.cancelled = True
+            pending.future.cancel()
+            _REQUESTS["deadline"].inc()
+            raise DeadlineExceeded(
+                f"request {request.id or request.digest[:12]} missed its "
+                f"{request.deadline_s}s deadline"
+            ) from None
+
+    async def submit_many(
+        self,
+        requests: Sequence[ServeRequest],
+        *,
+        return_exceptions: bool = False,
+    ) -> List[Union[ServeResult, BaseException]]:
+        """Submit a request mix concurrently, preserving order.
+
+        With ``return_exceptions`` each failed slot holds its typed
+        error instead of aborting the gather — the bulk-client idiom.
+        """
+        return await asyncio.gather(
+            *(self.submit(r) for r in requests),
+            return_exceptions=return_exceptions,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _derive_spec(self, overrides: Mapping[str, Any]) -> TechSpec:
+        if not overrides:
+            return self.spec
+        key = json.dumps(
+            {k: overrides[k] for k in sorted(overrides)},
+            sort_keys=True, default=str)
+        spec = self._spec_cache.get(key)
+        if spec is None:
+            spec = self.spec.derive(overrides)
+            if len(self._spec_cache) >= 256:
+                self._spec_cache.pop(next(iter(self._spec_cache)))
+            self._spec_cache[key] = spec
+        return spec
+
+    def _cache_get(self, digest: str) -> Optional[ServeResult]:
+        result = self._cache.get(digest)
+        if result is not None:
+            self._cache.move_to_end(digest)
+        return result
+
+    def _cache_put(self, digest: str, result: ServeResult) -> None:
+        if self.cache_capacity < 1:
+            return
+        self._cache[digest] = result
+        self._cache.move_to_end(digest)
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+
+    async def _batch_loop(self) -> None:
+        """Collect batching windows forever (until the drain sentinel)."""
+        loop = asyncio.get_running_loop()
+        assert self._queue is not None
+        queue = self._queue
+        stopping = False
+        while not stopping:
+            first = await queue.get()
+            if isinstance(first, _Stop):
+                break
+            batch: List[_Pending] = [first]
+            window_end = loop.time() + self.max_wait_us * 1e-6
+            while len(batch) < self.max_batch_size:
+                # Drain whatever is already queued without touching the
+                # event loop — one wait_for per *item* would burn the
+                # whole window on task scheduling during bursts.
+                try:
+                    item: Union[_Pending, _Stop] = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    remaining = window_end - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        item = await asyncio.wait_for(queue.get(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                if isinstance(item, _Stop):
+                    stopping = True
+                    break
+                batch.append(item)
+            _QUEUE_DEPTH.set(queue.qsize())
+            for group in self._group(batch):
+                task = loop.create_task(self._run_group(group))
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+
+    @staticmethod
+    def _group(batch: Sequence[_Pending]) -> List[List[_Pending]]:
+        groups: "OrderedDict[Tuple[Any, ...], List[_Pending]]" = OrderedDict()
+        for pending in batch:
+            key = pending.request.batch_key(pending.spec.digest)
+            groups.setdefault(key, []).append(pending)
+        return list(groups.values())
+
+    def _expire(self, members: Sequence[_Pending]) -> List[_Pending]:
+        """Drop cancelled/deadline-expired members, failing their futures."""
+        now = asyncio.get_running_loop().time()
+        live: List[_Pending] = []
+        for pending in members:
+            expired = (pending.expires_at is not None
+                       and now >= pending.expires_at)
+            if pending.cancelled or pending.future.done():
+                continue
+            if expired:
+                pending.cancelled = True
+                _REQUESTS["deadline"].inc()
+                pending.future.set_exception(DeadlineExceeded(
+                    f"request {pending.request.id or '?'} expired "
+                    "before its batch ran"))
+                continue
+            live.append(pending)
+        return live
+
+    async def _execute_with_retry(
+        self, fn: Callable[[], Any], kernel_name: str
+    ) -> Any:
+        """Run *fn* on the pool; retry transient failures with backoff."""
+        loop = asyncio.get_running_loop()
+        assert self._pool is not None
+        original: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            try:
+                return await loop.run_in_executor(self._pool, fn)
+            except self.transient as exc:
+                if original is None:
+                    original = exc
+                if attempt >= self.retries:
+                    raise original
+                _RETRIES.inc()
+                await asyncio.sleep(self.backoff_s * (2 ** attempt))
+        raise ServeError(f"unreachable retry state for {kernel_name}")
+
+    async def _run_group(self, members: Sequence[_Pending]) -> None:
+        """Coalesce, execute (with retries), split, respond, cache."""
+        assert self._sem is not None
+        async with self._sem:
+            live = self._expire(members)
+            if not live:
+                return
+            representative = live[0]
+            request = representative.request
+            spec = representative.spec
+            name = request.kernel or request.kind
+            _BATCH_SIZE.observe(len(live))
+            try:
+                if request.kind == "evaluate":
+                    await self._run_evaluate_group(live)
+                    return
+                merged: Optional[Dict[str, Any]] = None
+                sizes = [p.request.words for p in live]
+                if request.operands:
+                    merged_map, sizes = coalesce_operand_batches(
+                        [dict(p.request.operands) for p in live])
+                    merged = dict(merged_map)
+                total_words = sum(sizes)
+                _BATCH_WORDS.observe(total_words)
+                # The span is opened *after* the awaited execution and
+                # backdated: concurrent groups interleave on the event
+                # loop, so holding it open across the await would close
+                # spans out of LIFO order.
+                started = time.perf_counter()
+                batch = await self._execute_with_retry(
+                    lambda: self._run_batch(request, merged, spec), name)
+                with get_tracer().span(
+                    f"serve/{name}", requests=len(live), words=total_words,
+                    backend=request.backend, spec=spec.short_digest,
+                ) as span:
+                    span.backdate(started)
+                    span.add_sim(energy=batch.energy, latency=batch.latency,
+                                 steps=batch.steps_per_word * batch.words)
+                self._respond_kernel(live, batch, sizes, total_words)
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - fanned out to futures
+                for pending in live:
+                    if not pending.future.done():
+                        _REQUESTS["error"].inc()
+                        pending.future.set_exception(exc)
+
+    async def _run_evaluate_group(self, live: Sequence[_Pending]) -> None:
+        representative = live[0]
+        request, spec = representative.request, representative.spec
+        started = time.perf_counter()
+        metrics = await self._execute_with_retry(
+            lambda: _run_evaluate(request, spec), request.kind)
+        with get_tracer().span(
+            f"serve/{request.kind}", requests=len(live),
+            spec=spec.short_digest,
+        ) as span:
+            span.backdate(started)
+        for pending in live:
+            result = ServeResult(
+                id=pending.request.id,
+                kind="evaluate",
+                kernel="table2",
+                backend="analytical",
+                words=1,
+                metrics=dict(metrics),
+                spec_digest=spec.digest,
+                batch_words=len(live),
+                batch_requests=len(live),
+                digest=pending.request.digest,
+            )
+            self._finish(pending, result)
+
+    def _respond_kernel(
+        self,
+        live: Sequence[_Pending],
+        batch: BatchResult,
+        sizes: Sequence[int],
+        total_words: int,
+    ) -> None:
+        if not live[0].request.operands:
+            # Operand-less (analytical) members of one group are
+            # content-identical by construction: one execution serves all.
+            parts = [batch] * len(live)
+        elif len(live) > 1 or batch.words != sizes[0]:
+            parts = batch.split(sizes)
+        else:
+            parts = [batch]
+        for pending, part in zip(live, parts):
+            outputs: Dict[str, Tuple[int, ...]] = {}
+            if part.outputs is not None:
+                outputs = {
+                    group: tuple(int(w) for w in part.word(group))
+                    for group in part.word_outputs
+                }
+            result = ServeResult(
+                id=pending.request.id,
+                kind=pending.request.kind,
+                kernel=batch.kernel,
+                backend=batch.backend,
+                words=part.words,
+                outputs=outputs,
+                energy=part.energy,
+                latency=part.latency,
+                steps_per_word=part.steps_per_word,
+                spec_digest=pending.spec.digest,
+                batch_words=total_words,
+                batch_requests=len(live),
+                digest=pending.request.digest,
+            )
+            self._finish(pending, result)
+
+    def _finish(self, pending: _Pending, result: ServeResult) -> None:
+        self._cache_put(pending.request.digest, result)
+        if not pending.future.done():
+            _REQUESTS["ok"].inc()
+            pending.future.set_result(result)

@@ -325,10 +325,19 @@ class TechSpec:
 
     @property
     def digest(self) -> str:
-        """SHA-256 over the canonical JSON form — the spec's identity."""
-        canonical = json.dumps(self.to_dict(), sort_keys=True,
-                               separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        """SHA-256 over the canonical JSON form — the spec's identity.
+
+        Memoised per instance (the spec is frozen, so the canonical form
+        cannot change): hot paths like the serving layer's batch keys
+        read it per request.
+        """
+        cached = self.__dict__.get("_digest_memo")
+        if cached is None:
+            canonical = json.dumps(self.to_dict(), sort_keys=True,
+                                   separators=(",", ":"))
+            cached = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_digest_memo", cached)
+        return cached
 
     @property
     def short_digest(self) -> str:

@@ -1,0 +1,204 @@
+"""The stable facade contract (`repro.api`) and the deprecation policy.
+
+``repro.api`` is the one import downstream code is told to rely on, so
+its surface is pinned here: ``__all__`` and every signature are
+snapshotted literally — any drift fails this file and must be a
+deliberate, reviewed change.  The second half pins the PR 4 legacy
+constant aliases: they still resolve (module ``__getattr__``) but emit
+exactly one DeprecationWarning naming the replacement.
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+
+import pytest
+
+from repro import _compat, api
+
+# The pinned facade: name -> ordered {parameter: default} snapshot.
+# inspect.Parameter.empty (no default) is spelled as the string "<required>".
+EXPECTED_SIGNATURES = {
+    "evaluate": {
+        "application": "'dna'",
+        "dna_packing": "'paper'",
+        "spec": "None",
+        "overrides": "None",
+    },
+    "run_kernel": {
+        "kernel": "<required>",
+        "width": "32",
+        "operands": "None",
+        "backend": "'functional'",
+        "words": "None",
+        "spec": "None",
+        "overrides": "None",
+    },
+    "serve": {
+        "input": "None",
+        "output": "None",
+        "max_batch_size": "64",
+        "max_wait_us": "500.0",
+        "queue_limit": "1024",
+        "workers": "4",
+        "retries": "2",
+        "cache_capacity": "1024",
+        "spec": "None",
+        "overrides": "None",
+    },
+    "solve_crossbar": {
+        "conductances": "<required>",
+        "row_drive": "<required>",
+        "col_drive": "<required>",
+        "wire_resistance": "None",
+        "driver_resistance": "0.0",
+        "backend": "'auto'",
+    },
+    "sweep": {
+        "grid": "None",
+        "workers": "None",
+        "serial": "False",
+        "keep_ledgers": "True",
+        "spec": "None",
+        "overrides": "None",
+    },
+    "table2": {
+        "dna_packing": "'paper'",
+        "spec": "None",
+        "overrides": "None",
+    },
+}
+
+
+class TestFacadeSurface:
+    def test_all_is_pinned_and_sorted(self):
+        assert api.__all__ == sorted(EXPECTED_SIGNATURES)
+
+    def test_every_name_resolves_to_a_callable(self):
+        for name in api.__all__:
+            assert callable(getattr(api, name)), name
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SIGNATURES))
+    def test_signature_snapshot(self, name):
+        signature = inspect.signature(getattr(api, name))
+        snapshot = {
+            parameter.name: ("<required>"
+                             if parameter.default is inspect.Parameter.empty
+                             else repr(parameter.default))
+            for parameter in signature.parameters.values()
+        }
+        assert snapshot == EXPECTED_SIGNATURES[name], (
+            f"api.{name} signature drifted — if intentional, update the "
+            "snapshot here and note it in the changelog")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_SIGNATURES))
+    def test_every_parameter_is_keyword_only(self, name):
+        signature = inspect.signature(getattr(api, name))
+        for parameter in signature.parameters.values():
+            assert parameter.kind is inspect.Parameter.KEYWORD_ONLY, (
+                f"api.{name}({parameter.name}) must be keyword-only: the "
+                "facade's stability contract forbids positional coupling")
+
+    def test_facade_answers_match_core(self):
+        from repro.core import table2 as core_table2
+
+        facade = api.table2()
+        core = core_table2()
+        assert facade.metrics == core.metrics
+        assert facade.spec_digest == core.spec_digest
+
+    def test_evaluate_flattens_both_architectures(self):
+        metrics = api.evaluate(application="math")
+        assert set(metrics) == {
+            "conventional.energy_delay_per_op",
+            "conventional.computing_efficiency",
+            "conventional.performance_per_area",
+            "cim.energy_delay_per_op",
+            "cim.computing_efficiency",
+            "cim.performance_per_area",
+            "improvement.energy_delay",
+            "improvement.computing_efficiency",
+        }
+        with pytest.raises(Exception):
+            api.evaluate(application="weather")
+
+    def test_run_kernel_by_name(self):
+        result = api.run_kernel(kernel="adder", width=8,
+                                operands={"a": [1, 2], "b": [3, 4]})
+        assert list(result.word("sum")) == [4, 6]
+
+    def test_overrides_derive_the_spec(self):
+        from repro.spec import TABLE1
+
+        hot = api.table2(
+            overrides={"memristor.write_energy":
+                       2 * TABLE1.memristor.write_energy})
+        assert hot.spec_digest != api.table2().spec_digest
+
+
+# name -> (module, replacement fragment) for every PR 4 legacy alias.
+DEPRECATED_ALIASES = {
+    "repro.core.presets": [
+        ("DNA_CLUSTERS", "TABLE1.crossbar.dna_clusters"),
+        ("UNITS_PER_CLUSTER", "TABLE1.crossbar.units_per_cluster"),
+        ("DNA_CROSSBAR_DEVICES", "TABLE1.dna_crossbar_devices"),
+        ("DNA_PAPER_IMPLIED_UNITS", "TABLE1.dna_units"),
+        ("MATH_ADDITIONS", "TABLE1.workloads.math_additions"),
+        ("MATH_CLUSTERS", "TABLE1.math_clusters"),
+        ("MATH_STORAGE_DEVICES", "TABLE1.math_storage_devices"),
+    ],
+    "repro.core.classification": [
+        ("WIRE_ENERGY_PER_BIT_M", "TABLE1.interconnect"),
+        ("WIRE_DELAY_PER_M", "TABLE1.interconnect"),
+        ("COMPUTE_ENERGY", "TABLE1.interconnect"),
+        ("COMPUTE_DELAY", "TABLE1.interconnect"),
+    ],
+    "repro.core.roofline": [
+        ("WORD_BYTES", "TABLE1.interconnect"),
+    ],
+}
+
+
+def _flat_aliases():
+    return [(module, name, fragment)
+            for module, entries in DEPRECATED_ALIASES.items()
+            for name, fragment in entries]
+
+
+class TestDeprecationPolicy:
+    @pytest.mark.parametrize("module_name,name,fragment", _flat_aliases())
+    def test_alias_warns_once_with_replacement(self, module_name, name,
+                                               fragment):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        # The warning fires once per process; reset so this test is
+        # order-independent within the suite.
+        _compat._WARNED.discard(f"{module_name}.{name}")
+        with pytest.warns(DeprecationWarning, match=name) as captured:
+            value = getattr(module, name)
+        assert value is not None
+        assert fragment in str(captured[0].message)
+        assert "instead" in str(captured[0].message)
+        # Second access: same value, no second warning.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert getattr(module, name) == value
+
+    def test_alias_values_match_spec(self):
+        from repro.core import classification, presets, roofline
+        from repro.spec import TABLE1
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            assert presets.DNA_CLUSTERS == TABLE1.crossbar.dna_clusters
+            assert (classification.WIRE_ENERGY_PER_BIT_M
+                    == TABLE1.interconnect.wire_energy_per_bit_m)
+            assert roofline.WORD_BYTES == TABLE1.interconnect.word_bytes
+
+    def test_unknown_attribute_still_raises(self):
+        from repro.core import presets
+
+        with pytest.raises(AttributeError):
+            presets.NOT_A_THING

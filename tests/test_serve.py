@@ -1,0 +1,419 @@
+"""The async batched serving layer (ISSUE 5 tentpole).
+
+Covers the serving contract end to end: request/digest semantics,
+dynamic batching with coalescing, the digest result cache, and the four
+edge cases the issue calls out — deadline expiry mid-batch, queue-full
+rejection that loses no accepted work, retry exhaustion surfacing the
+*original* executor error, and drain with requests still in flight.
+The hypothesis property at the end is the acceptance criterion: a
+batched run is bit-identical to serving each request alone.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import resolve_kernel, run_kernel
+from repro.errors import (
+    DeadlineExceeded,
+    ServeError,
+    ServerOverloaded,
+    TransientExecutorError,
+)
+from repro.serve import (
+    KernelServer,
+    ServeRequest,
+    request_from_dict,
+    result_to_dict,
+    serve_jsonl,
+)
+from repro.spec import TABLE1
+
+
+def adder_request(request_id, a, b, *, width=8, **kwargs):
+    return ServeRequest(
+        id=request_id,
+        kernel="adder",
+        width=width,
+        operands={"a": tuple(a), "b": tuple(b)},
+        **kwargs,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRequestProtocol:
+    def test_digest_ignores_id_and_deadline(self):
+        base = adder_request("x", [1], [2])
+        twin = adder_request("y", [1], [2], deadline_s=5.0)
+        assert base.digest == twin.digest
+
+    def test_digest_covers_semantic_fields(self):
+        base = adder_request("x", [1], [2])
+        assert base.digest != adder_request("x", [1], [3]).digest
+        assert base.digest != adder_request("x", [1], [2], width=16).digest
+        assert (base.digest !=
+                adder_request("x", [1], [2],
+                              overrides={"memristor.write_energy": 2e-15}).digest)
+
+    def test_batch_key_groups_compatible_requests(self):
+        key = adder_request("x", [1], [2]).batch_key("spec")
+        assert adder_request("y", [7, 8], [9, 10]).batch_key("spec") == key
+        assert adder_request("y", [1], [2], width=16).batch_key("spec") != key
+        assert adder_request("y", [1], [2]).batch_key("other") != key
+
+    def test_validation_rejects_bad_requests(self):
+        with pytest.raises(ServeError):
+            ServeRequest(id="x", kind="nope")
+        with pytest.raises(ServeError):
+            ServeRequest(id="x", kernel="adder")  # functional, no operands
+        with pytest.raises(ServeError):
+            adder_request("x", [1], [2], deadline_s=0.0)
+        with pytest.raises(ServeError):
+            adder_request("x", [1], [2], backend="quantum")
+
+    def test_request_from_dict_round_trip(self):
+        request = request_from_dict({
+            "id": "r1", "op": "kernel", "kernel": "adder", "width": 8,
+            "operands": {"a": [1, 2], "b": [3, 4]},
+        })
+        assert request.operands == {"a": (1, 2), "b": (3, 4)}
+        with pytest.raises(ServeError):
+            request_from_dict({"id": "r1", "bogus": 1})
+        with pytest.raises(ServeError):
+            request_from_dict({"id": "r1", "operands": {"a": "12"}})
+
+    def test_result_to_dict_shape(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                return await server.submit(adder_request("r", [1], [2]))
+
+        payload = result_to_dict(run(scenario()))
+        assert payload["status"] == "ok"
+        assert payload["id"] == "r"
+        assert payload["outputs"]["sum"] == [3]
+        json.dumps(payload)  # wire format must be JSON-serialisable
+
+
+class TestBatchingAndCache:
+    def test_compatible_requests_coalesce_into_one_batch(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=50_000) as server:
+                return await server.submit_many([
+                    adder_request(f"r{i}", [i], [10 + i]) for i in range(6)
+                ])
+
+        results = run(scenario())
+        assert [r.outputs["sum"] for r in results] == [
+            (10 + 2 * i,) for i in range(6)]
+        # All six rode one coalesced engine execution.
+        assert {r.batch_requests for r in results} == {6}
+        assert {r.batch_words for r in results} == {6}
+
+    def test_incompatible_requests_split_groups(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=50_000) as server:
+                return await server.submit_many([
+                    adder_request("a", [1], [2], width=8),
+                    adder_request("b", [3], [4], width=16),
+                ])
+
+        by_id = {r.id: r for r in run(scenario())}
+        assert by_id["a"].batch_requests == 1
+        assert by_id["b"].batch_requests == 1
+        assert by_id["a"].outputs["sum"] == (3,)
+        assert by_id["b"].outputs["sum"] == (7,)
+
+    def test_repeat_submission_hits_result_cache(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                first = await server.submit(adder_request("one", [5], [6]))
+                second = await server.submit(adder_request("two", [5], [6]))
+                return first, second
+
+        first, second = run(scenario())
+        assert not first.cached
+        assert second.cached
+        assert second.id == "two"
+        assert second.outputs == first.outputs
+
+    def test_cache_capacity_evicts_lru(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0, cache_capacity=1) as server:
+                await server.submit(adder_request("a", [1], [1]))
+                await server.submit(adder_request("b", [2], [2]))  # evicts a
+                return await server.submit(adder_request("a2", [1], [1]))
+
+        assert not run(scenario()).cached
+
+    def test_per_request_overrides_derive_spec(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                base = await server.submit(adder_request("b", [1], [2]))
+                hot = await server.submit(adder_request(
+                    "h", [1], [2],
+                    overrides={"memristor.write_energy": 2 * TABLE1.memristor.write_energy}))
+                return base, hot
+
+        base, hot = run(scenario())
+        assert base.outputs == hot.outputs
+        assert base.spec_digest != hot.spec_digest
+        assert hot.energy > base.energy
+
+    def test_evaluate_requests_return_table2_metrics(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                return await server.submit(ServeRequest(id="e", kind="evaluate"))
+
+        result = run(scenario())
+        assert result.kind == "evaluate"
+        assert result.metrics["dna.improvement.energy_delay"] == pytest.approx(
+            2880876.557, rel=1e-6)
+        assert "math.cim.computing_efficiency" in result.metrics
+
+
+class TestQueueFullRejection:
+    def test_overload_burst_rejects_without_losing_accepted_work(self):
+        async def scenario():
+            # Submissions enqueue synchronously before the batcher task
+            # gets scheduled, so a burst larger than queue_limit
+            # deterministically trips the backpressure bound.
+            async with KernelServer(queue_limit=4, max_wait_us=0) as server:
+                return await server.submit_many(
+                    [adder_request(f"r{i}", [i], [i]) for i in range(10)],
+                    return_exceptions=True,
+                )
+
+        outcomes = run(scenario())
+        rejected = [r for r in outcomes if isinstance(r, ServerOverloaded)]
+        served = [r for r in outcomes if not isinstance(r, BaseException)]
+        assert rejected, "burst beyond queue_limit must trip ServerOverloaded"
+        assert len(served) + len(rejected) == 10
+        # Every *accepted* request completed with the right answer.
+        for result in served:
+            i = int(result.id[1:])
+            assert result.outputs["sum"] == (2 * i,)
+
+    def test_queue_limit_validation(self):
+        with pytest.raises(ServeError):
+            KernelServer(queue_limit=0)
+        with pytest.raises(ServeError):
+            KernelServer(max_batch_size=0)
+        with pytest.raises(ServeError):
+            KernelServer(retries=-1)
+
+
+class TestDeadlines:
+    def test_deadline_expiry_mid_batch(self):
+        """A request whose deadline lapses while a slow batch holds the
+        only worker fails with DeadlineExceeded; the slow batch and the
+        server survive."""
+
+        def slow_run_batch(request, operands, spec):
+            time.sleep(0.15)
+            return run_kernel(resolve_kernel(request.kernel, request.width),
+                              operands or {}, spec=spec)
+
+        async def scenario():
+            async with KernelServer(
+                workers=1, max_batch_size=1, max_wait_us=0,
+                run_batch=slow_run_batch,
+            ) as server:
+                slow = asyncio.ensure_future(
+                    server.submit(adder_request("slow", [1], [2])))
+                await asyncio.sleep(0.02)  # let the slow batch occupy the pool
+                with pytest.raises(DeadlineExceeded):
+                    await server.submit(
+                        adder_request("late", [3], [4], width=16,
+                                      deadline_s=0.03))
+                return await slow
+
+        result = run(scenario())
+        assert result.outputs["sum"] == (3,)
+
+    def test_generous_deadline_still_succeeds(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                return await server.submit(
+                    adder_request("ok", [2], [3], deadline_s=30.0))
+
+        assert run(scenario()).outputs["sum"] == (5,)
+
+
+class TestRetries:
+    def test_transient_failures_retry_then_succeed(self):
+        attempts = []
+
+        def flaky(request, operands, spec):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientExecutorError(f"blip {len(attempts)}")
+            return run_kernel(resolve_kernel(request.kernel, request.width),
+                              operands or {}, spec=spec)
+
+        async def scenario():
+            async with KernelServer(
+                max_wait_us=0, retries=2, backoff_s=0.001, run_batch=flaky,
+            ) as server:
+                return await server.submit(adder_request("r", [4], [5]))
+
+        assert run(scenario()).outputs["sum"] == (9,)
+        assert len(attempts) == 3
+
+    def test_retry_exhaustion_surfaces_original_error(self):
+        attempts = []
+
+        def always_failing(request, operands, spec):
+            attempts.append(1)
+            raise TransientExecutorError(f"attempt-{len(attempts)}")
+
+        async def scenario():
+            async with KernelServer(
+                max_wait_us=0, retries=2, backoff_s=0.001,
+                run_batch=always_failing,
+            ) as server:
+                await server.submit(adder_request("r", [1], [2]))
+
+        with pytest.raises(TransientExecutorError) as excinfo:
+            run(scenario())
+        assert len(attempts) == 3  # initial try + 2 retries
+        assert str(excinfo.value) == "attempt-1"  # the original, not the last
+
+    def test_non_transient_errors_do_not_retry(self):
+        attempts = []
+
+        def broken(request, operands, spec):
+            attempts.append(1)
+            raise ValueError("not transient")
+
+        async def scenario():
+            async with KernelServer(
+                max_wait_us=0, retries=5, run_batch=broken,
+            ) as server:
+                await server.submit(adder_request("r", [1], [2]))
+
+        with pytest.raises(ValueError):
+            run(scenario())
+        assert len(attempts) == 1
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_work(self):
+        def slow_run_batch(request, operands, spec):
+            time.sleep(0.05)
+            return run_kernel(resolve_kernel(request.kernel, request.width),
+                              operands or {}, spec=spec)
+
+        async def scenario():
+            server = KernelServer(max_wait_us=50_000, workers=2,
+                                  run_batch=slow_run_batch)
+            tasks = [
+                asyncio.ensure_future(
+                    server.submit(adder_request(f"r{i}", [i], [i])))
+                for i in range(4)
+            ]
+            await asyncio.sleep(0)  # let the submissions enqueue
+            await server.drain()
+            results = await asyncio.gather(*tasks)
+            return server, results
+
+        server, results = run(scenario())
+        assert [r.outputs["sum"] for r in results] == [
+            (0,), (2,), (4,), (6,)]
+
+        async def after_close():
+            await server.submit(adder_request("late", [1], [1]))
+
+        with pytest.raises(ServeError):
+            run(after_close())
+
+    def test_context_manager_drains_on_exit(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                result = await server.submit(adder_request("r", [1], [2]))
+            assert server._closed
+            return result
+
+        assert run(scenario()).outputs["sum"] == (3,)
+
+
+class TestJsonlFrontend:
+    def test_jsonl_round_trip_with_errors(self):
+        lines = [
+            {"id": "a", "kernel": "adder", "width": 8,
+             "operands": {"a": [1, 2], "b": [3, 4]}},
+            {"id": "bad", "op": "nope"},
+            "not json at all",
+            {"id": "c", "kernel": "word-compare", "width": 8,
+             "operands": {"a": [2], "b": [2]}},
+        ]
+        text = "\n".join(
+            line if isinstance(line, str) else json.dumps(line)
+            for line in lines) + "\n"
+        out = io.StringIO()
+        stats = serve_jsonl(io.StringIO(text), out, max_wait_us=1000)
+        records = {r.get("id"): r
+                   for r in map(json.loads, out.getvalue().splitlines())}
+        assert stats.total == 4
+        assert stats.counts["ok"] == 2
+        assert stats.counts["error"] == 2
+        assert records["a"]["outputs"]["sum"] == [4, 6]
+        assert records["c"]["outputs"]["match"] == [1]
+        assert records["bad"]["status"] == "error"
+
+    def test_server_and_options_are_exclusive(self):
+        with pytest.raises(ServeError):
+            serve_jsonl(io.StringIO(""), io.StringIO(),
+                        server=KernelServer(), max_wait_us=1)
+
+
+word8 = st.integers(min_value=0, max_value=255)
+
+
+class TestBatchedEqualsSequential:
+    @given(
+        batches=st.lists(
+            st.tuples(
+                st.sampled_from(["adder", "word-compare"]),
+                st.lists(st.tuples(word8, word8), min_size=1, max_size=6),
+            ),
+            min_size=1, max_size=8,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_batched_serving_is_bit_identical_to_sequential(self, batches):
+        """The acceptance property: coalescing never changes answers."""
+        requests = [
+            ServeRequest(
+                id=f"r{i}", kernel=kernel, width=8,
+                operands={"a": tuple(a for a, _ in pairs),
+                          "b": tuple(b for _, b in pairs)},
+            )
+            for i, (kernel, pairs) in enumerate(batches)
+        ]
+
+        async def scenario():
+            async with KernelServer(max_wait_us=100_000,
+                                    cache_capacity=0) as server:
+                return await server.submit_many(requests)
+
+        served = run(scenario())
+        for request, result in zip(requests, served):
+            alone = run_kernel(
+                resolve_kernel(request.kernel, request.width),
+                {k: list(v) for k, v in request.operands.items()},
+            )
+            assert result.words == alone.words
+            for group in alone.word_outputs:
+                assert result.outputs[group] == tuple(
+                    int(w) for w in alone.word(group)), (
+                    f"{request.kernel} outputs diverged under batching")
+            assert result.energy == pytest.approx(alone.energy, rel=1e-12)
