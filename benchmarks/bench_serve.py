@@ -9,6 +9,10 @@ The ISSUE 5 acceptance gates, measured:
 * an overload burst beyond ``queue_limit`` must reject with
   ``ServerOverloaded`` while every *accepted* request still completes
   correctly, and the server keeps serving afterwards.
+
+ISSUE 6 adds the SLO gate: the p99 request wall latency under a
+full-window burst must stay inside a declared latency objective with
+the error budget unburnt, measured from the per-request flight records.
 """
 
 import asyncio
@@ -20,6 +24,8 @@ import pytest
 from repro.analysis import format_table
 from repro.engine import resolve_kernel, run_kernel
 from repro.errors import ServerOverloaded
+from repro.obs.flight import FlightRecorder
+from repro.obs.slo import SLO, SLOTracker
 from repro.serve import KernelServer, ServeRequest
 
 REQUESTS = 512
@@ -145,3 +151,42 @@ def test_bench_overload_burst_rejects_cleanly(benchmark):
         i = int(result.id[1:])
         assert result.outputs["sum"] == (2 * i,), "accepted request lost/corrupted"
     assert followup.outputs["sum"] == (42,), "server unusable after burst"
+
+
+def test_bench_slo_p99_under_burst(benchmark):
+    """SLO gate: serving the full 512-request burst must keep p99 wall
+    latency (queue wait included, measured from flight records) inside
+    the objective, with zero failed requests burning the error budget."""
+    slo = SLO(name="serve-p99", latency_target_s=1.0,
+              latency_objective=0.99, error_rate_objective=0.99)
+    requests = _requests()
+
+    def scenario():
+        recorder = FlightRecorder(capacity=REQUESTS)
+
+        async def run():
+            async with KernelServer(
+                max_batch_size=BATCH_WINDOW,
+                max_wait_us=2000.0,
+                queue_limit=REQUESTS,
+                cache_capacity=0,
+                flight=recorder,
+            ) as server:
+                return await server.submit_many(requests, return_exceptions=True)
+
+        outcomes = asyncio.run(run())
+        tracker = SLOTracker(slo)
+        for record in recorder.last():
+            tracker.record(record.wall_s,
+                           ok=record.status in ("ok", "cached"))
+        return outcomes, tracker
+
+    outcomes, tracker = benchmark(scenario)
+
+    report = tracker.report()
+    print(f"\n{tracker.describe()}")
+    assert tracker.total == REQUESTS, "a request left no flight record"
+    assert not any(isinstance(o, BaseException) for o in outcomes)
+    assert report["error_burn"] == 0.0
+    assert report["latency_quantile_s"] < slo.latency_target_s
+    assert tracker.met(), f"SLO blown: {report}"

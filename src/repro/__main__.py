@@ -12,7 +12,9 @@ code:
 * ``kernels`` — the engine's built-in compiled kernels and their costs;
 * ``obs`` — exercise the observability layer and export telemetry;
 * ``sweep`` — design-space exploration over TechSpec parameters;
-* ``serve`` — the async batched JSONL serving loop (stdin -> stdout).
+* ``serve`` — the async batched JSONL serving loop (stdin -> stdout),
+  optionally exposing live telemetry via ``--metrics-port``;
+* ``top`` — a console dashboard polling a running serve's endpoint.
 
 Every subcommand shares one argparse parent parser, so the surface is
 uniform: ``--spec-override path=value`` (repeatable; derives the
@@ -404,11 +406,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         stats = serve_jsonl(
             in_stream,
             sys.stdout,
+            metrics_port=args.metrics_port,
             max_batch_size=args.max_batch_size,
             max_wait_us=args.max_wait_us,
             queue_limit=args.queue_limit,
             workers=args.workers,
             retries=args.retries,
+            telemetry=not args.no_telemetry,
             spec=_spec_from_args(args),
         )
     finally:
@@ -416,6 +420,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             in_stream.close()
     print(stats.summary(), file=sys.stderr)
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll a serve telemetry endpoint and repaint a console dashboard."""
+    import time as _time
+
+    from .obs.httpexport import fetch_json, render_top
+
+    base = args.url.rstrip("/")
+    if "://" not in base:
+        base = f"http://{base}"
+    remaining = args.iterations
+    while True:
+        snapshot = fetch_json(f"{base}/metrics?format=json")
+        health = fetch_json(f"{base}/healthz")
+        flight = fetch_json(f"{base}/flight?last={args.flights}")
+        if args.json:
+            print(json.dumps({"health": health, "metrics": snapshot,
+                              "flight": flight["records"]}, sort_keys=True))
+        else:
+            print(render_top(snapshot, health, flight["records"]))
+        if remaining is not None:
+            remaining -= 1
+            if remaining <= 0:
+                return 0
+        _time.sleep(args.interval)
+        if not args.json:
+            print()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -526,7 +558,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default 4)")
     serve.add_argument("--retries", type=int, default=2,
                        help="transient executor failure retries (default 2)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="expose /metrics + /healthz + /flight on "
+                            "127.0.0.1:PORT while serving (0 = any free "
+                            "port; default: off)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable request-scoped tracing, flight "
+                            "records and latency quantiles")
     serve.set_defaults(handler=_cmd_serve)
+
+    top = sub.add_parser(
+        "top", parents=[common],
+        help="live console view of a serve --metrics-port endpoint")
+    top.add_argument("url", metavar="URL",
+                     help="telemetry endpoint base, e.g. 127.0.0.1:9090")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls (default 2)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="stop after N polls (default: run until ^C)")
+    top.add_argument("--flights", type=int, default=5,
+                     help="recent flight records to show (default 5)")
+    top.set_defaults(handler=_cmd_top)
     return parser
 
 

@@ -208,13 +208,17 @@ def serve(
     cache_capacity: int = 1024,
     spec: Optional[TechSpec] = None,
     overrides: Optional[Mapping[str, Any]] = None,
+    metrics_port: Optional[int] = None,
 ) -> Any:
     """Serve newline-delimited JSON requests until EOF, then drain.
 
     The scriptable face of :mod:`repro.serve`: reads one request per
     line from ``input`` (default stdin), writes one JSON result per
     line to ``output`` (default stdout) in completion order, batching
-    compatible requests into single engine executions.  Returns the
+    compatible requests into single engine executions.  With
+    ``metrics_port`` a live telemetry endpoint (``/metrics`` +
+    ``/healthz`` + ``/flight``) runs alongside for the duration
+    (``0`` = any free port).  Returns the
     :class:`~repro.serve.ServeStats` status tally.
     """
     from .serve import serve_jsonl
@@ -229,4 +233,5 @@ def serve(
         retries=retries,
         cache_capacity=cache_capacity,
         spec=_resolve_spec(spec, overrides),
+        metrics_port=metrics_port,
     )

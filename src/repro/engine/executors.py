@@ -32,13 +32,14 @@ electrically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
 from ..errors import EngineError
 from ..logic.sequencer import ImplyMachine
+from ..obs.context import current_trace
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
 from ..spec.ledger import CostLedger
@@ -475,9 +476,16 @@ def run_kernel(
         )
     _DISPATCH[backend].inc()
     _WORDS.inc(words)
-    with get_tracer().span(
-        f"engine/{kernel.name}", backend=backend, words=words
-    ) as span:
+    # Request identity, when a caller (the serve batcher) bound one into
+    # the execution context, tags the engine span so profile output can
+    # be joined back to individual serve requests.
+    span_attrs: Dict[str, Any] = {"backend": backend, "words": words}
+    trace = current_trace()
+    if trace is not None:
+        span_attrs["trace_id"] = trace.trace_id
+        if trace.request_id:
+            span_attrs["request_id"] = trace.request_id
+    with get_tracer().span(f"engine/{kernel.name}", **span_attrs) as span:
         if backend == "analytical":
             result = executor.run(kernel, words)
         else:

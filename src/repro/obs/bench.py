@@ -69,11 +69,11 @@ def git_revision(cwd: Optional[str] = None) -> Optional[str]:
 
 def metric_deltas(before: Dict[str, dict], after: Dict[str, dict]) -> Dict[str, float]:
     """Scalar registry movement between two snapshots (counters/gauges by
-    value, histograms by observation count and sum)."""
+    value, histograms and summaries by observation count and sum)."""
     deltas: Dict[str, float] = {}
     for name, entry in after.items():
         prior = before.get(name, {})
-        if entry["kind"] == "histogram":
+        if entry["kind"] in ("histogram", "summary"):
             d_count = entry["count"] - prior.get("count", 0)
             d_sum = entry["sum"] - prior.get("sum", 0.0)
             if d_count:

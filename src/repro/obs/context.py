@@ -1,0 +1,134 @@
+"""Request-scoped trace context: ids that flow with the work, not the thread.
+
+The serving layer handles many requests concurrently — across asyncio
+tasks, through the batcher, and onto pool threads — so "which request
+is this span/flight-record for?" cannot be answered from thread
+identity.  A :class:`TraceContext` (``trace_id`` + ``request_id``)
+rides a :class:`contextvars.ContextVar` instead: it follows asyncio
+tasks automatically, and explicit :func:`contextvars.copy_context`
+propagation (see ``KernelServer._execute_with_retry``) carries it onto
+worker threads, so ``engine.run_kernel`` spans executed deep inside a
+coalesced batch still tag themselves with the request identity.
+
+Batching note: one executed batch serves N requests.  The batch binds
+its *representative* request's context for the pool-side engine spans,
+while the ``serve/<kernel>`` span carries the full ``request_ids``
+list — together they link every member id to the execution.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "bind_trace",
+    "current_trace",
+    "new_request_id",
+    "new_trace_id",
+    "new_trace_context",
+    "trace_context",
+]
+
+# Ids are minted on the per-request serve path (the obs-overhead bench
+# gates it), so they come from one random per-process base plus a
+# shared counter instead of an os.urandom syscall per id: same width
+# and uniqueness, a fraction of the cost.  ``itertools.count`` is a C
+# iterator, so ``next`` on it is atomic under the GIL.  The trace id
+# keeps its random 64 bits as a precomputed hex prefix (concatenation
+# beats formatting a 128-bit int), and the request id XORs the counter
+# into the random base (bijective, so ids stay unique).
+_TRACE_PREFIX = os.urandom(8).hex()
+_REQUEST_BASE = int.from_bytes(os.urandom(8), "big")
+_IDS = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit hex trace id (W3C-traceparent sized)."""
+    return _TRACE_PREFIX + format(next(_IDS), "016x")
+
+
+def new_request_id() -> str:
+    """A fresh 64-bit hex request id."""
+    return format(_REQUEST_BASE ^ next(_IDS), "016x")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """One request identity: the trace it belongs to and its own id."""
+
+    trace_id: str
+    request_id: str = ""
+
+    def child(self, request_id: str) -> "TraceContext":
+        """The same trace carrying a different request id."""
+        return replace(self, request_id=request_id)
+
+
+def new_trace_context() -> TraceContext:
+    """A fresh root context (new trace id plus matching request id).
+
+    One counter draw covers both ids: the request id is the counter
+    part of the trace id, so a root context costs half as much to mint
+    as two independent ids — this is the serve layer's per-request
+    path.
+    """
+    suffix = format(_REQUEST_BASE ^ next(_IDS), "016x")
+    return TraceContext(
+        trace_id=_TRACE_PREFIX + suffix, request_id=suffix
+    )
+
+
+_CURRENT: "contextvars.ContextVar[Optional[TraceContext]]" = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The context bound to the current task/thread, or ``None``."""
+    return _CURRENT.get()
+
+
+def bind_trace(
+    context: Optional[TraceContext],
+) -> "contextvars.Token[Optional[TraceContext]]":
+    """Bind *context* directly; returns the token for ``_CURRENT.reset``.
+
+    Prefer the :func:`trace_context` context manager; this low-level
+    form exists for callers whose bind/unbind points cannot share one
+    ``with`` block (the serve batcher's pool-thread dispatch).
+    """
+    return _CURRENT.set(context)
+
+
+def unbind_trace(
+    token: "contextvars.Token[Optional[TraceContext]]",
+) -> None:
+    """Undo a :func:`bind_trace`."""
+    _CURRENT.reset(token)
+
+
+@contextmanager
+def trace_context(
+    trace_id: Optional[str] = None, request_id: str = ""
+) -> Iterator[TraceContext]:
+    """Bind a :class:`TraceContext` for the duration of the block.
+
+    With no *trace_id* a fresh one is generated — unless a context is
+    already bound, in which case the new context joins that trace (so
+    nested instrumented calls share one trace id).
+    """
+    if trace_id is None:
+        parent = current_trace()
+        trace_id = parent.trace_id if parent is not None else new_trace_id()
+    context = TraceContext(trace_id=trace_id, request_id=request_id)
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)

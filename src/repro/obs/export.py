@@ -10,10 +10,10 @@ from __future__ import annotations
 
 import json
 import math
-from typing import IO, Iterable, List, Optional, Union
+from typing import IO, Iterable, List, Optional, Tuple, Union
 
 from ..errors import ObservabilityError
-from .registry import Gauge, Histogram, MetricsRegistry, get_registry
+from .registry import Gauge, Histogram, MetricsRegistry, Summary, get_registry
 from .tracing import Span, Tracer, get_tracer
 
 Sink = Union[str, IO[str]]
@@ -100,6 +100,70 @@ def export_spans_jsonl(source: Union[Tracer, Iterable[Span]], sink: Sink) -> int
     return export_jsonl(span_records(source), sink)
 
 
+def metric_records(registry: Optional[MetricsRegistry] = None) -> List[dict]:
+    """Flatten the registry into one JSONL-ready record per instance.
+
+    Each record carries ``metric`` / ``kind`` / ``labels`` plus the
+    kind-specific payload from :func:`MetricsRegistry.snapshot` (value
+    for counters/gauges; count/sum/buckets for histograms;
+    count/sum/quantiles for summaries).  NaN/±inf values (possible in
+    gauges and the +inf histogram bound) are stringified so the lines
+    stay strict JSON.
+    """
+    registry = registry if registry is not None else get_registry()
+    records: List[dict] = []
+    for metric in registry:
+        for inst in metric.children() or [metric]:
+            record: dict = {
+                "metric": inst.name,
+                "kind": inst.kind,
+                "labels": dict(inst.labelvalues),
+            }
+            if inst.help:
+                record["help"] = inst.help
+            if isinstance(inst, Histogram):
+                record.update(
+                    count=inst.count,
+                    sum=inst.sum,
+                    min=inst.minimum,
+                    max=inst.maximum,
+                    buckets=[
+                        [_json_number(bound), count]
+                        for bound, count in inst.bucket_counts()
+                    ],
+                )
+            elif isinstance(inst, Summary):
+                record.update(
+                    count=inst.count,
+                    sum=inst.sum,
+                    min=inst.minimum,
+                    max=inst.maximum,
+                    quantiles={
+                        f"{q:g}": value for q, value in inst.quantiles().items()
+                    },
+                )
+            else:
+                record["value"] = _json_number(
+                    inst.value  # type: ignore[attr-defined]
+                )
+            records.append(record)
+    return records
+
+
+def _json_number(value: float) -> Union[float, str]:
+    """Pass finite floats through; stringify NaN/±inf for strict JSON."""
+    if value != value or math.isinf(value):
+        return _prom_number(value)
+    return float(value)
+
+
+def export_metrics_jsonl(
+    registry: Optional[MetricsRegistry], sink: Sink
+) -> int:
+    """Export the registry as JSON lines (one metric instance per line)."""
+    return export_jsonl(metric_records(registry), sink)
+
+
 # -- Prometheus text ----------------------------------------------------------
 
 def _prom_number(value: float) -> str:
@@ -110,8 +174,27 @@ def _prom_number(value: float) -> str:
     return repr(float(value))
 
 
-def _prom_labels(labelvalues, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labelvalues]
+def _prom_escape_label(value: str) -> str:
+    """Escape a label value per the Prometheus exposition spec:
+    backslash, double quote, and newline must be escaped inside the
+    double-quoted label value or the line is unparseable."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_escape_help(text: str) -> str:
+    """HELP text escaping: backslash and newline only (quotes are fine)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_labels(
+    labelvalues: Iterable[Tuple[str, str]], extra: str = ""
+) -> str:
+    parts = [f'{k}="{_prom_escape_label(v)}"' for k, v in labelvalues]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -123,7 +206,9 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     lines: List[str] = []
     for metric in registry:
         if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(
+                f"# HELP {metric.name} {_prom_escape_help(metric.help)}"
+            )
         prom_kind = metric.kind if metric.kind != "metric" else "untyped"
         lines.append(f"# TYPE {metric.name} {prom_kind}")
         instances = metric.children() or [metric]
@@ -132,6 +217,17 @@ def prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
                 for bound, count in inst.bucket_counts():
                     le = _prom_labels(inst.labelvalues, f'le="{_prom_number(bound)}"')
                     lines.append(f"{inst.name}_bucket{le} {count}")
+                labels = _prom_labels(inst.labelvalues)
+                lines.append(f"{inst.name}_sum{labels} {_prom_number(inst.sum)}")
+                lines.append(f"{inst.name}_count{labels} {inst.count}")
+            elif isinstance(inst, Summary):
+                for q, estimate in inst.quantiles().items():
+                    if estimate is None:
+                        continue
+                    ql = _prom_labels(
+                        inst.labelvalues, f'quantile="{_prom_number(q)}"'
+                    )
+                    lines.append(f"{inst.name}{ql} {_prom_number(estimate)}")
                 labels = _prom_labels(inst.labelvalues)
                 lines.append(f"{inst.name}_sum{labels} {_prom_number(inst.sum)}")
                 lines.append(f"{inst.name}_count{labels} {inst.count}")
@@ -165,6 +261,13 @@ def console_summary(registry: Optional[MetricsRegistry] = None, title: str = "me
                 value = (
                     f"count={inst.count} sum={inst.sum:.6g} mean={inst.mean:.6g}"
                 )
+            elif isinstance(inst, Summary):
+                quantiles = " ".join(
+                    f"p{q * 100:g}={estimate:.6g}"
+                    for q, estimate in inst.quantiles().items()
+                    if estimate is not None
+                )
+                value = f"count={inst.count}" + (f" {quantiles}" if quantiles else "")
             elif isinstance(inst, Gauge):
                 value = f"{inst.value:.6g}"
             else:

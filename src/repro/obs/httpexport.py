@@ -1,0 +1,323 @@
+"""Live telemetry over HTTP: ``/metrics``, ``/healthz``, ``/flight``.
+
+A deliberately tiny asyncio HTTP/1.1 server (stdlib only — no aiohttp,
+no http.server thread) that a running ``repro serve`` mounts next to its
+JSONL frontend so operators can scrape the process while it serves:
+
+* ``GET /metrics``  — the registry in Prometheus text exposition
+  format; ``?format=json`` returns the structured snapshot instead
+  (what the ``repro top`` console view polls);
+* ``GET /healthz``  — liveness JSON: status, uptime, plus whatever the
+  owning server's ``health`` callable reports (queue depth, workers);
+* ``GET /flight``   — recent flight records as JSON, newest last;
+  ``?last=N`` bounds the count.
+
+Every response closes the connection (``Connection: close``): scrape
+traffic is low-rate and keep-alive bookkeeping is not worth the code.
+The request parser handles exactly the subset scrapers emit — a
+request line plus headers, no bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Any, Awaitable, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..errors import ObservabilityError
+from .export import prometheus_text
+from .flight import FlightRecorder, get_flight_recorder
+from .logsetup import get_logger
+from .registry import MetricsRegistry, get_registry
+
+__all__ = [
+    "TelemetryHTTPServer",
+    "fetch_json",
+    "render_top",
+]
+
+_LOG = get_logger("obs.http")
+
+#: Extra health fields supplied by the owning server (queue depth, ...).
+HealthCallable = Callable[[], Mapping[str, Any]]
+
+
+class TelemetryHTTPServer:
+    """Serve ``/metrics`` + ``/healthz`` + ``/flight`` from this process.
+
+    ``port=0`` asks the OS for a free port; :attr:`port` reports the
+    bound one after :meth:`start`.  The server shares the caller's event
+    loop — handlers only read in-memory state, so they never block it.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
+        health: Optional[HealthCallable] = None,
+    ) -> None:
+        self.host = host
+        self._requested_port = int(port)
+        self._registry = registry if registry is not None else get_registry()
+        self._flight = flight if flight is not None else get_flight_recorder()
+        self._health = health
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._started_at = 0.0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (raises before :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ObservabilityError("telemetry server is not running")
+        return int(self._server.sockets[0].getsockname()[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server, e.g. ``http://127.0.0.1:9123``."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> "TelemetryHTTPServer":
+        """Bind and begin accepting scrapes; returns ``self``."""
+        if self._server is not None:
+            raise ObservabilityError("telemetry server already started")
+        try:
+            self._server = await asyncio.start_server(
+                self._handle, self.host, self._requested_port
+            )
+        except OSError as exc:
+            raise ObservabilityError(
+                f"cannot bind telemetry server on "
+                f"{self.host}:{self._requested_port}: {exc}"
+            ) from exc
+        self._started_at = time.monotonic()
+        _LOG.info("telemetry endpoint listening on %s", self.url)
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting and close; idempotent."""
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    # -- request handling -----------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, content_type, body = await self._respond(reader)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.1 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("ascii") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # peer went away mid-scrape; nothing to clean up
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, str]:
+        """Parse one request and produce ``(status, content-type, body)``."""
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+        except asyncio.TimeoutError:
+            return _error("408 Request Timeout", "no request line within 5s")
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return _error("400 Bad Request", "malformed request line")
+        method, target = parts[0], parts[1]
+        # Drain headers (bounded) so well-behaved clients aren't reset.
+        for _ in range(100):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if method != "GET":
+            return _error("405 Method Not Allowed", f"method {method} not supported")
+        parsed = urllib.parse.urlsplit(target)
+        query = urllib.parse.parse_qs(parsed.query)
+        return self._route(parsed.path, query)
+
+    def _route(
+        self, path: str, query: Dict[str, List[str]]
+    ) -> Tuple[str, str, str]:
+        if path == "/metrics":
+            if query.get("format", [""])[0] == "json":
+                return _json_ok(self._registry.snapshot())
+            return (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                prometheus_text(self._registry),
+            )
+        if path == "/healthz":
+            body: Dict[str, Any] = {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "flight_records": len(self._flight),
+            }
+            if self._health is not None:
+                body.update(dict(self._health()))
+            return _json_ok(body)
+        if path == "/flight":
+            raw = query.get("last", [""])[0]
+            last: Optional[int] = None
+            if raw:
+                try:
+                    last = int(raw)
+                except ValueError:
+                    return _error("400 Bad Request", f"last={raw!r} is not an integer")
+                if last < 0:
+                    return _error("400 Bad Request", "last must be >= 0")
+            return _json_ok({"records": self._flight.as_dicts(last)})
+        return _error("404 Not Found", f"no route for {path}")
+
+
+def _json_ok(payload: Mapping[str, Any]) -> Tuple[str, str, str]:
+    return (
+        "200 OK",
+        "application/json; charset=utf-8",
+        json.dumps(payload, sort_keys=True) + "\n",
+    )
+
+
+def _error(status: str, detail: str) -> Tuple[str, str, str]:
+    return (
+        status,
+        "application/json; charset=utf-8",
+        json.dumps({"error": status, "detail": detail}) + "\n",
+    )
+
+
+# -- client side (the `repro top` console view) -------------------------------
+
+def fetch_json(url: str, timeout: float = 5.0) -> Dict[str, Any]:
+    """GET *url* and decode a JSON object (client half of ``repro top``)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            payload = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise ObservabilityError(f"cannot fetch {url}: {exc}") from exc
+    try:
+        decoded = json.loads(payload)
+    except ValueError as exc:
+        raise ObservabilityError(f"{url} returned non-JSON: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise ObservabilityError(f"{url} returned a JSON {type(decoded).__name__}")
+    return decoded
+
+
+def render_top(
+    snapshot: Mapping[str, Any],
+    health: Optional[Mapping[str, Any]] = None,
+    flight: Optional[List[Dict[str, Any]]] = None,
+) -> str:
+    """Render a ``/metrics?format=json`` snapshot as a console dashboard.
+
+    Shows health on top, then every summary's live quantiles, then
+    counters/gauges, then the most recent flight records — the "what is
+    the server doing right now" view ``repro top`` repaints each poll.
+    """
+    lines: List[str] = []
+    if health:
+        fields = " ".join(f"{k}={health[k]}" for k in sorted(health))
+        lines.append(f"health: {fields}")
+    summaries: List[str] = []
+    scalars: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if not isinstance(entry, Mapping):
+            continue
+        for labels, data in _instances(entry):
+            shown = f"{name}{labels}"
+            kind = data.get("kind", entry.get("kind", ""))
+            if kind in ("summary", "histogram") and not data.get("count"):
+                continue  # nothing observed yet; keep the view readable
+            if kind == "summary":
+                quantiles = data.get("quantiles") or {}
+                rendered = " ".join(
+                    f"p{float(q) * 100:g}={_fmt(quantiles[q])}"
+                    for q in sorted(quantiles, key=float)
+                    if quantiles[q] is not None
+                )
+                summaries.append(
+                    f"  {shown}: n={data.get('count', 0)} {rendered}".rstrip()
+                )
+            elif kind == "histogram":
+                summaries.append(
+                    f"  {shown}: n={data.get('count', 0)} "
+                    f"mean={_fmt(data.get('mean'))} max={_fmt(data.get('max'))}"
+                )
+            elif kind in ("counter", "gauge"):
+                scalars.append(f"  {shown}: {_fmt(data.get('value'))}")
+    if summaries:
+        lines.append("latency:")
+        lines.extend(summaries)
+    if scalars:
+        lines.append("metrics:")
+        lines.extend(scalars)
+    if flight:
+        lines.append("recent flights:")
+        for record in flight[-5:]:
+            stages = record.get("stages") or {}
+            staged = " ".join(
+                f"{stage}={seconds * 1e6:.0f}us"
+                for stage, seconds in stages.items()
+            )
+            lines.append(
+                f"  {record.get('request_id', '?')} "
+                f"[{record.get('status', '?')}] "
+                f"{record.get('kernel', '-')} "
+                f"wall={float(record.get('wall_s', 0.0)) * 1e6:.0f}us"
+                f"{' ' + staged if staged else ''}"
+            )
+    return "\n".join(lines) if lines else "(no telemetry)"
+
+
+def _instances(
+    entry: Mapping[str, Any],
+) -> List[Tuple[str, Mapping[str, Any]]]:
+    """``(label-suffix, data)`` pairs: the children if any, else the parent."""
+    children = entry.get("children")
+    if isinstance(children, list) and children:
+        out: List[Tuple[str, Mapping[str, Any]]] = []
+        for child in children:
+            if not isinstance(child, Mapping):
+                continue
+            labels = child.get("labels") or {}
+            suffix = (
+                "{" + ",".join(f"{k}={labels[k]}" for k in sorted(labels)) + "}"
+                if labels
+                else ""
+            )
+            out.append((suffix, child))
+        return out
+    return [("", entry)]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    try:
+        return f"{float(value):.6g}"
+    except (TypeError, ValueError):
+        return str(value)

@@ -1,31 +1,62 @@
-"""Process-wide metrics registry: counters, gauges, fixed-bucket histograms.
+"""Process-wide metrics registry: counters, gauges, histograms, summaries.
 
 The registry is the always-on half of the observability layer (the
 tracer in :mod:`repro.obs.tracing` is the opt-in half).  Metrics are
 designed to be cheap enough to leave enabled in hot loops: recording is
-a couple of attribute updates with no locking on the fast path, no
-string formatting, and no time calls.  Exporters
-(:mod:`repro.obs.export`) turn a registry snapshot into JSON lines,
-Prometheus text, or a console table.
+a couple of attribute updates under one per-metric lock (striped by
+metric, so unrelated hot paths never contend), no string formatting,
+and no time calls.  The locks exist because the serving layer records
+from a worker-thread pool — an unlocked float ``+=`` is a
+read-modify-write that drops updates under contention (the concurrency
+stress test in ``tests/test_obs_registry.py`` demonstrates the loss on
+an unlocked path; the obs-overhead benchmark bounds the lock cost at
+<5 % of serve throughput).  Exporters (:mod:`repro.obs.export`) turn a
+registry snapshot into JSON lines, Prometheus text, or a console table.
 
 Naming follows the Prometheus conventions loosely: ``snake_case`` names,
 ``_total`` suffix on counters, base SI units (joules, seconds) without
 prefixes.  Labelled metrics are families: ``family.labels(op="IMP")``
 returns (creating on first use) the child metric for that label set.
+
+Metric kinds:
+
+* :class:`Counter` — monotone event/energy tally;
+* :class:`Gauge` — instantaneous level (queue depth, utilisation);
+* :class:`Histogram` — fixed-bucket distribution; buckets are
+  configurable per metric (`registry.histogram(name, buckets=...)`)
+  and validated strictly increasing.  :data:`DEFAULT_BUCKETS` covers
+  simulated ns–s scales; :data:`LATENCY_BUCKETS` covers *wall-clock*
+  µs–s scales for serving latencies;
+* :class:`Summary` — streaming quantile digest
+  (:class:`~repro.obs.quantiles.QuantileDigest`, P² markers): live
+  p50/p95/p99 without buffering observations.
 """
 
 from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type
 
 from ..errors import ObservabilityError
+from .quantiles import DEFAULT_QUANTILES, QuantileDigest
 
 #: Default histogram buckets: nine decades around "simulated seconds /
 #: joules" scales (1 ns .. 100 s).  An implicit +inf bucket always ends
 #: the list.
 DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-9, 3))
+
+#: Wall-clock latency buckets for the serving layer: 1 µs .. 10 s with
+#: 1-2.5-5 steps through the µs/ms decades, so queue and batch waits at
+#: microsecond scale resolve instead of all landing in one bucket.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 _LabelValues = Tuple[Tuple[str, str], ...]
 
@@ -48,6 +79,10 @@ class _Metric:
         self.help = help
         self.labelvalues: _LabelValues = ()
         self._children: Dict[_LabelValues, "_Metric"] = {}
+        # One lock per metric instance: updates are striped across the
+        # registry, so e.g. the IMPLY pulse counter and the serve queue
+        # gauge never contend with each other.
+        self._lock = threading.Lock()
 
     # -- labels ---------------------------------------------------------------
 
@@ -60,11 +95,17 @@ class _Metric:
                 f"{self.name}: labels() on an already-labelled child"
             )
         key = _label_key({k: str(v) for k, v in labelvalues.items()})
+        # Fast path: existing children are read without the lock (one
+        # atomic dict lookup); creation takes the family lock so two
+        # threads racing on a new label set converge on one child.
         child = self._children.get(key)
         if child is None:
-            child = self._make_child()
-            child.labelvalues = key
-            self._children[key] = child
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    child.labelvalues = key
+                    self._children[key] = child
         return child
 
     def _make_child(self) -> "_Metric":
@@ -97,17 +138,24 @@ class Counter(_Metric):
             raise ObservabilityError(
                 f"{self.name}: counters only go up (inc by {amount})"
             )
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     @property
     def value(self) -> float:
         return self._value
 
+    def labels(self, **labelvalues: object) -> "Counter":
+        child = super().labels(**labelvalues)
+        assert isinstance(child, Counter)
+        return child
+
     def _make_child(self) -> "Counter":
         return Counter(self.name, self.help)
 
     def reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
         self._reset_children()
 
 
@@ -121,23 +169,32 @@ class Gauge(_Metric):
         self._value = 0.0
 
     def set(self, value: float) -> None:
-        self._value = float(value)
+        with self._lock:
+            self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self._value += amount
+        with self._lock:
+            self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self._value -= amount
+        with self._lock:
+            self._value -= amount
 
     @property
     def value(self) -> float:
         return self._value
 
+    def labels(self, **labelvalues: object) -> "Gauge":
+        child = super().labels(**labelvalues)
+        assert isinstance(child, Gauge)
+        return child
+
     def _make_child(self) -> "Gauge":
         return Gauge(self.name, self.help)
 
     def reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
         self._reset_children()
 
 
@@ -175,13 +232,41 @@ class Histogram(_Metric):
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self._counts[bisect.bisect_left(self.buckets, value)] += 1
-        self._sum += value
-        self._count += 1
-        if self._min is None or value < self._min:
-            self._min = value
-        if self._max is None or value > self._max:
-            self._max = value
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a burst of observations under one lock acquisition.
+
+        The serving layer completes a whole coalesced batch at once, so
+        its per-request wall latencies arrive as one burst; amortising
+        the lock and dispatch over the burst keeps always-on telemetry
+        inside the obs-overhead budget.
+        """
+        if not values:
+            return
+        floats = [float(v) for v in values]
+        buckets = self.buckets
+        with self._lock:
+            counts = self._counts
+            total = 0.0
+            for value in floats:
+                counts[bisect.bisect_left(buckets, value)] += 1
+                total += value
+            self._sum += total
+            self._count += len(floats)
+            lo, hi = min(floats), max(floats)
+            if self._min is None or lo < self._min:
+                self._min = lo
+            if self._max is None or hi > self._max:
+                self._max = hi
 
     @property
     def count(self) -> int:
@@ -213,15 +298,99 @@ class Histogram(_Metric):
         out.append((float("inf"), running + self._counts[-1]))
         return out
 
+    def labels(self, **labelvalues: object) -> "Histogram":
+        child = super().labels(**labelvalues)
+        assert isinstance(child, Histogram)
+        return child
+
     def _make_child(self) -> "Histogram":
         return Histogram(self.name, self.help, self.buckets)
 
     def reset(self) -> None:
-        self._counts = [0] * (len(self.buckets) + 1)
-        self._sum = 0.0
-        self._count = 0
-        self._min = None
-        self._max = None
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+            self._min = None
+            self._max = None
+        self._reset_children()
+
+
+class Summary(_Metric):
+    """Streaming quantile summary (P² digest, no samples buffered).
+
+    The live-latency metric kind: ``observe`` feeds a
+    :class:`~repro.obs.quantiles.QuantileDigest`, and exporters read
+    back p50/p95/p99 (or whatever targets were configured) as
+    Prometheus ``{quantile="..."}`` series.
+    """
+
+    kind = "summary"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    ) -> None:
+        super().__init__(name, help)
+        self._digest = QuantileDigest(quantiles)
+
+    @property
+    def quantile_targets(self) -> Tuple[float, ...]:
+        return self._digest.targets
+
+    def observe(self, value: float) -> None:
+        """Record one observation into every tracked quantile."""
+        with self._lock:
+            self._digest.observe(value)
+
+    def observe_many(self, values: Sequence[float]) -> None:
+        """Record a burst of observations under one lock acquisition."""
+        if not values:
+            return
+        with self._lock:
+            self._digest.observe_many(values)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Current estimate for tracked target *q* (None when empty)."""
+        return self._digest.quantile(q)
+
+    def quantiles(self) -> Dict[float, Optional[float]]:
+        """Every tracked target -> current estimate."""
+        return self._digest.quantiles()
+
+    @property
+    def count(self) -> int:
+        return self._digest.count
+
+    @property
+    def sum(self) -> float:
+        return self._digest.sum
+
+    @property
+    def mean(self) -> float:
+        return self._digest.mean
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return self._digest.minimum
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return self._digest.maximum
+
+    def labels(self, **labelvalues: object) -> "Summary":
+        child = super().labels(**labelvalues)
+        assert isinstance(child, Summary)
+        return child
+
+    def _make_child(self) -> "Summary":
+        return Summary(self.name, self.help, self._digest.targets)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._digest.reset()
         self._reset_children()
 
 
@@ -231,14 +400,18 @@ class MetricsRegistry:
     ``registry.counter("x")`` returns the existing counter on repeat
     calls (so instrumented modules can look metrics up at import time
     without coordination) and raises :class:`ObservabilityError` if the
-    name is already registered as a different kind.
+    name is already registered as a different kind — or, for
+    histograms/summaries, with different buckets/quantiles (silently
+    handing back a metric with the wrong shape would corrupt exports).
     """
 
     def __init__(self) -> None:
         self._metrics: Dict[str, _Metric] = {}
         self._lock = threading.Lock()
 
-    def _register(self, cls, name: str, help: str, **kwargs) -> _Metric:
+    def _register(
+        self, cls: Type[_Metric], name: str, help: str, **kwargs: object
+    ) -> _Metric:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
@@ -246,24 +419,72 @@ class MetricsRegistry:
                     raise ObservabilityError(
                         f"metric {name!r} already registered as {existing.kind}"
                     )
+                self._check_shape(existing, kwargs)
                 return existing
             metric = cls(name, help, **kwargs)
             self._metrics[name] = metric
             return metric
 
+    @staticmethod
+    def _check_shape(existing: _Metric, kwargs: Dict[str, object]) -> None:
+        buckets = kwargs.get("buckets")
+        if buckets is not None and isinstance(existing, Histogram):
+            requested = tuple(float(b) for b in buckets)  # type: ignore[union-attr]
+            if requested != existing.buckets:
+                raise ObservabilityError(
+                    f"{existing.name}: already registered with buckets "
+                    f"{existing.buckets}, re-registration asked for {requested}"
+                )
+        quantiles = kwargs.get("quantiles")
+        if quantiles is not None and isinstance(existing, Summary):
+            requested = tuple(float(q) for q in quantiles)  # type: ignore[union-attr]
+            if requested != existing.quantile_targets:
+                raise ObservabilityError(
+                    f"{existing.name}: already registered with quantiles "
+                    f"{existing.quantile_targets}, re-registration asked "
+                    f"for {requested}"
+                )
+
     def counter(self, name: str, help: str = "") -> Counter:
-        return self._register(Counter, name, help)
+        metric = self._register(Counter, name, help)
+        assert isinstance(metric, Counter)
+        return metric
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._register(Gauge, name, help)
+        metric = self._register(Gauge, name, help)
+        assert isinstance(metric, Gauge)
+        return metric
 
     def histogram(
         self,
         name: str,
         help: str = "",
-        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        buckets: Optional[Sequence[float]] = None,
     ) -> Histogram:
-        return self._register(Histogram, name, help, buckets=buckets)
+        """A fixed-bucket histogram; ``buckets=None`` means
+        :data:`DEFAULT_BUCKETS`.  Re-registering with *different*
+        explicit buckets is an error."""
+        kwargs: Dict[str, object] = {}
+        if buckets is not None:
+            kwargs["buckets"] = tuple(buckets)
+        metric = self._register(Histogram, name, help, **kwargs)
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def summary(
+        self,
+        name: str,
+        help: str = "",
+        quantiles: Optional[Sequence[float]] = None,
+    ) -> Summary:
+        """A streaming quantile summary; ``quantiles=None`` means
+        :data:`~repro.obs.quantiles.DEFAULT_QUANTILES` (p50/p95/p99)."""
+        kwargs: Dict[str, object] = {}
+        if quantiles is not None:
+            kwargs["quantiles"] = tuple(quantiles)
+        metric = self._register(Summary, name, help, **kwargs)
+        assert isinstance(metric, Summary)
+        return metric
 
     def get(self, name: str) -> Optional[_Metric]:
         return self._metrics.get(name)
@@ -305,6 +526,17 @@ def _snapshot_one(metric: _Metric) -> dict:
             "buckets": [
                 [bound, count] for bound, count in metric.bucket_counts()
             ],
+        })
+    elif isinstance(metric, Summary):
+        entry.update({
+            "count": metric.count,
+            "sum": metric.sum,
+            "mean": metric.mean,
+            "min": metric.minimum,
+            "max": metric.maximum,
+            "quantiles": {
+                repr(q): value for q, value in metric.quantiles().items()
+            },
         })
     else:
         entry["value"] = metric.value  # type: ignore[attr-defined]

@@ -1,0 +1,183 @@
+"""Service-level objectives: declared targets with error-budget burn.
+
+An :class:`SLO` declares what "good" means for a stream of requests —
+a latency bound that some fraction of requests must meet, and/or a
+ceiling on the error rate.  An :class:`SLOTracker` consumes request
+outcomes (wall seconds + ok/failed) and answers the operational
+questions: how many requests breached, how much of the error budget is
+burnt, and is the objective currently met.
+
+Error-budget arithmetic (the SRE formulation): an objective of 0.99
+over N requests *allows* ``(1 - 0.99) * N`` bad ones; ``burn`` is
+``bad / allowed``, so burn < 1.0 means inside budget, 1.0 exactly spent,
+and >1.0 blown.  With no traffic the budget is defined as unburnt.
+
+``benchmarks/bench_serve.py`` gates on this: the burst scenario feeds a
+tracker and asserts the p99-latency SLO holds, turning "p99 under
+burst" from a number someone eyeballs into a red/green test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..errors import ObservabilityError
+from .quantiles import QuantileDigest
+
+__all__ = ["SLO", "SLOTracker"]
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declared objective.
+
+    ``latency_target_s`` with ``latency_objective`` reads "this fraction
+    of requests complete within the target"; ``error_rate_objective``
+    reads "this fraction of requests succeed".  Either half may be
+    omitted (``None``) to declare a latency-only or errors-only SLO,
+    but not both.
+    """
+
+    name: str
+    latency_target_s: Optional[float] = None
+    latency_objective: float = 0.99
+    error_rate_objective: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ObservabilityError("SLO needs a non-empty name")
+        if self.latency_target_s is None and self.error_rate_objective is None:
+            raise ObservabilityError(
+                f"SLO {self.name!r} declares neither a latency target "
+                f"nor an error-rate objective"
+            )
+        if self.latency_target_s is not None and self.latency_target_s <= 0:
+            raise ObservabilityError(
+                f"SLO {self.name!r}: latency target must be > 0 s"
+            )
+        for label, objective in (
+            ("latency", self.latency_objective),
+            ("error-rate", self.error_rate_objective),
+        ):
+            if objective is not None and not 0.0 < objective < 1.0:
+                raise ObservabilityError(
+                    f"SLO {self.name!r}: {label} objective must be "
+                    f"strictly between 0 and 1, got {objective}"
+                )
+
+
+class SLOTracker:
+    """Feed request outcomes; read back breach counts and budget burn."""
+
+    def __init__(self, slo: SLO) -> None:
+        self.slo = slo
+        self._total = 0
+        self._errors = 0
+        self._latency_breaches = 0
+        self._digest: Optional[QuantileDigest] = None
+        if slo.latency_target_s is not None:
+            targets = tuple(sorted({0.5, slo.latency_objective}))
+            self._digest = QuantileDigest(targets)
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, wall_s: float, *, ok: bool = True) -> None:
+        """One request outcome: wall latency plus success/failure.
+
+        Failed requests count against the error budget only — their
+        latency is not fed to the latency SLI (a fast failure must not
+        make the latency distribution look better).
+        """
+        self._total += 1
+        if not ok:
+            self._errors += 1
+            return
+        if self.slo.latency_target_s is not None:
+            if wall_s > self.slo.latency_target_s:
+                self._latency_breaches += 1
+            if self._digest is not None:
+                self._digest.observe(wall_s)
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def errors(self) -> int:
+        return self._errors
+
+    @property
+    def latency_breaches(self) -> int:
+        return self._latency_breaches
+
+    def latency_quantile(self) -> Optional[float]:
+        """Live estimate of the objective quantile (e.g. p99) latency."""
+        if self._digest is None:
+            return None
+        return self._digest.quantile(self.slo.latency_objective)
+
+    def latency_burn(self) -> float:
+        """Latency error-budget burn: breaches / allowed breaches."""
+        if self.slo.latency_target_s is None or self._total == 0:
+            return 0.0
+        allowed = (1.0 - self.slo.latency_objective) * self._total
+        if allowed <= 0.0:
+            return float("inf") if self._latency_breaches else 0.0
+        return self._latency_breaches / allowed
+
+    def error_burn(self) -> float:
+        """Error-rate budget burn: errors / allowed errors."""
+        if self.slo.error_rate_objective is None or self._total == 0:
+            return 0.0
+        allowed = (1.0 - self.slo.error_rate_objective) * self._total
+        if allowed <= 0.0:
+            return float("inf") if self._errors else 0.0
+        return self._errors / allowed
+
+    def met(self) -> bool:
+        """Both halves of the objective inside budget (burn <= 1.0)."""
+        return self.latency_burn() <= 1.0 and self.error_burn() <= 1.0
+
+    def report(self) -> Dict[str, Any]:
+        """Everything an assertion or a dashboard needs, as plain data."""
+        out: Dict[str, Any] = {
+            "slo": self.slo.name,
+            "total": self._total,
+            "errors": self._errors,
+            "met": self.met(),
+        }
+        if self.slo.latency_target_s is not None:
+            out.update(
+                latency_target_s=self.slo.latency_target_s,
+                latency_objective=self.slo.latency_objective,
+                latency_breaches=self._latency_breaches,
+                latency_burn=self.latency_burn(),
+                latency_quantile_s=self.latency_quantile(),
+            )
+        if self.slo.error_rate_objective is not None:
+            out.update(
+                error_rate_objective=self.slo.error_rate_objective,
+                error_burn=self.error_burn(),
+            )
+        return out
+
+    def describe(self) -> str:
+        """One console line, e.g. for the bench harness output."""
+        bits = [f"slo {self.slo.name}: n={self._total}"]
+        if self.slo.latency_target_s is not None:
+            quantile = self.latency_quantile()
+            shown = f"{quantile * 1e6:.0f}us" if quantile is not None else "-"
+            bits.append(
+                f"p{self.slo.latency_objective * 100:g}={shown} "
+                f"(target {self.slo.latency_target_s * 1e6:.0f}us, "
+                f"burn {self.latency_burn():.2f})"
+            )
+        if self.slo.error_rate_objective is not None:
+            bits.append(
+                f"errors={self._errors} (burn {self.error_burn():.2f})"
+            )
+        bits.append("MET" if self.met() else "BLOWN")
+        return " ".join(bits)

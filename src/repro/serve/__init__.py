@@ -31,9 +31,17 @@ In-process quick start::
 
     asyncio.run(main())
 
-Telemetry: ``serve_requests_total{status=}``, ``serve_batch_size`` and
-``serve_batch_words`` histograms, ``serve_queue_depth`` gauge,
-``serve_retries_total``, and per-batch ``serve/<kernel>`` spans.
+Telemetry: every request gets a ``trace_id``/``request_id`` that
+survives batching into the engine spans, a per-request flight record
+with stage timings (:mod:`repro.obs.flight`), live per-kernel
+p50/p95/p99 latency (``serve_request_latency_seconds``), plus
+``serve_requests_total{status=}``, ``serve_request_wall_seconds``,
+``serve_batch_size`` / ``serve_batch_words`` histograms,
+``serve_queue_depth`` gauge, ``serve_retries_total``, and per-batch
+``serve/<kernel>`` spans linking every member request id.  A live
+``/metrics`` + ``/healthz`` + ``/flight`` endpoint mounts alongside the
+JSONL front end via ``serve_jsonl(..., metrics_port=...)`` (the
+``repro serve --metrics-port`` flag; watch it with ``repro top``).
 """
 
 from .frontend import ServeStats, serve_jsonl

@@ -24,10 +24,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, IO, Mapping, Optional
 
 from ..errors import DeadlineExceeded, ReproError, ServeError, ServerOverloaded
+from ..obs.httpexport import TelemetryHTTPServer
+from ..obs.logsetup import get_logger
 from .request import request_from_dict, result_to_dict
 from .server import KernelServer
 
 __all__ = ["ServeStats", "serve_jsonl"]
+
+_LOG = get_logger("serve.frontend")
 
 
 @dataclass
@@ -63,8 +67,15 @@ async def _pump(
     out_stream: IO[str],
     server: KernelServer,
     stats: ServeStats,
+    metrics_port: Optional[int] = None,
 ) -> None:
     loop = asyncio.get_running_loop()
+    telemetry: Optional[TelemetryHTTPServer] = None
+    if metrics_port is not None:
+        telemetry = TelemetryHTTPServer(
+            port=metrics_port, health=server.stats)
+        await telemetry.start()
+        _LOG.info("metrics endpoint: %s/metrics", telemetry.url)
     lock = asyncio.Lock()
     tasks = []
 
@@ -92,16 +103,20 @@ async def _pump(
             stats.bump("cached" if result.cached else "ok")
             await emit(result_to_dict(result))
 
-    async with server:
-        while True:
-            line = await loop.run_in_executor(None, in_stream.readline)
-            if not line:
-                break
-            if not line.strip():
-                continue
-            tasks.append(loop.create_task(handle(line)))
-        if tasks:
-            await asyncio.gather(*tasks)
+    try:
+        async with server:
+            while True:
+                line = await loop.run_in_executor(None, in_stream.readline)
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                tasks.append(loop.create_task(handle(line)))
+            if tasks:
+                await asyncio.gather(*tasks)
+    finally:
+        if telemetry is not None:
+            await telemetry.stop()
 
 
 def serve_jsonl(
@@ -109,17 +124,22 @@ def serve_jsonl(
     out_stream: IO[str],
     *,
     server: Optional[KernelServer] = None,
+    metrics_port: Optional[int] = None,
     **server_options: Any,
 ) -> ServeStats:
     """Serve newline-delimited JSON requests until EOF, then drain.
 
     Pass an existing *server* or any :class:`~repro.serve.KernelServer`
     keyword options (``max_batch_size``, ``max_wait_us``,
-    ``queue_limit``, ``spec``, ...).  Returns the status tally.
+    ``queue_limit``, ``spec``, ...).  With *metrics_port* a
+    :class:`~repro.obs.httpexport.TelemetryHTTPServer` runs alongside
+    for the duration, exposing ``/metrics`` + ``/healthz`` + ``/flight``
+    (``0`` = any free port).  Returns the status tally.
     """
     if server is not None and server_options:
         raise ServeError("pass either server= or server options, not both")
     stats = ServeStats()
     instance = server or KernelServer(**server_options)
-    asyncio.run(_pump(in_stream, out_stream, instance, stats))
+    asyncio.run(_pump(in_stream, out_stream, instance, stats,
+                      metrics_port=metrics_port))
     return stats

@@ -55,7 +55,11 @@ class ServeRequest:
     requests); ``params`` carries evaluation options (``dna_packing``);
     ``overrides`` are dotted :meth:`~repro.spec.TechSpec.derive` paths
     applied per request; ``deadline_s`` is the caller's total time
-    budget measured from submission (``None`` = no deadline).
+    budget measured from submission (``None`` = no deadline);
+    ``trace_id`` is the caller's distributed-trace identity — purely
+    observational, so (like ``id`` and ``deadline_s``) it is excluded
+    from :attr:`digest` and a fresh one is minted server-side when the
+    caller sends none.
     """
 
     id: str
@@ -67,6 +71,7 @@ class ServeRequest:
     params: Mapping[str, Any] = field(default_factory=dict)
     overrides: Mapping[str, Any] = field(default_factory=dict)
     deadline_s: Optional[float] = None
+    trace_id: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -153,10 +158,16 @@ class ServeResult:
     batch_requests: int = 0
     cached: bool = False
     digest: str = ""
+    trace_id: str = ""
 
-    def for_request(self, request_id: str, *, cached: bool = False) -> "ServeResult":
+    def for_request(
+        self, request_id: str, *, cached: bool = False, trace_id: str = ""
+    ) -> "ServeResult":
         """The same payload re-addressed to another submitter."""
-        return replace(self, id=request_id, cached=cached)
+        return replace(
+            self, id=request_id, cached=cached,
+            trace_id=trace_id or self.trace_id,
+        )
 
 
 def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
@@ -164,7 +175,7 @@ def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
     if not isinstance(payload, Mapping):
         raise ServeError(f"request must be a JSON object, got {type(payload).__name__}")
     known = {"id", "op", "kind", "kernel", "width", "operands", "backend",
-             "params", "overrides", "deadline_s"}
+             "params", "overrides", "deadline_s", "trace_id"}
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ServeError(f"unknown request fields {unknown}")
@@ -187,6 +198,7 @@ def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
         params=dict(payload.get("params", {})),
         overrides=dict(payload.get("overrides", {})),
         deadline_s=None if deadline is None else float(deadline),
+        trace_id=str(payload.get("trace_id", "")),
     )
 
 
@@ -206,6 +218,8 @@ def result_to_dict(result: ServeResult) -> Dict[str, Any]:
         "batch_requests": result.batch_requests,
         "cached": result.cached,
     }
+    if result.trace_id:
+        out["trace_id"] = result.trace_id
     if result.outputs:
         out["outputs"] = {k: list(v) for k, v in result.outputs.items()}
     if result.metrics:

@@ -33,16 +33,25 @@ Dataflow (DESIGN.md section 8)::
   queued and in-flight request finish, then shuts the pool down;
   ``async with KernelServer(...)`` drains on exit.
 
-Telemetry: ``serve_requests_total{status=}`` (ok / cached / rejected /
-deadline / error), ``serve_batch_size`` + ``serve_batch_words``
+Telemetry (all always-on unless ``telemetry=False``): per-request
+trace propagation (``trace_id``/``request_id`` riding
+:mod:`repro.obs.context` through the batcher onto the worker pool, so
+engine spans executed inside a coalesced batch carry the request
+identity), a :class:`~repro.obs.flight.FlightRecord` per request with
+stage timings (``queue_wait`` / ``batch_wait`` / ``execute`` /
+``split``), ``serve_requests_total{status=}`` (ok / cached / rejected /
+deadline / error), per-kernel ``serve_request_wall_seconds``
+(µs-resolution buckets) and ``serve_request_latency_seconds`` (live
+p50/p95/p99 summary), ``serve_batch_size`` + ``serve_batch_words``
 histograms, ``serve_queue_depth`` gauge, ``serve_retries_total``
-counter, and a ``serve/<kernel>`` span per executed batch carrying the
-simulated energy/latency.
+counter, and a ``serve/<kernel>`` span per executed batch linking every
+member request id.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import time
 from collections import OrderedDict
@@ -73,12 +82,24 @@ from ..errors import (
     ServerOverloaded,
     TransientExecutorError,
 )
-from ..obs.registry import get_registry
+from ..obs.context import (
+    TraceContext,
+    bind_trace,
+    new_request_id,
+    new_trace_context,
+    new_trace_id,
+    unbind_trace,
+)
+from ..obs.flight import FlightRecord, FlightRecorder, get_flight_recorder
+from ..obs.logsetup import get_logger
+from ..obs.registry import LATENCY_BUCKETS, Histogram, Summary, get_registry
 from ..obs.tracing import get_tracer
 from ..spec import TABLE1, TechSpec
 from .request import ServeRequest, ServeResult
 
 __all__ = ["KernelServer", "RunBatchFn"]
+
+_LOG = get_logger("serve")
 
 #: Injectable batch executor: ``(request, operands, spec) -> BatchResult``.
 #: *request* is the group's representative; *operands* the coalesced
@@ -105,17 +126,38 @@ _QUEUE_DEPTH = _REGISTRY.gauge(
     "serve_queue_depth", "requests waiting in the server queue")
 _RETRIES = _REGISTRY.counter(
     "serve_retries_total", "transient executor failures retried")
+_WALL = _REGISTRY.histogram(
+    "serve_request_wall_seconds",
+    "request wall latency (accept to respond), by kernel",
+    buckets=LATENCY_BUCKETS)
+_LATENCY = _REGISTRY.summary(
+    "serve_request_latency_seconds",
+    "live wall-latency quantiles (p50/p95/p99), by kernel")
 
 
 @dataclass
 class _Pending:
-    """One accepted request waiting for its batch to complete."""
+    """One accepted request waiting for its batch to complete.
+
+    Telemetry rides along as raw ``perf_counter`` stamps (``trace`` set
+    means telemetry is on for this request); the
+    :class:`~repro.obs.flight.FlightRecord` itself is assembled once at
+    finalize time — building the record lazily keeps the per-request
+    hot path to a handful of float stores.  ``group_stamps`` is one
+    tuple shared by every member of an executed batch:
+    ``(started, executed, retries, batch_requests, batch_words)``.
+    """
 
     request: ServeRequest
     spec: TechSpec
     future: "asyncio.Future[ServeResult]"
     expires_at: Optional[float] = None
     cancelled: bool = False
+    trace: Optional[TraceContext] = None
+    accepted_at: float = 0.0
+    dequeued_at: float = 0.0
+    group_stamps: Optional[Tuple[float, float, int, int, int]] = None
+    flight_done: bool = False
 
 
 class _Stop:
@@ -170,8 +212,12 @@ class KernelServer:
     (backpressure bound), ``retries`` / ``backoff_s`` / ``transient``
     (retry policy), ``cache_capacity`` (digest result cache),
     ``spec`` (base :class:`~repro.spec.TechSpec`; per-request
-    ``overrides`` derive from it), and ``run_batch`` (injectable
-    executor, for tests and alternative engines).
+    ``overrides`` derive from it), ``run_batch`` (injectable
+    executor, for tests and alternative engines), ``telemetry``
+    (request-scoped tracing + flight records + latency quantiles; on by
+    default, the off switch exists for the A/B overhead benchmark), and
+    ``flight`` (the recorder to write to; the process-wide one by
+    default).
     """
 
     def __init__(
@@ -187,6 +233,8 @@ class KernelServer:
         spec: TechSpec = TABLE1,
         run_batch: Optional[RunBatchFn] = None,
         transient: Tuple[Type[BaseException], ...] = (TransientExecutorError,),
+        telemetry: bool = True,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         if max_batch_size < 1:
             raise ServeError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -208,6 +256,9 @@ class KernelServer:
         self.spec = spec
         self.transient = transient
         self._run_batch: RunBatchFn = run_batch or _default_run_batch
+        self.telemetry = bool(telemetry)
+        self._flight = flight if flight is not None else get_flight_recorder()
+        self._wall_metrics: Dict[str, Tuple[Histogram, Summary]] = {}
 
         # The asyncio primitives are created lazily inside the running
         # loop (_ensure_started): on Python 3.9 constructing them here
@@ -282,13 +333,45 @@ class KernelServer:
         assert self._queue is not None
         queue = self._queue
 
+        trace: Optional[TraceContext] = None
+        accepted_at = 0.0
+        if self.telemetry:
+            if request.trace_id or request.id:
+                trace = TraceContext(
+                    trace_id=request.trace_id or new_trace_id(),
+                    request_id=request.id or new_request_id(),
+                )
+            else:
+                trace = new_trace_context()
+            accepted_at = time.perf_counter()
+        trace_id = trace.trace_id if trace is not None else request.trace_id
+
         cached = self._cache_get(request.digest)
         if cached is not None:
             _REQUESTS["cached"].inc()
-            return cached.for_request(request.id, cached=True)
+            if trace is not None:
+                now = time.perf_counter()
+                kernel = request.kernel or request.kind
+                self._flight.record(FlightRecord(
+                    request_id=trace.request_id, trace_id=trace.trace_id,
+                    kernel=kernel, backend=request.backend, status="cached",
+                    cache_hit=True, accepted_at=accepted_at,
+                    finished_at=now, closed=True))
+                self._observe_wall(kernel, now - accepted_at)
+            return cached.for_request(request.id, cached=True,
+                                      trace_id=trace_id)
 
         if queue.qsize() >= self.queue_limit:
             _REQUESTS["rejected"].inc()
+            if trace is not None:
+                flight = FlightRecord(
+                    request_id=trace.request_id, trace_id=trace.trace_id,
+                    kernel=request.kernel or request.kind,
+                    backend=request.backend, status="rejected",
+                    error="queue full", accepted_at=accepted_at,
+                    finished_at=time.perf_counter(), closed=True)
+                self._flight.record(flight)
+                _LOG.warning("overloaded: %s", flight.describe())
             raise ServerOverloaded(
                 f"request queue full ({self.queue_limit} pending); retry later"
             )
@@ -300,6 +383,8 @@ class KernelServer:
             future=loop.create_future(),
             expires_at=(None if request.deadline_s is None
                         else loop.time() + request.deadline_s),
+            trace=trace,
+            accepted_at=accepted_at,
         )
         queue.put_nowait(pending)
         _QUEUE_DEPTH.set(queue.qsize())
@@ -312,6 +397,9 @@ class KernelServer:
             pending.cancelled = True
             pending.future.cancel()
             _REQUESTS["deadline"].inc()
+            self._finalize_flight(
+                pending, "deadline",
+                error=f"missed {request.deadline_s}s deadline")
             raise DeadlineExceeded(
                 f"request {request.id or request.digest[:12]} missed its "
                 f"{request.deadline_s}s deadline"
@@ -373,6 +461,7 @@ class KernelServer:
             first = await queue.get()
             if isinstance(first, _Stop):
                 break
+            self._mark_dequeued(first)
             batch: List[_Pending] = [first]
             window_end = loop.time() + self.max_wait_us * 1e-6
             while len(batch) < self.max_batch_size:
@@ -392,6 +481,7 @@ class KernelServer:
                 if isinstance(item, _Stop):
                     stopping = True
                     break
+                self._mark_dequeued(item)
                 batch.append(item)
             _QUEUE_DEPTH.set(queue.qsize())
             for group in self._group(batch):
@@ -422,20 +512,40 @@ class KernelServer:
                 pending.future.set_exception(DeadlineExceeded(
                     f"request {pending.request.id or '?'} expired "
                     "before its batch ran"))
+                self._finalize_flight(pending, "deadline",
+                                      error="expired before its batch ran")
                 continue
             live.append(pending)
         return live
 
     async def _execute_with_retry(
-        self, fn: Callable[[], Any], kernel_name: str
-    ) -> Any:
-        """Run *fn* on the pool; retry transient failures with backoff."""
+        self,
+        fn: Callable[[], Any],
+        kernel_name: str,
+        trace: Optional[TraceContext] = None,
+    ) -> Tuple[Any, int]:
+        """Run *fn* on the pool; retry transient failures with backoff.
+
+        Returns ``(result, retries_used)``.  When *trace* is given it is
+        bound into the context the pool thread runs under —
+        ``run_in_executor`` does **not** propagate contextvars by
+        itself, so without the explicit ``copy_context().run`` the
+        engine spans inside *fn* could not see the request identity.
+        """
         loop = asyncio.get_running_loop()
         assert self._pool is not None
+        call = fn
+        if trace is not None:
+            token = bind_trace(trace)
+            try:
+                snapshot = contextvars.copy_context()
+            finally:
+                unbind_trace(token)
+            call = lambda: snapshot.run(fn)  # noqa: E731 - tiny adapter
         original: Optional[BaseException] = None
         for attempt in range(self.retries + 1):
             try:
-                return await loop.run_in_executor(self._pool, fn)
+                return await loop.run_in_executor(self._pool, call), attempt
             except self.transient as exc:
                 if original is None:
                     original = exc
@@ -474,12 +584,19 @@ class KernelServer:
                 # loop, so holding it open across the await would close
                 # spans out of LIFO order.
                 started = time.perf_counter()
-                batch = await self._execute_with_retry(
-                    lambda: self._run_batch(request, merged, spec), name)
-                with get_tracer().span(
-                    f"serve/{name}", requests=len(live), words=total_words,
-                    backend=request.backend, spec=spec.short_digest,
-                ) as span:
+                batch, retries_used = await self._execute_with_retry(
+                    lambda: self._run_batch(request, merged, spec), name,
+                    trace=representative.trace)
+                executed = time.perf_counter()
+                self._stamp_group(live, started, executed, retries_used,
+                                  len(live), total_words)
+                attrs: Dict[str, Any] = dict(
+                    requests=len(live), words=total_words,
+                    backend=request.backend, spec=spec.short_digest)
+                if representative.trace is not None:
+                    attrs["trace_id"] = representative.trace.trace_id
+                    attrs["request_ids"] = self._request_ids(live)
+                with get_tracer().span(f"serve/{name}", **attrs) as span:
                     span.backdate(started)
                     span.add_sim(energy=batch.energy, latency=batch.latency,
                                  steps=batch.steps_per_word * batch.words)
@@ -491,18 +608,26 @@ class KernelServer:
                     if not pending.future.done():
                         _REQUESTS["error"].inc()
                         pending.future.set_exception(exc)
+                    self._finalize_flight(pending, "error", error=repr(exc))
 
     async def _run_evaluate_group(self, live: Sequence[_Pending]) -> None:
         representative = live[0]
         request, spec = representative.request, representative.spec
         started = time.perf_counter()
-        metrics = await self._execute_with_retry(
-            lambda: _run_evaluate(request, spec), request.kind)
-        with get_tracer().span(
-            f"serve/{request.kind}", requests=len(live),
-            spec=spec.short_digest,
-        ) as span:
+        metrics, retries_used = await self._execute_with_retry(
+            lambda: _run_evaluate(request, spec), request.kind,
+            trace=representative.trace)
+        executed = time.perf_counter()
+        self._stamp_group(live, started, executed, retries_used,
+                          len(live), len(live))
+        attrs: Dict[str, Any] = dict(requests=len(live),
+                                     spec=spec.short_digest)
+        if representative.trace is not None:
+            attrs["trace_id"] = representative.trace.trace_id
+            attrs["request_ids"] = self._request_ids(live)
+        with get_tracer().span(f"serve/{request.kind}", **attrs) as span:
             span.backdate(started)
+        walls: List[float] = []
         for pending in live:
             result = ServeResult(
                 id=pending.request.id,
@@ -515,8 +640,10 @@ class KernelServer:
                 batch_words=len(live),
                 batch_requests=len(live),
                 digest=pending.request.digest,
+                trace_id=self._trace_id_for(pending),
             )
-            self._finish(pending, result)
+            self._finish(pending, result, walls=walls)
+        self._observe_wall_many("table2", walls)
 
     def _respond_kernel(
         self,
@@ -533,6 +660,7 @@ class KernelServer:
             parts = batch.split(sizes)
         else:
             parts = [batch]
+        walls: List[float] = []
         for pending, part in zip(live, parts):
             outputs: Dict[str, Tuple[int, ...]] = {}
             if part.outputs is not None:
@@ -554,11 +682,147 @@ class KernelServer:
                 batch_words=total_words,
                 batch_requests=len(live),
                 digest=pending.request.digest,
+                trace_id=self._trace_id_for(pending),
             )
-            self._finish(pending, result)
+            self._finish(pending, result, walls=walls)
+        # Label with the request-level kernel name (what the flight
+        # records carry), not the engine's resolved variant name.
+        first = live[0].request
+        self._observe_wall_many(first.kernel or first.kind, walls)
 
-    def _finish(self, pending: _Pending, result: ServeResult) -> None:
+    def _finish(
+        self,
+        pending: _Pending,
+        result: ServeResult,
+        walls: Optional[List[float]] = None,
+    ) -> None:
         self._cache_put(pending.request.digest, result)
         if not pending.future.done():
             _REQUESTS["ok"].inc()
             pending.future.set_result(result)
+        self._finalize_flight(pending, "ok", walls=walls)
+
+    # -- telemetry helpers ---------------------------------------------------
+
+    @staticmethod
+    def _trace_id_for(pending: _Pending) -> str:
+        if pending.trace is not None:
+            return pending.trace.trace_id
+        return pending.request.trace_id
+
+    @staticmethod
+    def _request_ids(live: Sequence[_Pending]) -> List[str]:
+        """Every member's request id — the batch-span linkage attr."""
+        return [
+            p.trace.request_id if p.trace is not None else (p.request.id or "?")
+            for p in live
+        ]
+
+    @staticmethod
+    def _mark_dequeued(pending: _Pending) -> None:
+        if pending.trace is not None:
+            pending.dequeued_at = time.perf_counter()
+
+    @staticmethod
+    def _stamp_group(
+        live: Sequence[_Pending],
+        started: float,
+        executed: float,
+        retries_used: int,
+        batch_requests: int,
+        batch_words: int,
+    ) -> None:
+        """Hand every member one shared tuple of batch-level stamps."""
+        stamps = (started, executed, retries_used, batch_requests,
+                  batch_words)
+        for pending in live:
+            if pending.trace is not None:
+                pending.group_stamps = stamps
+
+    def _finalize_flight(
+        self,
+        pending: _Pending,
+        status: str,
+        *,
+        error: str = "",
+        walls: Optional[List[float]] = None,
+    ) -> None:
+        """Assemble + record the flight exactly once (racing paths safe).
+
+        The record is built here, from the stamps the pipeline left on
+        *pending*, rather than mutated incrementally along the way —
+        racing finish paths (submitter-side deadline vs. worker-side
+        batch completion) are serialised by ``flight_done``.  When
+        *walls* is given the wall latency is appended there instead of
+        observed immediately: batch completion paths flush the whole
+        burst through :meth:`_observe_wall_many` in one locked call.
+        """
+        trace = pending.trace
+        if trace is None or pending.flight_done:
+            return
+        pending.flight_done = True
+        now = time.perf_counter()
+        request = pending.request
+        kernel = request.kernel or request.kind
+        stages: Dict[str, float] = {}
+        dequeued = pending.dequeued_at
+        if dequeued:
+            stages["queue_wait"] = dequeued - pending.accepted_at
+        stamps = pending.group_stamps
+        retries = batch_requests = batch_words = 0
+        if stamps is not None:
+            started, executed, retries, batch_requests, batch_words = stamps
+            if dequeued:
+                stages["batch_wait"] = started - dequeued
+            stages["execute"] = executed - started
+            if status == "ok":
+                stages["split"] = now - executed
+        # Positional, in FlightRecord field order — kwargs processing is
+        # measurable on this per-request path.
+        flight = FlightRecord(
+            trace.request_id, trace.trace_id, kernel, request.backend,
+            status, False, retries, batch_requests, batch_words,
+            pending.accepted_at, now, stages, error, True)
+        self._flight.record(flight)
+        if status == "ok":
+            wall = now - pending.accepted_at
+            if walls is not None:
+                walls.append(wall)
+            else:
+                self._observe_wall(kernel, wall)
+        else:
+            _LOG.warning("%s", flight.describe())
+
+    def _observe_wall(self, kernel: str, wall_s: float) -> None:
+        # Cache the labelled children per kernel: labels() is a locked
+        # dict lookup, and this runs once per request.
+        pair = self._wall_metrics.get(kernel)
+        if pair is None:
+            pair = (_WALL.labels(kernel=kernel), _LATENCY.labels(kernel=kernel))
+            self._wall_metrics[kernel] = pair
+        pair[0].observe(wall_s)
+        pair[1].observe(wall_s)
+
+    def _observe_wall_many(self, kernel: str, walls: Sequence[float]) -> None:
+        """Flush one batch's wall latencies in two locked calls."""
+        if not walls:
+            return
+        pair = self._wall_metrics.get(kernel)
+        if pair is None:
+            pair = (_WALL.labels(kernel=kernel), _LATENCY.labels(kernel=kernel))
+            self._wall_metrics[kernel] = pair
+        pair[0].observe_many(walls)
+        pair[1].observe_many(walls)
+
+    def stats(self) -> Dict[str, Any]:
+        """Live operational stats (the ``/healthz`` extra fields)."""
+        return {
+            "queue_depth": self._queue.qsize() if self._queue else 0,
+            "inflight_batches": len(self._inflight),
+            "workers": self.workers,
+            "cache_entries": len(self._cache),
+            "flight_capacity": self._flight.capacity,
+            "telemetry": self.telemetry,
+            "draining": self._draining,
+            "closed": self._closed,
+        }

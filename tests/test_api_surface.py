@@ -46,6 +46,7 @@ EXPECTED_SIGNATURES = {
         "cache_capacity": "1024",
         "spec": "None",
         "overrides": "None",
+        "metrics_port": "None",
     },
     "solve_crossbar": {
         "conductances": "<required>",

@@ -1,0 +1,89 @@
+"""Trace-context propagation (ISSUE 6 tentpole, part 1)."""
+
+import asyncio
+import contextvars
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.context import (
+    TraceContext,
+    bind_trace,
+    current_trace,
+    new_request_id,
+    new_trace_id,
+    trace_context,
+    unbind_trace,
+)
+
+
+class TestIds:
+    def test_shapes(self):
+        assert len(new_trace_id()) == 32  # 128-bit hex
+        assert len(new_request_id()) == 16  # 64-bit hex
+        int(new_trace_id(), 16)  # valid hex
+
+    def test_uniqueness(self):
+        assert len({new_trace_id() for _ in range(100)}) == 100
+
+
+class TestTraceContext:
+    def test_child_keeps_trace(self):
+        parent = TraceContext(trace_id="t1", request_id="r1")
+        child = parent.child("r2")
+        assert child.trace_id == "t1" and child.request_id == "r2"
+        assert parent.request_id == "r1"  # frozen, unchanged
+
+    def test_nothing_bound_by_default(self):
+        assert current_trace() is None
+
+    def test_context_manager_binds_and_restores(self):
+        with trace_context(trace_id="t", request_id="r") as ctx:
+            assert current_trace() is ctx
+            assert ctx.trace_id == "t" and ctx.request_id == "r"
+        assert current_trace() is None
+
+    def test_fresh_trace_id_minted_when_absent(self):
+        with trace_context() as ctx:
+            assert len(ctx.trace_id) == 32
+
+    def test_nested_context_joins_parent_trace(self):
+        with trace_context(trace_id="outer") as outer:
+            with trace_context(request_id="inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.request_id == "inner"
+            assert current_trace() is outer
+
+    def test_bind_unbind_token(self):
+        ctx = TraceContext(trace_id="t", request_id="r")
+        token = bind_trace(ctx)
+        assert current_trace() is ctx
+        unbind_trace(token)
+        assert current_trace() is None
+
+
+class TestPropagation:
+    def test_follows_asyncio_tasks_independently(self):
+        async def worker(name):
+            with trace_context(request_id=name) as ctx:
+                await asyncio.sleep(0.01)
+                assert current_trace() is ctx
+                return current_trace().request_id
+
+        async def main():
+            return await asyncio.gather(worker("a"), worker("b"))
+
+        assert asyncio.run(main()) == ["a", "b"]
+
+    def test_copy_context_carries_onto_pool_threads(self):
+        """run_in_executor does not propagate contextvars by itself; the
+        serve layer's copy_context().run idiom must."""
+        ctx = TraceContext(trace_id="t", request_id="r")
+        token = bind_trace(ctx)
+        try:
+            snapshot = contextvars.copy_context()
+        finally:
+            unbind_trace(token)
+        with ThreadPoolExecutor(max_workers=1) as pool:
+            bare = pool.submit(current_trace).result()
+            carried = pool.submit(lambda: snapshot.run(current_trace)).result()
+        assert bare is None
+        assert carried is ctx

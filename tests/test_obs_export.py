@@ -9,8 +9,10 @@ from repro.errors import ObservabilityError
 from repro.obs.export import (
     console_summary,
     export_jsonl,
+    export_metrics_jsonl,
     export_prometheus,
     export_spans_jsonl,
+    metric_records,
     prometheus_text,
     span_records,
 )
@@ -134,6 +136,113 @@ class TestPrometheus:
     def test_empty_registry(self):
         assert prometheus_text(MetricsRegistry()) == ""
 
+    def test_golden_summary_text(self):
+        reg = MetricsRegistry()
+        s = reg.summary("rt_seconds", "request wall time")
+        s.observe(0.25)  # single observation: every quantile equals it
+        s.labels(kernel="adder").observe(0.5)
+        golden = "\n".join([
+            "# HELP rt_seconds request wall time",
+            "# TYPE rt_seconds summary",
+            'rt_seconds{kernel="adder",quantile="0.5"} 0.5',
+            'rt_seconds{kernel="adder",quantile="0.95"} 0.5',
+            'rt_seconds{kernel="adder",quantile="0.99"} 0.5',
+            'rt_seconds_sum{kernel="adder"} 0.5',
+            'rt_seconds_count{kernel="adder"} 1',
+        ]) + "\n"
+        assert prometheus_text(reg) == golden
+
+    def test_unlabelled_summary_renders_quantile_series(self):
+        reg = MetricsRegistry()
+        reg.summary("rt").observe(0.25)
+        text = prometheus_text(reg)
+        assert 'rt{quantile="0.5"} 0.25' in text
+        assert "rt_sum 0.25" in text
+        assert "rt_count 1" in text
+
+    def test_empty_summary_skips_quantile_series(self):
+        reg = MetricsRegistry()
+        reg.summary("rt", "never observed")
+        text = prometheus_text(reg)
+        assert "quantile" not in text
+        assert "rt_count 0" in text
+
+
+class TestPrometheusEscaping:
+    """ISSUE 6 satellite: hostile label values must stay parseable."""
+
+    def test_quotes_backslashes_newlines_escaped(self):
+        reg = MetricsRegistry()
+        hostile = 'say "hi"\\now\nplease'
+        reg.counter("evil_total").labels(kernel=hostile).inc()
+        text = prometheus_text(reg)
+        assert (
+            'evil_total{kernel="say \\"hi\\"\\\\now\\nplease"} 1.0' in text
+        )
+        # No physical line may be broken by a raw newline in a value.
+        for line in text.splitlines():
+            assert line.count('"') % 2 == 0
+
+    def test_each_hostile_byte_alone(self):
+        cases = {
+            'a"b': 'a\\"b',
+            "a\\b": "a\\\\b",
+            "a\nb": "a\\nb",
+        }
+        for raw, escaped in cases.items():
+            reg = MetricsRegistry()
+            reg.gauge("g").labels(v=raw).set(1.0)
+            assert f'g{{v="{escaped}"}} 1.0' in prometheus_text(reg)
+
+    def test_help_text_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "line one\nline two \\ backslash")
+        text = prometheus_text(reg)
+        assert "# HELP c line one\\nline two \\\\ backslash" in text
+
+
+class TestMetricRecords:
+    def test_flattens_every_instance(self):
+        records = metric_records(small_registry())
+        by_key = {(r["metric"], tuple(sorted(r["labels"].items()))): r
+                  for r in records}
+        assert by_key[("pulses_total", ())]["value"] == 42.0
+        assert by_key[("pulses_total", ())]["kind"] == "counter"
+        assert by_key[("ops_total", (("op", "IMP"),))]["value"] == 3.0
+        hist = by_key[("latency_seconds", ())]
+        assert hist["count"] == 3
+        assert hist["buckets"][-1] == ["+Inf", 3]  # inf stays strict JSON
+
+    def test_summary_record_payload(self):
+        reg = MetricsRegistry()
+        reg.summary("rt", "wall").observe(0.25)
+        (record,) = metric_records(reg)
+        assert record["kind"] == "summary"
+        assert record["count"] == 1
+        assert record["quantiles"] == {"0.5": 0.25, "0.95": 0.25, "0.99": 0.25}
+
+    def test_golden_jsonl(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "things").inc(2)
+        reg.gauge("g").labels(op="IMP").set(0.5)
+        sink = io.StringIO()
+        n = export_metrics_jsonl(reg, sink)
+        assert n == 2
+        golden = (
+            '{"help": "things", "kind": "counter", "labels": {}, '
+            '"metric": "c", "value": 2.0}\n'
+            '{"kind": "gauge", "labels": {"op": "IMP"}, '
+            '"metric": "g", "value": 0.5}\n'
+        )
+        assert sink.getvalue() == golden
+
+    def test_nonfinite_gauge_survives_strict_json(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(float("inf"))
+        sink = io.StringIO()
+        export_metrics_jsonl(reg, sink)
+        assert json.loads(sink.getvalue())["value"] == "+Inf"
+
 
 class TestConsoleSummary:
     def test_contains_every_metric(self):
@@ -144,3 +253,10 @@ class TestConsoleSummary:
 
     def test_empty_registry(self):
         assert "empty" in console_summary(MetricsRegistry())
+
+    def test_summary_row_shows_quantiles(self):
+        reg = MetricsRegistry()
+        reg.summary("rt").observe(0.25)
+        text = console_summary(reg)
+        assert "count=1" in text
+        assert "p50=0.25" in text and "p99=0.25" in text

@@ -1,0 +1,113 @@
+"""Flight recorder ring buffer (ISSUE 6 tentpole, part 2)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.flight import FlightRecord, FlightRecorder, get_flight_recorder
+
+
+def record(request_id="r1", status="ok", **kwargs):
+    rec = FlightRecord(request_id=request_id, **kwargs)
+    rec.close(status)
+    return rec
+
+
+class TestFlightRecord:
+    def test_close_is_idempotent_first_wins(self):
+        rec = FlightRecord(request_id="r")
+        assert rec.close("deadline", error="expired") is True
+        assert rec.close("ok") is False  # racing worker-side finish loses
+        assert rec.status == "deadline" and rec.error == "expired"
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(ObservabilityError):
+            FlightRecord(request_id="r").close("exploded")
+
+    def test_wall_seconds(self):
+        rec = FlightRecord(request_id="r", accepted_at=10.0)
+        assert rec.wall_s == 0.0  # still pending
+        rec.close("ok", at=10.5)
+        assert rec.wall_s == pytest.approx(0.5)
+
+    def test_as_dict_round_trips_stages(self):
+        rec = FlightRecord(request_id="r", trace_id="t", kernel="adder",
+                           backend="functional", accepted_at=1.0)
+        rec.stages["queue_wait"] = 0.001
+        rec.stages["execute"] = 0.002
+        rec.retries = 1
+        rec.close("error", error="boom", at=1.01)
+        dumped = rec.as_dict()
+        assert dumped["request_id"] == "r"
+        assert dumped["trace_id"] == "t"
+        assert dumped["stages"] == {"queue_wait": 0.001, "execute": 0.002}
+        assert dumped["retries"] == 1
+        assert dumped["error"] == "boom"
+        assert dumped["wall_s"] == pytest.approx(0.01)
+        assert "accepted_at" not in dumped  # perf-counter values are private
+
+    def test_describe_mentions_id_status_and_stages(self):
+        rec = FlightRecord(request_id="r9", kernel="adder", accepted_at=0.0)
+        rec.stages["execute"] = 0.0005
+        rec.close("ok", at=0.001)
+        line = rec.describe()
+        assert "r9" in line and "[ok]" in line and "execute=500us" in line
+
+
+class TestFlightRecorder:
+    def test_capacity_validation(self):
+        with pytest.raises(ObservabilityError):
+            FlightRecorder(capacity=0)
+
+    def test_ring_evicts_oldest(self):
+        recorder = FlightRecorder(capacity=3)
+        for i in range(5):
+            recorder.record(record(f"r{i}"))
+        assert len(recorder) == 3
+        assert [r.request_id for r in recorder.last()] == ["r2", "r3", "r4"]
+
+    def test_last_n(self):
+        recorder = FlightRecorder(capacity=10)
+        for i in range(4):
+            recorder.record(record(f"r{i}"))
+        assert [r.request_id for r in recorder.last(2)] == ["r2", "r3"]
+        assert recorder.last(0) == []
+        assert len(recorder.last(99)) == 4
+
+    def test_query_by_request_id_and_status(self):
+        recorder = FlightRecorder()
+        recorder.record(record("a", "ok"))
+        recorder.record(record("b", "deadline"))
+        recorder.record(record("a", "cached"))
+        assert [r.status for r in recorder.for_request("a")] == ["ok", "cached"]
+        assert [r.request_id for r in recorder.with_status("deadline")] == ["b"]
+
+    def test_as_dicts(self):
+        recorder = FlightRecorder()
+        recorder.record(record("a"))
+        dumps = recorder.as_dicts()
+        assert len(dumps) == 1 and dumps[0]["request_id"] == "a"
+
+    def test_clear(self):
+        recorder = FlightRecorder()
+        recorder.record(record("a"))
+        recorder.clear()
+        assert len(recorder) == 0
+
+    def test_concurrent_recording_loses_nothing(self):
+        recorder = FlightRecorder(capacity=4000)
+        threads = [
+            threading.Thread(target=lambda t=t: [
+                recorder.record(record(f"t{t}-{i}")) for i in range(500)
+            ])
+            for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(recorder) == 2000
+
+    def test_process_wide_recorder_is_shared(self):
+        assert get_flight_recorder() is get_flight_recorder()

@@ -1,0 +1,249 @@
+"""The live telemetry HTTP endpoint and `repro top` (ISSUE 6, part 4)."""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.flight import FlightRecord, FlightRecorder
+from repro.obs.httpexport import TelemetryHTTPServer, fetch_json, render_top
+from repro.obs.registry import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("requests_total", "served").inc(7)
+    reg.summary("latency_seconds").labels(kernel="adder").observe(0.002)
+    return reg
+
+
+def populated_flight() -> FlightRecorder:
+    recorder = FlightRecorder()
+    for i in range(4):
+        rec = FlightRecord(request_id=f"r{i}", kernel="adder",
+                           accepted_at=float(i))
+        rec.stages["execute"] = 0.001
+        rec.close("ok", at=float(i) + 0.01)
+        recorder.record(rec)
+    return recorder
+
+
+def serve_and_fetch(paths, *, registry=None, flight=None, health=None,
+                    raw=False):
+    """Start a server, GET every path from a worker thread, stop it."""
+
+    async def scenario():
+        server = TelemetryHTTPServer(
+            registry=registry if registry is not None else populated_registry(),
+            flight=flight if flight is not None else populated_flight(),
+            health=health,
+        )
+        await server.start()
+
+        def client():
+            out = []
+            for path in paths:
+                with urllib.request.urlopen(server.url + path, timeout=5) as r:
+                    body = r.read().decode("utf-8")
+                    out.append(body if raw else json.loads(body))
+            return out
+
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(None, client)
+        finally:
+            await server.stop()
+
+    return asyncio.run(scenario())
+
+
+class TestRoutes:
+    def test_metrics_prometheus_text(self):
+        (body,) = serve_and_fetch(["/metrics"], raw=True)
+        assert "# TYPE requests_total counter" in body
+        assert "requests_total 7.0" in body
+        assert 'latency_seconds{kernel="adder",quantile="0.5"}' in body
+
+    def test_metrics_json_snapshot(self):
+        (snapshot,) = serve_and_fetch(["/metrics?format=json"])
+        assert snapshot["requests_total"]["value"] == 7.0
+        child = snapshot["latency_seconds"]["children"][0]
+        assert child["labels"] == {"kernel": "adder"}
+        assert child["count"] == 1
+
+    def test_healthz_includes_extra_fields(self):
+        (health,) = serve_and_fetch(
+            ["/healthz"], health=lambda: {"queue_depth": 3})
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 3
+        assert health["flight_records"] == 4
+        assert health["uptime_s"] >= 0
+
+    def test_flight_dump_and_last_n(self):
+        everything, last_two = serve_and_fetch(["/flight", "/flight?last=2"])
+        assert [r["request_id"] for r in everything["records"]] == [
+            "r0", "r1", "r2", "r3"]
+        assert [r["request_id"] for r in last_two["records"]] == ["r2", "r3"]
+        assert last_two["records"][0]["stages"]["execute"] == 0.001
+
+
+class TestErrors:
+    def test_unknown_route_is_404(self):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            serve_and_fetch(["/nope"])
+        assert excinfo.value.code == 404
+
+    def test_bad_last_is_400(self):
+        for query in ("last=abc", "last=-1"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                serve_and_fetch([f"/flight?{query}"])
+            assert excinfo.value.code == 400
+
+    def test_post_is_405(self):
+        async def scenario():
+            server = TelemetryHTTPServer(registry=MetricsRegistry(),
+                                         flight=FlightRecorder())
+            await server.start()
+
+            def client():
+                req = urllib.request.Request(
+                    server.url + "/metrics", data=b"x", method="POST")
+                try:
+                    urllib.request.urlopen(req, timeout=5)
+                except urllib.error.HTTPError as exc:
+                    return exc.code
+                return None
+
+            try:
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(None, client)
+            finally:
+                await server.stop()
+
+        assert asyncio.run(scenario()) == 405
+
+    def test_port_reports_only_while_running(self):
+        server = TelemetryHTTPServer()
+        with pytest.raises(ObservabilityError):
+            server.port
+
+    def test_double_start_rejected(self):
+        async def scenario():
+            server = TelemetryHTTPServer(registry=MetricsRegistry(),
+                                         flight=FlightRecorder())
+            await server.start()
+            try:
+                with pytest.raises(ObservabilityError):
+                    await server.start()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestClientHelpers:
+    def test_fetch_json_rejects_unreachable(self):
+        with pytest.raises(ObservabilityError):
+            fetch_json("http://127.0.0.1:1/healthz", timeout=0.2)
+
+    def test_render_top_sections(self):
+        snapshot = {
+            "latency_seconds": {
+                "kind": "summary", "help": "",
+                "count": 0, "sum": 0.0, "quantiles": {},
+                "children": [{
+                    "kind": "summary", "labels": {"kernel": "adder"},
+                    "count": 10, "sum": 0.02, "mean": 0.002,
+                    "min": 0.001, "max": 0.003,
+                    "quantiles": {"0.5": 0.002, "0.99": 0.003},
+                }],
+            },
+            "requests_total": {"kind": "counter", "help": "", "value": 7.0},
+        }
+        health = {"status": "ok", "queue_depth": 2}
+        flight = [{"request_id": "r1", "status": "ok", "kernel": "adder",
+                   "wall_s": 0.004, "stages": {"execute": 0.001}}]
+        view = render_top(snapshot, health, flight)
+        assert "health: queue_depth=2 status=ok" in view
+        assert "latency_seconds{kernel=adder}: n=10 p50=0.002 p99=0.003" in view
+        assert "requests_total: 7" in view
+        assert "r1 [ok] adder wall=4000us execute=1000us" in view
+
+    def test_render_top_empty(self):
+        assert render_top({}) == "(no telemetry)"
+
+
+class TestTopCommand:
+    def test_repro_top_one_iteration(self, capsys):
+        """`repro top --iterations 1` polls a live endpoint and renders."""
+        from repro.__main__ import main
+
+        started = threading.Event()
+        stop = threading.Event()
+        url_box = {}
+
+        def endpoint_thread():
+            async def run_server():
+                server = TelemetryHTTPServer(
+                    registry=populated_registry(), flight=populated_flight())
+                await server.start()
+                url_box["url"] = f"127.0.0.1:{server.port}"
+                started.set()
+                while not stop.is_set():
+                    await asyncio.sleep(0.01)
+                await server.stop()
+
+            asyncio.run(run_server())
+
+        thread = threading.Thread(target=endpoint_thread)
+        thread.start()
+        try:
+            assert started.wait(5)
+            code = main(["top", url_box["url"], "--iterations", "1",
+                         "--interval", "0"])
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "requests_total: 7" in out
+        assert "recent flights:" in out
+
+    def test_repro_top_json_mode(self, capsys):
+        from repro.__main__ import main
+
+        started = threading.Event()
+        stop = threading.Event()
+        url_box = {}
+
+        def endpoint_thread():
+            async def run_server():
+                server = TelemetryHTTPServer(
+                    registry=populated_registry(), flight=populated_flight())
+                await server.start()
+                url_box["url"] = f"127.0.0.1:{server.port}"
+                started.set()
+                while not stop.is_set():
+                    await asyncio.sleep(0.01)
+                await server.stop()
+
+            asyncio.run(run_server())
+
+        thread = threading.Thread(target=endpoint_thread)
+        thread.start()
+        try:
+            assert started.wait(5)
+            code = main(["top", url_box["url"], "--iterations", "1",
+                         "--interval", "0", "--json"])
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["health"]["status"] == "ok"
+        assert payload["metrics"]["requests_total"]["value"] == 7.0
+        assert len(payload["flight"]) == 4

@@ -1,14 +1,19 @@
 """Unit tests for the metrics registry (counters, gauges, histograms)."""
 
+import threading
+
 import pytest
 
 from repro.errors import ObservabilityError
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
+    DEFAULT_QUANTILES,
+    LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
     get_registry,
 )
 
@@ -94,6 +99,59 @@ class TestHistogram:
         assert h.bucket_counts() == [(1.0, 0), (float("inf"), 0)]
 
 
+class TestSummary:
+    def test_tracks_default_quantiles(self):
+        s = Summary("lat")
+        assert s.quantile_targets == DEFAULT_QUANTILES
+        for i in range(1, 101):
+            s.observe(i / 100.0)
+        assert s.count == 100
+        assert s.sum == pytest.approx(50.5)
+        assert s.quantile(0.5) == pytest.approx(0.5, abs=0.05)
+        assert s.quantile(0.99) == pytest.approx(0.99, abs=0.05)
+
+    def test_custom_quantiles(self):
+        s = Summary("lat", quantiles=(0.25, 0.75))
+        s.observe(1.0)
+        assert set(s.quantiles()) == {0.25, 0.75}
+        with pytest.raises(ObservabilityError):
+            s.quantile(0.5)  # untracked target
+
+    def test_bad_quantiles_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Summary("lat", quantiles=())
+        with pytest.raises(ObservabilityError):
+            Summary("lat", quantiles=(0.9, 0.5))
+        with pytest.raises(ObservabilityError):
+            Summary("lat", quantiles=(0.0, 0.5))
+
+    def test_empty_summary(self):
+        s = Summary("lat")
+        assert s.count == 0
+        assert s.quantile(0.5) is None
+        assert s.minimum is None and s.maximum is None
+
+    def test_bookkeeping(self):
+        s = Summary("lat")
+        for v in (3.0, 1.0, 2.0):
+            s.observe(v)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.mean == pytest.approx(2.0)
+
+    def test_reset(self):
+        s = Summary("lat")
+        s.observe(5.0)
+        s.reset()
+        assert s.count == 0 and s.quantile(0.5) is None
+
+    def test_labelled_children(self):
+        s = Summary("lat")
+        s.labels(kernel="adder").observe(0.5)
+        s.labels(kernel="adder").observe(1.5)
+        assert s.labels(kernel="adder").count == 2
+        assert s.labels(kernel="adder").quantile(0.5) == pytest.approx(1.0)
+
+
 class TestLabels:
     def test_same_labels_same_child(self):
         c = Counter("ops_total")
@@ -173,7 +231,84 @@ class TestRegistry:
         assert snap["h"]["buckets"] == [[1.0, 1], [float("inf"), 1]]
         assert snap["lab"]["children"][0]["labels"] == {"op": "X"}
 
+    def test_summary_registration(self):
+        reg = MetricsRegistry()
+        s = reg.summary("lat", "latency", quantiles=(0.5, 0.9))
+        assert reg.summary("lat") is s
+        with pytest.raises(ObservabilityError):
+            reg.counter("lat")
+
+    def test_histogram_bucket_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        assert reg.histogram("h") is reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_summary_quantile_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.summary("s", quantiles=(0.5,))
+        with pytest.raises(ObservabilityError):
+            reg.summary("s", quantiles=(0.5, 0.9))
+
+    def test_latency_buckets_are_microsecond_scale(self):
+        assert LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+        assert LATENCY_BUCKETS[-1] == pytest.approx(10.0)
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
     def test_global_registry_is_shared(self):
         assert get_registry() is get_registry()
         # The instrumented modules registered their hot-path metrics.
         assert get_registry().get("imply_pulses_total") is not None
+
+
+class TestThreadSafety:
+    """ISSUE 6 satellite: no lost updates under concurrent mutation."""
+
+    THREADS = 8
+    ROUNDS = 2000
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.THREADS)
+
+        def body():
+            barrier.wait()
+            for _ in range(self.ROUNDS):
+                fn()
+
+        threads = [threading.Thread(target=body) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_increments_not_lost(self):
+        c = Counter("stress_total")
+        self._hammer(lambda: c.inc())
+        assert c.value == self.THREADS * self.ROUNDS
+
+    def test_gauge_increments_not_lost(self):
+        g = Gauge("stress_gauge")
+        self._hammer(lambda: g.inc(1.0))
+        assert g.value == pytest.approx(self.THREADS * self.ROUNDS)
+
+    def test_histogram_observations_not_lost(self):
+        h = Histogram("stress_hist", buckets=(0.5, 1.5))
+        self._hammer(lambda: h.observe(1.0))
+        total = self.THREADS * self.ROUNDS
+        assert h.count == total
+        assert h.sum == pytest.approx(total)
+        assert h.bucket_counts() == [
+            (0.5, 0), (1.5, total), (float("inf"), total)]
+
+    def test_summary_observations_not_lost(self):
+        s = Summary("stress_summary")
+        self._hammer(lambda: s.observe(1.0))
+        assert s.count == self.THREADS * self.ROUNDS
+        assert s.quantile(0.5) == pytest.approx(1.0)
+
+    def test_concurrent_label_creation_yields_one_child(self):
+        c = Counter("stress_labels_total")
+        self._hammer(lambda: c.labels(op="IMP").inc())
+        assert len(c.children()) == 1
+        assert c.labels(op="IMP").value == self.THREADS * self.ROUNDS

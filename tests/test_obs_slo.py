@@ -1,0 +1,108 @@
+"""SLO declarations and error-budget burn (ISSUE 6 tentpole, part 5)."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.slo import SLO, SLOTracker
+
+
+class TestSLOValidation:
+    def test_needs_a_name_and_at_least_one_objective(self):
+        with pytest.raises(ObservabilityError):
+            SLO(name="")
+        with pytest.raises(ObservabilityError):
+            SLO(name="empty")  # neither latency nor error objective
+
+    def test_latency_target_must_be_positive(self):
+        with pytest.raises(ObservabilityError):
+            SLO(name="x", latency_target_s=0.0)
+
+    def test_objectives_strictly_inside_unit_interval(self):
+        with pytest.raises(ObservabilityError):
+            SLO(name="x", latency_target_s=1.0, latency_objective=1.0)
+        with pytest.raises(ObservabilityError):
+            SLO(name="x", error_rate_objective=0.0)
+
+
+class TestLatencyBudget:
+    def test_burn_math(self):
+        # p90 under 1ms over 100 requests allows 10 breaches.
+        slo = SLO(name="p90", latency_target_s=1e-3, latency_objective=0.9)
+        tracker = SLOTracker(slo)
+        for i in range(100):
+            tracker.record(2e-3 if i < 5 else 1e-4)
+        assert tracker.total == 100
+        assert tracker.latency_breaches == 5
+        assert tracker.latency_burn() == pytest.approx(0.5)
+        assert tracker.met()
+
+    def test_blown_budget(self):
+        slo = SLO(name="p90", latency_target_s=1e-3, latency_objective=0.9)
+        tracker = SLOTracker(slo)
+        for i in range(100):
+            tracker.record(2e-3 if i < 20 else 1e-4)
+        assert tracker.latency_burn() == pytest.approx(2.0)
+        assert not tracker.met()
+
+    def test_no_traffic_is_unburnt(self):
+        tracker = SLOTracker(SLO(name="idle", latency_target_s=1e-3))
+        assert tracker.latency_burn() == 0.0
+        assert tracker.met()
+
+    def test_live_quantile_estimate(self):
+        slo = SLO(name="p99", latency_target_s=1.0, latency_objective=0.99)
+        tracker = SLOTracker(slo)
+        for i in range(1000):
+            tracker.record(i / 1000.0)
+        assert tracker.latency_quantile() == pytest.approx(0.99, abs=0.02)
+
+    def test_median_objective_supported(self):
+        # objective <= 0.5 must not break the digest's target ordering
+        tracker = SLOTracker(
+            SLO(name="p50", latency_target_s=1.0, latency_objective=0.5))
+        tracker.record(0.1)
+        assert tracker.latency_quantile() == pytest.approx(0.1)
+
+
+class TestErrorBudget:
+    def test_burn_math(self):
+        slo = SLO(name="errors", error_rate_objective=0.95)
+        tracker = SLOTracker(slo)
+        for i in range(100):
+            tracker.record(1e-4, ok=(i % 50 != 0))  # 2 failures
+        assert tracker.errors == 2
+        assert tracker.error_burn() == pytest.approx(0.4)
+        assert tracker.met()
+
+    def test_failures_do_not_feed_latency(self):
+        slo = SLO(name="both", latency_target_s=1e-3,
+                  latency_objective=0.9, error_rate_objective=0.9)
+        tracker = SLOTracker(slo)
+        tracker.record(1e-4, ok=True)
+        tracker.record(5.0, ok=False)  # slow failure: error budget only
+        assert tracker.latency_breaches == 0
+        assert tracker.errors == 1
+        assert tracker.latency_quantile() == pytest.approx(1e-4)
+
+
+class TestReporting:
+    def test_report_payload(self):
+        slo = SLO(name="serve-p99", latency_target_s=1e-2,
+                  latency_objective=0.99, error_rate_objective=0.999)
+        tracker = SLOTracker(slo)
+        for _ in range(10):
+            tracker.record(1e-3)
+        report = tracker.report()
+        assert report["slo"] == "serve-p99"
+        assert report["total"] == 10
+        assert report["met"] is True
+        assert report["latency_burn"] == 0.0
+        assert report["error_burn"] == 0.0
+        assert report["latency_quantile_s"] == pytest.approx(1e-3)
+
+    def test_describe_is_one_line(self):
+        tracker = SLOTracker(SLO(name="x", latency_target_s=1e-3))
+        tracker.record(1e-4)
+        line = tracker.describe()
+        assert "\n" not in line
+        assert "slo x" in line and "MET" in line
