@@ -23,7 +23,10 @@ from typing import Optional
 
 import numpy as np
 
-from ..crossbar.solver import solve_with_wire_resistance
+from ..crossbar.solver import (
+    solve_many_with_wire_resistance,
+    solve_with_wire_resistance,
+)
 from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
 from ..errors import CrossbarError
 
@@ -171,6 +174,39 @@ class AnalogCrossbar:
         )
         return solution.col_currents
 
+    def column_currents_many(
+        self,
+        inputs: np.ndarray,
+        wire_resistance: Optional[float] = None,
+        backend: str = "auto",
+    ) -> np.ndarray:
+        """Bitline currents for a batch of input vectors, ``(n, cols)``.
+
+        Every input vector drives all lines of the same programmed
+        array, so all the nodal systems share one sparsity structure:
+        with *wire_resistance* the whole batch is one factorization and
+        a single multi-column solve
+        (:func:`repro.crossbar.solver.solve_many_with_wire_resistance`).
+        """
+        v = np.asarray(inputs, dtype=float)
+        if v.ndim != 2 or v.shape[1] != self.rows:
+            raise CrossbarError(
+                f"inputs shape {v.shape} does not match (n, {self.rows})"
+            )
+        voltages = v * self.spec.v_read
+        if wire_resistance is None:
+            return voltages @ self._g
+        col_drive = {j: 0.0 for j in range(self.cols)}
+        drives = [
+            ({i: float(row[i]) for i in range(self.rows)}, col_drive)
+            for row in voltages
+        ]
+        solutions = solve_many_with_wire_resistance(
+            self._g, drives, wire_resistance=wire_resistance,
+            backend=backend,
+        )
+        return np.stack([solution.col_currents for solution in solutions])
+
     def matvec(
         self,
         inputs: np.ndarray,
@@ -189,6 +225,27 @@ class AnalogCrossbar:
         slope = (self.spec.g_max - self.spec.g_min)
         sum_x = x.sum()
         normalised = (currents / self.spec.v_read - self.spec.g_min * sum_x) / slope
+        return normalised * span + self._w_min * sum_x
+
+    def matvec_many(
+        self,
+        inputs: np.ndarray,
+        wire_resistance: Optional[float] = None,
+        backend: str = "auto",
+    ) -> np.ndarray:
+        """Weight-domain products for a batch: ``(n, rows) -> (n, cols)``.
+
+        Row ``i`` equals ``matvec(inputs[i])``; the electrical work is
+        batched through :meth:`column_currents_many`.
+        """
+        x = np.asarray(inputs, dtype=float)
+        currents = self.column_currents_many(x, wire_resistance, backend)
+        span = self._w_max - self._w_min
+        slope = (self.spec.g_max - self.spec.g_min)
+        sum_x = x.sum(axis=1, keepdims=True)
+        normalised = (
+            currents / self.spec.v_read - self.spec.g_min * sum_x
+        ) / slope
         return normalised * span + self._w_min * sum_x
 
     # -- cost -----------------------------------------------------------------

@@ -4,7 +4,10 @@ Public API:
 
 * :class:`CrossbarArray` — junction grid.
 * :func:`solve_ideal_wires` / :func:`solve_with_wire_resistance` —
-  Kirchhoff solvers.
+  Kirchhoff solvers; :func:`solve_many_with_wire_resistance` batches
+  drive patterns as multi-RHS blocks against shared factorizations and
+  :func:`solve_junction_variants` answers single-cell conductance
+  changes by rank-1 update.
 * Bias schemes (:class:`FloatingBias`, :class:`GroundedBias`,
   :class:`VHalfBias`, :class:`VThirdBias`).
 * Junction options (:class:`OneR`, :class:`OneSelectorOneR`,
@@ -30,6 +33,7 @@ from .disturb import (
     ecm_disturb_report,
     max_writes_per_row,
     solved_unselected_stress,
+    solved_unselected_stress_sweep,
     threshold_disturb_free,
 )
 from .memory import AccessStats, CrossbarMemory
@@ -55,6 +59,8 @@ from .solver import (
     clear_factorization_cache,
     scipy_available,
     solve_ideal_wires,
+    solve_junction_variants,
+    solve_many_with_wire_resistance,
     solve_with_wire_resistance,
 )
 
@@ -63,6 +69,8 @@ __all__ = [
     "CrossbarSolution",
     "solve_ideal_wires",
     "solve_with_wire_resistance",
+    "solve_many_with_wire_resistance",
+    "solve_junction_variants",
     "clear_factorization_cache",
     "scipy_available",
     "BiasScheme",
@@ -92,6 +100,7 @@ __all__ = [
     "DisturbReport",
     "ecm_disturb_report",
     "solved_unselected_stress",
+    "solved_unselected_stress_sweep",
     "threshold_disturb_free",
     "compare_schemes",
     "max_writes_per_row",

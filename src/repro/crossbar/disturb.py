@@ -25,7 +25,11 @@ from ..devices.ecm import ECMMemristor
 from ..errors import CrossbarError
 from .array import CrossbarArray
 from .bias import ALL_SCHEMES, BiasScheme
-from .solver import solve_ideal_wires, solve_with_wire_resistance
+from .solver import (
+    solve_ideal_wires,
+    solve_many_with_wire_resistance,
+    solve_with_wire_resistance,
+)
 
 
 @dataclass(frozen=True)
@@ -98,6 +102,61 @@ def solved_unselected_stress(
     stress = np.abs(vdiff)
     stress[sel_row, sel_col] = 0.0
     return float(stress.max())
+
+
+def solved_unselected_stress_sweep(
+    scheme: BiasScheme,
+    v_write: float,
+    rows: int = 8,
+    cols: int = 8,
+    junction_factory: Optional[Callable[[int, int], object]] = None,
+    selected: Optional[Sequence[tuple]] = None,
+    background_bit: int = 1,
+    wire_resistance: Optional[float] = None,
+) -> list:
+    """Worst-case unselected stress for each selected cell in *selected*.
+
+    The per-cell answer matches :func:`solved_unselected_stress`; the
+    sweep solves them together.  V/2 and V/3 biasing drive every line
+    regardless of which cell is selected, so with *wire_resistance* all
+    the drive patterns share one sparsity structure and the whole sweep
+    is a single factorization plus one multi-column solve
+    (:func:`repro.crossbar.solver.solve_many_with_wire_resistance`).
+    *selected* defaults to every cell — the full disturb map.
+    """
+    if v_write == 0:
+        raise CrossbarError("v_write must be nonzero")
+    if selected is None:
+        selected = [(r, c) for r in range(rows) for c in range(cols)]
+    for index, (r, c) in enumerate(selected):
+        if not (0 <= r < rows and 0 <= c < cols):
+            raise CrossbarError(
+                f"selected cell {index} = ({r}, {c}) outside "
+                f"{rows}x{cols} array"
+            )
+    array = CrossbarArray(rows, cols, junction_factory)
+    array.fill(background_bit)
+    g = array.conductance_matrix()
+    drives = [
+        scheme.drives(rows, cols, r, c, v_write) for r, c in selected
+    ]
+    stresses = []
+    if wire_resistance is None:
+        for (r, c), (row_drive, col_drive) in zip(selected, drives):
+            solution = solve_ideal_wires(g, row_drive, col_drive)
+            vdiff = np.abs(solution.row_voltages[:, None]
+                           - solution.col_voltages[None, :])
+            vdiff[r, c] = 0.0
+            stresses.append(float(vdiff.max()))
+        return stresses
+    solutions = solve_many_with_wire_resistance(
+        g, drives, wire_resistance=wire_resistance
+    )
+    for (r, c), solution in zip(selected, solutions):
+        vdiff = np.abs(solution.row_voltages - solution.col_voltages)
+        vdiff[r, c] = 0.0
+        stresses.append(float(vdiff.max()))
+    return stresses
 
 
 def ecm_disturb_report(

@@ -26,7 +26,12 @@ from ..obs.logsetup import get_logger
 from ..obs.registry import get_registry
 from .array import CrossbarArray
 from .bias import BiasScheme, FloatingBias
-from .solver import CrossbarSolution, solve_ideal_wires, solve_with_wire_resistance
+from .solver import (
+    CrossbarSolution,
+    solve_ideal_wires,
+    solve_junction_variants,
+    solve_with_wire_resistance,
+)
 
 JunctionFactory = Callable[[int, int], object]
 
@@ -201,6 +206,54 @@ def read_margin(
     (sparse solver; 256x256 sweeps are practical).
     """
     scheme = scheme if scheme is not None else FloatingBias()
+    if wire_resistance is not None:
+        # Linear junctions: the two stored values differ in exactly one
+        # cell's conductance, so the bit-0 case is a rank-1 update of
+        # the bit-1 system — one factorization total, no fixed-point
+        # iteration (linear junctions converge in a single pass by
+        # definition).  With the default junction every cell is
+        # identical, so one probe device replaces the whole Python
+        # object array.
+        g_matrix: Optional[np.ndarray] = None
+        if junction_factory is None:
+            probe = CrossbarArray(1, 1, None).cell(0, 0)
+            if not hasattr(probe, "resistance_at"):
+                probe.write_bit(1)
+                g_background = _junction_conductance(probe, 0, 0, v_read)
+                probe.write_bit(0)
+                g_low = _junction_conductance(probe, 0, 0, v_read)
+                g_matrix = np.full((rows, cols), g_background)
+        else:
+            array = worst_case_array(
+                rows, cols, junction_factory, 1, sel_row, sel_col
+            )
+            if not any(
+                hasattr(junction, "resistance_at")
+                for _, _, junction in array.iter_cells()
+            ):
+                g_matrix = array.conductance_matrix()
+                selected = array.cell(sel_row, sel_col)
+                selected.write_bit(0)
+                g_low = _junction_conductance(
+                    selected, sel_row, sel_col, v_read
+                )
+        if g_matrix is not None:
+            row_drive, col_drive = scheme.drives(
+                rows, cols, sel_row, sel_col, v_read
+            )
+            base, (variant,) = solve_junction_variants(
+                g_matrix, row_drive, col_drive,
+                [(sel_row, sel_col, g_low)],
+                wire_resistance=wire_resistance,
+            )
+            currents = [
+                abs(float(base.col_currents[sel_col])),
+                abs(float(variant.col_currents[sel_col])),
+            ]
+            return MarginReport(
+                rows=rows, cols=cols, scheme=scheme.name,
+                current_high=max(currents), current_low=min(currents),
+            )
     currents = []
     for bit in (1, 0):
         array = worst_case_array(rows, cols, junction_factory, bit, sel_row, sel_col)

@@ -67,7 +67,8 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,9 +87,11 @@ except ImportError:  # pragma: no cover - exercised via backend="dense"
 #: from the mapping float.
 LineDrive = Dict[int, float]
 
-#: Node-count ceiling for the dense fallback backend.  2 * rows * cols
-#: nodes; 16384 nodes is a 2 GB dense matrix — anything larger needs the
-#: sparse backend (install ``repro[fast]``).
+#: Node-count ceiling for the dense fallback backend (exclusive: the
+#: limit itself is refused).  2 * rows * cols nodes; 16384 nodes is
+#: already a 2 GB dense matrix, so the guard triggers at ``n >= limit``
+#: — anything that big needs the sparse backend (install
+#: ``repro[fast]``).
 DENSE_NODE_LIMIT = 16384
 
 #: Maximum number of memoised factorizations (LRU eviction beyond it).
@@ -120,13 +123,14 @@ def scipy_available() -> bool:
     return _HAVE_SCIPY
 
 
-def _note_solve(counter, a, b: np.ndarray, x: np.ndarray) -> None:
-    """Record one solve; the residual check runs only under tracing.
+def _note_solve(counter, a, b: np.ndarray, x: np.ndarray, count: int = 1) -> None:
+    """Record *count* solves; the residual check runs only under tracing.
 
     *a* may be a dense ndarray or a scipy sparse matrix — both support
-    ``a @ x``.
+    ``a @ x``.  A multi-RHS block (*b* of shape ``(n, k)``) counts as
+    *k* solves against one factorization.
     """
-    counter.inc()
+    counter.inc(count)
     _UNKNOWNS.observe(len(b))
     if _TRACER.enabled:
         _RESIDUAL.set(float(np.abs(a @ x - b).max()) if len(b) else 0.0)
@@ -369,12 +373,82 @@ def _assemble_full(
     return a
 
 
-def _make_solve(a_red, backend: str) -> Callable[[np.ndarray], np.ndarray]:
+@lru_cache(maxsize=8)
+def _grid_nd_order(rows: int, cols: int) -> np.ndarray:
+    """Nested-dissection node order for the 2·R·C crossbar grid graph.
+
+    The wire-resistance node graph is a quasi-2D grid: each cross-point
+    carries a row-side and a column-side node (joined by its junction),
+    row wires chain along ``c`` and column wires along ``r``.  Ordering
+    the *cells* by recursive bisection (separator line emitted last,
+    both nodes of a cell kept adjacent) and handing SuperLU the
+    pre-permuted matrix with ``permc_spec="NATURAL"`` roughly halves
+    both factor time and LU fill versus COLAMD on a 256x256 array —
+    COLAMD cannot see the grid geometry in the sparsity pattern alone.
+    """
+    rc = rows * cols
+    order: List[int] = []
+
+    def emit(r: int, c: int) -> None:
+        i = r * cols + c
+        order.append(i)
+        order.append(rc + i)
+
+    def rec(r0: int, r1: int, c0: int, c1: int) -> None:
+        h, w = r1 - r0, c1 - c0
+        if h <= 0 or w <= 0:
+            return
+        if h * w <= 4:
+            for r in range(r0, r1):
+                for c in range(c0, c1):
+                    emit(r, c)
+            return
+        if h >= w:
+            mid = (r0 + r1) // 2
+            rec(r0, mid, c0, c1)
+            rec(mid + 1, r1, c0, c1)
+            for c in range(c0, c1):
+                emit(mid, c)
+        else:
+            mid = (c0 + c1) // 2
+            rec(r0, r1, c0, mid)
+            rec(r0, r1, mid + 1, c1)
+            for r in range(r0, r1):
+                emit(r, mid)
+
+    rec(0, rows, 0, cols)
+    return np.array(order, dtype=np.intp)
+
+
+def _make_solve(
+    a_red, backend: str, perm: Optional[np.ndarray] = None
+) -> Callable[[np.ndarray], np.ndarray]:
+    """Factor the reduced system once; return a solve closure.
+
+    The closure accepts a 1-D right-hand side *or* an ``(n, k)``
+    multi-column block — sweeps of same-structure drive patterns go
+    through the factorization as one multi-RHS solve.  *perm* (sparse
+    backend) pre-permutes the system into the grid nested-dissection
+    order so SuperLU factors it with ``permc_spec="NATURAL"``.
+    """
     n = a_red.shape[0]
     if n == 0:
-        return lambda b: np.empty(0)
+        return lambda b: np.empty((0,) + np.shape(b)[1:])
     if backend == "sparse":
         try:
+            if perm is not None:
+                inverse = np.empty_like(perm)
+                inverse[perm] = np.arange(perm.size)
+                lu = _splu(
+                    a_red[perm][:, perm].tocsc(),
+                    permc_spec="NATURAL",
+                    options=dict(SymmetricMode=True, DiagPivotThresh=0.01),
+                )
+
+                def _solve_nd(b: np.ndarray) -> np.ndarray:
+                    return lu.solve(np.asarray(b)[perm])[inverse]
+
+                return _solve_nd
             lu = _splu(a_red.tocsc())
         except RuntimeError as exc:
             raise CrossbarError("singular crossbar system") from exc
@@ -426,6 +500,15 @@ def _build_factorization(
         unknown = np.arange(n)
         a_red = a_full
         a_up = None
+    perm = None
+    if backend == "sparse":
+        # Map the grid nested-dissection node order onto the reduced
+        # (unknown-only) index space, preserving ND order.
+        nd_nodes = _grid_nd_order(rows, cols)
+        position = np.full(n, -1, dtype=np.intp)
+        position[unknown] = np.arange(unknown.size, dtype=np.intp)
+        nd_positions = position[nd_nodes]
+        perm = nd_positions[nd_positions >= 0]
     return _Factorization(
         backend=backend,
         n_nodes=n,
@@ -435,7 +518,7 @@ def _build_factorization(
         g_drv=g_drv,
         a_red=a_red,
         a_up=a_up,
-        solve=_make_solve(a_red, backend),
+        solve=_make_solve(a_red, backend, perm),
     )
 
 
@@ -447,6 +530,10 @@ def _get_factorization(
     driver_resistance: float,
     backend: str,
 ) -> _Factorization:
+    # The conductance digest is recomputed at *every* lookup (not
+    # stored at insert time), so mutating `g` in place between solves
+    # can never resurrect a stale factorization: the changed bytes hash
+    # to a different key and force a rebuild.
     digest = hashlib.blake2b(
         np.ascontiguousarray(g).tobytes(), digest_size=16
     ).digest()
@@ -471,6 +558,89 @@ def _get_factorization(
     return fact
 
 
+def _validate_wire_problem(
+    conductances: np.ndarray,
+    wire_resistance: float,
+    driver_resistance: float,
+    backend: str,
+) -> Tuple[np.ndarray, str]:
+    """Shared validation for the wire-resistance entry points."""
+    g = np.asarray(conductances, dtype=float)
+    if g.ndim != 2:
+        raise CrossbarError(f"conductance matrix must be 2-D, got shape {g.shape}")
+    if (g < 0).any():
+        raise CrossbarError("conductances must be non-negative")
+    rows, cols = g.shape
+    if wire_resistance <= 0:
+        raise CrossbarError(f"wire_resistance must be positive, got {wire_resistance}")
+    if driver_resistance < 0:
+        raise CrossbarError("driver_resistance cannot be negative")
+    backend = _resolve_backend(backend)
+    n = 2 * rows * cols
+    if backend == "dense" and n >= DENSE_NODE_LIMIT:
+        raise CrossbarError(
+            f"{rows}x{cols} ({n} nodes) is too large for the dense "
+            f"wire-resistance fallback (limit {DENSE_NODE_LIMIT} nodes); "
+            "install scipy (the repro[fast] extra) for the sparse backend"
+        )
+    return g, backend
+
+
+def _solve_node_voltages(
+    fact: _Factorization, drive_volts: np.ndarray
+) -> np.ndarray:
+    """Node voltages for a ``(n_drivers, k)`` block of drive patterns.
+
+    All *k* patterns share *fact*'s driven-line structure; only the
+    right-hand side differs per pattern, so the whole block goes through
+    the factorization as one multi-column solve.  Returns ``(n, k)``.
+    """
+    k = drive_volts.shape[1]
+    n = fact.n_nodes
+    x = np.empty((n, k))
+    if fact.g_drv is None:
+        # Pinned drivers: solve the un-pinned KCL rows against the
+        # boundary coupling block.
+        if fact.unknown.size:
+            b_red = -(fact.a_up @ drive_volts)
+            x_u = fact.solve(b_red)
+        else:
+            b_red = np.empty((0, k))
+            x_u = b_red
+        x[fact.pinned] = drive_volts
+        x[fact.unknown] = x_u
+    else:
+        b_red = np.zeros((n, k))
+        b_red[fact.driver_nodes] = fact.g_drv * drive_volts
+        x = fact.solve(b_red)
+        x_u = x
+    if not np.isfinite(x).all():
+        raise CrossbarError("singular crossbar system")
+    _note_solve(_SOLVES_WIRE, fact.a_red, b_red, x_u, count=k)
+    return x
+
+
+def _wire_solution(g: np.ndarray, x: np.ndarray) -> CrossbarSolution:
+    """Package one node-voltage vector as a :class:`CrossbarSolution`."""
+    rows, cols = g.shape
+    rc = rows * cols
+    v_row = x[:rc].reshape(rows, cols)
+    v_col = x[rc:].reshape(rows, cols)
+    currents = g * (v_row - v_col)
+    # Terminal currents: every path out of a line goes through its
+    # junctions, so the line's junction-current sum *is* its terminal
+    # current — numerically stable at any wire resistance (junction
+    # voltage differences stay O(1)), and row/column totals conserve
+    # charge by construction.  Floating lines sum to ~0.
+    return CrossbarSolution(
+        row_voltages=v_row,
+        col_voltages=v_col,
+        junction_currents=currents,
+        row_currents=currents.sum(axis=1),
+        col_currents=currents.sum(axis=0),
+    )
+
+
 def solve_with_wire_resistance(
     conductances: np.ndarray,
     row_drive: LineDrive,
@@ -491,37 +661,26 @@ def solve_with_wire_resistance(
     backend:
         ``"auto"`` (default) uses the sparse SciPy path when available
         and falls back to dense NumPy; ``"sparse"`` / ``"dense"`` force
-        a backend.  The dense fallback refuses systems larger than
-        :data:`DENSE_NODE_LIMIT` nodes; the sparse backend has no cap.
+        a backend.  The dense fallback refuses systems of
+        :data:`DENSE_NODE_LIMIT` nodes or more; the sparse backend has
+        no cap.
 
     Repeated solves with the same conductances, driven-line pattern, and
     resistances reuse a cached factorization (only the right-hand side
     is rebuilt), which is what makes per-input analog VMM and the
-    nonlinear fixed-point read loops cheap.
+    nonlinear fixed-point read loops cheap.  Batches of drive patterns
+    go through :func:`solve_many_with_wire_resistance`, and single-cell
+    conductance perturbations through :func:`solve_junction_variants`,
+    both reusing one factorization.
     """
-    g = np.asarray(conductances, dtype=float)
-    if g.ndim != 2:
-        raise CrossbarError(f"conductance matrix must be 2-D, got shape {g.shape}")
-    if (g < 0).any():
-        raise CrossbarError("conductances must be non-negative")
+    g, backend = _validate_wire_problem(
+        conductances, wire_resistance, driver_resistance, backend
+    )
     rows, cols = g.shape
-    if wire_resistance <= 0:
-        raise CrossbarError(f"wire_resistance must be positive, got {wire_resistance}")
-    if driver_resistance < 0:
-        raise CrossbarError("driver_resistance cannot be negative")
     _check_drive(row_drive, rows, "row")
     _check_drive(col_drive, cols, "col")
     if not row_drive and not col_drive:
         raise CrossbarError("at least one line must be driven")
-    backend = _resolve_backend(backend)
-    rc = rows * cols
-    n = 2 * rc
-    if backend == "dense" and n > DENSE_NODE_LIMIT:
-        raise CrossbarError(
-            f"{rows}x{cols} ({n} nodes) is too large for the dense "
-            f"wire-resistance fallback (limit {DENSE_NODE_LIMIT} nodes); "
-            "install scipy (the repro[fast] extra) for the sparse backend"
-        )
 
     row_idx = tuple(sorted(row_drive))
     col_idx = tuple(sorted(col_drive))
@@ -531,43 +690,196 @@ def solve_with_wire_resistance(
     drive_volts = np.array(
         [row_drive[r] for r in row_idx] + [col_drive[c] for c in col_idx]
     )
+    x = _solve_node_voltages(fact, drive_volts[:, None])[:, 0]
+    return _wire_solution(g, x)
 
-    x = np.empty(n)
-    if fact.g_drv is None:
-        # Pinned drivers: solve the un-pinned KCL rows against the
-        # boundary coupling block.
-        if fact.unknown.size:
-            b_red = -(fact.a_up @ drive_volts)
-            x_u = fact.solve(b_red)
-        else:
-            b_red = np.empty(0)
-            x_u = b_red
-        x[fact.pinned] = drive_volts
-        x[fact.unknown] = x_u
-    else:
-        b_red = np.zeros(n)
-        b_red[fact.driver_nodes] = fact.g_drv * drive_volts
-        x_u = fact.solve(b_red)
-        x = x_u
-    if not np.isfinite(x).all():
-        raise CrossbarError("singular crossbar system")
-    _note_solve(_SOLVES_WIRE, fact.a_red, b_red, x_u)
 
-    v_row = x[:rc].reshape(rows, cols)
-    v_col = x[rc:].reshape(rows, cols)
-    currents = g * (v_row - v_col)
-    # Terminal currents: every path out of a line goes through its
-    # junctions, so the line's junction-current sum *is* its terminal
-    # current — numerically stable at any wire resistance (junction
-    # voltage differences stay O(1)), and row/column totals conserve
-    # charge by construction.  Floating lines sum to ~0.
-    return CrossbarSolution(
-        row_voltages=v_row,
-        col_voltages=v_col,
-        junction_currents=currents,
-        row_currents=currents.sum(axis=1),
-        col_currents=currents.sum(axis=0),
+def solve_many_with_wire_resistance(
+    conductances: np.ndarray,
+    drives: Sequence[Tuple[LineDrive, LineDrive]],
+    wire_resistance: float = 1.0,
+    driver_resistance: float = 0.0,
+    backend: str = "auto",
+) -> List[CrossbarSolution]:
+    """Solve a batch of drive patterns against one conductance matrix.
+
+    *drives* is a sequence of ``(row_drive, col_drive)`` pairs.  The
+    batch is grouped by driven-line *structure* (which lines are driven
+    — voltages only enter the right-hand side): each group shares one
+    cached factorization and is solved as a single multi-column RHS
+    block.  A sweep of k same-structure patterns therefore costs one
+    factorization plus one multi-RHS triangular solve instead of k full
+    solves — the Fig. 3 wire-resistance sweep and the analog batched
+    matvec path.
+
+    Solutions come back in input order.
+    """
+    g, backend = _validate_wire_problem(
+        conductances, wire_resistance, driver_resistance, backend
     )
+    rows, cols = g.shape
+    if not drives:
+        return []
+    groups: "OrderedDict[Tuple[Tuple[int, ...], Tuple[int, ...]], List[int]]" = (
+        OrderedDict()
+    )
+    for index, (row_drive, col_drive) in enumerate(drives):
+        try:
+            _check_drive(row_drive, rows, "row")
+            _check_drive(col_drive, cols, "col")
+        except CrossbarError as exc:
+            raise CrossbarError(f"drive pattern {index}: {exc}") from None
+        if not row_drive and not col_drive:
+            raise CrossbarError(
+                f"drive pattern {index}: at least one line must be driven"
+            )
+        key = (tuple(sorted(row_drive)), tuple(sorted(col_drive)))
+        groups.setdefault(key, []).append(index)
+
+    solutions: List[Optional[CrossbarSolution]] = [None] * len(drives)
+    for (row_idx, col_idx), members in groups.items():
+        fact = _get_factorization(
+            g, row_idx, col_idx, wire_resistance, driver_resistance, backend
+        )
+        drive_volts = np.empty((len(row_idx) + len(col_idx), len(members)))
+        for column, index in enumerate(members):
+            row_drive, col_drive = drives[index]
+            drive_volts[:, column] = (
+                [row_drive[r] for r in row_idx]
+                + [col_drive[c] for c in col_idx]
+            )
+        x = _solve_node_voltages(fact, drive_volts)
+        for column, index in enumerate(members):
+            solutions[index] = _wire_solution(g, x[:, column])
+    return [s for s in solutions if s is not None]
+
+
+def solve_junction_variants(
+    conductances: np.ndarray,
+    row_drive: LineDrive,
+    col_drive: LineDrive,
+    variants: Sequence[Tuple[int, int, float]],
+    wire_resistance: float = 1.0,
+    driver_resistance: float = 0.0,
+    backend: str = "auto",
+) -> Tuple[CrossbarSolution, List[CrossbarSolution]]:
+    """Solve a base array plus single-junction conductance variants.
+
+    Each variant ``(row, col, g_new)`` replaces one junction's
+    conductance.  A single-element change is a rank-1 update of the
+    nodal matrix (``A + dg·u·uᵀ`` with ``u = e_i - e_j`` over the
+    junction's two nodes), so every variant is answered from the *base*
+    factorization via the Sherman–Morrison identity instead of a fresh
+    factor: the read-margin pair (selected cell storing 1 vs 0) and
+    single-cell disturb sweeps cost one factorization total.  The
+    auxiliary ``A⁻¹u`` solves for all variants go through the
+    factorization as one multi-RHS block.
+
+    Returns ``(base_solution, [variant_solutions...])`` in input order.
+    Falls back to a full solve for any variant whose Sherman–Morrison
+    denominator degenerates (a variant that disconnects its junction
+    exactly).
+    """
+    g, backend = _validate_wire_problem(
+        conductances, wire_resistance, driver_resistance, backend
+    )
+    rows, cols = g.shape
+    _check_drive(row_drive, rows, "row")
+    _check_drive(col_drive, cols, "col")
+    if not row_drive and not col_drive:
+        raise CrossbarError("at least one line must be driven")
+    rc = rows * cols
+    n = 2 * rc
+
+    row_idx = tuple(sorted(row_drive))
+    col_idx = tuple(sorted(col_drive))
+    fact = _get_factorization(
+        g, row_idx, col_idx, wire_resistance, driver_resistance, backend
+    )
+    drive_volts = np.array(
+        [row_drive[r] for r in row_idx] + [col_drive[c] for c in col_idx]
+    )
+    x_base = _solve_node_voltages(fact, drive_volts[:, None])[:, 0]
+    base = _wire_solution(g, x_base)
+    if not variants:
+        return base, []
+
+    # Reduced-space positions of every node (-1 = pinned).
+    position = np.full(n, -1, dtype=np.intp)
+    position[fact.unknown] = np.arange(fact.unknown.size, dtype=np.intp)
+    y0 = x_base[fact.unknown]
+
+    deltas: List[float] = []
+    endpoints: List[Tuple[int, int]] = []
+    for row, col, g_new in variants:
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise CrossbarError(
+                f"variant junction ({row}, {col}) outside {rows}x{cols}"
+            )
+        if g_new < 0:
+            raise CrossbarError("conductances must be non-negative")
+        deltas.append(float(g_new) - g[row, col])
+        cell = row * cols + col
+        endpoints.append((cell, rc + cell))
+
+    # One multi-RHS block answers every variant's A⁻¹u column.
+    u_cols = np.zeros((fact.unknown.size, len(variants)))
+    needs_solve = []
+    for k, (i, j) in enumerate(endpoints):
+        pi, pj = position[i], position[j]
+        if deltas[k] == 0.0 or (pi < 0 and pj < 0):
+            continue  # base solution already exact
+        if pi >= 0:
+            u_cols[pi, k] = 1.0
+        if pj >= 0:
+            u_cols[pj, k] = -1.0
+        needs_solve.append(k)
+    z_block = np.zeros_like(u_cols)
+    if needs_solve and fact.unknown.size:
+        z_block[:, needs_solve] = fact.solve(u_cols[:, needs_solve])
+
+    results: List[CrossbarSolution] = []
+    for k, ((row, col, g_new), delta, (i, j)) in enumerate(
+        zip(variants, deltas, endpoints)
+    ):
+        g_var = g.copy()
+        g_var[row, col] = float(g_new)
+        if delta == 0.0:
+            results.append(_wire_solution(g_var, x_base))
+            continue
+        pi, pj = position[i], position[j]
+        if pi < 0 and pj < 0:
+            # Both junction nodes pinned by drivers: the change only
+            # re-routes current through the ideal sources — every node
+            # voltage is untouched.
+            results.append(_wire_solution(g_var, x_base))
+            continue
+        z = z_block[:, k]
+        u = u_cols[:, k]
+        # Pinned-endpoint contribution to the updated right-hand side:
+        # b' = b - delta * (u_p · x_p) * u_u.
+        s = 0.0
+        if pi < 0:
+            s += x_base[i]
+        if pj < 0:
+            s -= x_base[j]
+        y_rhs = y0 - delta * s * z
+        denominator = 1.0 + delta * float(u @ z)
+        if abs(denominator) < 1e-300:
+            results.append(solve_with_wire_resistance(
+                g_var, row_drive, col_drive,
+                wire_resistance=wire_resistance,
+                driver_resistance=driver_resistance,
+                backend=backend,
+            ))
+            continue
+        coefficient = delta * float(u @ y_rhs) / denominator
+        x = x_base.copy()
+        x[fact.unknown] = y_rhs - coefficient * z
+        if not np.isfinite(x).all():
+            raise CrossbarError("singular crossbar system")
+        results.append(_wire_solution(g_var, x))
+    return base, results
 
 
 def _check_drive(drive: LineDrive, count: int, kind: str) -> None:

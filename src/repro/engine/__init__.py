@@ -13,17 +13,24 @@ One pipeline from workload to cost, for every consumer::
   :func:`comparator_kernel`, :func:`word_comparator_kernel`,
   :func:`cam_match_kernel`).
 * Execute with :func:`run_kernel` — backend ``functional`` (vectorised
-  NumPy batch, the default), ``electrical`` (bit-exact device-level
-  reference) or ``analytical`` (Table 1 cost pricing, no simulation).
+  NumPy batch, the default), ``functional_bitplane`` (64-words-per-op
+  bit-sliced planes, ~15x on kilo-word batches), ``electrical``
+  (bit-exact device-level reference) or ``analytical`` (Table 1 cost
+  pricing, no simulation).  The ``REPRO_ENGINE_BACKEND`` environment
+  variable re-points the process-wide default.
 * Move data with the shared pack/unpack helpers
   (:func:`pack_words` / :func:`unpack_words` /
+  :func:`pack_bitplanes` / :func:`unpack_bitplanes` /
   :func:`int_to_bits` / :func:`bits_to_int`).
 
 Telemetry: ``engine_kernel_cache_total{result=}``,
 ``engine_executor_dispatch_total{backend=}``,
-``engine_words_executed_total`` and per-kernel ``engine/<name>`` spans.
+``engine_words_executed_total``,
+``engine_bitplanes_executed_total`` and per-kernel ``engine/<name>``
+spans.
 """
 
+from .bitplane import BitplaneExecutor, bitplane_outputs
 from .builtins import (
     CAMMatchCost,
     KERNEL_BUILDERS,
@@ -36,11 +43,13 @@ from .builtins import (
 )
 from .executors import (
     BACKENDS,
+    DEFAULT_BACKEND_ENV,
     AnalyticalCostExecutor,
     BatchResult,
     ElectricalBatchExecutor,
     FunctionalBatchExecutor,
     coalesce_operand_batches,
+    default_backend,
     run_kernel,
 )
 from .kernel import (
@@ -57,24 +66,32 @@ from .kernel import (
 )
 from .packing import (
     MAX_WIDTH,
+    PLANE_LANE_BITS,
     bits_to_int,
     int_to_bits,
+    pack_bitplanes,
     pack_words,
+    plane_lanes,
+    unpack_bitplanes,
     unpack_words,
 )
 
 __all__ = [
     "BACKENDS",
+    "DEFAULT_BACKEND_ENV",
     "KERNEL_BUILDERS",
     "KERNEL_CACHE_CAPACITY",
     "MAX_WIDTH",
+    "PLANE_LANE_BITS",
     "AnalyticalCostExecutor",
     "BatchResult",
+    "BitplaneExecutor",
     "CAMMatchCost",
     "CompiledKernel",
     "ElectricalBatchExecutor",
     "FunctionalBatchExecutor",
     "adder_kernel",
+    "bitplane_outputs",
     "bits_to_int",
     "cached_kernel",
     "cam_match_kernel",
@@ -83,15 +100,19 @@ __all__ = [
     "comparator_kernel",
     "compile_kernel",
     "compile_program",
+    "default_backend",
     "int_to_bits",
     "kernel_cache_len",
     "kernel_catalog",
     "kernel_for_program",
     "network_digest",
+    "pack_bitplanes",
     "pack_words",
+    "plane_lanes",
     "program_digest",
     "resolve_kernel",
     "run_kernel",
+    "unpack_bitplanes",
     "unpack_words",
     "word_comparator_kernel",
 ]

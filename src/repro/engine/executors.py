@@ -11,6 +11,14 @@ The engine's execution contract is a single call —
     reference by construction (IMP is ``q <- !p | q`` in both), and the
     backend every app uses by default.
 
+``functional_bitplane``
+    The same truth-table semantics with the batch transposed into
+    64-word uint64 bit planes (:mod:`repro.engine.bitplane`), so one
+    bitwise op per instruction covers 64 words per lane — ~15x the
+    ``functional`` path on kilo-word batches, still bit-identical.
+    Select it per call or process-wide via the
+    :data:`DEFAULT_BACKEND_ENV` environment variable.
+
 ``electrical``
     The fidelity reference: each word executes on a fresh
     :class:`~repro.logic.sequencer.ImplyMachine` register file, actually
@@ -31,6 +39,7 @@ electrically.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -43,11 +52,34 @@ from ..obs.context import current_trace
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
 from ..spec.ledger import CostLedger
+from .bitplane import BitplaneExecutor
 from .kernel import OP_FALSE, OP_IMP, OP_LOAD, CompiledKernel
 from .packing import pack_words, unpack_words
 
 #: Names accepted by :func:`run_kernel`'s ``backend`` argument.
-BACKENDS = ("functional", "electrical", "analytical")
+BACKENDS = ("functional", "functional_bitplane", "electrical", "analytical")
+
+#: Environment variable naming the process-wide default backend
+#: (used when a caller leaves ``run_kernel(backend=...)`` unset).
+DEFAULT_BACKEND_ENV = "REPRO_ENGINE_BACKEND"
+
+
+def default_backend() -> str:
+    """Backend used when callers don't pick one explicitly.
+
+    ``functional`` unless :data:`DEFAULT_BACKEND_ENV` names another
+    registered backend — the deployment knob that flips a whole process
+    onto the bit-plane path without touching call sites.
+    """
+    name = os.environ.get(DEFAULT_BACKEND_ENV, "").strip()
+    if not name:
+        return "functional"
+    if name not in BACKENDS:
+        raise EngineError(
+            f"{DEFAULT_BACKEND_ENV}={name!r} is not a registered backend; "
+            f"choose one of {BACKENDS}"
+        )
+    return name
 
 _REGISTRY = get_registry()
 _DISPATCH_FAMILY = _REGISTRY.counter(
@@ -424,6 +456,7 @@ class AnalyticalCostExecutor:
 
 _EXECUTOR_CLASSES = {
     "functional": FunctionalBatchExecutor,
+    "functional_bitplane": BitplaneExecutor,
     "electrical": ElectricalBatchExecutor,
     "analytical": AnalyticalCostExecutor,
 }
@@ -433,7 +466,7 @@ def run_kernel(
     kernel: CompiledKernel,
     operands: Optional[Mapping[str, Union[Sequence[int], np.ndarray]]] = None,
     *,
-    backend: str = "functional",
+    backend: Optional[str] = None,
     words: Optional[int] = None,
     technology: Optional[MemristorTechnology] = None,
     spec=None,
@@ -451,11 +484,18 @@ def run_kernel(
     *technology* directly or a :class:`~repro.spec.TechSpec` via *spec*
     (whose ``memristor`` node is used — supplying both is an error).
 
+    *backend* defaults to :func:`default_backend` — ``functional``
+    unless the ``REPRO_ENGINE_BACKEND`` environment variable names
+    another backend (e.g. ``functional_bitplane`` for the bit-sliced
+    fast path).
+
     Dispatch is metered on ``engine_executor_dispatch_total{backend=}``
     and wrapped in an ``engine/<kernel>`` span so ``--profile``
     attributes cost to kernels; ``charge_span=False`` leaves the span's
     simulated totals to a caller that keeps its own ledger.
     """
+    if backend is None:
+        backend = default_backend()
     if backend not in _EXECUTOR_CLASSES:
         raise EngineError(
             f"unknown backend {backend!r}; choose one of {BACKENDS}"

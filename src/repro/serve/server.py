@@ -346,7 +346,13 @@ class KernelServer:
             accepted_at = time.perf_counter()
         trace_id = trace.trace_id if trace is not None else request.trace_id
 
-        cached = self._cache_get(request.digest)
+        # Resolve the spec BEFORE the cache probe: the result cache is
+        # keyed on (request digest, resolved spec digest), so the same
+        # request served under a different active spec (base spec or
+        # overrides) can never collide — and the executor backend is
+        # part of the request digest itself.
+        spec = self._derive_spec(request.overrides)
+        cached = self._cache_get(self._result_key(request, spec))
         if cached is not None:
             _REQUESTS["cached"].inc()
             if trace is not None:
@@ -379,7 +385,7 @@ class KernelServer:
         loop = asyncio.get_running_loop()
         pending = _Pending(
             request=request,
-            spec=self._derive_spec(request.overrides),
+            spec=spec,
             future=loop.create_future(),
             expires_at=(None if request.deadline_s is None
                         else loop.time() + request.deadline_s),
@@ -436,6 +442,14 @@ class KernelServer:
                 self._spec_cache.pop(next(iter(self._spec_cache)))
             self._spec_cache[key] = spec
         return spec
+
+    @staticmethod
+    def _result_key(request: ServeRequest, spec: TechSpec) -> str:
+        """Result-cache key: request content digest + resolved spec
+        digest.  The request digest already folds in the executor
+        backend; appending the spec digest distinguishes identical
+        requests served under different active specs."""
+        return f"{request.digest}:{spec.digest}"
 
     def _cache_get(self, digest: str) -> Optional[ServeResult]:
         result = self._cache.get(digest)
@@ -696,7 +710,8 @@ class KernelServer:
         result: ServeResult,
         walls: Optional[List[float]] = None,
     ) -> None:
-        self._cache_put(pending.request.digest, result)
+        self._cache_put(
+            self._result_key(pending.request, pending.spec), result)
         if not pending.future.done():
             _REQUESTS["ok"].inc()
             pending.future.set_result(result)

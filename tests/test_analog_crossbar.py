@@ -127,6 +127,40 @@ class TestNonIdealities:
         assert np.allclose(nearly, ideal, rtol=1e-4)
 
 
+class TestBatchedVMM:
+    def test_matvec_many_matches_per_vector(self):
+        rng = np.random.default_rng(5)
+        xbar = AnalogCrossbar(4, 3)
+        xbar.program(example_weights())
+        batch = rng.uniform(0.0, 1.0, size=(7, 4))
+        for wr in (None, 10.0):
+            many = xbar.matvec_many(batch, wire_resistance=wr)
+            singles = np.stack(
+                [xbar.matvec(x, wire_resistance=wr) for x in batch])
+            assert many.shape == (7, 3)
+            assert np.allclose(many, singles, rtol=1e-10)
+
+    def test_column_currents_many_single_factorization(self):
+        from repro.crossbar import clear_factorization_cache
+        from repro.crossbar.solver import _CACHE_MISS
+
+        xbar = AnalogCrossbar(6, 5)
+        xbar.program(np.abs(np.random.default_rng(2).normal(size=(6, 5))))
+        batch = np.random.default_rng(3).uniform(0, 1, size=(9, 6))
+        clear_factorization_cache()
+        before = _CACHE_MISS.value
+        currents = xbar.column_currents_many(batch, wire_resistance=5.0)
+        assert currents.shape == (9, 5)
+        assert _CACHE_MISS.value == before + 1
+
+    def test_matvec_many_rejects_bad_shape(self):
+        xbar = AnalogCrossbar(4, 3)
+        with pytest.raises(CrossbarError):
+            xbar.matvec_many(np.zeros((2, 5)))
+        with pytest.raises(CrossbarError):
+            xbar.matvec_many(np.zeros(4))  # 1-D belongs to matvec
+
+
 class TestCostModel:
     def test_latency_is_one_pulse(self):
         xbar = AnalogCrossbar(64, 64)

@@ -10,6 +10,8 @@ from repro.crossbar.solver import (
     factorization_cache_len,
     scipy_available,
     solve_ideal_wires,
+    solve_junction_variants,
+    solve_many_with_wire_resistance,
     solve_with_wire_resistance,
     _CACHE_HIT,
     _CACHE_MISS,
@@ -159,6 +161,18 @@ class TestWireResistance:
         with pytest.raises(CrossbarError, match="repro\\[fast\\]"):
             solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0}, backend="dense")
 
+    def test_dense_guard_boundary_is_exclusive(self):
+        """Regression: a system of *exactly* DENSE_NODE_LIMIT nodes used
+        to slip past the `>` comparison and attempt the O(n^2)-memory
+        dense factorization the limit exists to prevent."""
+        rows, cols = 64, 128
+        assert 2 * rows * cols == DENSE_NODE_LIMIT
+        with pytest.raises(CrossbarError, match="repro\\[fast\\]"):
+            solve_with_wire_resistance(
+                np.full((rows, cols), 1e-4), {0: 1.0}, {0: 0.0},
+                backend="dense",
+            )
+
     @needs_scipy
     def test_sparse_backend_has_no_size_cap(self):
         """The seed's 8192-node cap is gone: 100x100 (20k nodes) solves."""
@@ -305,3 +319,109 @@ class TestFactorizationCache:
         assert factorization_cache_len() >= 1
         clear_factorization_cache()
         assert factorization_cache_len() == 0
+
+    def test_in_place_mutation_does_not_reuse_stale_factorization(self):
+        """Regression guard: mutating the conductance matrix *in place*
+        (same array object, same shape) must still miss the cache — the
+        key hashes the matrix contents at lookup time, not object
+        identity at insert time."""
+        g = np.full((3, 3), 1e-4)
+        sol_a = solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0})
+        g *= 2.0  # same ndarray object, new contents
+        sol_b = solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0})
+        assert sol_b.col_currents[0] > 1.5 * sol_a.col_currents[0]
+        g[1, 1] = 5e-4  # single-element write, same object again
+        sol_c = solve_with_wire_resistance(g, {0: 1.0}, {0: 0.0})
+        assert not np.allclose(sol_c.junction_currents,
+                               sol_b.junction_currents)
+
+
+class TestMultiRHS:
+    def setup_method(self):
+        clear_factorization_cache()
+
+    def _patterns(self, rows, cols):
+        return [
+            ({0: 1.0}, {0: 0.0}),
+            ({0: 0.4}, {0: 0.0}),                      # same structure
+            ({1: 1.0}, {2: 0.0}),                      # different lines
+            ({r: 1.0 for r in range(rows)},
+             {c: 0.0 for c in range(cols)}),           # all driven
+        ]
+
+    def test_solve_many_matches_sequential(self):
+        rng = np.random.default_rng(3)
+        g = rng.uniform(1e-5, 1e-3, (5, 6))
+        drives = self._patterns(5, 6)
+        batched = solve_many_with_wire_resistance(
+            g, drives, wire_resistance=2.0)
+        for (rd, cd), sol in zip(drives, batched):
+            single = solve_with_wire_resistance(
+                g, rd, cd, wire_resistance=2.0)
+            np.testing.assert_allclose(
+                sol.junction_currents, single.junction_currents,
+                rtol=1e-9)
+            np.testing.assert_allclose(
+                sol.col_currents, single.col_currents, rtol=1e-9)
+
+    def test_solve_many_groups_by_structure(self):
+        """Patterns driving the same line sets share one factorization:
+        4 patterns over 3 distinct structures -> 3 cache misses."""
+        g = np.full((5, 6), 1e-4)
+        misses = _CACHE_MISS.value
+        solve_many_with_wire_resistance(
+            g, self._patterns(5, 6), wire_resistance=2.0)
+        assert _CACHE_MISS.value == misses + 3
+
+    def test_solve_many_empty_and_bad_pattern(self):
+        g = np.full((2, 2), 1e-4)
+        assert solve_many_with_wire_resistance(g, []) == []
+        with pytest.raises(CrossbarError, match="pattern 1:"):
+            solve_many_with_wire_resistance(
+                g, [({0: 1.0}, {0: 0.0}), ({5: 1.0}, {0: 0.0})])
+
+    def test_junction_variants_match_full_solves(self):
+        rng = np.random.default_rng(11)
+        g = rng.uniform(1e-5, 1e-3, (6, 6))
+        rd, cd = {0: 1.0}, {0: 0.0}
+        variants = [(0, 0, 5e-4), (3, 4, 1e-5), (2, 2, g[2, 2])]
+        base, solved = solve_junction_variants(
+            g, rd, cd, variants, wire_resistance=3.0)
+        reference = solve_with_wire_resistance(
+            g, rd, cd, wire_resistance=3.0)
+        np.testing.assert_allclose(
+            base.junction_currents, reference.junction_currents,
+            rtol=1e-9)
+        for (r, c, g_new), sol in zip(variants, solved):
+            g_var = g.copy()
+            g_var[r, c] = g_new
+            full = solve_with_wire_resistance(
+                g_var, rd, cd, wire_resistance=3.0)
+            # atol floors out float noise on undriven (floating) lines
+            # whose true current is ~0 at the 1e-3 A problem scale.
+            np.testing.assert_allclose(
+                sol.col_currents, full.col_currents,
+                rtol=1e-6, atol=1e-12)
+            np.testing.assert_allclose(
+                sol.junction_currents, full.junction_currents,
+                rtol=1e-6, atol=1e-12)
+
+    def test_junction_variants_one_factorization(self):
+        g = np.full((4, 4), 1e-4)
+        misses = _CACHE_MISS.value
+        solve_junction_variants(
+            g, {0: 1.0}, {0: 0.0},
+            [(0, 0, 5e-4), (1, 1, 2e-4), (3, 3, 9e-4)],
+            wire_resistance=2.0)
+        assert _CACHE_MISS.value == misses + 1
+
+    def test_junction_variants_validation(self):
+        g = np.full((2, 2), 1e-4)
+        with pytest.raises(CrossbarError):
+            solve_junction_variants(
+                g, {0: 1.0}, {0: 0.0}, [(2, 0, 1e-4)],
+                wire_resistance=1.0)
+        with pytest.raises(CrossbarError):
+            solve_junction_variants(
+                g, {0: 1.0}, {0: 0.0}, [(0, 0, -1e-4)],
+                wire_resistance=1.0)

@@ -13,6 +13,8 @@ from repro.crossbar import (
     compare_schemes,
     ecm_disturb_report,
     max_writes_per_row,
+    solved_unselected_stress,
+    solved_unselected_stress_sweep,
     threshold_disturb_free,
 )
 from repro.core import (
@@ -46,6 +48,43 @@ class TestThresholdDisturb:
         # V/3 keeps cells safe up to 3x the threshold.
         assert threshold_disturb_free(VThirdBias(), 2.9)
         assert not threshold_disturb_free(VHalfBias(), 2.9)
+
+
+class TestStressSweep:
+    def test_sweep_matches_single_solves(self):
+        scheme = VHalfBias()
+        cells = [(0, 0), (1, 2), (3, 3)]
+        for wr in (None, 2.0):
+            sweep = solved_unselected_stress_sweep(
+                scheme, 1.2, 4, 4, selected=cells, wire_resistance=wr)
+            singles = [
+                solved_unselected_stress(
+                    scheme, 1.2, 4, 4, sel_row=r, sel_col=c,
+                    wire_resistance=wr)
+                for r, c in cells
+            ]
+            assert sweep == pytest.approx(singles, rel=1e-9)
+
+    def test_sweep_defaults_to_full_disturb_map(self):
+        sweep = solved_unselected_stress_sweep(VThirdBias(), 1.2, 3, 3)
+        assert len(sweep) == 9
+
+    def test_same_structure_patterns_share_one_factorization(self):
+        from repro.crossbar import clear_factorization_cache
+        from repro.crossbar.solver import _CACHE_MISS
+
+        clear_factorization_cache()
+        before = _CACHE_MISS.value
+        solved_unselected_stress_sweep(
+            VHalfBias(), 1.2, 4, 4, wire_resistance=2.0)  # 16 cells
+        assert _CACHE_MISS.value == before + 1
+
+    def test_sweep_validates_selected_cells(self):
+        with pytest.raises(CrossbarError, match=r"\(4, 0\)"):
+            solved_unselected_stress_sweep(
+                VHalfBias(), 1.2, 4, 4, selected=[(4, 0)])
+        with pytest.raises(CrossbarError):
+            solved_unselected_stress_sweep(VHalfBias(), 0.0, 4, 4)
 
 
 class TestECMDisturb:

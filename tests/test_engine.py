@@ -62,6 +62,50 @@ class TestPacking:
         with pytest.raises(EngineError):
             pack_words([0], MAX_WIDTH + 1)
 
+    def test_empty_batch_rejected(self):
+        """Regression: an empty batch used to pack into a (0, width)
+        matrix and fail much later inside the executor."""
+        with pytest.raises(EngineError, match="empty word batch"):
+            pack_words([], 8)
+        with pytest.raises(EngineError, match="empty word batch"):
+            pack_words(np.array([], dtype=np.uint64), 8)
+
+    def test_float_batch_rejected(self):
+        """Regression: float words used to truncate silently."""
+        with pytest.raises(EngineError, match="silently truncate"):
+            pack_words([1.5, 2.0], 8)
+        with pytest.raises(EngineError, match="silently truncate"):
+            pack_words(np.array([1.0, 2.0]), 8)
+
+    def test_too_wide_word_names_offending_index(self):
+        """Regression: the error must pinpoint the bad word in a batch."""
+        with pytest.raises(EngineError, match=r"word 2 = 256"):
+            pack_words([0, 255, 256, 1], 8)
+
+    def test_negative_word_names_offending_index(self):
+        with pytest.raises(EngineError, match=r"word 1 is negative"):
+            pack_words([3, -1, 2], 8)
+        with pytest.raises(EngineError, match=r"word 0 is negative"):
+            pack_words([-(1 << 70)], 8)
+
+    def test_oversize_python_ints_rejected_with_index(self):
+        """Regression: Python ints >= 2**64 used to crash in the uint64
+        cast instead of raising a typed error."""
+        with pytest.raises(EngineError, match=r"word 1 = \d+ does not fit"):
+            pack_words([1, 1 << 70], 32)
+        with pytest.raises(EngineError, match=r"word 0 is str"):
+            pack_words(np.array(["ten", 3], dtype=object), 8)
+
+    def test_bool_batch_packs(self):
+        assert pack_words([True, False], 1).tolist() == [[1], [0]]
+
+    def test_awkward_widths_round_trip(self):
+        """Widths that are not multiples of 8 or 64 must round-trip."""
+        for width in (1, 3, 7, 9, 13, 31, 33, 63):
+            values = np.arange(5, dtype=np.uint64) % (1 << min(width, 62))
+            assert np.array_equal(
+                unpack_words(pack_words(values, width)), values)
+
 
 class TestKernelCache:
     def test_repeat_build_hits_cache(self):
@@ -188,7 +232,9 @@ class TestExecutors:
             run_kernel(kernel)                              # no batch size
 
     def test_backends_tuple_is_exhaustive(self):
-        assert BACKENDS == ("functional", "electrical", "analytical")
+        assert BACKENDS == (
+            "functional", "functional_bitplane", "electrical", "analytical",
+        )
 
 
 class TestBuiltins:

@@ -9,14 +9,38 @@ intermediate-operand corner the liveness analysis must protect.
 """
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler import compile_network, random_network, reuse_registers
-from repro.engine import adder_kernel, comparator_kernel, run_kernel
+from repro.engine import (
+    adder_kernel,
+    cam_match_kernel,
+    comparator_kernel,
+    run_kernel,
+)
 from repro.logic.program import ImplyProgram
 
 word32 = st.integers(min_value=0, max_value=2**32 - 1)
 nucleotide = st.integers(min_value=0, max_value=3)
+
+THREE_BACKENDS = ("functional", "functional_bitplane", "electrical")
+
+
+def assert_backends_identical(kernel, operands):
+    """Run *kernel* on all three simulating backends and require every
+    output signal to match bit for bit."""
+    results = {
+        backend: run_kernel(kernel, operands, backend=backend)
+        for backend in THREE_BACKENDS
+    }
+    reference = results["functional"]
+    for backend, result in results.items():
+        assert set(result.outputs) == set(reference.outputs), backend
+        for signal, bits in reference.outputs.items():
+            assert np.array_equal(result.outputs[signal], bits), (
+                backend, signal)
+    return reference
 
 
 class TestExecutorEquivalence:
@@ -54,6 +78,61 @@ class TestExecutorEquivalence:
         assert np.array_equal(functional.word("sum"), golden)
         carries = np.array([(a + b) >> 32 for a, b in pairs], dtype=np.uint8)
         assert np.array_equal(functional.bit("cout"), carries)
+
+
+class TestThreeWayEquivalence:
+    """functional == functional_bitplane == electrical, bit for bit,
+    across kernels, operand widths, and batch sizes that straddle the
+    64-word plane-lane boundary (1 word and 65 words included)."""
+
+    @pytest.mark.parametrize("words", [1, 65])
+    @given(data=st.data())
+    @settings(max_examples=8, deadline=None)
+    def test_comparator(self, words, data):
+        values = data.draw(st.lists(
+            st.tuples(nucleotide, nucleotide),
+            min_size=words, max_size=words))
+        kernel = comparator_kernel()
+        operands = {"a": [a for a, _ in values],
+                    "b": [b for _, b in values]}
+        reference = assert_backends_identical(kernel, operands)
+        golden = np.array([int(a == b) for a, b in values], dtype=np.uint8)
+        assert np.array_equal(reference.bit("match"), golden)
+
+    @pytest.mark.parametrize("width", [8, 32])
+    @pytest.mark.parametrize("words", [1, 65])
+    @given(data=st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_adder(self, width, words, data):
+        word = st.integers(min_value=0, max_value=2**width - 1)
+        values = data.draw(st.lists(
+            st.tuples(word, word), min_size=words, max_size=words))
+        kernel = adder_kernel(width)
+        operands = {"a": [a for a, _ in values],
+                    "b": [b for _, b in values]}
+        reference = assert_backends_identical(kernel, operands)
+        mask = (1 << width) - 1
+        golden = np.array([(a + b) & mask for a, b in values],
+                          dtype=np.uint64)
+        assert np.array_equal(reference.word("sum"), golden)
+        carries = np.array([(a + b) >> width for a, b in values],
+                           dtype=np.uint8)
+        assert np.array_equal(reference.bit("cout"), carries)
+
+    @pytest.mark.parametrize("width", [4, 16])
+    @pytest.mark.parametrize("words", [1, 65])
+    @given(data=st.data())
+    @settings(max_examples=5, deadline=None)
+    def test_cam_match(self, width, words, data):
+        word = st.integers(min_value=0, max_value=2**width - 1)
+        values = data.draw(st.lists(
+            st.tuples(word, word), min_size=words, max_size=words))
+        kernel = cam_match_kernel(width)
+        operands = {"a": [a for a, _ in values],
+                    "b": [b for _, b in values]}
+        reference = assert_backends_identical(kernel, operands)
+        golden = np.array([int(a == b) for a, b in values], dtype=np.uint8)
+        assert np.array_equal(reference.bit("match"), golden)
 
 
 class TestAllocatorProperty:

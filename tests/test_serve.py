@@ -154,6 +154,38 @@ class TestBatchingAndCache:
 
         assert not run(scenario()).cached
 
+    def test_result_cache_keyed_on_backend_and_spec(self):
+        """Identical operands under two backends and two active specs
+        must occupy four distinct cache entries (regression: the cache
+        was keyed on the request digest alone, so a server whose active
+        spec changed kept returning results priced under the old spec).
+        """
+        hot = TABLE1.derive(
+            {"memristor.write_energy": 2 * TABLE1.memristor.write_energy})
+
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                functional = await server.submit(
+                    adder_request("f", [3], [4], backend="functional"))
+                analytical = await server.submit(
+                    adder_request("a", [3], [4], backend="analytical"))
+                entries_two_backends = server.stats()["cache_entries"]
+                server.spec = hot  # re-point the active spec
+                rehot = await server.submit(
+                    adder_request("f2", [3], [4], backend="functional"))
+                entries_after_respec = server.stats()["cache_entries"]
+                return (functional, analytical, rehot,
+                        entries_two_backends, entries_after_respec)
+
+        functional, analytical, rehot, two_backends, after_respec = run(
+            scenario())
+        assert two_backends == 2  # backend is part of the cache key
+        assert after_respec == 3  # new spec -> new entry, no stale hit
+        assert not rehot.cached
+        assert rehot.spec_digest != functional.spec_digest
+        assert rehot.energy > functional.energy
+        assert analytical.backend == "analytical"
+
     def test_per_request_overrides_derive_spec(self):
         async def scenario():
             async with KernelServer(max_wait_us=0) as server:
