@@ -1,0 +1,131 @@
+"""Board-seam overhead gate: ideal-board routing must stay under 5%.
+
+ISSUE 8 reroutes every :class:`~repro.analog.AnalogCrossbar` read
+through the pluggable board layer (:mod:`repro.board`), so this bench
+checks that the seam is free in the only place it could hurt: the hot
+batched analog VMM.  The A/B is the post-refactor
+``AnalogCrossbar.column_currents_many`` (shape checks, board dispatch,
+read-energy metering, then the Kirchhoff sum) against the literal
+pre-refactor expression ``(inputs * v_read) @ G`` on the same
+conductance matrix.
+
+Methodology.  A naive wall-clock A/B cannot resolve a 5 % effect here:
+even interleaved best-of-repeats ratios swing a couple of points
+between identical runs (allocator and frequency noise on a
+millisecond-scale matmul).  So, as in ``bench_obs_overhead``, the gate
+is a **budget check** built from two far more stable measurements: the
+per-call work the board path *adds* (voltage validation plus the
+``(v**2) @ row_sums`` read-energy estimate — each timed in a tight
+best-of-repeats loop, which reproduces within a few percent), divided
+by the median direct matmul time.  At 128 words x 1024x1024 the added
+work is O(words x n) against an O(words x n^2) matmul, ~1 % with ~5x
+headroom under the gate.  The end-to-end interleaved A/B still runs as
+a printed diagnostic with a generous catastrophe ceiling that catches
+structural regressions (an accidental copy or solve on the ideal path)
+without flaking on machine noise.  Bit-identity of the routed result
+is asserted alongside the timing: the seam may cost a little time,
+never a bit.
+"""
+
+import statistics
+import timeit
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analog.crossbar import AnalogCrossbar
+
+ROWS = 1024
+COLS = 1024
+WORDS = 128
+NUMBER = 5        # calls per timing loop
+REPEATS = 7       # best-of floor
+MAX_OVERHEAD = 0.05
+MAX_AB_OVERHEAD = 0.15  # catastrophe ceiling for the noisy end-to-end A/B
+
+
+def _best(fn, number, repeats=REPEATS):
+    """Per-call seconds: best-of-*repeats* tight loops (timeit idiom)."""
+    return min(timeit.timeit(fn, number=number) for _ in range(repeats)) / number
+
+
+def _board_cost_per_call(board, voltages):
+    """Seconds of work the board seam adds to one batched VMM.
+
+    Mirrors ``IdealSimBoard.column_currents_many`` minus the Kirchhoff
+    sum itself: keep in sync with that method.  The end-to-end ceiling
+    below catches any structural drift this mirror might miss.
+    """
+    check = _best(lambda: board._check_voltages(voltages, True), 2000)
+    row_sums = board._g_row_sums
+
+    def metering():
+        power = float(((voltages ** 2) @ row_sums).sum())
+        board._charge_read(power, reads=voltages.shape[0],
+                           words=voltages.shape[0])
+
+    meter = _best(metering, 200)
+    return {"voltage check": check, "energy metering": meter}
+
+
+def test_bench_board_routing_overhead(benchmark):
+    rng = np.random.default_rng(8)
+    weights = rng.standard_normal((ROWS, COLS))
+    inputs = rng.uniform(-1.0, 1.0, (WORDS, ROWS))
+
+    crossbar = AnalogCrossbar(ROWS, COLS)
+    crossbar.program(weights)
+    g = crossbar.conductances
+    v_read = crossbar.spec.v_read
+
+    # The seam may cost time, never a bit.
+    direct = (inputs * v_read) @ g
+    assert np.array_equal(crossbar.column_currents_many(inputs), direct)
+
+    # Baseline: the direct pre-refactor matmul, median of best-of loops.
+    direct_s = statistics.median(
+        timeit.timeit(lambda: (inputs * v_read) @ g, number=NUMBER) / NUMBER
+        for _ in range(REPEATS)
+    )
+
+    # Budget: the exact work the board path adds per call.
+    parts = _board_cost_per_call(crossbar.board, inputs * v_read)
+    cost = sum(parts.values())
+    overhead = cost / direct_s
+
+    # Diagnostic end-to-end A/B, interleaved so frequency drift hits
+    # both sides equally (ceiling only; too noisy to gate at 5 %).
+    routed_times, direct_times = [], []
+    for _ in range(REPEATS):
+        routed_times.append(timeit.timeit(
+            lambda: crossbar.column_currents_many(inputs), number=NUMBER))
+        direct_times.append(timeit.timeit(
+            lambda: (inputs * v_read) @ g, number=NUMBER))
+    ab_overhead = min(routed_times) / min(direct_times) - 1.0
+
+    benchmark(crossbar.column_currents_many, inputs)
+
+    words_per_s = WORDS / (direct_s + cost)
+    rows = [[name, f"{seconds * 1e6:.2f} us", "-"]
+            for name, seconds in parts.items()]
+    rows += [
+        ["board budget total", f"{cost * 1e6:.2f} us",
+         f"{overhead * 100:+.2f}%"],
+        ["direct matmul (median)", f"{direct_s * 1e6:.1f} us",
+         f"{words_per_s:,.0f} words/s routed"],
+        ["end-to-end A/B (diagnostic)", "-", f"{ab_overhead * 100:+.2f}%"],
+    ]
+    print()
+    print(format_table(
+        ["per-call cost", "time", "of baseline"], rows,
+        title=f"{WORDS}-word VMM on a {ROWS}x{COLS} ideal board",
+    ))
+
+    assert overhead < MAX_OVERHEAD, (
+        f"ideal-board routing adds {cost * 1e6:.1f}us per batched VMM = "
+        f"{overhead * 100:.1f}% of the {direct_s * 1e6:.0f}us direct "
+        f"matmul (gate: <{MAX_OVERHEAD * 100:.0f}%)")
+    assert ab_overhead < MAX_AB_OVERHEAD, (
+        f"end-to-end board A/B reads {ab_overhead * 100:.1f}% — far beyond "
+        f"the measured per-call budget; something structural regressed on "
+        f"the ideal path (ceiling: {MAX_AB_OVERHEAD * 100:.0f}%)")

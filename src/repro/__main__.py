@@ -320,6 +320,37 @@ def _parse_sweep_param(raw: str) -> Tuple[str, List[Any]]:
     return path, [_coerce_value(v) for v in values.split(",")]
 
 
+def _cmd_board(args: argparse.Namespace) -> int:
+    """List registered crossbar boards with digests and the default."""
+    from .board import DEFAULT_BOARD_ENV, board_catalog, default_board_kind
+
+    spec = _spec_from_args(args)
+    catalog = board_catalog(spec, rows=args.rows, cols=args.cols)
+    if args.json:
+        return _emit_json({
+            "default": default_board_kind(),
+            "env": DEFAULT_BOARD_ENV,
+            "geometry": [args.rows, args.cols],
+            "boards": catalog,
+        })
+    rows = [
+        [
+            entry["kind"] + (" *" if entry["default"] else ""),
+            entry["digest"][:12],
+            entry["summary"],
+        ]
+        for entry in catalog
+    ]
+    print(format_table(
+        ["Kind", "Digest", "Description"], rows,
+        title=(
+            f"Boards at {args.rows}x{args.cols} on spec "
+            f"{spec.short_digest} (* = default; set {DEFAULT_BOARD_ENV})"
+        ),
+    ))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Run a TechSpec parameter sweep and write JSONL/CSV artifacts."""
     from .analysis.dse import paper_grid, run_sweep, write_csv, write_jsonl
@@ -521,13 +552,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write metrics in Prometheus text format")
     obs.set_defaults(handler=_cmd_obs)
 
+    board = sub.add_parser(
+        "board", parents=[common],
+        help="list the registered crossbar boards and the active default")
+    board.add_argument("--rows", type=int, default=32,
+                       help="reference geometry rows for digests (default 32)")
+    board.add_argument("--cols", type=int, default=32,
+                       help="reference geometry cols for digests (default 32)")
+    board.set_defaults(handler=_cmd_board)
+
     sweep = sub.add_parser(
         "sweep", parents=[common],
         help="design-space exploration over TechSpec parameters")
     sweep.add_argument(
         "--param", action="append", metavar="PATH=V1,V2",
         help="sweep one dotted spec path over comma-separated values "
-             "(repeatable; default: the built-in 128-point paper grid)")
+             "(repeatable; default: the built-in 128-point paper grid). "
+             "Paths under board.* sweep the board layer instead, e.g. "
+             "board.variability=0,0.05,0.1")
     sweep.add_argument("--jsonl", metavar="PATH",
                        help="write every point (with cost-ledger "
                             "provenance) as JSON lines")

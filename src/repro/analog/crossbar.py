@@ -23,10 +23,8 @@ from typing import Optional
 
 import numpy as np
 
-from ..crossbar.solver import (
-    solve_many_with_wire_resistance,
-    solve_with_wire_resistance,
-)
+from ..board.base import Board
+from ..board.ideal import IdealSimBoard
 from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
 from ..errors import CrossbarError
 
@@ -75,6 +73,12 @@ class AnalogCrossbar:
     an arbitrary real range are affinely mapped onto the conductance
     window; :meth:`matvec` returns the *weight-domain* result, undoing
     the mapping, so callers work entirely in their own units.
+
+    The electrical work happens on a :class:`~repro.board.base.Board`:
+    by default an :class:`~repro.board.ideal.IdealSimBoard` (bit-identical
+    to the direct solver paths), but any board of matching geometry can
+    be plugged in — a noisy virtual instrument turns the same weights
+    and inputs into a hardware-realistic result.
     """
 
     def __init__(
@@ -84,13 +88,21 @@ class AnalogCrossbar:
         spec: Optional[AnalogSpec] = None,
         technology: MemristorTechnology = MEMRISTOR_5NM,
         seed: Optional[int] = None,
+        *,
+        board: Optional[Board] = None,
     ) -> None:
         if rows < 1 or cols < 1:
             raise CrossbarError(f"dimensions must be positive, got {rows}x{cols}")
+        if board is not None and (board.rows, board.cols) != (rows, cols):
+            raise CrossbarError(
+                f"board geometry {board.rows}x{board.cols} does not match "
+                f"the requested {rows}x{cols} array"
+            )
         self.rows = rows
         self.cols = cols
         self.spec = spec if spec is not None else AnalogSpec()
         self.technology = technology
+        self.board = board if board is not None else IdealSimBoard(rows, cols)
         self._rng = np.random.default_rng(seed)
         self._g = np.full((rows, cols), self.spec.g_min)
         self._w_min = 0.0
@@ -134,7 +146,8 @@ class AnalogCrossbar:
         if self.spec.sigma > 0:
             g = g * np.exp(self._rng.normal(0.0, self.spec.sigma, g.shape))
             g = np.clip(g, self.spec.g_min, self.spec.g_max)
-        self._g = g
+        self.board.program(g)
+        self._g = self.board.read_conductances()
 
     @property
     def conductances(self) -> np.ndarray:
@@ -164,15 +177,9 @@ class AnalogCrossbar:
                 f"input length {v.shape} does not match {self.rows} rows"
             )
         voltages = v * self.spec.v_read
-        if wire_resistance is None:
-            return voltages @ self._g
-        row_drive = {i: float(voltages[i]) for i in range(self.rows)}
-        col_drive = {j: 0.0 for j in range(self.cols)}
-        solution = solve_with_wire_resistance(
-            self._g, row_drive, col_drive, wire_resistance=wire_resistance,
-            backend=backend,
+        return self.board.column_currents(
+            voltages, wire_resistance=wire_resistance, backend=backend
         )
-        return solution.col_currents
 
     def column_currents_many(
         self,
@@ -194,18 +201,9 @@ class AnalogCrossbar:
                 f"inputs shape {v.shape} does not match (n, {self.rows})"
             )
         voltages = v * self.spec.v_read
-        if wire_resistance is None:
-            return voltages @ self._g
-        col_drive = {j: 0.0 for j in range(self.cols)}
-        drives = [
-            ({i: float(row[i]) for i in range(self.rows)}, col_drive)
-            for row in voltages
-        ]
-        solutions = solve_many_with_wire_resistance(
-            self._g, drives, wire_resistance=wire_resistance,
-            backend=backend,
+        return self.board.column_currents_many(
+            voltages, wire_resistance=wire_resistance, backend=backend
         )
-        return np.stack([solution.col_currents for solution in solutions])
 
     def matvec(
         self,
@@ -274,6 +272,10 @@ class DifferentialCrossbar:
     is the difference of the two crossbars' results.  This is the
     standard technique for carrying signed neural-network weights on
     unipolar conductances.
+
+    Each half is its own physical array, so the board seam takes one
+    board per half (``board=`` positive, ``negative_board=``); omitting
+    them keeps the ideal default.
     """
 
     def __init__(
@@ -282,10 +284,19 @@ class DifferentialCrossbar:
         cols: int,
         spec: Optional[AnalogSpec] = None,
         seed: Optional[int] = None,
+        *,
+        board: Optional[Board] = None,
+        negative_board: Optional[Board] = None,
     ) -> None:
-        self.positive = AnalogCrossbar(rows, cols, spec, seed=seed)
+        if (board is None) != (negative_board is None):
+            raise CrossbarError(
+                "differential boards come in pairs: pass both board= and "
+                "negative_board=, or neither"
+            )
+        self.positive = AnalogCrossbar(rows, cols, spec, seed=seed, board=board)
         self.negative = AnalogCrossbar(
-            rows, cols, spec, seed=None if seed is None else seed + 1
+            rows, cols, spec, seed=None if seed is None else seed + 1,
+            board=negative_board,
         )
         self.rows = rows
         self.cols = cols

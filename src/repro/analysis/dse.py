@@ -43,6 +43,7 @@ from typing import (
     Tuple,
 )
 
+from ..board.campaign import point_digest, split_overrides
 from ..errors import SpecError
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
@@ -179,13 +180,21 @@ def evaluate_point(
 ) -> Tuple[str, str, Dict[str, float], Dict[str, List[Dict[str, Any]]]]:
     """Evaluate one override set against *base*.
 
-    Returns ``(spec_name, spec_digest, metrics, ledgers)``.  The import
+    Returns ``(spec_name, point_digest, metrics, ledgers)``.  The import
     of the machine factories is local so the module stays importable in
     pool worker processes without dragging the whole core package in at
     import time.  ``dna_coverages`` adds a coverage-scaling evaluation
     per value (used by the benchmark to give each point realistic
     weight); its rows land in ``metrics`` as
     ``"dna.coverage<N>.energy_advantage"``.
+
+    Override paths beginning with ``board.`` are *board axes*, not spec
+    paths: they configure a seeded accuracy-vs-ideal campaign on a
+    noisy board (:func:`repro.board.campaign.evaluate_board_point`)
+    whose ``board.*`` metrics are merged into the point.  The returned
+    digest is then the spec digest extended with the board-axis hash,
+    so points that share a spec but differ on board axes stay distinct
+    in the sweep cache.
     """
     from ..core.evaluate import evaluate_pair
     from ..core.presets import (
@@ -199,7 +208,8 @@ def evaluate_point(
     from ..core.metrics import metrics_from_report
     from ..core.workload import dna_workload
 
-    spec = base.derive(overrides)
+    spec_overrides, board_overrides = split_overrides(overrides)
+    spec = base.derive(spec_overrides)
     metrics: Dict[str, float] = {}
     ledgers: Dict[str, List[Dict[str, Any]]] = {}
 
@@ -244,7 +254,12 @@ def evaluate_point(
             metrics[f"dna.coverage{coverage}.energy_advantage"] = (
                 conv_report.energy / cim_report.energy)
 
-    return spec.name, spec.digest, metrics, ledgers
+    if board_overrides:
+        from ..board.campaign import evaluate_board_point
+
+        metrics.update(evaluate_board_point(spec, board_overrides))
+
+    return spec.name, point_digest(spec.digest, board_overrides), metrics, ledgers
 
 
 def _pool_evaluate(
@@ -320,9 +335,14 @@ def run_sweep(
 
     # Derive every spec up front (cheap) so points can be deduplicated
     # and cache-checked by digest before any evaluation is scheduled.
+    # Board axes extend the key: two points sharing a spec digest but
+    # differing on board.* must not collapse in the cache.
     derived: List[Tuple[Dict[str, Any], str]] = []
     for overrides in override_sets:
-        derived.append((overrides, base.derive(overrides).digest))
+        spec_part, board_part = split_overrides(overrides)
+        derived.append(
+            (overrides, point_digest(base.derive(spec_part).digest, board_part))
+        )
 
     points: List[Optional[SweepPoint]] = [None] * len(derived)
     pending: "OrderedDict[str, List[int]]" = OrderedDict()

@@ -12,6 +12,9 @@ documented signatures::
     api.sweep(grid={"memristor.write_energy": [1e-15, 2e-15]})
     api.solve_crossbar(conductances=g, row_drive={0: 0.5}, col_drive={3: 0.0})
     api.serve()                              # JSONL serving loop (stdin)
+    api.make_board(kind="noisy", rows=64,    # a pluggable crossbar board
+                   cols=64, seed=7)
+    api.list_boards()                        # registered board kinds
 
 Everything here is a thin, stable veneer over :mod:`repro.core`,
 :mod:`repro.engine`, :mod:`repro.analysis.dse`, :mod:`repro.crossbar`
@@ -39,6 +42,8 @@ from .spec import TABLE1, TechSpec
 
 __all__ = [
     "evaluate",
+    "list_boards",
+    "make_board",
     "run_kernel",
     "serve",
     "solve_crossbar",
@@ -163,6 +168,72 @@ def sweep(
         serial=serial,
         keep_ledgers=keep_ledgers,
     )
+
+
+def make_board(
+    *,
+    kind: Optional[str] = None,
+    rows: int = 32,
+    cols: int = 32,
+    variability: float = 0.0,
+    dac_bits: int = 0,
+    adc_bits: int = 0,
+    fault_rate: float = 0.0,
+    seed: Optional[int] = None,
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Build a crossbar board (:class:`~repro.board.base.Board`).
+
+    ``kind`` is a registry key (``"ideal"``, ``"noisy"``,
+    ``"hardware"``; default: the ``REPRO_BOARD`` environment variable
+    or ``"ideal"``).  The instrument knobs (``variability``,
+    ``dac_bits``, ``adc_bits``, ``fault_rate``, ``seed``) apply to the
+    noisy board and must stay at their defaults for the other kinds.
+    The board plugs into :class:`~repro.analog.AnalogCrossbar`
+    (``board=``), :func:`repro.engine.run_kernel` (``board=``) and the
+    read-margin analysis.
+    """
+    from .board import InstrumentProfile
+    from .board import default_board_kind as _default_kind
+    from .board import make_board as _make_board
+
+    resolved = kind if kind is not None else _default_kind()
+    instrumented = (variability, dac_bits, adc_bits, fault_rate) != (0.0, 0, 0, 0.0)
+    options: Dict[str, Any] = {}
+    if resolved == "noisy":
+        options["profile"] = InstrumentProfile(
+            variability=variability, dac_bits=dac_bits, adc_bits=adc_bits,
+            fault_rate=fault_rate,
+        )
+        options["seed"] = seed
+    elif instrumented or seed is not None:
+        raise ReproError(
+            f"instrument knobs (variability/dac_bits/adc_bits/fault_rate/"
+            f"seed) only apply to the 'noisy' board, not {resolved!r}"
+        )
+    return _make_board(
+        resolved, rows, cols, spec=_resolve_spec(spec, overrides), **options
+    )
+
+
+def list_boards(
+    *,
+    rows: int = 32,
+    cols: int = 32,
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Describe every registered board kind.
+
+    Returns a list of dicts (kind, implementing class, summary, the
+    digest of a reference ``rows x cols`` instance on the resolved
+    spec, and whether the kind is the active default) — the same data
+    the ``repro board`` CLI prints.
+    """
+    from .board import board_catalog
+
+    return board_catalog(_resolve_spec(spec, overrides), rows=rows, cols=cols)
 
 
 def solve_crossbar(

@@ -1,0 +1,125 @@
+"""repro.board — one pluggable crossbar-board interface.
+
+Everything that touches a memristor array goes through a
+:class:`~repro.board.base.Board`: the same five verbs (program, pulse,
+read I-V, batched matvec, reset) whether the array behind them is an
+ideal simulation, a noisy virtual instrument, or a stub for real
+hardware.  Boards are registered by kind in :data:`BOARDS` and built
+with :func:`make_board`; the default kind comes from the
+``REPRO_BOARD`` environment variable (``"ideal"`` when unset).
+
+>>> from repro.board import make_board
+>>> board = make_board("ideal", 4, 4)
+>>> board.kind, board.rows, board.cols
+('ideal', 4, 4)
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Type
+
+from ..errors import BoardError
+from ..spec.techspec import TechSpec
+from .base import Board, BoardStats, LineDrive
+from .hardware import HardwareStubBoard
+from .ideal import IdealSimBoard
+from .noisy import InstrumentProfile, NoisyInstrumentBoard
+
+__all__ = [
+    "BOARDS",
+    "Board",
+    "BoardError",
+    "BoardStats",
+    "DEFAULT_BOARD_ENV",
+    "HardwareStubBoard",
+    "IdealSimBoard",
+    "InstrumentProfile",
+    "LineDrive",
+    "NoisyInstrumentBoard",
+    "board_catalog",
+    "default_board_kind",
+    "make_board",
+]
+
+#: Registry of board kinds -> implementing class.
+BOARDS: Dict[str, Type[Board]] = {
+    IdealSimBoard.kind: IdealSimBoard,
+    NoisyInstrumentBoard.kind: NoisyInstrumentBoard,
+    HardwareStubBoard.kind: HardwareStubBoard,
+}
+
+#: Environment variable selecting the default board kind.
+DEFAULT_BOARD_ENV = "REPRO_BOARD"
+
+
+def default_board_kind() -> str:
+    """The session's default board kind (``REPRO_BOARD`` or ``"ideal"``)."""
+    kind = os.environ.get(DEFAULT_BOARD_ENV, "").strip().lower()
+    if not kind:
+        return IdealSimBoard.kind
+    if kind not in BOARDS:
+        raise BoardError(
+            f"{DEFAULT_BOARD_ENV}={kind!r} is not a registered board kind; "
+            f"choose from {sorted(BOARDS)}"
+        )
+    return kind
+
+
+def make_board(
+    kind: Optional[str] = None,
+    rows: int = 32,
+    cols: int = 32,
+    *,
+    spec: Optional[TechSpec] = None,
+    **options: Any,
+) -> Board:
+    """Build a board of the given *kind* (default: :func:`default_board_kind`).
+
+    Extra keyword *options* are forwarded to the board class —
+    ``profile=``/``seed=``/``rng=`` for ``"noisy"``, ``transport=`` for
+    ``"hardware"``.
+    """
+    resolved = kind if kind is not None else default_board_kind()
+    try:
+        board_cls = BOARDS[resolved]
+    except KeyError:
+        raise BoardError(
+            f"unknown board kind {resolved!r}; choose from {sorted(BOARDS)}"
+        ) from None
+    try:
+        return board_cls(rows, cols, spec=spec, **options)
+    except TypeError as exc:
+        raise BoardError(
+            f"invalid options for {resolved!r} board: {exc}"
+        ) from exc
+
+
+def board_catalog(
+    spec: Optional[TechSpec] = None,
+    rows: int = 32,
+    cols: int = 32,
+) -> List[Dict[str, Any]]:
+    """Describe every registered board kind (for ``repro board``).
+
+    Each entry carries the kind, implementing class, first docstring
+    line, the digest of a reference ``rows x cols`` instance on *spec*,
+    and whether the kind is the active default.
+    """
+    active = default_board_kind()
+    catalog: List[Dict[str, Any]] = []
+    for kind in sorted(BOARDS):
+        board_cls = BOARDS[kind]
+        board = board_cls(rows, cols, spec=spec)
+        doc = (board_cls.__doc__ or "").strip().splitlines()
+        catalog.append(
+            {
+                "kind": kind,
+                "class": f"{board_cls.__module__}.{board_cls.__qualname__}",
+                "summary": doc[0] if doc else "",
+                "digest": board.digest,
+                "spec_digest": board.spec.digest,
+                "default": kind == active,
+            }
+        )
+    return catalog

@@ -1,0 +1,153 @@
+"""Board-axis evaluation for design-space sweeps.
+
+The spec layer made every Table 1 assumption a sweep axis; this module
+does the same for the board layer, so "accuracy/energy vs. variability
+level" is one ``repro sweep`` invocation::
+
+    repro sweep --param board.variability=0,0.05,0.1,0.2 --jsonl out.jsonl
+
+Grid paths beginning with ``board.`` configure a seeded
+accuracy-vs-ideal campaign instead of a spec override:
+:func:`evaluate_board_point` programs one reproducible weight matrix on
+a :class:`~repro.board.noisy.NoisyInstrumentBoard` (configured by the
+overrides) and on an ideal twin, pushes the same input batch through
+both, and reports the weight-domain error plus the noisy board's energy
+and latency from its :class:`~repro.board.base.BoardStats`.
+
+Because two sweep points can share a spec digest while differing on
+board axes, sweep caching keys on :func:`point_digest` — the spec
+digest extended with a canonical hash of the board overrides.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..errors import BoardError
+from ..spec.techspec import TechSpec
+
+__all__ = [
+    "BOARD_CAMPAIGN_KEYS",
+    "BOARD_PREFIX",
+    "evaluate_board_point",
+    "point_digest",
+    "split_overrides",
+]
+
+#: Grid-path prefix that routes an axis to the board layer.
+BOARD_PREFIX = "board."
+
+#: Campaign-shape keys (everything else under ``board.`` must name an
+#: :class:`~repro.board.noisy.InstrumentProfile` field).
+BOARD_CAMPAIGN_KEYS = ("kind", "rows", "cols", "words", "seed")
+
+
+def split_overrides(
+    overrides: Mapping[str, Any],
+) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """Partition one sweep point's overrides into (spec, board) parts.
+
+    Spec overrides keep their dotted paths; board overrides keep the
+    ``board.`` prefix stripped (``board.variability`` -> ``variability``).
+    """
+    spec_part: Dict[str, Any] = {}
+    board_part: Dict[str, Any] = {}
+    for path, value in overrides.items():
+        if path.startswith(BOARD_PREFIX):
+            board_part[path[len(BOARD_PREFIX):]] = value
+        else:
+            spec_part[path] = value
+    return spec_part, board_part
+
+
+def point_digest(spec_digest: str, board_overrides: Mapping[str, Any]) -> str:
+    """Cache identity of one sweep point: spec digest, extended with a
+    canonical hash of the board axes when any are present."""
+    if not board_overrides:
+        return spec_digest
+    canonical = json.dumps(dict(board_overrides), sort_keys=True,
+                           separators=(",", ":"))
+    suffix = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return f"{spec_digest}+board:{suffix}"
+
+
+def evaluate_board_point(
+    spec: TechSpec,
+    board_overrides: Mapping[str, Any],
+) -> Dict[str, float]:
+    """Run one seeded accuracy-vs-ideal campaign.
+
+    Returns flat ``board.*`` metrics: weight-domain error of the noisy
+    board's batched matvec against the ideal board on the same
+    programmed weights (``board.rmse``, ``board.relative_rmse``,
+    ``board.max_abs_error``), the noisy board's cost totals
+    (``board.energy_j``, ``board.energy_per_word_j``,
+    ``board.latency_s``) and its defect population (``board.faults``).
+    """
+    # Imports are local so pool workers don't pay for the analog stack
+    # on spec-only sweeps.
+    from ..analog.crossbar import AnalogCrossbar, AnalogSpec
+    from . import make_board
+    from .noisy import InstrumentProfile
+
+    config = dict(board_overrides)
+    kind = str(config.pop("kind", "noisy"))
+    rows = int(config.pop("rows", 32))
+    cols = int(config.pop("cols", 32))
+    words = int(config.pop("words", 64))
+    seed = int(config.pop("seed", 0))
+    if words < 1:
+        raise BoardError(f"board.words must be >= 1, got {words}")
+
+    profile_fields = {
+        field.name for field in InstrumentProfile.__dataclass_fields__.values()
+    }
+    unknown = sorted(set(config) - profile_fields)
+    if unknown:
+        raise BoardError(
+            f"unknown board parameter(s) {unknown}; campaign keys are "
+            f"{list(BOARD_CAMPAIGN_KEYS)} and profile fields "
+            f"{sorted(profile_fields)}"
+        )
+    profile = InstrumentProfile(**config)
+
+    if kind == "noisy":
+        board = make_board(kind, rows, cols, spec=spec, profile=profile,
+                           seed=seed)
+    elif kind == "ideal":
+        board = make_board(kind, rows, cols, spec=spec)
+    else:
+        raise BoardError(
+            f"board.kind must be 'ideal' or 'noisy' in sweeps, got {kind!r}"
+        )
+
+    analog_spec = AnalogSpec(g_min=profile.g_min, g_max=profile.g_max)
+    rng = np.random.default_rng(seed)
+    weights = rng.standard_normal((rows, cols))
+    inputs = rng.random((words, rows))
+
+    reference = AnalogCrossbar(rows, cols, spec=analog_spec)
+    reference.program(weights)
+    expected = reference.matvec_many(inputs)
+
+    device = AnalogCrossbar(rows, cols, spec=analog_spec, board=board)
+    device.program(weights)
+    observed = device.matvec_many(inputs)
+
+    error = observed - expected
+    scale = float(np.sqrt(np.mean(expected ** 2)))
+    rmse = float(np.sqrt(np.mean(error ** 2)))
+    stats = board.stats
+    return {
+        "board.rmse": rmse,
+        "board.relative_rmse": rmse / scale if scale > 0 else float("inf"),
+        "board.max_abs_error": float(np.abs(error).max()),
+        "board.energy_j": stats.energy,
+        "board.energy_per_word_j": stats.energy / words,
+        "board.latency_s": stats.latency,
+        "board.faults": float(len(getattr(board, "faults", ()))),
+    }

@@ -1,0 +1,134 @@
+"""The real-hardware placeholder: the wire protocol, documented.
+
+No physical crossbar board is attached to this repository, but the
+board seam is designed so one can be: :class:`HardwareStubBoard`
+reserves the registry slot and pins down the wire protocol a driver
+must implement.  Every verb raises :class:`~repro.errors.BoardError`
+today; the docstrings are the contract a future transport (serial,
+USB-SMU, or lab-network SCPI) has to satisfy.
+
+Protocol sketch (little-endian, one frame per verb)::
+
+    PROGRAM  rows*cols float32 siemens  -> ACK | NAK(reason)
+    PULSE    u16 row, u16 col, float32  -> ACK | NAK(reason)
+    READ_G                              -> rows*cols float32 siemens
+    READ_IV  n_drv * (u8 axis, u16 idx, float32 volt)
+                                        -> rows+cols float32 amperes
+    MATVEC   k * rows float32 volts     -> k * cols float32 amperes
+    RESET                               -> ACK
+
+Responses carry a CRC-16 and the board's firmware digest, which a
+driver folds into :attr:`~repro.board.base.Board.digest` so swept
+artifacts can name the exact hardware+firmware they ran on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import BoardError
+from ..spec.techspec import TechSpec
+from .base import Board, LineDrive
+
+__all__ = ["HardwareStubBoard"]
+
+_NO_HARDWARE = (
+    "no physical crossbar board is attached; HardwareStubBoard documents "
+    "the wire protocol a real driver must implement (see the module "
+    "docstring of repro.board.hardware) — use the 'ideal' or 'noisy' "
+    "board for simulation"
+)
+
+
+class HardwareStubBoard(Board):
+    """Placeholder for a physical crossbar board driver.
+
+    Constructing the stub is allowed (so registries, CLIs, and sweeps
+    can enumerate and digest it); touching the array is not.
+    """
+
+    kind = "hardware"
+
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        spec: Optional[TechSpec] = None,
+        transport: Optional[str] = None,
+    ) -> None:
+        super().__init__(rows, cols, spec=spec)
+        self.transport = transport
+
+    def config(self) -> Dict[str, Any]:
+        return {"transport": self.transport}
+
+    # -- every verb raises -------------------------------------------------
+
+    def program(self, conductances: np.ndarray) -> None:
+        """``PROGRAM``: stream rows*cols float32 siemens, await ACK."""
+        raise BoardError(_NO_HARDWARE)
+
+    def pulse(self, row: int, col: int, conductance: float) -> None:
+        """``PULSE``: one (row, col, target) frame, await ACK."""
+        raise BoardError(_NO_HARDWARE)
+
+    def read_conductances(self) -> np.ndarray:
+        """``READ_G``: request the measured conductance map."""
+        raise BoardError(_NO_HARDWARE)
+
+    def read_iv(
+        self,
+        row_drive: LineDrive,
+        col_drive: LineDrive,
+        *,
+        wire_resistance: Optional[float] = None,
+        driver_resistance: float = 0.0,
+        backend: str = "auto",
+    ) -> Any:
+        """``READ_IV``: drive the listed lines, read terminal currents.
+
+        Real wires have whatever resistance they have — passing a
+        ``wire_resistance`` model parameter to hardware is rejected.
+        """
+        raise BoardError(_NO_HARDWARE)
+
+    def read_iv_variants(
+        self,
+        row_drive: LineDrive,
+        col_drive: LineDrive,
+        variants: Sequence[Tuple[int, int, float]],
+        *,
+        wire_resistance: float = 1.0,
+        driver_resistance: float = 0.0,
+        backend: str = "auto",
+    ) -> Tuple[Any, List[Any]]:
+        """Hardware answers what-ifs by actually reprogramming: a driver
+        implements this as PULSE + READ_IV + restoring PULSE per variant."""
+        raise BoardError(_NO_HARDWARE)
+
+    def column_currents(
+        self,
+        voltages: np.ndarray,
+        *,
+        wire_resistance: Optional[float] = None,
+        backend: str = "auto",
+    ) -> np.ndarray:
+        """``MATVEC`` with k=1."""
+        raise BoardError(_NO_HARDWARE)
+
+    def column_currents_many(
+        self,
+        voltages: np.ndarray,
+        *,
+        wire_resistance: Optional[float] = None,
+        backend: str = "auto",
+    ) -> np.ndarray:
+        """``MATVEC``: k row-voltage vectors in, k bitline readouts out."""
+        raise BoardError(_NO_HARDWARE)
+
+    def reset(self) -> None:
+        """``RESET``: global erase pulse train."""
+        raise BoardError(_NO_HARDWARE)

@@ -12,8 +12,11 @@ previous state of the cell after reading it".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
+import numpy as np
+
+from ..board.base import Board
 from ..devices.crs import ComplementaryResistiveSwitch
 from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
 from ..errors import CrossbarError
@@ -64,6 +67,12 @@ class CrossbarMemory:
         write-back).
     technology:
         Energy/time constants; defaults to the paper's 5 nm profile.
+    board:
+        Optional :class:`~repro.board.base.Board` of matching geometry.
+        Every logical access is mirrored into the board's ledger
+        (:meth:`~repro.board.base.Board.charge`), and
+        :meth:`sense_word` becomes available — an *electrical* read of
+        one word through the board's instrument chain.
     """
 
     def __init__(
@@ -72,11 +81,20 @@ class CrossbarMemory:
         width: int,
         cell_kind: str = "1R",
         technology: MemristorTechnology = MEMRISTOR_5NM,
+        *,
+        board: Optional[Board] = None,
     ) -> None:
         if cell_kind not in ("1R", "CRS"):
             raise CrossbarError(f"cell_kind must be '1R' or 'CRS', got {cell_kind!r}")
+        if board is not None and (board.rows, board.cols) != (words, width):
+            raise CrossbarError(
+                f"board geometry {board.rows}x{board.cols} does not match "
+                f"the {words}x{width} memory"
+            )
         self.cell_kind = cell_kind
         self.technology = technology
+        self.board = board
+        self._board_stale = True
         factory: Callable[[int, int], object]
         if cell_kind == "1R":
             factory = lambda r, c: OneR()
@@ -118,8 +136,16 @@ class CrossbarMemory:
             self.array.cell(address, c).write_bit(bit)
         self.stats.writes += 1
         self.stats.device_writes += self.width
-        self.stats.energy += self.width * self.technology.write_energy
+        energy = self.width * self.technology.write_energy
+        self.stats.energy += energy
         self.stats.time += self.technology.write_time
+        if self.board is not None:
+            self._board_stale = True
+            self.board.charge(
+                energy=energy,
+                latency=self.technology.write_time,
+                device_writes=self.width,
+            )
 
     def read_word(self, address: int) -> List[int]:
         """Read one word.
@@ -146,9 +172,65 @@ class CrossbarMemory:
         self.stats.device_writes += write_backs
         # Read sensing time is one write-time step; write-backs of the
         # whole word proceed in parallel, adding one more step if needed.
-        self.stats.time += self.technology.write_time * (2 if write_backs else 1)
-        self.stats.energy += write_backs * self.technology.write_energy
+        time = self.technology.write_time * (2 if write_backs else 1)
+        energy = write_backs * self.technology.write_energy
+        self.stats.time += time
+        self.stats.energy += energy
+        if self.board is not None:
+            if write_backs:
+                self._board_stale = True
+            self.board.charge(
+                energy=energy, latency=time, device_writes=write_backs
+            )
         return bits
+
+    def sense_word(
+        self,
+        address: int,
+        v_read: float = 0.2,
+        wire_resistance: Optional[float] = None,
+    ) -> List[int]:
+        """*Electrically* read one word through the attached board.
+
+        The stored conductance pattern is programmed onto the board (a
+        charged programming operation, done lazily — only when logical
+        writes have made the board's image stale), then the selected
+        word line is driven at *v_read* with every other line at 0 V and
+        the bitline currents are thresholded halfway between the LRS and
+        HRS cell currents.  On an ideal board this reproduces
+        :meth:`read_word` exactly; on a noisy board, quantization,
+        variability, and faults can flip bits — which is the point.
+
+        Only 1R cells sense this way; CRS cells hide their state from a
+        small-signal read by design (both states are high-resistive), so
+        they must use the destructive :meth:`read_word` protocol.
+        """
+        self._check_word(address)
+        if self.board is None:
+            raise CrossbarError(
+                "sense_word needs a board= (electrical readout happens on "
+                "a board; construct the memory with one)"
+            )
+        if self.cell_kind != "1R":
+            raise CrossbarError(
+                "CRS cells cannot be sensed non-destructively (both states "
+                "are high-resistive at read voltage); use read_word()"
+            )
+        if self._board_stale:
+            self.board.program(self.array.conductance_matrix())
+            self._board_stale = False
+        voltages = np.zeros(self.words)
+        voltages[address] = v_read
+        currents = self.board.column_currents(
+            voltages, wire_resistance=wire_resistance
+        )
+        probe = OneR()
+        probe.write_bit(1)
+        g_on = 1.0 / probe.resistance()
+        probe.write_bit(0)
+        g_off = 1.0 / probe.resistance()
+        threshold = v_read * 0.5 * (g_on + g_off)
+        return [int(abs(float(i)) > threshold) for i in currents]
 
     def write_int(self, address: int, value: int) -> None:
         """Store an unsigned integer little-endian (bit 0 in column 0)."""

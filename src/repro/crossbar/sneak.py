@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from ..board.base import Board
 from ..errors import CrossbarError
 from ..obs.logsetup import get_logger
 from ..obs.registry import get_registry
@@ -34,6 +35,18 @@ from .solver import (
 )
 
 JunctionFactory = Callable[[int, int], object]
+
+#: Factory building a board for a given geometry (for size sweeps,
+#: where a single fixed-geometry board cannot serve every array size).
+BoardFactory = Callable[[int, int], Board]
+
+
+def _check_board(board: Optional[Board], rows: int, cols: int) -> None:
+    if board is not None and (board.rows, board.cols) != (rows, cols):
+        raise CrossbarError(
+            f"board geometry {board.rows}x{board.cols} does not match the "
+            f"{rows}x{cols} array under analysis"
+        )
 
 #: Default minimum I_high/I_low ratio considered readable.
 DEFAULT_MIN_MARGIN = 2.0
@@ -68,6 +81,7 @@ def solve_access(
     tolerance: float = 1e-9,
     wire_resistance: Optional[float] = None,
     driver_resistance: float = 0.0,
+    board: Optional[Board] = None,
 ) -> CrossbarSolution:
     """Solve a single-cell access, iterating for nonlinear junctions.
 
@@ -79,14 +93,28 @@ def solve_access(
     IR-drop nodal solve (the per-topology factorization cache makes the
     repeated solves cheap).
 
+    With a *board*, each iterate programs the junction conductances onto
+    the board and reads the operating point through
+    :meth:`~repro.board.base.Board.read_iv` — an ideal board is
+    bit-identical to the direct path; a noisy board folds its instrument
+    chain into the access.
+
     The returned solution's ``converged`` flag records whether the loop
     actually reached *tolerance*; running out of *iterations* clears it,
     bumps the ``crossbar_fixedpoint_nonconverged_total`` counter, and
     logs a warning instead of silently returning the last iterate.
     """
+    _check_board(board, array.rows, array.cols)
     row_drive, col_drive = scheme.drives(array.rows, array.cols, sel_row, sel_col, v_read)
 
     def _solve(g_now: np.ndarray) -> CrossbarSolution:
+        if board is not None:
+            board.program(g_now)
+            return board.read_iv(
+                row_drive, col_drive,
+                wire_resistance=wire_resistance,
+                driver_resistance=driver_resistance,
+            )
         if wire_resistance is None:
             return solve_ideal_wires(g_now, row_drive, col_drive)
         return solve_with_wire_resistance(
@@ -126,6 +154,7 @@ def sense_current(
     sel_col: int,
     v_read: float,
     wire_resistance: Optional[float] = None,
+    board: Optional[Board] = None,
 ) -> float:
     """Current absorbed by the selected (grounded) column in amperes.
 
@@ -135,7 +164,7 @@ def sense_current(
     """
     solution = solve_access(
         array, scheme, sel_row, sel_col, v_read,
-        wire_resistance=wire_resistance,
+        wire_resistance=wire_resistance, board=board,
     )
     return float(solution.col_currents[sel_col])
 
@@ -195,6 +224,7 @@ def read_margin(
     sel_row: int = 0,
     sel_col: int = 0,
     wire_resistance: Optional[float] = None,
+    board: Optional[Board] = None,
 ) -> MarginReport:
     """Worst-case read margin of a *rows* x *cols* array.
 
@@ -203,9 +233,11 @@ def read_margin(
     default read voltage of 0.95 V sits inside the default CRS read
     window so the same call works for every junction type.  With
     *wire_resistance* the margin additionally includes line IR drop
-    (sparse solver; 256x256 sweeps are practical).
+    (sparse solver; 256x256 sweeps are practical).  A *board* routes
+    every electrical read through that board's instrument chain.
     """
     scheme = scheme if scheme is not None else FloatingBias()
+    _check_board(board, rows, cols)
     if wire_resistance is not None:
         # Linear junctions: the two stored values differ in exactly one
         # cell's conductance, so the bit-0 case is a rank-1 update of
@@ -241,11 +273,19 @@ def read_margin(
             row_drive, col_drive = scheme.drives(
                 rows, cols, sel_row, sel_col, v_read
             )
-            base, (variant,) = solve_junction_variants(
-                g_matrix, row_drive, col_drive,
-                [(sel_row, sel_col, g_low)],
-                wire_resistance=wire_resistance,
-            )
+            if board is not None:
+                board.program(g_matrix)
+                base, (variant,) = board.read_iv_variants(
+                    row_drive, col_drive,
+                    [(sel_row, sel_col, g_low)],
+                    wire_resistance=wire_resistance,
+                )
+            else:
+                base, (variant,) = solve_junction_variants(
+                    g_matrix, row_drive, col_drive,
+                    [(sel_row, sel_col, g_low)],
+                    wire_resistance=wire_resistance,
+                )
             currents = [
                 abs(float(base.col_currents[sel_col])),
                 abs(float(variant.col_currents[sel_col])),
@@ -259,7 +299,7 @@ def read_margin(
         array = worst_case_array(rows, cols, junction_factory, bit, sel_row, sel_col)
         currents.append(abs(sense_current(
             array, scheme, sel_row, sel_col, v_read,
-            wire_resistance=wire_resistance,
+            wire_resistance=wire_resistance, board=board,
         )))
     high, low = max(currents), min(currents)
     return MarginReport(
@@ -273,11 +313,18 @@ def margin_vs_size(
     scheme: Optional[BiasScheme] = None,
     v_read: float = 0.95,
     wire_resistance: Optional[float] = None,
+    board_factory: Optional[BoardFactory] = None,
 ) -> List[MarginReport]:
-    """Read margin for square n x n arrays over *sizes*."""
+    """Read margin for square n x n arrays over *sizes*.
+
+    A single board has fixed geometry, so size sweeps take a
+    *board_factory* ``(rows, cols) -> Board`` instead (e.g.
+    ``lambda r, c: make_board("noisy", r, c, seed=0)``).
+    """
     return [
         read_margin(n, n, junction_factory, scheme, v_read,
-                    wire_resistance=wire_resistance)
+                    wire_resistance=wire_resistance,
+                    board=None if board_factory is None else board_factory(n, n))
         for n in sizes
     ]
 
@@ -289,6 +336,7 @@ def max_readable_size(
     v_read: float = 0.95,
     min_margin: float = DEFAULT_MIN_MARGIN,
     wire_resistance: Optional[float] = None,
+    board_factory: Optional[BoardFactory] = None,
 ) -> int:
     """Largest array edge in *sizes* whose worst-case margin stays
     readable; returns 0 if none qualifies.
@@ -299,7 +347,8 @@ def max_readable_size(
     """
     best = 0
     for report in margin_vs_size(sorted(sizes), junction_factory, scheme, v_read,
-                                 wire_resistance=wire_resistance):
+                                 wire_resistance=wire_resistance,
+                                 board_factory=board_factory):
         if report.readable(min_margin):
             best = max(best, report.rows)
     return best

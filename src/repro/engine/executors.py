@@ -354,7 +354,16 @@ class FunctionalBatchExecutor:
 
 
 class ElectricalBatchExecutor:
-    """Per-word electrical backend — the bit-exact fidelity reference."""
+    """Per-word electrical backend — the bit-exact fidelity reference.
+
+    The machine each word runs on is acquired through a
+    :class:`~repro.board.base.Board` when one is supplied: the board's
+    :meth:`~repro.board.base.Board.imply_machine` decides the device
+    population (ideal devices, or a seeded variability model on a noisy
+    board), the board's spec prices the run, and the cost is charged to
+    the board's ledger.  Without a board the executor builds ideal
+    machines directly, exactly as before.
+    """
 
     name = "electrical"
 
@@ -363,12 +372,23 @@ class ElectricalBatchExecutor:
         technology: MemristorTechnology = MEMRISTOR_5NM,
         voltages=None,
         device_factory=None,
+        *,
+        board=None,
     ) -> None:
-        self.technology = technology
+        if board is not None and (voltages is not None
+                                  or device_factory is not None):
+            raise EngineError(
+                "pass either board= or voltages=/device_factory=, not both: "
+                "a board owns its drive voltages and device population"
+            )
+        self.board = board
+        self.technology = board.spec.memristor if board is not None else technology
         self.voltages = voltages
         self.device_factory = device_factory
 
     def _machine(self) -> ImplyMachine:
+        if self.board is not None:
+            return self.board.imply_machine()
         kwargs = {"technology": self.technology}
         if self.voltages is not None:
             kwargs["voltages"] = self.voltages
@@ -396,13 +416,19 @@ class ElectricalBatchExecutor:
                     f"output {signal!r}"
                 )
         steps = kernel.step_count
+        energy = steps * words * self.technology.write_energy
+        latency = steps * self.technology.write_time
+        if self.board is not None:
+            self.board.charge(
+                energy=energy, latency=latency, device_writes=steps * words
+            )
         return BatchResult(
             kernel=kernel.name,
             backend=self.name,
             words=words,
             steps_per_word=steps,
-            energy=steps * words * self.technology.write_energy,
-            latency=steps * self.technology.write_time,
+            energy=energy,
+            latency=latency,
             outputs=collected,
             word_outputs=kernel.word_outputs,
             ledger=_step_ledger(kernel.name, steps, words, self.technology),
@@ -471,6 +497,7 @@ def run_kernel(
     technology: Optional[MemristorTechnology] = None,
     spec=None,
     executor=None,
+    board=None,
     charge_span: bool = True,
 ) -> BatchResult:
     """Execute *kernel* over an operand batch on the chosen *backend*.
@@ -489,13 +516,19 @@ def run_kernel(
     another backend (e.g. ``functional_bitplane`` for the bit-sliced
     fast path).
 
+    *board* (a :class:`~repro.board.base.Board`) routes the electrical
+    backend through that board's device population and charges the run
+    to its ledger; it implies ``backend="electrical"`` when no backend
+    is named and is rejected for the other backends (they never touch
+    devices).
+
     Dispatch is metered on ``engine_executor_dispatch_total{backend=}``
     and wrapped in an ``engine/<kernel>`` span so ``--profile``
     attributes cost to kernels; ``charge_span=False`` leaves the span's
     simulated totals to a caller that keeps its own ledger.
     """
     if backend is None:
-        backend = default_backend()
+        backend = "electrical" if board is not None else default_backend()
     if backend not in _EXECUTOR_CLASSES:
         raise EngineError(
             f"unknown backend {backend!r}; choose one of {BACKENDS}"
@@ -504,6 +537,15 @@ def run_kernel(
         raise EngineError("pass either technology= or spec=, not both")
     if technology is None:
         technology = spec.memristor if spec is not None else MEMRISTOR_5NM
+    if board is not None:
+        if backend != "electrical":
+            raise EngineError(
+                f"board= routes runs through physical devices, which only "
+                f"the electrical backend touches (got backend={backend!r})"
+            )
+        if executor is not None:
+            raise EngineError("pass either board= or executor=, not both")
+        executor = ElectricalBatchExecutor(board=board)
     if executor is None:
         executor = _EXECUTOR_CLASSES[backend](technology)
     input_bits: Optional[np.ndarray] = None

@@ -44,6 +44,11 @@ class ObservabilityError(ReproError):
     """Invalid metric/trace usage or a malformed telemetry sink/path."""
 
 
+class BoardError(ReproError):
+    """Invalid board configuration/usage, or a capability the selected
+    board backend does not implement (e.g. the real-hardware stub)."""
+
+
 class EngineError(ReproError):
     """Invalid kernel construction, operand batch, or executor backend."""
 

@@ -103,15 +103,29 @@ class FaultInjector:
         return fault
 
     def inject_random(
-        self, count: int, seed: Optional[int] = None
+        self,
+        count: int,
+        seed: Optional[int] = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
     ) -> List[Fault]:
-        """Inject *count* faults at distinct random cells."""
+        """Inject *count* faults at distinct random cells.
+
+        Randomness is explicit: pass either a *seed* (a fresh
+        ``numpy.random.default_rng(seed)`` is built, so equal seeds
+        always pin the same fault map) or an existing *rng* Generator
+        (to share one stream across several injectors) — supplying both
+        is an error.
+        """
         total_cells = self.memory.words * self.memory.width
         if count < 0 or count > total_cells:
             raise CrossbarError(
                 f"count must be in 0..{total_cells}, got {count}"
             )
-        rng = np.random.default_rng(seed)
+        if rng is not None and seed is not None:
+            raise CrossbarError("pass either seed= or rng=, not both")
+        if rng is None:
+            rng = np.random.default_rng(seed)
         kinds = list(FaultType)
         taken = {(f.row, f.col) for f in self.faults}
         injected = []

@@ -26,6 +26,24 @@ EXPECTED_SIGNATURES = {
         "spec": "None",
         "overrides": "None",
     },
+    "list_boards": {
+        "rows": "32",
+        "cols": "32",
+        "spec": "None",
+        "overrides": "None",
+    },
+    "make_board": {
+        "kind": "None",
+        "rows": "32",
+        "cols": "32",
+        "variability": "0.0",
+        "dac_bits": "0",
+        "adc_bits": "0",
+        "fault_rate": "0.0",
+        "seed": "None",
+        "spec": "None",
+        "overrides": "None",
+    },
     "run_kernel": {
         "kernel": "<required>",
         "width": "32",
@@ -128,6 +146,18 @@ class TestFacadeSurface:
         result = api.run_kernel(kernel="adder", width=8,
                                 operands={"a": [1, 2], "b": [3, 4]})
         assert list(result.word("sum")) == [4, 6]
+
+    def test_make_board_and_list_boards(self):
+        board = api.make_board(kind="noisy", rows=4, cols=4,
+                               variability=0.1, seed=3)
+        assert board.kind == "noisy"
+        assert (board.rows, board.cols) == (4, 4)
+        catalog = api.list_boards(rows=4, cols=4)
+        kinds = {entry["kind"] for entry in catalog}
+        assert kinds == {"ideal", "noisy", "hardware"}
+        assert sum(entry["default"] for entry in catalog) == 1
+        with pytest.raises(Exception):
+            api.make_board(kind="ideal", variability=0.5)
 
     def test_overrides_derive_the_spec(self):
         from repro.spec import TABLE1

@@ -1,0 +1,179 @@
+"""Bit-identity of the ideal board against the pre-refactor direct paths.
+
+The refactor's contract: routing the analog VMM, the wire-resistance
+solve, and the read-margin analysis through
+:class:`~repro.board.ideal.IdealSimBoard` changes *no bits* — the board
+executes exactly the floating-point operations the consumers used to
+run inline.  Each property here replays the legacy computation verbatim
+(the literal pre-refactor expressions, kept as inline replicas) and
+asserts exact equality — ``==``, not ``allclose`` — across random
+shapes, weights, drive patterns, and wire resistances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analog.crossbar import AnalogCrossbar, AnalogSpec
+from repro.board import IdealSimBoard
+from repro.crossbar.sneak import read_margin
+from repro.crossbar.solver import (
+    solve_many_with_wire_resistance,
+    solve_with_wire_resistance,
+)
+
+shapes = st.tuples(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+weight_elements = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, width=64
+)
+input_elements = st.floats(
+    min_value=-1.0, max_value=1.0, allow_nan=False, width=64
+)
+wire_resistances = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def programmed_cases(draw):
+    """A (rows, cols) weight matrix plus a batch of input vectors."""
+    rows, cols = draw(shapes)
+    weights = draw(hnp.arrays(dtype=float, shape=(rows, cols),
+                              elements=weight_elements))
+    n = draw(st.integers(min_value=1, max_value=4))
+    inputs = draw(hnp.arrays(dtype=float, shape=(n, rows),
+                             elements=input_elements))
+    return weights, inputs
+
+
+def _legacy_pair(weights, seed=0, levels=0, sigma=0.0):
+    """Two identically-seeded crossbars programmed with *weights*: one
+    is the subject, the other supplies the conductance matrix for the
+    legacy inline replica."""
+    rows, cols = weights.shape
+    spec = AnalogSpec(levels=levels, sigma=sigma)
+    subject = AnalogCrossbar(rows, cols, spec, seed=seed)
+    mirror = AnalogCrossbar(rows, cols, spec, seed=seed)
+    subject.program(weights)
+    mirror.program(weights)
+    return subject, mirror.conductances
+
+
+class TestMatvecBitIdentity:
+    @given(case=programmed_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_ideal_wires_column_currents(self, case):
+        """Board path == the legacy ``voltages @ G`` Kirchhoff sum."""
+        weights, inputs = case
+        subject, g = _legacy_pair(weights)
+        for x in inputs:
+            voltages = x * subject.spec.v_read
+            legacy = voltages @ g
+            assert np.array_equal(subject.column_currents(x), legacy)
+
+    @given(case=programmed_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_ideal_wires_batched(self, case):
+        weights, inputs = case
+        subject, g = _legacy_pair(weights)
+        legacy = (inputs * subject.spec.v_read) @ g
+        assert np.array_equal(subject.column_currents_many(inputs), legacy)
+
+    @given(case=programmed_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_weight_domain_matvec(self, case):
+        """matvec's unmapping sits on top of the board path unchanged."""
+        weights, inputs = case
+        subject, g = _legacy_pair(weights)
+        spec = subject.spec
+        for x in inputs:
+            currents = (x * spec.v_read) @ g
+            span = subject._w_max - subject._w_min
+            slope = spec.g_max - spec.g_min
+            sum_x = x.sum()
+            legacy = ((currents / spec.v_read - spec.g_min * sum_x)
+                      / slope * span + subject._w_min * sum_x)
+            assert np.array_equal(subject.matvec(x), legacy)
+
+    @given(case=programmed_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_quantised_programming_unchanged(self, case):
+        """Levels + sigma run through the same rng stream, so programmed
+        conductances (and thus results) stay identical."""
+        weights, inputs = case
+        subject, g = _legacy_pair(weights, seed=7, levels=8, sigma=0.05)
+        assert np.array_equal(subject.conductances, g)
+        legacy = (inputs * subject.spec.v_read) @ g
+        assert np.array_equal(subject.column_currents_many(inputs), legacy)
+
+
+class TestWireResistanceBitIdentity:
+    @given(case=programmed_cases(), r_wire=wire_resistances)
+    @settings(max_examples=30, deadline=None)
+    def test_single_vector_ir_drop(self, case, r_wire):
+        """Board path builds the exact legacy drive dicts, so the nodal
+        solve sees an identical system."""
+        weights, inputs = case
+        subject, g = _legacy_pair(weights)
+        rows, cols = weights.shape
+        for x in inputs:
+            voltages = x * subject.spec.v_read
+            row_drive = {i: float(voltages[i]) for i in range(rows)}
+            col_drive = {j: 0.0 for j in range(cols)}
+            legacy = solve_with_wire_resistance(
+                g, row_drive, col_drive, wire_resistance=r_wire,
+                backend="auto",
+            ).col_currents
+            got = subject.column_currents(x, wire_resistance=r_wire)
+            assert np.array_equal(got, legacy)
+
+    @given(case=programmed_cases(), r_wire=wire_resistances)
+    @settings(max_examples=30, deadline=None)
+    def test_batched_ir_drop(self, case, r_wire):
+        weights, inputs = case
+        subject, g = _legacy_pair(weights)
+        rows, cols = weights.shape
+        voltages = inputs * subject.spec.v_read
+        col_drive = {j: 0.0 for j in range(cols)}
+        drives = [
+            ({i: float(row[i]) for i in range(rows)}, col_drive)
+            for row in voltages
+        ]
+        legacy = np.stack([
+            solution.col_currents
+            for solution in solve_many_with_wire_resistance(
+                g, drives, wire_resistance=r_wire, backend="auto")
+        ])
+        got = subject.column_currents_many(inputs, wire_resistance=r_wire)
+        assert np.array_equal(got, legacy)
+
+
+class TestReadMarginBitIdentity:
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        v_read=st.floats(min_value=0.5, max_value=1.2, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_ideal_wires_margin(self, n, v_read):
+        direct = read_margin(n, n, v_read=v_read)
+        routed = read_margin(n, n, v_read=v_read,
+                             board=IdealSimBoard(n, n))
+        assert routed.current_high == direct.current_high
+        assert routed.current_low == direct.current_low
+
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        r_wire=wire_resistances,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rank1_wire_margin(self, n, r_wire):
+        """The rank-1 what-if fast path routes through
+        ``Board.read_iv_variants`` bit-identically."""
+        direct = read_margin(n, n, wire_resistance=r_wire)
+        routed = read_margin(n, n, wire_resistance=r_wire,
+                             board=IdealSimBoard(n, n))
+        assert routed.current_high == direct.current_high
+        assert routed.current_low == direct.current_low
