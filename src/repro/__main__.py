@@ -12,6 +12,7 @@ code:
 * ``kernels`` — the engine's built-in compiled kernels and their costs;
 * ``obs`` — exercise the observability layer and export telemetry;
 * ``sweep`` — design-space exploration over TechSpec parameters;
+* ``plan`` — the CIM-vs-CPU offload plan for a workload trace;
 * ``serve`` — the async batched JSONL serving loop (stdin -> stdout),
   optionally exposing live telemetry via ``--metrics-port``;
 * ``top`` — a console dashboard polling a running serve's endpoint.
@@ -34,7 +35,7 @@ import sys
 from typing import Any, Dict, List, Optional, Tuple
 
 from .analysis import format_table, render_machine_reports, render_table2
-from .errors import ReproError
+from .errors import PlannerError, ReproError
 from .obs import configure_logging, get_registry, get_tracer
 from .obs.export import console_summary
 from .spec import TABLE1, TechSpec
@@ -426,6 +427,49 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_plan(args: argparse.Namespace) -> int:
+    """Price a workload trace under CIM/CPU models; print the plan."""
+    from .analysis.planner import paper_trace, plan, read_trace
+
+    spec = _spec_from_args(args)
+    if args.trace:
+        try:
+            with open(args.trace, "r", encoding="utf-8") as stream:
+                trace = read_trace(stream)
+        except OSError as exc:
+            raise PlannerError(f"cannot read trace {args.trace}: {exc}")
+    else:
+        trace = paper_trace(spec)
+    result = plan(trace, spec=spec)
+    if args.json:
+        return _emit_json(result.as_dict())
+    print(f"active spec: {spec.describe()}")
+    rows = [
+        [
+            choice.kernel,
+            str(choice.width),
+            f"{choice.words:,}",
+            si_format(choice.cim_energy_delay, "Js"),
+            si_format(choice.cpu_energy_delay, "Js"),
+            choice.placement.upper(),
+            choice.backend,
+            ("-" if choice.crossover_words is None
+             else f"{choice.crossover_words:,}"),
+        ]
+        for choice in result.choices
+    ]
+    print(format_table(
+        ["Kernel", "Width", "Words", "CIM E*D", "CPU E*D",
+         "Placement", "Auto backend", "Crossover (words)"],
+        rows,
+        title=(
+            "Offload plan (placement = lower predicted energy-delay; "
+            "crossover = smallest batch where CIM wins)"
+        ),
+    ))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the async batched JSONL serving loop until input EOF."""
     from .serve import serve_jsonl
@@ -582,6 +626,16 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-ledgers", action="store_true",
                        help="drop per-point ledgers (smaller JSONL)")
     sweep.set_defaults(handler=_cmd_sweep)
+
+    plan = sub.add_parser(
+        "plan", parents=[common],
+        help="CIM-vs-CPU offload plan for a workload trace")
+    plan.add_argument(
+        "--trace", metavar="PATH",
+        help="JSONL workload trace (one {kernel, width, words, "
+             "hit_ratio} object per line; default: the built-in "
+             "paper workload trace)")
+    plan.set_defaults(handler=_cmd_plan)
 
     serve = sub.add_parser(
         "serve", parents=[common],

@@ -1,5 +1,14 @@
-"""Reporting, sweep and design-space-exploration utilities."""
+"""Reporting, sweep, design-space-exploration and planning utilities."""
 
+from .planner import (
+    Plan,
+    PlacementChoice,
+    TraceEntry,
+    paper_trace,
+    plan,
+    plan_request,
+    read_trace,
+)
 from .dse import (
     SweepPoint,
     SweepResult,
@@ -33,4 +42,11 @@ __all__ = [
     "run_sweep",
     "write_csv",
     "write_jsonl",
+    "Plan",
+    "PlacementChoice",
+    "TraceEntry",
+    "paper_trace",
+    "plan",
+    "plan_request",
+    "read_trace",
 ]

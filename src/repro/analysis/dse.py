@@ -121,11 +121,17 @@ class SweepResult:
         return [point.metrics[key] for point in self.points]
 
     def best(self, key: str, maximize: bool = True) -> SweepPoint:
-        """The point extremizing ``metrics[key]``."""
+        """The point extremizing ``metrics[key]``.
+
+        Ties break deterministically on the lowest point index, so the
+        winner is stable across process-pool orderings and repeated
+        runs — planner crossover sweeps depend on this reproducibility.
+        """
         if not self.points:
             raise SpecError("empty sweep has no best point")
-        chooser = max if maximize else min
-        return chooser(self.points, key=lambda p: p.metrics[key])
+        if maximize:
+            return max(self.points, key=lambda p: (p.metrics[key], -p.index))
+        return min(self.points, key=lambda p: (p.metrics[key], p.index))
 
 
 def expand_grid(grid: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
@@ -258,6 +264,13 @@ def evaluate_point(
         from ..board.campaign import evaluate_board_point
 
         metrics.update(evaluate_board_point(spec, board_overrides))
+
+    # Offload-planner columns: price the paper trace under both cost
+    # models at this point so "where does CIM start winning?" is a
+    # plain sweep over plan.<kernel>.* metrics.
+    from .planner import paper_trace, plan, plan_metrics
+
+    metrics.update(plan_metrics(plan(paper_trace(spec), spec=spec)))
 
     return spec.name, point_digest(spec.digest, board_overrides), metrics, ledgers
 

@@ -10,6 +10,7 @@ documented signatures::
     api.run_kernel(kernel="adder", width=8,  # engine execution by name
                    operands={"a": [1, 2], "b": [3, 4]})
     api.sweep(grid={"memristor.write_energy": [1e-15, 2e-15]})
+    api.plan()                               # CIM-vs-CPU offload plan
     api.solve_crossbar(conductances=g, row_drive={0: 0.5}, col_drive={3: 0.0})
     api.serve()                              # JSONL serving loop (stdin)
     api.make_board(kind="noisy", rows=64,    # a pluggable crossbar board
@@ -44,6 +45,7 @@ __all__ = [
     "evaluate",
     "list_boards",
     "make_board",
+    "plan",
     "run_kernel",
     "serve",
     "solve_crossbar",
@@ -168,6 +170,28 @@ def sweep(
         serial=serial,
         keep_ledgers=keep_ledgers,
     )
+
+
+def plan(
+    *,
+    trace: Optional[Sequence[Any]] = None,
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Build a CIM-vs-CPU offload plan for a workload trace.
+
+    ``trace`` is a sequence of
+    :class:`~repro.analysis.planner.TraceEntry` (default: the paper's
+    built-in DNA + math workload trace).  Every entry is priced under
+    both the CIM and CPU cost models; the returned
+    :class:`~repro.analysis.planner.Plan` carries per-kernel placement,
+    predicted energy-delay products, the Bitlet-style crossover batch
+    size, and the backend ``ServeRequest(backend="auto")`` would route
+    to.
+    """
+    from .analysis.planner import plan as _plan
+
+    return _plan(trace, spec=_resolve_spec(spec, overrides))
 
 
 def make_board(

@@ -49,6 +49,7 @@ from typing import (
 import numpy as np
 
 from ..errors import BoardError
+from ..spec.costmodel import board_stats_ledger
 from ..spec.ledger import CostLedger
 from ..spec.techspec import TABLE1, TechSpec
 
@@ -184,23 +185,14 @@ class Board(abc.ABC):
         self.stats.device_writes += device_writes
 
     def ledger(self) -> CostLedger:
-        """Provenance-tagged cost snapshot of everything this board did."""
-        tech = self.spec.memristor
-        ledger = CostLedger()
-        ledger.energy(
-            "board_writes",
-            self.stats.energy,
-            f"{self.stats.device_writes} device writes x "
-            f"memristor.write_energy (+{self.stats.iv_reads} I-V reads)",
-        )
-        ledger.latency(
-            "board_ops",
-            self.stats.latency,
-            f"{self.stats.programs} programs + {self.stats.pulses} pulses "
-            f"+ {self.stats.iv_reads} reads x memristor.write_time "
-            f"({tech.name})",
-        )
-        return ledger
+        """Provenance-tagged cost snapshot of everything this board did.
+
+        Rendering lives in
+        :func:`~repro.spec.costmodel.board_stats_ledger`, the shared
+        cost-model seam, so board billing and planner estimates agree
+        on labels and provenance strings.
+        """
+        return board_stats_ledger(self.stats, self.spec.memristor)
 
     # -- internal accounting helpers --------------------------------------
 

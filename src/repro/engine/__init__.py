@@ -30,9 +30,9 @@ Telemetry: ``engine_kernel_cache_total{result=}``,
 spans.
 """
 
+from ..spec.costmodel import CAMMatchCost
 from .bitplane import BitplaneExecutor, bitplane_outputs
 from .builtins import (
-    CAMMatchCost,
     KERNEL_BUILDERS,
     adder_kernel,
     cam_match_kernel,

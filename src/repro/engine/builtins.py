@@ -19,10 +19,9 @@ artifact serves all three backends:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List
 
-from ..devices.technology import MEMRISTOR_5NM, MemristorTechnology
+from .._compat import deprecated_module_attrs
 from ..errors import EngineError
 from ..logic.adders import TCAdderCost, ripple_adder_program
 from ..logic.comparator import (
@@ -30,42 +29,8 @@ from ..logic.comparator import (
     nucleotide_comparator_program,
     word_comparator_program,
 )
+from ..spec.costmodel import CAMMatchCost as _CAMMatchCost
 from .kernel import CompiledKernel, cached_kernel, compile_program
-
-
-@dataclass(frozen=True)
-class CAMMatchCost:
-    """Analytical cost of matching one stored CAM row against a query.
-
-    Mirrors :class:`~repro.logic.cam.MemristiveCAM`'s accounting: all
-    rows compare in parallel in **one** array access (steps = 1,
-    latency = one write time), and each of the row's *width* cells
-    dissipates one worst-case search pulse.
-    """
-
-    width: int
-    technology: MemristorTechnology = MEMRISTOR_5NM
-
-    @classmethod
-    def from_spec(cls, width: int, spec) -> "CAMMatchCost":
-        """Build on the memristor profile of a :class:`~repro.spec.TechSpec`."""
-        return cls(width=width, technology=spec.memristor)
-
-    @property
-    def memristors(self) -> int:
-        return 2 * self.width          # two devices per ternary cell
-
-    @property
-    def steps(self) -> int:
-        return 1
-
-    @property
-    def latency(self) -> float:
-        return self.technology.write_time
-
-    @property
-    def dynamic_energy(self) -> float:
-        return self.width * self.technology.write_energy
 
 
 def _check_width(width: int, limit: int = 63) -> int:
@@ -143,7 +108,7 @@ def cam_match_kernel(width: int) -> CompiledKernel:
                 "b": tuple(f"b{i}" for i in range(width)),
             },
             word_outputs={"match": ("match",)},
-            cost=CAMMatchCost(width=width),
+            cost=_CAMMatchCost(width=width),
         )
     return cached_kernel(("builtin", "cam-match", width), build)
 
@@ -190,3 +155,11 @@ def resolve_kernel(name: str, width: int = 32) -> CompiledKernel:
             f"{sorted(set(KERNEL_BUILDERS))}"
         )
     return builder(width)
+
+
+# CAMMatchCost moved to the unified cost-model seam; importing it from
+# here keeps working (one DeprecationWarning) per the _compat policy.
+__getattr__ = deprecated_module_attrs(
+    "repro.engine.builtins",
+    {"CAMMatchCost": ("repro.spec.costmodel.CAMMatchCost", _CAMMatchCost)},
+)

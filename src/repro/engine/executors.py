@@ -51,6 +51,7 @@ from ..logic.sequencer import ImplyMachine
 from ..obs.context import current_trace
 from ..obs.registry import get_registry
 from ..obs.tracing import get_tracer
+from ..spec.costmodel import CIMCostModel
 from ..spec.ledger import CostLedger
 from .bitplane import BitplaneExecutor
 from .kernel import OP_FALSE, OP_IMP, OP_LOAD, CompiledKernel
@@ -436,47 +437,34 @@ class ElectricalBatchExecutor:
 
 
 class AnalyticalCostExecutor:
-    """Prices a kernel without simulating it (no output values)."""
+    """Prices a kernel without simulating it (no output values).
+
+    The pricing itself lives in
+    :class:`~repro.spec.costmodel.CIMCostModel` — the engine-facing and
+    planner-facing estimates are one code path, so a plan's *predicted*
+    ledger equals this executor's *executed* ledger by construction.
+    """
 
     name = "analytical"
 
     def __init__(self, technology: MemristorTechnology = MEMRISTOR_5NM) -> None:
         self.technology = technology
+        self._model = CIMCostModel(technology=technology)
 
     def run(self, kernel: CompiledKernel, words: int) -> BatchResult:
         if words < 1:
             raise EngineError(f"analytical batch needs words >= 1, got {words}")
-        cost = kernel.cost
-        ledger = CostLedger()
-        if cost is not None:
-            steps = int(cost.steps)
-            energy_per_word = float(cost.dynamic_energy)
-            latency = float(cost.latency)
-            ledger.energy(
-                kernel.name, energy_per_word * words,
-                f"{words} words x {type(cost).__name__}.dynamic_energy")
-            ledger.latency(
-                kernel.name, latency, f"{type(cost).__name__}.latency")
-        else:
-            steps = kernel.compute_step_count
-            energy_per_word = steps * self.technology.write_energy
-            latency = steps * self.technology.write_time
-            ledger.energy(
-                kernel.name, energy_per_word * words,
-                f"{steps} steps x {words} words x memristor.write_energy")
-            ledger.latency(
-                kernel.name, latency,
-                f"{steps} steps x memristor.write_time")
+        pricing = self._model.price(kernel, words)
         return BatchResult(
             kernel=kernel.name,
             backend=self.name,
             words=words,
-            steps_per_word=steps,
-            energy=energy_per_word * words,
-            latency=latency,
+            steps_per_word=pricing.steps,
+            energy=pricing.energy_per_word * words,
+            latency=pricing.latency,
             outputs=None,
             word_outputs=kernel.word_outputs,
-            ledger=ledger,
+            ledger=pricing.ledger,
         )
 
 

@@ -53,6 +53,10 @@ class EngineError(ReproError):
     """Invalid kernel construction, operand batch, or executor backend."""
 
 
+class PlannerError(ReproError):
+    """Invalid workload trace or offload-planner usage."""
+
+
 class ServeError(ReproError):
     """Invalid serving request, malformed protocol line, or server misuse."""
 

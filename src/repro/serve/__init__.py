@@ -16,6 +16,11 @@ cache.
   with JSONL codecs (:func:`request_from_dict`, :func:`result_to_dict`).
 * :func:`serve_jsonl` — the scriptable stdin/stdout front end behind
   ``repro serve``.
+* ``backend="auto"`` — cost-aware routing: the server consults the
+  offload planner (:mod:`repro.analysis.planner`) and rewrites the
+  request onto the cheapest concrete backend before queueing, metered
+  on ``serve_autoroute_total{backend=}`` and recorded in the flight
+  record's ``backend`` field.
 
 In-process quick start::
 
@@ -47,6 +52,7 @@ JSONL front end via ``serve_jsonl(..., metrics_port=...)`` (the
 from .frontend import ServeStats, serve_jsonl
 from .request import (
     REQUEST_KINDS,
+    SERVE_BACKENDS,
     ServeRequest,
     ServeResult,
     request_from_dict,
@@ -58,6 +64,7 @@ __all__ = [
     "KernelServer",
     "REQUEST_KINDS",
     "RunBatchFn",
+    "SERVE_BACKENDS",
     "ServeRequest",
     "ServeResult",
     "ServeStats",

@@ -33,6 +33,7 @@ from ..errors import ServeError
 
 __all__ = [
     "REQUEST_KINDS",
+    "SERVE_BACKENDS",
     "ServeRequest",
     "ServeResult",
     "request_from_dict",
@@ -41,6 +42,11 @@ __all__ = [
 
 #: Accepted values of :attr:`ServeRequest.kind`.
 REQUEST_KINDS: Tuple[str, ...] = ("kernel", "evaluate")
+
+#: Accepted values of :attr:`ServeRequest.backend`: every engine
+#: backend plus ``"auto"`` — let the server's cached offload plan
+#: (:mod:`repro.analysis.planner`) pick the backend per request.
+SERVE_BACKENDS: Tuple[str, ...] = tuple(BACKENDS) + ("auto",)
 
 
 def _canonical(payload: Any) -> str:
@@ -81,11 +87,14 @@ class ServeRequest:
         if self.kind == "kernel":
             if not self.kernel:
                 raise ServeError("kernel requests need a kernel name")
-            if self.backend not in BACKENDS:
+            if self.backend not in SERVE_BACKENDS:
                 raise ServeError(
-                    f"backend must be one of {BACKENDS}, got {self.backend!r}"
+                    f"backend must be one of {SERVE_BACKENDS}, "
+                    f"got {self.backend!r}"
                 )
-            if self.backend != "analytical" and not self.operands:
+            # "auto" without operands resolves to the analytical backend
+            # server-side, so it shares analytical's operand exemption.
+            if self.backend not in ("analytical", "auto") and not self.operands:
                 raise ServeError(
                     f"{self.backend} kernel requests need operands"
                 )
@@ -179,6 +188,15 @@ def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ServeError(f"unknown request fields {unknown}")
+    # Validate the backend at parse time: a bad value must become a
+    # per-line error record naming it, never an accepted request that
+    # fails deep inside the engine after queueing.
+    kind = str(payload.get("op", payload.get("kind", "kernel")))
+    backend = str(payload.get("backend", "functional"))
+    if kind == "kernel" and backend not in SERVE_BACKENDS:
+        raise ServeError(
+            f"backend must be one of {SERVE_BACKENDS}, got {backend!r}"
+        )
     raw_operands = payload.get("operands", {})
     if not isinstance(raw_operands, Mapping):
         raise ServeError("operands must map names to integer word lists")
@@ -190,11 +208,11 @@ def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
     deadline = payload.get("deadline_s")
     return ServeRequest(
         id=str(payload.get("id", "")),
-        kind=str(payload.get("op", payload.get("kind", "kernel"))),
+        kind=kind,
         kernel=str(payload.get("kernel", "")),
         width=int(payload.get("width", 32)),
         operands=operands,
-        backend=str(payload.get("backend", "functional")),
+        backend=backend,
         params=dict(payload.get("params", {})),
         overrides=dict(payload.get("overrides", {})),
         deadline_s=None if deadline is None else float(deadline),

@@ -56,7 +56,7 @@ import json
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import (
     Any,
     Callable,
@@ -126,6 +126,10 @@ _QUEUE_DEPTH = _REGISTRY.gauge(
     "serve_queue_depth", "requests waiting in the server queue")
 _RETRIES = _REGISTRY.counter(
     "serve_retries_total", "transient executor failures retried")
+_AUTOROUTE_FAMILY = _REGISTRY.counter(
+    "serve_autoroute_total",
+    "auto-routed requests, by plan-resolved backend")
+_AUTOROUTE: Dict[str, Any] = {}
 _WALL = _REGISTRY.histogram(
     "serve_request_wall_seconds",
     "request wall latency (accept to respond), by kernel",
@@ -273,6 +277,7 @@ class KernelServer:
         self._closed = False
         self._cache: "OrderedDict[str, ServeResult]" = OrderedDict()
         self._spec_cache: Dict[str, TechSpec] = {}
+        self._route_cache: Dict[Tuple[str, str, int, int], str] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -352,6 +357,12 @@ class KernelServer:
         # overrides) can never collide — and the executor backend is
         # part of the request digest itself.
         spec = self._derive_spec(request.overrides)
+        # Auto-routing resolves BEFORE the cache probe and queueing:
+        # from here on the request carries a concrete backend, so the
+        # digest, batch key, coalescing, split billing, and flight
+        # record all behave exactly as if the caller had named it.
+        if request.backend == "auto":
+            request = self._autoroute(request, spec)
         cached = self._cache_get(self._result_key(request, spec))
         if cached is not None:
             _REQUESTS["cached"].inc()
@@ -428,6 +439,42 @@ class KernelServer:
         )
 
     # -- internals ----------------------------------------------------------
+
+    def _autoroute(self, request: ServeRequest, spec: TechSpec) -> ServeRequest:
+        """Resolve ``backend="auto"`` via the cached offload plan.
+
+        Operand-less requests want pricing, not values — they go
+        analytical.  Otherwise the planner places the request's
+        (kernel, width, words) shape under the CIM/CPU cost models and
+        suggests the engine backend; placements are memoised per
+        ``(spec, kernel, width, words)`` so steady-state routing is one
+        dict probe.  Each resolution bumps
+        ``serve_autoroute_total{backend=}``.
+        """
+        if request.kind != "kernel":
+            return request
+        if not request.operands:
+            resolved = "analytical"
+        else:
+            key = (spec.digest, request.kernel.lower(),
+                   request.width, request.words)
+            hit = self._route_cache.get(key)
+            if hit is None:
+                from ..analysis.planner import plan_request
+
+                hit = plan_request(
+                    request.kernel, request.width, request.words, spec=spec
+                ).backend
+                if len(self._route_cache) >= 1024:
+                    self._route_cache.pop(next(iter(self._route_cache)))
+                self._route_cache[key] = hit
+            resolved = hit
+        child = _AUTOROUTE.get(resolved)
+        if child is None:
+            child = _AUTOROUTE_FAMILY.labels(backend=resolved)
+            _AUTOROUTE[resolved] = child
+        child.inc()
+        return replace(request, backend=resolved)
 
     def _derive_spec(self, overrides: Mapping[str, Any]) -> TechSpec:
         if not overrides:

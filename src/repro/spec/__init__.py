@@ -9,8 +9,19 @@ Two pieces:
 * :class:`CostLedger` (:mod:`repro.spec.ledger`) — provenance-tagged
   energy/latency/area accounting shared by the machine models, the
   engine's analytical executor, and sweep artifacts.
+* :class:`CostModel` / :class:`CIMCostModel` / :class:`CPUCostModel`
+  (:mod:`repro.spec.costmodel`) — the unified estimation seam behind
+  the analytical executor, board billing, and the offload planner.
 """
 
+from .costmodel import (
+    CAMMatchCost,
+    CIMCostModel,
+    CostModel,
+    CPUCostModel,
+    KernelPricing,
+    board_stats_ledger,
+)
 from .ledger import CostEntry, CostLedger, Quantity
 from .techspec import (
     TABLE1,
@@ -26,12 +37,17 @@ from .techspec import (
 
 __all__ = [
     "AdderSpec",
+    "CAMMatchCost",
+    "CIMCostModel",
+    "CPUCostModel",
     "ComparatorSpec",
     "CostEntry",
     "CostLedger",
+    "CostModel",
     "CrossbarOrgSpec",
     "GateBlockSpec",
     "InterconnectSpec",
+    "KernelPricing",
     "PeripheryBudgetSpec",
     "Quantity",
     "TABLE1",

@@ -44,6 +44,11 @@ EXPECTED_SIGNATURES = {
         "spec": "None",
         "overrides": "None",
     },
+    "plan": {
+        "trace": "None",
+        "spec": "None",
+        "overrides": "None",
+    },
     "run_kernel": {
         "kernel": "<required>",
         "width": "32",
@@ -187,6 +192,9 @@ DEPRECATED_ALIASES = {
     ],
     "repro.core.roofline": [
         ("WORD_BYTES", "TABLE1.interconnect"),
+    ],
+    "repro.engine.builtins": [
+        ("CAMMatchCost", "repro.spec.costmodel.CAMMatchCost"),
     ],
 }
 

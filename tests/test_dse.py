@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.analysis.dse import (
+    SweepPoint,
     SweepResult,
     cim_dominates,
     clear_cache,
@@ -154,6 +155,38 @@ def test_run_sweep_best():
     assert best.metrics[key] == max(result.metric_column(key))
     worst = result.best(key, maximize=False)
     assert worst.metrics[key] == min(result.metric_column(key))
+
+
+def test_best_breaks_ties_on_lowest_index():
+    """Regression: with duplicate metric values, best() must pick the
+    lowest point index deterministically in both directions (it used to
+    depend on max()/min() first-wins behaviour over whatever order the
+    pool returned points in)."""
+
+    def point(index, value):
+        return SweepPoint(index=index, overrides={}, spec_name="t",
+                          spec_digest=f"d{index}", metrics={"m": value})
+
+    result = SweepResult(base_digest="b", evaluated=4, cache_hits=0,
+                         parallel=False, workers=1,
+                         points=[point(0, 1.0), point(1, 3.0),
+                                 point(2, 3.0), point(3, 1.0)])
+    assert result.best("m").index == 1            # 3.0 tie -> index 1, not 2
+    assert result.best("m", maximize=False).index == 0  # 1.0 tie -> index 0
+    reversed_result = SweepResult(
+        base_digest="b", evaluated=4, cache_hits=0, parallel=False,
+        workers=1, points=list(reversed(result.points)))
+    assert reversed_result.best("m").index == 1   # stable under reordering
+    assert reversed_result.best("m", maximize=False).index == 0
+
+
+def test_sweep_points_carry_plan_metrics():
+    """Every evaluated point also reports the offload plan's verdict."""
+    _, _, metrics, _ = evaluate_point(TABLE1, {})
+    assert metrics["plan.adder.cim_wins"] == 1.0
+    assert metrics["plan.comparator.cim_energy_delay"] > 0
+    assert metrics["plan.comparator.cpu_energy_delay"] > 0
+    assert metrics["plan.adder.crossover_words"] == 1.0
 
 
 # -- serialisation ----------------------------------------------------------

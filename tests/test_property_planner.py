@@ -1,0 +1,78 @@
+"""Property tests: predicted costs equal executed costs.
+
+The unified CostModel seam's contract, hypothesis-enforced: for every
+builtin kernel, any width, and any batch size, the ledger the planner's
+:class:`~repro.spec.costmodel.CIMCostModel` *predicts* is row-for-row
+identical to the ledger the analytical executor *bills* when the same
+batch actually runs — same components, same quantities, same floats,
+same provenance strings.  A divergence here means the offload planner
+would route requests using prices the serving layer never charges.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import resolve_kernel, run_kernel
+from repro.spec import TABLE1, CIMCostModel, Quantity
+
+KERNELS = ("comparator", "word-compare", "adder", "cam-match")
+
+#: comparator is fixed-width; the rest accept a word width.
+WIDTHS = {
+    "comparator": (2,),
+    "word-compare": (4, 32),
+    "adder": (8, 32),
+    "cam-match": (4, 16),
+}
+
+SPECS = {
+    "table1": TABLE1,
+    "derived": TABLE1.derive({"memristor.write_energy": 3e-15,
+                              "memristor.write_time": 150e-12}),
+}
+
+
+@given(
+    kernel_name=st.sampled_from(KERNELS),
+    width_pick=st.integers(min_value=0, max_value=1),
+    words=st.integers(min_value=1, max_value=10**9),
+    spec_name=st.sampled_from(sorted(SPECS)),
+)
+@settings(max_examples=120, deadline=None)
+def test_predicted_ledger_equals_executed_ledger(
+    kernel_name, width_pick, words, spec_name
+):
+    widths = WIDTHS[kernel_name]
+    width = widths[width_pick % len(widths)]
+    spec = SPECS[spec_name]
+    kernel = resolve_kernel(kernel_name, width)
+
+    predicted = CIMCostModel().estimate(kernel, words, spec)
+    executed = run_kernel(
+        kernel, None, backend="analytical", words=words, spec=spec
+    ).ledger
+
+    assert executed is not None
+    assert predicted.as_rows() == executed.as_rows()
+    assert (predicted.total(Quantity.ENERGY)
+            == executed.total(Quantity.ENERGY))
+    assert (predicted.total(Quantity.LATENCY)
+            == executed.total(Quantity.LATENCY))
+
+
+@given(words=st.integers(min_value=1, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_spec_overrides_reprice_cost_free_kernels(words):
+    """Kernels without an attached ``*Cost`` object (word-compare) are
+    priced from the spec's memristor, so a derived technology must move
+    both the prediction and the executed bill — identically."""
+    kernel = resolve_kernel("word-compare", 16)
+    base = CIMCostModel().estimate(kernel, words, SPECS["table1"])
+    derived = CIMCostModel().estimate(kernel, words, SPECS["derived"])
+    assert (base.total(Quantity.ENERGY)
+            != derived.total(Quantity.ENERGY))
+    executed = run_kernel(
+        kernel, None, backend="analytical", words=words,
+        spec=SPECS["derived"],
+    ).ledger
+    assert executed is not None
+    assert derived.as_rows() == executed.as_rows()

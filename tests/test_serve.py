@@ -407,6 +407,129 @@ class TestJsonlFrontend:
                         server=KernelServer(), max_wait_us=1)
 
 
+class TestAutoRouting:
+    def test_auto_small_batch_routes_functional(self):
+        from repro.obs.registry import get_registry
+
+        counter = get_registry().get(
+            "serve_autoroute_total").labels(backend="functional")
+        before = counter.value
+
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                return await server.submit(
+                    adder_request("r", [1, 2], [3, 4], backend="auto"))
+
+        result = run(scenario())
+        assert result.backend == "functional"
+        assert result.outputs["sum"] == (4, 6)
+        assert counter.value == before + 1
+
+    def test_auto_large_batch_routes_bitplane(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                words = list(range(100))
+                return await server.submit(
+                    adder_request("r", words, words, backend="auto"))
+
+        result = run(scenario())
+        assert result.backend == "functional_bitplane"
+        assert result.outputs["sum"] == tuple(2 * i for i in range(100))
+
+    def test_auto_operandless_routes_analytical(self):
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                return await server.submit(ServeRequest(
+                    id="p", kernel="adder", width=8, backend="auto"))
+
+        result = run(scenario())
+        assert result.backend == "analytical"
+        assert result.energy > 0
+
+    def test_auto_shares_cache_with_explicit_backend(self):
+        """Routing rewrites the request before the digest is used, so an
+        auto request is indistinguishable from one that named the
+        resolved backend — including for the result cache."""
+
+        async def scenario():
+            async with KernelServer(max_wait_us=0) as server:
+                explicit = await server.submit(
+                    adder_request("e", [5], [6], backend="functional"))
+                auto = await server.submit(
+                    adder_request("a", [5], [6], backend="auto"))
+                return explicit, auto
+
+        explicit, auto = run(scenario())
+        assert not explicit.cached
+        assert auto.cached
+        assert auto.outputs == explicit.outputs
+
+    def test_auto_batched_billing_is_bit_identical_to_solo(self):
+        """Acceptance: auto-routed requests coalesce with explicit ones
+        (same resolved batch key) and the split billing matches a solo
+        engine run exactly."""
+
+        async def scenario():
+            async with KernelServer(max_wait_us=50_000,
+                                    cache_capacity=0) as server:
+                return await server.submit_many([
+                    adder_request("auto", [1, 2, 3], [4, 5, 6],
+                                  backend="auto"),
+                    adder_request("explicit", [7], [8],
+                                  backend="functional"),
+                ])
+
+        auto, explicit = run(scenario())
+        assert auto.batch_requests == 2 and explicit.batch_requests == 2
+        alone = run_kernel(resolve_kernel("adder", 8),
+                           {"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert auto.outputs["sum"] == tuple(int(w) for w in alone.word("sum"))
+        assert auto.energy == alone.energy
+        assert auto.steps_per_word == alone.steps_per_word
+
+    def test_flight_record_carries_resolved_backend(self):
+        from repro.obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(capacity=8)
+
+        async def scenario():
+            async with KernelServer(max_wait_us=0,
+                                    flight=recorder) as server:
+                await server.submit(
+                    adder_request("fr", [1], [2], backend="auto"))
+
+        run(scenario())
+        (record,) = recorder.for_request("fr")
+        assert record.backend == "functional"
+        assert record.status == "ok"
+
+    def test_jsonl_rejects_unknown_backend_at_parse_time(self):
+        """The hostile payload from the issue: a bad ``backend`` must
+        fail as a per-line error record naming the offending value, not
+        crash the serving loop."""
+        text = json.dumps({
+            "id": "x", "kernel": "adder", "width": 8,
+            "operands": {"a": [1], "b": [2]}, "backend": "quantum",
+        }) + "\n"
+        out = io.StringIO()
+        stats = serve_jsonl(io.StringIO(text), out, max_wait_us=1000)
+        (record,) = [json.loads(line)
+                     for line in out.getvalue().splitlines()]
+        assert stats.total == 1
+        assert stats.counts["error"] == 1
+        assert record["id"] == "x"
+        assert record["status"] == "error"
+        assert "quantum" in record["error"]
+        assert "auto" in record["error"]  # the error names the legal set
+
+    def test_auto_is_a_legal_wire_backend(self):
+        request = request_from_dict({
+            "id": "r1", "kernel": "adder", "width": 8,
+            "operands": {"a": [1], "b": [2]}, "backend": "auto",
+        })
+        assert request.backend == "auto"
+
+
 word8 = st.integers(min_value=0, max_value=255)
 
 

@@ -20,7 +20,7 @@ from repro.devices.technology import (
     FINFET_22NM,
     MEMRISTOR_5NM,
 )
-from repro.engine.builtins import CAMMatchCost
+from repro.engine import CAMMatchCost
 from repro.logic.adders import TCAdderCost
 from repro.logic.comparator import ComparatorCost
 from repro.spec import TABLE1
