@@ -43,7 +43,8 @@ from repro.analysis import format_table
 from repro.obs.context import TraceContext, new_trace_id
 from repro.obs.flight import FlightRecord, FlightRecorder
 from repro.obs.registry import MetricsRegistry
-from repro.serve import KernelServer, ServeRequest
+from repro.serve import ServeRequest
+from repro.serve.server import KernelServer
 
 REQUESTS = 512
 BATCH_WINDOW = 64

@@ -19,7 +19,8 @@ import numpy as np
 
 from repro.analysis import format_table
 from repro.analysis.planner import TraceEntry, plan
-from repro.serve import KernelServer, ServeRequest
+from repro.serve import ServeRequest
+from repro.serve.server import KernelServer
 
 TRACE_ENTRIES = 10_000
 PLAN_RATE_FLOOR = 2_000.0     # entries/s

@@ -26,7 +26,8 @@ from repro.engine import resolve_kernel, run_kernel
 from repro.errors import ServerOverloaded
 from repro.obs.flight import FlightRecorder
 from repro.obs.slo import SLO, SLOTracker
-from repro.serve import KernelServer, ServeRequest
+from repro.serve import ServeRequest
+from repro.serve.server import KernelServer
 
 REQUESTS = 512
 BATCH_WINDOW = 64

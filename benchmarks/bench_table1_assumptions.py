@@ -11,15 +11,13 @@ import pytest
 from repro.analysis import format_table
 from repro.cmosarch import CLA_ADDER_32
 from repro.core.presets import (
-    DNA_CROSSBAR_DEVICES,
-    DNA_PAPER_IMPLIED_UNITS,
-    MATH_CLUSTERS,
     cim_dna_machine,
     cim_math_machine,
     conventional_dna_machine,
     conventional_math_machine,
 )
 from repro.logic import ComparatorCost, TCAdderCost
+from repro.spec import TABLE1
 from repro.units import si_format
 
 
@@ -38,9 +36,10 @@ def derive_table1_rows():
         ("TC-adder latency", "133 x 200 ps", si_format(adder.latency, "s")),
         ("TC-adder energy (8*N*1fJ)", "256 fJ", si_format(adder.dynamic_energy, "J")),
         ("DNA clusters", "18750", str(conventional_dna_machine().machine.clusters)),
-        ("DNA crossbar devices", "1.536e8", f"{DNA_CROSSBAR_DEVICES:.4g}"),
-        ("Math clusters", "31250", str(MATH_CLUSTERS)),
-        ("CIM DNA units (paper-implied)", "600000", str(DNA_PAPER_IMPLIED_UNITS)),
+        ("DNA crossbar devices", "1.536e8",
+         f"{TABLE1.dna_crossbar_devices:.4g}"),
+        ("Math clusters", "31250", str(TABLE1.math_clusters)),
+        ("CIM DNA units (paper-implied)", "600000", str(TABLE1.dna_units)),
     ]
 
 

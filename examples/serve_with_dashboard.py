@@ -22,7 +22,8 @@ import asyncio
 
 from repro.obs.flight import get_flight_recorder
 from repro.obs.httpexport import TelemetryHTTPServer, fetch_json, render_top
-from repro.serve import KernelServer, ServeRequest
+from repro.serve import ServeRequest
+from repro.serve.server import KernelServer
 
 REQUESTS = 256
 WIDTH = 16

@@ -472,7 +472,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the async batched JSONL serving loop until input EOF."""
-    from .serve import serve_jsonl
+    from .serve.frontend import serve_jsonl
 
     in_stream = sys.stdin
     if args.input:
@@ -482,6 +482,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             in_stream,
             sys.stdout,
             metrics_port=args.metrics_port,
+            shards=args.shards,
+            replicas=args.replicas,
+            quota=args.quota,
             max_batch_size=args.max_batch_size,
             max_wait_us=args.max_wait_us,
             queue_limit=args.queue_limit,
@@ -642,6 +645,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve JSONL kernel/evaluate requests (stdin -> stdout)")
     serve.add_argument("--input", metavar="PATH",
                        help="read requests from PATH instead of stdin")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="hash-routed server shards; >1 fronts the "
+                            "sharded ClusterServer (default 1)")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="servers per hash slot, round-robined "
+                            "(default 1)")
+    serve.add_argument("--quota", type=int, default=None, metavar="N",
+                       help="per-tenant in-flight request quota; beyond "
+                            "it submissions are shed with "
+                            "ServerOverloaded (default: unlimited)")
     serve.add_argument("--max-batch-size", type=int, default=64,
                        help="requests coalesced per batch (default 64)")
     serve.add_argument("--max-wait-us", type=float, default=500.0,

@@ -13,6 +13,9 @@ documented signatures::
     api.plan()                               # CIM-vs-CPU offload plan
     api.solve_crossbar(conductances=g, row_drive={0: 0.5}, col_drive={3: 0.0})
     api.serve()                              # JSONL serving loop (stdin)
+    client = api.connect(shards=4)           # unified serving client
+    client.submit(api.request(kernel="adder", width=8,
+                              operands={"a": [1], "b": [2]}))
     api.make_board(kind="noisy", rows=64,    # a pluggable crossbar board
                    cols=64, seed=7)
     api.list_boards()                        # registered board kinds
@@ -42,10 +45,12 @@ from .errors import ReproError
 from .spec import TABLE1, TechSpec
 
 __all__ = [
+    "connect",
     "evaluate",
     "list_boards",
     "make_board",
     "plan",
+    "request",
     "run_kernel",
     "serve",
     "solve_crossbar",
@@ -295,6 +300,9 @@ def serve(
     *,
     input: Optional[IO[str]] = None,
     output: Optional[IO[str]] = None,
+    shards: int = 1,
+    replicas: int = 1,
+    quota: Optional[int] = None,
     max_batch_size: int = 64,
     max_wait_us: float = 500.0,
     queue_limit: int = 1024,
@@ -310,17 +318,23 @@ def serve(
     The scriptable face of :mod:`repro.serve`: reads one request per
     line from ``input`` (default stdin), writes one JSON result per
     line to ``output`` (default stdout) in completion order, batching
-    compatible requests into single engine executions.  With
-    ``metrics_port`` a live telemetry endpoint (``/metrics`` +
-    ``/healthz`` + ``/flight``) runs alongside for the duration
-    (``0`` = any free port).  Returns the
+    compatible requests into single engine executions.  With ``shards``
+    / ``replicas`` / ``quota`` at non-defaults the loop fronts a
+    sharded :class:`~repro.serve.cluster.ClusterServer` (consistent-hash
+    routing, shared result cache, per-tenant quotas) instead of a
+    single server.  With ``metrics_port`` a live telemetry endpoint
+    (``/metrics`` + ``/healthz`` + ``/flight``) runs alongside for the
+    duration (``0`` = any free port).  Returns the
     :class:`~repro.serve.ServeStats` status tally.
     """
-    from .serve import serve_jsonl
+    from .serve.frontend import serve_jsonl
 
     return serve_jsonl(
         input if input is not None else sys.stdin,
         output if output is not None else sys.stdout,
+        shards=shards,
+        replicas=replicas,
+        quota=quota,
         max_batch_size=max_batch_size,
         max_wait_us=max_wait_us,
         queue_limit=queue_limit,
@@ -329,4 +343,88 @@ def serve(
         cache_capacity=cache_capacity,
         spec=_resolve_spec(spec, overrides),
         metrics_port=metrics_port,
+    )
+
+
+def request(
+    *,
+    kernel: str = "",
+    id: str = "",
+    kind: str = "kernel",
+    width: int = 32,
+    operands: Optional[Mapping[str, Sequence[int]]] = None,
+    backend: str = "auto",
+    params: Optional[Mapping[str, Any]] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    deadline_s: Optional[float] = None,
+    trace_id: str = "",
+    tenant: str = "",
+) -> Any:
+    """Build one serving request (a :class:`~repro.serve.ServeRequest`).
+
+    The uniform construction path — the JSONL frontend, the load
+    generator, and the tests all build requests through this helper.
+    ``backend`` defaults to ``"auto"`` (cost-aware routing via the
+    offload planner); ``operands`` maps word-group names to integer
+    word batches; ``overrides`` are dotted
+    :meth:`~repro.spec.TechSpec.derive` paths applied per request;
+    ``tenant`` names the submitting principal for cluster quotas.
+    Submit the result through :func:`connect`'s client.
+    """
+    from .serve.request import make_request
+
+    return make_request(
+        kernel=kernel, id=id, kind=kind, width=width, operands=operands,
+        backend=backend, params=params, overrides=overrides,
+        deadline_s=deadline_s, trace_id=trace_id, tenant=tenant,
+    )
+
+
+def connect(
+    *,
+    target: Any = "local",
+    shards: int = 1,
+    replicas: int = 1,
+    quota: Optional[int] = None,
+    max_batch_size: int = 64,
+    max_wait_us: float = 500.0,
+    queue_limit: int = 1024,
+    workers: int = 4,
+    retries: int = 2,
+    cache_capacity: int = 1024,
+    spec: Optional[TechSpec] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+) -> Any:
+    """Open a serving client (a :class:`~repro.serve.client.Client`).
+
+    The single entry point for submitting requests.  ``target`` picks
+    the transport — ``"local"`` (in-process server on a private event
+    loop), ``"cluster"`` (the sharded
+    :class:`~repro.serve.cluster.ClusterServer`), ``"jsonl"`` (the full
+    ``repro serve`` wire protocol over an in-process pipe), or an
+    existing server instance.  ``shards``/``replicas``/``quota`` shape
+    the cluster layer (``target="local"`` upgrades automatically when
+    any is non-default); the remaining knobs mirror the server
+    constructor.  The returned client is a context manager exposing
+    ``submit`` / ``submit_many`` / ``stats`` / ``close``; pair it with
+    :func:`request` to build submissions.
+    """
+    from .serve.client import connect as _connect
+    from .serve.cluster import ClusterServer
+    from .serve.server import KernelServer
+
+    if isinstance(target, (KernelServer, ClusterServer)):
+        return _connect(target)
+    return _connect(
+        str(target),
+        shards=shards,
+        replicas=replicas,
+        quota=quota,
+        max_batch_size=max_batch_size,
+        max_wait_us=max_wait_us,
+        queue_limit=queue_limit,
+        workers=workers,
+        retries=retries,
+        cache_capacity=cache_capacity,
+        spec=_resolve_spec(spec, overrides),
     )

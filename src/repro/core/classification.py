@@ -21,7 +21,6 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List
 
-from .._compat import deprecated_module_attrs
 from ..errors import ArchitectureError
 from ..spec import TABLE1, TechSpec
 
@@ -59,24 +58,10 @@ CLASS_PARAMETERS: Dict[ArchitectureClass, ClassParameters] = {
     ArchitectureClass.COMPUTATION_IN_MEMORY: ClassParameters(distance=1e-6),
 }
 
-# Deprecated aliases — the canonical values live on
-# ``TABLE1.interconnect`` (see ``repro.spec``).  Accessing them still
-# works but emits one DeprecationWarning naming the replacement: the
-# wire energy (0.15 pJ/bit/mm), the repeatered-wire delay (~100 ps/mm),
-# and the fixed 4 pJ ALU compute cost per [4].
-_DEPRECATED = {
-    "WIRE_ENERGY_PER_BIT_M": (
-        "repro.spec.TABLE1.interconnect.wire_energy_per_bit_m",
-        TABLE1.interconnect.wire_energy_per_bit_m),
-    "WIRE_DELAY_PER_M": ("repro.spec.TABLE1.interconnect.wire_delay_per_m",
-                         TABLE1.interconnect.wire_delay_per_m),
-    "COMPUTE_ENERGY": ("repro.spec.TABLE1.interconnect.compute_energy",
-                       TABLE1.interconnect.compute_energy),
-    "COMPUTE_DELAY": ("repro.spec.TABLE1.interconnect.compute_delay",
-                      TABLE1.interconnect.compute_delay),
-}
-
-__getattr__ = deprecated_module_attrs(__name__, _DEPRECATED)
+# The PR 4 constant aliases (WIRE_ENERGY_PER_BIT_M, WIRE_DELAY_PER_M,
+# COMPUTE_ENERGY, COMPUTE_DELAY) are gone; the canonical values live on
+# ``repro.spec.TABLE1.interconnect`` and have for more than two PRs,
+# which is the removal bar the ``_compat`` policy sets.
 
 
 @dataclass(frozen=True)

@@ -15,7 +15,6 @@ where they matter.
 
 from __future__ import annotations
 
-from .._compat import deprecated_module_attrs
 from ..cmosarch.gates import GateBlock
 from ..cmosarch.multicore import ClusteredMulticore
 from ..logic.adders import TCAdderCost
@@ -25,34 +24,14 @@ from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .workload import Workload, dna_workload, parallel_additions_workload
 
-# Deprecated aliases of the TABLE1 spec fields (kept for callers that
-# predate the spec layer; ``tests/test_spec_consistency.py`` pins each
-# one to the spec so they can never diverge).  Accessing any of them
-# emits one DeprecationWarning pointing at the spec-layer replacement;
-# the values themselves are unchanged — DNA_CLUSTERS is Table 1's
-# "Number of clusters is 18750, each contains 32 comparators",
-# DNA_CROSSBAR_DEVICES keeps the paper's bytes-as-devices 18750 x 8192,
-# DNA_PAPER_IMPLIED_UNITS the back-computed 600 000-unit CIM DNA
-# configuration (DESIGN.md section 5), and the MATH_* trio the
-# 10^6-addition / 31250-cluster mathematics column.
-_DEPRECATED = {
-    "DNA_CLUSTERS": ("repro.spec.TABLE1.crossbar.dna_clusters",
-                     TABLE1.crossbar.dna_clusters),
-    "UNITS_PER_CLUSTER": ("repro.spec.TABLE1.crossbar.units_per_cluster",
-                          TABLE1.crossbar.units_per_cluster),
-    "DNA_CROSSBAR_DEVICES": ("repro.spec.TABLE1.dna_crossbar_devices",
-                             TABLE1.dna_crossbar_devices),
-    "DNA_PAPER_IMPLIED_UNITS": ("repro.spec.TABLE1.dna_units",
-                                TABLE1.dna_units),
-    "MATH_ADDITIONS": ("repro.spec.TABLE1.workloads.math_additions",
-                       TABLE1.workloads.math_additions),
-    "MATH_CLUSTERS": ("repro.spec.TABLE1.math_clusters",
-                      TABLE1.math_clusters),
-    "MATH_STORAGE_DEVICES": ("repro.spec.TABLE1.math_storage_devices",
-                             TABLE1.math_storage_devices),
-}
-
-__getattr__ = deprecated_module_attrs(__name__, _DEPRECATED)
+# The PR 4 module-level constant aliases (DNA_CLUSTERS,
+# UNITS_PER_CLUSTER, DNA_CROSSBAR_DEVICES, DNA_PAPER_IMPLIED_UNITS,
+# MATH_ADDITIONS, MATH_CLUSTERS, MATH_STORAGE_DEVICES) are gone: their
+# replacements on ``repro.spec.TABLE1`` (``crossbar.dna_clusters``,
+# ``crossbar.units_per_cluster``, ``dna_crossbar_devices``,
+# ``dna_units``, ``workloads.math_additions``, ``math_clusters``,
+# ``math_storage_devices``) have been stable for more than two PRs,
+# which is the removal bar the ``_compat`` policy sets.
 
 
 # -- unit cost factories (spec -> cost model) -------------------------------

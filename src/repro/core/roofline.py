@@ -24,21 +24,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
-from .._compat import deprecated_module_attrs
 from ..errors import ArchitectureError
 from ..spec import TABLE1, TechSpec
 from .cim import CIMMachine
 from .conventional import ConventionalMachine
 from .workload import Workload
 
-# Deprecated alias of ``TABLE1.interconnect.word_bytes`` (bytes moved
-# per operand access, 32-bit words); access emits one DeprecationWarning.
-_DEPRECATED = {
-    "WORD_BYTES": ("repro.spec.TABLE1.interconnect.word_bytes",
-                   TABLE1.interconnect.word_bytes),
-}
-
-__getattr__ = deprecated_module_attrs(__name__, _DEPRECATED)
+# The PR 4 ``WORD_BYTES`` alias is gone; the canonical value is
+# ``repro.spec.TABLE1.interconnect.word_bytes`` and has been for more
+# than two PRs, which is the removal bar the ``_compat`` policy sets.
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,4 @@
-"""repro.serve — the async batched serving layer.
+"""repro.serve — the async batched serving layer, now sharded.
 
 The request-serving front door the ROADMAP's "heavy traffic" north star
 asks for: an :mod:`asyncio` job server that accepts kernel-execution
@@ -6,35 +6,40 @@ and Table 2 evaluation requests, coalesces compatible requests into
 single engine functional batches (dynamic batching:
 ``max_batch_size`` / ``max_wait_us`` window), runs them on a bounded
 worker pool, and serves repeat submissions from a digest-keyed result
-cache.
+cache — and, since PR 10, a sharded cluster of those servers behind a
+consistent-hash router, fronted by one uniform client facade.
 
-* :class:`KernelServer` — the server core: bounded-queue backpressure
-  (:class:`~repro.errors.ServerOverloaded`), per-request deadlines
-  (:class:`~repro.errors.DeadlineExceeded`), transient-failure retries
-  with backoff, graceful drain, full obs wiring.
-* :class:`ServeRequest` / :class:`ServeResult` — the protocol types,
-  with JSONL codecs (:func:`request_from_dict`, :func:`result_to_dict`).
-* :func:`serve_jsonl` — the scriptable stdin/stdout front end behind
-  ``repro serve``.
-* ``backend="auto"`` — cost-aware routing: the server consults the
-  offload planner (:mod:`repro.analysis.planner`) and rewrites the
-  request onto the cheapest concrete backend before queueing, metered
-  on ``serve_autoroute_total{backend=}`` and recorded in the flight
-  record's ``backend`` field.
+**The way in is** :func:`repro.api.connect`::
 
-In-process quick start::
+    from repro import api
 
-    import asyncio
-    from repro.serve import KernelServer, ServeRequest
+    with api.connect(shards=4, quota=64) as client:
+        result = client.submit(api.request(
+            kernel="adder", width=8,
+            operands={"a": [1, 2], "b": [3, 4]}))
+        print(result.outputs["sum"])   # (4, 6)
 
-    async def main():
-        async with KernelServer(max_batch_size=64) as server:
-            result = await server.submit(ServeRequest(
-                id="r1", kernel="adder", width=8,
-                operands={"a": (1, 2), "b": (3, 4)}))
-            print(result.outputs["sum"])   # (4, 6)
+One ``Client`` protocol (``submit / submit_many / stats / close``)
+fronts every transport: an in-process
+:class:`~repro.serve.server.KernelServer`, the sharded
+:class:`~repro.serve.cluster.ClusterServer`
+(consistent-hash routing on ``(kernel, width, spec digest)`` so
+batchable traffic coalesces per shard, replicas per hash slot, a shared
+result cache, per-tenant quotas, load shedding), or the JSONL wire
+protocol behind ``repro serve``.  Async callers hold the server object
+itself and ``await server.submit(...)`` inside ``async with``.
 
-    asyncio.run(main())
+Stable protocol exports: :class:`ServeRequest` / :class:`ServeResult`
+(:func:`make_request` builds them; JSONL codecs
+:func:`request_from_dict` / :func:`result_to_dict`), the
+:class:`~repro.serve.client.Client` protocol and :func:`connect`
+factory, and :class:`ServeStats`.  The old top-level spellings
+``repro.serve.KernelServer`` and ``repro.serve.serve_jsonl`` are
+deprecated in favour of :func:`repro.api.connect` /
+:func:`repro.api.serve` (PEP 562 shims; the direct submodule paths
+``repro.serve.server.KernelServer`` / ``repro.serve.cluster.ClusterServer``
+/ ``repro.serve.frontend.serve_jsonl`` stay warning-free for advanced
+in-process use).
 
 Telemetry: every request gets a ``trace_id``/``request_id`` that
 survives batching into the engine spans, a per-request flight record
@@ -42,25 +47,36 @@ with stage timings (:mod:`repro.obs.flight`), live per-kernel
 p50/p95/p99 latency (``serve_request_latency_seconds``), plus
 ``serve_requests_total{status=}``, ``serve_request_wall_seconds``,
 ``serve_batch_size`` / ``serve_batch_words`` histograms,
-``serve_queue_depth`` gauge, ``serve_retries_total``, and per-batch
-``serve/<kernel>`` spans linking every member request id.  A live
-``/metrics`` + ``/healthz`` + ``/flight`` endpoint mounts alongside the
-JSONL front end via ``serve_jsonl(..., metrics_port=...)`` (the
-``repro serve --metrics-port`` flag; watch it with ``repro top``).
+``serve_queue_depth`` gauge, ``serve_retries_total``, per-batch
+``serve/<kernel>`` spans linking every member request id, and — at the
+cluster layer — ``cluster_requests_total{shard=}``,
+``cluster_shard_queue_depth{shard=}``, ``cluster_shed_total{reason=}``
+and ``cluster_cache_hits_total``.  A live ``/metrics`` + ``/healthz``
++ ``/flight`` endpoint mounts alongside the JSONL front end via
+``metrics_port`` (the ``repro serve --metrics-port`` flag; watch it
+with ``repro top``).
 """
 
-from .frontend import ServeStats, serve_jsonl
+from typing import Any
+
+from .._compat import deprecated_module_attrs
+from .client import Client, connect
+from .frontend import ServeStats
+from .frontend import serve_jsonl as _serve_jsonl
 from .request import (
     REQUEST_KINDS,
     SERVE_BACKENDS,
     ServeRequest,
     ServeResult,
+    make_request,
     request_from_dict,
     result_to_dict,
 )
-from .server import KernelServer, RunBatchFn
+from .server import RunBatchFn
+from .server import KernelServer as _KernelServer
 
 __all__ = [
+    "Client",
     "KernelServer",
     "REQUEST_KINDS",
     "RunBatchFn",
@@ -68,7 +84,32 @@ __all__ = [
     "ServeRequest",
     "ServeResult",
     "ServeStats",
+    "connect",
+    "make_request",
     "request_from_dict",
     "result_to_dict",
     "serve_jsonl",
 ]
+
+#: Deprecated top-level spellings (PR 10 API redesign): the client
+#: facade replaced direct construction.  PEP 562 keeps them importable
+#: with one DeprecationWarning per name per process (see
+#: :mod:`repro._compat`); scheduled for removal once the replacement
+#: has been stable for two PRs.
+_DEPRECATED = {
+    "KernelServer": (
+        "repro.api.connect() (or repro.serve.server.KernelServer "
+        "for direct async use)",
+        _KernelServer,
+    ),
+    "serve_jsonl": (
+        "repro.api.serve() (or repro.serve.frontend.serve_jsonl)",
+        _serve_jsonl,
+    ),
+}
+
+__getattr__ = deprecated_module_attrs("repro.serve", _DEPRECATED)
+
+
+def __dir__() -> Any:
+    return sorted(set(globals()) | set(_DEPRECATED))

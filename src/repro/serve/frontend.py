@@ -21,15 +21,19 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, Mapping, Optional
+from typing import Any, Dict, IO, Mapping, Optional, Union
 
 from ..errors import DeadlineExceeded, ReproError, ServeError, ServerOverloaded
 from ..obs.httpexport import TelemetryHTTPServer
 from ..obs.logsetup import get_logger
+from .cluster import ClusterServer
 from .request import request_from_dict, result_to_dict
 from .server import KernelServer
 
 __all__ = ["ServeStats", "serve_jsonl"]
+
+#: Either server core the frontend can pump requests into.
+AnyServer = Union[KernelServer, ClusterServer]
 
 _LOG = get_logger("serve.frontend")
 
@@ -65,7 +69,7 @@ def _error_record(request_id: Optional[str], exc: BaseException) -> Dict[str, An
 async def _pump(
     in_stream: IO[str],
     out_stream: IO[str],
-    server: KernelServer,
+    server: AnyServer,
     stats: ServeStats,
     metrics_port: Optional[int] = None,
 ) -> None:
@@ -123,23 +127,37 @@ def serve_jsonl(
     in_stream: IO[str],
     out_stream: IO[str],
     *,
-    server: Optional[KernelServer] = None,
+    server: Optional[AnyServer] = None,
     metrics_port: Optional[int] = None,
+    shards: int = 1,
+    replicas: int = 1,
+    quota: Optional[int] = None,
     **server_options: Any,
 ) -> ServeStats:
     """Serve newline-delimited JSON requests until EOF, then drain.
 
-    Pass an existing *server* or any :class:`~repro.serve.KernelServer`
-    keyword options (``max_batch_size``, ``max_wait_us``,
-    ``queue_limit``, ``spec``, ...).  With *metrics_port* a
+    Pass an existing *server* (a
+    :class:`~repro.serve.server.KernelServer` or
+    :class:`~repro.serve.cluster.ClusterServer`), or server keyword
+    options (``max_batch_size``, ``max_wait_us``, ``queue_limit``,
+    ``spec``, ...) — with ``shards``/``replicas``/``quota`` at
+    non-defaults the loop fronts a sharded :class:`ClusterServer`
+    instead of a single server.  With *metrics_port* a
     :class:`~repro.obs.httpexport.TelemetryHTTPServer` runs alongside
     for the duration, exposing ``/metrics`` + ``/healthz`` + ``/flight``
     (``0`` = any free port).  Returns the status tally.
     """
-    if server is not None and server_options:
+    clustered = shards != 1 or replicas != 1 or quota is not None
+    if server is not None and (server_options or clustered):
         raise ServeError("pass either server= or server options, not both")
     stats = ServeStats()
-    instance = server or KernelServer(**server_options)
+    if server is not None:
+        instance: AnyServer = server
+    elif clustered:
+        instance = ClusterServer(shards=shards, replicas=replicas,
+                                 quota=quota, **server_options)
+    else:
+        instance = KernelServer(**server_options)
     asyncio.run(_pump(in_stream, out_stream, instance, stats,
                       metrics_port=metrics_port))
     return stats

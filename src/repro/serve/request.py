@@ -36,6 +36,7 @@ __all__ = [
     "SERVE_BACKENDS",
     "ServeRequest",
     "ServeResult",
+    "make_request",
     "request_from_dict",
     "result_to_dict",
 ]
@@ -65,7 +66,12 @@ class ServeRequest:
     ``trace_id`` is the caller's distributed-trace identity — purely
     observational, so (like ``id`` and ``deadline_s``) it is excluded
     from :attr:`digest` and a fresh one is minted server-side when the
-    caller sends none.
+    caller sends none.  ``tenant`` names the submitting principal for
+    the cluster layer's admission control (quotas); like ``id`` it is
+    attribution, not content, so it is excluded from :attr:`digest`
+    (two tenants asking for the same work share one cache entry) and
+    from :meth:`batch_key` (their requests coalesce; billing is split
+    per request regardless).
     """
 
     id: str
@@ -78,6 +84,7 @@ class ServeRequest:
     overrides: Mapping[str, Any] = field(default_factory=dict)
     deadline_s: Optional[float] = None
     trace_id: str = ""
+    tenant: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in REQUEST_KINDS:
@@ -179,12 +186,61 @@ class ServeResult:
         )
 
 
+def make_request(
+    *,
+    kernel: str = "",
+    id: str = "",
+    kind: str = "kernel",
+    width: int = 32,
+    operands: Optional[Mapping[str, Sequence[int]]] = None,
+    backend: str = "auto",
+    params: Optional[Mapping[str, Any]] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    deadline_s: Optional[float] = None,
+    trace_id: str = "",
+    tenant: str = "",
+) -> ServeRequest:
+    """The one way to build a :class:`ServeRequest` (``api.request``).
+
+    Normalises what the dataclass constructor takes literally: operand
+    values become canonical integer tuples (so numpy arrays and lists
+    digest identically), and ``backend`` defaults to ``"auto"`` — the
+    cost-aware routing path — instead of the wire format's legacy
+    ``"functional"``.  Evaluate requests ignore the backend, so it is
+    pinned to the wire default there; helper-built and wire-built
+    evaluations share digests (and therefore cache entries).
+
+    Every construction path funnels through here: the JSONL frontend
+    (:func:`request_from_dict`), the load generator
+    (:mod:`repro.serve.loadgen`), and :func:`repro.api.request`.
+    """
+    if kind == "evaluate":
+        backend = "functional"
+    normalised: Dict[str, Tuple[int, ...]] = {
+        str(name): tuple(int(value) for value in values)
+        for name, values in (operands or {}).items()
+    }
+    return ServeRequest(
+        id=str(id),
+        kind=str(kind),
+        kernel=str(kernel),
+        width=int(width),
+        operands=normalised,
+        backend=str(backend),
+        params=dict(params or {}),
+        overrides=dict(overrides or {}),
+        deadline_s=None if deadline_s is None else float(deadline_s),
+        trace_id=str(trace_id),
+        tenant=str(tenant),
+    )
+
+
 def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
     """Build a :class:`ServeRequest` from one decoded JSONL object."""
     if not isinstance(payload, Mapping):
         raise ServeError(f"request must be a JSON object, got {type(payload).__name__}")
     known = {"id", "op", "kind", "kernel", "width", "operands", "backend",
-             "params", "overrides", "deadline_s", "trace_id"}
+             "params", "overrides", "deadline_s", "trace_id", "tenant"}
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ServeError(f"unknown request fields {unknown}")
@@ -206,7 +262,7 @@ def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
             raise ServeError(f"operand {name!r} must be a list of integers")
         operands[str(name)] = tuple(int(v) for v in values)
     deadline = payload.get("deadline_s")
-    return ServeRequest(
+    return make_request(
         id=str(payload.get("id", "")),
         kind=kind,
         kernel=str(payload.get("kernel", "")),
@@ -217,6 +273,7 @@ def request_from_dict(payload: Mapping[str, Any]) -> ServeRequest:
         overrides=dict(payload.get("overrides", {})),
         deadline_s=None if deadline is None else float(deadline),
         trace_id=str(payload.get("trace_id", "")),
+        tenant=str(payload.get("tenant", "")),
     )
 
 

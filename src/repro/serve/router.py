@@ -1,0 +1,142 @@
+"""Consistent-hash request routing for the sharded cluster layer.
+
+The cluster's scaling story depends on *where* requests land: dynamic
+batching only coalesces requests that reach the **same** server, so the
+router must send every request with the same batching identity —
+``(kernel, width, spec digest)`` — to the same shard, and it must keep
+doing so as the process restarts (routing feeds the shared result
+cache and the throughput benches; a reshuffle on every boot would be
+invisible-but-real cache and batching churn).
+
+:class:`ShardRouter` therefore hashes with SHA-256 onto a fixed ring of
+virtual nodes (``vnodes`` points per shard), never with Python's
+process-seeded ``hash()``:
+
+* **stable** — the same key maps to the same shard in every process,
+  forever (pinned by a hypothesis property in
+  ``tests/test_serve_cluster.py``);
+* **balanced** — virtual nodes break up the ring so shard loads stay
+  near-uniform even for small shard counts;
+* **consistent** — growing the cluster from N to N+1 shards only moves
+  the ~1/(N+1) of keys that land on the new shard's vnodes; everything
+  else keeps its batch affinity (and its cached results).
+
+Replicas add capacity *within* a hash slot: a slot's traffic
+round-robins across its ``replicas`` servers, trading a little batch
+coalescence for parallelism on hot kernels.  The round-robin counter is
+per-slot, so two hot kernels sharing a shard still interleave fairly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Tuple
+
+from ..errors import ServeError
+
+__all__ = ["ShardRouter"]
+
+#: Virtual nodes per shard on the hash ring (balance/memory trade-off).
+DEFAULT_VNODES = 64
+
+
+def _point(label: str) -> int:
+    """One ring position: the first 8 bytes of SHA-256, as an int."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+def route_key(kernel: str, width: int, spec_digest: str) -> str:
+    """The canonical routing key: the batching identity of a request.
+
+    Everything that must coalesce shares it — kernel name
+    (case-folded), word width, and the resolved spec digest.  The
+    backend is deliberately excluded: ``backend="auto"`` resolves
+    per-request, and re-routing on the resolved backend would scatter
+    otherwise-batchable traffic.
+    """
+    return f"{kernel.lower()}|{width}|{spec_digest}"
+
+
+class ShardRouter:
+    """Consistent-hash map from routing keys to ``(shard, replica)``.
+
+    ``shards`` is the number of hash slots; ``replicas`` the number of
+    servers behind each slot (round-robined).  The ring itself depends
+    only on ``(shards, vnodes)``, so any two routers built with the
+    same geometry agree on every key — across processes and restarts.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        replicas: int = 1,
+        vnodes: int = DEFAULT_VNODES,
+    ) -> None:
+        if shards < 1:
+            raise ServeError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise ServeError(f"replicas must be >= 1, got {replicas}")
+        if vnodes < 1:
+            raise ServeError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = int(shards)
+        self.replicas = int(replicas)
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, int]] = []
+        for shard in range(self.shards):
+            for vnode in range(self.vnodes):
+                points.append((_point(f"shard-{shard}/vnode-{vnode}"), shard))
+        points.sort()
+        self._ring: List[int] = [point for point, _ in points]
+        self._owners: List[int] = [shard for _, shard in points]
+        # Per-slot round-robin cursor for replica selection.
+        self._cursor: Dict[int, int] = {}
+
+    # -- routing --------------------------------------------------------------
+
+    def shard_for(self, kernel: str, width: int, spec_digest: str) -> int:
+        """The hash slot owning this batching identity (stable)."""
+        return self.shard_for_key(route_key(kernel, width, spec_digest))
+
+    def shard_for_key(self, key: str) -> int:
+        """Slot for a pre-built routing key (see :func:`route_key`)."""
+        where = bisect_right(self._ring, _point(key))
+        if where == len(self._ring):
+            where = 0  # wrap past the last ring point
+        return self._owners[where]
+
+    def pick(self, kernel: str, width: int, spec_digest: str) -> Tuple[int, int]:
+        """Route one request: ``(shard, replica)``.
+
+        The shard half is a pure function of the key; the replica half
+        round-robins per slot, so it is deliberately *not* stable — it
+        is the load-spreading knob, not an identity.
+        """
+        shard = self.shard_for(kernel, width, spec_digest)
+        if self.replicas == 1:
+            return shard, 0
+        cursor = self._cursor.get(shard, 0)
+        self._cursor[shard] = cursor + 1
+        return shard, cursor % self.replicas
+
+    # -- introspection --------------------------------------------------------
+
+    def server_index(self, shard: int, replica: int) -> int:
+        """Flatten ``(shard, replica)`` into a server-list index."""
+        if not 0 <= shard < self.shards:
+            raise ServeError(f"shard {shard} out of range 0..{self.shards - 1}")
+        if not 0 <= replica < self.replicas:
+            raise ServeError(
+                f"replica {replica} out of range 0..{self.replicas - 1}")
+        return shard * self.replicas + replica
+
+    @property
+    def servers(self) -> int:
+        """Total server count behind the router."""
+        return self.shards * self.replicas
+
+    def describe(self) -> str:
+        return (f"ShardRouter(shards={self.shards}, replicas={self.replicas}, "
+                f"vnodes={self.vnodes})")

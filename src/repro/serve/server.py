@@ -53,6 +53,7 @@ from __future__ import annotations
 import asyncio
 import contextvars
 import json
+import threading
 import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
@@ -97,7 +98,7 @@ from ..obs.tracing import get_tracer
 from ..spec import TABLE1, TechSpec
 from .request import ServeRequest, ServeResult
 
-__all__ = ["KernelServer", "RunBatchFn"]
+__all__ = ["AutoRouter", "KernelServer", "RunBatchFn", "SpecResolver"]
 
 _LOG = get_logger("serve")
 
@@ -203,6 +204,82 @@ def _run_evaluate(request: ServeRequest, spec: TechSpec) -> Dict[str, float]:
     return metrics
 
 
+class SpecResolver:
+    """Per-request spec derivation with a bounded memo.
+
+    ``TechSpec.derive`` walks and re-freezes the whole tree, so a
+    server (or a cluster front door, which must resolve the spec
+    *before* its shared-cache probe) memoises derivations per canonical
+    override payload.  The memo is a simple bounded dict — overrides
+    repeat heavily in steady state.
+    """
+
+    def __init__(self, base: TechSpec, *, capacity: int = 256) -> None:
+        self.base = base
+        self._capacity = int(capacity)
+        self._memo: Dict[str, TechSpec] = {}
+
+    def resolve(self, overrides: Mapping[str, Any]) -> TechSpec:
+        if not overrides:
+            return self.base
+        key = json.dumps(
+            {k: overrides[k] for k in sorted(overrides)},
+            sort_keys=True, default=str)
+        spec = self._memo.get(key)
+        if spec is None:
+            spec = self.base.derive(overrides)
+            if len(self._memo) >= self._capacity:
+                self._memo.pop(next(iter(self._memo)))
+            self._memo[key] = spec
+        return spec
+
+
+class AutoRouter:
+    """Resolve ``backend="auto"`` requests via the cached offload plan.
+
+    Operand-less requests want pricing, not values — they go
+    analytical.  Otherwise the planner places the request's
+    (kernel, width, words) shape under the CIM/CPU cost models and
+    suggests the engine backend; placements are memoised per
+    ``(spec, kernel, width, words)`` so steady-state routing is one
+    dict probe.  Each resolution bumps
+    ``serve_autoroute_total{backend=}``.  Shared by
+    :class:`KernelServer` and the cluster front door (which must
+    resolve *before* probing the shared result cache, so auto and
+    explicit submissions of the same work share cache entries).
+    """
+
+    def __init__(self, *, capacity: int = 1024) -> None:
+        self._capacity = int(capacity)
+        self._memo: Dict[Tuple[str, str, int, int], str] = {}
+
+    def resolve(self, request: ServeRequest, spec: TechSpec) -> ServeRequest:
+        if request.backend != "auto" or request.kind != "kernel":
+            return request
+        if not request.operands:
+            resolved = "analytical"
+        else:
+            key = (spec.digest, request.kernel.lower(),
+                   request.width, request.words)
+            hit = self._memo.get(key)
+            if hit is None:
+                from ..analysis.planner import plan_request
+
+                hit = plan_request(
+                    request.kernel, request.width, request.words, spec=spec
+                ).backend
+                if len(self._memo) >= self._capacity:
+                    self._memo.pop(next(iter(self._memo)))
+                self._memo[key] = hit
+            resolved = hit
+        child = _AUTOROUTE.get(resolved)
+        if child is None:
+            child = _AUTOROUTE_FAMILY.labels(backend=resolved)
+            _AUTOROUTE[resolved] = child
+        child.inc()
+        return replace(request, backend=resolved)
+
+
 class KernelServer:
     """Asyncio front door for kernel execution and evaluation requests.
 
@@ -257,7 +334,6 @@ class KernelServer:
         self.retries = int(retries)
         self.backoff_s = float(backoff_s)
         self.cache_capacity = int(cache_capacity)
-        self.spec = spec
         self.transient = transient
         self._run_batch: RunBatchFn = run_batch or _default_run_batch
         self.telemetry = bool(telemetry)
@@ -276,8 +352,28 @@ class KernelServer:
         self._draining = False
         self._closed = False
         self._cache: "OrderedDict[str, ServeResult]" = OrderedDict()
-        self._spec_cache: Dict[str, TechSpec] = {}
-        self._route_cache: Dict[Tuple[str, str, int, int], str] = {}
+        self._specs = SpecResolver(spec)
+        self._auto = AutoRouter()
+        # Guards the result cache and the stats() snapshot: the event
+        # loop mutates state while the telemetry HTTP thread (or any
+        # other thread) reads it through stats()/healthz.
+        self._lock = threading.Lock()
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting in the queue right now (0 before start)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    @property
+    def spec(self) -> TechSpec:
+        """The active base spec (per-request ``overrides`` derive from it)."""
+        return self._specs.base
+
+    @spec.setter
+    def spec(self, value: TechSpec) -> None:
+        # Re-pointing the active spec rebuilds the derivation memo:
+        # cached derivations of the old base must never leak.
+        self._specs = SpecResolver(value)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -441,54 +537,11 @@ class KernelServer:
     # -- internals ----------------------------------------------------------
 
     def _autoroute(self, request: ServeRequest, spec: TechSpec) -> ServeRequest:
-        """Resolve ``backend="auto"`` via the cached offload plan.
-
-        Operand-less requests want pricing, not values — they go
-        analytical.  Otherwise the planner places the request's
-        (kernel, width, words) shape under the CIM/CPU cost models and
-        suggests the engine backend; placements are memoised per
-        ``(spec, kernel, width, words)`` so steady-state routing is one
-        dict probe.  Each resolution bumps
-        ``serve_autoroute_total{backend=}``.
-        """
-        if request.kind != "kernel":
-            return request
-        if not request.operands:
-            resolved = "analytical"
-        else:
-            key = (spec.digest, request.kernel.lower(),
-                   request.width, request.words)
-            hit = self._route_cache.get(key)
-            if hit is None:
-                from ..analysis.planner import plan_request
-
-                hit = plan_request(
-                    request.kernel, request.width, request.words, spec=spec
-                ).backend
-                if len(self._route_cache) >= 1024:
-                    self._route_cache.pop(next(iter(self._route_cache)))
-                self._route_cache[key] = hit
-            resolved = hit
-        child = _AUTOROUTE.get(resolved)
-        if child is None:
-            child = _AUTOROUTE_FAMILY.labels(backend=resolved)
-            _AUTOROUTE[resolved] = child
-        child.inc()
-        return replace(request, backend=resolved)
+        """Resolve ``backend="auto"`` (see :class:`AutoRouter`)."""
+        return self._auto.resolve(request, spec)
 
     def _derive_spec(self, overrides: Mapping[str, Any]) -> TechSpec:
-        if not overrides:
-            return self.spec
-        key = json.dumps(
-            {k: overrides[k] for k in sorted(overrides)},
-            sort_keys=True, default=str)
-        spec = self._spec_cache.get(key)
-        if spec is None:
-            spec = self.spec.derive(overrides)
-            if len(self._spec_cache) >= 256:
-                self._spec_cache.pop(next(iter(self._spec_cache)))
-            self._spec_cache[key] = spec
-        return spec
+        return self._specs.resolve(overrides)
 
     @staticmethod
     def _result_key(request: ServeRequest, spec: TechSpec) -> str:
@@ -499,18 +552,20 @@ class KernelServer:
         return f"{request.digest}:{spec.digest}"
 
     def _cache_get(self, digest: str) -> Optional[ServeResult]:
-        result = self._cache.get(digest)
-        if result is not None:
-            self._cache.move_to_end(digest)
-        return result
+        with self._lock:
+            result = self._cache.get(digest)
+            if result is not None:
+                self._cache.move_to_end(digest)
+            return result
 
     def _cache_put(self, digest: str, result: ServeResult) -> None:
         if self.cache_capacity < 1:
             return
-        self._cache[digest] = result
-        self._cache.move_to_end(digest)
-        while len(self._cache) > self.cache_capacity:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[digest] = result
+            self._cache.move_to_end(digest)
+            while len(self._cache) > self.cache_capacity:
+                self._cache.popitem(last=False)
 
     async def _batch_loop(self) -> None:
         """Collect batching windows forever (until the drain sentinel)."""
@@ -877,14 +932,23 @@ class KernelServer:
         pair[1].observe_many(walls)
 
     def stats(self) -> Dict[str, Any]:
-        """Live operational stats (the ``/healthz`` extra fields)."""
-        return {
-            "queue_depth": self._queue.qsize() if self._queue else 0,
-            "inflight_batches": len(self._inflight),
-            "workers": self.workers,
-            "cache_entries": len(self._cache),
-            "flight_capacity": self._flight.capacity,
-            "telemetry": self.telemetry,
-            "draining": self._draining,
-            "closed": self._closed,
-        }
+        """Live operational stats (the ``/healthz`` extra fields).
+
+        Snapshotted under the server lock: ``/healthz`` runs this from
+        the telemetry HTTP thread while the event loop and pool threads
+        mutate the cache and lifecycle flags, so the fields must be read
+        as one consistent cut, not field-by-field mid-mutation
+        (regression: ``tests/test_serve.py::
+        test_stats_snapshot_is_consistent_under_concurrency``).
+        """
+        with self._lock:
+            return {
+                "queue_depth": self._queue.qsize() if self._queue else 0,
+                "inflight_batches": len(self._inflight),
+                "workers": self.workers,
+                "cache_entries": len(self._cache),
+                "flight_capacity": self._flight.capacity,
+                "telemetry": self.telemetry,
+                "draining": self._draining,
+                "closed": self._closed,
+            }

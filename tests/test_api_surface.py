@@ -3,9 +3,12 @@
 ``repro.api`` is the one import downstream code is told to rely on, so
 its surface is pinned here: ``__all__`` and every signature are
 snapshotted literally — any drift fails this file and must be a
-deliberate, reviewed change.  The second half pins the PR 4 legacy
-constant aliases: they still resolve (module ``__getattr__``) but emit
-exactly one DeprecationWarning naming the replacement.
+deliberate, reviewed change.  The second half pins the live deprecation
+shims (PR 9's CAMMatchCost move, PR 10's ``repro.serve`` facade
+redesign): they still resolve (module ``__getattr__``) but emit exactly
+one DeprecationWarning naming the replacement.  The PR 4 constant
+aliases were removed in PR 10 once their replacements had been stable
+for two PRs (``tests/test_spec_consistency.py`` asserts they raise).
 """
 
 from __future__ import annotations
@@ -58,9 +61,39 @@ EXPECTED_SIGNATURES = {
         "spec": "None",
         "overrides": "None",
     },
+    "connect": {
+        "target": "'local'",
+        "shards": "1",
+        "replicas": "1",
+        "quota": "None",
+        "max_batch_size": "64",
+        "max_wait_us": "500.0",
+        "queue_limit": "1024",
+        "workers": "4",
+        "retries": "2",
+        "cache_capacity": "1024",
+        "spec": "None",
+        "overrides": "None",
+    },
+    "request": {
+        "kernel": "''",
+        "id": "''",
+        "kind": "'kernel'",
+        "width": "32",
+        "operands": "None",
+        "backend": "'auto'",
+        "params": "None",
+        "overrides": "None",
+        "deadline_s": "None",
+        "trace_id": "''",
+        "tenant": "''",
+    },
     "serve": {
         "input": "None",
         "output": "None",
+        "shards": "1",
+        "replicas": "1",
+        "quota": "None",
         "max_batch_size": "64",
         "max_wait_us": "500.0",
         "queue_limit": "1024",
@@ -173,28 +206,18 @@ class TestFacadeSurface:
         assert hot.spec_digest != api.table2().spec_digest
 
 
-# name -> (module, replacement fragment) for every PR 4 legacy alias.
+# module -> [(name, replacement fragment)] for every live deprecation
+# shim.  PR 9 moved CAMMatchCost to the spec layer; PR 10 moved the
+# serving entry points behind the ``api.connect()`` facade.  (The PR 4
+# constant aliases left this table when they were removed — see
+# ``tests/test_spec_consistency.py::test_removed_core_aliases_raise``.)
 DEPRECATED_ALIASES = {
-    "repro.core.presets": [
-        ("DNA_CLUSTERS", "TABLE1.crossbar.dna_clusters"),
-        ("UNITS_PER_CLUSTER", "TABLE1.crossbar.units_per_cluster"),
-        ("DNA_CROSSBAR_DEVICES", "TABLE1.dna_crossbar_devices"),
-        ("DNA_PAPER_IMPLIED_UNITS", "TABLE1.dna_units"),
-        ("MATH_ADDITIONS", "TABLE1.workloads.math_additions"),
-        ("MATH_CLUSTERS", "TABLE1.math_clusters"),
-        ("MATH_STORAGE_DEVICES", "TABLE1.math_storage_devices"),
-    ],
-    "repro.core.classification": [
-        ("WIRE_ENERGY_PER_BIT_M", "TABLE1.interconnect"),
-        ("WIRE_DELAY_PER_M", "TABLE1.interconnect"),
-        ("COMPUTE_ENERGY", "TABLE1.interconnect"),
-        ("COMPUTE_DELAY", "TABLE1.interconnect"),
-    ],
-    "repro.core.roofline": [
-        ("WORD_BYTES", "TABLE1.interconnect"),
-    ],
     "repro.engine.builtins": [
         ("CAMMatchCost", "repro.spec.costmodel.CAMMatchCost"),
+    ],
+    "repro.serve": [
+        ("KernelServer", "repro.api.connect"),
+        ("serve_jsonl", "repro.api.serve"),
     ],
 }
 
@@ -225,19 +248,26 @@ class TestDeprecationPolicy:
             warnings.simplefilter("error")
             assert getattr(module, name) == value
 
-    def test_alias_values_match_spec(self):
-        from repro.core import classification, presets, roofline
-        from repro.spec import TABLE1
+    def test_alias_values_match_canonical(self):
+        """Each shim resolves to the exact object at the replacement
+        path — same identity, not a lookalike."""
+        import repro.serve
+        from repro.engine import builtins as engine_builtins
+        from repro.serve.frontend import serve_jsonl
+        from repro.serve.server import KernelServer
+        from repro.spec.costmodel import CAMMatchCost
 
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
-            assert presets.DNA_CLUSTERS == TABLE1.crossbar.dna_clusters
-            assert (classification.WIRE_ENERGY_PER_BIT_M
-                    == TABLE1.interconnect.wire_energy_per_bit_m)
-            assert roofline.WORD_BYTES == TABLE1.interconnect.word_bytes
+            assert engine_builtins.CAMMatchCost is CAMMatchCost
+            assert repro.serve.KernelServer is KernelServer
+            assert repro.serve.serve_jsonl is serve_jsonl
 
     def test_unknown_attribute_still_raises(self):
+        import repro.serve
         from repro.core import presets
 
         with pytest.raises(AttributeError):
             presets.NOT_A_THING
+        with pytest.raises(AttributeError):
+            repro.serve.NOT_A_THING

@@ -8,8 +8,9 @@ from repro.core import (
     classify_all,
     ordering_is_monotonic,
 )
-from repro.core.classification import CLASS_PARAMETERS, COMPUTE_ENERGY
+from repro.core.classification import CLASS_PARAMETERS
 from repro.errors import ArchitectureError
+from repro.spec import TABLE1
 
 
 class TestClassParameters:
@@ -26,7 +27,8 @@ class TestClassCost:
     def test_cim_is_compute_dominated(self):
         cost = class_cost(ArchitectureClass.COMPUTATION_IN_MEMORY)
         assert cost.communication_fraction < 0.01
-        assert cost.energy_per_op == pytest.approx(COMPUTE_ENERGY, rel=0.01)
+        assert cost.energy_per_op == pytest.approx(
+            TABLE1.interconnect.compute_energy, rel=0.01)
 
     def test_main_memory_is_communication_dominated(self):
         cost = class_cost(ArchitectureClass.MAIN_MEMORY)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import asyncio
 import io
 import json
+import threading
 import time
 
 import pytest
@@ -26,13 +27,9 @@ from repro.errors import (
     ServerOverloaded,
     TransientExecutorError,
 )
-from repro.serve import (
-    KernelServer,
-    ServeRequest,
-    request_from_dict,
-    result_to_dict,
-    serve_jsonl,
-)
+from repro.serve import ServeRequest, request_from_dict, result_to_dict
+from repro.serve.frontend import serve_jsonl
+from repro.serve.server import KernelServer
 from repro.spec import TABLE1
 
 
@@ -572,3 +569,56 @@ class TestBatchedEqualsSequential:
                     int(w) for w in alone.word(group)), (
                     f"{request.kernel} outputs diverged under batching")
             assert result.energy == pytest.approx(alone.energy, rel=1e-12)
+
+
+def test_stats_snapshot_is_consistent_under_concurrency():
+    """Regression: ``stats()`` (the ``/healthz`` extras) is read from
+    the telemetry HTTP thread while the event loop and pool threads
+    mutate the cache and lifecycle flags.  Before the server lock it
+    read field-by-field mid-mutation and could return a torn snapshot
+    (e.g. ``cache_entries`` above capacity mid-evict, or ``closed``
+    without ``draining``).  Hammer it from several threads during
+    heavy distinct-request load and assert every cut is consistent."""
+    capacity = 8
+    snapshots = []
+    errors = []
+    stop = threading.Event()
+
+    async def scenario():
+        async with KernelServer(max_wait_us=0, workers=2,
+                                cache_capacity=capacity) as server:
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        snapshots.append(server.stats())
+                    except Exception as exc:  # noqa: BLE001 - the regression
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=hammer) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                for wave in range(8):
+                    await server.submit_many([
+                        adder_request(f"s{wave}-{i}", [wave], [i])
+                        for i in range(16)
+                    ])
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+        return server.stats()
+
+    final = run(scenario())
+    assert not errors, errors[:3]
+    assert snapshots, "the stats hammer never ran"
+    for snap in snapshots:
+        assert snap["workers"] == 2
+        assert 0 <= snap["cache_entries"] <= capacity, (
+            "torn snapshot: cache seen above capacity mid-evict")
+        assert snap["queue_depth"] >= 0
+        if snap["closed"]:
+            assert snap["draining"], (
+                "torn snapshot: closed observed before draining")
+    assert final["closed"] and final["draining"]

@@ -20,7 +20,9 @@ from repro.engine import resolve_kernel, run_kernel
 from repro.errors import DeadlineExceeded, ServerOverloaded, TransientExecutorError
 from repro.obs import get_registry, get_tracer
 from repro.obs.flight import FlightRecorder
-from repro.serve import KernelServer, ServeRequest, result_to_dict, serve_jsonl
+from repro.serve import ServeRequest, result_to_dict
+from repro.serve.frontend import serve_jsonl
+from repro.serve.server import KernelServer
 
 
 def adder_request(request_id, a, b, **kwargs):

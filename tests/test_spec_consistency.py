@@ -1,11 +1,13 @@
-"""The spec layer and the legacy module constants can never diverge.
+"""The spec layer is the single source of every Table 1 number.
 
-PR 4 made :data:`repro.spec.TABLE1` the single source of every Table 1
-number, keeping the old module-level constants as deprecated aliases.
-This suite pins each alias to the corresponding spec field **by exact
-float equality** (bit identity matters: the Table 2 golden test below
-pins the reproduced metrics to their pre-refactor hex representations),
-and pins the spec's own identity (digest, derive semantics).
+PR 4 made :data:`repro.spec.TABLE1` that source, keeping the old
+module-level constants as deprecated aliases; PR 10 removed the aliases
+(replacements stable for more than two PRs, the ``_compat`` removal
+bar).  This suite pins the spec values **by exact float equality** (bit
+identity matters: the Table 2 golden test below pins the reproduced
+metrics to their pre-refactor hex representations), asserts the removed
+aliases now raise, and pins the spec's own identity (digest, derive
+semantics).
 """
 
 import pytest
@@ -120,28 +122,38 @@ def test_cam_match_cost_default_matches_spec():
 # -- organisation / derived quantities --------------------------------------
 
 
-def test_presets_aliases_match_spec():
-    assert presets.DNA_CLUSTERS == TABLE1.crossbar.dna_clusters == 18750
-    assert presets.UNITS_PER_CLUSTER == TABLE1.crossbar.units_per_cluster == 32
-    assert presets.DNA_CROSSBAR_DEVICES == TABLE1.dna_crossbar_devices
-    assert presets.DNA_CROSSBAR_DEVICES == 18750 * 8192
-    assert presets.DNA_PAPER_IMPLIED_UNITS == TABLE1.dna_units == 600_000
-    assert presets.MATH_ADDITIONS == TABLE1.workloads.math_additions == 10 ** 6
-    assert presets.MATH_CLUSTERS == TABLE1.math_clusters == 31250
-    assert presets.MATH_STORAGE_DEVICES == TABLE1.math_storage_devices
-    assert presets.MATH_STORAGE_DEVICES == 31250 * 8192
+def test_spec_organisation_values():
+    """The Table 1 organisation quantities, pinned on the spec layer
+    (the PR 4 ``repro.core`` constant aliases have been removed)."""
+    assert TABLE1.crossbar.dna_clusters == 18750
+    assert TABLE1.crossbar.units_per_cluster == 32
+    assert TABLE1.dna_crossbar_devices == 18750 * 8192
+    assert TABLE1.dna_units == 600_000
+    assert TABLE1.workloads.math_additions == 10 ** 6
+    assert TABLE1.math_clusters == 31250
+    assert TABLE1.math_storage_devices == 31250 * 8192
+    assert TABLE1.interconnect.word_bytes == 4
 
 
-def test_classification_aliases_match_spec():
-    wires = TABLE1.interconnect
-    assert classification.WIRE_ENERGY_PER_BIT_M == wires.wire_energy_per_bit_m
-    assert classification.WIRE_DELAY_PER_M == wires.wire_delay_per_m
-    assert classification.COMPUTE_ENERGY == wires.compute_energy
-    assert classification.COMPUTE_DELAY == wires.compute_delay
-
-
-def test_roofline_alias_matches_spec():
-    assert roofline.WORD_BYTES == TABLE1.interconnect.word_bytes == 4
+def test_removed_core_aliases_raise():
+    """The pre-spec constant aliases are gone for good: stale imports
+    must fail loudly, not silently resolve to something else."""
+    for module, name in [
+        (presets, "DNA_CLUSTERS"),
+        (presets, "UNITS_PER_CLUSTER"),
+        (presets, "DNA_CROSSBAR_DEVICES"),
+        (presets, "DNA_PAPER_IMPLIED_UNITS"),
+        (presets, "MATH_ADDITIONS"),
+        (presets, "MATH_CLUSTERS"),
+        (presets, "MATH_STORAGE_DEVICES"),
+        (classification, "WIRE_ENERGY_PER_BIT_M"),
+        (classification, "WIRE_DELAY_PER_M"),
+        (classification, "COMPUTE_ENERGY"),
+        (classification, "COMPUTE_DELAY"),
+        (roofline, "WORD_BYTES"),
+    ]:
+        with pytest.raises(AttributeError):
+            getattr(module, name)
 
 
 def test_periphery_defaults_match_spec():
